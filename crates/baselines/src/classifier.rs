@@ -1,0 +1,52 @@
+//! Common scoring interface for baseline detectors.
+
+/// A trained binary classifier over flat feature vectors.
+///
+/// Implementations return a real-valued *hotspot score*; the conventional
+/// decision is `score > 0.0 → hotspot`, and threshold shifts trade accuracy
+/// against false alarms (the boundary-shifting comparison of the paper's
+/// Figure 4 applies to these baselines just as to the CNN).
+pub trait Classifier {
+    /// Real-valued hotspot score of a feature vector (positive = hotspot).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `features` has the wrong length.
+    fn score(&self, features: &[f32]) -> f32;
+
+    /// Hard decision at threshold 0.
+    fn predict(&self, features: &[f32]) -> bool {
+        self.score(features) > 0.0
+    }
+
+    /// Hard decision at a shifted threshold.
+    fn predict_with_threshold(&self, features: &[f32], threshold: f32) -> bool {
+        self.score(features) > threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f32);
+    impl Classifier for Constant {
+        fn score(&self, _features: &[f32]) -> f32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_threshold_is_zero() {
+        assert!(Constant(0.1).predict(&[]));
+        assert!(!Constant(-0.1).predict(&[]));
+        assert!(!Constant(0.0).predict(&[]));
+    }
+
+    #[test]
+    fn threshold_shifts_decision() {
+        let c = Constant(0.4);
+        assert!(c.predict_with_threshold(&[], 0.3));
+        assert!(!c.predict_with_threshold(&[], 0.5));
+    }
+}

@@ -1,0 +1,59 @@
+//! Prior-art hotspot detectors used as Table 2 baselines.
+//!
+//! Two machine-learning baselines are reimplemented from their published
+//! descriptions:
+//!
+//! - [`adaboost`]: AdaBoost over depth-1 decision stumps on grid-density
+//!   features — the SPIE'15 detector (ref. 4) ("AdaBoost classifier and
+//!   simplified feature extraction").
+//! - [`online`]: a logistic classifier trained by online stochastic
+//!   gradient descent on CCS features, standing in for the ICCAD'16
+//!   online-learning detector (ref. 5). We reproduce its *role* (a strong
+//!   flattened-feature detector with online updates), not its
+//!   information-theoretic feature selection.
+//!
+//! Both implement [`Classifier`], the shared scoring interface the
+//! experiment harness evaluates; scores are real-valued with a tunable
+//! decision threshold so ROC-style trade-offs can be swept.
+
+pub mod adaboost;
+pub mod classifier;
+pub mod online;
+pub mod stump;
+
+pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use classifier::Classifier;
+pub use online::{OnlineLogistic, OnlineLogisticConfig};
+pub use stump::DecisionStump;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from baseline training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The training set was empty or single-class.
+    DegenerateTrainingSet(&'static str),
+    /// Feature vectors disagree in length.
+    FeatureLengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::DegenerateTrainingSet(why) => {
+                write!(f, "degenerate training set: {why}")
+            }
+            BaselineError::FeatureLengthMismatch { expected, actual } => {
+                write!(f, "feature length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for BaselineError {}

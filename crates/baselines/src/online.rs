@@ -1,0 +1,276 @@
+//! Online logistic detector (the ICCAD'16-style baseline).
+
+use crate::classifier::Classifier;
+use crate::BaselineError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for the online logistic detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineLogisticConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Passes over the training stream.
+    pub epochs: usize,
+    /// L2 regularisation strength.
+    pub l2: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Weight multiplier applied to hotspot samples' gradient, compensating
+    /// class imbalance (the ICCAD'16 detector similarly privileges recall).
+    pub positive_weight: f32,
+}
+
+impl Default for OnlineLogisticConfig {
+    fn default() -> Self {
+        OnlineLogisticConfig {
+            lr: 0.05,
+            epochs: 30,
+            l2: 1e-4,
+            seed: 17,
+            positive_weight: 2.0,
+        }
+    }
+}
+
+/// A logistic-regression hotspot detector trained by online SGD over CCS
+/// features.
+///
+/// Stands in for the ICCAD'16 online detector (ref. 5): same feature family and
+/// online-update regime. [`OnlineLogistic::update`] performs the
+/// incremental updates that give the approach its name.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_baselines::{Classifier, OnlineLogistic, OnlineLogisticConfig};
+///
+/// # fn main() -> Result<(), hotspot_baselines::BaselineError> {
+/// let samples = vec![vec![0.0f32], vec![0.2], vec![0.8], vec![1.0]];
+/// let labels = vec![false, false, true, true];
+/// let config = OnlineLogisticConfig {
+///     epochs: 200,
+///     positive_weight: 1.0,
+///     ..OnlineLogisticConfig::default()
+/// };
+/// let model = OnlineLogistic::fit(&samples, &labels, &config)?;
+/// assert!(model.predict(&[0.95]));
+/// assert!(!model.predict(&[0.05]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineLogistic {
+    weights: Vec<f32>,
+    bias: f32,
+    lr: f32,
+    l2: f32,
+    positive_weight: f32,
+}
+
+impl OnlineLogistic {
+    /// Trains from scratch over the full stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::DegenerateTrainingSet`] for empty or
+    /// single-class data and [`BaselineError::FeatureLengthMismatch`] for
+    /// ragged features.
+    pub fn fit(
+        samples: &[Vec<f32>],
+        labels: &[bool],
+        config: &OnlineLogisticConfig,
+    ) -> Result<Self, BaselineError> {
+        if samples.is_empty() {
+            return Err(BaselineError::DegenerateTrainingSet("no samples"));
+        }
+        if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
+            return Err(BaselineError::DegenerateTrainingSet("single-class labels"));
+        }
+        let dim = samples[0].len();
+        for s in samples {
+            if s.len() != dim {
+                return Err(BaselineError::FeatureLengthMismatch {
+                    expected: dim,
+                    actual: s.len(),
+                });
+            }
+        }
+        let mut model = OnlineLogistic {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            lr: config.lr,
+            l2: config.l2,
+            positive_weight: config.positive_weight,
+        };
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                model.update(&samples[i], labels[i]);
+            }
+        }
+        Ok(model)
+    }
+
+    /// One online SGD update on a single labelled instance — the
+    /// incremental-learning entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` differs from the training dimension.
+    pub fn update(&mut self, features: &[f32], hotspot: bool) {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature length mismatch: expected {}, got {}",
+            self.weights.len(),
+            features.len()
+        );
+        let y = if hotspot { 1.0f32 } else { 0.0 };
+        let p = sigmoid(self.raw_score(features));
+        let weight = if hotspot { self.positive_weight } else { 1.0 };
+        let g = (p - y) * weight;
+        for (w, &x) in self.weights.iter_mut().zip(features.iter()) {
+            *w -= self.lr * (g * x + self.l2 * *w);
+        }
+        self.bias -= self.lr * g;
+    }
+
+    /// Feature dimension.
+    pub fn feature_len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn raw_score(&self, features: &[f32]) -> f32 {
+        let mut acc = self.bias;
+        for (w, &x) in self.weights.iter().zip(features.iter()) {
+            acc += w * x;
+        }
+        acc
+    }
+}
+
+impl Classifier for OnlineLogistic {
+    /// The logit (log-odds) of being a hotspot; 0 corresponds to p = 0.5.
+    fn score(&self, features: &[f32]) -> f32 {
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature length mismatch: expected {}, got {}",
+            self.weights.len(),
+            features.len()
+        );
+        self.raw_score(features)
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_sets() {
+        let cfg = OnlineLogisticConfig::default();
+        assert!(OnlineLogistic::fit(&[], &[], &cfg).is_err());
+        let s = vec![vec![0.0f32], vec![1.0]];
+        assert!(OnlineLogistic::fit(&s, &[false, false], &cfg).is_err());
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..50 {
+            let x = i as f32 / 50.0;
+            samples.push(vec![x, 1.0 - x]);
+            labels.push(x > 0.5);
+        }
+        let m = OnlineLogistic::fit(&samples, &labels, &OnlineLogisticConfig::default()).unwrap();
+        let acc = samples
+            .iter()
+            .zip(&labels)
+            .filter(|(s, &l)| m.predict(s) == l)
+            .count();
+        assert!(acc >= 45, "accuracy {acc}/50");
+    }
+
+    #[test]
+    fn online_update_moves_decision() {
+        let samples = vec![vec![0.0f32], vec![1.0]];
+        let labels = vec![false, true];
+        let mut m = OnlineLogistic::fit(
+            &samples,
+            &labels,
+            &OnlineLogisticConfig {
+                epochs: 5,
+                ..OnlineLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let before = m.score(&[0.5]);
+        // Stream several hotspot observations at 0.5.
+        for _ in 0..50 {
+            m.update(&[0.5], true);
+        }
+        assert!(m.score(&[0.5]) > before, "online updates must shift the score");
+    }
+
+    #[test]
+    fn positive_weight_biases_toward_recall() {
+        // Imbalanced data: 1 hotspot vs many non-hotspots at the same point
+        // in feature space; a recall-weighted model should flag it.
+        let mut samples = vec![vec![0.5f32]];
+        let mut labels = vec![true];
+        for _ in 0..3 {
+            samples.push(vec![0.5]);
+            labels.push(false);
+        }
+        let balanced = OnlineLogistic::fit(
+            &samples,
+            &labels,
+            &OnlineLogisticConfig {
+                positive_weight: 1.0,
+                ..OnlineLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        let weighted = OnlineLogistic::fit(
+            &samples,
+            &labels,
+            &OnlineLogisticConfig {
+                positive_weight: 4.0,
+                ..OnlineLogisticConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(weighted.score(&[0.5]) > balanced.score(&[0.5]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = vec![vec![0.1f32], vec![0.9], vec![0.2], vec![0.8]];
+        let labels = vec![false, true, false, true];
+        let cfg = OnlineLogisticConfig::default();
+        let a = OnlineLogistic::fit(&samples, &labels, &cfg).unwrap();
+        let b = OnlineLogistic::fit(&samples, &labels, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn update_checks_dimension() {
+        let samples = vec![vec![0.1f32, 0.2], vec![0.9, 0.8]];
+        let mut m =
+            OnlineLogistic::fit(&samples, &[false, true], &OnlineLogisticConfig::default())
+                .unwrap();
+        m.update(&[0.5], true);
+    }
+}

@@ -1,0 +1,200 @@
+//! Depth-1 decision stumps: the AdaBoost weak learner.
+
+use serde::{Deserialize, Serialize};
+
+/// A decision stump: `sign(polarity) · (feature[index] > threshold)`.
+///
+/// Predicts `+1` (hotspot) when
+/// `polarity * (features[index] - threshold) > 0`, else `-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionStump {
+    /// Feature index the stump tests.
+    pub feature: usize,
+    /// Decision threshold on that feature.
+    pub threshold: f32,
+    /// `+1.0` (greater-than is hotspot) or `-1.0` (less-than is hotspot).
+    pub polarity: f32,
+}
+
+impl DecisionStump {
+    /// The stump's ±1 prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the stump's feature index.
+    #[inline]
+    pub fn predict(&self, features: &[f32]) -> f32 {
+        if self.polarity * (features[self.feature] - self.threshold) > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Exhaustively fits the stump minimising weighted 0-1 error over every
+    /// (feature, threshold, polarity) candidate. Thresholds are midpoints
+    /// between consecutive sorted unique feature values.
+    ///
+    /// Returns the best stump and its weighted error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or mismatched slice lengths.
+    pub fn fit(samples: &[Vec<f32>], labels: &[f32], weights: &[f64]) -> (DecisionStump, f64) {
+        assert!(!samples.is_empty(), "empty training set");
+        assert_eq!(samples.len(), labels.len());
+        assert_eq!(samples.len(), weights.len());
+        let dims = samples[0].len();
+        let total: f64 = weights.iter().sum();
+
+        let mut best = DecisionStump {
+            feature: 0,
+            threshold: 0.0,
+            polarity: 1.0,
+        };
+        let mut best_err = f64::INFINITY;
+
+        // Per feature: sort samples by value and scan thresholds, keeping a
+        // running sum of weighted labels to evaluate both polarities in
+        // O(n) after the sort.
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for f in 0..dims {
+            order.sort_by(|&a, &b| samples[a][f].total_cmp(&samples[b][f]));
+            // err(polarity=+1, threshold t) = Σ_{x<=t, y=+1} w + Σ_{x>t, y=-1} w
+            // Scan boundary from left to right maintaining the two sums.
+            let mut below_pos = 0.0f64; // weight of positives at or below t
+            let mut below_neg = 0.0f64;
+            let total_pos: f64 = order
+                .iter()
+                .filter(|&&i| labels[i] > 0.0)
+                .map(|&i| weights[i])
+                .sum();
+            let total_neg = total - total_pos;
+            let mut k = 0usize;
+            while k < order.len() {
+                // Advance over ties so the threshold sits strictly between
+                // distinct values.
+                let v = samples[order[k]][f];
+                while k < order.len() && samples[order[k]][f] == v {
+                    let i = order[k];
+                    if labels[i] > 0.0 {
+                        below_pos += weights[i];
+                    } else {
+                        below_neg += weights[i];
+                    }
+                    k += 1;
+                }
+                let threshold = if k < order.len() {
+                    (v + samples[order[k]][f]) / 2.0
+                } else {
+                    v + 1.0
+                };
+                // polarity +1: predict hotspot when value > threshold.
+                let err_pos = below_pos + (total_neg - below_neg);
+                // polarity -1: predict hotspot when value <= threshold.
+                let err_neg = below_neg + (total_pos - below_pos);
+                if err_pos < best_err {
+                    best_err = err_pos;
+                    best = DecisionStump {
+                        feature: f,
+                        threshold,
+                        polarity: 1.0,
+                    };
+                }
+                if err_neg < best_err {
+                    best_err = err_neg;
+                    best = DecisionStump {
+                        feature: f,
+                        threshold,
+                        polarity: -1.0,
+                    };
+                }
+            }
+        }
+        (best, best_err / total.max(f64::MIN_POSITIVE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_respects_polarity() {
+        let s = DecisionStump {
+            feature: 1,
+            threshold: 0.5,
+            polarity: 1.0,
+        };
+        assert_eq!(s.predict(&[0.0, 0.9]), 1.0);
+        assert_eq!(s.predict(&[0.0, 0.1]), -1.0);
+        let n = DecisionStump { polarity: -1.0, ..s };
+        assert_eq!(n.predict(&[0.0, 0.9]), -1.0);
+        assert_eq!(n.predict(&[0.0, 0.1]), 1.0);
+    }
+
+    #[test]
+    fn fit_finds_separating_threshold() {
+        let samples = vec![
+            vec![0.1f32],
+            vec![0.2],
+            vec![0.8],
+            vec![0.9],
+        ];
+        let labels = vec![-1.0, -1.0, 1.0, 1.0];
+        let weights = vec![0.25f64; 4];
+        let (stump, err) = DecisionStump::fit(&samples, &labels, &weights);
+        assert!(err < 1e-12, "separable data must have zero error");
+        assert_eq!(stump.feature, 0);
+        assert!(stump.threshold > 0.2 && stump.threshold < 0.8);
+        assert_eq!(stump.polarity, 1.0);
+    }
+
+    #[test]
+    fn fit_uses_best_feature() {
+        // Feature 0 is noise; feature 1 separates.
+        let samples = vec![
+            vec![0.5f32, 0.0],
+            vec![0.1, 0.1],
+            vec![0.9, 0.9],
+            vec![0.4, 1.0],
+        ];
+        let labels = vec![-1.0, -1.0, 1.0, 1.0];
+        let weights = vec![0.25f64; 4];
+        let (stump, err) = DecisionStump::fit(&samples, &labels, &weights);
+        assert_eq!(stump.feature, 1);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn fit_respects_weights() {
+        // One heavily-weighted mislabeled point flips the best stump.
+        let samples = vec![vec![0.0f32], vec![1.0]];
+        let labels = vec![1.0, -1.0]; // inverted polarity data
+        let weights = vec![0.9f64, 0.1];
+        let (stump, err) = DecisionStump::fit(&samples, &labels, &weights);
+        // Classifying the heavy point correctly requires polarity -1.
+        assert_eq!(stump.polarity, -1.0);
+        assert!(err < 0.2);
+    }
+
+    #[test]
+    fn fit_inverted_labels_uses_negative_polarity() {
+        let samples = vec![vec![0.1f32], vec![0.2], vec![0.8], vec![0.9]];
+        let labels = vec![1.0, 1.0, -1.0, -1.0];
+        let weights = vec![0.25f64; 4];
+        let (stump, err) = DecisionStump::fit(&samples, &labels, &weights);
+        assert!(err < 1e-12);
+        assert_eq!(stump.polarity, -1.0);
+    }
+
+    #[test]
+    fn tied_values_handled() {
+        let samples = vec![vec![0.5f32], vec![0.5], vec![0.5]];
+        let labels = vec![1.0, -1.0, 1.0];
+        let weights = vec![1.0 / 3.0; 3];
+        let (_, err) = DecisionStump::fit(&samples, &labels, &weights);
+        // Best achievable: misclassify the minority side.
+        assert!((err - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench: separable (mat-mul) 2-D DCT vs the naive O(B⁴)
+//! transform — the design choice that keeps feature extraction tractable
+//! over full benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_dct::Dct2d;
+use hotspot_geometry::Grid;
+
+fn block(b: usize) -> Grid<f32> {
+    Grid::from_vec(b, b, (0..b * b).map(|v| ((v * 31 + 7) % 13) as f32).collect())
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct2d");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for b in [10usize, 20, 50] {
+        let plan = Dct2d::new(b).expect("valid size");
+        let x = block(b);
+        group.bench_with_input(BenchmarkId::new("separable", b), &b, |bench, _| {
+            bench.iter(|| plan.forward(std::hint::black_box(&x)).expect("valid block"));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", b), &b, |bench, _| {
+            bench.iter(|| plan.forward_naive(std::hint::black_box(&x)).expect("valid block"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let plan = Dct2d::new(10).expect("valid size");
+    let coeffs = plan.forward(&block(10)).expect("valid block");
+    let mut group = c.benchmark_group("dct2d_inverse");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("inverse-10", |bench| {
+        bench.iter(|| plan.inverse(std::hint::black_box(&coeffs)).expect("valid block"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dct, bench_inverse);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: end-to-end feature-tensor extraction per clip
+//! (rasterise → block DCT → zig-zag truncation), across coefficient
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::{patterns, PatternKind};
+use rand::SeedableRng;
+
+fn bench_extract(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let clip = patterns::sample_pattern(PatternKind::RandomRouting, &mut rng);
+    let mut group = c.benchmark_group("feature_tensor");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [8usize, 32, 100] {
+        let pipeline = FeaturePipeline::new(10, 12, k).expect("valid pipeline");
+        group.bench_with_input(BenchmarkId::new("extract", k), &k, |bench, _| {
+            bench.iter(|| pipeline.extract(std::hint::black_box(&clip)).expect("valid clip"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    use hotspot_dct::{extract_feature_tensor, reconstruct_image, FeatureTensorSpec};
+    use hotspot_geometry::raster;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let clip = patterns::sample_pattern(PatternKind::LineArray, &mut rng);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = FeatureTensorSpec::new(12, 32).expect("valid spec");
+    let tensor = extract_feature_tensor(&image, &spec).expect("valid image");
+    let mut group = c.benchmark_group("feature_tensor_reconstruct");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("reconstruct-k32", |bench| {
+        bench.iter(|| {
+            reconstruct_image(std::hint::black_box(&tensor), tensor.block_size())
+                .expect("valid tensor")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extract, bench_reconstruction);
+criterion_main!(benches);

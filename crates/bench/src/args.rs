@@ -1,0 +1,137 @@
+//! Minimal `--key value` argument parsing for the experiment binaries
+//! (kept dependency-free; the approved crate list has no CLI parser).
+
+use std::collections::HashMap;
+
+/// Parsed experiment arguments with typed accessors and defaults.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_bench::ExperimentArgs;
+///
+/// let args = ExperimentArgs::from_iter(["--scale", "0.05", "--steps", "400"]);
+/// assert_eq!(args.f64("scale", 0.02), 0.05);
+/// assert_eq!(args.usize("steps", 800), 400);
+/// assert_eq!(args.usize("k", 32), 32); // default
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentArgs {
+    values: HashMap<String, String>,
+}
+
+impl ExperimentArgs {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream of `--key value` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a token that does not start with `--` or a trailing key
+    /// with no value — experiment invocations should fail loudly.
+    #[allow(clippy::should_implement_trait)] // panics on bad input by design
+    pub fn from_iter<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut values = HashMap::new();
+        let mut iter = tokens.into_iter().map(Into::into);
+        while let Some(key) = iter.next() {
+            let name = key
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got '{key}'"))
+                .to_string();
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            values.insert(name, value);
+        }
+        ExperimentArgs { values }
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `f64` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")))
+            .unwrap_or(default)
+    }
+
+    /// `usize` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")))
+            .unwrap_or(default)
+    }
+
+    /// `u64` flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")))
+            .unwrap_or(default)
+    }
+
+    /// String flag with default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pairs() {
+        let a = ExperimentArgs::from_iter(["--x", "1.5", "--name", "iccad"]);
+        assert_eq!(a.f64("x", 0.0), 1.5);
+        assert_eq!(a.string("name", "?"), "iccad");
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = ExperimentArgs::from_iter::<_, String>([]);
+        assert_eq!(a.usize("steps", 7), 7);
+        assert_eq!(a.u64("seed", 9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn rejects_bare_tokens() {
+        let _ = ExperimentArgs::from_iter(["scale", "1.0"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn rejects_missing_value() {
+        let _ = ExperimentArgs::from_iter(["--scale"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn rejects_bad_number() {
+        let a = ExperimentArgs::from_iter(["--scale", "abc"]);
+        let _ = a.f64("scale", 1.0);
+    }
+}

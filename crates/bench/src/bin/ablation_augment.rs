@@ -1,0 +1,54 @@
+//! Extension study: dihedral data augmentation.
+//!
+//! The eight square symmetries preserve hotspot labels exactly under the
+//! suite's isotropic lithography oracle (`hotspot_datagen::augment`), so
+//! they multiply the training set for free. This study trains the CNN with
+//! and without augmentation on a deliberately *small* training set — the
+//! regime where augmentation matters.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin ablation_augment -- \
+//!     --scale 0.005 --steps 600
+//! ```
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, table, ExperimentArgs};
+use hotspot_core::detector::HotspotDetector;
+use hotspot_datagen::augment;
+use hotspot_datagen::suite::SuiteSpec;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.005);
+    let out_dir = args.string("out", "results");
+    let mut config = detector_config(&args);
+    config.pipeline =
+        hotspot_core::FeaturePipeline::new(10, 12, args.usize("k", 16)).expect("valid pipeline");
+    config.biased.rounds = args.usize("rounds", 2);
+
+    let sim = oracle();
+    let data = build_benchmark(&SuiteSpec::iccad(scale), &sim);
+    let augmented = augment::augment_dataset(&data.train);
+    eprintln!(
+        "[ablation_augment] train {} clips plain, {} augmented",
+        data.train.len(),
+        augmented.len()
+    );
+
+    let headers = ["training set", "clips", "accu", "FA#", "overall"];
+    let mut rows = Vec::new();
+    for (name, train) in [("plain", &data.train), ("augmented 8x", &augmented)] {
+        eprintln!("[ablation_augment] training on {name}...");
+        let mut detector = HotspotDetector::fit(train, &config).expect("training runs");
+        let result = detector.evaluate(&data.test);
+        rows.push(vec![
+            name.to_string(),
+            train.len().to_string(),
+            table::pct(result.accuracy),
+            result.false_alarms.to_string(),
+            table::pct(result.overall_accuracy()),
+        ]);
+    }
+    println!("\nAblation: dihedral augmentation (small ICCAD benchmark):\n");
+    println!("{}", table::render(&headers, &rows));
+    table::write_csv(&out_dir, "ablation_augment", &headers, &rows);
+}

@@ -1,0 +1,50 @@
+//! Ablation: biased-learning schedule (bias step δε and round count t)
+//! vs the accuracy / false-alarm trade-off — the sensitivity study behind
+//! Algorithm 2's `δε = 0.1, t = 4` choice.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin ablation_bias -- \
+//!     --scale 0.02 --steps 500
+//! ```
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, table, ExperimentArgs};
+use hotspot_core::detector::HotspotDetector;
+use hotspot_datagen::suite::SuiteSpec;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.02);
+    let out_dir = args.string("out", "results");
+
+    let sim = oracle();
+    let data = build_benchmark(&SuiteSpec::iccad(scale), &sim);
+
+    let headers = ["eps_step", "rounds", "final_eps", "accu", "FA#", "overall"];
+    let mut rows = Vec::new();
+    let schedules: [(f32, usize); 6] =
+        [(0.0, 1), (0.1, 2), (0.1, 4), (0.05, 4), (0.15, 3), (0.1, 5)];
+    for (eps_step, rounds) in schedules {
+        let final_eps = eps_step * (rounds - 1) as f32;
+        eprintln!("[ablation_bias] δε = {eps_step}, t = {rounds} (ε → {final_eps:.2})...");
+        let mut config = detector_config(&args);
+        config.biased.epsilon_step = eps_step;
+        config.biased.rounds = rounds;
+        let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
+        let result = detector.evaluate(&data.test);
+        rows.push(vec![
+            format!("{eps_step:.2}"),
+            rounds.to_string(),
+            format!("{final_eps:.2}"),
+            table::pct(result.accuracy),
+            result.false_alarms.to_string(),
+            table::pct(result.overall_accuracy()),
+        ]);
+    }
+    println!("\nAblation: biased-learning schedule (ICCAD benchmark):\n");
+    println!("{}", table::render(&headers, &rows));
+    println!(
+        "Expected shape (Theorem 1): accuracy non-decreasing with final ε, with\n\
+         false alarms growing slowly until ε approaches 0.5."
+    );
+    table::write_csv(&out_dir, "ablation_bias", &headers, &rows);
+}

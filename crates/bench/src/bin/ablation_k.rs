@@ -1,0 +1,49 @@
+//! Ablation: feature-tensor coefficient count `k` vs detection quality and
+//! runtime (the design-choice study DESIGN.md calls out; `k = 1` keeps
+//! only each block's DC term, i.e. a 12×12 density map — ablating away the
+//! spectral content entirely).
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin ablation_k -- \
+//!     --scale 0.02 --steps 500
+//! ```
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, table, ExperimentArgs};
+use hotspot_core::detector::HotspotDetector;
+use hotspot_datagen::suite::SuiteSpec;
+use std::time::Instant;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.02);
+    let out_dir = args.string("out", "results");
+
+    let sim = oracle();
+    let data = build_benchmark(&SuiteSpec::iccad(scale), &sim);
+
+    let headers = ["k", "accu", "FA#", "overall", "train_s", "eval_s"];
+    let mut rows = Vec::new();
+    for k in [1usize, 4, 8, 16, 32] {
+        eprintln!("[ablation_k] training with k = {k}...");
+        let mut config = detector_config(&args);
+        config.pipeline =
+            hotspot_core::FeaturePipeline::new(10, 12, k).expect("valid pipeline");
+        // Keep the ablation affordable: two bias rounds.
+        config.biased.rounds = args.usize("rounds", 2);
+        let start = Instant::now();
+        let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
+        let train_s = start.elapsed().as_secs_f64();
+        let result = detector.evaluate(&data.test);
+        rows.push(vec![
+            k.to_string(),
+            table::pct(result.accuracy),
+            result.false_alarms.to_string(),
+            table::pct(result.overall_accuracy()),
+            format!("{train_s:.1}"),
+            format!("{:.2}", result.eval_time_s),
+        ]);
+    }
+    println!("\nAblation: DCT coefficients kept per block (ICCAD benchmark):\n");
+    println!("{}", table::render(&headers, &rows));
+    table::write_csv(&out_dir, "ablation_k", &headers, &rows);
+}

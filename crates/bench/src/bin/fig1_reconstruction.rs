@@ -1,0 +1,65 @@
+//! Regenerates **Figure 1**: feature-tensor generation and the claim that
+//! "an original clip can be recovered from an extracted feature tensor".
+//!
+//! Extracts the 12×12-block DCT tensor of a representative clip at
+//! increasing coefficient counts `k` and reports the reconstruction RMSE
+//! and compression ratio — the quantitative version of the figure's
+//! division → DCT → encoding pipeline.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin fig1_reconstruction
+//! ```
+
+use hotspot_bench::{table, ExperimentArgs};
+use hotspot_datagen::{patterns, PatternKind};
+use hotspot_dct::{extract_feature_tensor, reconstruction_rmse, FeatureTensorSpec};
+use hotspot_geometry::raster;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let out_dir = args.string("out", "results");
+    let seed = args.u64("seed", 7);
+
+    // A representative clip: dense routing (rich spatial structure).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let clip = patterns::sample_pattern(PatternKind::RandomRouting, &mut rng);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let pixels = image.len();
+    println!(
+        "Clip: {} shapes, {:.1}% density, rasterised to {}x{} ({} px)",
+        clip.shape_count(),
+        100.0 * clip.density(),
+        image.width(),
+        image.height(),
+        pixels
+    );
+
+    let headers = ["k", "tensor_size", "compression", "rmse"];
+    let mut rows = Vec::new();
+    let mut last_rmse = f64::INFINITY;
+    for k in [1usize, 2, 4, 8, 16, 32, 64, 100] {
+        let spec = FeatureTensorSpec::new(12, k).expect("valid spec");
+        let tensor = extract_feature_tensor(&image, &spec).expect("image divides into 12x12");
+        let rmse = reconstruction_rmse(&image, &spec).expect("extraction succeeds");
+        assert!(
+            rmse <= last_rmse + 1e-9,
+            "rmse must not increase with k ({rmse} after {last_rmse})"
+        );
+        last_rmse = rmse;
+        rows.push(vec![
+            k.to_string(),
+            tensor.as_slice().len().to_string(),
+            format!("{:.1}x", pixels as f64 / tensor.as_slice().len() as f64),
+            format!("{rmse:.4}"),
+        ]);
+    }
+    println!("\nFigure 1 reproduction (k-truncated DCT reconstruction):\n");
+    println!("{}", table::render(&headers, &rows));
+    println!(
+        "k = 100 keeps every coefficient of a 10x10-px block: RMSE ~ 0 shows the\n\
+         transform is exactly invertible; small k trades accuracy for compression\n\
+         while the low-frequency structure (what lithography responds to) survives."
+    );
+    table::write_csv(&out_dir, "fig1_reconstruction", &headers, &rows);
+}

@@ -1,0 +1,137 @@
+//! Regenerates **Table 2**: accuracy / false alarms / CPU / ODST of the
+//! three detectors (SPIE'15, ICCAD'16, Ours) on the four benchmarks.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin table2 -- \
+//!     --scale 0.02 --steps 800 --k 32 --out results
+//! ```
+//!
+//! `--scale` scales the paper's benchmark sizes (1.0 = full size, ~300 k
+//! clips); the default 0.02 keeps the full four-benchmark run to tens of
+//! minutes on one CPU core. Pass `--print-arch 1` to also print the
+//! Table-1 architecture summary.
+
+use hotspot_bench::{baseline, build_benchmark, detector_config, oracle, table, ExperimentArgs};
+use hotspot_core::metrics::EvalResult;
+use hotspot_datagen::suite::SuiteSpec;
+
+struct Row {
+    bench: String,
+    results: Vec<EvalResult>, // spie15, iccad16, ours
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.02);
+    let out_dir = args.string("out", "results");
+    let config = detector_config(&args);
+
+    if args.usize("print-arch", 0) == 1 {
+        print_architecture(&config);
+    }
+
+    let sim = oracle();
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in SuiteSpec::table2_suites(scale) {
+        let data = build_benchmark(&spec, &sim);
+        eprintln!("[table2] {}: training SPIE'15 baseline...", spec.name);
+        let spie = baseline::eval_spie15(&data).expect("baseline trains on two-class data");
+        eprintln!("[table2] {}: training ICCAD'16 baseline...", spec.name);
+        let iccad = baseline::eval_iccad16(&data).expect("baseline trains on two-class data");
+        eprintln!("[table2] {}: training CNN (biased learning)...", spec.name);
+        let (ours, detector) = baseline::eval_ours(&data, &config).expect("detector trains");
+        eprintln!(
+            "[table2] {}: done (final ε = {:.1}, {:.0} s training)",
+            spec.name,
+            detector.training_report().final_epsilon(),
+            detector.training_report().total_train_time_s()
+        );
+        rows.push(Row {
+            bench: spec.name.clone(),
+            results: vec![spie, iccad, ours],
+        });
+    }
+
+    // Averages across benchmarks, as the paper's Average row.
+    let detectors = ["SPIE'15", "ICCAD'16", "Ours"];
+    let mut avg: Vec<(f64, f64, f64, f64)> = vec![(0.0, 0.0, 0.0, 0.0); detectors.len()];
+    for row in &rows {
+        for (i, r) in row.results.iter().enumerate() {
+            avg[i].0 += r.false_alarms as f64;
+            avg[i].1 += r.eval_time_s;
+            avg[i].2 += r.odst_s;
+            avg[i].3 += r.accuracy;
+        }
+    }
+    let n = rows.len() as f64;
+
+    let headers = [
+        "Bench", "Detector", "FA#", "CPU(s)", "ODST(s)", "Accu",
+    ];
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    for row in &rows {
+        for (i, r) in row.results.iter().enumerate() {
+            table_rows.push(vec![
+                if i == 0 { row.bench.clone() } else { String::new() },
+                detectors[i].to_string(),
+                r.false_alarms.to_string(),
+                format!("{:.2}", r.eval_time_s),
+                format!("{:.0}", r.odst_s),
+                table::pct(r.accuracy),
+            ]);
+        }
+    }
+    for (i, name) in detectors.iter().enumerate() {
+        table_rows.push(vec![
+            if i == 0 { "Average".into() } else { String::new() },
+            name.to_string(),
+            format!("{:.0}", avg[i].0 / n),
+            format!("{:.2}", avg[i].1 / n),
+            format!("{:.0}", avg[i].2 / n),
+            table::pct(avg[i].3 / n),
+        ]);
+    }
+    // Ratio row vs Ours (the paper normalises ODST and accuracy to Ours).
+    let ours_odst = avg[2].2.max(f64::MIN_POSITIVE);
+    let ours_accu = avg[2].3.max(f64::MIN_POSITIVE);
+    for (i, name) in detectors.iter().enumerate() {
+        table_rows.push(vec![
+            if i == 0 { "Ratio".into() } else { String::new() },
+            name.to_string(),
+            "-".into(),
+            "-".into(),
+            format!("{:.2}", avg[i].2 / ours_odst),
+            format!("{:.2}", avg[i].3 / ours_accu),
+        ]);
+    }
+
+    println!("\nTable 2 reproduction (scale {scale}):\n");
+    println!("{}", table::render(&headers, &table_rows));
+    table::write_csv(&out_dir, "table2", &headers, &table_rows);
+}
+
+fn print_architecture(config: &hotspot_core::DetectorConfig) {
+    use hotspot_core::model::CnnConfig;
+    let cnn = CnnConfig {
+        input_grid: config.pipeline.grid_dim(),
+        input_channels: config.pipeline.coefficients(),
+        ..config.cnn
+    };
+    let net = cnn.build();
+    println!("\nTable 1 reproduction (CNN configuration):\n");
+    let rows: Vec<Vec<String>> = net
+        .summary(&cnn.input_shape())
+        .into_iter()
+        .map(|(name, shape)| {
+            vec![
+                name,
+                shape
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" x "),
+            ]
+        })
+        .collect();
+    println!("{}", table::render(&["Layer", "Output Node #"], &rows));
+}

@@ -1,0 +1,76 @@
+//! Experiment harness shared by the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the experiment index); this library holds the
+//! pieces they share: a tiny argument parser, baseline detector evaluation,
+//! and plain-text/CSV table rendering.
+
+pub mod args;
+pub mod baseline;
+pub mod table;
+
+pub use args::ExperimentArgs;
+
+use hotspot_datagen::suite::{BenchmarkData, SuiteSpec};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+/// Builds the lithography oracle used by every experiment.
+///
+/// # Panics
+///
+/// Panics only if the suite-wide default configuration were invalid, which
+/// tests guarantee it is not.
+pub fn oracle() -> LithoSimulator {
+    LithoSimulator::new(LithoConfig::default()).expect("default litho config is valid")
+}
+
+/// Builds the CNN detector configuration shared by the experiments from
+/// the common flags: `--k` (feature-tensor coefficients, default 32),
+/// `--steps` (initial MGD step budget, default 800), `--batch` (default
+/// 32), `--seed`, `--rounds` (biased-learning rounds, default 4) and
+/// `--eps-step` (bias step, default 0.1).
+pub fn detector_config(args: &ExperimentArgs) -> hotspot_core::DetectorConfig {
+    use hotspot_core::{BiasedLearningConfig, DetectorConfig, MgdConfig};
+
+    let steps = args.usize("steps", 800);
+    let mgd = MgdConfig {
+        lr: 1e-3,
+        alpha: 0.5,
+        decay_step: (steps / 3).max(1),
+        batch_size: args.usize("batch", 32),
+        max_steps: steps,
+        val_interval: (steps / 10).max(1),
+        patience: 5,
+        val_fraction: 0.25,
+        seed: args.u64("seed", 42),
+        balanced_sampling: true,
+        threads: 1,
+    };
+    let fine_tune = MgdConfig {
+        max_steps: (steps / 4).max(1),
+        lr: 5e-4,
+        ..mgd.clone()
+    };
+    let mut config = DetectorConfig::default();
+    config.pipeline = hotspot_core::FeaturePipeline::new(10, 12, args.usize("k", 32))
+        .expect("valid pipeline parameters");
+    config.mgd = mgd.clone();
+    config.biased = BiasedLearningConfig {
+        epsilon_step: args.f64("eps-step", 0.1) as f32,
+        rounds: args.usize("rounds", 4),
+        initial: mgd,
+        fine_tune,
+    };
+    config
+}
+
+/// Generates one benchmark at the given scale, logging progress.
+pub fn build_benchmark(spec: &SuiteSpec, sim: &LithoSimulator) -> BenchmarkData {
+    eprintln!(
+        "[datagen] building {} (train {}+{}, test {}+{})...",
+        spec.name, spec.train_hs, spec.train_nhs, spec.test_hs, spec.test_nhs
+    );
+    let data = spec.build(sim);
+    eprintln!("[datagen] {} ready ({} clips)", spec.name, spec.total());
+    data
+}

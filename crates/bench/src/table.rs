@@ -1,0 +1,130 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders an aligned plain-text table.
+///
+/// # Examples
+///
+/// ```
+/// let s = hotspot_bench::table::render(
+///     &["bench", "accu"],
+///     &[vec!["ICCAD".into(), "98.2%".into()]],
+/// );
+/// assert!(s.contains("ICCAD"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes rows as CSV under `dir/name.csv`, creating the directory.
+///
+/// # Panics
+///
+/// Panics on I/O failure — experiment outputs must not be silently lost.
+pub fn write_csv(dir: &str, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir_path = Path::new(dir);
+    fs::create_dir_all(dir_path).expect("create results directory");
+    let path = dir_path.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv file");
+    writeln!(file, "{}", headers.join(",")).expect("write csv header");
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(file, "{}", escaped.join(",")).expect("write csv row");
+    }
+    eprintln!("[csv] wrote {}", path.display());
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+/// Formats seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = render(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hotspot-bench-test");
+        let dir_s = dir.to_str().unwrap();
+        write_csv(
+            dir_s,
+            "unit",
+            &["a", "b"],
+            &[vec!["1,5".into(), "x\"y".into()]],
+        );
+        let content = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("\"1,5\""));
+        assert!(content.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.955), "95.5%");
+        assert_eq!(secs(12.34), "12.3");
+    }
+}

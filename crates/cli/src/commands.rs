@@ -1,0 +1,242 @@
+//! The `hotspot` subcommands, exposed as functions so tests can drive them
+//! without spawning processes. Each returns the text it would print.
+
+use crate::model_file::ModelFile;
+use crate::CliError;
+use hotspot_bench::ExperimentArgs;
+use hotspot_core::detector::{DetectorConfig, HotspotDetector};
+use hotspot_core::metrics::EvalResult;
+use hotspot_core::{mgd, FeaturePipeline};
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_datagen::{Dataset, Sample};
+use hotspot_geometry::io::{read_clips, write_clips};
+use hotspot_geometry::Clip;
+use hotspot_litho::{LithoConfig, LithoSimulator};
+use std::fs;
+use std::path::Path;
+
+fn oracle() -> Result<LithoSimulator, CliError> {
+    LithoSimulator::new(LithoConfig::default())
+        .map_err(|e| CliError::Data(format!("litho configuration: {e}")))
+}
+
+fn load_clips(path: &str) -> Result<Vec<Clip>, CliError> {
+    let bytes = fs::read(path)?;
+    Ok(read_clips(bytes.as_slice())?)
+}
+
+fn load_labels(path: &str, expected: usize) -> Result<Vec<bool>, CliError> {
+    let text = fs::read_to_string(path)?;
+    let labels: Result<Vec<bool>, CliError> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| match l.trim() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(CliError::Data(format!(
+                "label must be 0 or 1, got '{other}'"
+            ))),
+        })
+        .collect();
+    let labels = labels?;
+    if labels.len() != expected {
+        return Err(CliError::Data(format!(
+            "{} labels for {} clips",
+            labels.len(),
+            expected
+        )));
+    }
+    Ok(labels)
+}
+
+fn required<'a>(args: &'a ExperimentArgs, key: &str) -> Result<&'a str, CliError> {
+    args.get(key)
+        .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
+}
+
+/// `hotspot gen --suite <iccad|industry1|industry2|industry3> --scale S --dir D`
+///
+/// Writes `train.clips` / `train.labels` / `test.clips` / `test.labels`.
+///
+/// # Errors
+///
+/// Usage, generation and I/O failures.
+pub fn cmd_gen(args: &ExperimentArgs) -> Result<String, CliError> {
+    let suite = args.string("suite", "iccad");
+    let scale = args.f64("scale", 0.01);
+    let dir = required(args, "dir")?.to_string();
+    let spec = match suite.as_str() {
+        "iccad" => SuiteSpec::iccad(scale),
+        "industry1" => SuiteSpec::industry1(scale),
+        "industry2" => SuiteSpec::industry2(scale),
+        "industry3" => SuiteSpec::industry3(scale),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown suite '{other}' (iccad|industry1|industry2|industry3)"
+            )))
+        }
+    };
+    let sim = oracle()?;
+    let data = spec.build(&sim);
+    fs::create_dir_all(&dir)?;
+    for (name, split) in [("train", &data.train), ("test", &data.test)] {
+        let mut clip_bytes = Vec::new();
+        write_clips(&mut clip_bytes, split.iter().map(|s| &s.clip))?;
+        fs::write(Path::new(&dir).join(format!("{name}.clips")), clip_bytes)?;
+        let labels: String = split
+            .iter()
+            .map(|s| if s.hotspot { "1\n" } else { "0\n" })
+            .collect();
+        fs::write(Path::new(&dir).join(format!("{name}.labels")), labels)?;
+    }
+    Ok(format!(
+        "wrote {} train clips ({} hotspots) and {} test clips ({} hotspots) to {dir}/",
+        data.train.len(),
+        data.train.hotspot_count(),
+        data.test.len(),
+        data.test.hotspot_count()
+    ))
+}
+
+/// `hotspot label --clips F` — runs the lithography oracle, printing one
+/// `0`/`1` per clip.
+///
+/// # Errors
+///
+/// Usage and I/O failures.
+pub fn cmd_label(args: &ExperimentArgs) -> Result<String, CliError> {
+    let clips = load_clips(required(args, "clips")?)?;
+    let sim = oracle()?;
+    let mut out = String::new();
+    for clip in &clips {
+        out.push(if sim.label_clip(clip) { '1' } else { '0' });
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `hotspot train --clips F --labels F --model OUT [--k 16 --steps 800
+/// --rounds 2 --batch 32 --seed 42]`
+///
+/// # Errors
+///
+/// Usage, data-consistency, training and I/O failures.
+pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
+    let clips = load_clips(required(args, "clips")?)?;
+    let labels = load_labels(required(args, "labels")?, clips.len())?;
+    let model_path = required(args, "model")?.to_string();
+
+    let dataset: Dataset = clips
+        .into_iter()
+        .zip(labels)
+        .map(|(clip, hotspot)| Sample { clip, hotspot })
+        .collect();
+
+    let mut config: DetectorConfig = hotspot_bench::detector_config(args);
+    let k = args.usize("k", 16);
+    config.pipeline = FeaturePipeline::new(10, 12, k)
+        .map_err(|e| CliError::Usage(format!("invalid k: {e}")))?;
+    config.biased.rounds = args.usize("rounds", 2);
+
+    let mut detector = HotspotDetector::fit(&dataset, &config)?;
+    let model = ModelFile {
+        resolution_nm: config.pipeline.resolution_nm(),
+        grid: config.pipeline.grid_dim(),
+        k,
+        blob: detector.export_parameters(),
+    };
+    fs::write(&model_path, model.to_bytes())?;
+    Ok(format!(
+        "trained on {} clips (final ε = {:.1}, {:.0} s); model written to {model_path}",
+        dataset.len(),
+        detector.training_report().final_epsilon(),
+        detector.training_report().total_train_time_s()
+    ))
+}
+
+/// `hotspot predict --clips F --model M [--threshold 0.5]` — prints
+/// `probability<TAB>verdict` per clip.
+///
+/// # Errors
+///
+/// Usage, model-format and I/O failures.
+pub fn cmd_predict(args: &ExperimentArgs) -> Result<String, CliError> {
+    let clips = load_clips(required(args, "clips")?)?;
+    let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
+    let pipeline = model.pipeline()?;
+    let mut net = model.network()?;
+    let threshold = args.f64("threshold", 0.5) as f32;
+    let mut out = String::new();
+    for clip in &clips {
+        let feature = pipeline.extract(clip)?;
+        let p = mgd::predict_hotspot_prob(&mut net, &feature);
+        out.push_str(&format!(
+            "{p:.4}\t{}\n",
+            if p > threshold { "hotspot" } else { "clean" }
+        ));
+    }
+    Ok(out)
+}
+
+/// `hotspot eval --clips F --labels F --model M` — Table-2 metrics.
+///
+/// # Errors
+///
+/// Usage, data-consistency, model-format and I/O failures.
+pub fn cmd_eval(args: &ExperimentArgs) -> Result<String, CliError> {
+    let clips = load_clips(required(args, "clips")?)?;
+    let labels = load_labels(required(args, "labels")?, clips.len())?;
+    let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
+    let pipeline = model.pipeline()?;
+    let mut net = model.network()?;
+    let start = std::time::Instant::now();
+    let mut predictions = Vec::with_capacity(clips.len());
+    for clip in &clips {
+        let feature = pipeline.extract(clip)?;
+        predictions.push(mgd::predict_hotspot_prob(&mut net, &feature) > 0.5);
+    }
+    let eval_time = start.elapsed().as_secs_f64();
+    let r = EvalResult::from_predictions(&predictions, &labels, eval_time);
+    Ok(format!(
+        "clips {}  hotspots {}  accuracy {:.1}%  false-alarms {}  overall {:.1}%  cpu {:.2}s  odst {:.0}s\n",
+        labels.len(),
+        r.hotspot_total,
+        100.0 * r.accuracy,
+        r.false_alarms,
+        100.0 * r.overall_accuracy(),
+        r.eval_time_s,
+        r.odst_s
+    ))
+}
+
+/// Usage text printed for `--help`/bad invocations.
+pub const USAGE: &str = "\
+hotspot — layout hotspot detection (DAC'17 deep biased learning)
+
+USAGE:
+  hotspot gen     --dir DIR [--suite iccad|industry1|industry2|industry3] [--scale 0.01]
+  hotspot label   --clips FILE
+  hotspot train   --clips FILE --labels FILE --model OUT [--k 16] [--steps 800] [--rounds 2]
+  hotspot predict --clips FILE --model FILE [--threshold 0.5]
+  hotspot eval    --clips FILE --labels FILE --model FILE
+
+Clip files use the text format of hotspot-geometry (clip/rect/end records);
+label files carry one 0/1 per clip line.
+";
+
+/// Dispatches a command name plus `--flag value` arguments.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands, plus whatever the
+/// command itself raises.
+pub fn dispatch(command: &str, args: &ExperimentArgs) -> Result<String, CliError> {
+    match command {
+        "gen" => cmd_gen(args),
+        "label" => cmd_label(args),
+        "train" => cmd_train(args),
+        "predict" => cmd_predict(args),
+        "eval" => cmd_eval(args),
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}

@@ -1,0 +1,24 @@
+//! The `hotspot` command-line entry point; see [`hotspot_cli::commands`].
+
+use hotspot_bench::ExperimentArgs;
+use hotspot_cli::commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let command = match argv.next() {
+        Some(c) if c != "--help" && c != "-h" => c,
+        _ => {
+            eprint!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let args = ExperimentArgs::from_iter(argv);
+    match commands::dispatch(&command, &args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", commands::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

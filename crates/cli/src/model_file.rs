@@ -1,0 +1,193 @@
+//! Self-describing model files.
+//!
+//! Layout: a UTF-8 header of `key value` lines terminated by a blank line,
+//! followed by the binary parameter blob of
+//! [`hotspot_nn::serialize::ParameterBlob::to_bytes`]:
+//!
+//! ```text
+//! hsmodel 1
+//! resolution_nm 10
+//! grid 12
+//! k 32
+//!
+//! <binary parameters>
+//! ```
+//!
+//! The header carries everything needed to rebuild the feature pipeline
+//! and CNN before loading weights, so a model file is usable without any
+//! out-of-band configuration.
+
+use crate::CliError;
+use hotspot_core::model::CnnConfig;
+use hotspot_core::FeaturePipeline;
+use hotspot_nn::serialize::ParameterBlob;
+use hotspot_nn::Network;
+
+/// Everything needed to reconstruct a trained detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelFile {
+    /// Feature-pipeline geometry.
+    pub resolution_nm: u32,
+    /// Block grid dimension `n`.
+    pub grid: usize,
+    /// Coefficients per block `k` (CNN input channels).
+    pub k: usize,
+    /// Flat trained parameters.
+    pub blob: ParameterBlob,
+}
+
+impl ModelFile {
+    /// Serialises header + parameters.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "hsmodel 1\nresolution_nm {}\ngrid {}\nk {}\n\n",
+            self.resolution_nm, self.grid, self.k
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.blob.to_bytes());
+        out
+    }
+
+    /// Parses bytes produced by [`ModelFile::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::ModelFormat`] on a malformed header or
+    /// parameter blob.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CliError> {
+        let header_end = find_blank_line(data)
+            .ok_or_else(|| CliError::ModelFormat("missing header terminator".into()))?;
+        let header = std::str::from_utf8(&data[..header_end])
+            .map_err(|_| CliError::ModelFormat("header is not UTF-8".into()))?;
+        let mut resolution_nm = None;
+        let mut grid = None;
+        let mut k = None;
+        let mut magic_ok = false;
+        for line in header.lines() {
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("hsmodel"), Some("1")) => magic_ok = true,
+                (Some("resolution_nm"), Some(v)) => resolution_nm = v.parse().ok(),
+                (Some("grid"), Some(v)) => grid = v.parse().ok(),
+                (Some("k"), Some(v)) => k = v.parse().ok(),
+                (Some(other), _) => {
+                    return Err(CliError::ModelFormat(format!(
+                        "unknown header key '{other}'"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        if !magic_ok {
+            return Err(CliError::ModelFormat("bad magic / version".into()));
+        }
+        let blob = ParameterBlob::from_bytes(&data[header_end + 1..])
+            .map_err(|e| CliError::ModelFormat(format!("parameter blob: {e}")))?;
+        Ok(ModelFile {
+            resolution_nm: resolution_nm
+                .ok_or_else(|| CliError::ModelFormat("missing resolution_nm".into()))?,
+            grid: grid.ok_or_else(|| CliError::ModelFormat("missing grid".into()))?,
+            k: k.ok_or_else(|| CliError::ModelFormat("missing k".into()))?,
+            blob,
+        })
+    }
+
+    /// Rebuilds the feature pipeline this model expects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::ModelFormat`] for impossible header geometry.
+    pub fn pipeline(&self) -> Result<FeaturePipeline, CliError> {
+        FeaturePipeline::new(self.resolution_nm, self.grid, self.k)
+            .map_err(|e| CliError::ModelFormat(format!("invalid pipeline in header: {e}")))
+    }
+
+    /// Rebuilds the network architecture and loads the stored weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::ModelFormat`] when the blob does not match the
+    /// declared architecture.
+    pub fn network(&self) -> Result<Network, CliError> {
+        let cnn = CnnConfig {
+            input_grid: self.grid,
+            input_channels: self.k,
+            ..CnnConfig::default()
+        };
+        let mut net = cnn.build();
+        self.blob
+            .load_into(&mut net)
+            .map_err(|e| CliError::ModelFormat(format!("weights do not fit architecture: {e}")))?;
+        Ok(net)
+    }
+}
+
+fn find_blank_line(data: &[u8]) -> Option<usize> {
+    // Header is small; scan for "\n\n".
+    data.windows(2)
+        .position(|w| w == b"\n\n")
+        .map(|idx| idx + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ModelFile {
+        let cnn = CnnConfig {
+            input_grid: 12,
+            input_channels: 4,
+            ..CnnConfig::default()
+        };
+        let mut net = cnn.build();
+        ModelFile {
+            resolution_nm: 10,
+            grid: 12,
+            k: 4,
+            blob: ParameterBlob::from_network(&mut net),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = ModelFile::from_bytes(&bytes).unwrap();
+        assert_eq!(m, back);
+        // Network rebuild works and predicts identically.
+        let mut a = m.network().unwrap();
+        let mut b = back.network().unwrap();
+        let x = hotspot_nn::Tensor::zeros(vec![4, 12, 12]);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        assert!(ModelFile::from_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ModelFile::from_bytes(&bad).is_err());
+        // Truncated blob.
+        assert!(ModelFile::from_bytes(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn mismatched_architecture_rejected() {
+        let mut m = sample();
+        m.k = 8; // header no longer matches the stored blob size
+        let bytes = m.to_bytes();
+        let parsed = ModelFile::from_bytes(&bytes).unwrap();
+        assert!(parsed.network().is_err());
+    }
+
+    #[test]
+    fn pipeline_matches_header() {
+        let m = sample();
+        let p = m.pipeline().unwrap();
+        assert_eq!(p.resolution_nm(), 10);
+        assert_eq!(p.grid_dim(), 12);
+        assert_eq!(p.coefficients(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end CLI flow: gen → label → train → predict → eval, driven
+//! through the command functions against a temporary directory.
+
+use hotspot_bench::ExperimentArgs;
+use hotspot_cli::commands;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotspot-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn args(pairs: &[(&str, &str)]) -> ExperimentArgs {
+    let tokens: Vec<String> = pairs
+        .iter()
+        .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+        .collect();
+    ExperimentArgs::from_iter(tokens)
+}
+
+#[test]
+fn full_flow_gen_label_train_predict_eval() {
+    let dir = tmp_dir("flow");
+    let dir_s = dir.to_str().unwrap();
+
+    // gen: tiny benchmark.
+    let out = commands::dispatch(
+        "gen",
+        &args(&[("dir", dir_s), ("suite", "iccad"), ("scale", "0.001")]),
+    )
+    .expect("gen succeeds");
+    assert!(out.contains("train clips"), "{out}");
+    let train_clips = dir.join("train.clips");
+    let train_labels = dir.join("train.labels");
+    let test_clips = dir.join("test.clips");
+    let test_labels = dir.join("test.labels");
+    for f in [&train_clips, &train_labels, &test_clips, &test_labels] {
+        assert!(f.exists(), "{f:?} missing");
+    }
+
+    // label: the oracle must agree with the generated labels exactly.
+    let labelled = commands::dispatch("label", &args(&[("clips", test_clips.to_str().unwrap())]))
+        .expect("label succeeds");
+    let generated = std::fs::read_to_string(&test_labels).unwrap();
+    assert_eq!(labelled.trim(), generated.trim(), "oracle disagrees with gen");
+
+    // train: tiny budget — we only verify the plumbing, not model quality.
+    let model = dir.join("model.hsnn");
+    let out = commands::dispatch(
+        "train",
+        &args(&[
+            ("clips", train_clips.to_str().unwrap()),
+            ("labels", train_labels.to_str().unwrap()),
+            ("model", model.to_str().unwrap()),
+            ("k", "4"),
+            ("steps", "40"),
+            ("rounds", "1"),
+            ("batch", "8"),
+        ]),
+    )
+    .expect("train succeeds");
+    assert!(out.contains("model written"), "{out}");
+    assert!(model.exists());
+
+    // predict: one probability line per clip, all probabilities in [0, 1].
+    let pred = commands::dispatch(
+        "predict",
+        &args(&[
+            ("clips", test_clips.to_str().unwrap()),
+            ("model", model.to_str().unwrap()),
+        ]),
+    )
+    .expect("predict succeeds");
+    let test_count = generated.trim().lines().count();
+    assert_eq!(pred.trim().lines().count(), test_count);
+    for line in pred.trim().lines() {
+        let p: f32 = line.split('\t').next().unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        assert!(line.ends_with("hotspot") || line.ends_with("clean"));
+    }
+
+    // eval: metrics line with all fields.
+    let eval = commands::dispatch(
+        "eval",
+        &args(&[
+            ("clips", test_clips.to_str().unwrap()),
+            ("labels", test_labels.to_str().unwrap()),
+            ("model", model.to_str().unwrap()),
+        ]),
+    )
+    .expect("eval succeeds");
+    assert!(eval.contains("accuracy"), "{eval}");
+    assert!(eval.contains("odst"), "{eval}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    assert!(matches!(
+        commands::dispatch("frobnicate", &args(&[])),
+        Err(hotspot_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        commands::dispatch("train", &args(&[])),
+        Err(hotspot_cli::CliError::Usage(_))
+    ));
+    assert!(matches!(
+        commands::dispatch("gen", &args(&[("dir", "/tmp/x"), ("suite", "bogus")])),
+        Err(hotspot_cli::CliError::Usage(_))
+    ));
+}
+
+#[test]
+fn label_count_mismatch_rejected() {
+    let dir = tmp_dir("mismatch");
+    let clips = dir.join("c.clips");
+    std::fs::write(&clips, "clip 0 0 1200 1200\nrect 100 100 300 900\nend\n").unwrap();
+    let labels = dir.join("c.labels");
+    std::fs::write(&labels, "1\n0\n").unwrap(); // two labels, one clip
+    let result = commands::dispatch(
+        "train",
+        &args(&[
+            ("clips", clips.to_str().unwrap()),
+            ("labels", labels.to_str().unwrap()),
+            ("model", dir.join("m.hsnn").to_str().unwrap()),
+        ]),
+    );
+    assert!(matches!(result, Err(hotspot_cli::CliError::Data(_))));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,240 @@
+//! Biased learning (paper Algorithm 2 and Theorem 1).
+
+use crate::mgd::{self, MgdConfig, TrainReport};
+use crate::CoreError;
+use hotspot_nn::{Network, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the biased-learning loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasedLearningConfig {
+    /// Bias step δε added each round.
+    pub epsilon_step: f32,
+    /// Number of fine-tuning rounds t (the paper uses t = 4 with
+    /// δε = 0.1, i.e. ε ∈ {0, 0.1, 0.2, 0.3}).
+    pub rounds: usize,
+    /// Trainer settings for the initial ε = 0 training.
+    pub initial: MgdConfig,
+    /// Trainer settings for each fine-tuning round (typically shorter).
+    pub fine_tune: MgdConfig,
+}
+
+impl Default for BiasedLearningConfig {
+    /// The paper's schedule: δε = 0.1, t = 4 (initial round plus three
+    /// fine-tunes), fine-tuning at a quarter of the initial step budget.
+    fn default() -> Self {
+        let initial = MgdConfig::default();
+        let fine_tune = MgdConfig {
+            max_steps: initial.max_steps / 4,
+            lr: initial.lr * 0.5,
+            ..initial.clone()
+        };
+        BiasedLearningConfig {
+            epsilon_step: 0.1,
+            rounds: 4,
+            initial,
+            fine_tune,
+        }
+    }
+}
+
+/// One round of the biased-learning trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasRound {
+    /// The bias ε this round trained towards.
+    pub epsilon: f32,
+    /// The trainer's report for the round.
+    pub report: TrainReport,
+}
+
+/// Outcome of the full biased-learning procedure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BiasedLearningReport {
+    /// Per-round reports, ε ascending (round 0 is the unbiased model).
+    pub rounds: Vec<BiasRound>,
+}
+
+impl BiasedLearningReport {
+    /// The final bias the model was trained with.
+    pub fn final_epsilon(&self) -> f32 {
+        self.rounds.last().map(|r| r.epsilon).unwrap_or(0.0)
+    }
+
+    /// Total training time across rounds.
+    pub fn total_train_time_s(&self) -> f64 {
+        self.rounds.iter().map(|r| r.report.train_time_s).sum()
+    }
+}
+
+/// Runs Algorithm 2: normal MGD at ε = 0, then `rounds - 1` fine-tuning
+/// passes with ε increased by `epsilon_step` each time, the hotspot ground
+/// truth fixed at `[0, 1]` throughout.
+///
+/// The network is trained in place; the returned report records every
+/// round.
+///
+/// # Errors
+///
+/// Propagates trainer errors and returns [`CoreError::InvalidConfig`] when
+/// the schedule would push ε to 0.5 or beyond (outside Theorem 1's validity
+/// range) or `rounds == 0`.
+pub fn train_biased(
+    net: &mut Network,
+    features: &[Tensor],
+    labels: &[bool],
+    config: &BiasedLearningConfig,
+) -> Result<BiasedLearningReport, CoreError> {
+    if config.rounds == 0 {
+        return Err(CoreError::InvalidConfig("rounds must be nonzero"));
+    }
+    let max_eps = config.epsilon_step * (config.rounds - 1) as f32;
+    if !(0.0..0.5).contains(&max_eps) || config.epsilon_step < 0.0 {
+        return Err(CoreError::InvalidConfig(
+            "bias schedule must keep ε in [0, 0.5)",
+        ));
+    }
+    let mut rounds = Vec::with_capacity(config.rounds);
+    for i in 0..config.rounds {
+        let epsilon = config.epsilon_step * i as f32;
+        let cfg = if i == 0 { &config.initial } else { &config.fine_tune };
+        let report = mgd::train(net, features, labels, epsilon, cfg)?;
+        rounds.push(BiasRound { epsilon, report });
+    }
+    Ok(BiasedLearningReport { rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgd::predict_hotspot_prob;
+    use hotspot_nn::layers::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_data(n: usize, seed: u64) -> (Vec<Tensor>, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let v: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let s: f32 = v.iter().sum();
+            features.push(Tensor::from_vec(vec![4], v));
+            // Noisy boundary makes a hotspot-recall / false-alarm trade-off
+            // possible.
+            labels.push(s + rng.gen_range(-0.4f32..0.4) > 0.0);
+        }
+        (features, labels)
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut net = Network::new();
+        net.push(Dense::new(4, 12, seed));
+        net.push(Relu::new());
+        net.push(Dense::new(12, 2, seed + 1));
+        net
+    }
+
+    fn quick_cfg() -> BiasedLearningConfig {
+        let initial = MgdConfig {
+            lr: 0.05,
+            alpha: 0.7,
+            decay_step: 200,
+            batch_size: 16,
+            max_steps: 600,
+            val_interval: 100,
+            patience: 3,
+            val_fraction: 0.25,
+            seed: 11,
+            balanced_sampling: true,
+            threads: 1,
+        };
+        let fine_tune = MgdConfig {
+            max_steps: 200,
+            lr: 0.02,
+            ..initial.clone()
+        };
+        BiasedLearningConfig {
+            epsilon_step: 0.1,
+            rounds: 4,
+            initial,
+            fine_tune,
+        }
+    }
+
+    #[test]
+    fn runs_the_paper_schedule() {
+        let (features, labels) = toy_data(240, 8);
+        let mut net = toy_net(9);
+        let report = train_biased(&mut net, &features, &labels, &quick_cfg()).unwrap();
+        assert_eq!(report.rounds.len(), 4);
+        let eps: Vec<f32> = report.rounds.iter().map(|r| r.epsilon).collect();
+        assert_eq!(eps, [0.0, 0.1, 0.2, 0.30000001]
+            .iter()
+            .zip(&eps)
+            .map(|(_, &e)| e)
+            .collect::<Vec<_>>());
+        assert!((report.final_epsilon() - 0.3).abs() < 1e-5);
+        assert!(report.total_train_time_s() > 0.0);
+    }
+
+    #[test]
+    fn bias_increases_hotspot_recall() {
+        // The core claim (Theorem 1 direction): after biased fine-tuning,
+        // hotspot recall is at least that of the unbiased model.
+        let (features, labels) = toy_data(400, 10);
+        let recall = |net: &mut Network| {
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for (f, &l) in features.iter().zip(labels.iter()) {
+                if l {
+                    total += 1;
+                    if predict_hotspot_prob(net, f) > 0.5 {
+                        hit += 1;
+                    }
+                }
+            }
+            hit as f64 / total as f64
+        };
+        let cfg = quick_cfg();
+        let mut unbiased = toy_net(12);
+        mgd::train(&mut unbiased, &features, &labels, 0.0, &cfg.initial).unwrap();
+        let r0 = recall(&mut unbiased);
+        let mut biased = toy_net(12);
+        train_biased(&mut biased, &features, &labels, &cfg).unwrap();
+        let r1 = recall(&mut biased);
+        assert!(
+            r1 >= r0 - 0.02,
+            "biased recall {r1} should not fall below unbiased {r0}"
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_schedules() {
+        let (features, labels) = toy_data(40, 1);
+        let mut net = toy_net(2);
+        let mut cfg = quick_cfg();
+        cfg.rounds = 0;
+        assert!(train_biased(&mut net, &features, &labels, &cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.epsilon_step = 0.2;
+        cfg.rounds = 4; // ε reaches 0.6 ≥ 0.5
+        assert!(train_biased(&mut net, &features, &labels, &cfg).is_err());
+    }
+
+    #[test]
+    fn single_round_is_plain_mgd() {
+        let (features, labels) = toy_data(100, 3);
+        let cfg = BiasedLearningConfig {
+            rounds: 1,
+            ..quick_cfg()
+        };
+        let mut a = toy_net(4);
+        let ra = train_biased(&mut a, &features, &labels, &cfg).unwrap();
+        assert_eq!(ra.rounds.len(), 1);
+        assert_eq!(ra.rounds[0].epsilon, 0.0);
+        let mut b = toy_net(4);
+        mgd::train(&mut b, &features, &labels, 0.0, &cfg.initial).unwrap();
+        let x = &features[0];
+        assert_eq!(a.forward(x, false), b.forward(x, false));
+    }
+}

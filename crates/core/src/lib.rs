@@ -1,0 +1,96 @@
+//! Deep biased learning for layout hotspot detection — the DAC'17 method.
+//!
+//! This crate assembles the substrates into the paper's framework:
+//!
+//! - [`feature`]: the clip → feature-tensor pipeline (Section 3) producing
+//!   CNN-ready CHW tensors.
+//! - [`model`]: the Table-1 CNN — two convolution stages (two 3×3
+//!   convolutions + ReLU + 2×2 max-pool each; 16 then 32 maps) followed by
+//!   FC-250 with 50 % dropout and an FC-2 output.
+//! - [`mgd`]: mini-batch gradient descent with step-decayed learning rate
+//!   and validation-based stopping (Algorithm 1, Section 4.2).
+//! - [`biased`]: the biased-learning loop (Algorithm 2, Section 4.3) that
+//!   fine-tunes with relaxed non-hotspot targets `[1-ε, ε]`.
+//! - [`shift`]: the decision-boundary-shifting alternative (Eq. 11) that
+//!   biased learning is compared against in Figure 4.
+//! - [`metrics`]: accuracy / false-alarm / ODST accounting (Definitions
+//!   1–3), with [`roc`] threshold sweeps and [`calibration`] reliability
+//!   analysis of the confidence-reduction mechanism behind Theorem 1.
+//! - [`detector`]: a one-stop train/predict/evaluate API.
+//!
+//! # Examples
+//!
+//! Train a detector on a miniature synthetic benchmark and evaluate it:
+//!
+//! ```no_run
+//! use hotspot_core::detector::{DetectorConfig, HotspotDetector};
+//! use hotspot_datagen::suite::SuiteSpec;
+//! use hotspot_litho::{LithoConfig, LithoSimulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sim = LithoSimulator::new(LithoConfig::default())?;
+//! let data = SuiteSpec::iccad(0.01).build(&sim);
+//! let mut config = DetectorConfig::default();
+//! config.mgd.max_steps = 500; // keep the example quick
+//! let mut detector = HotspotDetector::fit(&data.train, &config)?;
+//! let result = detector.evaluate(&data.test);
+//! println!("accuracy {:.1}%, false alarms {}", 100.0 * result.accuracy, result.false_alarms);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod biased;
+pub mod calibration;
+pub mod detector;
+pub mod feature;
+pub mod metrics;
+pub mod mgd;
+pub mod model;
+pub mod roc;
+pub mod shift;
+
+pub use biased::{BiasedLearningConfig, BiasedLearningReport};
+pub use detector::{DetectorConfig, HotspotDetector};
+pub use feature::FeaturePipeline;
+pub use metrics::EvalResult;
+pub use mgd::{MgdConfig, TrainReport};
+pub use model::CnnConfig;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from detector construction and training.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Feature extraction failed (bad pipeline/clip geometry combination).
+    Feature(hotspot_dct::DctError),
+    /// The training set cannot train a classifier.
+    DegenerateTrainingSet(&'static str),
+    /// A configuration value was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Feature(e) => write!(f, "feature extraction failed: {e}"),
+            CoreError::DegenerateTrainingSet(why) => write!(f, "degenerate training set: {why}"),
+            CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Feature(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hotspot_dct::DctError> for CoreError {
+    fn from(e: hotspot_dct::DctError) -> Self {
+        CoreError::Feature(e)
+    }
+}

@@ -1,0 +1,132 @@
+//! Evaluation metrics (paper Definitions 1–3).
+
+use hotspot_litho::simtime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of evaluating a detector on a labelled test set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Hotspot detection accuracy (Definition 1): correctly-predicted
+    /// hotspots / all real hotspots. This is hotspot *recall*, the metric
+    /// the ICCAD-2012 contest and the paper call "Accuracy".
+    pub accuracy: f64,
+    /// False alarms (Definition 2): non-hotspots flagged as hotspots.
+    pub false_alarms: usize,
+    /// Correctly detected hotspots.
+    pub true_detections: usize,
+    /// Real hotspots in the test set.
+    pub hotspot_total: usize,
+    /// Non-hotspots in the test set.
+    pub non_hotspot_total: usize,
+    /// Detector evaluation time in seconds (the "CPU" column).
+    pub eval_time_s: f64,
+    /// Overall detection and simulation time (Definition 3): 10 s of
+    /// lithography simulation per flagged clip plus evaluation time.
+    pub odst_s: f64,
+}
+
+impl EvalResult {
+    /// Builds a result from per-sample predictions and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(predictions: &[bool], labels: &[bool], eval_time_s: f64) -> Self {
+        assert_eq!(
+            predictions.len(),
+            labels.len(),
+            "predictions/labels length mismatch"
+        );
+        let mut true_detections = 0usize;
+        let mut false_alarms = 0usize;
+        let mut hotspot_total = 0usize;
+        for (&p, &l) in predictions.iter().zip(labels.iter()) {
+            if l {
+                hotspot_total += 1;
+                if p {
+                    true_detections += 1;
+                }
+            } else if p {
+                false_alarms += 1;
+            }
+        }
+        let non_hotspot_total = labels.len() - hotspot_total;
+        let accuracy = if hotspot_total == 0 {
+            1.0
+        } else {
+            true_detections as f64 / hotspot_total as f64
+        };
+        EvalResult {
+            accuracy,
+            false_alarms,
+            true_detections,
+            hotspot_total,
+            non_hotspot_total,
+            eval_time_s,
+            odst_s: simtime::odst_seconds(true_detections, false_alarms, eval_time_s),
+        }
+    }
+
+    /// Overall (both-class) classification accuracy — used for validation
+    /// monitoring, not for Table 2.
+    pub fn overall_accuracy(&self) -> f64 {
+        let total = self.hotspot_total + self.non_hotspot_total;
+        if total == 0 {
+            return 1.0;
+        }
+        let correct =
+            self.true_detections + (self.non_hotspot_total - self.false_alarms);
+        correct as f64 / total as f64
+    }
+
+    /// False-alarm rate over the non-hotspot population.
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.non_hotspot_total == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.non_hotspot_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_accuracy() {
+        let labels = [true, true, true, false, false];
+        let preds = [true, false, true, true, false];
+        let r = EvalResult::from_predictions(&preds, &labels, 2.0);
+        assert_eq!(r.true_detections, 2);
+        assert_eq!(r.hotspot_total, 3);
+        assert_eq!(r.false_alarms, 1);
+        assert_eq!(r.non_hotspot_total, 2);
+        assert!((r.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.overall_accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((r.false_alarm_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odst_accounts_for_all_flagged_clips() {
+        let labels = [true, false];
+        let preds = [true, true];
+        let r = EvalResult::from_predictions(&preds, &labels, 5.0);
+        // 2 flagged clips × 10 s + 5 s eval.
+        assert!((r.odst_s - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_hotspots_means_perfect_accuracy() {
+        let r = EvalResult::from_predictions(&[false, false], &[false, false], 0.0);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.overall_accuracy(), 1.0);
+        assert_eq!(r.false_alarm_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = EvalResult::from_predictions(&[true], &[true, false], 0.0);
+    }
+}

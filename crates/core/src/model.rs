@@ -1,0 +1,170 @@
+//! The paper's CNN architecture (Figure 2 / Table 1).
+
+use hotspot_nn::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2, Relu};
+use hotspot_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters of the Table-1 CNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CnnConfig {
+    /// Spatial input dimension `n` (12 in the paper).
+    pub input_grid: usize,
+    /// Input channels `k` (the feature-tensor coefficient count).
+    pub input_channels: usize,
+    /// Feature maps of the first convolution stage (16).
+    pub stage1_maps: usize,
+    /// Feature maps of the second convolution stage (32).
+    pub stage2_maps: usize,
+    /// Hidden width of the first fully-connected layer (250).
+    pub fc_width: usize,
+    /// Dropout probability on the first FC layer (0.5), scaled by 100 to
+    /// stay `Eq`-friendly: 50 means p = 0.5.
+    pub dropout_pct: u8,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for CnnConfig {
+    /// The paper's exact configuration with `k = 32` input channels.
+    fn default() -> Self {
+        CnnConfig {
+            input_grid: 12,
+            input_channels: 32,
+            stage1_maps: 16,
+            stage2_maps: 32,
+            fc_width: 250,
+            dropout_pct: 50,
+            seed: 2017,
+        }
+    }
+}
+
+impl CnnConfig {
+    /// Builds the network: two convolution stages — each two 3×3 "same"
+    /// convolutions with a ReLU after every convolution, closed by 2×2 max
+    /// pooling — then `Flatten → FC(fc_width) → ReLU → Dropout → FC(2)`.
+    ///
+    /// With the default configuration the per-layer output shapes reproduce
+    /// Table 1: 12×12×16, 12×12×16, 6×6×16, 6×6×32, 6×6×32, 3×3×32,
+    /// 250, 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `dropout_pct >= 100`.
+    pub fn build(&self) -> Network {
+        assert!(
+            self.input_grid >= 4 && self.input_channels > 0,
+            "input shape too small"
+        );
+        assert!(
+            self.stage1_maps > 0 && self.stage2_maps > 0 && self.fc_width > 0,
+            "zero layer width"
+        );
+        assert!(self.dropout_pct < 100, "dropout must be < 100%");
+        let s = self.seed;
+        let mut net = Network::new();
+        // Stage 1.
+        net.push(Conv2d::new(self.input_channels, self.stage1_maps, 3, 1, s));
+        net.push(Relu::new());
+        net.push(Conv2d::new(self.stage1_maps, self.stage1_maps, 3, 1, s + 1));
+        net.push(Relu::new());
+        net.push(MaxPool2::new());
+        // Stage 2.
+        net.push(Conv2d::new(self.stage1_maps, self.stage2_maps, 3, 1, s + 2));
+        net.push(Relu::new());
+        net.push(Conv2d::new(self.stage2_maps, self.stage2_maps, 3, 1, s + 3));
+        net.push(Relu::new());
+        net.push(MaxPool2::new());
+        // Dense head.
+        let spatial = self.input_grid / 4;
+        net.push(Flatten::new());
+        net.push(Dense::new(
+            self.stage2_maps * spatial * spatial,
+            self.fc_width,
+            s + 4,
+        ));
+        net.push(Relu::new());
+        net.push(Dropout::new(self.dropout_pct as f32 / 100.0, s + 5));
+        net.push(Dense::new(self.fc_width, 2, s + 6));
+        net
+    }
+
+    /// The CHW input shape `[k, n, n]`.
+    pub fn input_shape(&self) -> Vec<usize> {
+        vec![self.input_channels, self.input_grid, self.input_grid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_nn::Tensor;
+
+    #[test]
+    fn table1_shapes_reproduced() {
+        let cfg = CnnConfig::default();
+        let net = cfg.build();
+        let rows = net.summary(&cfg.input_shape());
+        // Pull out the shapes after each named layer of Table 1.
+        let shapes: Vec<(String, Vec<usize>)> = rows;
+        let find = |name: &str, nth: usize| -> Vec<usize> {
+            shapes
+                .iter()
+                .filter(|(n, _)| n == name)
+                .nth(nth)
+                .map(|(_, s)| s.clone())
+                .expect("layer present")
+        };
+        assert_eq!(find("conv", 0), vec![16, 12, 12]); // conv1-1
+        assert_eq!(find("conv", 1), vec![16, 12, 12]); // conv1-2
+        assert_eq!(find("maxpool", 0), vec![16, 6, 6]); // maxpooling1
+        assert_eq!(find("conv", 2), vec![32, 6, 6]); // conv2-1
+        assert_eq!(find("conv", 3), vec![32, 6, 6]); // conv2-2
+        assert_eq!(find("maxpool", 1), vec![32, 3, 3]); // maxpooling2
+        assert_eq!(find("fc", 0), vec![250]); // fc1
+        assert_eq!(find("fc", 1), vec![2]); // fc2
+    }
+
+    #[test]
+    fn forward_produces_two_logits() {
+        let cfg = CnnConfig {
+            input_channels: 4,
+            ..CnnConfig::default()
+        };
+        let mut net = cfg.build();
+        let y = net.forward(&Tensor::zeros(cfg.input_shape()), false);
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn parameter_count_matches_arithmetic() {
+        let cfg = CnnConfig::default();
+        let mut net = cfg.build();
+        let expected = (16 * 32 * 9 + 16)
+            + (16 * 16 * 9 + 16)
+            + (32 * 16 * 9 + 32)
+            + (32 * 32 * 9 + 32)
+            + (288 * 250 + 250)
+            + (250 * 2 + 2);
+        assert_eq!(net.parameter_count(), expected);
+    }
+
+    #[test]
+    fn seeded_builds_are_identical() {
+        let cfg = CnnConfig::default();
+        let mut a = cfg.build();
+        let mut b = cfg.build();
+        let x = Tensor::zeros(cfg.input_shape());
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout")]
+    fn dropout_pct_validated() {
+        let cfg = CnnConfig {
+            dropout_pct: 100,
+            ..CnnConfig::default()
+        };
+        let _ = cfg.build();
+    }
+}

@@ -1,0 +1,247 @@
+//! Label-preserving clip augmentation.
+//!
+//! The lithography oracle is invariant under the dihedral symmetries of
+//! the square: its PSF is isotropic, the resist threshold is pointwise and
+//! the morphology/guard-band checks use square structuring elements. A
+//! rotated or mirrored clip therefore has *exactly* the same hotspot label
+//! — so the eight dihedral variants of every training clip are free,
+//! guaranteed-correct training data (the augmentation trick real hotspot
+//! flows use).
+
+use crate::dataset::{Dataset, Sample};
+use hotspot_geometry::{Clip, GeometryError, Point, Rect};
+
+/// The eight symmetries of the square (rotations × mirror).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Symmetry {
+    /// Identity.
+    R0,
+    /// 90° counter-clockwise rotation.
+    R90,
+    /// 180° rotation.
+    R180,
+    /// 270° counter-clockwise rotation.
+    R270,
+    /// Mirror about the vertical axis.
+    MirrorX,
+    /// Mirror about the horizontal axis.
+    MirrorY,
+    /// Mirror then 90° rotation (anti-diagonal transpose).
+    MirrorR90,
+    /// Mirror then 270° rotation (main-diagonal transpose).
+    MirrorR270,
+}
+
+impl Symmetry {
+    /// All eight symmetries, identity first.
+    pub const ALL: [Symmetry; 8] = [
+        Symmetry::R0,
+        Symmetry::R90,
+        Symmetry::R180,
+        Symmetry::R270,
+        Symmetry::MirrorX,
+        Symmetry::MirrorY,
+        Symmetry::MirrorR90,
+        Symmetry::MirrorR270,
+    ];
+
+    /// Maps a point of an `side × side` window (origin at the window's low
+    /// corner) under the symmetry.
+    fn map_point(&self, p: Point, side: i64) -> Point {
+        let (x, y) = (p.x, p.y);
+        match self {
+            Symmetry::R0 => Point::new(x, y),
+            Symmetry::R90 => Point::new(y, side - x),
+            Symmetry::R180 => Point::new(side - x, side - y),
+            Symmetry::R270 => Point::new(side - y, x),
+            Symmetry::MirrorX => Point::new(side - x, y),
+            Symmetry::MirrorY => Point::new(x, side - y),
+            Symmetry::MirrorR90 => Point::new(y, x),
+            Symmetry::MirrorR270 => Point::new(side - y, side - x),
+        }
+    }
+}
+
+/// Applies a symmetry to a clip.
+///
+/// The clip is first normalised so its window sits at the origin; the
+/// result has the same (square) window.
+///
+/// # Errors
+///
+/// Returns [`GeometryError::EmptyRect`] only if the window is not square —
+/// dihedral symmetries of a rectangle would change its orientation.
+pub fn transform_clip(clip: &Clip, symmetry: Symmetry) -> Result<Clip, GeometryError> {
+    let normalized = clip.normalized();
+    let window = normalized.window();
+    if window.width() != window.height() {
+        return Err(GeometryError::EmptyRect {
+            lo: window.lo(),
+            hi: window.hi(),
+        });
+    }
+    let side = window.width();
+    let mut out = Clip::new(window);
+    for shape in normalized.shapes() {
+        let a = symmetry.map_point(shape.lo(), side);
+        let b = symmetry.map_point(shape.hi(), side);
+        let lo = Point::new(a.x.min(b.x), a.y.min(b.y));
+        let hi = Point::new(a.x.max(b.x), a.y.max(b.y));
+        out.push(Rect::from_corners(lo, hi)?);
+    }
+    Ok(out)
+}
+
+/// All eight dihedral variants of a clip (identity included, first).
+///
+/// # Panics
+///
+/// Panics if the clip window is not square.
+pub fn dihedral_variants(clip: &Clip) -> Vec<Clip> {
+    Symmetry::ALL
+        .iter()
+        .map(|&s| transform_clip(clip, s).expect("square window"))
+        .collect()
+}
+
+/// Expands a dataset with the dihedral variants of every sample, labels
+/// copied (valid because the oracle is dihedral-invariant; see module
+/// docs). The identity variant is the original sample, so the output is
+/// exactly 8× the input.
+///
+/// # Panics
+///
+/// Panics if any clip window is not square.
+pub fn augment_dataset(data: &Dataset) -> Dataset {
+    data.iter()
+        .flat_map(|sample| {
+            dihedral_variants(&sample.clip)
+                .into_iter()
+                .map(move |clip| Sample {
+                    clip,
+                    hotspot: sample.hotspot,
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::{self, PatternKind};
+    use hotspot_litho::{LithoConfig, LithoSimulator};
+    use rand::SeedableRng;
+
+    fn asym_clip() -> Clip {
+        let mut c = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+        c.push(Rect::new(100, 200, 300, 900).unwrap());
+        c.push(Rect::new(700, 100, 1100, 250).unwrap());
+        c
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let c = asym_clip();
+        assert_eq!(transform_clip(&c, Symmetry::R0).unwrap(), c);
+    }
+
+    #[test]
+    fn four_rotations_compose_to_identity() {
+        let c = asym_clip();
+        let mut t = c.clone();
+        for _ in 0..4 {
+            t = transform_clip(&t, Symmetry::R90).unwrap();
+        }
+        // Shape *sets* must match (order may differ).
+        let mut a: Vec<_> = c.shapes().to_vec();
+        let mut b: Vec<_> = t.shapes().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mirrors_are_involutions() {
+        let c = asym_clip();
+        for s in [Symmetry::MirrorX, Symmetry::MirrorY, Symmetry::MirrorR90, Symmetry::MirrorR270] {
+            let twice = transform_clip(&transform_clip(&c, s).unwrap(), s).unwrap();
+            let mut a: Vec<_> = c.shapes().to_vec();
+            let mut b: Vec<_> = twice.shapes().to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{s:?} twice is not identity");
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_area_and_count() {
+        let c = asym_clip();
+        let area: i64 = c.shapes().iter().map(|r| r.area()).sum();
+        for v in dihedral_variants(&c) {
+            assert_eq!(v.shape_count(), c.shape_count());
+            let va: i64 = v.shapes().iter().map(|r| r.area()).sum();
+            assert_eq!(va, area);
+            assert_eq!(v.window(), c.normalized().window());
+        }
+    }
+
+    #[test]
+    fn eight_variants_of_asymmetric_clip_are_distinct() {
+        let variants = dihedral_variants(&asym_clip());
+        assert_eq!(variants.len(), 8);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                let mut a: Vec<_> = variants[i].shapes().to_vec();
+                let mut b: Vec<_> = variants[j].shapes().to_vec();
+                a.sort();
+                b.sort();
+                assert_ne!(a, b, "variants {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_labels_are_dihedral_invariant() {
+        // The augmentation's core guarantee, checked against the real
+        // oracle on several archetypes.
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for kind in [
+            PatternKind::LineTips,
+            PatternKind::ContactArray,
+            PatternKind::Jogs,
+        ] {
+            let clip = patterns::sample_pattern(kind, &mut rng);
+            let label = sim.label_clip(&clip);
+            for (i, v) in dihedral_variants(&clip).into_iter().enumerate() {
+                assert_eq!(
+                    sim.label_clip(&v),
+                    label,
+                    "{kind:?} variant {i} changed label"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn augment_dataset_multiplies_by_eight() {
+        let mut data = Dataset::new();
+        data.push(Sample {
+            clip: asym_clip(),
+            hotspot: true,
+        });
+        data.push(Sample {
+            clip: asym_clip(),
+            hotspot: false,
+        });
+        let aug = augment_dataset(&data);
+        assert_eq!(aug.len(), 16);
+        assert_eq!(aug.hotspot_count(), 8);
+    }
+
+    #[test]
+    fn non_square_window_rejected() {
+        let c = Clip::new(Rect::new(0, 0, 100, 200).unwrap());
+        assert!(transform_clip(&c, Symmetry::R90).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Labelled clip collections.
+
+use hotspot_geometry::Clip;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// One labelled training/testing instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// The layout clip.
+    pub clip: Clip,
+    /// Ground-truth label from the lithography oracle.
+    pub hotspot: bool,
+}
+
+/// An ordered collection of labelled clips.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_datagen::{Dataset, Sample};
+/// use hotspot_geometry::{Clip, Rect};
+///
+/// # fn main() -> Result<(), hotspot_geometry::GeometryError> {
+/// let clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+/// let mut data = Dataset::new();
+/// data.push(Sample { clip, hotspot: true });
+/// assert_eq!(data.hotspot_count(), 1);
+/// assert_eq!(data.non_hotspot_count(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples in order.
+    #[inline]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of hotspot samples.
+    pub fn hotspot_count(&self) -> usize {
+        self.samples.iter().filter(|s| s.hotspot).count()
+    }
+
+    /// Number of non-hotspot samples.
+    pub fn non_hotspot_count(&self) -> usize {
+        self.len() - self.hotspot_count()
+    }
+
+    /// Hotspot fraction in `[0, 1]`; 0 for an empty dataset.
+    pub fn hotspot_ratio(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.hotspot_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Shuffles sample order in place.
+    pub fn shuffle(&mut self, rng: &mut StdRng) {
+        self.samples.shuffle(rng);
+    }
+
+    /// Splits off the last `fraction` of samples into a second dataset
+    /// (e.g. the 25 % validation split of paper §4.2). Call after
+    /// [`Dataset::shuffle`] for a random split.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < fraction < 1.0`.
+    pub fn split_tail(mut self, fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0, 1), got {fraction}"
+        );
+        let tail_len = ((self.len() as f64) * fraction).round() as usize;
+        let cut = self.len().saturating_sub(tail_len.max(1));
+        let tail = self.samples.split_off(cut);
+        (self, Dataset { samples: tail })
+    }
+
+    /// Iterates over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<Sample> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Sample>>(iter: I) -> Self {
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Sample> for Dataset {
+    fn extend<I: IntoIterator<Item = Sample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = Sample;
+    type IntoIter = std::vec::IntoIter<Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geometry::Rect;
+    use rand::SeedableRng;
+
+    fn sample(hotspot: bool) -> Sample {
+        Sample {
+            clip: Clip::new(Rect::new(0, 0, 100, 100).unwrap()),
+            hotspot,
+        }
+    }
+
+    fn dataset(hs: usize, nhs: usize) -> Dataset {
+        let mut d = Dataset::new();
+        for _ in 0..hs {
+            d.push(sample(true));
+        }
+        for _ in 0..nhs {
+            d.push(sample(false));
+        }
+        d
+    }
+
+    #[test]
+    fn counts_and_ratio() {
+        let d = dataset(3, 9);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.hotspot_count(), 3);
+        assert_eq!(d.non_hotspot_count(), 9);
+        assert!((d.hotspot_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(Dataset::new().hotspot_ratio(), 0.0);
+    }
+
+    #[test]
+    fn split_tail_partitions() {
+        let d = dataset(4, 12);
+        let (head, tail) = d.split_tail(0.25);
+        assert_eq!(head.len(), 12);
+        assert_eq!(tail.len(), 4);
+        assert_eq!(head.len() + tail.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "split fraction")]
+    fn split_rejects_bad_fraction() {
+        let _ = dataset(1, 1).split_tail(1.5);
+    }
+
+    #[test]
+    fn shuffle_is_seeded() {
+        let mut a = dataset(5, 5);
+        let mut b = dataset(5, 5);
+        a.shuffle(&mut StdRng::seed_from_u64(11));
+        b.shuffle(&mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let d: Dataset = (0..4).map(|i| sample(i % 2 == 0)).collect();
+        assert_eq!(d.len(), 4);
+        let mut e = Dataset::new();
+        e.extend(d.iter().cloned());
+        assert_eq!(e.len(), 4);
+    }
+}

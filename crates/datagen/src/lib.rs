@@ -1,0 +1,50 @@
+//! Benchmark-suite substrate: deterministic synthetic layout benchmarks.
+//!
+//! The paper evaluates on the ICCAD-2012 contest benchmarks and three
+//! proprietary industrial benchmarks, none of which can ship with this
+//! reproduction. This crate substitutes deterministic synthetic equivalents:
+//!
+//! - [`patterns`] draws Manhattan layout clips from seven archetype families
+//!   (line/space arrays, line tips, tip-to-tip gaps, contact arrays, jogs,
+//!   random routing, isolated blocks) whose parameters straddle the
+//!   resolution limit of the [`hotspot_litho`] oracle, so each family yields
+//!   a mixture of hotspots and non-hotspots with a geometry-dependent
+//!   decision boundary — the structure a hotspot detector must learn.
+//! - [`suite`] assembles labelled train/test datasets whose class ratios
+//!   match the paper's Table 2 benchmarks (`ICCAD`, `Industry1`–`Industry3`)
+//!   at a configurable scale.
+//! - [`dataset`] holds labelled clips with summary statistics and splitting
+//!   helpers.
+//!
+//! [`augment`] adds the eight dihedral variants of every clip — provably
+//! label-preserving under the isotropic lithography oracle — as free extra
+//! training data.
+//!
+//! Everything is seeded: the same [`suite::SuiteSpec`] always regenerates
+//! the identical benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspot_datagen::suite::SuiteSpec;
+//! use hotspot_litho::{LithoConfig, LithoSimulator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sim = LithoSimulator::new(LithoConfig::default())?;
+//! // A miniature ICCAD-like benchmark: 1 % of the paper's size.
+//! let spec = SuiteSpec::iccad(0.01);
+//! let data = spec.build(&sim);
+//! assert_eq!(data.train.hotspot_count(), spec.train_hs);
+//! assert_eq!(data.test.non_hotspot_count(), spec.test_nhs);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod augment;
+pub mod dataset;
+pub mod patterns;
+pub mod suite;
+
+pub use dataset::{Dataset, Sample};
+pub use patterns::PatternKind;
+pub use suite::{BenchmarkData, SuiteSpec};

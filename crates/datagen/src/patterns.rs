@@ -1,0 +1,353 @@
+//! Archetype pattern generators.
+//!
+//! Each generator samples a clip whose printability depends on the sampled
+//! geometry parameters. Parameter ranges are calibrated against the
+//! [`hotspot_litho`] oracle's default configuration (σ = 30 nm, 20 nm EPE
+//! margin), where approximate failure crossovers sit at:
+//!
+//! | archetype        | fails when                  |
+//! |------------------|-----------------------------|
+//! | line/space array | half-pitch ≲ 65 nm          |
+//! | line tips        | line width ≲ 90 nm          |
+//! | contact array    | contact side ≲ 90 nm        |
+//! | jogs             | wire width ≲ 80 nm          |
+//!
+//! Sampling ranges straddle these crossovers so every family contributes
+//! both classes and the label is a nontrivial function of the geometry.
+
+use hotspot_geometry::{Clip, Rect};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Clip window side used throughout the suite, in nm (the paper's clips are
+/// 1200×1200 nm²).
+pub const CLIP_SIDE_NM: i64 = 1200;
+
+/// The archetype families the generators draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Full-height line/space array (dense-pitch failure mode).
+    LineArray,
+    /// Line array whose lines terminate mid-clip (line-end pullback mode).
+    LineTips,
+    /// Facing line-end pairs with a tip-to-tip gap (bridging mode).
+    TipToTip,
+    /// Regular contact/via array (corner-rounding and necking mode).
+    ContactArray,
+    /// L/Z-shaped routing jogs (inner-corner mode).
+    Jogs,
+    /// Random mixed routing: several wires of varied width and pitch.
+    RandomRouting,
+    /// Large isolated shapes; prints robustly (mostly non-hotspot filler).
+    Isolated,
+}
+
+impl PatternKind {
+    /// All archetypes, in a fixed order.
+    pub const ALL: [PatternKind; 7] = [
+        PatternKind::LineArray,
+        PatternKind::LineTips,
+        PatternKind::TipToTip,
+        PatternKind::ContactArray,
+        PatternKind::Jogs,
+        PatternKind::RandomRouting,
+        PatternKind::Isolated,
+    ];
+}
+
+fn window() -> Rect {
+    Rect::new(0, 0, CLIP_SIDE_NM, CLIP_SIDE_NM).expect("static window")
+}
+
+/// Snaps a value to the 10 nm manufacturing grid used by the litho raster.
+fn snap(v: i64) -> i64 {
+    (v / 10) * 10
+}
+
+/// Samples a clip of the given archetype.
+///
+/// The returned clip always has at least one shape; geometry is clamped to
+/// the 1200×1200 nm window.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_datagen::{patterns, PatternKind};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let clip = patterns::sample_pattern(PatternKind::LineArray, &mut rng);
+/// assert!(!clip.is_blank());
+/// ```
+pub fn sample_pattern(kind: PatternKind, rng: &mut StdRng) -> Clip {
+    match kind {
+        PatternKind::LineArray => line_array(rng),
+        PatternKind::LineTips => line_tips(rng),
+        PatternKind::TipToTip => tip_to_tip(rng),
+        PatternKind::ContactArray => contact_array(rng),
+        PatternKind::Jogs => jogs(rng),
+        PatternKind::RandomRouting => random_routing(rng),
+        PatternKind::Isolated => isolated(rng),
+    }
+}
+
+/// Samples an archetype from a weighted mix, then a clip of that archetype.
+///
+/// # Panics
+///
+/// Panics if `mix` is empty or all weights are zero.
+pub fn sample_from_mix(mix: &[(PatternKind, f64)], rng: &mut StdRng) -> Clip {
+    let total: f64 = mix.iter().map(|&(_, w)| w).sum();
+    assert!(total > 0.0, "pattern mix must have positive total weight");
+    let mut draw = rng.gen_range(0.0..total);
+    for &(kind, w) in mix {
+        if draw < w {
+            return sample_pattern(kind, rng);
+        }
+        draw -= w;
+    }
+    sample_pattern(mix.last().expect("non-empty mix").0, rng)
+}
+
+/// Horizontal/vertical full-height line/space array.
+fn line_array(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let width = snap(rng.gen_range(50..=140));
+    let space = snap((width as f64 * rng.gen_range(0.8..=1.6)) as i64).max(50);
+    let offset = snap(rng.gen_range(0..width + space));
+    let vertical = rng.gen_bool(0.5);
+    let mut pos = offset - (width + space);
+    while pos < CLIP_SIDE_NM {
+        let lo = pos.max(0);
+        let hi = (pos + width).min(CLIP_SIDE_NM);
+        if hi - lo >= 30 {
+            let r = if vertical {
+                Rect::new(lo, 0, hi, CLIP_SIDE_NM)
+            } else {
+                Rect::new(0, lo, CLIP_SIDE_NM, hi)
+            };
+            clip.push(r.expect("validated extent"));
+        }
+        pos += width + space;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Line array whose lines end inside the analysis region.
+fn line_tips(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let width = snap(rng.gen_range(50..=160));
+    let pitch = width + snap((width as f64 * rng.gen_range(1.0..=1.8)) as i64);
+    let tip_y = snap(rng.gen_range(450..=750));
+    let from_top = rng.gen_bool(0.5);
+    let mut x = snap(rng.gen_range(40..pitch.max(41)));
+    while x + width <= CLIP_SIDE_NM {
+        let r = if from_top {
+            Rect::new(x, tip_y, x + width, CLIP_SIDE_NM)
+        } else {
+            Rect::new(x, 0, x + width, tip_y)
+        };
+        clip.push(r.expect("validated extent"));
+        x += pitch;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Facing line-end pairs separated by a tip-to-tip gap.
+fn tip_to_tip(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let width = snap(rng.gen_range(60..=140));
+    // Half-gap is snapped so tip edges stay on the 10 nm grid.
+    let half_gap = snap(rng.gen_range(30..=130));
+    let pitch = width + snap((width as f64 * rng.gen_range(1.2..=2.0)) as i64);
+    let mid = snap(rng.gen_range(500..=700));
+    let mut x = snap(rng.gen_range(40..pitch.max(41)));
+    while x + width <= CLIP_SIDE_NM {
+        clip.push(Rect::new(x, 0, x + width, mid - half_gap).expect("validated extent"));
+        clip.push(Rect::new(x, mid + half_gap, x + width, CLIP_SIDE_NM).expect("validated extent"));
+        x += pitch;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Regular contact/via array.
+fn contact_array(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let side = snap(rng.gen_range(60..=150));
+    let pitch = side + snap((side as f64 * rng.gen_range(0.9..=1.6)) as i64);
+    let x0 = snap(rng.gen_range(60..=60 + pitch));
+    let y0 = snap(rng.gen_range(60..=60 + pitch));
+    let mut y = y0;
+    while y + side <= CLIP_SIDE_NM - 40 {
+        let mut x = x0;
+        while x + side <= CLIP_SIDE_NM - 40 {
+            clip.push(Rect::new(x, y, x + side, y + side).expect("validated extent"));
+            x += pitch;
+        }
+        y += pitch;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// A couple of L/Z-shaped routing jogs.
+fn jogs(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let count = rng.gen_range(1..=3);
+    for _ in 0..count {
+        let w = snap(rng.gen_range(50..=140));
+        let x0 = snap(rng.gen_range(100..=500));
+        let y0 = snap(rng.gen_range(300..=800));
+        let run = snap(rng.gen_range(300..=600));
+        let rise = snap(rng.gen_range(200..=400));
+        // Horizontal segment then vertical segment (an L); sometimes a
+        // second horizontal to make a Z.
+        clip.push(Rect::new(x0, y0, x0 + run, y0 + w).expect("validated extent"));
+        clip.push(Rect::new(x0 + run - w, y0, x0 + run, y0 + rise).expect("validated extent"));
+        if rng.gen_bool(0.5) {
+            clip.push(
+                Rect::new(x0 + run - w, y0 + rise - w, x0 + run + run / 2, y0 + rise)
+                    .expect("validated extent"),
+            );
+        }
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Random mixed routing: parallel wires of varied width plus crossing stubs.
+fn random_routing(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let tracks = rng.gen_range(3..=7);
+    let vertical = rng.gen_bool(0.5);
+    let mut pos: i64 = snap(rng.gen_range(40..=160));
+    for _ in 0..tracks {
+        let w = snap(rng.gen_range(50..=150));
+        let space = snap(rng.gen_range(60..=220));
+        if pos + w > CLIP_SIDE_NM {
+            break;
+        }
+        // Wires sometimes span the window, sometimes stop short (a tip).
+        let (lo, hi) = if rng.gen_bool(0.7) {
+            (0, CLIP_SIDE_NM)
+        } else {
+            let a = snap(rng.gen_range(0..=400));
+            let b = snap(rng.gen_range(700..=CLIP_SIDE_NM));
+            (a, b)
+        };
+        let r = if vertical {
+            Rect::new(pos, lo, pos + w, hi)
+        } else {
+            Rect::new(lo, pos, hi, pos + w)
+        };
+        clip.push(r.expect("validated extent"));
+        pos += w + space;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Large isolated shapes that print robustly.
+fn isolated(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let w = snap(rng.gen_range(200..=700));
+    let h = snap(rng.gen_range(200..=700));
+    let x0 = snap(rng.gen_range(100..=CLIP_SIDE_NM - 100 - w.min(CLIP_SIDE_NM - 200)));
+    let y0 = snap(rng.gen_range(100..=CLIP_SIDE_NM - 100 - h.min(CLIP_SIDE_NM - 200)));
+    clip.push(Rect::new(x0, y0, x0 + w, y0 + h).expect("validated extent"));
+    if rng.gen_bool(0.4) {
+        // A wide companion line far away.
+        let lw = snap(rng.gen_range(120..=200));
+        let lx = snap(rng.gen_range(0..=CLIP_SIDE_NM - lw));
+        clip.push(Rect::new(lx, 0, lx + lw, CLIP_SIDE_NM).expect("validated extent"));
+    }
+    clip
+}
+
+/// Guarantees at least one shape (degenerate parameter draws can produce an
+/// empty clip; fall back to a safe isolated block).
+fn ensure_nonblank(clip: Clip, rng: &mut StdRng) -> Clip {
+    if clip.is_blank() {
+        isolated(rng)
+    } else {
+        clip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn all_archetypes_produce_shapes() {
+        for kind in PatternKind::ALL {
+            for seed in 0..20 {
+                let clip = sample_pattern(kind, &mut rng(seed));
+                assert!(!clip.is_blank(), "{kind:?} seed {seed} produced a blank clip");
+                assert_eq!(clip.window().width(), CLIP_SIDE_NM);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for kind in PatternKind::ALL {
+            let a = sample_pattern(kind, &mut rng(42));
+            let b = sample_pattern(kind, &mut rng(42));
+            assert_eq!(a, b, "{kind:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = sample_pattern(PatternKind::LineArray, &mut rng(1));
+        let b = sample_pattern(PatternKind::LineArray, &mut rng(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shapes_are_grid_snapped_and_in_window() {
+        for kind in PatternKind::ALL {
+            let clip = sample_pattern(kind, &mut rng(9));
+            for r in clip.shapes() {
+                assert_eq!(r.lo().x % 10, 0);
+                assert_eq!(r.lo().y % 10, 0);
+                assert!(clip.window().contains_rect(r));
+            }
+        }
+    }
+
+    #[test]
+    fn mix_sampling_respects_weights() {
+        // Weight zero on everything except Isolated must always produce
+        // a clip (indirectly: the draw never panics and clips are valid).
+        let mix = [(PatternKind::Isolated, 1.0)];
+        let mut r = rng(3);
+        for _ in 0..10 {
+            let c = sample_from_mix(&mix, &mut r);
+            assert!(!c.is_blank());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn empty_mix_panics() {
+        let _ = sample_from_mix(&[], &mut rng(0));
+    }
+
+    #[test]
+    fn densities_are_plausible() {
+        // Layout clips should be sparse-to-moderate density, not empty, not
+        // solid.
+        for kind in PatternKind::ALL {
+            for seed in 0..10 {
+                let clip = sample_pattern(kind, &mut rng(100 + seed));
+                let d = clip.density();
+                assert!(d > 0.005 && d < 0.95, "{kind:?} density {d}");
+            }
+        }
+    }
+}

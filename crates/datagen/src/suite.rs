@@ -1,0 +1,264 @@
+//! Benchmark-suite builders with paper-matched class ratios.
+
+use crate::dataset::{Dataset, Sample};
+use crate::patterns::{self, PatternKind};
+use hotspot_litho::LithoSimulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Target composition of one benchmark (Table 2's left columns) plus the
+/// pattern mix it is generated from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSpec {
+    /// Benchmark name as printed in tables.
+    pub name: String,
+    /// Hotspot count in the training set.
+    pub train_hs: usize,
+    /// Non-hotspot count in the training set.
+    pub train_nhs: usize,
+    /// Hotspot count in the testing set.
+    pub test_hs: usize,
+    /// Non-hotspot count in the testing set.
+    pub test_nhs: usize,
+    /// Weighted archetype mix the clips are drawn from.
+    pub mix: Vec<(PatternKind, f64)>,
+    /// Master RNG seed; the full benchmark is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl SuiteSpec {
+    /// The merged ICCAD-2012 benchmark (paper: 1204/17096 train,
+    /// 2524/13503 test), scaled by `scale` with a floor of 8 samples per
+    /// bucket. Mostly regular line/space patterns — the "easy" benchmark.
+    pub fn iccad(scale: f64) -> SuiteSpec {
+        SuiteSpec {
+            name: "ICCAD".into(),
+            train_hs: scaled(1204, scale),
+            train_nhs: scaled(17096, scale),
+            test_hs: scaled(2524, scale),
+            test_nhs: scaled(13503, scale),
+            mix: vec![
+                (PatternKind::LineArray, 3.0),
+                (PatternKind::LineTips, 2.0),
+                (PatternKind::TipToTip, 1.0),
+                (PatternKind::Isolated, 2.0),
+                (PatternKind::RandomRouting, 2.0),
+            ],
+            seed: 0x1CCAD2012,
+        }
+    }
+
+    /// Industry1 (paper: 34281/15635 train, 17157/7801 test): a
+    /// hotspot-majority benchmark of aggressive tip and contact geometry.
+    pub fn industry1(scale: f64) -> SuiteSpec {
+        SuiteSpec {
+            name: "Industry1".into(),
+            train_hs: scaled(34281, scale),
+            train_nhs: scaled(15635, scale),
+            test_hs: scaled(17157, scale),
+            test_nhs: scaled(7801, scale),
+            mix: vec![
+                (PatternKind::LineTips, 3.0),
+                (PatternKind::TipToTip, 2.0),
+                (PatternKind::ContactArray, 3.0),
+                (PatternKind::LineArray, 1.0),
+                (PatternKind::Isolated, 1.0),
+            ],
+            seed: 0x1D_0001,
+        }
+    }
+
+    /// Industry2 (paper: 15197/48758 train, 7520/24457 test): diverse
+    /// routing-dominated patterns.
+    pub fn industry2(scale: f64) -> SuiteSpec {
+        SuiteSpec {
+            name: "Industry2".into(),
+            train_hs: scaled(15197, scale),
+            train_nhs: scaled(48758, scale),
+            test_hs: scaled(7520, scale),
+            test_nhs: scaled(24457, scale),
+            mix: vec![
+                (PatternKind::RandomRouting, 3.0),
+                (PatternKind::Jogs, 2.0),
+                (PatternKind::LineArray, 2.0),
+                (PatternKind::LineTips, 1.0),
+                (PatternKind::Isolated, 2.0),
+            ],
+            seed: 0x1D_0002,
+        }
+    }
+
+    /// Industry3 (paper: 24776/49315 train, 12228/24817 test): the largest
+    /// and most heterogeneous benchmark — every archetype contributes.
+    pub fn industry3(scale: f64) -> SuiteSpec {
+        SuiteSpec {
+            name: "Industry3".into(),
+            train_hs: scaled(24776, scale),
+            train_nhs: scaled(49315, scale),
+            test_hs: scaled(12228, scale),
+            test_nhs: scaled(24817, scale),
+            mix: PatternKind::ALL.iter().map(|&k| (k, 1.0)).collect(),
+            seed: 0x1D_0003,
+        }
+    }
+
+    /// All four benchmarks of Table 2 at the given scale.
+    pub fn table2_suites(scale: f64) -> Vec<SuiteSpec> {
+        vec![
+            SuiteSpec::iccad(scale),
+            SuiteSpec::industry1(scale),
+            SuiteSpec::industry2(scale),
+            SuiteSpec::industry3(scale),
+        ]
+    }
+
+    /// Total sample count across both splits.
+    pub fn total(&self) -> usize {
+        self.train_hs + self.train_nhs + self.test_hs + self.test_nhs
+    }
+
+    /// Generates the benchmark: draws clips from the archetype mix, labels
+    /// each with the lithography oracle, and fills the four class buckets
+    /// exactly. Labels are *never* forced — generation draws until the
+    /// oracle has produced enough of each class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix is so skewed that a bucket cannot be filled within
+    /// `500 ×` the requested total draws (a misconfigured mix, e.g. only
+    /// [`PatternKind::Isolated`] with a hotspot quota).
+    pub fn build(&self, sim: &LithoSimulator) -> BenchmarkData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut hs_pool: Vec<Sample> = Vec::new();
+        let mut nhs_pool: Vec<Sample> = Vec::new();
+        let need_hs = self.train_hs + self.test_hs;
+        let need_nhs = self.train_nhs + self.test_nhs;
+        let max_draws = 500 * self.total().max(16);
+        let mut draws = 0usize;
+        while hs_pool.len() < need_hs || nhs_pool.len() < need_nhs {
+            assert!(
+                draws < max_draws,
+                "suite '{}' could not fill class buckets after {draws} draws \
+                 ({}/{} hotspots, {}/{} non-hotspots) — archetype mix too skewed",
+                self.name,
+                hs_pool.len(),
+                need_hs,
+                nhs_pool.len(),
+                need_nhs
+            );
+            draws += 1;
+            let clip = patterns::sample_from_mix(&self.mix, &mut rng);
+            let hotspot = sim.label_clip(&clip);
+            let (pool, need) = if hotspot {
+                (&mut hs_pool, need_hs)
+            } else {
+                (&mut nhs_pool, need_nhs)
+            };
+            if pool.len() < need {
+                pool.push(Sample { clip, hotspot });
+            }
+        }
+        let mut train = Dataset::new();
+        let mut test = Dataset::new();
+        for (i, s) in hs_pool.into_iter().enumerate() {
+            if i < self.train_hs {
+                train.push(s);
+            } else {
+                test.push(s);
+            }
+        }
+        for (i, s) in nhs_pool.into_iter().enumerate() {
+            if i < self.train_nhs {
+                train.push(s);
+            } else {
+                test.push(s);
+            }
+        }
+        train.shuffle(&mut rng);
+        test.shuffle(&mut rng);
+        BenchmarkData {
+            spec: self.clone(),
+            train,
+            test,
+        }
+    }
+}
+
+fn scaled(count: usize, scale: f64) -> usize {
+    assert!(scale > 0.0, "scale must be positive");
+    ((count as f64 * scale).round() as usize).max(8)
+}
+
+/// A generated benchmark: the spec it came from plus train/test splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkData {
+    /// The generating spec.
+    pub spec: SuiteSpec,
+    /// Training split (exactly `train_hs` + `train_nhs` samples).
+    pub train: Dataset,
+    /// Testing split (exactly `test_hs` + `test_nhs` samples).
+    pub test: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_litho::LithoConfig;
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig::default()).unwrap()
+    }
+
+    fn tiny(spec_fn: fn(f64) -> SuiteSpec) -> BenchmarkData {
+        spec_fn(0.001).build(&sim())
+    }
+
+    #[test]
+    fn iccad_quotas_met_exactly() {
+        let data = tiny(SuiteSpec::iccad);
+        assert_eq!(data.train.hotspot_count(), data.spec.train_hs);
+        assert_eq!(data.train.non_hotspot_count(), data.spec.train_nhs);
+        assert_eq!(data.test.hotspot_count(), data.spec.test_hs);
+        assert_eq!(data.test.non_hotspot_count(), data.spec.test_nhs);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = tiny(SuiteSpec::iccad);
+        let b = tiny(SuiteSpec::iccad);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn suites_differ() {
+        let a = tiny(SuiteSpec::industry2);
+        let b = tiny(SuiteSpec::industry3);
+        assert_ne!(a.train, b.train);
+    }
+
+    #[test]
+    fn labels_match_oracle() {
+        let s = sim();
+        let data = tiny(SuiteSpec::industry3);
+        for sample in data.train.iter().take(10) {
+            assert_eq!(s.label_clip(&sample.clip), sample.hotspot);
+        }
+    }
+
+    #[test]
+    fn scaled_counts_floor_at_eight() {
+        let spec = SuiteSpec::iccad(1e-9);
+        assert_eq!(spec.train_hs, 8);
+        assert_eq!(spec.total(), 32);
+    }
+
+    #[test]
+    fn paper_ratios_preserved_at_scale() {
+        let spec = SuiteSpec::industry2(0.1);
+        let paper_ratio = 15197.0 / 48758.0;
+        let ours = spec.train_hs as f64 / spec.train_nhs as f64;
+        assert!((ours - paper_ratio).abs() / paper_ratio < 0.01);
+    }
+}

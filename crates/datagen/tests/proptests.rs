@@ -1,0 +1,91 @@
+//! Property-based tests for the benchmark-generation substrate.
+
+use hotspot_datagen::{patterns, Dataset, PatternKind, Sample};
+use hotspot_geometry::{Clip, Rect};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_kind() -> impl Strategy<Value = PatternKind> {
+    proptest::sample::select(PatternKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_pattern_is_valid_layout(kind in arb_kind(), seed in 0u64..10_000) {
+        let clip = patterns::sample_pattern(
+            kind, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert!(!clip.is_blank());
+        let window = clip.window();
+        prop_assert_eq!(window.width(), patterns::CLIP_SIDE_NM);
+        prop_assert_eq!(window.height(), patterns::CLIP_SIDE_NM);
+        for shape in clip.shapes() {
+            prop_assert!(window.contains_rect(shape), "shape escapes window");
+            prop_assert!(shape.width() > 0 && shape.height() > 0);
+            // Grid-snapped to the 10 nm raster.
+            prop_assert_eq!(shape.lo().x % 10, 0);
+            prop_assert_eq!(shape.hi().y % 10, 0);
+        }
+    }
+
+    #[test]
+    fn pattern_generation_is_seed_deterministic(kind in arb_kind(), seed in 0u64..10_000) {
+        let a = patterns::sample_pattern(kind, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        let b = patterns::sample_pattern(kind, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_sampling_never_panics(
+        weights in proptest::collection::vec(0.01f64..5.0, 1..7),
+        seed in 0u64..1_000,
+    ) {
+        let mix: Vec<(PatternKind, f64)> = PatternKind::ALL
+            .iter()
+            .copied()
+            .zip(weights.iter().copied())
+            .collect();
+        let clip = patterns::sample_from_mix(
+            &mix, &mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert!(!clip.is_blank());
+    }
+
+    #[test]
+    fn dataset_counts_are_consistent(hs in 0usize..20, nhs in 0usize..20) {
+        let window = Rect::new(0, 0, 100, 100).expect("window");
+        let mut data = Dataset::new();
+        for _ in 0..hs {
+            data.push(Sample { clip: Clip::new(window), hotspot: true });
+        }
+        for _ in 0..nhs {
+            data.push(Sample { clip: Clip::new(window), hotspot: false });
+        }
+        prop_assert_eq!(data.hotspot_count(), hs);
+        prop_assert_eq!(data.non_hotspot_count(), nhs);
+        prop_assert_eq!(data.len(), hs + nhs);
+        if hs + nhs > 0 {
+            let r = data.hotspot_ratio();
+            prop_assert!((r - hs as f64 / (hs + nhs) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn split_tail_preserves_all_samples(
+        n in 4usize..60,
+        frac in 0.1f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let window = Rect::new(0, 0, 100, 100).expect("window");
+        let mut data = Dataset::new();
+        for i in 0..n {
+            data.push(Sample { clip: Clip::new(window), hotspot: i % 3 == 0 });
+        }
+        data.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let total_hs = data.hotspot_count();
+        let (head, tail) = data.split_tail(frac);
+        prop_assert_eq!(head.len() + tail.len(), n);
+        prop_assert_eq!(head.hotspot_count() + tail.hotspot_count(), total_hs);
+        prop_assert!(!tail.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Division of clip images into block grids (paper Step 1).
+
+use crate::DctError;
+use hotspot_geometry::Grid;
+
+/// Splits `image` into a `grid_dim × grid_dim` array of equal square blocks,
+/// returned row-major (block `(i, j)` at index `j * grid_dim + i`).
+///
+/// The image must be square with side divisible by `grid_dim`, mirroring the
+/// paper's `B = N / n` sub-region size.
+///
+/// # Errors
+///
+/// Returns [`DctError::ZeroDimension`] if `grid_dim == 0`, or
+/// [`DctError::BlockMismatch`] if the image is not square or not divisible.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Grid;
+///
+/// # fn main() -> Result<(), hotspot_dct::DctError> {
+/// let img = Grid::from_vec(4, 4, (0..16).map(|v| v as f32).collect());
+/// let blocks = hotspot_dct::blocks::split_blocks(&img, 2)?;
+/// assert_eq!(blocks.len(), 4);
+/// assert_eq!(blocks[0].as_slice(), &[0.0, 1.0, 4.0, 5.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_blocks(image: &Grid<f32>, grid_dim: usize) -> Result<Vec<Grid<f32>>, DctError> {
+    let block = block_size(image, grid_dim)?;
+    let mut out = Vec::with_capacity(grid_dim * grid_dim);
+    for j in 0..grid_dim {
+        for i in 0..grid_dim {
+            out.push(image.window(i * block, j * block, block, block));
+        }
+    }
+    Ok(out)
+}
+
+/// Reassembles blocks produced by [`split_blocks`] into a full image.
+///
+/// # Errors
+///
+/// Returns [`DctError::ZeroDimension`] on an empty input and
+/// [`DctError::BlockMismatch`] when the block count is not a perfect square
+/// of `grid_dim` or blocks disagree in size.
+pub fn join_blocks(blocks: &[Grid<f32>], grid_dim: usize) -> Result<Grid<f32>, DctError> {
+    if grid_dim == 0 || blocks.is_empty() {
+        return Err(DctError::ZeroDimension);
+    }
+    if blocks.len() != grid_dim * grid_dim {
+        return Err(DctError::BlockMismatch {
+            width: blocks.len(),
+            height: 1,
+            grid_dim,
+        });
+    }
+    let b = blocks[0].width();
+    for blk in blocks {
+        if blk.width() != b || blk.height() != b {
+            return Err(DctError::BlockMismatch {
+                width: blk.width(),
+                height: blk.height(),
+                grid_dim,
+            });
+        }
+    }
+    let side = b * grid_dim;
+    let mut out = Grid::filled(side, side, 0.0f32);
+    for j in 0..grid_dim {
+        for i in 0..grid_dim {
+            let blk = &blocks[j * grid_dim + i];
+            for y in 0..b {
+                let dst = out.row_mut(j * b + y);
+                dst[i * b..(i + 1) * b].copy_from_slice(blk.row(y));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Validates shape and returns the block side length `B = N / n`.
+///
+/// # Errors
+///
+/// Same conditions as [`split_blocks`].
+pub fn block_size(image: &Grid<f32>, grid_dim: usize) -> Result<usize, DctError> {
+    if grid_dim == 0 {
+        return Err(DctError::ZeroDimension);
+    }
+    let mismatch = || DctError::BlockMismatch {
+        width: image.width(),
+        height: image.height(),
+        grid_dim,
+    };
+    if image.width() != image.height() || !image.width().is_multiple_of(grid_dim) || image.is_empty() {
+        return Err(mismatch());
+    }
+    Ok(image.width() / grid_dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img(side: usize) -> Grid<f32> {
+        Grid::from_vec(side, side, (0..side * side).map(|v| v as f32).collect())
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let im = img(12);
+        for n in [1usize, 2, 3, 4, 6, 12] {
+            let blocks = split_blocks(&im, n).unwrap();
+            let back = join_blocks(&blocks, n).unwrap();
+            assert_eq!(im, back, "grid_dim {n}");
+        }
+    }
+
+    #[test]
+    fn block_order_is_row_major() {
+        let im = img(4);
+        let blocks = split_blocks(&im, 2).unwrap();
+        // Block (1, 0) = right-top quadrant in image coords (low y first).
+        assert_eq!(blocks[1].as_slice(), &[2.0, 3.0, 6.0, 7.0]);
+        // Block (0, 1) = second block row.
+        assert_eq!(blocks[2].as_slice(), &[8.0, 9.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let g = Grid::filled(6, 4, 0.0f32);
+        assert!(matches!(
+            split_blocks(&g, 2),
+            Err(DctError::BlockMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_divisible() {
+        let g = img(10);
+        assert!(matches!(
+            split_blocks(&g, 3),
+            Err(DctError::BlockMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_grid() {
+        let g = img(4);
+        assert_eq!(split_blocks(&g, 0).err(), Some(DctError::ZeroDimension));
+    }
+
+    #[test]
+    fn join_validates_count_and_sizes() {
+        let blocks = split_blocks(&img(4), 2).unwrap();
+        assert!(join_blocks(&blocks[..3], 2).is_err());
+        let mut bad = blocks.clone();
+        bad[3] = Grid::filled(3, 3, 0.0f32);
+        assert!(join_blocks(&bad, 2).is_err());
+    }
+}

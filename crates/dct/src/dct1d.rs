@@ -1,0 +1,128 @@
+//! Orthonormal 1-D DCT-II and its inverse (DCT-III).
+
+use crate::DctError;
+
+/// Forward orthonormal DCT-II of `input`, appended into a fresh vector.
+///
+/// `output[k] = s(k) * Σ_x input[x] cos(π (x + ½) k / N)` with
+/// `s(0) = √(1/N)`, `s(k>0) = √(2/N)`, so the transform matrix is orthogonal
+/// and [`dct3`] is its exact inverse.
+///
+/// # Errors
+///
+/// Returns [`DctError::ZeroDimension`] for empty input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), hotspot_dct::DctError> {
+/// let x = [1.0f32, 2.0, 3.0, 4.0];
+/// let c = hotspot_dct::dct1d::dct2(&x)?;
+/// let y = hotspot_dct::dct1d::dct3(&c)?;
+/// for (a, b) in x.iter().zip(y.iter()) {
+///     assert!((a - b).abs() < 1e-5);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn dct2(input: &[f32]) -> Result<Vec<f32>, DctError> {
+    let n = input.len();
+    if n == 0 {
+        return Err(DctError::ZeroDimension);
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = 0.0f64;
+        for (x, &v) in input.iter().enumerate() {
+            acc += v as f64 * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos();
+        }
+        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        out.push((acc * scale) as f32);
+    }
+    Ok(out)
+}
+
+/// Inverse of [`dct2`] (the orthonormal DCT-III).
+///
+/// # Errors
+///
+/// Returns [`DctError::ZeroDimension`] for empty input.
+pub fn dct3(input: &[f32]) -> Result<Vec<f32>, DctError> {
+    let n = input.len();
+    if n == 0 {
+        return Err(DctError::ZeroDimension);
+    }
+    let nf = n as f64;
+    let mut out = Vec::with_capacity(n);
+    for x in 0..n {
+        let mut acc = 0.0f64;
+        for (k, &v) in input.iter().enumerate() {
+            let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            acc += scale * v as f64
+                * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos();
+        }
+        out.push(acc as f32);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(dct2(&[]), Err(DctError::ZeroDimension));
+        assert_eq!(dct3(&[]), Err(DctError::ZeroDimension));
+    }
+
+    #[test]
+    fn constant_signal_has_only_dc() {
+        let c = dct2(&[3.0; 8]).unwrap();
+        // DC = 3 * 8 * sqrt(1/8) = 3*sqrt(8)
+        assert!((c[0] as f64 - 3.0 * 8.0f64.sqrt()).abs() < 1e-5);
+        for &v in &c[1..] {
+            assert!(v.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let x: Vec<f32> = (0..16).map(|i| ((i * 37 + 5) % 11) as f32 - 5.0).collect();
+        let y = dct3(&dct2(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.3).sin()).collect();
+        let c = dct2(&x).unwrap();
+        let ex: f64 = x.iter().map(|&v| (v as f64).powi(2)).sum();
+        let ec: f64 = c.iter().map(|&v| (v as f64).powi(2)).sum();
+        assert!((ex - ec).abs() < 1e-6 * ex.max(1.0));
+    }
+
+    #[test]
+    fn single_element_is_identity() {
+        let c = dct2(&[5.0]).unwrap();
+        assert!((c[0] - 5.0).abs() < 1e-6);
+        let y = dct3(&c).unwrap();
+        assert!((y[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = [1.0f32, -2.0, 0.5, 4.0];
+        let b = [0.0f32, 1.0, -1.0, 2.0];
+        let sum: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ca = dct2(&a).unwrap();
+        let cb = dct2(&b).unwrap();
+        let cs = dct2(&sum).unwrap();
+        for i in 0..4 {
+            assert!((cs[i] - (ca[i] + cb[i])).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Feature-tensor extraction and reconstruction (the paper's Section 3).
+
+use crate::{blocks, zigzag, Dct2d, DctError};
+use hotspot_geometry::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of feature-tensor extraction: an `n × n` block grid with the
+/// first `k` zig-zag DCT coefficients kept per block.
+///
+/// The paper's reference configuration is `n = 12` (1200×1200 nm clip, 100 nm
+/// blocks) with `k ≪ B×B`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FeatureTensorSpec {
+    grid_dim: usize,
+    coefficients: usize,
+}
+
+impl FeatureTensorSpec {
+    /// Creates a spec with `grid_dim` blocks per axis keeping `coefficients`
+    /// values per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DctError::ZeroDimension`] if either parameter is zero.
+    pub fn new(grid_dim: usize, coefficients: usize) -> Result<Self, DctError> {
+        if grid_dim == 0 || coefficients == 0 {
+            return Err(DctError::ZeroDimension);
+        }
+        Ok(FeatureTensorSpec {
+            grid_dim,
+            coefficients,
+        })
+    }
+
+    /// Blocks per axis (`n`).
+    #[inline]
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    /// Kept coefficients per block (`k`).
+    #[inline]
+    pub fn coefficients(&self) -> usize {
+        self.coefficients
+    }
+}
+
+/// The paper's compressed hyper-image: `k` channels of `n × n` spatial cells.
+///
+/// `data` is channel-major (`[c][j][i]`, row-major within a channel), the
+/// layout the CNN consumes directly; element `(i, j, c)` is the `c`-th
+/// zig-zag DCT coefficient of block `(i, j)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureTensor {
+    grid_dim: usize,
+    coefficients: usize,
+    block_size: usize,
+    data: Vec<f32>,
+}
+
+impl FeatureTensor {
+    /// Blocks per axis (`n`).
+    #[inline]
+    pub fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+
+    /// Channels (`k`).
+    #[inline]
+    pub fn coefficients(&self) -> usize {
+        self.coefficients
+    }
+
+    /// Pixel side length `B` of the source blocks (needed for
+    /// reconstruction).
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Channel-major backing buffer of length `k * n * n`.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the tensor, returning the channel-major buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Coefficient `c` of block `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of range.
+    #[inline]
+    pub fn coefficient(&self, i: usize, j: usize, c: usize) -> f32 {
+        assert!(i < self.grid_dim && j < self.grid_dim && c < self.coefficients);
+        self.data[(c * self.grid_dim + j) * self.grid_dim + i]
+    }
+
+    /// One channel as an `n × n` grid (e.g. channel 0 is the per-block DC
+    /// map — a density-like thumbnail of the clip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= coefficients`.
+    pub fn channel(&self, c: usize) -> Grid<f32> {
+        assert!(c < self.coefficients, "channel {c} out of range");
+        let n = self.grid_dim;
+        Grid::from_vec(n, n, self.data[c * n * n..(c + 1) * n * n].to_vec())
+    }
+}
+
+/// Extracts the feature tensor of a rasterised clip image.
+///
+/// Implements paper Steps 1–4: block division, per-block 2-D DCT, zig-zag
+/// flattening, truncation to the first `k` coefficients, reassembled with
+/// spatial relationships unchanged.
+///
+/// # Errors
+///
+/// - [`DctError::BlockMismatch`] if the image is not square or not divisible
+///   by the grid dimension.
+/// - [`DctError::TooManyCoefficients`] if `k > B × B`.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_dct::{extract_feature_tensor, FeatureTensorSpec};
+/// use hotspot_geometry::Grid;
+///
+/// # fn main() -> Result<(), hotspot_dct::DctError> {
+/// let img = Grid::filled(120, 120, 0.25f32);
+/// let spec = FeatureTensorSpec::new(12, 16)?;
+/// let t = extract_feature_tensor(&img, &spec)?;
+/// assert_eq!((t.grid_dim(), t.coefficients(), t.block_size()), (12, 16, 10));
+/// // Constant image: every block has only a DC component.
+/// assert!((t.coefficient(3, 7, 0) - 0.25 * 10.0).abs() < 1e-4);
+/// assert!(t.coefficient(3, 7, 1).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn extract_feature_tensor(
+    image: &Grid<f32>,
+    spec: &FeatureTensorSpec,
+) -> Result<FeatureTensor, DctError> {
+    let n = spec.grid_dim;
+    let k = spec.coefficients;
+    let b = blocks::block_size(image, n)?;
+    if k > b * b {
+        return Err(DctError::TooManyCoefficients {
+            requested: k,
+            available: b * b,
+        });
+    }
+    let plan = Dct2d::new(b)?;
+    let order = zigzag::zigzag_indices(b);
+    let mut data = vec![0.0f32; k * n * n];
+    for j in 0..n {
+        for i in 0..n {
+            let block = image.window(i * b, j * b, b, b);
+            let coeffs = plan.forward(&block)?;
+            for (c, &(x, y)) in order[..k].iter().enumerate() {
+                data[(c * n + j) * n + i] = coeffs[(x, y)];
+            }
+        }
+    }
+    Ok(FeatureTensor {
+        grid_dim: n,
+        coefficients: k,
+        block_size: b,
+        data,
+    })
+}
+
+/// Recovers an approximation of the original clip image from a feature
+/// tensor (the paper's "reversing above procedure").
+///
+/// Dropped high-frequency coefficients are zero-filled, so the result is the
+/// best `k`-term zig-zag approximation per block.
+///
+/// # Errors
+///
+/// Returns [`DctError::BlockMismatch`] if `block_size` disagrees with the
+/// tensor's recorded block size, and [`DctError::ZeroDimension`] if zero.
+pub fn reconstruct_image(tensor: &FeatureTensor, block_size: usize) -> Result<Grid<f32>, DctError> {
+    if block_size == 0 {
+        return Err(DctError::ZeroDimension);
+    }
+    if block_size != tensor.block_size {
+        return Err(DctError::BlockMismatch {
+            width: block_size,
+            height: block_size,
+            grid_dim: tensor.grid_dim,
+        });
+    }
+    let n = tensor.grid_dim;
+    let k = tensor.coefficients;
+    let b = block_size;
+    let plan = Dct2d::new(b)?;
+    let mut block_images = Vec::with_capacity(n * n);
+    let mut scan = vec![0.0f32; k];
+    for j in 0..n {
+        for i in 0..n {
+            for (c, slot) in scan.iter_mut().enumerate() {
+                *slot = tensor.data[(c * n + j) * n + i];
+            }
+            let coeffs = zigzag::zigzag_unscan(&scan, b);
+            block_images.push(plan.inverse(&coeffs)?);
+        }
+    }
+    blocks::join_blocks(&block_images, n)
+}
+
+/// Root-mean-square pixel error between an image and its feature-tensor
+/// round trip — the information-loss metric reported by the `fig1` bench.
+///
+/// # Errors
+///
+/// Propagates extraction/reconstruction errors.
+pub fn reconstruction_rmse(
+    image: &Grid<f32>,
+    spec: &FeatureTensorSpec,
+) -> Result<f64, DctError> {
+    let tensor = extract_feature_tensor(image, spec)?;
+    let back = reconstruct_image(&tensor, tensor.block_size())?;
+    let mut acc = 0.0f64;
+    for (a, b) in image.iter().zip(back.iter()) {
+        let d = (*a - *b) as f64;
+        acc += d * d;
+    }
+    Ok((acc / image.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(side: usize, period: usize) -> Grid<f32> {
+        let mut g = Grid::filled(side, side, 0.0f32);
+        for y in 0..side {
+            for x in 0..side {
+                if (x / period).is_multiple_of(2) {
+                    g[(x, y)] = 1.0;
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(FeatureTensorSpec::new(0, 4).is_err());
+        assert!(FeatureTensorSpec::new(12, 0).is_err());
+        let s = FeatureTensorSpec::new(12, 32).unwrap();
+        assert_eq!((s.grid_dim(), s.coefficients()), (12, 32));
+    }
+
+    #[test]
+    fn rejects_too_many_coefficients() {
+        let img = Grid::filled(24, 24, 0.0f32);
+        let spec = FeatureTensorSpec::new(12, 5).unwrap(); // blocks are 2x2 = 4
+        assert!(matches!(
+            extract_feature_tensor(&img, &spec),
+            Err(DctError::TooManyCoefficients { requested: 5, available: 4 })
+        ));
+    }
+
+    #[test]
+    fn full_coefficients_reconstruct_exactly() {
+        let img = stripes(24, 3);
+        let spec = FeatureTensorSpec::new(6, 16).unwrap(); // 4x4 blocks, keep all
+        let t = extract_feature_tensor(&img, &spec).unwrap();
+        let back = reconstruct_image(&t, 4).unwrap();
+        for (a, b) in img.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        assert!(reconstruction_rmse(&img, &spec).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn rmse_decreases_with_more_coefficients() {
+        let img = stripes(48, 5);
+        let mut last = f64::INFINITY;
+        for k in [1usize, 4, 16, 36, 64] {
+            let spec = FeatureTensorSpec::new(6, k).unwrap(); // 8x8 blocks
+            let rmse = reconstruction_rmse(&img, &spec).unwrap();
+            assert!(
+                rmse <= last + 1e-9,
+                "rmse should be monotone nonincreasing: k={k} rmse={rmse} last={last}"
+            );
+            last = rmse;
+        }
+        assert!(last < 1e-4, "full coefficient set must be lossless");
+    }
+
+    #[test]
+    fn channel_zero_is_block_dc() {
+        let img = stripes(24, 24); // left half 1, right half 0... (period 24: all 1)
+        let spec = FeatureTensorSpec::new(4, 2).unwrap(); // 6x6 blocks
+        let t = extract_feature_tensor(&img, &spec).unwrap();
+        let dc = t.channel(0);
+        // All-ones image: DC per orthonormal 2-D DCT = mean * B = 6.
+        for &v in dc.iter() {
+            assert!((v - 6.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn tensor_layout_is_channel_major() {
+        let img = stripes(8, 2);
+        let spec = FeatureTensorSpec::new(2, 3).unwrap();
+        let t = extract_feature_tensor(&img, &spec).unwrap();
+        assert_eq!(t.as_slice().len(), 3 * 2 * 2);
+        assert_eq!(t.coefficient(1, 0, 2), t.as_slice()[(2 * 2) * 2 + 1]);
+    }
+
+    #[test]
+    fn reconstruct_checks_block_size() {
+        let img = stripes(24, 3);
+        let spec = FeatureTensorSpec::new(6, 4).unwrap();
+        let t = extract_feature_tensor(&img, &spec).unwrap();
+        assert!(reconstruct_image(&t, 5).is_err());
+        assert!(reconstruct_image(&t, 0).is_err());
+        assert!(reconstruct_image(&t, 4).is_ok());
+    }
+
+    #[test]
+    fn spatial_information_is_preserved() {
+        // A feature the flattened baselines lose: two clips with identical
+        // global density but different spatial arrangement must produce
+        // different DC channels.
+        let mut left = Grid::filled(24, 24, 0.0f32);
+        let mut right = Grid::filled(24, 24, 0.0f32);
+        for y in 0..24 {
+            for x in 0..12 {
+                left[(x, y)] = 1.0;
+                right[(x + 12, y)] = 1.0;
+            }
+        }
+        let spec = FeatureTensorSpec::new(4, 1).unwrap();
+        let tl = extract_feature_tensor(&left, &spec).unwrap();
+        let tr = extract_feature_tensor(&right, &spec).unwrap();
+        assert_ne!(tl.channel(0), tr.channel(0));
+        // But total DC energy (global density) matches.
+        let sl: f32 = tl.channel(0).iter().sum();
+        let sr: f32 = tr.channel(0).iter().sum();
+        assert!((sl - sr).abs() < 1e-4);
+    }
+}

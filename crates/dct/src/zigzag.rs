@@ -1,0 +1,172 @@
+//! JPEG-style zig-zag coefficient ordering (paper Step 3, via [Wallace'92]).
+//!
+//! Zig-zag scanning linearises a 2-D coefficient block so that index order is
+//! (roughly) ascending total frequency; truncating the tail of the scan then
+//! drops the highest-frequency content first.
+//!
+//! [Wallace'92]: https://doi.org/10.1109/30.125072
+
+use hotspot_geometry::Grid;
+
+/// The zig-zag visiting order for an `n × n` block, as `(x, y)` pairs.
+///
+/// Starts at DC `(0, 0)`, then walks anti-diagonals alternately up-right and
+/// down-left, exactly as in JPEG.
+///
+/// # Examples
+///
+/// ```
+/// let order = hotspot_dct::zigzag_indices(3);
+/// assert_eq!(order[0], (0, 0));
+/// assert_eq!(order.len(), 9);
+/// assert_eq!(order[8], (2, 2));
+/// ```
+pub fn zigzag_indices(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n * n);
+    if n == 0 {
+        return out;
+    }
+    for s in 0..(2 * n - 1) {
+        // Anti-diagonal s: cells with x + y == s.
+        let lo = s.saturating_sub(n - 1);
+        let hi = s.min(n - 1);
+        if s % 2 == 0 {
+            // Walk from high y to low y (up-right).
+            for y in (lo..=hi).rev() {
+                out.push((s - y, y));
+            }
+        } else {
+            // Walk from high x to low x (down-left).
+            for x in (lo..=hi).rev() {
+                out.push((x, s - x));
+            }
+        }
+    }
+    out
+}
+
+/// Flattens a square coefficient block into zig-zag order
+/// (`C*` of the paper's Eq. (1)).
+///
+/// # Panics
+///
+/// Panics if `coeffs` is not square.
+pub fn zigzag_scan(coeffs: &Grid<f32>) -> Vec<f32> {
+    assert_eq!(coeffs.width(), coeffs.height(), "zig-zag needs a square block");
+    zigzag_indices(coeffs.width())
+        .into_iter()
+        .map(|(x, y)| coeffs[(x, y)])
+        .collect()
+}
+
+/// Inverse of [`zigzag_scan`]: rebuilds an `n × n` block from a (possibly
+/// truncated) zig-zag vector, zero-filling the missing tail.
+///
+/// This is the "recover an approximation of the original clip" direction of
+/// the paper's feature tensor.
+///
+/// # Panics
+///
+/// Panics if `scan.len() > n * n`.
+pub fn zigzag_unscan(scan: &[f32], n: usize) -> Grid<f32> {
+    assert!(
+        scan.len() <= n * n,
+        "scan of {} values exceeds {}x{} block",
+        scan.len(),
+        n,
+        n
+    );
+    let mut out = Grid::filled(n, n, 0.0f32);
+    for ((x, y), &v) in zigzag_indices(n).into_iter().zip(scan.iter()) {
+        out[(x, y)] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_4x4_order() {
+        // The standard JPEG zig-zag for 4x4 in (x, y):
+        let expect = vec![
+            (0, 0),
+            (1, 0),
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (2, 0),
+            (3, 0),
+            (2, 1),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (2, 2),
+            (3, 1),
+            (3, 2),
+            (2, 3),
+            (3, 3),
+        ];
+        assert_eq!(zigzag_indices(4), expect);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        for n in [1usize, 2, 3, 7, 12] {
+            let idx = zigzag_indices(n);
+            assert_eq!(idx.len(), n * n);
+            let mut seen = vec![false; n * n];
+            for (x, y) in idx {
+                assert!(x < n && y < n);
+                assert!(!seen[y * n + x], "duplicate ({x},{y})");
+                seen[y * n + x] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn frequencies_mostly_ascend() {
+        // Total frequency x+y never decreases by more than 0 across
+        // diagonal boundaries (each diagonal groups equal x+y).
+        let idx = zigzag_indices(8);
+        let sums: Vec<usize> = idx.iter().map(|&(x, y)| x + y).collect();
+        for w in sums.windows(2) {
+            assert!(w[1] + 1 >= w[0], "frequency dropped across scan");
+            assert!(w[1] <= w[0] + 1, "frequency jumped");
+        }
+    }
+
+    #[test]
+    fn scan_unscan_roundtrip() {
+        let g = Grid::from_vec(5, 5, (0..25).map(|v| v as f32).collect());
+        let s = zigzag_scan(&g);
+        let back = zigzag_unscan(&s, 5);
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn truncated_unscan_zero_fills() {
+        let g = Grid::from_vec(3, 3, (1..=9).map(|v| v as f32).collect());
+        let s = zigzag_scan(&g);
+        let back = zigzag_unscan(&s[..3], 3);
+        // First three in scan order survive...
+        assert_eq!(back[(0, 0)], g[(0, 0)]);
+        assert_eq!(back[(1, 0)], g[(1, 0)]);
+        assert_eq!(back[(0, 1)], g[(0, 1)]);
+        // ...everything else is zero.
+        assert_eq!(back[(2, 2)], 0.0);
+        assert_eq!(back[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn zero_size_block() {
+        assert!(zigzag_indices(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_scan_panics() {
+        let _ = zigzag_unscan(&[0.0; 10], 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Grid density extraction (SPIE'15-style).
+
+use crate::FeatureError;
+use hotspot_geometry::Grid;
+
+/// Divides the coverage image into an `n × n` grid of blocks and returns
+/// the mean density of each block, flattened row-major into a 1-D vector of
+/// length `n²`.
+///
+/// This is the "simplified feature extraction" of the SPIE'15 AdaBoost
+/// detector (ref. 4): compact, fast, but spatially lossy once flattened — the
+/// deficiency the paper's feature tensor addresses.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::ZeroParameter`] for `grid_dim == 0` and
+/// [`FeatureError::GridMismatch`] when the image is not square or not
+/// divisible by `grid_dim`.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Grid;
+///
+/// # fn main() -> Result<(), hotspot_features::FeatureError> {
+/// let mut img = Grid::filled(8, 8, 0.0f32);
+/// for y in 0..8 {
+///     for x in 0..4 {
+///         img[(x, y)] = 1.0; // left half covered
+///     }
+/// }
+/// let f = hotspot_features::density_feature(&img, 2)?;
+/// assert_eq!(f, vec![1.0, 0.0, 1.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn density_feature(image: &Grid<f32>, grid_dim: usize) -> Result<Vec<f32>, FeatureError> {
+    if grid_dim == 0 {
+        return Err(FeatureError::ZeroParameter("grid_dim"));
+    }
+    if image.width() != image.height() || !image.width().is_multiple_of(grid_dim) || image.is_empty() {
+        return Err(FeatureError::GridMismatch {
+            width: image.width(),
+            height: image.height(),
+            grid_dim,
+        });
+    }
+    let block = image.width() / grid_dim;
+    let norm = 1.0 / (block * block) as f32;
+    let mut out = Vec::with_capacity(grid_dim * grid_dim);
+    for j in 0..grid_dim {
+        for i in 0..grid_dim {
+            let mut acc = 0.0f32;
+            for y in 0..block {
+                let row = image.row(j * block + y);
+                for x in 0..block {
+                    acc += row[i * block + x];
+                }
+            }
+            out.push(acc * norm);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_image_uniform_density() {
+        let img = Grid::filled(12, 12, 0.25f32);
+        let f = density_feature(&img, 3).unwrap();
+        assert_eq!(f.len(), 9);
+        assert!(f.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn mean_is_preserved() {
+        let img = Grid::from_vec(6, 6, (0..36).map(|v| v as f32 / 36.0).collect());
+        let f = density_feature(&img, 2).unwrap();
+        let feature_mean: f64 = f.iter().map(|&v| v as f64).sum::<f64>() / f.len() as f64;
+        assert!((feature_mean - img.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_major_order() {
+        let mut img = Grid::filled(4, 4, 0.0f32);
+        // Fill only the top-right block (x >= 2, y < 2).
+        for y in 0..2 {
+            for x in 2..4 {
+                img[(x, y)] = 1.0;
+            }
+        }
+        let f = density_feature(&img, 2).unwrap();
+        assert_eq!(f, vec![0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let img = Grid::filled(10, 10, 0.0f32);
+        assert!(matches!(
+            density_feature(&img, 0),
+            Err(FeatureError::ZeroParameter(_))
+        ));
+        assert!(matches!(
+            density_feature(&img, 3),
+            Err(FeatureError::GridMismatch { .. })
+        ));
+        let rect = Grid::filled(10, 8, 0.0f32);
+        assert!(density_feature(&rect, 2).is_err());
+    }
+
+    #[test]
+    fn loses_spatial_information_after_permutation() {
+        // The documented deficiency: permuting blocks changes the layout but
+        // only permutes the flattened feature — a linear model cannot
+        // distinguish orderings that a spatial model can.
+        let mut left = Grid::filled(4, 4, 0.0f32);
+        let mut right = Grid::filled(4, 4, 0.0f32);
+        for y in 0..4 {
+            for x in 0..2 {
+                left[(x, y)] = 1.0;
+                right[(x + 2, y)] = 1.0;
+            }
+        }
+        let fl = density_feature(&left, 2).unwrap();
+        let fr = density_feature(&right, 2).unwrap();
+        let mut sl = fl.clone();
+        let mut sr = fr.clone();
+        sl.sort_by(f32::total_cmp);
+        sr.sort_by(f32::total_cmp);
+        assert_eq!(sl, sr, "same multiset of densities");
+        assert_ne!(fl, fr, "different arrangement");
+    }
+}

@@ -1,0 +1,337 @@
+//! K-means clustering of layout feature vectors.
+//!
+//! The feature tensor is inspired by spectral analysis of mask patterns for
+//! wafer clustering ([10, 11] in the paper). This module provides the
+//! clustering side: Lloyd's algorithm with k-means++ seeding over any flat
+//! feature vectors (density, CCS, or flattened feature tensors), used by
+//! the `pattern_clustering` example to group layout clips into topology
+//! families.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared L2).
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 4,
+            max_iters: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f32>>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means with k-means++ seeding.
+    ///
+    /// Returns the fitted model and the per-sample cluster assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty, `k` is zero or exceeds the sample
+    /// count, or feature vectors are ragged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hotspot_features::kmeans::{KMeans, KMeansConfig};
+    /// use rand::SeedableRng;
+    ///
+    /// let samples = vec![
+    ///     vec![0.0f32, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+    ///     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
+    /// ];
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let config = KMeansConfig { k: 2, ..KMeansConfig::default() };
+    /// let (model, assign) = KMeans::fit(&samples, &config, &mut rng);
+    /// assert_eq!(assign[0], assign[1]);
+    /// assert_ne!(assign[0], assign[3]);
+    /// assert!(model.inertia() < 0.1);
+    /// ```
+    pub fn fit(
+        samples: &[Vec<f32>],
+        config: &KMeansConfig,
+        rng: &mut StdRng,
+    ) -> (KMeans, Vec<usize>) {
+        assert!(!samples.is_empty(), "k-means needs samples");
+        assert!(
+            config.k > 0 && config.k <= samples.len(),
+            "k must be in 1..=sample count"
+        );
+        let dim = samples[0].len();
+        assert!(
+            samples.iter().all(|s| s.len() == dim),
+            "ragged feature vectors"
+        );
+
+        let mut centroids = kmeanspp_seed(samples, config.k, rng);
+        let mut assignments = vec![0usize; samples.len()];
+        let mut iterations = 0usize;
+        for _ in 0..config.max_iters {
+            iterations += 1;
+            // Assign.
+            for (a, s) in assignments.iter_mut().zip(samples.iter()) {
+                *a = nearest(&centroids, s).0;
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f64; dim]; config.k];
+            let mut counts = vec![0usize; config.k];
+            for (&a, s) in assignments.iter().zip(samples.iter()) {
+                counts[a] += 1;
+                for (acc, &v) in sums[a].iter_mut().zip(s.iter()) {
+                    *acc += v as f64;
+                }
+            }
+            let mut movement = 0.0f64;
+            for c in 0..config.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the farthest sample.
+                    let far = samples
+                        .iter()
+                        .max_by(|a, b| {
+                            let da = nearest(&centroids, a).1;
+                            let db = nearest(&centroids, b).1;
+                            da.total_cmp(&db)
+                        })
+                        .expect("non-empty samples");
+                    centroids[c] = far.clone();
+                    movement += f64::INFINITY;
+                    continue;
+                }
+                for (j, acc) in sums[c].iter().enumerate() {
+                    let new = (acc / counts[c] as f64) as f32;
+                    let d = (new - centroids[c][j]) as f64;
+                    movement += d * d;
+                    centroids[c][j] = new;
+                }
+            }
+            if movement < config.tolerance {
+                break;
+            }
+        }
+        // Final assignment + inertia.
+        let mut inertia = 0.0f64;
+        for (a, s) in assignments.iter_mut().zip(samples.iter()) {
+            let (best, d) = nearest(&centroids, s);
+            *a = best;
+            inertia += d;
+        }
+        (
+            KMeans {
+                centroids,
+                inertia,
+                iterations,
+            },
+            assignments,
+        )
+    }
+
+    /// Cluster centroids.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Sum of squared distances of samples to their centroid.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Assigns a new sample to its nearest cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature length differs from the training dimension.
+    pub fn predict(&self, sample: &[f32]) -> usize {
+        assert_eq!(sample.len(), self.centroids[0].len(), "feature length");
+        nearest(&self.centroids, sample).0
+    }
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum()
+}
+
+fn nearest(centroids: &[Vec<f32>], sample: &[f32]) -> (usize, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(c, sample);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+fn kmeanspp_seed(samples: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = samples
+            .iter()
+            .map(|s| nearest(&centroids, s).1)
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            // All remaining samples coincide with centroids; duplicate one.
+            centroids.push(samples[rng.gen_range(0..samples.len())].clone());
+            continue;
+        }
+        let mut draw = rng.gen_range(0.0..total);
+        let mut chosen = samples.len() - 1;
+        for (i, &d) in dists.iter().enumerate() {
+            if draw < d {
+                chosen = i;
+                break;
+            }
+            draw -= d;
+        }
+        centroids.push(samples[chosen].clone());
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn blobs() -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for c in 0..3 {
+            let centre = c as f32 * 10.0;
+            for i in 0..8 {
+                out.push(vec![centre + (i % 3) as f32 * 0.1, centre - (i % 2) as f32 * 0.1]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let samples = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(4));
+        // All members of a blob share a cluster; blobs differ.
+        for b in 0..3 {
+            let first = assign[b * 8];
+            for i in 0..8 {
+                assert_eq!(assign[b * 8 + i], first, "blob {b} split");
+            }
+        }
+        assert_ne!(assign[0], assign[8]);
+        assert_ne!(assign[8], assign[16]);
+        assert!(model.inertia() < 1.0);
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let samples = vec![vec![0.0f32], vec![2.0], vec![4.0]];
+        let cfg = KMeansConfig {
+            k: 1,
+            ..KMeansConfig::default()
+        };
+        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(0));
+        assert!(assign.iter().all(|&a| a == 0));
+        assert!((model.centroids()[0][0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_matches_training_assignment() {
+        let samples = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(7));
+        for (s, &a) in samples.iter().zip(assign.iter()) {
+            assert_eq!(model.predict(s), a);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let samples = blobs();
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let (m1, a1) = KMeans::fit(&samples, &cfg, &mut rng(9));
+        let (m2, a2) = KMeans::fit(&samples, &cfg, &mut rng(9));
+        assert_eq!(m1, m2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let samples = vec![vec![1.0f32, 1.0]; 10];
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let (model, _) = KMeans::fit(&samples, &cfg, &mut rng(2));
+        assert!(model.inertia() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_larger_than_samples_rejected() {
+        let samples = vec![vec![0.0f32]];
+        let cfg = KMeansConfig {
+            k: 2,
+            ..KMeansConfig::default()
+        };
+        let _ = KMeans::fit(&samples, &cfg, &mut rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_features_rejected() {
+        let samples = vec![vec![0.0f32], vec![0.0, 1.0]];
+        let cfg = KMeansConfig {
+            k: 1,
+            ..KMeansConfig::default()
+        };
+        let _ = KMeans::fit(&samples, &cfg, &mut rng(0));
+    }
+}

@@ -1,0 +1,61 @@
+//! Classical flattened layout features for the baseline detectors.
+//!
+//! The paper compares against two prior-art feature families, both of which
+//! flatten the clip into a 1-D vector and therefore discard the spatial
+//! relationships the feature tensor preserves:
+//!
+//! - [`density`]: grid density extraction (SPIE'15 (ref. 4)) — per-block pattern
+//!   density over an `n × n` division of the clip.
+//! - [`ccs`]: concentric circle sampling (ICCAD'16 (ref. 5), (ref. 7)) — pixel samples
+//!   along circles of increasing radius around the clip centre, capturing
+//!   the radial structure light diffraction cares about.
+//!
+//! Both operate on the same rasterised coverage images as the rest of the
+//! suite. [`kmeans`] adds k-means++ clustering over any of these feature
+//! vectors — the wafer-clustering analysis ([10, 11] in the paper) that
+//! inspired the spectral feature tensor.
+
+pub mod ccs;
+pub mod density;
+pub mod kmeans;
+
+pub use ccs::{ccs_feature, CcsSpec};
+pub use density::density_feature;
+pub use kmeans::{KMeans, KMeansConfig};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from feature extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeatureError {
+    /// The requested grid does not divide the image.
+    GridMismatch {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Requested grid dimension.
+        grid_dim: usize,
+    },
+    /// A spec parameter was zero.
+    ZeroParameter(&'static str),
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::GridMismatch {
+                width,
+                height,
+                grid_dim,
+            } => write!(
+                f,
+                "image {width}x{height} cannot be divided into a {grid_dim}x{grid_dim} grid"
+            ),
+            FeatureError::ZeroParameter(name) => write!(f, "feature parameter {name} is zero"),
+        }
+    }
+}
+
+impl Error for FeatureError {}

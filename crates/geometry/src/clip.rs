@@ -1,0 +1,171 @@
+//! Layout clips: the windowed patterns a hotspot detector classifies.
+
+use crate::{Point, Polygon, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A fixed window of a layout together with the mask shapes inside it.
+///
+/// The DAC'17 paper classifies 1200×1200 nm² clips; [`Clip`] generalises the
+/// window. Shapes are clamped to the window when inserted via
+/// [`Clip::push`] — geometry outside the window cannot influence the raster
+/// and would silently distort density statistics otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::{Clip, Rect};
+///
+/// # fn main() -> Result<(), hotspot_geometry::GeometryError> {
+/// let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+/// clip.push(Rect::new(-50, 100, 300, 140)?); // clamped to x >= 0
+/// assert_eq!(clip.shapes()[0], Rect::new(0, 100, 300, 140)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clip {
+    window: Rect,
+    shapes: Vec<Rect>,
+}
+
+impl Clip {
+    /// Creates an empty clip over `window`.
+    pub fn new(window: Rect) -> Self {
+        Clip {
+            window,
+            shapes: Vec::new(),
+        }
+    }
+
+    /// Creates a clip over `window` pre-populated with `shapes` (each clamped
+    /// to the window; shapes entirely outside are dropped).
+    pub fn with_shapes<I: IntoIterator<Item = Rect>>(window: Rect, shapes: I) -> Self {
+        let mut clip = Clip::new(window);
+        for s in shapes {
+            clip.push(s);
+        }
+        clip
+    }
+
+    /// The clip window.
+    #[inline]
+    pub fn window(&self) -> Rect {
+        self.window
+    }
+
+    /// The (clamped) mask shapes.
+    #[inline]
+    pub fn shapes(&self) -> &[Rect] {
+        &self.shapes
+    }
+
+    /// Adds a shape, clamped to the window. Returns `true` if any part of the
+    /// shape landed inside the window.
+    pub fn push(&mut self, shape: Rect) -> bool {
+        match shape.intersection(&self.window) {
+            Some(clamped) => {
+                self.shapes.push(clamped);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds every rectangle of a rectilinear polygon.
+    pub fn push_polygon(&mut self, polygon: &Polygon) {
+        for r in polygon.to_rects() {
+            self.push(r);
+        }
+    }
+
+    /// Number of shapes.
+    #[inline]
+    pub fn shape_count(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether the clip holds no shapes.
+    #[inline]
+    pub fn is_blank(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Pattern density: union-free approximation `sum(shape areas) / window
+    /// area`. Exact when shapes are disjoint (true for all generated
+    /// patterns in this suite).
+    pub fn density(&self) -> f64 {
+        let covered: i64 = self.shapes.iter().map(|r| r.area()).sum();
+        covered as f64 / self.window.area() as f64
+    }
+
+    /// Returns a copy translated so the window's low corner sits at the
+    /// origin. Normalising clips makes raster outputs comparable.
+    pub fn normalized(&self) -> Clip {
+        let d = Point::origin() - self.window.lo();
+        Clip {
+            window: self.window.translated(d),
+            shapes: self.shapes.iter().map(|r| r.translated(d)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> Rect {
+        Rect::new(0, 0, 100, 100).unwrap()
+    }
+
+    #[test]
+    fn push_clamps_to_window() {
+        let mut c = Clip::new(window());
+        assert!(c.push(Rect::new(-10, -10, 20, 20).unwrap()));
+        assert_eq!(c.shapes()[0], Rect::new(0, 0, 20, 20).unwrap());
+    }
+
+    #[test]
+    fn push_outside_is_dropped() {
+        let mut c = Clip::new(window());
+        assert!(!c.push(Rect::new(200, 200, 300, 300).unwrap()));
+        assert!(c.is_blank());
+    }
+
+    #[test]
+    fn density_of_disjoint_shapes() {
+        let mut c = Clip::new(window());
+        c.push(Rect::new(0, 0, 50, 100).unwrap());
+        assert!((c.density() - 0.5).abs() < 1e-12);
+        c.push(Rect::new(50, 0, 100, 50).unwrap());
+        assert!((c.density() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_moves_window_to_origin() {
+        let w = Rect::new(1000, 2000, 1100, 2100).unwrap();
+        let mut c = Clip::new(w);
+        c.push(Rect::new(1010, 2010, 1020, 2090).unwrap());
+        let n = c.normalized();
+        assert_eq!(n.window().lo(), Point::origin());
+        assert_eq!(n.shapes()[0], Rect::new(10, 10, 20, 90).unwrap());
+        // Density is translation invariant.
+        assert!((n.density() - c.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_insertion() {
+        let mut c = Clip::new(window());
+        let l = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(20, 0),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .unwrap();
+        c.push_polygon(&l);
+        let covered: i64 = c.shapes().iter().map(|r| r.area()).sum();
+        assert_eq!(covered, l.area());
+    }
+}

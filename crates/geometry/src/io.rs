@@ -1,0 +1,283 @@
+//! Plain-text clip interchange format.
+//!
+//! Real physical-verification flows exchange pattern libraries between
+//! tools; this module defines a minimal line-oriented format for clips so
+//! benchmarks, hotspot libraries and single patterns can be saved and
+//! reloaded without a GDSII dependency:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! clip 0 0 1200 1200      # window: x0 y0 x1 y1 (nm)
+//! rect 100 100 200 1100   # one shape per line, window-relative absolute nm
+//! rect 300 100 400 1100
+//! end
+//! ```
+//!
+//! Multiple `clip … end` records may appear in one file/stream.
+
+use crate::{Clip, GeometryError, Rect};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from reading the clip text format.
+#[derive(Debug)]
+pub enum ClipIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Geometry validation failed (degenerate rect, etc.).
+    Geometry(GeometryError),
+}
+
+impl fmt::Display for ClipIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClipIoError::Io(e) => write!(f, "i/o failure: {e}"),
+            ClipIoError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            ClipIoError::Geometry(e) => write!(f, "invalid geometry: {e}"),
+        }
+    }
+}
+
+impl Error for ClipIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClipIoError::Io(e) => Some(e),
+            ClipIoError::Geometry(e) => Some(e),
+            ClipIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClipIoError {
+    fn from(e: std::io::Error) -> Self {
+        ClipIoError::Io(e)
+    }
+}
+
+impl From<GeometryError> for ClipIoError {
+    fn from(e: GeometryError) -> Self {
+        ClipIoError::Geometry(e)
+    }
+}
+
+/// Writes clips in the text format. Pass `&mut` of any [`Write`]r.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::{io, Clip, Rect};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+/// clip.push(Rect::new(100, 100, 200, 1100)?);
+/// let mut buf = Vec::new();
+/// io::write_clips(&mut buf, [&clip])?;
+/// let back = io::read_clips(&mut buf.as_slice())?;
+/// assert_eq!(back, vec![clip]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_clips<'a, W, I>(writer: W, clips: I) -> Result<(), ClipIoError>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Clip>,
+{
+    let mut w = writer;
+    for clip in clips {
+        let win = clip.window();
+        writeln!(
+            w,
+            "clip {} {} {} {}",
+            win.lo().x,
+            win.lo().y,
+            win.hi().x,
+            win.hi().y
+        )?;
+        for r in clip.shapes() {
+            writeln!(w, "rect {} {} {} {}", r.lo().x, r.lo().y, r.hi().x, r.hi().y)?;
+        }
+        writeln!(w, "end")?;
+    }
+    Ok(())
+}
+
+/// Reads every clip record from a text stream. Pass `&mut` of any
+/// [`BufRead`]er (e.g. `&mut file_bytes.as_slice()`).
+///
+/// # Errors
+///
+/// Returns [`ClipIoError::Parse`] on malformed lines (unknown keyword,
+/// wrong arity, `rect` outside a record, unterminated record) and
+/// [`ClipIoError::Geometry`] on degenerate coordinates.
+pub fn read_clips<R: BufRead>(reader: R) -> Result<Vec<Clip>, ClipIoError> {
+    let mut clips = Vec::new();
+    let mut current: Option<Clip> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.split('#').next().unwrap_or("").trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a token");
+        let args: Vec<&str> = parts.collect();
+        match keyword {
+            "clip" => {
+                if current.is_some() {
+                    return Err(ClipIoError::Parse {
+                        line: lineno,
+                        reason: "nested 'clip' before 'end'".into(),
+                    });
+                }
+                let c = parse_coords(&args, lineno)?;
+                current = Some(Clip::new(Rect::new(c[0], c[1], c[2], c[3])?));
+            }
+            "rect" => {
+                let clip = current.as_mut().ok_or_else(|| ClipIoError::Parse {
+                    line: lineno,
+                    reason: "'rect' outside a clip record".into(),
+                })?;
+                let c = parse_coords(&args, lineno)?;
+                clip.push(Rect::new(c[0], c[1], c[2], c[3])?);
+            }
+            "end" => {
+                let clip = current.take().ok_or_else(|| ClipIoError::Parse {
+                    line: lineno,
+                    reason: "'end' without a clip record".into(),
+                })?;
+                clips.push(clip);
+            }
+            other => {
+                return Err(ClipIoError::Parse {
+                    line: lineno,
+                    reason: format!("unknown keyword '{other}'"),
+                });
+            }
+        }
+    }
+    if current.is_some() {
+        return Err(ClipIoError::Parse {
+            line: 0,
+            reason: "unterminated clip record at end of input".into(),
+        });
+    }
+    Ok(clips)
+}
+
+fn parse_coords(args: &[&str], lineno: usize) -> Result<[i64; 4], ClipIoError> {
+    if args.len() != 4 {
+        return Err(ClipIoError::Parse {
+            line: lineno,
+            reason: format!("expected 4 coordinates, got {}", args.len()),
+        });
+    }
+    let mut out = [0i64; 4];
+    for (slot, token) in out.iter_mut().zip(args.iter()) {
+        *slot = token.parse().map_err(|_| ClipIoError::Parse {
+            line: lineno,
+            reason: format!("'{token}' is not an integer"),
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_clip() -> Clip {
+        let mut c = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+        c.push(Rect::new(100, 100, 200, 1100).unwrap());
+        c.push(Rect::new(300, 100, 400, 1100).unwrap());
+        c
+    }
+
+    #[test]
+    fn roundtrip_multiple_clips() {
+        let a = sample_clip();
+        let mut b = Clip::new(Rect::new(1000, 1000, 2200, 2200).unwrap());
+        b.push(Rect::new(1100, 1100, 1500, 1500).unwrap());
+        let mut buf = Vec::new();
+        write_clips(&mut buf, [&a, &b]).unwrap();
+        let back = read_clips(buf.as_slice()).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header comment\nclip 0 0 100 100\n  # indented comment\nrect 10 10 20 20 # trailing\n\nend\n";
+        let clips = read_clips(text.as_bytes()).unwrap();
+        assert_eq!(clips.len(), 1);
+        assert_eq!(clips[0].shape_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert!(read_clips("".as_bytes()).unwrap().is_empty());
+        assert!(read_clips("# only comments\n".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        // rect before clip.
+        assert!(matches!(
+            read_clips("rect 0 0 1 1\n".as_bytes()),
+            Err(ClipIoError::Parse { line: 1, .. })
+        ));
+        // Wrong arity.
+        assert!(matches!(
+            read_clips("clip 0 0 100\n".as_bytes()),
+            Err(ClipIoError::Parse { line: 1, .. })
+        ));
+        // Non-integer.
+        assert!(matches!(
+            read_clips("clip 0 0 1x0 100\n".as_bytes()),
+            Err(ClipIoError::Parse { .. })
+        ));
+        // Unknown keyword.
+        assert!(matches!(
+            read_clips("polygon 0 0 1 1\n".as_bytes()),
+            Err(ClipIoError::Parse { .. })
+        ));
+        // end without clip.
+        assert!(matches!(
+            read_clips("end\n".as_bytes()),
+            Err(ClipIoError::Parse { .. })
+        ));
+        // Unterminated record.
+        assert!(matches!(
+            read_clips("clip 0 0 10 10\nrect 0 0 5 5\n".as_bytes()),
+            Err(ClipIoError::Parse { line: 0, .. })
+        ));
+        // Nested clip.
+        assert!(matches!(
+            read_clips("clip 0 0 10 10\nclip 0 0 10 10\n".as_bytes()),
+            Err(ClipIoError::Parse { line: 2, .. })
+        ));
+        // Degenerate rect surfaces as a geometry error.
+        assert!(matches!(
+            read_clips("clip 0 0 10 10\nrect 5 5 5 8\nend\n".as_bytes()),
+            Err(ClipIoError::Geometry(_))
+        ));
+    }
+
+    #[test]
+    fn shapes_outside_window_are_clamped_like_push() {
+        let text = "clip 0 0 100 100\nrect -50 -50 50 50\nend\n";
+        let clips = read_clips(text.as_bytes()).unwrap();
+        assert_eq!(clips[0].shapes()[0], Rect::new(0, 0, 50, 50).unwrap());
+    }
+}

@@ -1,0 +1,77 @@
+//! Layout geometry substrate for the hotspot-detection suite.
+//!
+//! All coordinates are integer **nanometres** (`i64`), matching how physical
+//! verification tools snap mask layouts to a manufacturing grid. The crate
+//! provides:
+//!
+//! - [`Point`] and [`Rect`]: Manhattan primitives.
+//! - [`Polygon`]: rectilinear polygons with scanline decomposition into rects.
+//! - [`Clip`]: a fixed window of layout (the unit classified by a hotspot
+//!   detector — the paper uses 1200×1200 nm² clips).
+//! - [`Grid`]: a dense row-major raster container.
+//! - [`raster`]: area-accurate rasterisation of clips onto a [`Grid<f32>`],
+//!   the input of both the lithography simulator and feature extraction.
+//! - [`io`]: a plain-text clip interchange format for saving and loading
+//!   pattern libraries.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspot_geometry::{Clip, Rect, raster::rasterize_clip};
+//!
+//! # fn main() -> Result<(), hotspot_geometry::GeometryError> {
+//! let window = Rect::new(0, 0, 1200, 1200)?;
+//! let mut clip = Clip::new(window);
+//! clip.push(Rect::new(100, 100, 200, 1100)?);
+//! let image = rasterize_clip(&clip, 10); // 10 nm/pixel -> 120×120 grid
+//! assert_eq!((image.width(), image.height()), (120, 120));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod clip;
+pub mod grid;
+pub mod io;
+pub mod point;
+pub mod polygon;
+pub mod raster;
+pub mod rect;
+
+pub use clip::Clip;
+pub use grid::Grid;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// A rectangle was given with `lo` not strictly below-left of `hi`.
+    EmptyRect {
+        /// Requested low corner.
+        lo: Point,
+        /// Requested high corner.
+        hi: Point,
+    },
+    /// A polygon outline was not a valid closed rectilinear ring.
+    InvalidPolygon(&'static str),
+    /// A raster resolution of zero nanometres per pixel was requested.
+    ZeroResolution,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyRect { lo, hi } => {
+                write!(f, "rectangle has no area: lo {lo}, hi {hi}")
+            }
+            GeometryError::InvalidPolygon(why) => write!(f, "invalid rectilinear polygon: {why}"),
+            GeometryError::ZeroResolution => write!(f, "raster resolution must be nonzero"),
+        }
+    }
+}
+
+impl Error for GeometryError {}

@@ -1,0 +1,157 @@
+//! Integer-nanometre points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A point on the manufacturing grid, in nanometres.
+///
+/// `Point` is also used as a displacement vector; [`Add`]/[`Sub`] are
+/// component-wise.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Point;
+///
+/// let a = Point::new(10, 20);
+/// let b = Point::new(1, 2);
+/// assert_eq!(a + b, Point::new(11, 22));
+/// assert_eq!(a - b, Point::new(9, 18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in nm.
+    pub x: i64,
+    /// Vertical coordinate in nm.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` nm.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    #[inline]
+    pub const fn origin() -> Self {
+        Point { x: 0, y: 0 }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use hotspot_geometry::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan_distance(Point::new(3, -4)), 7);
+    /// ```
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> i64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`, as `f64`.
+    #[inline]
+    pub fn euclidean_distance(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    #[inline]
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_origin() {
+        assert_eq!(Point::new(3, 4), Point { x: 3, y: 4 });
+        assert_eq!(Point::origin(), Point::default());
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Point::new(5, -7);
+        let b = Point::new(-2, 9);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::origin();
+        let b = Point::new(3, 4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert!((a.euclidean_distance(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1, 2).into();
+        assert_eq!(p, Point::new(1, 2));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+}

@@ -1,0 +1,251 @@
+//! Axis-aligned rectangles in integer nanometres.
+
+use crate::{GeometryError, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-degenerate axis-aligned rectangle `[lo.x, hi.x) × [lo.y, hi.y)`.
+///
+/// Rectangles are half-open: a 40 nm wide line from x=100 to x=140 covers
+/// pixels/coordinates `100..140`. The constructor enforces positive width and
+/// height, so every `Rect` has nonzero area ([`GeometryError::EmptyRect`]
+/// otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Rect;
+///
+/// # fn main() -> Result<(), hotspot_geometry::GeometryError> {
+/// let r = Rect::new(0, 0, 40, 200)?;
+/// assert_eq!(r.width(), 40);
+/// assert_eq!(r.height(), 200);
+/// assert_eq!(r.area(), 8_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle spanning `[x0, x1) × [y0, y1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyRect`] if `x1 <= x0` or `y1 <= y0`.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Result<Self, GeometryError> {
+        Self::from_corners(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    /// Creates a rectangle from its low (bottom-left) and high (top-right)
+    /// corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyRect`] if the rectangle would be empty.
+    pub fn from_corners(lo: Point, hi: Point) -> Result<Self, GeometryError> {
+        if hi.x <= lo.x || hi.y <= lo.y {
+            return Err(GeometryError::EmptyRect { lo, hi });
+        }
+        Ok(Rect { lo, hi })
+    }
+
+    /// Creates a rectangle from a corner plus width/height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyRect`] if `w <= 0` or `h <= 0`.
+    pub fn from_size(lo: Point, w: i64, h: i64) -> Result<Self, GeometryError> {
+        Self::from_corners(lo, Point::new(lo.x + w, lo.y + h))
+    }
+
+    /// Bottom-left corner.
+    #[inline]
+    pub fn lo(&self) -> Point {
+        self.lo
+    }
+
+    /// Top-right corner (exclusive).
+    #[inline]
+    pub fn hi(&self) -> Point {
+        self.hi
+    }
+
+    /// Width in nm (always positive).
+    #[inline]
+    pub fn width(&self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height in nm (always positive).
+    #[inline]
+    pub fn height(&self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area in nm² (always positive).
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Centre of the rectangle, rounded down to the grid.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.lo.x + self.hi.x) / 2, (self.lo.y + self.hi.y) / 2)
+    }
+
+    /// Whether `p` lies inside the half-open extents.
+    ///
+    /// ```
+    /// use hotspot_geometry::{Point, Rect};
+    /// # fn main() -> Result<(), hotspot_geometry::GeometryError> {
+    /// let r = Rect::new(0, 0, 10, 10)?;
+    /// assert!(r.contains(Point::new(0, 0)));
+    /// assert!(!r.contains(Point::new(10, 0)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x < self.hi.x && p.y >= self.lo.y && p.y < self.hi.y
+    }
+
+    /// Whether `other` is entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.lo.x >= self.lo.x
+            && other.lo.y >= self.lo.y
+            && other.hi.x <= self.hi.x
+            && other.hi.y <= self.hi.y
+    }
+
+    /// Whether the two rectangles share interior area.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The overlapping region, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let lo = Point::new(self.lo.x.max(other.lo.x), self.lo.y.max(other.lo.y));
+        let hi = Point::new(self.hi.x.min(other.hi.x), self.hi.y.min(other.hi.y));
+        Rect::from_corners(lo, hi).ok()
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn bounding_union(&self, other: &Rect) -> Rect {
+        // Cannot be empty because both inputs are non-empty.
+        Rect {
+            lo: Point::new(self.lo.x.min(other.lo.x), self.lo.y.min(other.lo.y)),
+            hi: Point::new(self.hi.x.max(other.hi.x), self.hi.y.max(other.hi.y)),
+        }
+    }
+
+    /// Rectangle shifted by displacement `d`.
+    #[inline]
+    pub fn translated(&self, d: Point) -> Rect {
+        Rect {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// Rectangle grown outward by `margin` nm on every side (shrunk if
+    /// negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::EmptyRect`] when a negative margin collapses
+    /// the rectangle.
+    pub fn inflated(&self, margin: i64) -> Result<Rect, GeometryError> {
+        Rect::from_corners(
+            Point::new(self.lo.x - margin, self.lo.y - margin),
+            Point::new(self.hi.x + margin, self.hi.y + margin),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} - {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: i64, y0: i64, x1: i64, y1: i64) -> Rect {
+        Rect::new(x0, y0, x1, y1).expect("valid rect")
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(Rect::new(0, 0, 0, 10).is_err());
+        assert!(Rect::new(0, 0, 10, 0).is_err());
+        assert!(Rect::new(5, 5, 3, 8).is_err());
+    }
+
+    #[test]
+    fn dimensions() {
+        let a = r(-5, -5, 5, 15);
+        assert_eq!(a.width(), 10);
+        assert_eq!(a.height(), 20);
+        assert_eq!(a.area(), 200);
+        assert_eq!(a.center(), Point::new(0, 5));
+    }
+
+    #[test]
+    fn containment_half_open() {
+        let a = r(0, 0, 10, 10);
+        assert!(a.contains(Point::new(9, 9)));
+        assert!(!a.contains(Point::new(9, 10)));
+        assert!(a.contains_rect(&a));
+        assert!(a.contains_rect(&r(1, 1, 9, 9)));
+        assert!(!a.contains_rect(&r(1, 1, 11, 9)));
+    }
+
+    #[test]
+    fn intersection_behaviour() {
+        let a = r(0, 0, 10, 10);
+        let b = r(5, 5, 15, 15);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(r(5, 5, 10, 10)));
+        // Touching edges share no interior.
+        let c = r(10, 0, 20, 10);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn union_and_translate() {
+        let a = r(0, 0, 1, 1);
+        let b = r(10, 10, 11, 11);
+        assert_eq!(a.bounding_union(&b), r(0, 0, 11, 11));
+        assert_eq!(a.translated(Point::new(3, 4)), r(3, 4, 4, 5));
+    }
+
+    #[test]
+    fn inflation() {
+        let a = r(10, 10, 20, 20);
+        assert_eq!(a.inflated(5).unwrap(), r(5, 5, 25, 25));
+        assert_eq!(a.inflated(-4).unwrap(), r(14, 14, 16, 16));
+        assert!(a.inflated(-5).is_err());
+    }
+
+    #[test]
+    fn from_size_matches_corners() {
+        assert_eq!(
+            Rect::from_size(Point::new(2, 3), 4, 5).unwrap(),
+            r(2, 3, 6, 8)
+        );
+        assert!(Rect::from_size(Point::origin(), 0, 5).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the geometry substrate.
+
+use hotspot_geometry::{raster, Clip, Grid, Point, Polygon, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i64..500, 0i64..500, 1i64..300, 1i64..300)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h).expect("positive extent"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(a.intersects(&b));
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+
+    #[test]
+    fn bounding_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.bounding_union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn translation_preserves_shape(a in arb_rect(), dx in -100i64..100, dy in -100i64..100) {
+        let t = a.translated(Point::new(dx, dy));
+        prop_assert_eq!(t.width(), a.width());
+        prop_assert_eq!(t.height(), a.height());
+        prop_assert_eq!(t.area(), a.area());
+        prop_assert_eq!(t.translated(Point::new(-dx, -dy)), a);
+    }
+
+    #[test]
+    fn intersection_area_bounded(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.area() <= a.area());
+            prop_assert!(i.area() <= b.area());
+        }
+    }
+
+    #[test]
+    fn raster_mass_matches_clipped_area(
+        rects in proptest::collection::vec(arb_rect(), 1..6),
+        res in prop_oneof![Just(5u32), Just(10), Just(20)],
+    ) {
+        // Coverage sum * pixel area == total clipped shape area when
+        // shapes are disjoint; with overlap it's <=. Use disjoint-by-
+        // construction: offset each rect far apart vertically.
+        let window = Rect::new(0, 0, 800, 800 * rects.len() as i64).expect("window");
+        let mut clip = Clip::new(window);
+        let mut expected = 0i64;
+        for (i, r) in rects.iter().enumerate() {
+            let shifted = r.translated(Point::new(0, 800 * i as i64));
+            if let Some(inside) = shifted.intersection(&window) {
+                expected += inside.area();
+                clip.push(shifted);
+            }
+        }
+        let img = raster::rasterize_clip(&clip, res);
+        let mass = img.sum() * (res as f64) * (res as f64);
+        prop_assert!((mass - expected as f64).abs() < 1e-2 * (expected as f64).max(1.0),
+            "mass {mass} vs area {expected}");
+    }
+
+    #[test]
+    fn raster_values_are_coverage_fractions(r in arb_rect(), res in 1u32..30) {
+        let clip = Clip::with_shapes(Rect::new(0, 0, 600, 600).expect("window"), [r]);
+        let img = raster::rasterize_clip(&clip, res);
+        for &v in img.iter() {
+            prop_assert!((0.0..=1.0).contains(&v), "coverage {v} out of range");
+        }
+    }
+
+    #[test]
+    fn polygon_from_rect_roundtrips(r in arb_rect()) {
+        let p = Polygon::from(r);
+        prop_assert_eq!(p.area(), r.area());
+        prop_assert_eq!(p.bounding_box(), r);
+        let rects = p.to_rects();
+        prop_assert_eq!(rects.len(), 1);
+        prop_assert_eq!(rects[0], r);
+    }
+
+    #[test]
+    fn staircase_polygon_decomposition_is_disjoint_and_exact(
+        steps in 1usize..6,
+        w in 10i64..50,
+        h in 10i64..50,
+    ) {
+        // Build a staircase: union of `steps` stacked rects, each shifted
+        // right by w. Outline it manually and compare areas.
+        let mut verts = vec![Point::new(0, 0)];
+        for s in 0..steps as i64 {
+            verts.push(Point::new(w * (s + 1), h * s));
+            verts.push(Point::new(w * (s + 1), h * (s + 1)));
+        }
+        // Close back along the top and left.
+        verts.push(Point::new(0, h * steps as i64));
+        let poly = Polygon::new(verts).expect("valid staircase");
+        let rects = poly.to_rects();
+        // Disjoint.
+        for i in 0..rects.len() {
+            for j in (i + 1)..rects.len() {
+                prop_assert!(!rects[i].intersects(&rects[j]));
+            }
+        }
+        // Exact area: sum of a staircase = w*h*(1+2+..+steps)... actually
+        // row s spans x in [0, w*(s+1)) so area = h * w * Σ(s+1).
+        let expected: i64 = (1..=steps as i64).map(|s| w * s * h).sum();
+        prop_assert_eq!(poly.area(), expected);
+    }
+
+    #[test]
+    fn clip_density_in_unit_range(rects in proptest::collection::vec(arb_rect(), 0..5)) {
+        let window = Rect::new(0, 0, 800, 800).expect("window");
+        let clip = Clip::with_shapes(window, rects);
+        let d = clip.density();
+        // Disjointness is not guaranteed, so density may exceed 1 only via
+        // overlap; it must still be non-negative and finite.
+        prop_assert!(d >= 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn grid_window_reads_match_direct_indexing(
+        w in 2usize..20,
+        h in 2usize..20,
+        x0 in 0usize..5,
+        y0 in 0usize..5,
+    ) {
+        let grid = Grid::from_vec(w + 5, h + 5, (0..(w + 5) * (h + 5)).map(|v| v as f32).collect());
+        let win = grid.window(x0, y0, w, h);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(win[(x, y)], grid[(x0 + x, y0 + y)]);
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Edge-placement-error (EPE) measurement.
+//!
+//! The pixel-count checks of [`crate::process`] decide *whether* a pattern
+//! fails; this module measures *how far* printed contours sit from drawn
+//! contours — the metric OPC teams track. EPE of a printed image against
+//! its target is computed from a two-pass chamfer distance transform of
+//! the target contour.
+
+use hotspot_geometry::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of per-contour-pixel edge placement error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpeStats {
+    /// Largest deviation of the printed contour from the target contour,
+    /// in pixels.
+    pub max_px: f32,
+    /// Mean deviation over all printed-contour pixels, in pixels.
+    pub mean_px: f32,
+    /// Printed-contour pixels measured.
+    pub contour_pixels: usize,
+}
+
+impl EpeStats {
+    /// Converts pixel statistics to nanometres at `resolution_nm`/px.
+    pub fn to_nm(self, resolution_nm: u32) -> (f32, f32) {
+        (
+            self.max_px * resolution_nm as f32,
+            self.mean_px * resolution_nm as f32,
+        )
+    }
+}
+
+/// Measures EPE: for every contour pixel of `printed`, the chamfer
+/// distance to the nearest contour pixel of `target`.
+///
+/// Returns `None` when the printed image has no contour (nothing printed,
+/// or everything printed) — there is no edge to measure. A target with no
+/// contour yields `None` too.
+///
+/// # Panics
+///
+/// Panics if the two images differ in shape.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Grid;
+/// use hotspot_litho::epe::edge_placement_error;
+///
+/// // Target: 4-wide column. Printed: same column shifted right by 1.
+/// let mut target = Grid::filled(12, 12, false);
+/// let mut printed = Grid::filled(12, 12, false);
+/// for y in 0..12 {
+///     for x in 4..8 {
+///         target[(x, y)] = true;
+///         printed[(x + 1, y)] = true;
+///     }
+/// }
+/// let stats = edge_placement_error(&printed, &target).expect("contours exist");
+/// assert!((stats.max_px - 1.0).abs() < 0.01);
+/// ```
+pub fn edge_placement_error(printed: &Grid<bool>, target: &Grid<bool>) -> Option<EpeStats> {
+    assert_eq!(
+        (printed.width(), printed.height()),
+        (target.width(), target.height()),
+        "printed/target shape mismatch"
+    );
+    let target_contour = contour(target);
+    if target_contour.iter().all(|&v| !v) {
+        return None;
+    }
+    let printed_contour = contour(printed);
+    let dist = chamfer_distance(&target_contour);
+
+    let mut max_px = 0.0f32;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for (is_edge, &d) in printed_contour.iter().zip(dist.iter()) {
+        if *is_edge {
+            max_px = max_px.max(d);
+            sum += d as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(EpeStats {
+        max_px,
+        mean_px: (sum / count as f64) as f32,
+        contour_pixels: count,
+    })
+}
+
+/// Boundary pixels: foreground pixels with at least one 4-neighbour that
+/// is background (or the image border).
+fn contour(image: &Grid<bool>) -> Grid<bool> {
+    let (w, h) = (image.width(), image.height());
+    let mut out = Grid::filled(w, h, false);
+    for y in 0..h {
+        for x in 0..w {
+            if !image[(x, y)] {
+                continue;
+            }
+            let edge = x == 0
+                || y == 0
+                || x == w - 1
+                || y == h - 1
+                || !image[(x - 1, y)]
+                || !image[(x + 1, y)]
+                || !image[(x, y - 1)]
+                || !image[(x, y + 1)];
+            if edge {
+                out[(x, y)] = true;
+            }
+        }
+    }
+    out
+}
+
+/// Two-pass 3-4 chamfer distance transform (scaled back by 3 so axial
+/// steps cost ~1.0), seeded at the true pixels of `seed`.
+fn chamfer_distance(seed: &Grid<bool>) -> Grid<f32> {
+    const AXIAL: f32 = 3.0;
+    const DIAG: f32 = 4.0;
+    let (w, h) = (seed.width(), seed.height());
+    let big = (w + h) as f32 * DIAG;
+    let mut d = seed.map(|&v| if v { 0.0f32 } else { big });
+    // Forward pass.
+    for y in 0..h {
+        for x in 0..w {
+            let mut best = d[(x, y)];
+            if x > 0 {
+                best = best.min(d[(x - 1, y)] + AXIAL);
+            }
+            if y > 0 {
+                best = best.min(d[(x, y - 1)] + AXIAL);
+                if x > 0 {
+                    best = best.min(d[(x - 1, y - 1)] + DIAG);
+                }
+                if x + 1 < w {
+                    best = best.min(d[(x + 1, y - 1)] + DIAG);
+                }
+            }
+            d[(x, y)] = best;
+        }
+    }
+    // Backward pass.
+    for y in (0..h).rev() {
+        for x in (0..w).rev() {
+            let mut best = d[(x, y)];
+            if x + 1 < w {
+                best = best.min(d[(x + 1, y)] + AXIAL);
+            }
+            if y + 1 < h {
+                best = best.min(d[(x, y + 1)] + AXIAL);
+                if x + 1 < w {
+                    best = best.min(d[(x + 1, y + 1)] + DIAG);
+                }
+                if x > 0 {
+                    best = best.min(d[(x - 1, y + 1)] + DIAG);
+                }
+            }
+            d[(x, y)] = best;
+        }
+    }
+    d.map(|&v| v / AXIAL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(w: usize, h: usize, x0: usize, x1: usize) -> Grid<bool> {
+        let mut g = Grid::filled(w, h, false);
+        for y in 0..h {
+            for x in x0..x1 {
+                g[(x, y)] = true;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn identical_images_have_zero_epe() {
+        let t = column(16, 16, 5, 9);
+        let s = edge_placement_error(&t, &t).unwrap();
+        assert_eq!(s.max_px, 0.0);
+        assert_eq!(s.mean_px, 0.0);
+        assert!(s.contour_pixels > 0);
+    }
+
+    #[test]
+    fn shifted_column_measures_the_shift() {
+        let target = column(20, 20, 5, 9);
+        for shift in 1..4usize {
+            let printed = column(20, 20, 5 + shift, 9 + shift);
+            let s = edge_placement_error(&printed, &target).unwrap();
+            assert!(
+                (s.max_px - shift as f32).abs() <= 0.35,
+                "shift {shift}: max {}",
+                s.max_px
+            );
+        }
+    }
+
+    #[test]
+    fn empty_printed_has_no_contour() {
+        let target = column(10, 10, 2, 5);
+        let printed = Grid::filled(10, 10, false);
+        assert!(edge_placement_error(&printed, &target).is_none());
+    }
+
+    #[test]
+    fn empty_target_has_no_reference() {
+        let target = Grid::filled(10, 10, false);
+        let printed = column(10, 10, 2, 5);
+        assert!(edge_placement_error(&printed, &target).is_none());
+    }
+
+    #[test]
+    fn nm_conversion() {
+        let s = EpeStats {
+            max_px: 2.0,
+            mean_px: 0.5,
+            contour_pixels: 10,
+        };
+        assert_eq!(s.to_nm(10), (20.0, 5.0));
+    }
+
+    #[test]
+    fn chamfer_approximates_euclidean() {
+        let mut seed = Grid::filled(21, 21, false);
+        seed[(10, 10)] = true;
+        let d = chamfer_distance(&seed);
+        assert_eq!(d[(10, 10)], 0.0);
+        assert!((d[(13, 10)] - 3.0).abs() < 0.01, "axial distance");
+        // Diagonal: true distance √2 ≈ 1.414; 3-4 chamfer gives 4/3 ≈ 1.33.
+        assert!((d[(11, 11)] - 4.0 / 3.0).abs() < 0.01);
+        let far = d[(0, 0)];
+        let true_far = (200.0f32).sqrt();
+        assert!((far - true_far).abs() / true_far < 0.1, "{far} vs {true_far}");
+    }
+
+    #[test]
+    fn grown_shape_epe_equals_growth() {
+        let target = column(20, 20, 8, 12);
+        // Printed 1 px wider on each side.
+        let printed = column(20, 20, 7, 13);
+        let s = edge_placement_error(&printed, &target).unwrap();
+        assert!((s.max_px - 1.0).abs() < 0.35, "max {}", s.max_px);
+        assert!(s.mean_px > 0.3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Separable optical point-spread-function kernels.
+
+use crate::LithoError;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D convolution kernel with odd support `2 * radius + 1`, normalised to
+/// unit sum so that large clear areas reach intensity 1.0.
+///
+/// A Gaussian is separable, so the 2-D PSF is applied as two 1-D passes —
+/// this is what keeps full-benchmark labelling tractable.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_litho::Kernel1d;
+///
+/// # fn main() -> Result<(), hotspot_litho::LithoError> {
+/// let k = Kernel1d::gaussian(30.0, 10)?; // σ = 30 nm at 10 nm/pixel
+/// let s: f32 = k.weights().iter().sum();
+/// assert!((s - 1.0).abs() < 1e-6);
+/// assert_eq!(k.weights().len(), 2 * k.radius() + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel1d {
+    radius: usize,
+    weights: Vec<f32>,
+}
+
+impl Kernel1d {
+    /// Builds a normalised Gaussian kernel for standard deviation `sigma_nm`
+    /// sampled at `resolution_nm` per pixel. Support is truncated at ±3σ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::InvalidParameter`] when `sigma_nm` is not
+    /// positive/finite or `resolution_nm` is zero.
+    pub fn gaussian(sigma_nm: f64, resolution_nm: u32) -> Result<Self, LithoError> {
+        if !(sigma_nm.is_finite() && sigma_nm > 0.0) {
+            return Err(LithoError::InvalidParameter {
+                name: "sigma_nm",
+                value: sigma_nm,
+            });
+        }
+        if resolution_nm == 0 {
+            return Err(LithoError::InvalidParameter {
+                name: "resolution_nm",
+                value: 0.0,
+            });
+        }
+        let sigma_px = sigma_nm / resolution_nm as f64;
+        let radius = (3.0 * sigma_px).ceil().max(1.0) as usize;
+        let mut weights = Vec::with_capacity(2 * radius + 1);
+        let denom = 2.0 * sigma_px * sigma_px;
+        for i in 0..=(2 * radius) {
+            let d = i as f64 - radius as f64;
+            weights.push((-d * d / denom).exp() as f32);
+        }
+        let sum: f32 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= sum;
+        }
+        Ok(Kernel1d { radius, weights })
+    }
+
+    /// Builds the defocused PSF: focus error `defocus_nm` broadens the
+    /// effective Gaussian width in quadrature,
+    /// `σ_eff = √(σ² + (c · defocus)²)` with blur coupling `c = 0.5`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Kernel1d::gaussian`]; `defocus_nm` must be
+    /// finite and non-negative.
+    pub fn gaussian_defocused(
+        sigma_nm: f64,
+        defocus_nm: f64,
+        resolution_nm: u32,
+    ) -> Result<Self, LithoError> {
+        if !(defocus_nm.is_finite() && defocus_nm >= 0.0) {
+            return Err(LithoError::InvalidParameter {
+                name: "defocus_nm",
+                value: defocus_nm,
+            });
+        }
+        let blur = 0.5 * defocus_nm;
+        Self::gaussian((sigma_nm * sigma_nm + blur * blur).sqrt(), resolution_nm)
+    }
+
+    /// Half-width of the support in pixels.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Normalised weights, length `2 * radius + 1`.
+    #[inline]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Kernel1d::gaussian(0.0, 10).is_err());
+        assert!(Kernel1d::gaussian(-5.0, 10).is_err());
+        assert!(Kernel1d::gaussian(f64::NAN, 10).is_err());
+        assert!(Kernel1d::gaussian(30.0, 0).is_err());
+        assert!(Kernel1d::gaussian_defocused(30.0, -1.0, 10).is_err());
+    }
+
+    #[test]
+    fn normalised_and_symmetric() {
+        let k = Kernel1d::gaussian(25.0, 5).unwrap();
+        let w = k.weights();
+        let sum: f64 = w.iter().map(|&v| v as f64).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        for i in 0..w.len() / 2 {
+            assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-7);
+        }
+        // Peak at centre.
+        assert!(w[k.radius()] >= *w.iter().last().unwrap());
+    }
+
+    #[test]
+    fn defocus_broadens_kernel() {
+        let nominal = Kernel1d::gaussian(30.0, 10).unwrap();
+        let blurred = Kernel1d::gaussian_defocused(30.0, 80.0, 10).unwrap();
+        // Wider support and lower peak.
+        assert!(blurred.radius() >= nominal.radius());
+        assert!(
+            blurred.weights()[blurred.radius()] < nominal.weights()[nominal.radius()]
+        );
+    }
+
+    #[test]
+    fn zero_defocus_matches_nominal() {
+        let a = Kernel1d::gaussian(30.0, 10).unwrap();
+        let b = Kernel1d::gaussian_defocused(30.0, 0.0, 10).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radius_scales_with_sigma() {
+        let narrow = Kernel1d::gaussian(10.0, 10).unwrap();
+        let wide = Kernel1d::gaussian(50.0, 10).unwrap();
+        assert!(wide.radius() > narrow.radius());
+        assert_eq!(narrow.radius(), 3); // 3σ at 1 px σ
+    }
+}

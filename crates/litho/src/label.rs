@@ -1,0 +1,316 @@
+//! End-to-end hotspot labelling of clips.
+
+use crate::{aerial, process, Kernel1d, LithoError, ProcessCorner, ResistModel};
+use crate::process::CornerReport;
+use hotspot_geometry::{raster, Clip, Grid};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the labelling simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LithoConfig {
+    /// Raster resolution in nm per pixel.
+    pub resolution_nm: u32,
+    /// Nominal PSF standard deviation in nm (≈ the optical blur of a 193 nm
+    /// scanner; 30 nm by default).
+    pub sigma_nm: f64,
+    /// Resist print threshold.
+    pub resist: ResistModel,
+    /// Dose/defocus corners that define the required process window.
+    pub corners: Vec<ProcessCorner>,
+    /// Allowed edge-placement error in nm before a pixel counts as a
+    /// printing failure.
+    pub epe_margin_nm: f64,
+    /// Border region excluded from failure analysis, in nm.
+    pub guard_band_nm: f64,
+    /// A corner only counts as failing when it has at least this many
+    /// failing pixels; suppresses 1–3 px corner-rounding artefacts of the
+    /// discrete raster.
+    pub min_failure_px: usize,
+}
+
+impl Default for LithoConfig {
+    /// Defaults tuned for 1200×1200 nm clips at 10 nm/px: σ = 30 nm, ±5 %
+    /// dose latitude, 60 nm defocus, 20 nm EPE margin, 200 nm guard band,
+    /// 4-pixel failure threshold.
+    ///
+    /// The EPE margin must stay below half the minimum half-pitch of
+    /// interest, otherwise erosion/dilation swallow the very features whose
+    /// printing is being checked.
+    fn default() -> Self {
+        LithoConfig {
+            resolution_nm: 10,
+            sigma_nm: 30.0,
+            resist: ResistModel::default(),
+            corners: ProcessCorner::standard_window(0.05, 60.0),
+            epe_margin_nm: 20.0,
+            guard_band_nm: 200.0,
+            min_failure_px: 4,
+        }
+    }
+}
+
+/// Per-clip simulation outcome: one [`CornerReport`] per process corner.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LithoReport {
+    corner_reports: Vec<CornerReport>,
+    min_failure_px: usize,
+}
+
+impl LithoReport {
+    /// Failure reports, one per configured corner (same order).
+    #[inline]
+    pub fn corner_reports(&self) -> &[CornerReport] {
+        &self.corner_reports
+    }
+
+    /// Whether a given corner report counts as failing under the
+    /// configured pixel threshold.
+    #[inline]
+    pub fn corner_fails(&self, report: &CornerReport) -> bool {
+        report.failures() >= self.min_failure_px.max(1)
+    }
+
+    /// A clip is a hotspot when *any* corner of the required process window
+    /// fails to print cleanly — i.e. its usable window is smaller than the
+    /// required one (the paper's hotspot definition).
+    pub fn is_hotspot(&self) -> bool {
+        self.corner_reports.iter().any(|r| self.corner_fails(r))
+    }
+
+    /// Number of corners that print cleanly (a crude process-window size).
+    pub fn clean_corner_count(&self) -> usize {
+        self.corner_reports
+            .iter()
+            .filter(|r| !self.corner_fails(r))
+            .count()
+    }
+
+    /// Worst-corner failing-pixel count, a severity score.
+    pub fn worst_failures(&self) -> usize {
+        self.corner_reports
+            .iter()
+            .map(CornerReport::failures)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The labelling simulator: rasterise → aerial image per corner → resist →
+/// printing check.
+///
+/// Construct once and reuse; PSF kernels for every corner are precomputed.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::{Clip, Rect};
+/// use hotspot_litho::{LithoConfig, LithoSimulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sim = LithoSimulator::new(LithoConfig::default())?;
+/// let mut dense = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+/// // 50 nm lines on a 100 nm pitch: below the σ = 30 nm optics' resolution
+/// // limit, the array prints with necking/bridging => hotspot.
+/// for i in 0..6 {
+///     dense.push(Rect::new(300 + i * 100, 0, 350 + i * 100, 1200)?);
+/// }
+/// assert!(sim.analyze_clip(&dense).is_hotspot());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LithoSimulator {
+    config: LithoConfig,
+    kernels: Vec<Kernel1d>,
+    margin_px: usize,
+    guard_px: usize,
+}
+
+impl LithoSimulator {
+    /// Builds a simulator, precomputing the per-corner PSF kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LithoError::InvalidParameter`] for non-physical parameters
+    /// (zero resolution, non-positive σ, negative margins or an empty corner
+    /// list).
+    pub fn new(config: LithoConfig) -> Result<Self, LithoError> {
+        if config.corners.is_empty() {
+            return Err(LithoError::InvalidParameter {
+                name: "corners",
+                value: 0.0,
+            });
+        }
+        if config.epe_margin_nm.is_nan() || config.epe_margin_nm < 0.0 {
+            return Err(LithoError::InvalidParameter {
+                name: "epe_margin_nm",
+                value: config.epe_margin_nm,
+            });
+        }
+        if config.guard_band_nm.is_nan() || config.guard_band_nm < 0.0 {
+            return Err(LithoError::InvalidParameter {
+                name: "guard_band_nm",
+                value: config.guard_band_nm,
+            });
+        }
+        let kernels = config
+            .corners
+            .iter()
+            .map(|c| Kernel1d::gaussian_defocused(config.sigma_nm, c.defocus_nm, config.resolution_nm))
+            .collect::<Result<Vec<_>, _>>()?;
+        let margin_px = (config.epe_margin_nm / config.resolution_nm as f64).round() as usize;
+        let guard_px = (config.guard_band_nm / config.resolution_nm as f64).round() as usize;
+        Ok(LithoSimulator {
+            config,
+            kernels,
+            margin_px,
+            guard_px,
+        })
+    }
+
+    /// The configuration this simulator was built with.
+    #[inline]
+    pub fn config(&self) -> &LithoConfig {
+        &self.config
+    }
+
+    /// Nominal-condition aerial image of a pre-rasterised mask.
+    pub fn aerial_image(&self, mask: &Grid<f32>) -> Grid<f32> {
+        aerial::aerial_image(mask, &self.kernels[0])
+    }
+
+    /// Full process-window analysis of a pre-rasterised mask.
+    pub fn analyze_raster(&self, mask: &Grid<f32>) -> LithoReport {
+        let target = mask.map(|&v| v >= 0.5);
+        let corner_reports = self
+            .config
+            .corners
+            .iter()
+            .zip(self.kernels.iter())
+            .map(|(corner, psf)| {
+                let intensity = aerial::aerial_image(mask, psf);
+                let printed = self.config.resist.develop(&intensity, corner.dose);
+                process::check_printing(&printed, &target, self.margin_px, self.guard_px)
+            })
+            .collect();
+        LithoReport {
+            corner_reports,
+            min_failure_px: self.config.min_failure_px,
+        }
+    }
+
+    /// Rasterises and analyses a clip (the labelling entry point).
+    pub fn analyze_clip(&self, clip: &Clip) -> LithoReport {
+        let mask = raster::rasterize_clip(&clip.normalized(), self.config.resolution_nm);
+        self.analyze_raster(&mask)
+    }
+
+    /// Convenience: the boolean hotspot label of a clip.
+    pub fn label_clip(&self, clip: &Clip) -> bool {
+        self.analyze_clip(clip).is_hotspot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspot_geometry::Rect;
+
+    fn window() -> Rect {
+        Rect::new(0, 0, 1200, 1200).unwrap()
+    }
+
+    fn sim() -> LithoSimulator {
+        LithoSimulator::new(LithoConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = LithoConfig::default();
+        c.corners.clear();
+        assert!(LithoSimulator::new(c).is_err());
+        let mut c = LithoConfig::default();
+        c.epe_margin_nm = -1.0;
+        assert!(LithoSimulator::new(c).is_err());
+        let mut c = LithoConfig::default();
+        c.sigma_nm = 0.0;
+        assert!(LithoSimulator::new(c).is_err());
+    }
+
+    #[test]
+    fn empty_clip_is_not_hotspot() {
+        let clip = Clip::new(window());
+        let report = sim().analyze_clip(&clip);
+        assert!(!report.is_hotspot());
+        assert_eq!(report.clean_corner_count(), report.corner_reports().len());
+    }
+
+    #[test]
+    fn wide_isolated_line_prints() {
+        let mut clip = Clip::new(window());
+        clip.push(Rect::new(500, 100, 640, 1100).unwrap()); // 140 nm line
+        assert!(!sim().label_clip(&clip));
+    }
+
+    #[test]
+    fn sub_resolution_dense_lines_fail() {
+        let mut clip = Clip::new(window());
+        for i in 0..6 {
+            // 50 nm lines, 50 nm gaps — below the σ = 30 nm optics' limit.
+            clip.push(Rect::new(300 + i * 100, 0, 350 + i * 100, 1200).unwrap());
+        }
+        let report = sim().analyze_clip(&clip);
+        assert!(report.is_hotspot());
+        assert!(report.worst_failures() > 0);
+    }
+
+    #[test]
+    fn near_limit_pattern_fails_only_off_nominal() {
+        // Find that marginal patterns exist: a pattern that prints at
+        // nominal but dies at a corner exercises the "small process
+        // window" definition. 55 nm lines / 55 nm spaces is near the edge
+        // for σ=30 nm.
+        let mut found_marginal = false;
+        for half_pitch in [45i64, 50, 55, 60, 65, 70, 75, 80] {
+            let mut clip = Clip::new(window());
+            let mut x = 300;
+            while x + half_pitch < 900 {
+                clip.push(Rect::new(x, 300, x + half_pitch, 900).unwrap());
+                x += 2 * half_pitch;
+            }
+            let report = sim().analyze_clip(&clip);
+            let nominal_clean = report.corner_reports()[0].is_clean();
+            if nominal_clean && report.is_hotspot() {
+                found_marginal = true;
+            }
+        }
+        assert!(
+            found_marginal,
+            "process-window sweep should contain marginal patterns"
+        );
+    }
+
+    #[test]
+    fn severity_grows_as_pitch_shrinks() {
+        let failure_at = |half_pitch: i64| {
+            let mut clip = Clip::new(window());
+            let mut x = 300;
+            while x + half_pitch < 900 {
+                clip.push(Rect::new(x, 300, x + half_pitch, 900).unwrap());
+                x += 2 * half_pitch;
+            }
+            sim().analyze_clip(&clip).worst_failures()
+        };
+        assert!(failure_at(50) >= failure_at(90));
+        assert!(failure_at(60) >= failure_at(120));
+    }
+
+    #[test]
+    fn labels_are_deterministic() {
+        let mut clip = Clip::new(window());
+        clip.push(Rect::new(450, 200, 510, 1000).unwrap());
+        clip.push(Rect::new(560, 200, 620, 1000).unwrap());
+        let s = sim();
+        assert_eq!(s.analyze_clip(&clip), s.analyze_clip(&clip));
+    }
+}

@@ -1,0 +1,295 @@
+//! Process-window corners and printing-failure analysis.
+
+use hotspot_geometry::Grid;
+use serde::{Deserialize, Serialize};
+
+/// One dose/defocus condition of the process window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessCorner {
+    /// Relative exposure dose (1.0 = nominal).
+    pub dose: f32,
+    /// Focus error in nm (0.0 = best focus).
+    pub defocus_nm: f64,
+}
+
+impl ProcessCorner {
+    /// The nominal condition: dose 1.0, best focus.
+    pub const fn nominal() -> Self {
+        ProcessCorner {
+            dose: 1.0,
+            defocus_nm: 0.0,
+        }
+    }
+
+    /// The standard five-corner window used throughout the suite:
+    /// nominal, dose ±`dose_latitude`, and ±`defocus_nm` (defocus blur is
+    /// symmetric, so the two focus corners coincide and one is kept, paired
+    /// with the worse dose extreme on each side).
+    pub fn standard_window(dose_latitude: f32, defocus_nm: f64) -> Vec<ProcessCorner> {
+        vec![
+            ProcessCorner::nominal(),
+            ProcessCorner {
+                dose: 1.0 + dose_latitude,
+                defocus_nm: 0.0,
+            },
+            ProcessCorner {
+                dose: 1.0 - dose_latitude,
+                defocus_nm: 0.0,
+            },
+            ProcessCorner {
+                dose: 1.0 - dose_latitude,
+                defocus_nm,
+            },
+            ProcessCorner {
+                dose: 1.0 + dose_latitude,
+                defocus_nm,
+            },
+        ]
+    }
+}
+
+impl Default for ProcessCorner {
+    fn default() -> Self {
+        ProcessCorner::nominal()
+    }
+}
+
+/// Printing-failure counts of one clip at one process corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CornerReport {
+    /// Pixels of must-print target interior that failed to print
+    /// (necking / open-circuit risk).
+    pub open_pixels: usize,
+    /// Printed pixels beyond the dilated target (bridging / short-circuit
+    /// risk).
+    pub short_pixels: usize,
+}
+
+impl CornerReport {
+    /// Whether this corner printed cleanly.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.open_pixels == 0 && self.short_pixels == 0
+    }
+
+    /// Total failing pixels.
+    #[inline]
+    pub fn failures(&self) -> usize {
+        self.open_pixels + self.short_pixels
+    }
+}
+
+/// Erodes a binary image by `r` pixels with a square structuring element
+/// (separable two-pass min filter).
+pub fn erode(image: &Grid<bool>, r: usize) -> Grid<bool> {
+    separable_morph(image, r, false)
+}
+
+/// Dilates a binary image by `r` pixels with a square structuring element
+/// (separable two-pass max filter).
+pub fn dilate(image: &Grid<bool>, r: usize) -> Grid<bool> {
+    separable_morph(image, r, true)
+}
+
+/// Shared separable morphology. `dilate = true` takes the OR over the
+/// window, erosion the AND. Outside the image counts as background, so
+/// erosion shrinks shapes at the border (conservative) and dilation does
+/// not grow beyond real geometry.
+fn separable_morph(image: &Grid<bool>, r: usize, dilate: bool) -> Grid<bool> {
+    if r == 0 {
+        return image.clone();
+    }
+    let (w, h) = (image.width(), image.height());
+    let pass = |src: &Grid<bool>, horizontal: bool| -> Grid<bool> {
+        let mut out = Grid::filled(w, h, false);
+        for y in 0..h {
+            for x in 0..w {
+                let mut v = !dilate;
+                let (cx, cy, len) = if horizontal { (x, y, w) } else { (y, x, h) };
+                let lo = cx.saturating_sub(r);
+                let hi = (cx + r).min(len - 1);
+                for c in lo..=hi {
+                    let px = if horizontal { src[(c, cy)] } else { src[(cy, c)] };
+                    if dilate {
+                        v |= px;
+                        if v {
+                            break;
+                        }
+                    } else {
+                        v &= px;
+                        if !v {
+                            break;
+                        }
+                    }
+                }
+                out[(x, y)] = v;
+            }
+        }
+        out
+    };
+    let tmp = pass(image, true);
+    pass(&tmp, false)
+}
+
+/// Compares a printed image against the target geometry.
+///
+/// - **Opens**: pixels of `erode(target, margin)` (geometry that *must*
+///   print even allowing `margin` px of edge-placement error) that did not
+///   print.
+/// - **Shorts**: printed pixels outside `dilate(target, margin)` (resist
+///   appearing more than `margin` px away from any drawn geometry).
+///
+/// Only the interior `guard..(side-guard)` region is inspected, because the
+/// aerial image is physically meaningless near the clip border (unknown
+/// surrounding context).
+///
+/// # Panics
+///
+/// Panics if `printed` and `target` have different dimensions.
+pub fn check_printing(
+    printed: &Grid<bool>,
+    target: &Grid<bool>,
+    margin_px: usize,
+    guard_px: usize,
+) -> CornerReport {
+    assert_eq!(
+        (printed.width(), printed.height()),
+        (target.width(), target.height()),
+        "printed/target dimension mismatch"
+    );
+    let must_print = erode(target, margin_px);
+    let may_print = dilate(target, margin_px);
+    let (w, h) = (target.width(), target.height());
+    if 2 * guard_px >= w || 2 * guard_px >= h {
+        return CornerReport::default();
+    }
+    let mut report = CornerReport::default();
+    for y in guard_px..h - guard_px {
+        for x in guard_px..w - guard_px {
+            let p = printed[(x, y)];
+            if must_print[(x, y)] && !p {
+                report.open_pixels += 1;
+            }
+            if p && !may_print[(x, y)] {
+                report.short_pixels += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(side: usize, x0: usize, y0: usize, x1: usize, y1: usize) -> Grid<bool> {
+        let mut g = Grid::filled(side, side, false);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                g[(x, y)] = true;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn erode_shrinks_dilate_grows() {
+        let g = block(20, 5, 5, 15, 15); // 10x10 square
+        let e = erode(&g, 2);
+        let d = dilate(&g, 2);
+        let count = |g: &Grid<bool>| g.iter().filter(|&&v| v).count();
+        assert_eq!(count(&e), 6 * 6);
+        assert_eq!(count(&d), 14 * 14);
+        assert!(e[(7, 7)] && !e[(6, 6)]);
+        assert!(d[(3, 3)] && !d[(2, 2)]);
+    }
+
+    #[test]
+    fn morphology_r0_is_identity() {
+        let g = block(10, 2, 3, 7, 8);
+        assert_eq!(erode(&g, 0), g);
+        assert_eq!(dilate(&g, 0), g);
+    }
+
+    #[test]
+    fn erosion_removes_thin_features() {
+        let g = block(20, 9, 0, 11, 20); // 2 px wide line
+        let e = erode(&g, 1);
+        assert!(e.iter().all(|&v| !v), "2 px line must vanish under r=1 erosion");
+    }
+
+    #[test]
+    fn duality_on_interior() {
+        // dilate(!g) == !erode(g) away from borders.
+        let g = block(20, 6, 6, 14, 14);
+        let ne = erode(&g, 2);
+        let inv = g.map(|&v| !v);
+        let di = dilate(&inv, 2);
+        for y in 3..17 {
+            for x in 3..17 {
+                assert_eq!(di[(x, y)], !ne[(x, y)], "at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_print_is_clean() {
+        let t = block(30, 10, 10, 20, 20);
+        let r = check_printing(&t, &t, 2, 3);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn missing_interior_is_open() {
+        let t = block(30, 10, 10, 20, 20);
+        let mut p = t.clone();
+        // Fail to print the centre.
+        for y in 13..17 {
+            for x in 13..17 {
+                p[(x, y)] = false;
+            }
+        }
+        let r = check_printing(&p, &t, 1, 3);
+        assert!(r.open_pixels >= 16);
+        assert_eq!(r.short_pixels, 0);
+    }
+
+    #[test]
+    fn extra_resist_far_away_is_short() {
+        let t = block(30, 10, 10, 20, 20);
+        let mut p = t.clone();
+        p[(25, 25)] = true; // far outside dilated target
+        let r = check_printing(&p, &t, 2, 3);
+        assert_eq!(r.short_pixels, 1);
+        assert_eq!(r.open_pixels, 0);
+    }
+
+    #[test]
+    fn edge_error_within_margin_is_tolerated() {
+        let t = block(30, 10, 10, 20, 20);
+        // Printed image shrunk by 1 px on every side: within margin 2.
+        let p = erode(&t, 1);
+        let r = check_printing(&p, &t, 2, 3);
+        assert!(r.is_clean());
+        // But not within margin 0.
+        let r0 = check_printing(&p, &t, 0, 3);
+        assert!(r0.open_pixels > 0);
+    }
+
+    #[test]
+    fn guard_band_excludes_borders() {
+        let t = block(30, 0, 0, 30, 5); // geometry hugging the border
+        let p = Grid::filled(30, 30, false); // nothing printed
+        let r = check_printing(&p, &t, 0, 6);
+        assert_eq!(r.open_pixels, 0, "failures inside the guard band must be ignored");
+    }
+
+    #[test]
+    fn standard_window_contains_nominal() {
+        let w = ProcessCorner::standard_window(0.05, 60.0);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w[0], ProcessCorner::nominal());
+        assert!(w.iter().any(|c| c.defocus_nm > 0.0));
+        assert!(w.iter().any(|c| c.dose < 1.0));
+    }
+}

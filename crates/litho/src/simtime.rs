@@ -1,0 +1,51 @@
+//! ODST cost accounting (paper Definition 3).
+//!
+//! In the physical-verification flow every clip a detector flags as a
+//! hotspot — true detection or false alarm — must be confirmed by full
+//! lithography simulation. The paper charges 10 s per flagged clip (per the
+//! ICCAD-2013 industrial simulator (ref. 17)) plus the detector's own evaluation
+//! time; the resulting *overall detection and simulation time* is the
+//! runtime metric of Table 2.
+
+/// Lithography-simulation cost per flagged clip, in seconds (paper §5).
+pub const SIM_TIME_PER_CLIP_S: f64 = 10.0;
+
+/// Overall detection-and-simulation time (seconds).
+///
+/// `ODST = (true detections + false alarms) × 10 s + evaluation time`.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_litho::simtime::odst_seconds;
+///
+/// // 2 478 detected hotspots + 3 413 false alarms + 1 232 s model time
+/// // reproduces the paper's ICCAD row arithmetic (~60 147 s).
+/// let odst = odst_seconds(2_478, 3_413, 1_232.0);
+/// assert!((odst - 60_142.0).abs() < 10.0);
+/// ```
+pub fn odst_seconds(true_detections: usize, false_alarms: usize, eval_time_s: f64) -> f64 {
+    (true_detections + false_alarms) as f64 * SIM_TIME_PER_CLIP_S + eval_time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_everything_is_zero() {
+        assert_eq!(odst_seconds(0, 0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn linear_in_flagged_clips() {
+        let base = odst_seconds(10, 5, 100.0);
+        assert_eq!(odst_seconds(11, 5, 100.0) - base, SIM_TIME_PER_CLIP_S);
+        assert_eq!(odst_seconds(10, 6, 100.0) - base, SIM_TIME_PER_CLIP_S);
+    }
+
+    #[test]
+    fn eval_time_passes_through() {
+        assert_eq!(odst_seconds(0, 0, 42.5), 42.5);
+    }
+}

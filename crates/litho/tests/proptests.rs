@@ -1,0 +1,107 @@
+//! Property-based tests for the lithography substrate.
+
+use hotspot_geometry::{Clip, Grid, Rect};
+use hotspot_litho::process::{dilate, erode};
+use hotspot_litho::{aerial, Kernel1d, LithoConfig, LithoSimulator, ResistModel};
+use proptest::prelude::*;
+
+fn arb_binary_grid() -> impl Strategy<Value = Grid<bool>> {
+    proptest::collection::vec(proptest::bool::ANY, 144)
+        .prop_map(|v| Grid::from_vec(12, 12, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gaussian_kernels_are_normalised(sigma in 1.0f64..80.0, res in 1u32..25) {
+        let k = Kernel1d::gaussian(sigma, res).expect("valid parameters");
+        let sum: f64 = k.weights().iter().map(|&w| w as f64).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert_eq!(k.weights().len(), 2 * k.radius() + 1);
+        // Symmetric and peaked at centre.
+        let w = k.weights();
+        for i in 0..w.len() / 2 {
+            prop_assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-6);
+            prop_assert!(w[i] <= w[k.radius()] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn defocus_never_narrows_the_psf(sigma in 5.0f64..60.0, defocus in 0.0f64..120.0) {
+        let nominal = Kernel1d::gaussian(sigma, 10).expect("valid");
+        let blurred = Kernel1d::gaussian_defocused(sigma, defocus, 10).expect("valid");
+        prop_assert!(blurred.radius() >= nominal.radius());
+        prop_assert!(
+            blurred.weights()[blurred.radius()] <= nominal.weights()[nominal.radius()] + 1e-7
+        );
+    }
+
+    #[test]
+    fn aerial_intensity_bounded_by_mask_range(
+        mask_vals in proptest::collection::vec(0.0f32..1.0, 24 * 24),
+        sigma in 10.0f64..50.0,
+    ) {
+        let mask = Grid::from_vec(24, 24, mask_vals);
+        let psf = Kernel1d::gaussian(sigma, 10).expect("valid");
+        let img = aerial::aerial_image(&mask, &psf);
+        for &v in img.iter() {
+            // Zero padding can only reduce intensity; blur cannot exceed
+            // the max mask transmission.
+            prop_assert!((-1e-6..=1.0 + 1e-5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn develop_is_monotone_in_dose(
+        vals in proptest::collection::vec(0.0f32..1.0, 16),
+        lo in 0.5f32..1.0,
+        extra in 0.01f32..0.5,
+    ) {
+        let aerial = Grid::from_vec(4, 4, vals);
+        let resist = ResistModel::default();
+        let a = resist.develop(&aerial, lo);
+        let b = resist.develop(&aerial, lo + extra);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!(!x | y, "pixel printed at low dose but not high");
+        }
+    }
+
+    #[test]
+    fn erode_shrinks_dilate_grows(g in arb_binary_grid(), r in 0usize..3) {
+        let e = erode(&g, r);
+        let d = dilate(&g, r);
+        for ((orig, er), di) in g.iter().zip(e.iter()).zip(d.iter()) {
+            prop_assert!(!er | orig, "erosion added a pixel");
+            prop_assert!(!orig | di, "dilation removed a pixel");
+        }
+    }
+
+    #[test]
+    fn morphology_is_monotone(g in arb_binary_grid(), r in 1usize..3) {
+        // erode(g, r) ⊆ erode(g, r-1); dilate(g, r-1) ⊆ dilate(g, r).
+        let e1 = erode(&g, r - 1);
+        let e2 = erode(&g, r);
+        let d1 = dilate(&g, r - 1);
+        let d2 = dilate(&g, r);
+        for (a, b) in e2.iter().zip(e1.iter()) {
+            prop_assert!(!a | b);
+        }
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            prop_assert!(!a | b);
+        }
+    }
+
+    #[test]
+    fn wider_lines_never_fail_harder(w1 in 6i64..12, extra in 1i64..6) {
+        // Severity is monotone non-increasing in line width for isolated
+        // vertical lines (widths in units of 10 nm).
+        let sim = LithoSimulator::new(LithoConfig::default()).expect("valid config");
+        let worst = |w: i64| {
+            let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200).expect("window"));
+            clip.push(Rect::new(600 - 5 * w, 0, 600 + 5 * w, 1200).expect("line"));
+            sim.analyze_clip(&clip).worst_failures()
+        };
+        prop_assert!(worst(w1) >= worst(w1 + extra));
+    }
+}

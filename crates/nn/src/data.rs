@@ -1,0 +1,109 @@
+//! Mini-batch index sampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws random mini-batches of indices over a dataset of `len` items.
+///
+/// [`BatchSampler::sample`] draws *with replacement* (the "randomly
+/// sample m instances" of paper Algorithm 1 line 5);
+/// [`BatchSampler::epoch`] yields a shuffled full pass for SGD-style
+/// training and deterministic evaluation orders.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::data::BatchSampler;
+/// use rand::SeedableRng;
+///
+/// let mut sampler = BatchSampler::new(100, rand::rngs::StdRng::seed_from_u64(4));
+/// let batch = sampler.sample(16);
+/// assert_eq!(batch.len(), 16);
+/// assert!(batch.iter().all(|&i| i < 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchSampler {
+    len: usize,
+    rng: StdRng,
+}
+
+impl BatchSampler {
+    /// Creates a sampler over `len` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize, rng: StdRng) -> Self {
+        assert!(len > 0, "cannot sample from an empty dataset");
+        BatchSampler { len, rng }
+    }
+
+    /// Draws `m` indices uniformly with replacement.
+    pub fn sample(&mut self, m: usize) -> Vec<usize> {
+        (0..m).map(|_| self.rng.gen_range(0..self.len)).collect()
+    }
+
+    /// A shuffled permutation of all indices (one epoch).
+    pub fn epoch(&mut self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len).collect();
+        idx.shuffle(&mut self.rng);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sampler(len: usize, seed: u64) -> BatchSampler {
+        BatchSampler::new(len, StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sample_bounds_and_size() {
+        let mut s = sampler(10, 1);
+        let b = s.sample(100);
+        assert_eq!(b.len(), 100);
+        assert!(b.iter().all(|&i| i < 10));
+        // With replacement: 100 draws from 10 items must repeat.
+        let mut uniq = b.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 10);
+    }
+
+    #[test]
+    fn epoch_is_a_permutation() {
+        let mut s = sampler(50, 2);
+        let mut e = s.epoch();
+        assert_eq!(e.len(), 50);
+        e.sort_unstable();
+        assert_eq!(e, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        assert_eq!(sampler(20, 3).sample(8), sampler(20, 3).sample(8));
+        assert_ne!(sampler(20, 3).sample(8), sampler(20, 4).sample(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let _ = sampler(0, 0);
+    }
+
+    #[test]
+    fn coverage_is_roughly_uniform() {
+        let mut s = sampler(4, 9);
+        let mut counts = [0usize; 4];
+        for i in s.sample(4000) {
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?}");
+        }
+    }
+}

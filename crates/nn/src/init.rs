@@ -1,0 +1,99 @@
+//! Weight initialisation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// He (Kaiming) normal initialisation: zero-mean Gaussian with standard
+/// deviation `√(2 / fan_in)` — the standard choice for ReLU networks like
+/// the paper's CNN.
+///
+/// Uses a Box–Muller transform so only `rand`'s uniform sampler is needed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = hotspot_nn::init::he_normal(128, 64, &mut rng);
+/// assert_eq!(w.len(), 128);
+/// let mean: f32 = w.iter().sum::<f32>() / 128.0;
+/// assert!(mean.abs() < 0.1);
+/// ```
+pub fn he_normal(count: usize, fan_in: usize, rng: &mut StdRng) -> Vec<f32> {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    standard_normal(count, rng)
+        .into_iter()
+        .map(|z| (z * std) as f32)
+        .collect()
+}
+
+/// Xavier/Glorot uniform initialisation on `±√(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(count: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Vec<f32> {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    (0..count)
+        .map(|_| rng.gen_range(-bound..bound) as f32)
+        .collect()
+}
+
+/// `count` i.i.d. standard-normal draws via Box–Muller.
+pub fn standard_normal(count: usize, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        out.push(r * theta.cos());
+        if out.len() < count {
+            out.push(r * theta.sin());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = standard_normal(20_000, &mut rng);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = he_normal(20_000, 50, &mut rng);
+        let var: f64 = w.iter().map(|&v| (v as f64).powi(2)).sum::<f64>() / w.len() as f64;
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = (6.0f64 / 30.0).sqrt() as f32;
+        let w = xavier_uniform(1000, 10, 20, &mut rng);
+        assert!(w.iter().all(|&v| v.abs() <= bound));
+        assert!(w.iter().any(|&v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(16, 8, &mut StdRng::seed_from_u64(9));
+        let b = he_normal(16, 8, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_count_supported() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(standard_normal(7, &mut rng).len(), 7);
+    }
+}

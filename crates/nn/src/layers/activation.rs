@@ -1,0 +1,187 @@
+//! Smooth activations: sigmoid and tanh.
+//!
+//! The paper replaces "the traditional sigmoid activation function" with
+//! ReLU (§4.1); these layers exist so that claim can be tested — the
+//! `activation_ablation` comparisons train the same architecture with each
+//! nonlinearity.
+
+use super::Layer;
+use crate::Tensor;
+
+/// Element-wise logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Layer, Sigmoid};
+/// use hotspot_nn::Tensor;
+///
+/// let mut s = Sigmoid::new();
+/// let y = s.forward(&Tensor::from_vec(vec![1], vec![0.0]), true);
+/// assert!((y.as_slice()[0] - 0.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    output: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        self.output = input
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        Tensor::from_vec(self.shape.clone(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.len(),
+            self.output.len(),
+            "sigmoid backward before forward or shape mismatch"
+        );
+        // dσ/dx = σ (1 - σ).
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(self.output.iter())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Element-wise hyperbolic tangent.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        self.output = input.as_slice().iter().map(|&v| v.tanh()).collect();
+        Tensor::from_vec(self.shape.clone(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.len(),
+            self.output.len(),
+            "tanh backward before forward or shape mismatch"
+        );
+        // d tanh/dx = 1 - tanh².
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(self.output.iter())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![3], vec![-3.0, 0.0, 3.0]), true);
+        let v = y.as_slice();
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((v[1] - 0.5).abs() < 1e-6);
+        assert!((v[0] + v[2] - 1.0).abs() < 1e-5, "σ(-x) = 1 - σ(x)");
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_difference() {
+        let x0 = 0.7f32;
+        let mut s = Sigmoid::new();
+        let _ = s.forward(&Tensor::from_vec(vec![1], vec![x0]), true);
+        let g = s.backward(&Tensor::from_vec(vec![1], vec![1.0]));
+        let eps = 1e-3f32;
+        let f = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let fd = (f(x0 + eps) - f(x0 - eps)) / (2.0 * eps);
+        assert!((g.as_slice()[0] - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_is_odd_and_bounded() {
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::from_vec(vec![3], vec![-2.0, 0.0, 2.0]), true);
+        let v = y.as_slice();
+        assert!((v[1]).abs() < 1e-7);
+        assert!((v[0] + v[2]).abs() < 1e-6, "tanh is odd");
+        assert!(v.iter().all(|&x| x.abs() < 1.0));
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let x0 = -0.4f32;
+        let mut t = Tanh::new();
+        let _ = t.forward(&Tensor::from_vec(vec![1], vec![x0]), true);
+        let g = t.backward(&Tensor::from_vec(vec![1], vec![1.0]));
+        let eps = 1e-3f32;
+        let fd = ((x0 + eps).tanh() - (x0 - eps).tanh()) / (2.0 * eps);
+        assert!((g.as_slice()[0] - fd).abs() < 1e-4);
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let mut s = Sigmoid::new();
+        assert_eq!(s.forward(&Tensor::zeros(vec![2, 3, 4]), false).shape(), &[2, 3, 4]);
+        assert_eq!(s.output_shape(&[5]), vec![5]);
+        let mut t = Tanh::new();
+        assert_eq!(t.forward(&Tensor::zeros(vec![7]), false).shape(), &[7]);
+    }
+}

@@ -1,0 +1,138 @@
+//! 2×2 average pooling.
+
+use super::Layer;
+use crate::Tensor;
+
+/// 2×2 average pooling with stride 2 on CHW tensors — the smooth
+/// alternative to [`super::MaxPool2`] used in pooling-choice ablations.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{AvgPool2, Layer};
+/// use hotspot_nn::Tensor;
+///
+/// let mut pool = AvgPool2::new();
+/// let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 5.0, 3.0, 3.0]);
+/// assert_eq!(pool.forward(&x, true).as_slice(), &[3.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AvgPool2 {
+    in_shape: Vec<usize>,
+}
+
+impl AvgPool2 {
+    /// Creates a 2×2/stride-2 average-pooling layer.
+    pub fn new() -> Self {
+        AvgPool2::default()
+    }
+}
+
+impl Layer for AvgPool2 {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "avgpool input must be CHW");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h >= 2 && w >= 2, "avgpool needs at least 2x2 spatial input");
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_shape = s.to_vec();
+        let mut out = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let sum = input.at3(ch, oy * 2, ox * 2)
+                        + input.at3(ch, oy * 2, ox * 2 + 1)
+                        + input.at3(ch, oy * 2 + 1, ox * 2)
+                        + input.at3(ch, oy * 2 + 1, ox * 2 + 1);
+                    out.push(sum * 0.25);
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(
+            !self.in_shape.is_empty(),
+            "avgpool backward before forward"
+        );
+        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
+        let (oh, ow) = (h / 2, w / 2);
+        assert_eq!(grad.shape(), &[c, oh, ow], "avgpool grad shape");
+        let mut out = Tensor::zeros(self.in_shape.clone());
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad.at3(ch, oy, ox) * 0.25;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            *out.at3_mut(ch, oy * 2 + dy, ox * 2 + dx) += g;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "avgpool"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], input[1] / 2, input[2] / 2]
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_windows() {
+        let mut pool = AvgPool2::new();
+        let x = Tensor::from_vec(
+            vec![1, 4, 4],
+            (1..=16).map(|v| v as f32).collect(),
+        );
+        let y = pool.forward(&x, true);
+        // Window (0,0): mean of 1,2,5,6 = 3.5.
+        assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn backward_distributes_uniformly() {
+        let mut pool = AvgPool2::new();
+        let _ = pool.forward(&Tensor::zeros(vec![1, 2, 2]), true);
+        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![4.0]));
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_is_preserved_for_even_inputs() {
+        let mut pool = AvgPool2::new();
+        let x = Tensor::from_vec(vec![2, 4, 4], (0..32).map(|v| v as f32).collect());
+        let y = pool.forward(&x, true);
+        let in_mean: f32 = x.as_slice().iter().sum::<f32>() / 32.0;
+        let out_mean: f32 = y.as_slice().iter().sum::<f32>() / 8.0;
+        assert!((in_mean - out_mean).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Check dL/dx for L = sum(avgpool(x) * c).
+        let mut pool = AvgPool2::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![0.3, -0.7, 0.9, 0.1]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![2.0]));
+        // Analytic: each input contributes 2.0 * 0.25 = 0.5.
+        assert!(g.as_slice().iter().all(|&v| (v - 0.5).abs() < 1e-6));
+    }
+}

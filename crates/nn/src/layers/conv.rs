@@ -1,0 +1,308 @@
+//! 2-D convolution.
+
+use super::Layer;
+use crate::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 2-D convolution over CHW tensors with configurable kernel size,
+/// stride 1 and symmetric zero padding (the paper uses 3×3 kernels with
+/// "same" padding, i.e. `padding = 1`).
+///
+/// Weight layout: `[out_c][in_c][ky][kx]`, bias per output channel.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Conv2d, Layer};
+/// use hotspot_nn::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 16, 3, 1, 42);
+/// let out = conv.forward(&Tensor::zeros(vec![3, 12, 12]), true);
+/// assert_eq!(out.shape(), &[16, 12, 12]); // "same" spatial size
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    ksize: usize,
+    pad: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialised weights (seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the kernel size is even (symmetric
+    /// "same" padding needs odd kernels).
+    pub fn new(in_c: usize, out_c: usize, ksize: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_c > 0 && out_c > 0 && ksize > 0, "zero conv dimension");
+        assert!(ksize % 2 == 1, "kernel size must be odd, got {ksize}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = in_c * ksize * ksize;
+        let count = out_c * fan_in;
+        Conv2d {
+            in_c,
+            out_c,
+            ksize,
+            pad,
+            weights: init::he_normal(count, fan_in, &mut rng),
+            bias: vec![0.0; out_c],
+            grad_weights: vec![0.0; count],
+            grad_bias: vec![0.0; out_c],
+            cached_input: None,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    #[inline]
+    fn w(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
+        self.weights[((oc * self.in_c + ic) * self.ksize + ky) * self.ksize + kx]
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            h + 2 * self.pad + 1 - self.ksize,
+            w + 2 * self.pad + 1 - self.ksize,
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv input must be CHW");
+        assert_eq!(shape[0], self.in_c, "conv expected {} channels", self.in_c);
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let pad = self.pad as isize;
+        let k = self.ksize;
+        for oc in 0..self.out_c {
+            let base = out.as_mut_slice().as_mut_ptr();
+            // Safe indexed writes below; keep simple slice ops instead of ptr.
+            let _ = base;
+            for ic in 0..self.in_c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let wv = self.w(oc, ic, ky, kx);
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // out[oc][oy][ox] += in[ic][oy+ky-pad][ox+kx-pad] * wv
+                        for oy in 0..oh {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let ix0 = (0isize).max(pad - kx as isize);
+                            let ix1 =
+                                (ow as isize).min(w as isize + pad - kx as isize);
+                            for ox in ix0..ix1 {
+                                let ix = ox + kx as isize - pad;
+                                let v = input.at3(ic, iy as usize, ix as usize) * wv;
+                                *out.at3_mut(oc, oy, ox as usize) += v;
+                            }
+                        }
+                    }
+                }
+            }
+            let b = self.bias[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    *out.at3_mut(oc, oy, ox) += b;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("conv backward before forward");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad.shape(), &[self.out_c, oh, ow], "conv grad shape");
+        let pad = self.pad as isize;
+        let k = self.ksize;
+        let mut grad_in = Tensor::zeros(vec![self.in_c, h, w]);
+
+        for oc in 0..self.out_c {
+            // Bias gradient: sum over spatial.
+            let mut gb = 0.0f32;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    gb += grad.at3(oc, oy, ox);
+                }
+            }
+            self.grad_bias[oc] += gb;
+
+            for ic in 0..self.in_c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let widx = ((oc * self.in_c + ic) * k + ky) * k + kx;
+                        let wv = self.weights[widx];
+                        let mut gw = 0.0f32;
+                        for oy in 0..oh {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let ox0 = (0isize).max(pad - kx as isize);
+                            let ox1 =
+                                (ow as isize).min(w as isize + pad - kx as isize);
+                            for ox in ox0..ox1 {
+                                let ix = ox + kx as isize - pad;
+                                let g = grad.at3(oc, oy, ox as usize);
+                                gw += g * input.at3(ic, iy as usize, ix as usize);
+                                *grad_in.at3_mut(ic, iy as usize, ix as usize) += g * wv;
+                            }
+                        }
+                        self.grad_weights[widx] += gw;
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input[1], input[2]);
+        vec![self.out_c, oh, ow]
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 kernel with weight 1 reproduces the input channel.
+        let mut conv = Conv2d::new(1, 1, 1, 0, 0);
+        let mut call = 0;
+        conv.visit_params(&mut |w, _| {
+            // First visit is the weight, second the bias.
+            w[0] = if call == 0 { 1.0 } else { 0.0 };
+            call += 1;
+        });
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn same_padding_preserves_shape() {
+        let mut conv = Conv2d::new(4, 8, 3, 1, 1);
+        let y = conv.forward(&Tensor::zeros(vec![4, 12, 12]), false);
+        assert_eq!(y.shape(), &[8, 12, 12]);
+        assert_eq!(conv.output_shape(&[4, 12, 12]), vec![8, 12, 12]);
+    }
+
+    #[test]
+    fn valid_convolution_shrinks() {
+        let mut conv = Conv2d::new(1, 1, 3, 0, 1);
+        let y = conv.forward(&Tensor::zeros(vec![1, 5, 7]), false);
+        assert_eq!(y.shape(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn known_sum_kernel() {
+        // All-ones 3x3 kernel over constant input counts the in-bounds
+        // neighbourhood (padding contributes zeros).
+        let mut conv = Conv2d::new(1, 1, 3, 1, 2);
+        conv.visit_params(&mut |w, _| w.iter_mut().for_each(|v| *v = 1.0));
+        // Reset bias to zero (visit sets it to 1 too, fix below).
+        conv.visit_params(&mut |w, _| {
+            if w.len() == 1 {
+                w[0] = 0.0;
+            }
+        });
+        let x = Tensor::from_vec(vec![1, 3, 3], vec![1.0; 9]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.at3(0, 1, 1), 9.0); // full neighbourhood
+        assert_eq!(y.at3(0, 0, 0), 4.0); // corner: 2x2 in bounds
+        assert_eq!(y.at3(0, 0, 1), 6.0); // edge: 2x3 in bounds
+    }
+
+    #[test]
+    fn bias_is_added() {
+        let mut conv = Conv2d::new(1, 2, 1, 0, 3);
+        conv.visit_params(&mut |w, _| {
+            for v in w.iter_mut() {
+                *v = 0.0;
+            }
+        });
+        // Set biases to [1, -2].
+        let mut call = 0;
+        conv.visit_params(&mut |w, _| {
+            if call == 1 {
+                w[0] = 1.0;
+                w[1] = -2.0;
+            }
+            call += 1;
+        });
+        let y = conv.forward(&Tensor::zeros(vec![1, 2, 2]), false);
+        assert_eq!(y.at3(0, 0, 0), 1.0);
+        assert_eq!(y.at3(1, 1, 1), -2.0);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Conv2d::new(2, 3, 3, 1, 7);
+        let b = Conv2d::new(2, 3, 3, 1, 7);
+        assert_eq!(a.weights, b.weights);
+        let c = Conv2d::new(2, 3, 3, 1, 8);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let conv = Conv2d::new(16, 32, 3, 1, 0);
+        assert_eq!(conv.parameter_count(), 32 * 16 * 9 + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0);
+        let _ = conv.backward(&Tensor::zeros(vec![1, 4, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel_rejected() {
+        let _ = Conv2d::new(1, 1, 2, 0, 0);
+    }
+}

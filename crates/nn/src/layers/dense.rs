@@ -1,0 +1,196 @@
+//! Fully-connected layer.
+
+use super::Layer;
+use crate::{init, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully-connected (affine) layer `y = W·x + b` on rank-1 tensors.
+///
+/// Weight layout: `[out][in]`, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Dense, Layer};
+/// use hotspot_nn::Tensor;
+///
+/// let mut fc = Dense::new(288, 250, 7);
+/// let y = fc.forward(&Tensor::zeros(vec![288]), true);
+/// assert_eq!(y.shape(), &[250]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-initialised weights (seeded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero dense dimension");
+        let mut rng = StdRng::seed_from_u64(seed);
+        Dense {
+            in_features,
+            out_features,
+            weights: init::he_normal(in_features * out_features, in_features, &mut rng),
+            bias: vec![0.0; out_features],
+            grad_weights: vec![0.0; in_features * out_features],
+            grad_bias: vec![0.0; out_features],
+            cached_input: None,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(
+            input.len(),
+            self.in_features,
+            "dense expected {} inputs, got {:?}",
+            self.in_features,
+            input.shape()
+        );
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; self.out_features];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (w, xv) in row.iter().zip(x.iter()) {
+                acc += w * xv;
+            }
+            *out_v = acc;
+        }
+        self.cached_input = Some(input.clone());
+        Tensor::from_vec(vec![self.out_features], out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("dense backward before forward");
+        assert_eq!(grad.len(), self.out_features, "dense grad shape");
+        let x = input.as_slice();
+        let g = grad.as_slice();
+        let mut grad_in = vec![0.0f32; self.in_features];
+        for o in 0..self.out_features {
+            let go = g[o];
+            self.grad_bias[o] += go;
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let grow = &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
+            for i in 0..self.in_features {
+                grow[i] += go * x[i];
+                grad_in[i] += go * row[i];
+            }
+        }
+        Tensor::from_vec(vec![self.in_features], grad_in)
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.grad_weights);
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "fc"
+    }
+
+    fn output_shape(&self, _input: &[usize]) -> Vec<usize> {
+        vec![self.out_features]
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_dense() -> Dense {
+        // 2 -> 2 with W = [[1, 2], [3, 4]], b = [10, 20].
+        let mut d = Dense::new(2, 2, 0);
+        let mut call = 0;
+        d.visit_params(&mut |w, _| {
+            if call == 0 {
+                w.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            } else {
+                w.copy_from_slice(&[10.0, 20.0]);
+            }
+            call += 1;
+        });
+        d
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut d = fixed_dense();
+        let y = d.forward(&Tensor::from_vec(vec![2], vec![1.0, 1.0]), false);
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_gradients_match_hand_computation() {
+        let mut d = fixed_dense();
+        let _ = d.forward(&Tensor::from_vec(vec![2], vec![5.0, -1.0]), true);
+        let gin = d.backward(&Tensor::from_vec(vec![2], vec![1.0, 2.0]));
+        // dX = Wᵀ·g = [1*1+3*2, 2*1+4*2] = [7, 10].
+        assert_eq!(gin.as_slice(), &[7.0, 10.0]);
+        let mut seen = Vec::new();
+        d.visit_params(&mut |_, g| seen.push(g.to_vec()));
+        // dW = g ⊗ x = [[5,-1],[10,-2]]; db = g.
+        assert_eq!(seen[0], vec![5.0, -1.0, 10.0, -2.0]);
+        assert_eq!(seen[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut d = fixed_dense();
+        for _ in 0..3 {
+            let _ = d.forward(&Tensor::from_vec(vec![2], vec![1.0, 0.0]), true);
+            let _ = d.backward(&Tensor::from_vec(vec![2], vec![1.0, 0.0]));
+        }
+        let mut gb = Vec::new();
+        d.visit_params(&mut |_, g| gb.push(g.to_vec()));
+        assert_eq!(gb[1][0], 3.0);
+        d.zero_grads();
+        let mut gb2 = Vec::new();
+        d.visit_params(&mut |_, g| gb2.push(g.to_vec()));
+        assert!(gb2[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn accepts_flattened_rank3_input() {
+        let mut d = Dense::new(12, 3, 1);
+        let y = d.forward(&Tensor::zeros(vec![3, 2, 2]), false);
+        assert_eq!(y.shape(), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense expected")]
+    fn rejects_wrong_input_len() {
+        let mut d = Dense::new(4, 2, 0);
+        let _ = d.forward(&Tensor::zeros(vec![5]), false);
+    }
+}

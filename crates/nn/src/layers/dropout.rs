@@ -1,0 +1,167 @@
+//! Inverted dropout.
+
+use super::Layer;
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `p` and survivors are scaled by `1 / (1 - p)`, so inference
+/// (`train = false`) is the identity. The paper applies 50 % dropout on its
+/// first fully-connected layer.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Dropout, Layer};
+/// use hotspot_nn::Tensor;
+///
+/// let mut drop = Dropout::new(0.5, 1);
+/// let x = Tensor::from_vec(vec![4], vec![1.0; 4]);
+/// // Inference passes values through untouched.
+/// assert_eq!(drop.forward(&x, false).as_slice(), &[1.0; 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and an internal
+    /// seeded RNG (mask sequences are reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+            shape: Vec::new(),
+        }
+    }
+
+    /// The configured drop probability.
+    #[inline]
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        if !train || self.p == 0.0 {
+            self.mask = vec![1.0; input.len()];
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len())
+            .map(|_| {
+                if self.rng.gen_range(0.0f32..1.0) < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.len(),
+            self.mask.len(),
+            "dropout backward before forward or shape mismatch"
+        );
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| g * m)
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_identity() {
+        let mut d = Dropout::new(0.9, 0);
+        let x = Tensor::from_vec(vec![8], vec![2.0; 8]);
+        assert_eq!(d.forward(&x, false).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn training_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::from_vec(vec![10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "{zeros} zeros");
+        // Survivors are scaled by 2.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::from_vec(vec![50_000], vec![1.0; 50_000]);
+        let y = d.forward(&x, true);
+        let mean: f64 = y.as_slice().iter().map(|&v| v as f64).sum::<f64>() / 50_000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::from_vec(vec![100], vec![1.0; 100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::from_vec(vec![100], vec![1.0; 100]));
+        assert_eq!(y.as_slice(), g.as_slice());
+    }
+
+    #[test]
+    fn p_zero_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Tensor::from_vec(vec![4], vec![3.0; 4]);
+        assert_eq!(d.forward(&x, true).as_slice(), x.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn p_one_rejected() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Shape flattening between convolutional and dense stages.
+
+use super::Layer;
+use crate::Tensor;
+
+/// Flattens any input tensor to rank 1; backward restores the shape.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Flatten, Layer};
+/// use hotspot_nn::Tensor;
+///
+/// let mut f = Flatten::new();
+/// let y = f.forward(&Tensor::zeros(vec![32, 3, 3]), true);
+/// assert_eq!(y.shape(), &[288]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        input.clone().reshaped(vec![input.len()])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(
+            !self.in_shape.is_empty(),
+            "flatten backward before forward"
+        );
+        grad.clone().reshaped(self.in_shape.clone())
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input.iter().product()]
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_restores_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![2, 2, 3], (0..12).map(|v| v as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 2, 3]);
+        assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn rank1_passthrough() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![5], vec![1.0; 5]);
+        assert_eq!(f.forward(&x, false).shape(), &[5]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Network layers with analytic gradients.
+//!
+//! Every layer implements [`Layer`]: `forward` caches whatever `backward`
+//! needs; `backward` accumulates parameter gradients internally and returns
+//! the gradient with respect to the layer input. Parameter/gradient pairs
+//! are exposed through [`Layer::visit_params`], which the optimiser and the
+//! serialiser both use — layers stay ignorant of the update rule.
+
+mod activation;
+mod avgpool;
+mod conv;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+mod relu;
+
+pub use activation::{Sigmoid, Tanh};
+pub use avgpool::AvgPool2;
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::MaxPool2;
+pub use relu::Relu;
+
+use crate::Tensor;
+use std::fmt;
+
+/// A differentiable network layer.
+///
+/// Layers are stateful across a forward/backward pair: `backward` may only
+/// be called after the matching `forward`, and batching is expressed as
+/// repeated forward/backward calls with gradients accumulated until
+/// [`Layer::zero_grads`]. Layers must be [`Send`] so network replicas can
+/// run on worker threads ([`crate::parallel`]).
+pub trait Layer: fmt::Debug + Send {
+    /// Computes the layer output. `train` enables training-only behaviour
+    /// (dropout masks); inference should pass `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has an incompatible shape.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
+    /// gradients, and returns ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched shape.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Visits every (parameters, gradients) slice pair of the layer.
+    /// Parameter-free layers do nothing.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32]));
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grads(&mut self);
+
+    /// A short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+
+    /// Output shape for a given input shape (used to print architecture
+    /// tables like the paper's Table 1).
+    fn output_shape(&self, input: &[usize]) -> Vec<usize>;
+
+    /// Clones the layer behind the trait object (parameters, gradients and
+    /// caches included) — the basis of [`crate::Network`]'s `Clone`, which
+    /// parallel training uses to give each worker its own replica.
+    fn boxed_clone(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}

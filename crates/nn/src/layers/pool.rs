@@ -1,0 +1,155 @@
+//! 2×2 max pooling.
+
+use super::Layer;
+use crate::Tensor;
+
+/// 2×2 max pooling with stride 2 on CHW tensors (the paper's pooling
+/// configuration, Table 1).
+///
+/// Odd trailing rows/columns are dropped (floor semantics), matching the
+/// common deep-learning default.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Layer, MaxPool2};
+/// use hotspot_nn::Tensor;
+///
+/// let mut pool = MaxPool2::new();
+/// let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+/// let y = pool.forward(&x, true);
+/// assert_eq!(y.as_slice(), &[5.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2 {
+    /// Creates a 2×2/stride-2 max-pooling layer.
+    pub fn new() -> Self {
+        MaxPool2::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "maxpool input must be CHW");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 spatial input");
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_shape = s.to_vec();
+        self.argmax = Vec::with_capacity(c * oh * ow);
+        let mut out = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
+                            let v = input.at3(ch, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_idx = (ch * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    self.argmax.push(best_idx);
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.len(),
+            self.argmax.len(),
+            "maxpool backward before forward or shape mismatch"
+        );
+        let mut out = Tensor::zeros(self.in_shape.clone());
+        for (g, &idx) in grad.as_slice().iter().zip(self.argmax.iter()) {
+            out.as_mut_slice()[idx] += g;
+        }
+        out
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "maxpool"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        vec![input[0], input[1] / 2, input[2] / 2]
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_window_maxima() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![1, 4, 4],
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+        );
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1.0, 9.0, 3.0, 2.0]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::from_vec(vec![1, 1, 1], vec![2.5]));
+        assert_eq!(g.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(
+            vec![2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
+        );
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[4.0, 40.0]);
+    }
+
+    #[test]
+    fn odd_dimensions_floor() {
+        let mut pool = MaxPool2::new();
+        let y = pool.forward(&Tensor::zeros(vec![1, 5, 7]), true);
+        assert_eq!(y.shape(), &[1, 2, 3]);
+        assert_eq!(pool.output_shape(&[1, 5, 7]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_values_pool_correctly() {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![-5.0, -1.0, -3.0, -2.0]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.as_slice(), &[-1.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Rectified linear activation.
+
+use super::Layer;
+use crate::Tensor;
+
+/// Element-wise `ReLU(x) = max(x, 0)` (paper Eq. (5)).
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Layer, Relu};
+/// use hotspot_nn::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]), true);
+/// assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+    shape: Vec<usize>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.shape = input.shape().to_vec();
+        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        let data = input
+            .as_slice()
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.0 })
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(
+            grad.len(),
+            self.mask.len(),
+            "relu backward before forward or shape mismatch"
+        );
+        let data = grad
+            .as_slice()
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(self.shape.clone(), data)
+    }
+
+    fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        input.to_vec()
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(vec![4], vec![-2.0, -0.0, 0.5, 3.0]), true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::from_vec(vec![4], vec![-1.0, 2.0, -3.0, 4.0]), true);
+        let g = r.backward(&Tensor::from_vec(vec![4], vec![1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention: ReLU'(0) = 0.
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::from_vec(vec![1], vec![0.0]), true);
+        let g = r.backward(&Tensor::from_vec(vec![1], vec![5.0]));
+        assert_eq!(g.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::zeros(vec![2, 3, 4]), false);
+        assert_eq!(y.shape(), &[2, 3, 4]);
+        assert_eq!(r.output_shape(&[2, 3, 4]), vec![2, 3, 4]);
+    }
+}

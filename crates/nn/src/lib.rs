@@ -1,0 +1,115 @@
+//! From-scratch CPU neural-network substrate.
+//!
+//! The paper trains its CNN in TensorFlow; this crate reimplements the
+//! required subset natively in Rust, with no external ML dependencies:
+//!
+//! - [`Tensor`]: a dense CHW tensor (channels × height × width).
+//! - [`layers`]: convolution (arbitrary kernel/padding), ReLU, 2×2 max
+//!   pooling, dense, flatten, and inverted dropout — each implementing
+//!   [`Layer`] with exact analytic gradients (validated by
+//!   finite-difference tests).
+//! - [`loss`]: softmax cross-entropy with **soft targets**, the ingredient
+//!   biased learning needs (`y*_n = [1-ε, ε]`).
+//! - [`Network`]: a sequential container with forward/backward passes and
+//!   parameter visitation.
+//! - [`optim`]: plain SGD and the paper's mini-batch gradient descent
+//!   (Algorithm 1) with step-decayed learning rate.
+//! - [`parallel`]: deterministic multi-threaded mini-batch gradients
+//!   (the "MGD is compatible with parallel computing" point of §5).
+//! - [`data`]: seeded mini-batch sampling.
+//! - [`serialize`]: flat parameter export/import for model persistence.
+//!
+//! Determinism: all stochastic pieces (init, dropout, batch sampling) take
+//! explicit seeds.
+//!
+//! # Examples
+//!
+//! Train a tiny MLP on XOR:
+//!
+//! ```
+//! use hotspot_nn::layers::{Dense, Relu};
+//! use hotspot_nn::{loss, Network, Tensor};
+//!
+//! let mut net = Network::new();
+//! net.push(Dense::new(2, 8, 1));
+//! net.push(Relu::new());
+//! net.push(Dense::new(8, 2, 2));
+//!
+//! let data = [
+//!     ([0.0f32, 0.0], [1.0f32, 0.0]),
+//!     ([0.0, 1.0], [0.0, 1.0]),
+//!     ([1.0, 0.0], [0.0, 1.0]),
+//!     ([1.0, 1.0], [1.0, 0.0]),
+//! ];
+//! for _ in 0..600 {
+//!     net.zero_grads();
+//!     for (x, t) in &data {
+//!         let input = Tensor::from_vec(vec![2], x.to_vec());
+//!         let logits = net.forward(&input, true);
+//!         let (_, grad) = loss::softmax_cross_entropy(&logits, t);
+//!         net.backward(&grad);
+//!     }
+//!     net.apply_gradients(0.5 / data.len() as f32);
+//! }
+//! for (x, t) in &data {
+//!     let input = Tensor::from_vec(vec![2], x.to_vec());
+//!     let p = loss::softmax(net.forward(&input, false).as_slice());
+//!     let predicted = if p[1] > 0.5 { 1 } else { 0 };
+//!     let expected = if t[1] > 0.5 { 1 } else { 0 };
+//!     assert_eq!(predicted, expected);
+//! }
+//! ```
+
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod optim;
+pub mod parallel;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::Layer;
+pub use network::Network;
+pub use tensor::Tensor;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from network construction and serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A layer was given an input of the wrong shape.
+    ShapeMismatch {
+        /// What the layer expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// A serialised parameter blob does not match the network.
+    ParameterCountMismatch {
+        /// Parameters the network holds.
+        expected: usize,
+        /// Parameters the blob holds.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            NnError::ParameterCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "parameter count mismatch: network has {expected}, blob has {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for NnError {}

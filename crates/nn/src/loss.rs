@@ -1,0 +1,177 @@
+//! Softmax cross-entropy with soft targets.
+//!
+//! Biased learning (paper §4.3) trains the non-hotspot class towards the
+//! *soft* ground truth `y*_n = [1-ε, ε]` instead of the hard `[1, 0]`. The
+//! cross-entropy gradient w.r.t. the logits is `softmax(x) - y*` for any
+//! probability-vector target, so soft labels drop out of the same code
+//! path.
+
+use crate::Tensor;
+
+/// Numerically-stable softmax of a logit slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// let p = hotspot_nn::loss::softmax(&[0.0, 0.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// let q = hotspot_nn::loss::softmax(&[1000.0, 0.0]);
+/// assert!((q[0] - 1.0).abs() < 1e-6); // no overflow
+/// ```
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty logits");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// `target` must be a probability vector of the same length as `logits`
+/// (hard one-hot labels and biased soft labels are both probability
+/// vectors). Returns `(loss, dloss/dlogits)`. The convention
+/// `lim_{x→0} x·log x = 0` of paper Eq. (8) is respected because target
+/// entries of exactly zero contribute nothing.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `logits` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![2], vec![2.0, -1.0]);
+/// let (loss, grad) = hotspot_nn::loss::softmax_cross_entropy(&logits, &[1.0, 0.0]);
+/// assert!(loss > 0.0);
+/// // Gradient = p - y*.
+/// let p = hotspot_nn::loss::softmax(logits.as_slice());
+/// assert!((grad.as_slice()[0] - (p[0] - 1.0)).abs() < 1e-6);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, target: &[f32]) -> (f32, Tensor) {
+    let x = logits.as_slice();
+    assert_eq!(x.len(), target.len(), "logits/target length mismatch");
+    let p = softmax(x);
+    let mut loss = 0.0f32;
+    for (pi, ti) in p.iter().zip(target.iter()) {
+        if *ti > 0.0 {
+            loss -= ti * pi.max(1e-12).ln();
+        }
+    }
+    let grad: Vec<f32> = p.iter().zip(target.iter()).map(|(pi, ti)| pi - ti).collect();
+    (loss, Tensor::from_vec(vec![x.len()], grad))
+}
+
+/// The paper's hotspot ground truth `y*_h = [0, 1]` (index 1 = hotspot
+/// probability, matching Eq. (6)).
+pub const HOTSPOT_TARGET: [f32; 2] = [0.0, 1.0];
+
+/// The *unbiased* non-hotspot ground truth `y*_n = [1, 0]`.
+pub const NON_HOTSPOT_TARGET: [f32; 2] = [1.0, 0.0];
+
+/// The biased non-hotspot ground truth `y^ε_n = [1-ε, ε]` (paper Theorem 1).
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= epsilon < 0.5`, the validity range of Theorem 1.
+pub fn biased_non_hotspot_target(epsilon: f32) -> [f32; 2] {
+    assert!(
+        (0.0..0.5).contains(&epsilon),
+        "bias ε must be in [0, 0.5), got {epsilon}"
+    );
+    [1.0 - epsilon, epsilon]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[101.0, 102.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![2], vec![20.0, -20.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &NON_HOTSPOT_TARGET);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_target_minimised_at_uniform_logits() {
+        let (l_uniform, g) = softmax_cross_entropy(
+            &Tensor::from_vec(vec![2], vec![0.0, 0.0]),
+            &[0.5, 0.5],
+        );
+        assert!(g.abs_max() < 1e-6, "gradient vanishes at the optimum");
+        let (l_skewed, _) = softmax_cross_entropy(
+            &Tensor::from_vec(vec![2], vec![3.0, 0.0]),
+            &[0.5, 0.5],
+        );
+        assert!(l_skewed > l_uniform);
+    }
+
+    #[test]
+    fn gradient_is_p_minus_target() {
+        let logits = Tensor::from_vec(vec![2], vec![0.7, -0.3]);
+        let target = biased_non_hotspot_target(0.2);
+        let (_, grad) = softmax_cross_entropy(&logits, &target);
+        let p = softmax(logits.as_slice());
+        assert!((grad.as_slice()[0] - (p[0] - 0.8)).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - (p[1] - 0.2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let target = [0.3f32, 0.7];
+        let x0 = vec![0.4f32, -0.9];
+        let (_, grad) = softmax_cross_entropy(&Tensor::from_vec(vec![2], x0.clone()), &target);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x0.clone();
+            xp[i] += eps;
+            let (lp, _) = softmax_cross_entropy(&Tensor::from_vec(vec![2], xp), &target);
+            let mut xm = x0.clone();
+            xm[i] -= eps;
+            let (lm, _) = softmax_cross_entropy(&Tensor::from_vec(vec![2], xm), &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "fd {fd} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn biased_target_bounds() {
+        assert_eq!(biased_non_hotspot_target(0.0), NON_HOTSPOT_TARGET);
+        let t = biased_non_hotspot_target(0.3);
+        assert!((t[0] - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias ε")]
+    fn bias_half_rejected() {
+        let _ = biased_non_hotspot_target(0.5);
+    }
+}

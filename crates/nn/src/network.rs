@@ -1,0 +1,195 @@
+//! Sequential network container.
+
+use crate::layers::Layer;
+use crate::Tensor;
+use std::fmt;
+
+/// A sequential stack of [`Layer`]s.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::{Dense, Relu};
+/// use hotspot_nn::{Network, Tensor};
+///
+/// let mut net = Network::new();
+/// net.push(Dense::new(4, 8, 0));
+/// net.push(Relu::new());
+/// net.push(Dense::new(8, 2, 1));
+/// let logits = net.forward(&Tensor::zeros(vec![4]), false);
+/// assert_eq!(logits.shape(), &[2]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Full forward pass. `train` toggles dropout behaviour.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Full backward pass from a loss gradient; parameter gradients
+    /// accumulate inside each layer. Returns the gradient at the input
+    /// (rarely needed, but exposed per C-INTERMEDIATE).
+    pub fn backward(&mut self, loss_grad: &Tensor) -> Tensor {
+        let mut g = loss_grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Applies one vanilla gradient-descent step: `w -= lr * g`.
+    ///
+    /// Callers accumulating over an `m`-sample mini-batch pass
+    /// `lr / m` to average (paper Algorithm 1 line 9).
+    pub fn apply_gradients(&mut self, lr: f32) {
+        self.visit_params(&mut |w, g| {
+            for (wi, gi) in w.iter_mut().zip(g.iter()) {
+                *wi -= lr * gi;
+            }
+        });
+    }
+
+    /// Visits every (parameters, gradients) pair in layer order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn parameter_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |w, _| count += w.len());
+        count
+    }
+
+    /// Largest-magnitude accumulated gradient (for debugging/telemetry).
+    pub fn grad_abs_max(&mut self) -> f32 {
+        let mut m = 0.0f32;
+        self.visit_params(&mut |_, g| {
+            for &v in g.iter() {
+                m = m.max(v.abs());
+            }
+        });
+        m
+    }
+
+    /// Architecture summary rows: `(name, output shape)` for the given
+    /// input shape — regenerates the paper's Table 1.
+    pub fn summary(&self, input_shape: &[usize]) -> Vec<(String, Vec<usize>)> {
+        let mut rows = Vec::with_capacity(self.layers.len());
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+            rows.push((layer.name().to_string(), shape.clone()));
+        }
+        rows
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network[{} layers]", self.layers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, MaxPool2, Relu};
+    use crate::loss;
+
+    fn tiny_net() -> Network {
+        let mut net = Network::new();
+        net.push(Dense::new(3, 4, 0));
+        net.push(Relu::new());
+        net.push(Dense::new(4, 2, 1));
+        net
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut net = tiny_net();
+        let y = net.forward(&Tensor::zeros(vec![3]), false);
+        assert_eq!(y.shape(), &[2]);
+    }
+
+    #[test]
+    fn parameter_count_sums_layers() {
+        let mut net = tiny_net();
+        assert_eq!(net.parameter_count(), (3 * 4 + 4) + (4 * 2 + 2));
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let mut net = tiny_net();
+        let x = Tensor::from_vec(vec![3], vec![0.5, -0.2, 0.8]);
+        let target = [0.0f32, 1.0];
+        let (l0, g) = loss::softmax_cross_entropy(&net.forward(&x, true), &target);
+        net.zero_grads();
+        let _ = net.forward(&x, true);
+        net.backward(&g);
+        net.apply_gradients(0.1);
+        let (l1, _) = loss::softmax_cross_entropy(&net.forward(&x, false), &target);
+        assert!(l1 < l0, "loss should decrease: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn summary_tracks_shapes() {
+        let mut net = Network::new();
+        net.push(MaxPool2::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(4, 2, 0));
+        let rows = net.summary(&[1, 4, 4]);
+        assert_eq!(rows[0], ("maxpool".to_string(), vec![1, 2, 2]));
+        assert_eq!(rows[1], ("flatten".to_string(), vec![4]));
+        assert_eq!(rows[2], ("fc".to_string(), vec![2]));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut net = tiny_net();
+        let x = Tensor::zeros(vec![3]);
+        let y = net.forward(&x, true);
+        let (_, g) = loss::softmax_cross_entropy(&y, &[1.0, 0.0]);
+        net.backward(&g);
+        assert!(net.grad_abs_max() > 0.0);
+        net.zero_grads();
+        assert_eq!(net.grad_abs_max(), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-threaded mini-batch gradient computation.
+//!
+//! The paper notes MGD "is more compatible with parallel computing and can
+//! provide speed up on training procedures" (§5). This module implements
+//! that: the batch is split across worker threads, each running
+//! forward/backward on its own network replica, and the per-worker
+//! gradients are merged **in fixed worker order** so results are
+//! bit-for-bit deterministic regardless of thread scheduling.
+
+use crate::optim::Instance;
+use crate::{loss, Network};
+
+/// Runs one averaged mini-batch gradient step with the batch partitioned
+/// across `threads` workers (`threads = 1` falls back to the serial path
+/// of [`crate::optim::minibatch_step`] semantics).
+///
+/// Gradient merging is ordered by worker index, so the update — and any
+/// training run built on it — is deterministic.
+///
+/// Returns the mean batch loss.
+///
+/// # Panics
+///
+/// Panics on an empty batch or `threads == 0`.
+pub fn minibatch_step_parallel(
+    net: &mut Network,
+    batch: &[&Instance],
+    lr: f32,
+    threads: usize,
+) -> f32 {
+    assert!(!batch.is_empty(), "empty mini-batch");
+    assert!(threads > 0, "threads must be nonzero");
+    let threads = threads.min(batch.len());
+
+    if threads == 1 {
+        net.zero_grads();
+        let mut total = 0.0f32;
+        for (x, t) in batch.iter().copied() {
+            let logits = net.forward(x, true);
+            let (l, g) = loss::softmax_cross_entropy(&logits, t);
+            net.backward(&g);
+            total += l;
+        }
+        net.apply_gradients(lr / batch.len() as f32);
+        return total / batch.len() as f32;
+    }
+
+    // Chunk the batch; each worker gets a fresh replica of the network
+    // (parameters + layer state) and accumulates its own gradients.
+    let chunk = batch.len().div_ceil(threads);
+    let mut replicas: Vec<Network> = (0..threads).map(|_| net.clone()).collect();
+    let mut losses = vec![0.0f32; threads];
+
+    crossbeam::thread::scope(|scope| {
+        for (worker, (replica, loss_slot)) in
+            replicas.iter_mut().zip(losses.iter_mut()).enumerate()
+        {
+            let slice = &batch[worker * chunk..((worker + 1) * chunk).min(batch.len())];
+            scope.spawn(move |_| {
+                replica.zero_grads();
+                let mut total = 0.0f32;
+                for (x, t) in slice.iter().copied() {
+                    let logits = replica.forward(x, true);
+                    let (l, g) = loss::softmax_cross_entropy(&logits, t);
+                    replica.backward(&g);
+                    total += l;
+                }
+                *loss_slot = total;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    // Merge per-worker gradients into the master, in worker order.
+    net.zero_grads();
+    for replica in &mut replicas {
+        let mut worker_grads: Vec<f32> = Vec::new();
+        replica.visit_params(&mut |_, g| worker_grads.extend_from_slice(g));
+        let mut offset = 0usize;
+        net.visit_params(&mut |_, g| {
+            let len = g.len();
+            for (gi, wg) in g.iter_mut().zip(&worker_grads[offset..offset + len]) {
+                *gi += wg;
+            }
+            offset += len;
+        });
+    }
+    net.apply_gradients(lr / batch.len() as f32);
+    losses.iter().sum::<f32>() / batch.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::serialize::ParameterBlob;
+    use crate::Tensor;
+
+    fn net(seed: u64) -> Network {
+        let mut n = Network::new();
+        n.push(Dense::new(4, 10, seed));
+        n.push(Relu::new());
+        n.push(Dense::new(10, 2, seed + 1));
+        n
+    }
+
+    fn batch() -> Vec<Instance> {
+        (0..12)
+            .map(|i| {
+                let v: Vec<f32> = (0..4).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect();
+                let label = if v.iter().sum::<f32>() > 0.0 {
+                    [0.0f32, 1.0]
+                } else {
+                    [1.0f32, 0.0]
+                };
+                (Tensor::from_vec(vec![4], v), label)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_update_closely() {
+        let data = batch();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut serial = net(5);
+        let mut parallel = net(5);
+        let l1 = minibatch_step_parallel(&mut serial, &refs, 0.1, 1);
+        let l4 = minibatch_step_parallel(&mut parallel, &refs, 0.1, 4);
+        assert!((l1 - l4).abs() < 1e-5, "losses differ: {l1} vs {l4}");
+        let ws = ParameterBlob::from_network(&mut serial);
+        let wp = ParameterBlob::from_network(&mut parallel);
+        for (a, b) in ws.as_slice().iter().zip(wp.as_slice().iter()) {
+            // Gradient addition order differs, so allow float-merge noise.
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let data = batch();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let run = || {
+            let mut n = net(9);
+            for _ in 0..5 {
+                minibatch_step_parallel(&mut n, &refs, 0.05, 3);
+            }
+            ParameterBlob::from_network(&mut n)
+        };
+        assert_eq!(run(), run(), "parallel training must be bit-deterministic");
+    }
+
+    #[test]
+    fn more_threads_than_samples_is_fine() {
+        let data = batch();
+        let refs: Vec<&Instance> = data.iter().take(2).collect();
+        let mut n = net(1);
+        let l = minibatch_step_parallel(&mut n, &refs, 0.1, 16);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mini-batch")]
+    fn empty_batch_panics() {
+        let mut n = net(0);
+        let _ = minibatch_step_parallel(&mut n, &[], 0.1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be nonzero")]
+    fn zero_threads_panics() {
+        let data = batch();
+        let refs: Vec<&Instance> = data.iter().collect();
+        let mut n = net(0);
+        let _ = minibatch_step_parallel(&mut n, &refs, 0.1, 0);
+    }
+}

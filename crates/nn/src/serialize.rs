@@ -1,0 +1,209 @@
+//! Flat parameter snapshots for model persistence and fine-tuning.
+//!
+//! Biased learning fine-tunes a *trained* model repeatedly; snapshots allow
+//! keeping the best validation model while training continues, and moving
+//! weights between identically-shaped networks.
+
+use crate::{Network, NnError};
+use serde::{Deserialize, Serialize};
+
+/// A flat snapshot of every trainable parameter of a network, in layer
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::layers::Dense;
+/// use hotspot_nn::serialize::ParameterBlob;
+/// use hotspot_nn::Network;
+///
+/// # fn main() -> Result<(), hotspot_nn::NnError> {
+/// let mut a = Network::new();
+/// a.push(Dense::new(3, 2, 1));
+/// let snapshot = ParameterBlob::from_network(&mut a);
+///
+/// let mut b = Network::new();
+/// b.push(Dense::new(3, 2, 99)); // different init...
+/// snapshot.load_into(&mut b)?;  // ...now identical to `a`
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParameterBlob {
+    values: Vec<f32>,
+}
+
+impl ParameterBlob {
+    /// Snapshots all parameters of `net`.
+    pub fn from_network(net: &mut Network) -> Self {
+        let mut values = Vec::new();
+        net.visit_params(&mut |w, _| values.extend_from_slice(w));
+        ParameterBlob { values }
+    }
+
+    /// Number of stored parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the blob holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Writes the snapshot back into an identically-shaped network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterCountMismatch`] when the network's
+    /// parameter count differs from the blob's.
+    pub fn load_into(&self, net: &mut Network) -> Result<(), NnError> {
+        let expected = {
+            let mut count = 0;
+            net.visit_params(&mut |w, _| count += w.len());
+            count
+        };
+        if expected != self.values.len() {
+            return Err(NnError::ParameterCountMismatch {
+                expected,
+                actual: self.values.len(),
+            });
+        }
+        let mut offset = 0usize;
+        net.visit_params(&mut |w, _| {
+            w.copy_from_slice(&self.values[offset..offset + w.len()]);
+            offset += w.len();
+        });
+        Ok(())
+    }
+
+    /// The raw parameter values.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Encodes the snapshot into a self-describing little-endian binary
+    /// buffer (`magic "HSNN" | u32 version | u64 count | f32 × count`),
+    /// suitable for writing to a model file.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::with_capacity(16 + 4 * self.values.len());
+        buf.put_slice(b"HSNN");
+        buf.put_u32_le(1);
+        buf.put_u64_le(self.values.len() as u64);
+        for &v in &self.values {
+            buf.put_f32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a buffer produced by [`ParameterBlob::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParameterCountMismatch`] when the buffer is
+    /// truncated, has a bad magic/version, or its declared count disagrees
+    /// with the payload length.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, NnError> {
+        use bytes::Buf;
+        let malformed = |actual: usize| NnError::ParameterCountMismatch {
+            expected: 0,
+            actual,
+        };
+        if data.len() < 16 || &data[..4] != b"HSNN" {
+            return Err(malformed(data.len()));
+        }
+        data.advance(4);
+        let version = data.get_u32_le();
+        if version != 1 {
+            return Err(malformed(version as usize));
+        }
+        let count = data.get_u64_le() as usize;
+        if data.remaining() != count * 4 {
+            return Err(NnError::ParameterCountMismatch {
+                expected: count,
+                actual: data.remaining() / 4,
+            });
+        }
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(data.get_f32_le());
+        }
+        Ok(ParameterBlob { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use crate::Tensor;
+
+    fn net(seed: u64) -> Network {
+        let mut n = Network::new();
+        n.push(Dense::new(4, 6, seed));
+        n.push(Relu::new());
+        n.push(Dense::new(6, 2, seed + 1));
+        n
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_outputs() {
+        let mut a = net(1);
+        let blob = ParameterBlob::from_network(&mut a);
+        let mut b = net(2);
+        let x = Tensor::from_vec(vec![4], vec![0.1, -0.5, 0.3, 0.9]);
+        assert_ne!(a.forward(&x, false), b.forward(&x, false));
+        blob.load_into(&mut b).unwrap();
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn mismatched_network_rejected() {
+        let mut a = net(1);
+        let blob = ParameterBlob::from_network(&mut a);
+        let mut small = Network::new();
+        small.push(Dense::new(2, 2, 0));
+        assert!(matches!(
+            blob.load_into(&mut small),
+            Err(NnError::ParameterCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn blob_length_matches_parameter_count() {
+        let mut a = net(3);
+        let blob = ParameterBlob::from_network(&mut a);
+        assert_eq!(blob.len(), a.parameter_count());
+        assert!(!blob.is_empty());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let mut a = net(4);
+        let blob = ParameterBlob::from_network(&mut a);
+        let bytes = blob.to_bytes();
+        assert_eq!(&bytes[..4], b"HSNN");
+        let back = ParameterBlob::from_bytes(&bytes).unwrap();
+        assert_eq!(blob, back);
+    }
+
+    #[test]
+    fn binary_decode_rejects_corruption() {
+        let mut a = net(5);
+        let blob = ParameterBlob::from_network(&mut a);
+        let bytes = blob.to_bytes();
+        // Truncated payload.
+        assert!(ParameterBlob::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        // Bad magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(ParameterBlob::from_bytes(&bad).is_err());
+        // Bad version.
+        let mut bad = bytes.to_vec();
+        bad[4] = 9;
+        assert!(ParameterBlob::from_bytes(&bad).is_err());
+        // Empty buffer.
+        assert!(ParameterBlob::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Dense CHW tensors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense tensor of `f32` values with an explicit shape.
+///
+/// Rank-3 tensors use CHW layout (`[channels, height, width]`), matching the
+/// feature-tensor representation and the convolution layers; rank-1 tensors
+/// are plain vectors for the dense head of a network.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 3, 3]);
+/// assert_eq!(t.len(), 18);
+/// assert_eq!(t.shape(), &[2, 3, 3]);
+/// let mut u = t.clone();
+/// *u.at3_mut(1, 2, 0) = 5.0;
+/// assert_eq!(u.at3(1, 2, 0), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A zero-filled tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or its product overflows.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must be non-empty");
+        let len = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .expect("shape product overflow");
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape product.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            len,
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The flat mutable backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Rank-3 element access `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of bounds.
+    #[inline]
+    pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3, "at3 on rank-{} tensor", self.shape.len());
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        self.data[(c * h + y) * w + x]
+    }
+
+    /// Rank-3 mutable element access `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::at3`].
+    #[inline]
+    pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 3, "at3_mut on rank-{} tensor", self.shape.len());
+        let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
+        &mut self.data[(c * h + y) * w + x]
+    }
+
+    /// Returns the tensor reshaped (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape's product differs from the current length.
+    pub fn reshaped(mut self, shape: Vec<usize>) -> Tensor {
+        let len: usize = shape.iter().product();
+        assert_eq!(len, self.data.len(), "reshape {:?} -> {shape:?}", self.shape);
+        self.shape = shape;
+        self
+    }
+
+    /// Largest-magnitude element (0.0 for empty tensors) — handy in
+    /// gradient-sanity assertions.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let t = Tensor::zeros(vec![4, 5]);
+        assert_eq!(t.len(), 20);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_shape_panics() {
+        let _ = Tensor::zeros(vec![]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        let t = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.as_slice()[3], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_len() {
+        let _ = Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn chw_indexing() {
+        let mut t = Tensor::zeros(vec![2, 3, 4]);
+        *t.at3_mut(1, 2, 3) = 9.0;
+        assert_eq!(t.at3(1, 2, 3), 9.0);
+        // Flat position: (1*3 + 2)*4 + 3 = 23.
+        assert_eq!(t.as_slice()[23], 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|v| v as f32).collect());
+        let r = t.clone().reshaped(vec![6]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert_eq!(r.shape(), &[6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_wrong_size() {
+        let _ = Tensor::zeros(vec![4]).reshaped(vec![5]);
+    }
+
+    #[test]
+    fn abs_max_works() {
+        let t = Tensor::from_vec(vec![3], vec![1.0, -7.0, 2.0]);
+        assert_eq!(t.abs_max(), 7.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the neural-network substrate.
+
+use hotspot_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2, Relu};
+use hotspot_nn::serialize::ParameterBlob;
+use hotspot_nn::{loss, Network, Tensor};
+use proptest::prelude::*;
+
+fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_probability_vector(v in (1usize..8).prop_flat_map(arb_vec)) {
+        let p = loss::softmax(&v);
+        let sum: f32 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Order-preserving.
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero(
+        logits in arb_vec(2),
+        t in 0.0f32..1.0,
+    ) {
+        // Σ_i (p_i - t_i) = 1 - 1 = 0 for probability-vector targets.
+        let target = [1.0 - t, t];
+        let (_, grad) = loss::softmax_cross_entropy(
+            &Tensor::from_vec(vec![2], logits), &target);
+        let s: f32 = grad.as_slice().iter().sum();
+        prop_assert!(s.abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_minimal_at_target(t in 0.05f32..0.95) {
+        let target = [1.0 - t, t];
+        // Logits matching log target exactly minimise CE at the target's
+        // entropy.
+        let logits = Tensor::from_vec(vec![2], vec![(1.0 - t).ln(), t.ln()]);
+        let (l_opt, grad) = loss::softmax_cross_entropy(&logits, &target);
+        prop_assert!(l_opt >= 0.0);
+        prop_assert!(grad.abs_max() < 1e-5);
+        let (l_other, _) = loss::softmax_cross_entropy(
+            &Tensor::from_vec(vec![2], vec![2.0, -2.0]), &target);
+        prop_assert!(l_other + 1e-6 >= l_opt);
+    }
+
+    #[test]
+    fn relu_is_idempotent(v in (1usize..40).prop_flat_map(arb_vec)) {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![v.len()], v);
+        let once = relu.forward(&x, true);
+        let twice = relu.forward(&once, true);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(
+        v in arb_vec(4 * 6 * 6)
+    ) {
+        let mut pool = MaxPool2::new();
+        let x = Tensor::from_vec(vec![4, 6, 6], v.clone());
+        let y = pool.forward(&x, true);
+        let in_max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let in_min = v.iter().copied().fold(f32::INFINITY, f32::min);
+        for &o in y.as_slice() {
+            prop_assert!(o <= in_max && o >= in_min);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(v in arb_vec(2 * 5 * 5), scale in 0.1f32..3.0) {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 77);
+        // Zero the bias so the map is linear, not affine.
+        let mut call = 0;
+        conv.visit_params(&mut |w, _| {
+            if call == 1 {
+                w.iter_mut().for_each(|b| *b = 0.0);
+            }
+            call += 1;
+        });
+        let x = Tensor::from_vec(vec![2, 5, 5], v.clone());
+        let sx = Tensor::from_vec(vec![2, 5, 5], v.iter().map(|&a| a * scale).collect());
+        let y = conv.forward(&x, false);
+        let sy = conv.forward(&sx, false);
+        for (a, b) in y.as_slice().iter().zip(sy.as_slice().iter()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_every_element(v in arb_vec(3 * 4 * 2)) {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(vec![3, 4, 2], v.clone());
+        let y = f.forward(&x, true);
+        prop_assert_eq!(y.as_slice(), &v[..]);
+    }
+
+    #[test]
+    fn parameter_blob_roundtrip_is_exact(seed in 0u64..1000) {
+        let mut net = Network::new();
+        net.push(Dense::new(5, 7, seed));
+        net.push(Relu::new());
+        net.push(Dense::new(7, 2, seed + 1));
+        let blob = ParameterBlob::from_network(&mut net);
+        let mut other = Network::new();
+        other.push(Dense::new(5, 7, seed + 2));
+        other.push(Relu::new());
+        other.push(Dense::new(7, 2, seed + 3));
+        blob.load_into(&mut other).expect("same architecture");
+        let reread = ParameterBlob::from_network(&mut other);
+        prop_assert_eq!(blob.as_slice(), reread.as_slice());
+    }
+
+    #[test]
+    fn gradient_step_direction_reduces_loss(
+        v in arb_vec(6),
+        t in prop_oneof![Just([1.0f32, 0.0]), Just([0.0f32, 1.0])],
+    ) {
+        // One small step along the negative gradient must not increase the
+        // loss (first-order guarantee at small lr).
+        let mut net = Network::new();
+        net.push(Dense::new(6, 8, 9));
+        net.push(Relu::new());
+        net.push(Dense::new(8, 2, 10));
+        let x = Tensor::from_vec(vec![6], v);
+        let (l0, g) = loss::softmax_cross_entropy(&net.forward(&x, false), &t);
+        net.zero_grads();
+        let _ = net.forward(&x, false);
+        net.backward(&g);
+        net.apply_gradients(1e-3);
+        let (l1, _) = loss::softmax_cross_entropy(&net.forward(&x, false), &t);
+        prop_assert!(l1 <= l0 + 1e-5, "loss increased: {l0} -> {l1}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Feature-tensor anatomy: extract the paper's representation from a
+//! hand-built clip, inspect the DC channel, and reconstruct the clip from
+//! the compressed tensor (Figure 1 of the paper, interactively).
+//!
+//! ```text
+//! cargo run --release --example feature_tensor
+//! ```
+
+use hotspot_dct::{extract_feature_tensor, reconstruct_image, FeatureTensorSpec};
+use hotspot_geometry::{raster, Clip, Grid, Rect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 1200x1200 nm clip: vertical lines on the left, a block on the
+    // right.
+    let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+    for i in 0..4 {
+        clip.push(Rect::new(100 + i * 140, 100, 170 + i * 140, 1100)?);
+    }
+    clip.push(Rect::new(750, 300, 1100, 900)?);
+
+    // Rasterise at 10 nm/px and extract a 12x12-block tensor keeping the
+    // first 8 coefficients per block.
+    let image = raster::rasterize_clip(&clip, 10);
+    let spec = FeatureTensorSpec::new(12, 8)?;
+    let tensor = extract_feature_tensor(&image, &spec)?;
+    println!(
+        "clip -> {}x{} raster -> {}x{}x{} feature tensor ({:.0}x compression)\n",
+        image.width(),
+        image.height(),
+        tensor.grid_dim(),
+        tensor.grid_dim(),
+        tensor.coefficients(),
+        image.len() as f64 / tensor.as_slice().len() as f64
+    );
+
+    // Channel 0 is each block's DC coefficient — a density thumbnail.
+    println!("DC channel (block density map):");
+    print_heatmap(&tensor.channel(0));
+
+    // Channel 1 is the first horizontal-frequency coefficient: it lights
+    // up where vertical line edges are.
+    println!("\nchannel 1 (horizontal-frequency content):");
+    print_heatmap(&tensor.channel(1).map(|v| v.abs()));
+
+    // Reconstruct the clip from the 8-coefficient tensor.
+    let back = reconstruct_image(&tensor, tensor.block_size())?;
+    let mut err = 0.0f64;
+    for (a, b) in image.iter().zip(back.iter()) {
+        err += ((a - b) as f64).powi(2);
+    }
+    println!(
+        "\nreconstruction RMSE from 8/100 coefficients: {:.4}",
+        (err / image.len() as f64).sqrt()
+    );
+    println!("original (left) vs reconstruction (right), 60x60 px centre crop:");
+    let crop_a = image.window(30, 30, 60, 60);
+    let crop_b = back.window(30, 30, 60, 60);
+    print_side_by_side(&crop_a, &crop_b);
+    Ok(())
+}
+
+fn print_heatmap(g: &Grid<f32>) {
+    let max = g.max().max(1e-6);
+    for y in 0..g.height() {
+        let row: String = (0..g.width())
+            .map(|x| shade(g[(x, y)] / max))
+            .collect();
+        println!("  {row}");
+    }
+}
+
+fn print_side_by_side(a: &Grid<f32>, b: &Grid<f32>) {
+    for y in (0..a.height()).step_by(2) {
+        let left: String = (0..a.width()).step_by(1).map(|x| shade(a[(x, y)])).collect();
+        let right: String = (0..b.width()).step_by(1).map(|x| shade(b[(x, y)])).collect();
+        println!("  {left}   {right}");
+    }
+}
+
+fn shade(v: f32) -> char {
+    match v {
+        v if v < 0.15 => ' ',
+        v if v < 0.4 => '.',
+        v if v < 0.7 => 'o',
+        _ => '#',
+    }
+}

@@ -1,0 +1,66 @@
+//! Process-window explorer: sweep a line/space array through the
+//! lithography oracle and watch its process window close as the pitch
+//! shrinks — the physics behind every label in the suite.
+//!
+//! ```text
+//! cargo run --release --example litho_explorer
+//! ```
+
+use hotspot_geometry::{Clip, Rect};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = LithoSimulator::new(LithoConfig::default())?;
+    let corners = &sim.config().corners;
+
+    println!("line/space arrays, 50% duty cycle, full clip height");
+    println!(
+        "corners: {}",
+        corners
+            .iter()
+            .map(|c| format!("(dose {:.2}, defocus {:.0} nm)", c.dose, c.defocus_nm))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("\n half-pitch | per-corner failures          | verdict");
+    println!("------------+------------------------------+---------");
+    for half_pitch in [40i64, 50, 60, 70, 80, 100, 120, 150] {
+        let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+        let mut x = 100;
+        while x + half_pitch < 1100 {
+            clip.push(Rect::new(x, 0, x + half_pitch, 1200)?);
+            x += 2 * half_pitch;
+        }
+        let report = sim.analyze_clip(&clip);
+        let fails: Vec<String> = report
+            .corner_reports()
+            .iter()
+            .map(|r| format!("{:>4}", r.failures()))
+            .collect();
+        println!(
+            " {half_pitch:>7} nm | {} | {}",
+            fails.join(" "),
+            if report.is_hotspot() { "HOTSPOT" } else { "clean" }
+        );
+    }
+
+    println!("\nline-end pullback: an isolated line tip under defocus");
+    println!("\n line width | worst-corner failures | verdict");
+    println!("------------+-----------------------+---------");
+    for width in [50i64, 70, 90, 110, 140] {
+        let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+        clip.push(Rect::new(600 - width / 2, 300, 600 + width / 2, 800)?);
+        let report = sim.analyze_clip(&clip);
+        println!(
+            " {width:>7} nm | {:>21} | {}",
+            report.worst_failures(),
+            if report.is_hotspot() { "HOTSPOT" } else { "clean" }
+        );
+    }
+    println!(
+        "\nNote how failures appear first at the off-nominal corners: these\n\
+         marginal patterns print at nominal conditions but have a process\n\
+         window smaller than required — the paper's definition of a hotspot."
+    );
+    Ok(())
+}

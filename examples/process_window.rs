@@ -1,0 +1,57 @@
+//! Process-window maps: visualise the dose/defocus landscape whose size
+//! *defines* a hotspot.
+//!
+//! ```text
+//! cargo run --release --example process_window
+//! ```
+
+use hotspot_geometry::{Clip, Rect};
+use hotspot_litho::window::{default_grid, process_window_map};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+fn line_array(half_pitch: i64) -> Result<Clip, hotspot_geometry::GeometryError> {
+    let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+    let mut x = 100;
+    while x + half_pitch < 1100 {
+        clip.push(Rect::new(x, 0, x + half_pitch, 1200)?);
+        x += 2 * half_pitch;
+    }
+    Ok(clip)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = LithoSimulator::new(LithoConfig::default())?;
+    let (doses, defocuses) = default_grid();
+
+    for half_pitch in [100i64, 70, 60, 55] {
+        let clip = line_array(half_pitch)?;
+        let map = process_window_map(&sim, &clip, &doses, &defocuses)?;
+        println!(
+            "\n{half_pitch} nm half-pitch line/space — window area {:.0}% \
+             (o = prints, x = fails):",
+            100.0 * map.window_area()
+        );
+        print!("defocus ");
+        for &d in map.doses() {
+            print!("{:>5.2}", d);
+        }
+        println!("   <- dose");
+        for (fi, &f) in map.defocuses_nm().iter().enumerate() {
+            print!("{f:>4.0} nm ");
+            for di in 0..map.doses().len() {
+                print!("    {}", if map.passes_at(di, fi) { 'o' } else { 'x' });
+            }
+            println!();
+        }
+        println!(
+            "is hotspot per 5-corner check: {}",
+            sim.label_clip(&clip)
+        );
+    }
+    println!(
+        "\nThe window shrinks as the pitch approaches the optics' resolution\n\
+         limit; the hotspot label flips once the required corners fall outside\n\
+         the usable window — the paper's hotspot definition, made visible."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: generate a synthetic benchmark, train the deep
+//! biased-learning detector, and evaluate it — the whole paper in ~40
+//! lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hotspot_core::detector::{DetectorConfig, HotspotDetector};
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The lithography oracle that labels layout clips.
+    let sim = LithoSimulator::new(LithoConfig::default())?;
+
+    // 2. A miniature ICCAD-2012-like benchmark (1 % of the paper's size).
+    let data = SuiteSpec::iccad(0.01).build(&sim);
+    println!(
+        "benchmark: {} train clips ({} hotspots), {} test clips ({} hotspots)",
+        data.train.len(),
+        data.train.hotspot_count(),
+        data.test.len(),
+        data.test.hotspot_count()
+    );
+
+    // 3. Configure the detector: 12x12 feature-tensor grid with k = 16
+    //    DCT coefficients, and a small training budget for a quick demo.
+    let mut config = DetectorConfig::default();
+    config.pipeline = FeaturePipeline::new(10, 12, 16)?;
+    config.mgd.max_steps = 800;
+    config.biased.rounds = 2; // one unbiased round + one ε = 0.1 fine-tune
+
+    // 4. Train (feature tensors -> CNN -> MGD -> biased fine-tuning).
+    println!("training...");
+    let mut detector = HotspotDetector::fit(&data.train, &config)?;
+    println!(
+        "trained to ε = {:.1} in {:.0} s",
+        detector.training_report().final_epsilon(),
+        detector.training_report().total_train_time_s()
+    );
+
+    // 5. Evaluate with the paper's metrics.
+    let result = detector.evaluate(&data.test);
+    println!(
+        "hotspot accuracy {:.1}%  |  false alarms {}  |  CPU {:.2} s  |  ODST {:.0} s",
+        100.0 * result.accuracy,
+        result.false_alarms,
+        result.eval_time_s,
+        result.odst_s
+    );
+
+    // 6. Score one clip like a physical-verification flow would.
+    let sample = &data.test.samples()[0];
+    let p = detector.predict_proba(&sample.clip)?;
+    println!(
+        "first test clip: predicted hotspot probability {:.2} (ground truth: {})",
+        p,
+        if sample.hotspot { "hotspot" } else { "clean" }
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table and figure (see DESIGN.md experiment index).
+set -x
+cd /root/repo
+B=./target/release
+$B/fig1_reconstruction --out results > results/fig1.log 2>&1
+$B/table2 --scale 0.05 --steps 1600 --k 32 --rounds 4 --print-arch 1 --out results > results/table2.log 2>&1
+$B/fig3_sgd_vs_mgd --scale 0.05 --steps 800 --k 32 --out results > results/fig3.log 2>&1
+$B/fig4_bias_vs_shift --scale 0.05 --steps 1600 --k 32 --out results > results/fig4.log 2>&1
+$B/ablation_k --scale 0.05 --steps 800 --out results > results/ablation_k.log 2>&1
+$B/ablation_bias --scale 0.05 --steps 800 --out results > results/ablation_bias.log 2>&1
+echo DONE_ALL

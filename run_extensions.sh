@@ -1,0 +1,9 @@
+#!/bin/bash
+# Extension studies (run after run_experiments.sh).
+set -x
+cd /root/repo
+B=./target/release
+$B/ablation_activation --scale 0.05 --steps 800 --out results > results/ablation_activation.log 2>&1
+$B/calibration_study --scale 0.05 --steps 1200 --out results > results/calibration_study.log 2>&1
+$B/ablation_augment --scale 0.005 --steps 600 --out results > results/ablation_augment.log 2>&1
+echo DONE_EXT

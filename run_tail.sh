@@ -1,0 +1,13 @@
+#!/bin/bash
+# Remaining figures + extension studies at budgets sized for one CPU core.
+set -x
+cd /root/repo
+B=./target/release
+$B/fig3_sgd_vs_mgd --scale 0.02 --steps 500 --k 32 --out results > results/fig3.log 2>&1
+$B/fig4_bias_vs_shift --scale 0.02 --steps 900 --k 32 --out results > results/fig4.log 2>&1
+$B/ablation_k --scale 0.02 --steps 500 --out results > results/ablation_k.log 2>&1
+$B/ablation_bias --scale 0.02 --steps 400 --out results > results/ablation_bias.log 2>&1
+$B/ablation_activation --scale 0.02 --steps 400 --out results > results/ablation_activation.log 2>&1
+$B/calibration_study --scale 0.02 --steps 600 --out results > results/calibration_study.log 2>&1
+$B/ablation_augment --scale 0.004 --steps 400 --out results > results/ablation_augment.log 2>&1
+echo DONE_TAIL

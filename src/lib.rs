@@ -1,0 +1,1 @@
+//! Umbrella crate for the hotspot-detection suite; see the member crates.

@@ -1,0 +1,78 @@
+//! Integration: the clip interchange format round-trips generated
+//! benchmarks, and reloaded clips keep their lithography labels and
+//! feature tensors.
+
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::{patterns, PatternKind};
+use hotspot_geometry::io::{read_clips, write_clips};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+use rand::SeedableRng;
+
+fn generated_clips() -> Vec<hotspot_geometry::Clip> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    PatternKind::ALL
+        .into_iter()
+        .flat_map(|kind| {
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(rng_next(&mut rng));
+            (0..3)
+                .map(move |_| patterns::sample_pattern(kind, &mut rng2))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn rng_next(rng: &mut rand::rngs::StdRng) -> u64 {
+    use rand::Rng;
+    rng.gen()
+}
+
+#[test]
+fn every_archetype_roundtrips_through_text_format() {
+    let clips = generated_clips();
+    let mut buf = Vec::new();
+    write_clips(&mut buf, clips.iter()).expect("write succeeds");
+    let back = read_clips(buf.as_slice()).expect("read succeeds");
+    assert_eq!(back, clips);
+}
+
+#[test]
+fn labels_survive_serialization() {
+    let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let clips = generated_clips();
+    let labels: Vec<bool> = clips.iter().map(|c| sim.label_clip(c)).collect();
+    let mut buf = Vec::new();
+    write_clips(&mut buf, clips.iter()).unwrap();
+    let back = read_clips(buf.as_slice()).unwrap();
+    for (clip, &expected) in back.iter().zip(labels.iter()) {
+        assert_eq!(sim.label_clip(clip), expected);
+    }
+}
+
+#[test]
+fn feature_tensors_survive_serialization() {
+    let pipeline = FeaturePipeline::new(10, 12, 8).unwrap();
+    let clips = generated_clips();
+    let mut buf = Vec::new();
+    write_clips(&mut buf, clips.iter()).unwrap();
+    let back = read_clips(buf.as_slice()).unwrap();
+    for (original, reloaded) in clips.iter().zip(back.iter()) {
+        assert_eq!(
+            pipeline.extract(original).unwrap(),
+            pipeline.extract(reloaded).unwrap()
+        );
+    }
+}
+
+#[test]
+fn format_is_humanly_greppable() {
+    let clips = generated_clips();
+    let mut buf = Vec::new();
+    write_clips(&mut buf, clips.iter().take(1)).unwrap();
+    let text = String::from_utf8(buf).expect("text format is UTF-8");
+    assert!(text.starts_with("clip 0 0 1200 1200"));
+    assert!(text.trim_end().ends_with("end"));
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with("rect")).count(),
+        clips[0].shape_count()
+    );
+}

@@ -1,0 +1,82 @@
+//! Reproducibility guarantees: everything in the suite is a pure function
+//! of its seeds, so every table and figure regenerates identically.
+
+use hotspot_core::detector::{DetectorConfig, HotspotDetector};
+use hotspot_core::mgd::MgdConfig;
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_datagen::{patterns, PatternKind};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+use rand::SeedableRng;
+
+#[test]
+fn benchmarks_regenerate_identically() {
+    let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let a = SuiteSpec::iccad(0.001).build(&sim);
+    let b = SuiteSpec::iccad(0.001).build(&sim);
+    assert_eq!(a.train, b.train);
+    assert_eq!(a.test, b.test);
+}
+
+#[test]
+fn patterns_depend_only_on_seed_and_kind() {
+    for kind in PatternKind::ALL {
+        let a = patterns::sample_pattern(kind, &mut rand::rngs::StdRng::seed_from_u64(555));
+        let b = patterns::sample_pattern(kind, &mut rand::rngs::StdRng::seed_from_u64(555));
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn litho_labels_are_pure() {
+    let sim1 = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let sim2 = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let clip = patterns::sample_pattern(PatternKind::RandomRouting, &mut rng);
+        assert_eq!(sim1.analyze_clip(&clip), sim2.analyze_clip(&clip));
+    }
+}
+
+#[test]
+fn trained_detectors_are_reproducible() {
+    let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let spec = SuiteSpec {
+        name: "det".into(),
+        train_hs: 20,
+        train_nhs: 20,
+        test_hs: 10,
+        test_nhs: 10,
+        mix: vec![(PatternKind::LineArray, 1.0)],
+        seed: 77,
+    };
+    let data = spec.build(&sim);
+    let config = {
+        let mgd = MgdConfig {
+            lr: 2e-3,
+            alpha: 0.7,
+            decay_step: 100,
+            batch_size: 8,
+            max_steps: 150,
+            val_interval: 50,
+            patience: 3,
+            val_fraction: 0.25,
+            seed: 21,
+            balanced_sampling: true,
+            threads: 1,
+        };
+        let mut cfg = DetectorConfig::default();
+        cfg.pipeline = FeaturePipeline::new(10, 12, 4).unwrap();
+        cfg.biased.rounds = 1;
+        cfg.mgd = mgd;
+        cfg
+    };
+    let mut d1 = HotspotDetector::fit(&data.train, &config).unwrap();
+    let mut d2 = HotspotDetector::fit(&data.train, &config).unwrap();
+    for sample in data.test.iter() {
+        assert_eq!(
+            d1.predict_proba(&sample.clip).unwrap(),
+            d2.predict_proba(&sample.clip).unwrap()
+        );
+    }
+}

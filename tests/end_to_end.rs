@@ -1,0 +1,119 @@
+//! Cross-crate integration: the full clip → label → feature → train →
+//! evaluate pipeline, exercised end to end.
+
+use hotspot_core::detector::{DetectorConfig, HotspotDetector};
+use hotspot_core::mgd::MgdConfig;
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_datagen::PatternKind;
+use hotspot_litho::{LithoConfig, LithoSimulator};
+
+fn oracle() -> LithoSimulator {
+    LithoSimulator::new(LithoConfig::default()).expect("default litho config")
+}
+
+fn quick_config() -> DetectorConfig {
+    let mgd = MgdConfig {
+        lr: 2e-3,
+        alpha: 0.7,
+        decay_step: 200,
+        batch_size: 16,
+        max_steps: 350,
+        val_interval: 70,
+        patience: 3,
+        val_fraction: 0.25,
+        seed: 3,
+        balanced_sampling: true,
+        threads: 1,
+    };
+    let mut cfg = DetectorConfig::default();
+    cfg.pipeline = FeaturePipeline::new(10, 12, 8).expect("valid pipeline");
+    cfg.biased.rounds = 2;
+    cfg.biased.fine_tune = MgdConfig {
+        max_steps: 80,
+        ..mgd.clone()
+    };
+    cfg.mgd = mgd;
+    cfg
+}
+
+fn tiny_spec() -> SuiteSpec {
+    SuiteSpec {
+        name: "e2e".into(),
+        train_hs: 30,
+        train_nhs: 30,
+        test_hs: 15,
+        test_nhs: 15,
+        mix: vec![
+            (PatternKind::LineArray, 1.0),
+            (PatternKind::LineTips, 1.0),
+        ],
+        seed: 1234,
+    }
+}
+
+#[test]
+fn full_pipeline_trains_and_scores() {
+    let sim = oracle();
+    let data = tiny_spec().build(&sim);
+
+    // Quotas met exactly and labels agree with the oracle.
+    assert_eq!(data.train.hotspot_count(), 30);
+    assert_eq!(data.test.non_hotspot_count(), 15);
+    for sample in data.train.iter().take(5) {
+        assert_eq!(sim.label_clip(&sample.clip), sample.hotspot);
+    }
+
+    let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
+    let result = detector.evaluate(&data.test);
+
+    // Structural invariants of the evaluation.
+    assert_eq!(result.hotspot_total, 15);
+    assert_eq!(result.non_hotspot_total, 15);
+    assert!(result.true_detections <= result.hotspot_total);
+    assert!(result.false_alarms <= result.non_hotspot_total);
+    assert!(result.accuracy >= 0.0 && result.accuracy <= 1.0);
+    // ODST = 10 s per flagged clip + eval time, exactly.
+    let flagged = result.true_detections + result.false_alarms;
+    assert!((result.odst_s - (flagged as f64 * 10.0 + result.eval_time_s)).abs() < 1e-9);
+}
+
+#[test]
+fn per_clip_predictions_match_batch_evaluation() {
+    let sim = oracle();
+    let data = tiny_spec().build(&sim);
+    let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
+    let result = detector.evaluate(&data.test);
+    let mut hits = 0usize;
+    let mut fas = 0usize;
+    for sample in data.test.iter() {
+        let p = detector.predict(&sample.clip).expect("prediction runs");
+        if p && sample.hotspot {
+            hits += 1;
+        }
+        if p && !sample.hotspot {
+            fas += 1;
+        }
+    }
+    assert_eq!(hits, result.true_detections);
+    assert_eq!(fas, result.false_alarms);
+}
+
+#[test]
+fn training_report_records_bias_schedule() {
+    let sim = oracle();
+    let data = tiny_spec().build(&sim);
+    let detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
+    let report = detector.training_report();
+    assert_eq!(report.rounds.len(), 2);
+    assert_eq!(report.rounds[0].epsilon, 0.0);
+    assert!((report.rounds[1].epsilon - 0.1).abs() < 1e-6);
+    assert!(report.total_train_time_s() > 0.0);
+    // Every round's history is non-empty and time-ordered.
+    for round in &report.rounds {
+        assert!(!round.report.history.is_empty());
+        for w in round.report.history.windows(2) {
+            assert!(w[1].elapsed_s >= w[0].elapsed_s);
+        }
+    }
+}

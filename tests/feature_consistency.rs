@@ -1,0 +1,125 @@
+//! Cross-crate consistency of the feature representations: the geometry
+//! raster, the DCT tensor, and the classical baseline features must agree
+//! on what they see.
+
+use hotspot_core::FeaturePipeline;
+use hotspot_datagen::{patterns, PatternKind};
+use hotspot_dct::{extract_feature_tensor, reconstruct_image, FeatureTensorSpec};
+use hotspot_features::{ccs_feature, density_feature, CcsSpec};
+use hotspot_geometry::raster;
+use rand::SeedableRng;
+
+fn sample_clip(seed: u64, kind: PatternKind) -> hotspot_geometry::Clip {
+    patterns::sample_pattern(kind, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+#[test]
+fn dc_channel_equals_scaled_density_feature() {
+    // The feature tensor's DC channel and the density baseline feature are
+    // the same measurement up to the orthonormal-DCT scale factor B.
+    let clip = sample_clip(11, PatternKind::RandomRouting);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = FeatureTensorSpec::new(12, 4).unwrap();
+    let tensor = extract_feature_tensor(&image, &spec).unwrap();
+    let density = density_feature(&image, 12).unwrap();
+    let b = tensor.block_size() as f32;
+    for j in 0..12 {
+        for i in 0..12 {
+            let dc = tensor.coefficient(i, j, 0);
+            let d = density[j * 12 + i];
+            assert!(
+                (dc - d * b).abs() < 1e-3,
+                "block ({i},{j}): DC {dc} vs density*B {}",
+                d * b
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_tensor_matches_manual_extraction() {
+    let clip = sample_clip(12, PatternKind::ContactArray);
+    let pipeline = FeaturePipeline::new(10, 12, 16).unwrap();
+    let from_pipeline = pipeline.extract(&clip).unwrap();
+    // Manual: raster -> tensor -> scale by 1/B.
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = FeatureTensorSpec::new(12, 16).unwrap();
+    let tensor = extract_feature_tensor(&image, &spec).unwrap();
+    let scale = 1.0 / tensor.block_size() as f32;
+    for (a, &b) in from_pipeline.as_slice().iter().zip(tensor.as_slice().iter()) {
+        assert!((a - b * scale).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn reconstruction_preserves_total_mass_at_high_k() {
+    // With most coefficients kept, the reconstructed image's covered area
+    // matches the raster's (the DCT is an isometry and truncation drops
+    // only high-frequency detail, which integrates to zero).
+    let clip = sample_clip(13, PatternKind::LineArray);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = FeatureTensorSpec::new(12, 60).unwrap();
+    let tensor = extract_feature_tensor(&image, &spec).unwrap();
+    let back = reconstruct_image(&tensor, tensor.block_size()).unwrap();
+    let rel = (image.sum() - back.sum()).abs() / image.sum().max(1.0);
+    assert!(rel < 1e-3, "relative mass error {rel}");
+}
+
+#[test]
+fn dc_truncation_is_exact_for_k1() {
+    // k = 1 keeps only DC: reconstruction is each block's mean.
+    let clip = sample_clip(14, PatternKind::Isolated);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = FeatureTensorSpec::new(12, 1).unwrap();
+    let tensor = extract_feature_tensor(&image, &spec).unwrap();
+    let back = reconstruct_image(&tensor, tensor.block_size()).unwrap();
+    let b = tensor.block_size();
+    for j in 0..12 {
+        for i in 0..12 {
+            let blk = image.window(i * b, j * b, b, b);
+            let mean = blk.mean() as f32;
+            // Every reconstructed pixel in the block equals the block mean.
+            assert!((back[(i * b, j * b)] - mean).abs() < 1e-3);
+            assert!((back[(i * b + b - 1, j * b + b - 1)] - mean).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn ccs_centre_sample_matches_raster_centre() {
+    let clip = sample_clip(15, PatternKind::Jogs);
+    let image = raster::rasterize_clip(&clip.normalized(), 10);
+    let spec = CcsSpec {
+        circles: 4,
+        samples_per_circle: 8,
+        max_radius_frac: 0.9,
+    };
+    let f = ccs_feature(&image, &spec).unwrap();
+    // Feature 0 is the bilinear sample at the exact centre.
+    let cx = (image.width() - 1) / 2;
+    let cy = (image.height() - 1) / 2;
+    // 119/2 = 59.5 -> average of the four centre pixels (120 px wide).
+    let expect = (image[(cx, cy)]
+        + image[(cx + 1, cy)]
+        + image[(cx, cy + 1)]
+        + image[(cx + 1, cy + 1)])
+        / 4.0;
+    assert!((f[0] - expect).abs() < 1e-5);
+}
+
+#[test]
+fn all_archetypes_survive_every_extractor() {
+    // No archetype/extractor combination may panic or produce NaN.
+    let ccs_spec = CcsSpec::default();
+    let pipeline = FeaturePipeline::new(10, 12, 32).unwrap();
+    for (i, kind) in PatternKind::ALL.into_iter().enumerate() {
+        let clip = sample_clip(100 + i as u64, kind);
+        let image = raster::rasterize_clip(&clip.normalized(), 10);
+        let d = density_feature(&image, 12).unwrap();
+        let c = ccs_feature(&image, &ccs_spec).unwrap();
+        let t = pipeline.extract(&clip).unwrap();
+        assert!(d.iter().all(|v| v.is_finite()));
+        assert!(c.iter().all(|v| v.is_finite()));
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+}
