@@ -91,7 +91,13 @@ impl AdaBoost {
             let neg = n - pos;
             labels
                 .iter()
-                .map(|&l| if l { 0.5 / pos as f64 } else { 0.5 / neg as f64 })
+                .map(|&l| {
+                    if l {
+                        0.5 / pos as f64
+                    } else {
+                        0.5 / neg as f64
+                    }
+                })
                 .collect()
         } else {
             vec![1.0f64 / n as f64; n]
@@ -187,7 +193,15 @@ mod tests {
     fn separable_data_learned_in_one_round() {
         let samples = vec![vec![0.0f32], vec![0.1], vec![0.9], vec![1.0]];
         let labels = vec![false, false, true, true];
-        let m = AdaBoost::fit(&samples, &labels, &AdaBoostConfig { rounds: 10, ..AdaBoostConfig::default() }).unwrap();
+        let m = AdaBoost::fit(
+            &samples,
+            &labels,
+            &AdaBoostConfig {
+                rounds: 10,
+                ..AdaBoostConfig::default()
+            },
+        )
+        .unwrap();
         assert_eq!(m.round_count(), 1, "separable: early exit after round 1");
         for (s, l) in samples.iter().zip(&labels) {
             assert_eq!(m.predict(s), *l);
@@ -197,8 +211,24 @@ mod tests {
     #[test]
     fn boosting_beats_single_stump_on_interval() {
         let (samples, labels) = interval_data();
-        let one = AdaBoost::fit(&samples, &labels, &AdaBoostConfig { rounds: 1, ..AdaBoostConfig::default() }).unwrap();
-        let many = AdaBoost::fit(&samples, &labels, &AdaBoostConfig { rounds: 50, ..AdaBoostConfig::default() }).unwrap();
+        let one = AdaBoost::fit(
+            &samples,
+            &labels,
+            &AdaBoostConfig {
+                rounds: 1,
+                ..AdaBoostConfig::default()
+            },
+        )
+        .unwrap();
+        let many = AdaBoost::fit(
+            &samples,
+            &labels,
+            &AdaBoostConfig {
+                rounds: 50,
+                ..AdaBoostConfig::default()
+            },
+        )
+        .unwrap();
         let acc = |m: &AdaBoost| {
             samples
                 .iter()
@@ -215,7 +245,15 @@ mod tests {
     fn score_is_signed_margin() {
         let samples = vec![vec![0.0f32], vec![1.0]];
         let labels = vec![false, true];
-        let m = AdaBoost::fit(&samples, &labels, &AdaBoostConfig { rounds: 3, ..AdaBoostConfig::default() }).unwrap();
+        let m = AdaBoost::fit(
+            &samples,
+            &labels,
+            &AdaBoostConfig {
+                rounds: 3,
+                ..AdaBoostConfig::default()
+            },
+        )
+        .unwrap();
         assert!(m.score(&[1.0]) > 0.0);
         assert!(m.score(&[0.0]) < 0.0);
     }

@@ -50,7 +50,10 @@ impl fmt::Display for BaselineError {
                 write!(f, "degenerate training set: {why}")
             }
             BaselineError::FeatureLengthMismatch { expected, actual } => {
-                write!(f, "feature length mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "feature length mismatch: expected {expected}, got {actual}"
+                )
             }
         }
     }

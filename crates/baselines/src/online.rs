@@ -220,7 +220,10 @@ mod tests {
         for _ in 0..50 {
             m.update(&[0.5], true);
         }
-        assert!(m.score(&[0.5]) > before, "online updates must shift the score");
+        assert!(
+            m.score(&[0.5]) > before,
+            "online updates must shift the score"
+        );
     }
 
     #[test]
@@ -268,9 +271,8 @@ mod tests {
     #[should_panic(expected = "feature length mismatch")]
     fn update_checks_dimension() {
         let samples = vec![vec![0.1f32, 0.2], vec![0.9, 0.8]];
-        let mut m =
-            OnlineLogistic::fit(&samples, &[false, true], &OnlineLogisticConfig::default())
-                .unwrap();
+        let mut m = OnlineLogistic::fit(&samples, &[false, true], &OnlineLogisticConfig::default())
+            .unwrap();
         m.update(&[0.5], true);
     }
 }

@@ -128,19 +128,17 @@ mod tests {
         };
         assert_eq!(s.predict(&[0.0, 0.9]), 1.0);
         assert_eq!(s.predict(&[0.0, 0.1]), -1.0);
-        let n = DecisionStump { polarity: -1.0, ..s };
+        let n = DecisionStump {
+            polarity: -1.0,
+            ..s
+        };
         assert_eq!(n.predict(&[0.0, 0.9]), -1.0);
         assert_eq!(n.predict(&[0.0, 0.1]), 1.0);
     }
 
     #[test]
     fn fit_finds_separating_threshold() {
-        let samples = vec![
-            vec![0.1f32],
-            vec![0.2],
-            vec![0.8],
-            vec![0.9],
-        ];
+        let samples = vec![vec![0.1f32], vec![0.2], vec![0.8], vec![0.9]];
         let labels = vec![-1.0, -1.0, 1.0, 1.0];
         let weights = vec![0.25f64; 4];
         let (stump, err) = DecisionStump::fit(&samples, &labels, &weights);

@@ -71,5 +71,43 @@ fn bench_raw_image_input(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward, bench_train_step, bench_raw_image_input);
+/// Batched inference through `Network::forward_batch` — the path
+/// `Detector::predict_batch` rides — at one, two and all threads.
+fn bench_forward_batch(c: &mut Criterion) {
+    let cfg = CnnConfig {
+        input_channels: 32,
+        ..CnnConfig::default()
+    };
+    let mut net = cfg.build();
+    let inputs: Vec<Tensor> = (0..64)
+        .map(|i| Tensor::from_vec(cfg.input_shape(), vec![0.01 * i as f32; 32 * 144]))
+        .collect();
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, all];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut group = c.benchmark_group("cnn_forward_batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| net.forward_batch(std::hint::black_box(&inputs), false, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_train_step,
+    bench_raw_image_input,
+    bench_forward_batch
+);
 criterion_main!(benches);

@@ -7,7 +7,11 @@ use hotspot_dct::Dct2d;
 use hotspot_geometry::Grid;
 
 fn block(b: usize) -> Grid<f32> {
-    Grid::from_vec(b, b, (0..b * b).map(|v| ((v * 31 + 7) % 13) as f32).collect())
+    Grid::from_vec(
+        b,
+        b,
+        (0..b * b).map(|v| ((v * 31 + 7) % 13) as f32).collect(),
+    )
 }
 
 fn bench_dct(c: &mut Criterion) {
@@ -22,7 +26,10 @@ fn bench_dct(c: &mut Criterion) {
             bench.iter(|| plan.forward(std::hint::black_box(&x)).expect("valid block"));
         });
         group.bench_with_input(BenchmarkId::new("naive", b), &b, |bench, _| {
-            bench.iter(|| plan.forward_naive(std::hint::black_box(&x)).expect("valid block"));
+            bench.iter(|| {
+                plan.forward_naive(std::hint::black_box(&x))
+                    .expect("valid block")
+            });
         });
     }
     group.finish();
@@ -36,7 +43,10 @@ fn bench_inverse(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.bench_function("inverse-10", |bench| {
-        bench.iter(|| plan.inverse(std::hint::black_box(&coeffs)).expect("valid block"));
+        bench.iter(|| {
+            plan.inverse(std::hint::black_box(&coeffs))
+                .expect("valid block")
+        });
     });
     group.finish();
 }

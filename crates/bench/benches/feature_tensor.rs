@@ -17,7 +17,11 @@ fn bench_extract(c: &mut Criterion) {
     for k in [8usize, 32, 100] {
         let pipeline = FeaturePipeline::new(10, 12, k).expect("valid pipeline");
         group.bench_with_input(BenchmarkId::new("extract", k), &k, |bench, _| {
-            bench.iter(|| pipeline.extract(std::hint::black_box(&clip)).expect("valid clip"));
+            bench.iter(|| {
+                pipeline
+                    .extract(std::hint::black_box(&clip))
+                    .expect("valid clip")
+            });
         });
     }
     group.finish();

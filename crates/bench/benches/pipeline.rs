@@ -52,10 +52,41 @@ fn bench_litho_label(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end inference cost per clip: rasterised clip → DCT feature
+/// tensor → CNN forward (the per-clip work inside
+/// `HotspotDetector::predict_batch`).
+fn bench_clip_scoring(c: &mut Criterion) {
+    use hotspot_core::{model::CnnConfig, FeaturePipeline};
+
+    let pipeline = FeaturePipeline::new(10, 12, 32).expect("valid pipeline parameters");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let clip = patterns::sample_pattern(PatternKind::LineArray, &mut rng);
+    let mut net = CnnConfig {
+        input_grid: pipeline.grid_dim(),
+        input_channels: pipeline.coefficients(),
+        ..CnnConfig::default()
+    }
+    .build();
+    let mut group = c.benchmark_group("scoring");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("extract-and-forward-k32", |bench| {
+        bench.iter(|| {
+            let x = pipeline
+                .extract(std::hint::black_box(&clip))
+                .expect("suite clip fits the pipeline");
+            net.forward(&x, false)
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pattern_sampling,
     bench_rasterize,
-    bench_litho_label
+    bench_litho_label,
+    bench_clip_scoring
 );
 criterion_main!(benches);

@@ -65,7 +65,10 @@ impl ExperimentArgs {
     /// Panics when the value does not parse.
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got '{v}'"))
+            })
             .unwrap_or(default)
     }
 
@@ -76,7 +79,10 @@ impl ExperimentArgs {
     /// Panics when the value does not parse.
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'"))
+            })
             .unwrap_or(default)
     }
 
@@ -87,7 +93,10 @@ impl ExperimentArgs {
     /// Panics when the value does not parse.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got '{v}'"))
+            })
             .unwrap_or(default)
     }
 

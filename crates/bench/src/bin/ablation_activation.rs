@@ -87,7 +87,14 @@ fn main() {
         max_steps: steps,
         ..config.mgd.clone()
     };
-    let headers = ["activation", "accu", "FA#", "overall", "best_val", "train_s"];
+    let headers = [
+        "activation",
+        "accu",
+        "FA#",
+        "overall",
+        "best_val",
+        "train_s",
+    ];
     let mut rows = Vec::new();
     for act in [Activation::Relu, Activation::Sigmoid, Activation::Tanh] {
         eprintln!("[ablation_activation] training with {}...", act.name());

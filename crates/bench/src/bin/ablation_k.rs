@@ -26,8 +26,7 @@ fn main() {
     for k in [1usize, 4, 8, 16, 32] {
         eprintln!("[ablation_k] training with k = {k}...");
         let mut config = detector_config(&args);
-        config.pipeline =
-            hotspot_core::FeaturePipeline::new(10, 12, k).expect("valid pipeline");
+        config.pipeline = hotspot_core::FeaturePipeline::new(10, 12, k).expect("valid pipeline");
         // Keep the ablation affordable: two bias rounds.
         config.biased.rounds = args.usize("rounds", 2);
         let start = Instant::now();

@@ -57,11 +57,17 @@ fn main() {
         ..mgd_cfg.clone()
     };
 
-    eprintln!("[fig3] training with MGD ({} steps x batch {batch})...", mgd_steps);
+    eprintln!(
+        "[fig3] training with MGD ({} steps x batch {batch})...",
+        mgd_steps
+    );
     let mut mgd_net = make_net(&config);
     let mgd_report =
         mgd::train(&mut mgd_net, &features, &labels, 0.0, &mgd_cfg).expect("training runs");
-    eprintln!("[fig3] training with SGD ({} steps x batch 1)...", sgd_cfg.max_steps);
+    eprintln!(
+        "[fig3] training with SGD ({} steps x batch 1)...",
+        sgd_cfg.max_steps
+    );
     let mut sgd_net = make_net(&config);
     let sgd_report =
         mgd::train(&mut sgd_net, &features, &labels, 0.0, &sgd_cfg).expect("training runs");
@@ -100,7 +106,11 @@ fn main() {
     // accuracy, SGD still lags.
     let mgd_mid = accuracy_at_fraction(&mgd_report.history, 0.5);
     let sgd_mid = accuracy_at_fraction(&sgd_report.history, 0.5);
-    println!("At half the time budget: MGD {} vs SGD {}", table::pct(mgd_mid), table::pct(sgd_mid));
+    println!(
+        "At half the time budget: MGD {} vs SGD {}",
+        table::pct(mgd_mid),
+        table::pct(sgd_mid)
+    );
     table::write_csv(&out_dir, "fig3_sgd_vs_mgd", &headers, &rows);
 }
 

@@ -66,7 +66,13 @@ fn main() {
     );
 
     let headers = [
-        "epsilon", "bias_accu", "bias_FA", "shift_lambda", "shift_accu", "shift_FA", "FA_saved",
+        "epsilon",
+        "bias_accu",
+        "bias_FA",
+        "shift_lambda",
+        "shift_accu",
+        "shift_FA",
+        "FA_saved",
     ];
     let mut rows = Vec::new();
     rows.push(vec![
@@ -120,6 +126,8 @@ fn main() {
 }
 
 fn evaluate(net: &mut hotspot_nn::Network, features: &[Tensor], labels: &[bool]) -> EvalResult {
-    let preds = mgd::predict_all(net, features);
+    // All cores; bit-identical to the serial predict_all.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let preds = mgd::predict_all_parallel(net, features, threads);
     EvalResult::from_predictions(&preds, labels, 0.0)
 }

@@ -65,14 +65,16 @@ fn main() {
     }
     let n = rows.len() as f64;
 
-    let headers = [
-        "Bench", "Detector", "FA#", "CPU(s)", "ODST(s)", "Accu",
-    ];
+    let headers = ["Bench", "Detector", "FA#", "CPU(s)", "ODST(s)", "Accu"];
     let mut table_rows: Vec<Vec<String>> = Vec::new();
     for row in &rows {
         for (i, r) in row.results.iter().enumerate() {
             table_rows.push(vec![
-                if i == 0 { row.bench.clone() } else { String::new() },
+                if i == 0 {
+                    row.bench.clone()
+                } else {
+                    String::new()
+                },
                 detectors[i].to_string(),
                 r.false_alarms.to_string(),
                 format!("{:.2}", r.eval_time_s),
@@ -83,7 +85,11 @@ fn main() {
     }
     for (i, name) in detectors.iter().enumerate() {
         table_rows.push(vec![
-            if i == 0 { "Average".into() } else { String::new() },
+            if i == 0 {
+                "Average".into()
+            } else {
+                String::new()
+            },
             name.to_string(),
             format!("{:.0}", avg[i].0 / n),
             format!("{:.2}", avg[i].1 / n),
@@ -96,7 +102,11 @@ fn main() {
     let ours_accu = avg[2].3.max(f64::MIN_POSITIVE);
     for (i, name) in detectors.iter().enumerate() {
         table_rows.push(vec![
-            if i == 0 { "Ratio".into() } else { String::new() },
+            if i == 0 {
+                "Ratio".into()
+            } else {
+                String::new()
+            },
             name.to_string(),
             "-".into(),
             "-".into(),

@@ -1,0 +1,97 @@
+//! Inference-throughput benchmark: clips scored per second by the fitted
+//! detector at 1, 2 and all available threads.
+//!
+//! Exercises the full `Detector::predict_batch` path (feature extraction +
+//! im2col/GEMM CNN forward) and cross-checks that every thread count
+//! reproduces the single-threaded probabilities bit for bit — the
+//! determinism contract documented in `DESIGN.md`.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin throughput -- \
+//!     --scale 0.02 --steps 150 --k 32 --reps 3
+//! ```
+//!
+//! Writes `results/BENCH_throughput.json` (override the directory with
+//! `--out`).
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
+use hotspot_core::HotspotDetector;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_geometry::Clip;
+use std::time::Instant;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.02);
+    let out_dir = args.string("out", "results");
+    let reps = args.usize("reps", 3);
+
+    // Throughput needs a representative model, not a converged one: trim
+    // the training budget unless the caller asks for more.
+    let mut config = detector_config(&args);
+    let steps = args.usize("steps", 150);
+    config.mgd.max_steps = steps;
+    config.biased.initial.max_steps = steps;
+    config.biased.fine_tune.max_steps = (steps / 4).max(1);
+    config.biased.rounds = args.usize("rounds", 1);
+
+    let sim = oracle();
+    let data = build_benchmark(&SuiteSpec::industry3(scale), &sim);
+    eprintln!("[throughput] fitting detector ({steps} steps)...");
+    let mut detector = HotspotDetector::fit(&data.train, &config).expect("detector fits the suite");
+
+    let clips: Vec<Clip> = data.test.samples().iter().map(|s| s.clip.clone()).collect();
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, all];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    // Warm-up + serial reference for the determinism cross-check.
+    let reference = detector
+        .predict_batch(&clips, 1)
+        .expect("clips came from the same suite");
+
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        let mut best = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let probs = detector
+                .predict_batch(&clips, threads)
+                .expect("clips came from the same suite");
+            best = best.min(start.elapsed().as_secs_f64());
+            identical &= probs == reference;
+        }
+        let cps = clips.len() as f64 / best;
+        eprintln!(
+            "[throughput] {threads:>2} thread(s): {:.3} s for {} clips = {cps:.1} clips/s \
+             (bit-identical to serial: {identical})",
+            best,
+            clips.len()
+        );
+        rows.push((threads, best, cps, identical));
+    }
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(threads, secs, cps, identical)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"secs\": {secs:.6}, \
+                 \"clips_per_sec\": {cps:.2}, \"bit_identical_to_serial\": {identical} }}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"industry3\",\n  \"scale\": {scale},\n  \"clips\": {},\n  \
+         \"train_steps\": {steps},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        clips.len(),
+        entries.join(",\n")
+    );
+    print!("{json}");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = format!("{out_dir}/BENCH_throughput.json");
+    std::fs::write(&path, &json).expect("write BENCH_throughput.json");
+    eprintln!("[throughput] wrote {path}");
+}

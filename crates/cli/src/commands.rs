@@ -134,8 +134,8 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
 
     let mut config: DetectorConfig = hotspot_bench::detector_config(args);
     let k = args.usize("k", 16);
-    config.pipeline = FeaturePipeline::new(10, 12, k)
-        .map_err(|e| CliError::Usage(format!("invalid k: {e}")))?;
+    config.pipeline =
+        FeaturePipeline::new(10, 12, k).map_err(|e| CliError::Usage(format!("invalid k: {e}")))?;
     config.biased.rounds = args.usize("rounds", 2);
 
     let mut detector = HotspotDetector::fit(&dataset, &config)?;

@@ -44,7 +44,11 @@ fn full_flow_gen_label_train_predict_eval() {
     let labelled = commands::dispatch("label", &args(&[("clips", test_clips.to_str().unwrap())]))
         .expect("label succeeds");
     let generated = std::fs::read_to_string(&test_labels).unwrap();
-    assert_eq!(labelled.trim(), generated.trim(), "oracle disagrees with gen");
+    assert_eq!(
+        labelled.trim(),
+        generated.trim(),
+        "oracle disagrees with gen"
+    );
 
     // train: tiny budget — we only verify the plumbing, not model quality.
     let model = dir.join("model.hsnn");

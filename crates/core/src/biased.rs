@@ -96,7 +96,11 @@ pub fn train_biased(
     let mut rounds = Vec::with_capacity(config.rounds);
     for i in 0..config.rounds {
         let epsilon = config.epsilon_step * i as f32;
-        let cfg = if i == 0 { &config.initial } else { &config.fine_tune };
+        let cfg = if i == 0 {
+            &config.initial
+        } else {
+            &config.fine_tune
+        };
         let report = mgd::train(net, features, labels, epsilon, cfg)?;
         rounds.push(BiasRound { epsilon, report });
     }
@@ -168,11 +172,14 @@ mod tests {
         let report = train_biased(&mut net, &features, &labels, &quick_cfg()).unwrap();
         assert_eq!(report.rounds.len(), 4);
         let eps: Vec<f32> = report.rounds.iter().map(|r| r.epsilon).collect();
-        assert_eq!(eps, [0.0, 0.1, 0.2, 0.30000001]
-            .iter()
-            .zip(&eps)
-            .map(|(_, &e)| e)
-            .collect::<Vec<_>>());
+        assert_eq!(
+            eps,
+            [0.0, 0.1, 0.2, 0.30000001]
+                .iter()
+                .zip(&eps)
+                .map(|(_, &e)| e)
+                .collect::<Vec<_>>()
+        );
         assert!((report.final_epsilon() - 0.3).abs() < 1e-5);
         assert!(report.total_train_time_s() > 0.0);
     }

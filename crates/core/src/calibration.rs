@@ -129,7 +129,10 @@ mod tests {
     fn perfectly_confident_correct_model_has_low_ece() {
         // Steep logit: predictions saturate at ~0/1 and match labels.
         let mut net = scoring_net(50.0);
-        let xs: Vec<Tensor> = (-20..=20).filter(|&i| i != 0).map(|i| feature(i as f32)).collect();
+        let xs: Vec<Tensor> = (-20..=20)
+            .filter(|&i| i != 0)
+            .map(|i| feature(i as f32))
+            .collect();
         let ys: Vec<bool> = (-20..=20).filter(|&i| i != 0).map(|i| i > 0).collect();
         let ece = expected_calibration_error(&mut net, &xs, &ys, 10);
         assert!(ece < 0.02, "ece {ece}");
@@ -139,7 +142,10 @@ mod tests {
     fn anti_correlated_model_has_high_ece() {
         // Confidently wrong: logit sign flipped.
         let mut net = scoring_net(-50.0);
-        let xs: Vec<Tensor> = (-20..=20).filter(|&i| i != 0).map(|i| feature(i as f32)).collect();
+        let xs: Vec<Tensor> = (-20..=20)
+            .filter(|&i| i != 0)
+            .map(|i| feature(i as f32))
+            .collect();
         let ys: Vec<bool> = (-20..=20).filter(|&i| i != 0).map(|i| i > 0).collect();
         let ece = expected_calibration_error(&mut net, &xs, &ys, 10);
         assert!(ece > 0.9, "ece {ece}");

@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Full configuration of the deep biased-learning detector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct DetectorConfig {
     /// Feature-tensor pipeline settings.
     pub pipeline: FeaturePipeline,
@@ -26,7 +25,6 @@ pub struct DetectorConfig {
     /// Convenience access to the initial trainer settings.
     pub mgd: crate::mgd::MgdConfig,
 }
-
 
 /// A trained hotspot detector: feature pipeline + CNN + (optionally)
 /// biased learning.
@@ -117,6 +115,55 @@ impl HotspotDetector {
         Ok(self.predict_proba(clip)? > 0.5)
     }
 
+    /// Predicted hotspot probabilities for a batch of clips, with feature
+    /// extraction and CNN inference fanned out over `threads` worker
+    /// replicas (fixed-order chunks, results in clip order).
+    ///
+    /// Per-clip computation is pure, so the output is **bit-identical to
+    /// calling [`HotspotDetector::predict_proba`] serially**, for any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `threads == 0` and propagates the first feature-extraction
+    /// failure (in worker order).
+    pub fn predict_batch(&mut self, clips: &[Clip], threads: usize) -> Result<Vec<f32>, CoreError> {
+        if threads == 0 {
+            return Err(CoreError::InvalidConfig("threads must be nonzero"));
+        }
+        let threads = threads.min(clips.len());
+        if threads <= 1 {
+            return clips.iter().map(|c| self.predict_proba(c)).collect();
+        }
+        let chunk = clips.len().div_ceil(threads);
+        let mut replicas: Vec<Network> = (0..threads).map(|_| self.net.clone()).collect();
+        let mut slots: Vec<Result<Vec<f32>, CoreError>> =
+            (0..threads).map(|_| Ok(Vec::new())).collect();
+        let pipeline = &self.pipeline;
+        crossbeam::thread::scope(|scope| {
+            for (worker, (replica, slot)) in replicas.iter_mut().zip(slots.iter_mut()).enumerate() {
+                let start = (worker * chunk).min(clips.len());
+                let slice = &clips[start..(start + chunk).min(clips.len())];
+                scope.spawn(move |_| {
+                    *slot = slice
+                        .iter()
+                        .map(|clip| {
+                            pipeline
+                                .extract(clip)
+                                .map(|f| mgd::predict_hotspot_prob(replica, &f))
+                        })
+                        .collect();
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        let mut probs = Vec::with_capacity(clips.len());
+        for slot in slots {
+            probs.extend(slot?);
+        }
+        Ok(probs)
+    }
+
     /// Incrementally updates the trained model with newly labelled clips —
     /// the "online update capability of MGD" the paper highlights as the
     /// answer to its long initial training time (§5: "the trained model
@@ -173,24 +220,33 @@ impl HotspotDetector {
     }
 
     /// Evaluates on a labelled test set, producing Table-2-style metrics
-    /// (accuracy, false alarms, CPU seconds, ODST).
+    /// (accuracy, false alarms, CPU seconds, ODST). Scoring fans out over
+    /// all available cores; predictions are identical to a serial pass
+    /// (see [`HotspotDetector::predict_batch`]).
     ///
     /// # Panics
     ///
     /// Panics if feature extraction fails for a test clip (test sets are
     /// expected to share the training geometry configuration).
     pub fn evaluate(&mut self, test: &Dataset) -> EvalResult {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.evaluate_threaded(test, threads)
+    }
+
+    /// [`HotspotDetector::evaluate`] with an explicit worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature extraction fails for a test clip or
+    /// `threads == 0`.
+    pub fn evaluate_threaded(&mut self, test: &Dataset, threads: usize) -> EvalResult {
         let start = Instant::now();
-        let mut predictions = Vec::with_capacity(test.len());
-        let mut labels = Vec::with_capacity(test.len());
-        for sample in test.iter() {
-            let feature = self
-                .pipeline
-                .extract(&sample.clip)
-                .expect("test clip matches pipeline configuration");
-            predictions.push(mgd::predict_hotspot_prob(&mut self.net, &feature) > 0.5);
-            labels.push(sample.hotspot);
-        }
+        let clips: Vec<Clip> = test.iter().map(|s| s.clip.clone()).collect();
+        let probs = self
+            .predict_batch(&clips, threads)
+            .expect("test clip matches pipeline configuration");
+        let predictions: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
+        let labels: Vec<bool> = test.iter().map(|s| s.hotspot).collect();
         let eval_time = start.elapsed().as_secs_f64();
         EvalResult::from_predictions(&predictions, &labels, eval_time)
     }
@@ -271,18 +327,36 @@ mod tests {
         let sample = &data.test.samples()[0];
         let p = detector.predict_proba(&sample.clip).unwrap();
         assert!((0.0..=1.0).contains(&p));
+
+        // Batch prediction is bit-identical to the serial API for any
+        // thread count, and rejects a zero worker count.
+        let clips: Vec<Clip> = data.test.iter().map(|s| s.clip.clone()).collect();
+        let serial: Vec<f32> = clips
+            .iter()
+            .map(|c| detector.predict_proba(c).unwrap())
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                detector.predict_batch(&clips, threads).unwrap(),
+                serial,
+                "threads = {threads}"
+            );
+        }
+        assert!(matches!(
+            detector.predict_batch(&clips, 0),
+            Err(CoreError::InvalidConfig(_))
+        ));
+        // Threaded evaluation reproduces the same decisions.
+        let threaded = detector.evaluate_threaded(&data.test, 2);
+        assert_eq!(threaded.accuracy, result.accuracy);
+        assert_eq!(threaded.false_alarms, result.false_alarms);
     }
 
     #[test]
     fn rejects_single_class_training() {
         let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
         let data = SuiteSpec::iccad(0.002).build(&sim);
-        let only_hs: Dataset = data
-            .train
-            .iter()
-            .filter(|s| s.hotspot)
-            .cloned()
-            .collect();
+        let only_hs: Dataset = data.train.iter().filter(|s| s.hotspot).cloned().collect();
         assert!(matches!(
             HotspotDetector::fit(&only_hs, &quick_config()),
             Err(CoreError::DegenerateTrainingSet(_))
@@ -310,7 +384,10 @@ mod tests {
             (0..20).map(|_| (hs.clone(), true)).collect();
         detector.update_online(&stream, 1e-2, 0.0).unwrap();
         let after = detector.predict_proba(&hs).unwrap();
-        assert!(after > before, "online updates must raise probability: {before} -> {after}");
+        assert!(
+            after > before,
+            "online updates must raise probability: {before} -> {after}"
+        );
         // Invalid ε rejected.
         assert!(detector.update_online(&stream, 1e-2, 0.7).is_err());
     }

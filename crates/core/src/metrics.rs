@@ -74,8 +74,7 @@ impl EvalResult {
         if total == 0 {
             return 1.0;
         }
-        let correct =
-            self.true_detections + (self.non_hotspot_total - self.false_alarms);
+        let correct = self.true_detections + (self.non_hotspot_total - self.false_alarms);
         correct as f64 / total as f64
     }
 

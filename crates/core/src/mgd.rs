@@ -118,6 +118,16 @@ pub fn predict_all(net: &mut Network, features: &[Tensor]) -> Vec<bool> {
         .collect()
 }
 
+/// [`predict_all`] with the forward passes fanned out over `threads`
+/// workers via [`Network::forward_batch`]. Inference is pure, so the
+/// result is bit-identical to the serial path for any thread count.
+pub fn predict_all_parallel(net: &mut Network, features: &[Tensor], threads: usize) -> Vec<bool> {
+    net.forward_batch(features, false, threads)
+        .iter()
+        .map(|logits| loss::softmax(logits.as_slice())[1] > 0.5)
+        .collect()
+}
+
 /// Balanced accuracy — the mean of hotspot recall and non-hotspot
 /// specificity — of `net` on a labelled feature set. Used for validation
 /// model selection: unlike overall accuracy it cannot be maxed out by the
@@ -215,8 +225,13 @@ pub fn train(
     let hs_pool: Vec<usize> = train_idx.iter().copied().filter(|&i| labels[i]).collect();
     let nhs_pool: Vec<usize> = train_idx.iter().copied().filter(|&i| !labels[i]).collect();
     let balanced = config.balanced_sampling && !hs_pool.is_empty() && !nhs_pool.is_empty();
-    let mut sampler = BatchSampler::new(train_idx.len(), StdRng::seed_from_u64(config.seed ^ 0x9E37));
+    let mut sampler =
+        BatchSampler::new(train_idx.len(), StdRng::seed_from_u64(config.seed ^ 0x9E37));
     let mut batch_rng = StdRng::seed_from_u64(config.seed ^ 0x51F3);
+    // Worker replicas are allocated once and reused every step; the pool
+    // only copies parameters in between.
+    let mut pool =
+        (config.threads > 1).then(|| hotspot_nn::parallel::ReplicaPool::new(net, config.threads));
     let start = Instant::now();
     let mut history = Vec::new();
     let mut best = ParameterBlob::from_network(net);
@@ -247,18 +262,12 @@ pub fn train(
                 .map(|bi| train_idx[bi])
                 .collect()
         };
-        if config.threads > 1 {
-            let instances: Vec<hotspot_nn::optim::Instance> = batch
+        if let Some(pool) = pool.as_mut() {
+            let pairs: Vec<(&Tensor, [f32; 2])> = batch
                 .iter()
-                .map(|&i| (features[i].clone(), target_for(labels[i], epsilon)))
+                .map(|&i| (&features[i], target_for(labels[i], epsilon)))
                 .collect();
-            let refs: Vec<&hotspot_nn::optim::Instance> = instances.iter().collect();
-            hotspot_nn::parallel::minibatch_step_parallel(
-                net,
-                &refs,
-                schedule.current(),
-                config.threads,
-            );
+            hotspot_nn::parallel::minibatch_step_pooled(net, pool, &pairs, schedule.current());
         } else {
             for &i in &batch {
                 let logits = net.forward(&features[i], true);
@@ -290,7 +299,8 @@ pub fn train(
             }
         }
     }
-    best.load_into(net).expect("snapshot matches its own network");
+    best.load_into(net)
+        .expect("snapshot matches its own network");
     Ok(TrainReport {
         history,
         best_val_accuracy: best_acc,
@@ -445,6 +455,20 @@ mod tests {
         let mut bad = quick_config();
         bad.threads = 0;
         assert!(train(&mut toy_net(8), &features, &labels, 0.0, &bad).is_err());
+    }
+
+    #[test]
+    fn predict_all_parallel_matches_serial() {
+        let (features, _labels) = toy_data(61, 9);
+        let mut net = toy_net(10);
+        let serial = predict_all(&mut net, &features);
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(
+                predict_all_parallel(&mut net, &features, threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn sweep(
 ) -> Vec<RocPoint> {
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
     assert!(steps > 0, "steps must be nonzero");
-    let probs: Vec<f32> = features.iter().map(|f| predict_hotspot_prob(net, f)).collect();
+    let probs: Vec<f32> = features
+        .iter()
+        .map(|f| predict_hotspot_prob(net, f))
+        .collect();
     let hotspot_total = labels.iter().filter(|&&l| l).count().max(1);
     let mut curve = Vec::with_capacity(steps + 1);
     for s in (0..=steps).rev() {
@@ -103,7 +106,9 @@ mod tests {
         let xs = [-2.0f32, -1.0, -0.5, 0.5, 1.0, 2.0];
         let labels = vec![false, false, false, true, true, true];
         (
-            xs.iter().map(|&x| Tensor::from_vec(vec![1], vec![x])).collect(),
+            xs.iter()
+                .map(|&x| Tensor::from_vec(vec![1], vec![x]))
+                .collect(),
             labels,
         )
     }

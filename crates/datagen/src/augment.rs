@@ -163,7 +163,12 @@ mod tests {
     #[test]
     fn mirrors_are_involutions() {
         let c = asym_clip();
-        for s in [Symmetry::MirrorX, Symmetry::MirrorY, Symmetry::MirrorR90, Symmetry::MirrorR270] {
+        for s in [
+            Symmetry::MirrorX,
+            Symmetry::MirrorY,
+            Symmetry::MirrorR90,
+            Symmetry::MirrorR270,
+        ] {
             let twice = transform_clip(&transform_clip(&c, s).unwrap(), s).unwrap();
             let mut a: Vec<_> = c.shapes().to_vec();
             let mut b: Vec<_> = twice.shapes().to_vec();

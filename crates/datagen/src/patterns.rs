@@ -286,7 +286,10 @@ mod tests {
         for kind in PatternKind::ALL {
             for seed in 0..20 {
                 let clip = sample_pattern(kind, &mut rng(seed));
-                assert!(!clip.is_blank(), "{kind:?} seed {seed} produced a blank clip");
+                assert!(
+                    !clip.is_blank(),
+                    "{kind:?} seed {seed} produced a blank clip"
+                );
                 assert_eq!(clip.window().width(), CLIP_SIDE_NM);
             }
         }

@@ -94,7 +94,10 @@ pub fn block_size(image: &Grid<f32>, grid_dim: usize) -> Result<usize, DctError>
         height: image.height(),
         grid_dim,
     };
-    if image.width() != image.height() || !image.width().is_multiple_of(grid_dim) || image.is_empty() {
+    if image.width() != image.height()
+        || !image.width().is_multiple_of(grid_dim)
+        || image.is_empty()
+    {
         return Err(mismatch());
     }
     Ok(image.width() / grid_dim)

@@ -37,7 +37,11 @@ pub fn dct2(input: &[f32]) -> Result<Vec<f32>, DctError> {
         for (x, &v) in input.iter().enumerate() {
             acc += v as f64 * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos();
         }
-        let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        let scale = if k == 0 {
+            (1.0 / nf).sqrt()
+        } else {
+            (2.0 / nf).sqrt()
+        };
         out.push((acc * scale) as f32);
     }
     Ok(out)
@@ -58,9 +62,13 @@ pub fn dct3(input: &[f32]) -> Result<Vec<f32>, DctError> {
     for x in 0..n {
         let mut acc = 0.0f64;
         for (k, &v) in input.iter().enumerate() {
-            let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
-            acc += scale * v as f64
-                * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos();
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            acc +=
+                scale * v as f64 * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos();
         }
         out.push(acc as f32);
     }

@@ -49,10 +49,15 @@ impl Dct2d {
         let nf = size as f64;
         let mut basis = vec![0.0f32; size * size];
         for k in 0..size {
-            let scale = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+            let scale = if k == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
             for x in 0..size {
-                basis[k * size + x] =
-                    (scale * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos()) as f32;
+                basis[k * size + x] = (scale
+                    * (std::f64::consts::PI * (x as f64 + 0.5) * k as f64 / nf).cos())
+                    as f32;
             }
         }
         Ok(Dct2d { size, basis })
@@ -77,11 +82,7 @@ impl Dct2d {
         // tmp = X · Cᵀ   (transform rows)
         let tmp = self.rows_times_basis_t(block.as_slice());
         // out = C · tmp  (transform columns)
-        Ok(Grid::from_vec(
-            self.size,
-            self.size,
-            self.basis_times(&tmp),
-        ))
+        Ok(Grid::from_vec(self.size, self.size, self.basis_times(&tmp)))
     }
 
     /// Inverse 2-D DCT (orthonormal DCT-III): `X = Cᵀ · D · C`.
@@ -210,8 +211,16 @@ impl Dct2d {
                             * (std::f64::consts::PI * (y as f64 + 0.5) * n as f64 / nf).cos();
                     }
                 }
-                let sm = if m == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
-                let sn = if n == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+                let sm = if m == 0 {
+                    (1.0 / nf).sqrt()
+                } else {
+                    (2.0 / nf).sqrt()
+                };
+                let sn = if n == 0 {
+                    (1.0 / nf).sqrt()
+                } else {
+                    (2.0 / nf).sqrt()
+                };
                 out[(m, n)] = (acc * sm * sn) as f32;
             }
         }
@@ -224,7 +233,11 @@ mod tests {
     use super::*;
 
     fn ramp(b: usize) -> Grid<f32> {
-        Grid::from_vec(b, b, (0..b * b).map(|v| ((v * 13 + 7) % 17) as f32).collect())
+        Grid::from_vec(
+            b,
+            b,
+            (0..b * b).map(|v| ((v * 13 + 7) % 17) as f32).collect(),
+        )
     }
 
     #[test]

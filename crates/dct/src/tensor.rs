@@ -221,10 +221,7 @@ pub fn reconstruct_image(tensor: &FeatureTensor, block_size: usize) -> Result<Gr
 /// # Errors
 ///
 /// Propagates extraction/reconstruction errors.
-pub fn reconstruction_rmse(
-    image: &Grid<f32>,
-    spec: &FeatureTensorSpec,
-) -> Result<f64, DctError> {
+pub fn reconstruction_rmse(image: &Grid<f32>, spec: &FeatureTensorSpec) -> Result<f64, DctError> {
     let tensor = extract_feature_tensor(image, spec)?;
     let back = reconstruct_image(&tensor, tensor.block_size())?;
     let mut acc = 0.0f64;
@@ -265,7 +262,10 @@ mod tests {
         let spec = FeatureTensorSpec::new(12, 5).unwrap(); // blocks are 2x2 = 4
         assert!(matches!(
             extract_feature_tensor(&img, &spec),
-            Err(DctError::TooManyCoefficients { requested: 5, available: 4 })
+            Err(DctError::TooManyCoefficients {
+                requested: 5,
+                available: 4
+            })
         ));
     }
 

@@ -52,7 +52,11 @@ pub fn zigzag_indices(n: usize) -> Vec<(usize, usize)> {
 ///
 /// Panics if `coeffs` is not square.
 pub fn zigzag_scan(coeffs: &Grid<f32>) -> Vec<f32> {
-    assert_eq!(coeffs.width(), coeffs.height(), "zig-zag needs a square block");
+    assert_eq!(
+        coeffs.width(),
+        coeffs.height(),
+        "zig-zag needs a square block"
+    );
     zigzag_indices(coeffs.width())
         .into_iter()
         .map(|(x, y)| coeffs[(x, y)])

@@ -38,7 +38,10 @@ pub fn density_feature(image: &Grid<f32>, grid_dim: usize) -> Result<Vec<f32>, F
     if grid_dim == 0 {
         return Err(FeatureError::ZeroParameter("grid_dim"));
     }
-    if image.width() != image.height() || !image.width().is_multiple_of(grid_dim) || image.is_empty() {
+    if image.width() != image.height()
+        || !image.width().is_multiple_of(grid_dim)
+        || image.is_empty()
+    {
         return Err(FeatureError::GridMismatch {
             width: image.width(),
             height: image.height(),

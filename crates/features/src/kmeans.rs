@@ -200,10 +200,7 @@ fn kmeanspp_seed(samples: &[Vec<f32>], k: usize, rng: &mut StdRng) -> Vec<Vec<f3
     let mut centroids = Vec::with_capacity(k);
     centroids.push(samples[rng.gen_range(0..samples.len())].clone());
     while centroids.len() < k {
-        let dists: Vec<f64> = samples
-            .iter()
-            .map(|s| nearest(&centroids, s).1)
-            .collect();
+        let dists: Vec<f64> = samples.iter().map(|s| nearest(&centroids, s).1).collect();
         let total: f64 = dists.iter().sum();
         if total <= 0.0 {
             // All remaining samples coincide with centroids; duplicate one.
@@ -238,7 +235,10 @@ mod tests {
         for c in 0..3 {
             let centre = c as f32 * 10.0;
             for i in 0..8 {
-                out.push(vec![centre + (i % 3) as f32 * 0.1, centre - (i % 2) as f32 * 0.1]);
+                out.push(vec![
+                    centre + (i % 3) as f32 * 0.1,
+                    centre - (i % 2) as f32 * 0.1,
+                ]);
             }
         }
         out

@@ -40,7 +40,9 @@ impl fmt::Display for ClipIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClipIoError::Io(e) => write!(f, "i/o failure: {e}"),
-            ClipIoError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            ClipIoError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
             ClipIoError::Geometry(e) => write!(f, "invalid geometry: {e}"),
         }
     }
@@ -106,7 +108,14 @@ where
             win.hi().y
         )?;
         for r in clip.shapes() {
-            writeln!(w, "rect {} {} {} {}", r.lo().x, r.lo().y, r.hi().x, r.hi().y)?;
+            writeln!(
+                w,
+                "rect {} {} {} {}",
+                r.lo().x,
+                r.lo().y,
+                r.hi().x,
+                r.hi().y
+            )?;
         }
         writeln!(w, "end")?;
     }
@@ -227,7 +236,9 @@ mod tests {
     #[test]
     fn empty_input_is_empty_vec() {
         assert!(read_clips("".as_bytes()).unwrap().is_empty());
-        assert!(read_clips("# only comments\n".as_bytes()).unwrap().is_empty());
+        assert!(read_clips("# only comments\n".as_bytes())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

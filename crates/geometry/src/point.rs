@@ -19,7 +19,9 @@ use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 /// assert_eq!(a + b, Point::new(11, 22));
 /// assert_eq!(a - b, Point::new(9, 18));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Point {
     /// Horizontal coordinate in nm.
     pub x: i64,

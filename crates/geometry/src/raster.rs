@@ -149,10 +149,7 @@ mod tests {
     use crate::Point;
 
     fn clip_with(shapes: &[Rect]) -> Clip {
-        Clip::with_shapes(
-            Rect::new(0, 0, 100, 100).unwrap(),
-            shapes.iter().copied(),
-        )
+        Clip::with_shapes(Rect::new(0, 0, 100, 100).unwrap(), shapes.iter().copied())
     }
 
     #[test]

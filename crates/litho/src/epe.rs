@@ -240,7 +240,10 @@ mod tests {
         assert!((d[(11, 11)] - 4.0 / 3.0).abs() < 0.01);
         let far = d[(0, 0)];
         let true_far = (200.0f32).sqrt();
-        assert!((far - true_far).abs() / true_far < 0.1, "{far} vs {true_far}");
+        assert!(
+            (far - true_far).abs() / true_far < 0.1,
+            "{far} vs {true_far}"
+        );
     }
 
     #[test]

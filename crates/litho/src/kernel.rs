@@ -132,9 +132,7 @@ mod tests {
         let blurred = Kernel1d::gaussian_defocused(30.0, 80.0, 10).unwrap();
         // Wider support and lower peak.
         assert!(blurred.radius() >= nominal.radius());
-        assert!(
-            blurred.weights()[blurred.radius()] < nominal.weights()[nominal.radius()]
-        );
+        assert!(blurred.weights()[blurred.radius()] < nominal.weights()[nominal.radius()]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! End-to-end hotspot labelling of clips.
 
-use crate::{aerial, process, Kernel1d, LithoError, ProcessCorner, ResistModel};
 use crate::process::CornerReport;
+use crate::{aerial, process, Kernel1d, LithoError, ProcessCorner, ResistModel};
 use hotspot_geometry::{raster, Clip, Grid};
 use serde::{Deserialize, Serialize};
 
@@ -156,7 +156,9 @@ impl LithoSimulator {
         let kernels = config
             .corners
             .iter()
-            .map(|c| Kernel1d::gaussian_defocused(config.sigma_nm, c.defocus_nm, config.resolution_nm))
+            .map(|c| {
+                Kernel1d::gaussian_defocused(config.sigma_nm, c.defocus_nm, config.resolution_nm)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let margin_px = (config.epe_margin_nm / config.resolution_nm as f64).round() as usize;
         let guard_px = (config.guard_band_nm / config.resolution_nm as f64).round() as usize;

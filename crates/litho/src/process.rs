@@ -109,7 +109,11 @@ fn separable_morph(image: &Grid<bool>, r: usize, dilate: bool) -> Grid<bool> {
                 let lo = cx.saturating_sub(r);
                 let hi = (cx + r).min(len - 1);
                 for c in lo..=hi {
-                    let px = if horizontal { src[(c, cy)] } else { src[(cy, c)] };
+                    let px = if horizontal {
+                        src[(c, cy)]
+                    } else {
+                        src[(cy, c)]
+                    };
                     if dilate {
                         v |= px;
                         if v {
@@ -215,7 +219,10 @@ mod tests {
     fn erosion_removes_thin_features() {
         let g = block(20, 9, 0, 11, 20); // 2 px wide line
         let e = erode(&g, 1);
-        assert!(e.iter().all(|&v| !v), "2 px line must vanish under r=1 erosion");
+        assert!(
+            e.iter().all(|&v| !v),
+            "2 px line must vanish under r=1 erosion"
+        );
     }
 
     #[test]
@@ -281,7 +288,10 @@ mod tests {
         let t = block(30, 0, 0, 30, 5); // geometry hugging the border
         let p = Grid::filled(30, 30, false); // nothing printed
         let r = check_printing(&p, &t, 0, 6);
-        assert_eq!(r.open_pixels, 0, "failures inside the guard band must be ignored");
+        assert_eq!(
+            r.open_pixels, 0,
+            "failures inside the guard band must be ignored"
+        );
     }
 
     #[test]

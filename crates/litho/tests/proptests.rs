@@ -6,8 +6,7 @@ use hotspot_litho::{aerial, Kernel1d, LithoConfig, LithoSimulator, ResistModel};
 use proptest::prelude::*;
 
 fn arb_binary_grid() -> impl Strategy<Value = Grid<bool>> {
-    proptest::collection::vec(proptest::bool::ANY, 144)
-        .prop_map(|v| Grid::from_vec(12, 12, v))
+    proptest::collection::vec(proptest::bool::ANY, 144).prop_map(|v| Grid::from_vec(12, 12, v))
 }
 
 proptest! {

@@ -1,0 +1,358 @@
+//! Cache-blocked f32 matrix-multiply kernels.
+//!
+//! These three kernels carry all dense linear algebra in the crate: the
+//! im2col convolution ([`crate::layers::Conv2d`]) and the fully-connected
+//! layer ([`crate::layers::Dense`]) both lower their forward and backward
+//! passes onto them.
+//!
+//! All kernels **accumulate** (`C += …`) so layers can seed `C` with the
+//! bias or chain into existing gradient buffers, and all operate on plain
+//! row-major `&[f32]` slices:
+//!
+//! * [`gemm_nn`] — `C[m×n] += A[m×k] · B[k×n]`. Row-oriented axpy form:
+//!   streams rows of `B` against one scalar of `A` at a time, which keeps
+//!   the inner loop a contiguous fused multiply-add that LLVM
+//!   auto-vectorises.
+//! * [`gemm_nt`] — `C[m×n] += A[m×k] · Bᵀ` with `B` stored `n×k`
+//!   row-major. Storing the *right* operand with its reduction dimension
+//!   contiguous is exactly a column-major `B`, so each output element is a
+//!   dot product of two contiguous rows — the dot micro-kernel below uses
+//!   four independent accumulators to break the floating-point dependency
+//!   chain.
+//! * [`gemm_tn`] — `C[m×n] += Aᵀ · B` with `A` stored `k×m` row-major.
+//!   Axpy over the shared `k` dimension; used for backpropagating through
+//!   a row-major weight matrix without materialising its transpose.
+//!
+//! The `k` dimension is processed in [`KC`]-sized blocks so the slice of
+//! `B` (or `A` for [`gemm_tn`]) touched by one block stays resident in L1/L2
+//! while every row of the output is updated.
+//!
+//! Determinism: for fixed operand shapes each output element is computed
+//! by a fixed sequence of floating-point operations, independent of
+//! threading or call history — repeated calls are bit-identical, which the
+//! batch-inference contract of [`crate::Network::forward_batch`] relies on.
+
+/// Block size over the shared `k` dimension. 256 f32 rows of a 144-wide
+/// `B` panel is ≈144 KiB — small enough to stay L2-resident on anything
+/// this crate targets, and the paper's shapes (`k ≤ 288`) usually fit in
+/// a single block anyway.
+const KC: usize = 256;
+
+/// `C[m×n] += A[m×k] · B[k×n]`, all row-major.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `m`/`n`/`k` dimensions.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nn: A must be m×k");
+    assert_eq!(b.len(), k * n, "gemm_nn: B must be k×n");
+    assert_eq!(c.len(), m * n, "gemm_nn: C must be m×n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            let mut p = p0;
+            // Four B rows per pass: one load of c_row amortises four
+            // scalar-times-row updates.
+            while p + 4 <= p1 {
+                let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                let b0 = &b[p * n..p * n + n];
+                let b1 = &b[(p + 1) * n..(p + 1) * n + n];
+                let b2 = &b[(p + 2) * n..(p + 2) * n + n];
+                let b3 = &b[(p + 3) * n..(p + 3) * n + n];
+                for j in 0..n {
+                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let av = a_row[p];
+                if av != 0.0 {
+                    let b_row = &b[p * n..p * n + n];
+                    for j in 0..n {
+                        c_row[j] += av * b_row[j];
+                    }
+                }
+                p += 1;
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// `C[m×n] += A[m×k] · Bᵀ`, with `B` stored `n×k` row-major (i.e. a
+/// column-major `k×n` matrix): `C[i][j] += Σ_p A[i][p] · B[j][p]`.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `m`/`n`/`k` dimensions.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A must be m×k");
+    assert_eq!(b.len(), n * k, "gemm_nt: B must be n×k (Bᵀ of k×n)");
+    assert_eq!(c.len(), m * n, "gemm_nt: C must be m×n");
+
+    // 2×2 register tile: each A row is read once for two B rows and vice
+    // versa, halving memory traffic versus independent dot products.
+    let mut i = 0;
+    while i + 2 <= m {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut j = 0;
+        while j + 2 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let (mut s00, mut s01, mut s10, mut s11) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for p in 0..k {
+                let (x0, x1, y0, y1) = (a0[p], a1[p], b0[p], b1[p]);
+                s00 += x0 * y0;
+                s01 += x0 * y1;
+                s10 += x1 * y0;
+                s11 += x1 * y1;
+            }
+            c[i * n + j] += s00;
+            c[i * n + j + 1] += s01;
+            c[(i + 1) * n + j] += s10;
+            c[(i + 1) * n + j + 1] += s11;
+            j += 2;
+        }
+        if j < n {
+            let b0 = &b[j * k..(j + 1) * k];
+            c[i * n + j] += dot(a0, b0);
+            c[(i + 1) * n + j] += dot(a1, b0);
+        }
+        i += 2;
+    }
+    if i < m {
+        let a0 = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            c[i * n + j] += dot(a0, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// `C[m×n] += Aᵀ · B`, with `A` stored `k×m` row-major and `B` stored
+/// `k×n` row-major: `C[i][j] += Σ_p A[p][i] · B[p][j]`.
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `m`/`n`/`k` dimensions.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: A must be k×m (Aᵀ of m×k)");
+    assert_eq!(b.len(), k * n, "gemm_tn: B must be k×n");
+    assert_eq!(c.len(), m * n, "gemm_tn: C must be m×n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    if n == 1 {
+        // Matrix-transpose-vector fast path (`Dense` backward): one axpy
+        // over a contiguous A row per reduction step.
+        for p in 0..k {
+            let s = b[p];
+            if s != 0.0 {
+                let a_row = &a[p * m..(p + 1) * m];
+                for (ci, &av) in c.iter_mut().zip(a_row) {
+                    *ci += av * s;
+                }
+            }
+        }
+        return;
+    }
+
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + KC).min(k);
+        for p in p0..p1 {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n..(p + 1) * n];
+            for i in 0..m {
+                let av = a_row[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for j in 0..n {
+                    c_row[j] += av * b_row[j];
+                }
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Unrolled dot product with four independent accumulators.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let k = x.len().min(y.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut p = 0;
+    while p + 4 <= k {
+        s0 += x[p] * y[p];
+        s1 += x[p + 1] * y[p + 1];
+        s2 += x[p + 2] * y[p + 2];
+        s3 += x[p + 3] * y[p + 3];
+        p += 4;
+    }
+    while p < k {
+        s0 += x[p] * y[p];
+        p += 1;
+    }
+    (s0 + s1) + (s2 + s3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    /// Reference triple loop: `C += op(A) · op(B)` with explicit index
+    /// functions.
+    fn reference(
+        (m, n, k): (usize, usize, usize),
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        a_at: impl Fn(&[f32], usize, usize) -> f32,
+        b_at: impl Fn(&[f32], usize, usize) -> f32,
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += a_at(a, i, p) as f64 * b_at(b, p, j) as f64;
+                }
+                c[i * n + j] += acc as f32;
+            }
+        }
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-3 * w.abs().max(1.0),
+                "element {i}: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn nn_matches_reference_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Includes k spanning multiple KC blocks and non-multiple-of-4
+        // remainders in every dimension.
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (32, 144, 288), (2, 9, 600), (5, 1, 4)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut c = random_matrix(&mut rng, m * n);
+            let mut want = c.clone();
+            gemm_nn(m, n, k, &a, &b, &mut c);
+            reference(
+                (m, n, k),
+                &a,
+                &b,
+                &mut want,
+                |a, i, p| a[i * k + p],
+                |b, p, j| b[p * n + j],
+            );
+            assert_close(&c, &want);
+        }
+    }
+
+    #[test]
+    fn nt_matches_reference_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, n, k) in &[(1, 1, 1), (2, 2, 8), (3, 5, 7), (32, 144, 144), (7, 3, 600)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, n * k);
+            let mut c = random_matrix(&mut rng, m * n);
+            let mut want = c.clone();
+            gemm_nt(m, n, k, &a, &b, &mut c);
+            reference(
+                (m, n, k),
+                &a,
+                &b,
+                &mut want,
+                |a, i, p| a[i * k + p],
+                |b, p, j| b[j * k + p],
+            );
+            assert_close(&c, &want);
+        }
+    }
+
+    #[test]
+    fn tn_matches_reference_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, n, k) in &[(1, 1, 1), (4, 1, 9), (144, 144, 32), (5, 7, 3), (3, 4, 600)] {
+            let a = random_matrix(&mut rng, k * m);
+            let b = random_matrix(&mut rng, k * n);
+            let mut c = random_matrix(&mut rng, m * n);
+            let mut want = c.clone();
+            gemm_tn(m, n, k, &a, &b, &mut c);
+            reference(
+                (m, n, k),
+                &a,
+                &b,
+                &mut want,
+                |a, i, p| a[p * m + i],
+                |b, p, j| b[p * n + j],
+            );
+            assert_close(&c, &want);
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_rather_than_overwrite() {
+        let a = [1.0f32, 0.0, 0.0, 1.0]; // 2×2 identity
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut c = [100.0f32; 4];
+        gemm_nn(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [105.0, 106.0, 107.0, 108.0]);
+    }
+
+    #[test]
+    fn repeated_calls_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (m, n, k) = (9, 13, 300);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let run = |f: &dyn Fn(&mut [f32])| {
+            let mut c = vec![0.0f32; m * n];
+            f(&mut c);
+            c
+        };
+        let nn = |c: &mut [f32]| gemm_nn(m, n, k, &a, &b, c);
+        assert_eq!(run(&nn), run(&nn));
+        let a2 = random_matrix(&mut rng, n * k);
+        let nt = |c: &mut [f32]| gemm_nt(m, n, k, &a, &a2, c);
+        assert_eq!(run(&nt), run(&nt));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_nn: A must be m×k")]
+    fn mismatched_dimensions_panic() {
+        let mut c = [0.0f32; 4];
+        gemm_nn(2, 2, 3, &[0.0; 5], &[0.0; 6], &mut c);
+    }
+
+    #[test]
+    fn zero_sized_dimensions_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm_nn(0, 0, 0, &[], &[], &mut c);
+        gemm_tn(0, 0, 0, &[], &[], &mut c);
+        let mut c2 = [3.0f32; 2];
+        gemm_nn(1, 2, 0, &[], &[], &mut c2);
+        assert_eq!(c2, [3.0, 3.0]); // k = 0 contributes nothing
+    }
+}

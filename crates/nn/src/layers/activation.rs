@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn shapes_preserved() {
         let mut s = Sigmoid::new();
-        assert_eq!(s.forward(&Tensor::zeros(vec![2, 3, 4]), false).shape(), &[2, 3, 4]);
+        assert_eq!(
+            s.forward(&Tensor::zeros(vec![2, 3, 4]), false).shape(),
+            &[2, 3, 4]
+        );
         assert_eq!(s.output_shape(&[5]), vec![5]);
         let mut t = Tanh::new();
         assert_eq!(t.forward(&Tensor::zeros(vec![7]), false).shape(), &[7]);

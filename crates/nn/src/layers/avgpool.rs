@@ -52,10 +52,7 @@ impl Layer for AvgPool2 {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(
-            !self.in_shape.is_empty(),
-            "avgpool backward before forward"
-        );
+        assert!(!self.in_shape.is_empty(), "avgpool backward before forward");
         let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
         let (oh, ow) = (h / 2, w / 2);
         assert_eq!(grad.shape(), &[c, oh, ow], "avgpool grad shape");
@@ -98,10 +95,7 @@ mod tests {
     #[test]
     fn averages_windows() {
         let mut pool = AvgPool2::new();
-        let x = Tensor::from_vec(
-            vec![1, 4, 4],
-            (1..=16).map(|v| v as f32).collect(),
-        );
+        let x = Tensor::from_vec(vec![1, 4, 4], (1..=16).map(|v| v as f32).collect());
         let y = pool.forward(&x, true);
         // Window (0,0): mean of 1,2,5,6 = 3.5.
         assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);

@@ -1,7 +1,7 @@
-//! 2-D convolution.
+//! 2-D convolution, lowered onto GEMM via im2col.
 
 use super::Layer;
-use crate::{init, Tensor};
+use crate::{gemm, init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -10,6 +10,18 @@ use rand::SeedableRng;
 /// "same" padding, i.e. `padding = 1`).
 ///
 /// Weight layout: `[out_c][in_c][ky][kx]`, bias per output channel.
+///
+/// Internally the spatial loops are lowered onto the [`crate::gemm`]
+/// kernels: the input is unfolded into a column matrix
+/// `col[in_c·k²][oh·ow]` (im2col) so that
+///
+/// * forward is `out = W · col` ([`gemm::gemm_nn`]),
+/// * the weight gradient is `dW = dY · colᵀ` ([`gemm::gemm_nt`]), and
+/// * the input gradient is `dX = col2im(Wᵀ · dY)` ([`gemm::gemm_tn`]).
+///
+/// The `col` and `dcol` scratch matrices are cached on the layer and
+/// reused across calls, so steady-state training does no per-step
+/// allocation here.
 ///
 /// # Examples
 ///
@@ -31,7 +43,12 @@ pub struct Conv2d {
     bias: Vec<f32>,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
-    cached_input: Option<Tensor>,
+    /// Input spatial size of the last forward pass; `backward` consumes it.
+    cached_hw: Option<(usize, usize)>,
+    /// im2col of the last forward input, `[in_c·k²][oh·ow]` row-major.
+    col: Vec<f32>,
+    /// Backward scratch for `Wᵀ·dY`, same layout as `col`.
+    dcol: Vec<f32>,
 }
 
 impl Conv2d {
@@ -56,7 +73,9 @@ impl Conv2d {
             bias: vec![0.0; out_c],
             grad_weights: vec![0.0; count],
             grad_bias: vec![0.0; out_c],
-            cached_input: None,
+            cached_hw: None,
+            col: Vec::new(),
+            dcol: Vec::new(),
         }
     }
 
@@ -65,16 +84,126 @@ impl Conv2d {
         self.weights.len() + self.bias.len()
     }
 
-    #[inline]
-    fn w(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f32 {
-        self.weights[((oc * self.in_c + ic) * self.ksize + ky) * self.ksize + kx]
-    }
-
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
         (
             h + 2 * self.pad + 1 - self.ksize,
             w + 2 * self.pad + 1 - self.ksize,
         )
+    }
+
+    /// Unfolds `input` into `self.col`: row `(ic·k + ky)·k + kx` holds, for
+    /// every output position `(oy, ox)`, the input sample
+    /// `input[ic][oy+ky-pad][ox+kx-pad]` (zero outside the image).
+    fn im2col(&mut self, input: &Tensor, h: usize, w: usize, oh: usize, ow: usize) {
+        let k = self.ksize;
+        let pad = self.pad as isize;
+        self.col.clear();
+        self.col.resize(self.in_c * k * k * oh * ow, 0.0);
+        let x = input.as_slice();
+        for ic in 0..self.in_c {
+            let plane = &x[ic * h * w..(ic + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_base = ((ic * k + ky) * k + kx) * oh * ow;
+                    let dst = &mut self.col[row_base..row_base + oh * ow];
+                    // Valid output-x range for this kernel column: the
+                    // sampled ix = ox + kx - pad must land in [0, w).
+                    let ox0 = 0isize.max(pad - kx as isize) as usize;
+                    let ox1 = (ow as isize).min(w as isize + pad - kx as isize).max(0) as usize;
+                    if ox0 >= ox1 {
+                        continue; // whole column samples the zero padding
+                    }
+                    let shift = kx as isize - pad; // ix = ox + shift
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // row stays zero
+                        }
+                        let src_base = iy as usize * w;
+                        let src = &plane[(src_base as isize + ox0 as isize + shift) as usize
+                            ..(src_base as isize + ox1 as isize + shift) as usize];
+                        dst[oy * ow + ox0..oy * ow + ox1].copy_from_slice(src);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Folds `self.dcol` back into an input-shaped gradient (scatter-add
+    /// inverse of [`Conv2d::im2col`]).
+    fn col2im(&self, h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+        let k = self.ksize;
+        let pad = self.pad as isize;
+        let mut grad_in = Tensor::zeros(vec![self.in_c, h, w]);
+        let gx = grad_in.as_mut_slice();
+        for ic in 0..self.in_c {
+            let plane = &mut gx[ic * h * w..(ic + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_base = ((ic * k + ky) * k + kx) * oh * ow;
+                    let src_row = &self.dcol[row_base..row_base + oh * ow];
+                    let ox0 = 0isize.max(pad - kx as isize) as usize;
+                    let ox1 = (ow as isize).min(w as isize + pad - kx as isize).max(0) as usize;
+                    if ox0 >= ox1 {
+                        continue;
+                    }
+                    let shift = kx as isize - pad;
+                    for oy in 0..oh {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_base = (iy as usize * w) as isize + shift;
+                        let dst = &mut plane[(dst_base + ox0 as isize) as usize
+                            ..(dst_base + ox1 as isize) as usize];
+                        for (d, s) in dst.iter_mut().zip(&src_row[oy * ow + ox0..oy * ow + ox1]) {
+                            *d += s;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Reference direct-loop forward pass. Kept as the oracle the GEMM
+    /// path is tested against; not compiled into release builds.
+    #[cfg(test)]
+    pub(crate) fn forward_naive(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let pad = self.pad as isize;
+        let k = self.ksize;
+        let weight = |oc: usize, ic: usize, ky: usize, kx: usize| {
+            self.weights[((oc * self.in_c + ic) * k + ky) * k + kx]
+        };
+        for oc in 0..self.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += weight(oc, ic, ky, kx)
+                                    * input.at3(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    *out.at3_mut(oc, oy, ox) = acc;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -85,98 +214,58 @@ impl Layer for Conv2d {
         assert_eq!(shape[0], self.in_c, "conv expected {} channels", self.in_c);
         let (h, w) = (shape[1], shape[2]);
         let (oh, ow) = self.out_hw(h, w);
+        self.im2col(input, h, w, oh, ow);
+
+        // out[oc] = bias[oc] broadcast, then out += W · col.
         let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
-        let pad = self.pad as isize;
-        let k = self.ksize;
-        for oc in 0..self.out_c {
-            let base = out.as_mut_slice().as_mut_ptr();
-            // Safe indexed writes below; keep simple slice ops instead of ptr.
-            let _ = base;
-            for ic in 0..self.in_c {
-                for ky in 0..k {
-                    for kx in 0..k {
-                        let wv = self.w(oc, ic, ky, kx);
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        // out[oc][oy][ox] += in[ic][oy+ky-pad][ox+kx-pad] * wv
-                        for oy in 0..oh {
-                            let iy = oy as isize + ky as isize - pad;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let ix0 = (0isize).max(pad - kx as isize);
-                            let ix1 =
-                                (ow as isize).min(w as isize + pad - kx as isize);
-                            for ox in ix0..ix1 {
-                                let ix = ox + kx as isize - pad;
-                                let v = input.at3(ic, iy as usize, ix as usize) * wv;
-                                *out.at3_mut(oc, oy, ox as usize) += v;
-                            }
-                        }
-                    }
-                }
-            }
-            let b = self.bias[oc];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    *out.at3_mut(oc, oy, ox) += b;
-                }
-            }
+        let o = out.as_mut_slice();
+        for (oc, &b) in self.bias.iter().enumerate() {
+            o[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
         }
-        self.cached_input = Some(input.clone());
+        gemm::gemm_nn(
+            self.out_c,
+            oh * ow,
+            self.in_c * self.ksize * self.ksize,
+            &self.weights,
+            &self.col,
+            o,
+        );
+        self.cached_hw = Some((h, w));
         out
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("conv backward before forward");
-        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (h, w) = self.cached_hw.take().expect("conv backward before forward");
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad.shape(), &[self.out_c, oh, ow], "conv grad shape");
-        let pad = self.pad as isize;
-        let k = self.ksize;
-        let mut grad_in = Tensor::zeros(vec![self.in_c, h, w]);
+        let g = grad.as_slice();
+        let k2 = self.ksize * self.ksize;
 
-        for oc in 0..self.out_c {
-            // Bias gradient: sum over spatial.
-            let mut gb = 0.0f32;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    gb += grad.at3(oc, oy, ox);
-                }
-            }
-            self.grad_bias[oc] += gb;
-
-            for ic in 0..self.in_c {
-                for ky in 0..k {
-                    for kx in 0..k {
-                        let widx = ((oc * self.in_c + ic) * k + ky) * k + kx;
-                        let wv = self.weights[widx];
-                        let mut gw = 0.0f32;
-                        for oy in 0..oh {
-                            let iy = oy as isize + ky as isize - pad;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let ox0 = (0isize).max(pad - kx as isize);
-                            let ox1 =
-                                (ow as isize).min(w as isize + pad - kx as isize);
-                            for ox in ox0..ox1 {
-                                let ix = ox + kx as isize - pad;
-                                let g = grad.at3(oc, oy, ox as usize);
-                                gw += g * input.at3(ic, iy as usize, ix as usize);
-                                *grad_in.at3_mut(ic, iy as usize, ix as usize) += g * wv;
-                            }
-                        }
-                        self.grad_weights[widx] += gw;
-                    }
-                }
-            }
+        // db[oc] = Σ_spatial dY[oc].
+        for (oc, gb) in self.grad_bias.iter_mut().enumerate() {
+            *gb += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
         }
-        grad_in
+        // dW = dY · colᵀ (accumulated into the running gradient).
+        gemm::gemm_nt(
+            self.out_c,
+            self.in_c * k2,
+            oh * ow,
+            g,
+            &self.col,
+            &mut self.grad_weights,
+        );
+        // dcol = Wᵀ · dY, then scatter-add back to the input shape.
+        self.dcol.clear();
+        self.dcol.resize(self.in_c * k2 * oh * ow, 0.0);
+        gemm::gemm_tn(
+            self.in_c * k2,
+            oh * ow,
+            self.out_c,
+            &self.weights,
+            g,
+            &mut self.dcol,
+        );
+        self.col2im(h, w, oh, ow)
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -206,6 +295,7 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::Rng;
 
     #[test]
     fn identity_kernel_passthrough() {
@@ -304,5 +394,82 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_kernel_rejected() {
         let _ = Conv2d::new(1, 1, 2, 0, 0);
+    }
+
+    #[test]
+    fn gemm_forward_matches_naive_oracle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Odd kernels, pad 0/1/2, non-square images, multi-channel.
+        for &(in_c, out_c, k, pad, h, w) in &[
+            (1, 1, 1, 0, 4, 4),
+            (2, 3, 3, 1, 5, 7),
+            (3, 2, 3, 0, 7, 5),
+            (4, 8, 3, 1, 12, 12),
+            (2, 2, 5, 2, 9, 6),
+            (1, 4, 5, 0, 8, 11),
+        ] {
+            let mut conv = Conv2d::new(in_c, out_c, k, pad, 21);
+            let data: Vec<f32> = (0..in_c * h * w)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            let x = Tensor::from_vec(vec![in_c, h, w], data);
+            let naive = conv.forward_naive(&x);
+            let fast = conv.forward(&x, false);
+            assert_eq!(fast.shape(), naive.shape());
+            for (i, (a, b)) in fast.as_slice().iter().zip(naive.as_slice()).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-4_f32.max(1e-5 * b.abs()),
+                    "({in_c},{out_c},{k},{pad},{h},{w}) idx {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn gemm_path_equals_naive_on_random_shapes(
+            seed in 0u64..1000,
+            in_c in 1usize..4,
+            out_c in 1usize..5,
+            k in proptest::prop_oneof![
+                proptest::strategy::Just(1usize),
+                proptest::strategy::Just(3usize),
+                proptest::strategy::Just(5usize),
+            ],
+            pad in 0usize..3,
+            h in 5usize..11,
+            w in 5usize..11,
+        ) {
+            let mut conv = Conv2d::new(in_c, out_c, k, pad, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+            let data: Vec<f32> =
+                (0..in_c * h * w).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let x = Tensor::from_vec(vec![in_c, h, w], data);
+            let naive = conv.forward_naive(&x);
+            let fast = conv.forward(&x, false);
+            proptest::prop_assert_eq!(fast.shape(), naive.shape());
+            for (a, b) in fast.as_slice().iter().zip(naive.as_slice()) {
+                proptest::prop_assert!(
+                    (a - b).abs() <= 1e-4_f32.max(1e-5 * b.abs()),
+                    "({}, {}, {}, {}, {}, {}): {} vs {}",
+                    in_c, out_c, k, pad, h, w, a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_forwards() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 4);
+        let x = Tensor::zeros(vec![2, 6, 6]);
+        let _ = conv.forward(&x, true);
+        let cap = conv.col.capacity();
+        for _ in 0..3 {
+            let _ = conv.forward(&x, true);
+            let _ = conv.backward(&Tensor::zeros(vec![3, 6, 6]));
+        }
+        assert_eq!(conv.col.capacity(), cap, "im2col scratch must be reused");
     }
 }

@@ -1,13 +1,17 @@
 //! Fully-connected layer.
 
 use super::Layer;
-use crate::{init, Tensor};
+use crate::{gemm, init, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A fully-connected (affine) layer `y = W·x + b` on rank-1 tensors.
 ///
-/// Weight layout: `[out][in]`, row-major.
+/// Weight layout: `[out][in]`, row-major. Forward and backward are routed
+/// through the shared [`crate::gemm`] kernels (`y = W·x` is
+/// [`gemm::gemm_nt`] with `x` as a 1-row right operand, `dW += g⊗x` is the
+/// rank-1 [`gemm::gemm_nn`] update, and `dX = Wᵀ·g` is
+/// [`gemm::gemm_tn`]'s matrix-transpose-vector fast path).
 ///
 /// # Examples
 ///
@@ -66,15 +70,16 @@ impl Layer for Dense {
             input.shape()
         );
         let x = input.as_slice();
-        let mut out = vec![0.0f32; self.out_features];
-        for (o, out_v) in out.iter_mut().enumerate() {
-            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
-            let mut acc = self.bias[o];
-            for (w, xv) in row.iter().zip(x.iter()) {
-                acc += w * xv;
-            }
-            *out_v = acc;
-        }
+        // y = b, then y += W·x (an out×1 gemm against x as a 1×in Bᵀ).
+        let mut out = self.bias.clone();
+        gemm::gemm_nt(
+            self.out_features,
+            1,
+            self.in_features,
+            &self.weights,
+            x,
+            &mut out,
+        );
         self.cached_input = Some(input.clone());
         Tensor::from_vec(vec![self.out_features], out)
     }
@@ -87,17 +92,28 @@ impl Layer for Dense {
         assert_eq!(grad.len(), self.out_features, "dense grad shape");
         let x = input.as_slice();
         let g = grad.as_slice();
-        let mut grad_in = vec![0.0f32; self.in_features];
-        for o in 0..self.out_features {
-            let go = g[o];
-            self.grad_bias[o] += go;
-            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
-            let grow = &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
-            for i in 0..self.in_features {
-                grow[i] += go * x[i];
-                grad_in[i] += go * row[i];
-            }
+        for (gb, &go) in self.grad_bias.iter_mut().zip(g) {
+            *gb += go;
         }
+        // dW += g ⊗ x: rank-1 update (k = 1) into the running gradient.
+        gemm::gemm_nn(
+            self.out_features,
+            self.in_features,
+            1,
+            g,
+            x,
+            &mut self.grad_weights,
+        );
+        // dX = Wᵀ·g.
+        let mut grad_in = vec![0.0f32; self.in_features];
+        gemm::gemm_tn(
+            self.in_features,
+            1,
+            self.out_features,
+            &self.weights,
+            g,
+            &mut grad_in,
+        );
         Tensor::from_vec(vec![self.in_features], grad_in)
     }
 

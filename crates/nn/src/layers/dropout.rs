@@ -37,7 +37,10 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -131,7 +134,10 @@ mod tests {
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
         assert!((4_000..6_000).contains(&zeros), "{zeros} zeros");
         // Survivors are scaled by 2.
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]

@@ -34,10 +34,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(
-            !self.in_shape.is_empty(),
-            "flatten backward before forward"
-        );
+        assert!(!self.in_shape.is_empty(), "flatten backward before forward");
         grad.clone().reshaped(self.in_shape.clone())
     }
 

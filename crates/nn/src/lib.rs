@@ -8,6 +8,8 @@
 //!   pooling, dense, flatten, and inverted dropout — each implementing
 //!   [`Layer`] with exact analytic gradients (validated by
 //!   finite-difference tests).
+//! - [`gemm`]: the cache-blocked matrix-multiply kernels convolution
+//!   (via im2col) and dense layers lower onto.
 //! - [`loss`]: softmax cross-entropy with **soft targets**, the ingredient
 //!   biased learning needs (`y*_n = [1-ε, ε]`).
 //! - [`Network`]: a sequential container with forward/backward passes and
@@ -61,6 +63,7 @@
 //! ```
 
 pub mod data;
+pub mod gemm;
 pub mod init;
 pub mod layers;
 pub mod loss;

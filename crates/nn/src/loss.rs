@@ -64,7 +64,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, target: &[f32]) -> (f32, Tensor) {
             loss -= ti * pi.max(1e-12).ln();
         }
     }
-    let grad: Vec<f32> = p.iter().zip(target.iter()).map(|(pi, ti)| pi - ti).collect();
+    let grad: Vec<f32> = p
+        .iter()
+        .zip(target.iter())
+        .map(|(pi, ti)| pi - ti)
+        .collect();
     (loss, Tensor::from_vec(vec![x.len()], grad))
 }
 
@@ -118,15 +122,11 @@ mod tests {
 
     #[test]
     fn uniform_target_minimised_at_uniform_logits() {
-        let (l_uniform, g) = softmax_cross_entropy(
-            &Tensor::from_vec(vec![2], vec![0.0, 0.0]),
-            &[0.5, 0.5],
-        );
+        let (l_uniform, g) =
+            softmax_cross_entropy(&Tensor::from_vec(vec![2], vec![0.0, 0.0]), &[0.5, 0.5]);
         assert!(g.abs_max() < 1e-6, "gradient vanishes at the optimum");
-        let (l_skewed, _) = softmax_cross_entropy(
-            &Tensor::from_vec(vec![2], vec![3.0, 0.0]),
-            &[0.5, 0.5],
-        );
+        let (l_skewed, _) =
+            softmax_cross_entropy(&Tensor::from_vec(vec![2], vec![3.0, 0.0]), &[0.5, 0.5]);
         assert!(l_skewed > l_uniform);
     }
 

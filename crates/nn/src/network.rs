@@ -54,6 +54,45 @@ impl Network {
         x
     }
 
+    /// Forward passes over a batch of inputs, partitioned across
+    /// `threads` worker replicas in the fixed-order pattern of
+    /// [`crate::parallel`]: worker `i` processes the `i`-th contiguous
+    /// chunk and results are returned in input order.
+    ///
+    /// With `train = false` every per-input computation is pure, so the
+    /// output is **bit-identical to the serial loop for any thread
+    /// count**. With `train = true`, stochastic layers (dropout) draw from
+    /// per-replica streams: results are still deterministic for a fixed
+    /// `threads`, but differ between thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn forward_batch(&mut self, inputs: &[Tensor], train: bool, threads: usize) -> Vec<Tensor> {
+        assert!(threads > 0, "threads must be nonzero");
+        let threads = threads.min(inputs.len());
+        if threads <= 1 {
+            return inputs.iter().map(|x| self.forward(x, train)).collect();
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let mut replicas: Vec<Network> = (0..threads).map(|_| self.clone()).collect();
+        let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
+        crossbeam::thread::scope(|scope| {
+            for (worker, (replica, slot)) in replicas.iter_mut().zip(outputs.iter_mut()).enumerate()
+            {
+                // Ceil-division chunking can leave trailing workers past
+                // the end (13 inputs / 8 workers); clamp them to empty.
+                let start = (worker * chunk).min(inputs.len());
+                let slice = &inputs[start..(start + chunk).min(inputs.len())];
+                scope.spawn(move |_| {
+                    *slot = slice.iter().map(|x| replica.forward(x, train)).collect();
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        outputs.into_iter().flatten().collect()
+    }
+
     /// Full backward pass from a loss gradient; parameter gradients
     /// accumulate inside each layer. Returns the gradient at the input
     /// (rarely needed, but exposed per C-INTERMEDIATE).
@@ -179,6 +218,35 @@ mod tests {
         assert_eq!(rows[0], ("maxpool".to_string(), vec![1, 2, 2]));
         assert_eq!(rows[1], ("flatten".to_string(), vec![4]));
         assert_eq!(rows[2], ("fc".to_string(), vec![2]));
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_serial() {
+        let mut net = tiny_net();
+        let inputs: Vec<Tensor> = (0..13)
+            .map(|i| {
+                Tensor::from_vec(
+                    vec![3],
+                    (0..3)
+                        .map(|j| ((i * 5 + j * 3) % 7) as f32 / 7.0 - 0.5)
+                        .collect(),
+                )
+            })
+            .collect();
+        let serial: Vec<Tensor> = inputs.iter().map(|x| net.forward(x, false)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let batched = net.forward_batch(&inputs, false, threads);
+            assert_eq!(batched, serial, "threads = {threads}");
+        }
+        // Empty batches are fine.
+        assert!(net.forward_batch(&[], false, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be nonzero")]
+    fn forward_batch_rejects_zero_threads() {
+        let mut net = tiny_net();
+        let _ = net.forward_batch(&[Tensor::zeros(vec![3])], false, 0);
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl LrSchedule {
     /// `decay_step`.
     pub fn new(lr: f32, alpha: f32, decay_step: usize) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        assert!(alpha > 0.0 && alpha <= 1.0, "decay factor must be in (0, 1]");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
         assert!(decay_step > 0, "decay step must be nonzero");
         LrSchedule {
             lr,
@@ -141,7 +144,10 @@ impl Momentum {
     ///
     /// Panics when `mu` is outside `[0, 1)`.
     pub fn new(mu: f32) -> Self {
-        assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1), got {mu}");
+        assert!(
+            (0.0..1.0).contains(&mu),
+            "momentum must be in [0, 1), got {mu}"
+        );
         Momentum {
             mu,
             velocity: Vec::new(),

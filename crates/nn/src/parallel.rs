@@ -1,4 +1,4 @@
-//! Multi-threaded mini-batch gradient computation.
+//! Multi-threaded mini-batch gradient computation and batch inference.
 //!
 //! The paper notes MGD "is more compatible with parallel computing and can
 //! provide speed up on training procedures" (§5). This module implements
@@ -6,9 +6,143 @@
 //! forward/backward on its own network replica, and the per-worker
 //! gradients are merged **in fixed worker order** so results are
 //! bit-for-bit deterministic regardless of thread scheduling.
+//!
+//! [`ReplicaPool`] owns the per-worker replicas so a training loop pays
+//! the layer-allocation cost once, then only copies parameters into the
+//! existing replicas each step. [`minibatch_step_parallel`] remains as the
+//! standalone entry point for one-shot callers.
 
 use crate::optim::Instance;
-use crate::{loss, Network};
+use crate::{loss, Network, Tensor};
+
+/// Reusable per-worker network replicas for parallel training.
+///
+/// Cloning a [`Network`] allocates every layer's weight, gradient, and
+/// scratch buffers; doing that per optimiser step dominated the parallel
+/// path's cost. A pool clones once, then [`ReplicaPool::sync_parameters`]
+/// refreshes the replicas in place before each step.
+#[derive(Debug, Clone)]
+pub struct ReplicaPool {
+    replicas: Vec<Network>,
+    scratch: Vec<f32>,
+}
+
+impl ReplicaPool {
+    /// Builds a pool of `threads` replicas of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn new(net: &Network, threads: usize) -> Self {
+        assert!(threads > 0, "threads must be nonzero");
+        ReplicaPool {
+            replicas: (0..threads).map(|_| net.clone()).collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of worker replicas.
+    pub fn threads(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Copies the master's parameters into every replica (no allocation
+    /// after the first call).
+    pub fn sync_parameters(&mut self, net: &mut Network) {
+        self.scratch.clear();
+        net.visit_params(&mut |w, _| self.scratch.extend_from_slice(w));
+        for replica in &mut self.replicas {
+            let mut offset = 0usize;
+            replica.visit_params(&mut |w, _| {
+                w.copy_from_slice(&self.scratch[offset..offset + w.len()]);
+                offset += w.len();
+            });
+        }
+    }
+}
+
+/// One averaged mini-batch gradient step over `(input, target)` pairs,
+/// partitioned across the pool's replicas. Gradients are merged into
+/// `net` in fixed worker order and applied at rate `lr / batch len`.
+///
+/// Returns the mean batch loss. Falls back to a serial pass on the master
+/// when the pool has one replica (or the batch has one sample), which is
+/// bit-identical to [`crate::optim::minibatch_step`] semantics.
+///
+/// # Panics
+///
+/// Panics on an empty batch.
+pub fn minibatch_step_pooled(
+    net: &mut Network,
+    pool: &mut ReplicaPool,
+    batch: &[(&Tensor, [f32; 2])],
+    lr: f32,
+) -> f32 {
+    assert!(!batch.is_empty(), "empty mini-batch");
+    let threads = pool.threads().min(batch.len());
+
+    if threads == 1 {
+        net.zero_grads();
+        let mut total = 0.0f32;
+        for (x, t) in batch {
+            let logits = net.forward(x, true);
+            let (l, g) = loss::softmax_cross_entropy(&logits, t);
+            net.backward(&g);
+            total += l;
+        }
+        net.apply_gradients(lr / batch.len() as f32);
+        return total / batch.len() as f32;
+    }
+
+    pool.sync_parameters(net);
+    let chunk = batch.len().div_ceil(threads);
+    let mut losses = vec![0.0f32; threads];
+
+    crossbeam::thread::scope(|scope| {
+        for (worker, (replica, loss_slot)) in pool
+            .replicas
+            .iter_mut()
+            .take(threads)
+            .zip(losses.iter_mut())
+            .enumerate()
+        {
+            // Ceil-division chunking can leave trailing workers past the
+            // end (13 samples / 8 workers); clamp them to empty.
+            let start = (worker * chunk).min(batch.len());
+            let slice = &batch[start..(start + chunk).min(batch.len())];
+            scope.spawn(move |_| {
+                replica.zero_grads();
+                let mut total = 0.0f32;
+                for (x, t) in slice {
+                    let logits = replica.forward(x, true);
+                    let (l, g) = loss::softmax_cross_entropy(&logits, t);
+                    replica.backward(&g);
+                    total += l;
+                }
+                *loss_slot = total;
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    // Merge per-worker gradients into the master, in worker order.
+    net.zero_grads();
+    pool.scratch.clear();
+    for replica in pool.replicas.iter_mut().take(threads) {
+        pool.scratch.clear();
+        replica.visit_params(&mut |_, g| pool.scratch.extend_from_slice(g));
+        let mut offset = 0usize;
+        net.visit_params(&mut |_, g| {
+            let len = g.len();
+            for (gi, wg) in g.iter_mut().zip(&pool.scratch[offset..offset + len]) {
+                *gi += wg;
+            }
+            offset += len;
+        });
+    }
+    net.apply_gradients(lr / batch.len() as f32);
+    losses.iter().sum::<f32>() / batch.len() as f32
+}
 
 /// Runs one averaged mini-batch gradient step with the batch partitioned
 /// across `threads` workers (`threads = 1` falls back to the serial path
@@ -16,6 +150,9 @@ use crate::{loss, Network};
 ///
 /// Gradient merging is ordered by worker index, so the update — and any
 /// training run built on it — is deterministic.
+///
+/// This builds a fresh [`ReplicaPool`] per call; loops should hold their
+/// own pool and call [`minibatch_step_pooled`] instead.
 ///
 /// Returns the mean batch loss.
 ///
@@ -31,62 +168,15 @@ pub fn minibatch_step_parallel(
     assert!(!batch.is_empty(), "empty mini-batch");
     assert!(threads > 0, "threads must be nonzero");
     let threads = threads.min(batch.len());
-
-    if threads == 1 {
-        net.zero_grads();
-        let mut total = 0.0f32;
-        for (x, t) in batch.iter().copied() {
-            let logits = net.forward(x, true);
-            let (l, g) = loss::softmax_cross_entropy(&logits, t);
-            net.backward(&g);
-            total += l;
-        }
-        net.apply_gradients(lr / batch.len() as f32);
-        return total / batch.len() as f32;
-    }
-
-    // Chunk the batch; each worker gets a fresh replica of the network
-    // (parameters + layer state) and accumulates its own gradients.
-    let chunk = batch.len().div_ceil(threads);
-    let mut replicas: Vec<Network> = (0..threads).map(|_| net.clone()).collect();
-    let mut losses = vec![0.0f32; threads];
-
-    crossbeam::thread::scope(|scope| {
-        for (worker, (replica, loss_slot)) in
-            replicas.iter_mut().zip(losses.iter_mut()).enumerate()
-        {
-            let slice = &batch[worker * chunk..((worker + 1) * chunk).min(batch.len())];
-            scope.spawn(move |_| {
-                replica.zero_grads();
-                let mut total = 0.0f32;
-                for (x, t) in slice.iter().copied() {
-                    let logits = replica.forward(x, true);
-                    let (l, g) = loss::softmax_cross_entropy(&logits, t);
-                    replica.backward(&g);
-                    total += l;
-                }
-                *loss_slot = total;
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    // Merge per-worker gradients into the master, in worker order.
-    net.zero_grads();
-    for replica in &mut replicas {
-        let mut worker_grads: Vec<f32> = Vec::new();
-        replica.visit_params(&mut |_, g| worker_grads.extend_from_slice(g));
-        let mut offset = 0usize;
-        net.visit_params(&mut |_, g| {
-            let len = g.len();
-            for (gi, wg) in g.iter_mut().zip(&worker_grads[offset..offset + len]) {
-                *gi += wg;
-            }
-            offset += len;
-        });
-    }
-    net.apply_gradients(lr / batch.len() as f32);
-    losses.iter().sum::<f32>() / batch.len() as f32
+    let pairs: Vec<(&Tensor, [f32; 2])> = batch.iter().map(|(x, t)| (x, *t)).collect();
+    // The serial path never touches the replicas, so a pool of the empty
+    // network is enough to avoid cloning `net` when threads == 1.
+    let mut pool = if threads == 1 {
+        ReplicaPool::new(&Network::new(), 1)
+    } else {
+        ReplicaPool::new(net, threads)
+    };
+    minibatch_step_pooled(net, &mut pool, &pairs, lr)
 }
 
 #[cfg(test)]
@@ -107,7 +197,9 @@ mod tests {
     fn batch() -> Vec<Instance> {
         (0..12)
             .map(|i| {
-                let v: Vec<f32> = (0..4).map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5).collect();
+                let v: Vec<f32> = (0..4)
+                    .map(|j| ((i * 7 + j * 3) % 11) as f32 / 11.0 - 0.5)
+                    .collect();
                 let label = if v.iter().sum::<f32>() > 0.0 {
                     [0.0f32, 1.0]
                 } else {
@@ -147,6 +239,32 @@ mod tests {
             ParameterBlob::from_network(&mut n)
         };
         assert_eq!(run(), run(), "parallel training must be bit-deterministic");
+    }
+
+    #[test]
+    fn pooled_steps_match_fresh_replica_steps() {
+        let data = batch();
+        let pairs: Vec<(&Tensor, [f32; 2])> = data.iter().map(|(x, t)| (x, *t)).collect();
+        let refs: Vec<&Instance> = data.iter().collect();
+
+        let mut fresh = net(11);
+        let mut pooled = net(11);
+        let mut pool = ReplicaPool::new(&pooled, 3);
+        for _ in 0..4 {
+            let lf = minibatch_step_parallel(&mut fresh, &refs, 0.05, 3);
+            let lp = minibatch_step_pooled(&mut pooled, &mut pool, &pairs, 0.05);
+            assert_eq!(lf, lp, "pooled step must be bit-identical");
+        }
+        assert_eq!(
+            ParameterBlob::from_network(&mut fresh),
+            ParameterBlob::from_network(&mut pooled)
+        );
+    }
+
+    #[test]
+    fn pool_reports_thread_count() {
+        let n = net(2);
+        assert_eq!(ReplicaPool::new(&n, 4).threads(), 4);
     }
 
     #[test]

@@ -105,7 +105,12 @@ impl Tensor {
     /// Panics if the tensor is not rank 3 or the index is out of bounds.
     #[inline]
     pub fn at3(&self, c: usize, y: usize, x: usize) -> f32 {
-        debug_assert_eq!(self.shape.len(), 3, "at3 on rank-{} tensor", self.shape.len());
+        debug_assert_eq!(
+            self.shape.len(),
+            3,
+            "at3 on rank-{} tensor",
+            self.shape.len()
+        );
         let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
         self.data[(c * h + y) * w + x]
     }
@@ -117,7 +122,12 @@ impl Tensor {
     /// Panics under the same conditions as [`Tensor::at3`].
     #[inline]
     pub fn at3_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
-        debug_assert_eq!(self.shape.len(), 3, "at3_mut on rank-{} tensor", self.shape.len());
+        debug_assert_eq!(
+            self.shape.len(),
+            3,
+            "at3_mut on rank-{} tensor",
+            self.shape.len()
+        );
         let (_, h, w) = (self.shape[0], self.shape[1], self.shape[2]);
         &mut self.data[(c * h + y) * w + x]
     }
@@ -129,7 +139,12 @@ impl Tensor {
     /// Panics if the new shape's product differs from the current length.
     pub fn reshaped(mut self, shape: Vec<usize>) -> Tensor {
         let len: usize = shape.iter().product();
-        assert_eq!(len, self.data.len(), "reshape {:?} -> {shape:?}", self.shape);
+        assert_eq!(
+            len,
+            self.data.len(),
+            "reshape {:?} -> {shape:?}",
+            self.shape
+        );
         self.shape = shape;
         self
     }

@@ -15,7 +15,10 @@ const TOL: f64 = 8e-2; // relative, with absolute floor below
 fn random_input(shape: Vec<usize>, seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let len = shape.iter().product();
-    Tensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    Tensor::from_vec(
+        shape,
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
 }
 
 /// Computes the scalar loss of `net` on `(x, target)` without mutating
@@ -207,6 +210,41 @@ fn avgpool_network_param_gradients() {
     net.push(Flatten::new());
     net.push(Dense::new(4 * 3 * 3, 2, 55));
     check_param_gradients(net, random_input(vec![1, 6, 6], 22), 11);
+}
+
+#[test]
+fn conv_nonsquare_input_param_gradients() {
+    // The im2col/GEMM path must stay correct when height ≠ width (row
+    // and column strides differ, which is where index bugs hide).
+    let mut net = Network::new();
+    net.push(Conv2d::new(2, 3, 3, 1, 60));
+    net.push(Relu::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(3 * 5 * 8, 2, 61));
+    check_param_gradients(net, random_input(vec![2, 5, 8], 23), 13);
+}
+
+#[test]
+fn conv_wide_kernel_param_gradients() {
+    // 5×5 kernel with pad 2 exercises multi-row im2col overlap.
+    let mut net = Network::new();
+    net.push(Conv2d::new(1, 2, 5, 2, 62));
+    net.push(Relu::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(2 * 7 * 7, 2, 63));
+    check_param_gradients(net, random_input(vec![1, 7, 7], 24), 9);
+}
+
+#[test]
+fn conv_valid_nonsquare_input_gradients() {
+    // Valid (pad 0) convolution on a non-square image: the input
+    // gradient exercises col2im's partial-coverage border cells.
+    let mut net = Network::new();
+    net.push(Conv2d::new(2, 2, 3, 0, 64));
+    net.push(Relu::new());
+    net.push(Flatten::new());
+    net.push(Dense::new(2 * 4 * 6, 2, 65));
+    check_input_gradient(net, random_input(vec![2, 6, 8], 25));
 }
 
 #[test]

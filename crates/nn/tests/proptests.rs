@@ -2,11 +2,44 @@
 
 use hotspot_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2, Relu};
 use hotspot_nn::serialize::ParameterBlob;
-use hotspot_nn::{loss, Network, Tensor};
+use hotspot_nn::{gemm, loss, Network, Tensor};
 use proptest::prelude::*;
 
 fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+/// f64 triple-loop C += A·B reference the blocked kernels are judged
+/// against. `at(p, i)` maps the storage of A for the given transpose
+/// flavour; likewise `bt` for B.
+fn matmul_ref(
+    (m, n, k): (usize, usize, usize),
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    at: impl Fn(usize, usize) -> usize,
+    bt: impl Fn(usize, usize) -> usize,
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a[at(p, i)] as f64 * b[bt(p, j)] as f64;
+            }
+            c[i * n + j] += acc as f32;
+        }
+    }
+}
+
+fn assert_close(fast: &[f32], reference: &[f32], k: usize) {
+    // Error grows with the reduction length; scale the bound by k.
+    let tol = 1e-5 * (k as f32).max(1.0);
+    for (i, (x, y)) in fast.iter().zip(reference).enumerate() {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "element {i}: {x} vs {y} (k = {k})"
+        );
+    }
 }
 
 proptest! {
@@ -120,6 +153,53 @@ proptest! {
         blob.load_into(&mut other).expect("same architecture");
         let reread = ParameterBlob::from_network(&mut other);
         prop_assert_eq!(blob.as_slice(), reread.as_slice());
+    }
+
+    #[test]
+    fn gemm_kernels_match_reference_on_random_shapes(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..300,
+        seed in 0u64..1_000_000,
+    ) {
+        // Sizes straddle the KC = 256 k-block boundary and the 4-row /
+        // 2×2-tile unroll remainders of all three kernels.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| next()).collect();
+
+        // gemm_nn: A is m×k, B is k×n.
+        let mut fast = c0.clone();
+        gemm::gemm_nn(m, n, k, &a, &b, &mut fast);
+        let mut reference = c0.clone();
+        matmul_ref((m, n, k), &a, &b, &mut reference,
+            |p, i| i * k + p, |p, j| p * n + j);
+        assert_close(&fast, &reference, k);
+
+        // gemm_nt: B is stored n×k (column-major B).
+        let bt: Vec<f32> = (0..n * k).map(|_| next()).collect();
+        let mut fast = c0.clone();
+        gemm::gemm_nt(m, n, k, &a, &bt, &mut fast);
+        let mut reference = c0.clone();
+        matmul_ref((m, n, k), &a, &bt, &mut reference,
+            |p, i| i * k + p, |p, j| j * k + p);
+        assert_close(&fast, &reference, k);
+
+        // gemm_tn: A is stored k×m.
+        let at: Vec<f32> = (0..k * m).map(|_| next()).collect();
+        let mut fast = c0.clone();
+        gemm::gemm_tn(m, n, k, &at, &b, &mut fast);
+        let mut reference = c0;
+        matmul_ref((m, n, k), &at, &b, &mut reference,
+            |p, i| p * m + i, |p, j| p * n + j);
+        assert_close(&fast, &reference, k);
     }
 
     #[test]

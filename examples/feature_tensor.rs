@@ -62,17 +62,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 fn print_heatmap(g: &Grid<f32>) {
     let max = g.max().max(1e-6);
     for y in 0..g.height() {
-        let row: String = (0..g.width())
-            .map(|x| shade(g[(x, y)] / max))
-            .collect();
+        let row: String = (0..g.width()).map(|x| shade(g[(x, y)] / max)).collect();
         println!("  {row}");
     }
 }
 
 fn print_side_by_side(a: &Grid<f32>, b: &Grid<f32>) {
     for y in (0..a.height()).step_by(2) {
-        let left: String = (0..a.width()).step_by(1).map(|x| shade(a[(x, y)])).collect();
-        let right: String = (0..b.width()).step_by(1).map(|x| shade(b[(x, y)])).collect();
+        let left: String = (0..a.width())
+            .step_by(1)
+            .map(|x| shade(a[(x, y)]))
+            .collect();
+        let right: String = (0..b.width())
+            .step_by(1)
+            .map(|x| shade(b[(x, y)]))
+            .collect();
         println!("  {left}   {right}");
     }
 }

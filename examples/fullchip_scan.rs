@@ -41,10 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let tile = patterns::sample_pattern(kind, &mut rng);
             let offset = Point::new(tx * WINDOW_NM, ty * WINDOW_NM);
             let window = tile.window().translated(offset);
-            let clip = Clip::with_shapes(
-                window,
-                tile.shapes().iter().map(|r| r.translated(offset)),
-            );
+            let clip =
+                Clip::with_shapes(window, tile.shapes().iter().map(|r| r.translated(offset)));
             region.push((window, clip));
         }
     }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             " {half_pitch:>7} nm | {} | {}",
             fails.join(" "),
-            if report.is_hotspot() { "HOTSPOT" } else { "clean" }
+            if report.is_hotspot() {
+                "HOTSPOT"
+            } else {
+                "clean"
+            }
         );
     }
 
@@ -54,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             " {width:>7} nm | {:>21} | {}",
             report.worst_failures(),
-            if report.is_hotspot() { "HOTSPOT" } else { "clean" }
+            if report.is_hotspot() {
+                "HOTSPOT"
+            } else {
+                "clean"
+            }
         );
     }
     println!(

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Contingency table: rows = true archetype, columns = cluster.
-    println!("{:<14} | cluster 0 | cluster 1 | cluster 2 | cluster 3", "archetype");
+    println!(
+        "{:<14} | cluster 0 | cluster 1 | cluster 2 | cluster 3",
+        "archetype"
+    );
     println!("{}", "-".repeat(62));
     let mut majority_total = 0usize;
     for (ki, &kind) in kinds.iter().enumerate() {

@@ -43,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!();
         }
-        println!(
-            "is hotspot per 5-corner check: {}",
-            sim.label_clip(&clip)
-        );
+        println!("is hotspot per 5-corner check: {}", sim.label_clip(&clip));
     }
     println!(
         "\nThe window shrinks as the pitch approaches the optics' resolution\n\

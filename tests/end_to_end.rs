@@ -44,10 +44,7 @@ fn tiny_spec() -> SuiteSpec {
         train_nhs: 30,
         test_hs: 15,
         test_nhs: 15,
-        mix: vec![
-            (PatternKind::LineArray, 1.0),
-            (PatternKind::LineTips, 1.0),
-        ],
+        mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
         seed: 1234,
     }
 }

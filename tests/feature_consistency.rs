@@ -46,7 +46,11 @@ fn pipeline_tensor_matches_manual_extraction() {
     let spec = FeatureTensorSpec::new(12, 16).unwrap();
     let tensor = extract_feature_tensor(&image, &spec).unwrap();
     let scale = 1.0 / tensor.block_size() as f32;
-    for (a, &b) in from_pipeline.as_slice().iter().zip(tensor.as_slice().iter()) {
+    for (a, &b) in from_pipeline
+        .as_slice()
+        .iter()
+        .zip(tensor.as_slice().iter())
+    {
         assert!((a - b * scale).abs() < 1e-6);
     }
 }
@@ -99,11 +103,9 @@ fn ccs_centre_sample_matches_raster_centre() {
     let cx = (image.width() - 1) / 2;
     let cy = (image.height() - 1) / 2;
     // 119/2 = 59.5 -> average of the four centre pixels (120 px wide).
-    let expect = (image[(cx, cy)]
-        + image[(cx + 1, cy)]
-        + image[(cx, cy + 1)]
-        + image[(cx + 1, cy + 1)])
-        / 4.0;
+    let expect =
+        (image[(cx, cy)] + image[(cx + 1, cy)] + image[(cx, cy + 1)] + image[(cx + 1, cy + 1)])
+            / 4.0;
     assert!((f[0] - expect).abs() < 1e-5);
 }
 

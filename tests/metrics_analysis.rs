@@ -9,11 +9,7 @@ use hotspot_datagen::suite::SuiteSpec;
 use hotspot_datagen::PatternKind;
 use hotspot_litho::{LithoConfig, LithoSimulator};
 
-fn trained_setup() -> (
-    HotspotDetector,
-    Vec<hotspot_nn::Tensor>,
-    Vec<bool>,
-) {
+fn trained_setup() -> (HotspotDetector, Vec<hotspot_nn::Tensor>, Vec<bool>) {
     let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
     let data = SuiteSpec {
         name: "metrics".into(),
@@ -21,10 +17,7 @@ fn trained_setup() -> (
         train_nhs: 40,
         test_hs: 25,
         test_nhs: 25,
-        mix: vec![
-            (PatternKind::LineArray, 1.0),
-            (PatternKind::LineTips, 1.0),
-        ],
+        mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
         seed: 321,
     }
     .build(&sim);
@@ -59,9 +52,7 @@ fn roc_curve_brackets_the_default_operating_point() {
     // Default operating point from hard predictions.
     let preds: Vec<bool> = test_x
         .iter()
-        .map(|f| {
-            hotspot_core::mgd::predict_hotspot_prob(detector.network_mut(), f) > 0.5
-        })
+        .map(|f| hotspot_core::mgd::predict_hotspot_prob(detector.network_mut(), f) > 0.5)
         .collect();
     let hits = preds
         .iter()
@@ -75,7 +66,9 @@ fn roc_curve_brackets_the_default_operating_point() {
     let at_half = curve
         .iter()
         .min_by(|a, b| {
-            (a.threshold - 0.5).abs().total_cmp(&(b.threshold - 0.5).abs())
+            (a.threshold - 0.5)
+                .abs()
+                .total_cmp(&(b.threshold - 0.5).abs())
         })
         .expect("non-empty curve");
     assert!(

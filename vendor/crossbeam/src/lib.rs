@@ -1,0 +1,62 @@
+//! Offline stub of the `crossbeam` scoped-thread API used by this
+//! workspace, backed by `std::thread::scope` (stable since 1.63).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] closures; [`Scope::spawn`] borrows
+    //  it to launch workers that may reference stack data.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives a scope token
+        /// (unused by this workspace, hence the unit type).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before returning.
+    ///
+    /// Unlike upstream crossbeam, a panicking worker propagates the panic
+    /// out of `scope` directly (via `std::thread::scope`) instead of
+    /// returning `Err` — callers `.expect(...)` the result either way.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_mutate_borrowed_slices() {
+        let mut data = vec![0u32; 4];
+        super::thread::scope(|scope| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .expect("workers join cleanly");
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}

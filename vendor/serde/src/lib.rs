@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` API surface used by this workspace.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and data
+//! types but never drives an actual serde serialiser (persistence uses the
+//! hand-rolled binary format in `hotspot-nn::serialize`). The traits are
+//! therefore markers here; the derive macros (re-exported from the stub
+//! `serde_derive`) emit empty impls.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

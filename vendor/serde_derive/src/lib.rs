@@ -1,0 +1,117 @@
+//! Offline stub of serde's derive macros.
+//!
+//! The stub `serde` traits are empty markers, so the derives only need the
+//! item's name and generic parameters to emit an empty impl. No `syn`/
+//! `quote` dependency: the input token stream is scanned directly.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name and generic parameters of the derive target.
+struct Target {
+    name: String,
+    /// Parameter declarations for the `impl<...>` list (bounds stripped),
+    /// e.g. `["'a", "T"]`.
+    params: Vec<String>,
+}
+
+/// Extracts the item name and generic parameter names from a
+/// `struct`/`enum` definition token stream.
+fn parse_target(input: TokenStream) -> Target {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`# [...]`), visibility and doc comments until the
+    // `struct`/`enum` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(ref id) = tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive stub: expected item name, got {other:?}"),
+    };
+
+    let mut params = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        let mut skipping_bound = false;
+        while let Some(tt) = tokens.next() {
+            match tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        expect_param = true;
+                        skipping_bound = false;
+                    }
+                    ':' | '=' if depth == 1 => skipping_bound = true,
+                    '\'' if depth == 1 && expect_param && !skipping_bound => {
+                        // Lifetime parameter: tick + ident.
+                        if let Some(TokenTree::Ident(id)) = tokens.next() {
+                            params.push(format!("'{id}"));
+                            expect_param = false;
+                        }
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && expect_param && !skipping_bound => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        continue; // next ident is the const param name
+                    }
+                    params.push(s);
+                    expect_param = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Target { name, params }
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let target = parse_target(input);
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        impl_params.push(lt.to_string());
+    }
+    impl_params.extend(target.params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if target.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.params.join(", "))
+    };
+    let trait_generics = extra_lifetime.map_or(String::new(), |lt| format!("<{lt}>"));
+    format!(
+        "impl{impl_generics} {trait_path}{trait_generics} for {name}{ty_generics} {{}}",
+        name = target.name
+    )
+    .parse()
+    .expect("derive stub: generated impl parses")
+}
+
+/// Emits `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize", Some("'de"))
+}
