@@ -112,7 +112,7 @@ pub fn eval_ours(
     config: &DetectorConfig,
 ) -> Result<(EvalResult, HotspotDetector), CoreError> {
     let mut detector = HotspotDetector::fit(&data.train, config)?;
-    let result = detector.evaluate(&data.test);
+    let result = detector.evaluate(&data.test)?;
     Ok((result, detector))
 }
 

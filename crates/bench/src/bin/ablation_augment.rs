@@ -39,7 +39,7 @@ fn main() {
     for (name, train) in [("plain", &data.train), ("augmented 8x", &augmented)] {
         eprintln!("[ablation_augment] training on {name}...");
         let mut detector = HotspotDetector::fit(train, &config).expect("training runs");
-        let result = detector.evaluate(&data.test);
+        let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![
             name.to_string(),
             train.len().to_string(),

@@ -30,7 +30,7 @@ fn main() {
         config.biased.epsilon_step = eps_step;
         config.biased.rounds = rounds;
         let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
-        let result = detector.evaluate(&data.test);
+        let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![
             format!("{eps_step:.2}"),
             rounds.to_string(),

@@ -32,7 +32,7 @@ fn main() {
         let start = Instant::now();
         let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
         let train_s = start.elapsed().as_secs_f64();
-        let result = detector.evaluate(&data.test);
+        let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![
             k.to_string(),
             table::pct(result.accuracy),

@@ -4,14 +4,17 @@
 use crate::model_file::ModelFile;
 use crate::CliError;
 use hotspot_bench::ExperimentArgs;
+use hotspot_core::biased::CheckpointEvent;
+use hotspot_core::checkpoint::write_atomic;
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
 use hotspot_core::metrics::EvalResult;
-use hotspot_core::{mgd, FeaturePipeline};
+use hotspot_core::{mgd, Checkpoint, CoreError, FeaturePipeline};
 use hotspot_datagen::suite::SuiteSpec;
 use hotspot_datagen::{Dataset, Sample};
 use hotspot_geometry::io::{read_clips, write_clips};
 use hotspot_geometry::Clip;
 use hotspot_litho::{LithoConfig, LithoSimulator};
+use hotspot_nn::serialize::ParameterBlob;
 use std::fs;
 use std::path::Path;
 
@@ -115,12 +118,49 @@ pub fn cmd_label(args: &ExperimentArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// A fingerprint of every configuration knob that shapes the training
+/// trajectory; a checkpoint taken under a different configuration is
+/// refused on resume rather than silently producing different weights.
+fn run_tag(config: &DetectorConfig, k: usize) -> String {
+    let m = &config.mgd;
+    let b = &config.biased;
+    format!(
+        "res={} grid={} k={} rounds={} eps_step={} steps={} ft_steps={} ft_lr={} batch={} \
+         lr={} alpha={} decay={} val_int={} patience={} val_frac={} balanced={}",
+        config.pipeline.resolution_nm(),
+        config.pipeline.grid_dim(),
+        k,
+        b.rounds,
+        b.epsilon_step,
+        m.max_steps,
+        b.fine_tune.max_steps,
+        b.fine_tune.lr,
+        m.batch_size,
+        m.lr,
+        m.alpha,
+        m.decay_step,
+        m.val_interval,
+        m.patience,
+        m.val_fraction,
+        m.balanced_sampling
+    )
+}
+
 /// `hotspot train --clips F --labels F --model OUT [--k 16 --steps 800
-/// --rounds 2 --batch 32 --seed 42]`
+/// --rounds 2 --batch 32 --seed 42] [--checkpoint-every N]
+/// [--checkpoint F] [--resume F]`
+///
+/// With `--checkpoint-every N` (or `--resume`), a crash-safe checkpoint is
+/// written atomically every N optimiser steps and at every round boundary
+/// (default path: `<model>.ckpt`), and the best-validation model so far is
+/// kept at `<model>.best`. Resuming a killed run with the same flags plus
+/// `--resume <ckpt>` finishes with bit-identical weights to a run that was
+/// never interrupted.
 ///
 /// # Errors
 ///
-/// Usage, data-consistency, training and I/O failures.
+/// Usage, data-consistency, checkpoint-mismatch, training and I/O
+/// failures.
 pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
     let clips = load_clips(required(args, "clips")?)?;
     let labels = load_labels(required(args, "labels")?, clips.len())?;
@@ -138,20 +178,103 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
         FeaturePipeline::new(10, 12, k).map_err(|e| CliError::Usage(format!("invalid k: {e}")))?;
     config.biased.rounds = args.usize("rounds", 2);
 
-    let mut detector = HotspotDetector::fit(&dataset, &config)?;
+    let checkpoint_every = args.usize("checkpoint-every", 0);
+    let checkpoint_path = args
+        .get("checkpoint")
+        .map_or_else(|| format!("{model_path}.ckpt"), str::to_string);
+    let best_path = format!("{model_path}.best");
+    let tag = run_tag(&config, k);
+    let seed = config.mgd.seed;
+    let threads = config.mgd.threads;
+
+    let resume = match args.get("resume") {
+        Some(path) => {
+            let ckpt = Checkpoint::load(Path::new(path))?;
+            ckpt.validate_run(seed, threads, &tag)?;
+            Some(ckpt)
+        }
+        None => None,
+    };
+    let resumed_rounds = resume.as_ref().map(|c| c.completed.len());
+    let checkpointing = checkpoint_every > 0 || resume.is_some();
+    // Seed the best-so-far accuracy from the checkpoint so a resume never
+    // overwrites `<model>.best` with a worse snapshot — unless the crash
+    // landed before that snapshot hit the disk, in which case the first
+    // hook event must recreate it.
+    let mut best_acc = resume
+        .as_ref()
+        .filter(|_| Path::new(&best_path).exists())
+        .map_or(f64::NEG_INFINITY, |c| {
+            c.completed
+                .iter()
+                .map(|r| r.report.best_val_accuracy)
+                .chain(c.trainer.as_ref().map(|t| t.best_acc))
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+
+    let (resolution_nm, grid) = (config.pipeline.resolution_nm(), config.pipeline.grid_dim());
+    let mut detector = HotspotDetector::fit_resumable(
+        &dataset,
+        &config,
+        resume.as_ref(),
+        checkpoint_every,
+        &mut |event, net| {
+            if !checkpointing {
+                return Ok(());
+            }
+            let (completed, trainer, acc, blob) = match event {
+                CheckpointEvent::Step { completed, state } => {
+                    (completed, Some(state), state.best_acc, state.best.clone())
+                }
+                CheckpointEvent::RoundEnd { completed } => (
+                    completed,
+                    None,
+                    completed
+                        .last()
+                        .map_or(f64::NEG_INFINITY, |r| r.report.best_val_accuracy),
+                    ParameterBlob::from_network(net),
+                ),
+            };
+            Checkpoint::new(seed, threads, tag.clone(), net, completed, trainer)
+                .save(Path::new(&checkpoint_path))?;
+            if acc > best_acc {
+                best_acc = acc;
+                let best = ModelFile {
+                    resolution_nm,
+                    grid,
+                    k,
+                    blob,
+                };
+                write_atomic(Path::new(&best_path), &best.to_bytes())
+                    .map_err(|e| CoreError::Checkpoint(format!("writing {best_path}: {e}")))?;
+            }
+            Ok(())
+        },
+    )?;
     let model = ModelFile {
-        resolution_nm: config.pipeline.resolution_nm(),
-        grid: config.pipeline.grid_dim(),
+        resolution_nm,
+        grid,
         k,
         blob: detector.export_parameters(),
     };
-    fs::write(&model_path, model.to_bytes())?;
-    Ok(format!(
+    write_atomic(Path::new(&model_path), &model.to_bytes())?;
+    let mut out = format!(
         "trained on {} clips (final ε = {:.1}, {:.0} s); model written to {model_path}",
         dataset.len(),
         detector.training_report().final_epsilon(),
         detector.training_report().total_train_time_s()
-    ))
+    );
+    if let Some(rounds) = resumed_rounds {
+        out.push_str(&format!(
+            "; resumed with {rounds} round(s) already complete"
+        ));
+    }
+    if checkpointing {
+        out.push_str(&format!(
+            "; checkpoints at {checkpoint_path}, best model at {best_path}"
+        ));
+    }
+    Ok(out)
 }
 
 /// `hotspot predict --clips F --model M [--threshold 0.5]` — prints
@@ -217,11 +340,17 @@ USAGE:
   hotspot gen     --dir DIR [--suite iccad|industry1|industry2|industry3] [--scale 0.01]
   hotspot label   --clips FILE
   hotspot train   --clips FILE --labels FILE --model OUT [--k 16] [--steps 800] [--rounds 2]
+                  [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
   hotspot predict --clips FILE --model FILE [--threshold 0.5]
   hotspot eval    --clips FILE --labels FILE --model FILE
 
 Clip files use the text format of hotspot-geometry (clip/rect/end records);
 label files carry one 0/1 per clip line.
+
+Training with --checkpoint-every N writes a crash-safe checkpoint (default
+<model>.ckpt) every N steps and keeps the best-validation model at
+<model>.best; after a crash, rerun with the same flags plus --resume FILE
+to finish with bit-identical weights to an uninterrupted run.
 ";
 
 /// Dispatches a command name plus `--flag value` arguments.

@@ -1,0 +1,151 @@
+//! Crash/resume integration test against the real `hotspot` binary: a
+//! training process is SIGKILLed mid-flight, resumed from its checkpoint,
+//! and must finish with a model byte-identical to an uninterrupted run.
+
+#![cfg(unix)]
+
+use hotspot_bench::ExperimentArgs;
+use hotspot_cli::commands;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hotspot-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn args(pairs: &[(&str, &str)]) -> ExperimentArgs {
+    let tokens: Vec<String> = pairs
+        .iter()
+        .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+        .collect();
+    ExperimentArgs::from_iter(tokens)
+}
+
+/// Training flags shared by every run in this test; any drift between the
+/// reference and the killed/resumed runs would void the comparison.
+fn train_args(dir: &Path, model: &Path, extra: &[(&str, &str)]) -> Vec<String> {
+    let mut flags = vec![
+        "train".to_string(),
+        "--clips".into(),
+        dir.join("train.clips").to_str().expect("utf-8 path").into(),
+        "--labels".into(),
+        dir.join("train.labels")
+            .to_str()
+            .expect("utf-8 path")
+            .into(),
+        "--model".into(),
+        model.to_str().expect("utf-8 path").into(),
+    ];
+    for (k, v) in [
+        ("k", "4"),
+        ("steps", "120"),
+        ("rounds", "2"),
+        ("batch", "8"),
+        ("seed", "11"),
+    ]
+    .iter()
+    .chain(extra)
+    {
+        flags.push(format!("--{k}"));
+        flags.push((*v).to_string());
+    }
+    flags
+}
+
+#[test]
+fn sigkill_mid_training_resumes_bit_identical() {
+    let dir = tmp_dir("kill-resume");
+    let dir_s = dir.to_str().expect("utf-8 path");
+    commands::dispatch(
+        "gen",
+        &args(&[("dir", dir_s), ("suite", "iccad"), ("scale", "0.001")]),
+    )
+    .expect("gen succeeds");
+
+    // Reference: an uninterrupted run of the same training configuration
+    // (in-process; same code path the binary dispatches to).
+    let ref_model = dir.join("reference.hsnn");
+    let flags = train_args(&dir, &ref_model, &[]);
+    commands::dispatch(
+        "train",
+        &ExperimentArgs::from_iter(flags[1..].iter().cloned()),
+    )
+    .expect("reference train succeeds");
+
+    // Victim: the real binary with periodic checkpointing, SIGKILLed as
+    // soon as the first checkpoint lands on disk.
+    let model = dir.join("model.hsnn");
+    let ckpt = dir.join("model.hsnn.ckpt");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hotspot"))
+        .args(train_args(&dir, &model, &[("checkpoint-every", "20")]))
+        .spawn()
+        .expect("spawn train");
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        if ckpt.exists() {
+            // Child::kill is SIGKILL on Unix: no destructors, no flushing
+            // — exactly the crash the checkpoint must survive. (If the run
+            // already finished, the kill is a harmless no-op and resume
+            // degenerates to re-emitting the final model.)
+            let _ = child.kill();
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            break; // finished before the first poll saw the checkpoint
+        }
+        assert!(Instant::now() < deadline, "no checkpoint within 180 s");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.wait();
+    assert!(ckpt.exists(), "checkpoint file must exist after the kill");
+
+    // Resume with the same flags; must run to completion.
+    let status = Command::new(env!("CARGO_BIN_EXE_hotspot"))
+        .args(train_args(
+            &dir,
+            &model,
+            &[
+                ("checkpoint-every", "20"),
+                ("resume", ckpt.to_str().expect("utf-8 path")),
+            ],
+        ))
+        .status()
+        .expect("spawn resume");
+    assert!(status.success(), "resumed train failed: {status}");
+
+    let resumed = std::fs::read(&model).expect("resumed model written");
+    let reference = std::fs::read(&ref_model).expect("reference model written");
+    assert_eq!(
+        resumed, reference,
+        "resumed model must be byte-identical to the uninterrupted run"
+    );
+    assert!(
+        dir.join("model.hsnn.best").exists(),
+        "best-validation snapshot retained alongside the checkpoint"
+    );
+
+    // A checkpoint from different flags is refused instead of silently
+    // producing different weights.
+    let err = commands::dispatch(
+        "train",
+        &ExperimentArgs::from_iter(
+            train_args(
+                &dir,
+                &model,
+                &[
+                    ("steps", "200"), // differs from the checkpointed run
+                    ("resume", ckpt.to_str().expect("utf-8 path")),
+                ],
+            )[1..]
+                .iter()
+                .cloned(),
+        ),
+    );
+    assert!(err.is_err(), "mismatched resume configuration must fail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

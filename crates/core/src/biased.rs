@@ -1,6 +1,6 @@
 //! Biased learning (paper Algorithm 2 and Theorem 1).
 
-use crate::mgd::{self, MgdConfig, TrainReport};
+use crate::mgd::{self, MgdConfig, TrainReport, TrainerState};
 use crate::CoreError;
 use hotspot_nn::{Network, Tensor};
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,67 @@ pub fn train_biased(
     labels: &[bool],
     config: &BiasedLearningConfig,
 ) -> Result<BiasedLearningReport, CoreError> {
+    train_biased_resumable(net, features, labels, config, None, 0, &mut |_, _| Ok(()))
+}
+
+/// Where in the biased-learning loop a checkpointable moment occurred.
+#[derive(Debug)]
+pub enum CheckpointEvent<'a> {
+    /// Periodic mid-round snapshot, every `checkpoint_every` optimiser
+    /// steps.
+    Step {
+        /// Rounds fully completed before the in-flight one.
+        completed: &'a [BiasRound],
+        /// Full mid-round trainer state.
+        state: &'a TrainerState,
+    },
+    /// A training round just finished (fires for every round, regardless
+    /// of the periodic cadence).
+    RoundEnd {
+        /// All completed rounds, including the one that just ended.
+        completed: &'a [BiasRound],
+    },
+}
+
+/// Where to pick the biased-learning loop back up.
+///
+/// `completed` holds the rounds that already finished; `trainer`, when
+/// present, is the mid-round state of the round that was interrupted (its
+/// ε must be the next one in the schedule). The network passed to
+/// [`train_biased_resumable`] must already carry the checkpointed
+/// parameters and RNG states when `trainer` is `None` (round boundary);
+/// with a mid-round state the trainer restores them itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedResume {
+    /// Rounds already completed, ε ascending.
+    pub completed: Vec<BiasRound>,
+    /// Mid-round trainer state of the interrupted round, if any.
+    pub trainer: Option<TrainerState>,
+}
+
+/// [`train_biased`] with crash-safe checkpointing and resume support.
+///
+/// `hook` receives a [`CheckpointEvent::Step`] every `checkpoint_every`
+/// optimiser steps (when nonzero) and a [`CheckpointEvent::RoundEnd`]
+/// after every round; an error from the hook aborts training. Resuming an
+/// interrupted run via `resume` reproduces **bit-identical** final weights
+/// to the uninterrupted run, because every RNG stream is part of the
+/// captured state (see [`mgd::train_resumable`]).
+///
+/// # Errors
+///
+/// Everything [`train_biased`] rejects, plus [`CoreError::Checkpoint`]
+/// when the resume state disagrees with the configured schedule, and any
+/// error returned by the hook.
+pub fn train_biased_resumable(
+    net: &mut Network,
+    features: &[Tensor],
+    labels: &[bool],
+    config: &BiasedLearningConfig,
+    resume: Option<BiasedResume>,
+    checkpoint_every: usize,
+    hook: &mut dyn FnMut(CheckpointEvent<'_>, &mut Network) -> Result<(), CoreError>,
+) -> Result<BiasedLearningReport, CoreError> {
     if config.rounds == 0 {
         return Err(CoreError::InvalidConfig("rounds must be nonzero"));
     }
@@ -93,16 +154,61 @@ pub fn train_biased(
             "bias schedule must keep ε in [0, 0.5)",
         ));
     }
-    let mut rounds = Vec::with_capacity(config.rounds);
-    for i in 0..config.rounds {
+    let (mut rounds, mut pending) = match resume {
+        Some(r) => {
+            if r.completed.len() > config.rounds {
+                return Err(CoreError::Checkpoint(format!(
+                    "checkpoint has {} completed rounds but the schedule only has {}",
+                    r.completed.len(),
+                    config.rounds
+                )));
+            }
+            for (i, round) in r.completed.iter().enumerate() {
+                let expected = config.epsilon_step * i as f32;
+                if round.epsilon != expected {
+                    return Err(CoreError::Checkpoint(format!(
+                        "checkpoint round {i} trained at ε = {} but the schedule expects {expected}",
+                        round.epsilon
+                    )));
+                }
+            }
+            if r.trainer.is_some() && r.completed.len() == config.rounds {
+                return Err(CoreError::Checkpoint(
+                    "checkpoint carries a mid-round state but every round is complete".into(),
+                ));
+            }
+            (r.completed, r.trainer)
+        }
+        None => (Vec::with_capacity(config.rounds), None),
+    };
+    for i in rounds.len()..config.rounds {
         let epsilon = config.epsilon_step * i as f32;
         let cfg = if i == 0 {
             &config.initial
         } else {
             &config.fine_tune
         };
-        let report = mgd::train(net, features, labels, epsilon, cfg)?;
+        let mid_round = pending.take();
+        let report = mgd::train_resumable(
+            net,
+            features,
+            labels,
+            epsilon,
+            cfg,
+            mid_round.as_ref(),
+            checkpoint_every,
+            &mut |state, net| {
+                hook(
+                    CheckpointEvent::Step {
+                        completed: &rounds,
+                        state,
+                    },
+                    net,
+                )
+            },
+        )?;
         rounds.push(BiasRound { epsilon, report });
+        hook(CheckpointEvent::RoundEnd { completed: &rounds }, net)?;
     }
     Ok(BiasedLearningReport { rounds })
 }
@@ -213,6 +319,117 @@ mod tests {
             r1 >= r0 - 0.02,
             "biased recall {r1} should not fall below unbiased {r0}"
         );
+    }
+
+    #[test]
+    fn resumed_biased_run_matches_uninterrupted() {
+        use crate::checkpoint::Checkpoint;
+        use hotspot_nn::serialize::ParameterBlob;
+
+        let dropnet = || {
+            let mut net = Network::new();
+            net.push(Dense::new(4, 12, 5));
+            net.push(Relu::new());
+            net.push(hotspot_nn::layers::Dropout::new(0.3, 6));
+            net.push(Dense::new(12, 2, 7));
+            net
+        };
+        let (features, labels) = toy_data(160, 17);
+        let mut cfg = quick_cfg();
+        cfg.initial.max_steps = 200;
+        cfg.initial.patience = 50;
+        cfg.fine_tune.max_steps = 120;
+        cfg.fine_tune.patience = 50;
+
+        let mut reference = dropnet();
+        let ref_report = train_biased(&mut reference, &features, &labels, &cfg).unwrap();
+
+        // Interrupted run: persist real checkpoints every 50 steps, crash
+        // right after the first mid-round snapshot of the ε = 0.1 round.
+        let mut latest: Option<Checkpoint> = None;
+        let mut first = dropnet();
+        let crash = train_biased_resumable(
+            &mut first,
+            &features,
+            &labels,
+            &cfg,
+            None,
+            50,
+            &mut |event, net| {
+                match event {
+                    CheckpointEvent::Step { completed, state } => {
+                        latest = Some(Checkpoint::new(
+                            cfg.initial.seed,
+                            cfg.initial.threads,
+                            "toy".into(),
+                            net,
+                            completed,
+                            Some(state),
+                        ));
+                        if completed.len() == 1 && state.steps >= 50 {
+                            return Err(CoreError::Checkpoint("simulated crash".into()));
+                        }
+                    }
+                    CheckpointEvent::RoundEnd { completed } => {
+                        latest = Some(Checkpoint::new(
+                            cfg.initial.seed,
+                            cfg.initial.threads,
+                            "toy".into(),
+                            net,
+                            completed,
+                            None,
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert!(crash.is_err());
+
+        // Round-trip the checkpoint through its wire format, then resume
+        // into a fresh network.
+        let ckpt = Checkpoint::from_bytes(&latest.unwrap().to_bytes()).unwrap();
+        ckpt.validate_run(cfg.initial.seed, cfg.initial.threads, "toy")
+            .unwrap();
+        let mut resumed_net = dropnet();
+        let resume = ckpt.apply(&mut resumed_net).unwrap();
+        assert_eq!(resume.completed.len(), 1);
+        let report = train_biased_resumable(
+            &mut resumed_net,
+            &features,
+            &labels,
+            &cfg,
+            Some(resume),
+            0,
+            &mut |_, _| Ok(()),
+        )
+        .unwrap();
+
+        assert_eq!(report.rounds.len(), ref_report.rounds.len());
+        for (a, b) in report.rounds.iter().zip(&ref_report.rounds) {
+            assert_eq!(a.epsilon, b.epsilon);
+            assert_eq!(a.report.steps, b.report.steps);
+            assert_eq!(a.report.best_val_accuracy, b.report.best_val_accuracy);
+        }
+        assert_eq!(
+            ParameterBlob::from_network(&mut resumed_net),
+            ParameterBlob::from_network(&mut reference)
+        );
+
+        // A checkpoint disagreeing with the schedule is rejected.
+        let mut skewed = ckpt.clone();
+        skewed.completed[0].epsilon = 0.05;
+        let bad_resume = skewed.apply(&mut dropnet()).unwrap();
+        assert!(train_biased_resumable(
+            &mut dropnet(),
+            &features,
+            &labels,
+            &cfg,
+            Some(bad_resume),
+            0,
+            &mut |_, _| Ok(())
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! End-to-end detector API.
 
-use crate::biased::{self, BiasedLearningConfig, BiasedLearningReport};
+use crate::biased::{self, BiasedLearningConfig, BiasedLearningReport, CheckpointEvent};
+use crate::checkpoint::Checkpoint;
 use crate::feature::FeaturePipeline;
 use crate::metrics::EvalResult;
 use crate::mgd;
@@ -54,6 +55,32 @@ impl HotspotDetector {
     /// Propagates feature-extraction and training errors; the training set
     /// must contain both classes.
     pub fn fit(train: &Dataset, config: &DetectorConfig) -> Result<Self, CoreError> {
+        Self::fit_resumable(train, config, None, 0, &mut |_, _| Ok(()))
+    }
+
+    /// [`HotspotDetector::fit`] with crash-safe checkpointing: `hook`
+    /// fires at every checkpointable moment (every `checkpoint_every`
+    /// optimiser steps and at every round boundary — see
+    /// [`crate::biased::train_biased_resumable`]), and `resume` restarts
+    /// an interrupted run from a [`Checkpoint`], reproducing bit-identical
+    /// final weights to the uninterrupted run.
+    ///
+    /// Callers are responsible for validating the checkpoint against the
+    /// run configuration first ([`Checkpoint::validate_run`]); this method
+    /// only verifies that it fits the constructed network.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`HotspotDetector::fit`] rejects, plus
+    /// [`CoreError::Checkpoint`] for a checkpoint that does not match the
+    /// network or schedule, and any error the hook returns.
+    pub fn fit_resumable(
+        train: &Dataset,
+        config: &DetectorConfig,
+        resume: Option<&Checkpoint>,
+        checkpoint_every: usize,
+        hook: &mut dyn FnMut(CheckpointEvent<'_>, &mut Network) -> Result<(), CoreError>,
+    ) -> Result<Self, CoreError> {
         if train.hotspot_count() == 0 || train.non_hotspot_count() == 0 {
             return Err(CoreError::DegenerateTrainingSet(
                 "training set must contain both classes",
@@ -67,12 +94,24 @@ impl HotspotDetector {
             ..config.cnn
         };
         let mut net = cnn.build();
+        let resume_state = match resume {
+            Some(ckpt) => Some(ckpt.apply(&mut net)?),
+            None => None,
+        };
         let mut biased_cfg = config.biased.clone();
         biased_cfg.initial = config.mgd.clone();
         if biased_cfg.fine_tune.max_steps > config.mgd.max_steps {
             biased_cfg.fine_tune.max_steps = (config.mgd.max_steps / 4).max(1);
         }
-        let report = biased::train_biased(&mut net, &features, &labels, &biased_cfg)?;
+        let report = biased::train_biased_resumable(
+            &mut net,
+            &features,
+            &labels,
+            &biased_cfg,
+            resume_state,
+            checkpoint_every,
+            hook,
+        )?;
         Ok(HotspotDetector {
             pipeline,
             net,
@@ -140,7 +179,7 @@ impl HotspotDetector {
         let mut slots: Vec<Result<Vec<f32>, CoreError>> =
             (0..threads).map(|_| Ok(Vec::new())).collect();
         let pipeline = &self.pipeline;
-        crossbeam::thread::scope(|scope| {
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
             for (worker, (replica, slot)) in replicas.iter_mut().zip(slots.iter_mut()).enumerate() {
                 let start = (worker * chunk).min(clips.len());
                 let slice = &clips[start..(start + chunk).min(clips.len())];
@@ -155,8 +194,11 @@ impl HotspotDetector {
                         .collect();
                 });
             }
-        })
-        .expect("worker thread panicked");
+        }) {
+            // A worker panic is a bug, not a recoverable condition:
+            // propagate the original payload.
+            std::panic::resume_unwind(payload);
+        }
         let mut probs = Vec::with_capacity(clips.len());
         for slot in slots {
             probs.extend(slot?);
@@ -224,31 +266,36 @@ impl HotspotDetector {
     /// all available cores; predictions are identical to a serial pass
     /// (see [`HotspotDetector::predict_batch`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if feature extraction fails for a test clip (test sets are
-    /// expected to share the training geometry configuration).
-    pub fn evaluate(&mut self, test: &Dataset) -> EvalResult {
+    /// Propagates feature-extraction failures (a test clip whose geometry
+    /// does not match the training pipeline configuration).
+    pub fn evaluate(&mut self, test: &Dataset) -> Result<EvalResult, CoreError> {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         self.evaluate_threaded(test, threads)
     }
 
     /// [`HotspotDetector::evaluate`] with an explicit worker count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if feature extraction fails for a test clip or
-    /// `threads == 0`.
-    pub fn evaluate_threaded(&mut self, test: &Dataset, threads: usize) -> EvalResult {
+    /// Propagates feature-extraction failures and rejects `threads == 0`.
+    pub fn evaluate_threaded(
+        &mut self,
+        test: &Dataset,
+        threads: usize,
+    ) -> Result<EvalResult, CoreError> {
         let start = Instant::now();
         let clips: Vec<Clip> = test.iter().map(|s| s.clip.clone()).collect();
-        let probs = self
-            .predict_batch(&clips, threads)
-            .expect("test clip matches pipeline configuration");
+        let probs = self.predict_batch(&clips, threads)?;
         let predictions: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
         let labels: Vec<bool> = test.iter().map(|s| s.hotspot).collect();
         let eval_time = start.elapsed().as_secs_f64();
-        EvalResult::from_predictions(&predictions, &labels, eval_time)
+        Ok(EvalResult::from_predictions(
+            &predictions,
+            &labels,
+            eval_time,
+        ))
     }
 }
 
@@ -307,7 +354,7 @@ mod tests {
         let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
         let data = balanced_spec().build(&sim);
         let mut detector = HotspotDetector::fit(&data.train, &quick_config()).unwrap();
-        let result = detector.evaluate(&data.test);
+        let result = detector.evaluate(&data.test).unwrap();
         assert_eq!(
             result.hotspot_total + result.non_hotspot_total,
             data.test.len()
@@ -347,7 +394,7 @@ mod tests {
             Err(CoreError::InvalidConfig(_))
         ));
         // Threaded evaluation reproduces the same decisions.
-        let threaded = detector.evaluate_threaded(&data.test, 2);
+        let threaded = detector.evaluate_threaded(&data.test, 2).unwrap();
         assert_eq!(threaded.accuracy, result.accuracy);
         assert_eq!(threaded.false_alarms, result.false_alarms);
     }

@@ -118,7 +118,10 @@ impl Default for FeaturePipeline {
     /// The paper's reference configuration: 10 nm/px raster of a
     /// 1200×1200 nm clip, n = 12, k = 32.
     fn default() -> Self {
-        FeaturePipeline::new(10, 12, 32).expect("reference configuration is valid")
+        match FeaturePipeline::new(10, 12, 32) {
+            Ok(pipeline) => pipeline,
+            Err(_) => unreachable!("reference configuration is valid"),
+        }
     }
 }
 

@@ -33,7 +33,7 @@
 //! let mut config = DetectorConfig::default();
 //! config.mgd.max_steps = 500; // keep the example quick
 //! let mut detector = HotspotDetector::fit(&data.train, &config)?;
-//! let result = detector.evaluate(&data.test);
+//! let result = detector.evaluate(&data.test)?;
 //! println!("accuracy {:.1}%, false alarms {}", 100.0 * result.accuracy, result.false_alarms);
 //! # Ok(())
 //! # }
@@ -41,6 +41,7 @@
 
 pub mod biased;
 pub mod calibration;
+pub mod checkpoint;
 pub mod detector;
 pub mod feature;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod roc;
 pub mod shift;
 
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
+pub use checkpoint::Checkpoint;
 pub use detector::{DetectorConfig, HotspotDetector};
 pub use feature::FeaturePipeline;
 pub use metrics::EvalResult;
@@ -68,6 +70,9 @@ pub enum CoreError {
     DegenerateTrainingSet(&'static str),
     /// A configuration value was invalid.
     InvalidConfig(&'static str),
+    /// A training checkpoint could not be encoded, decoded, written, or
+    /// applied (corrupt file, mismatched run configuration, I/O failure).
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -76,6 +81,7 @@ impl fmt::Display for CoreError {
             CoreError::Feature(e) => write!(f, "feature extraction failed: {e}"),
             CoreError::DegenerateTrainingSet(why) => write!(f, "degenerate training set: {why}"),
             CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
         }
     }
 }

@@ -167,6 +167,49 @@ pub fn overall_accuracy(net: &mut Network, features: &[Tensor], labels: &[bool])
     correct as f64 / features.len() as f64
 }
 
+/// Complete trainer state at an optimiser-step boundary.
+///
+/// Captures everything [`train_resumable`] needs to continue a run
+/// **bit-identically**: the current and best-so-far parameters, every RNG
+/// stream the loop advances (batch sampling, uniform sampling, the master
+/// network's dropout layers, and — for multi-threaded runs — each pool
+/// replica's dropout layers), the decay-schedule cursor, and the
+/// validation bookkeeping. What it deliberately omits is anything
+/// re-derivable from [`MgdConfig`]: the validation split and the
+/// class-index pools are rebuilt from `config.seed` on resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerState {
+    /// Bias ε the state was captured under (resume must match it).
+    pub epsilon: f32,
+    /// Optimiser steps completed.
+    pub steps: usize,
+    /// Current (already-decayed) learning rate.
+    pub lr: f32,
+    /// In-period iteration count of the decay schedule.
+    pub lr_counter: usize,
+    /// Balanced-sampling RNG stream.
+    pub batch_rng: [u64; 4],
+    /// Uniform-sampling RNG stream.
+    pub sampler_rng: [u64; 4],
+    /// Current network parameters.
+    pub params: ParameterBlob,
+    /// Best-validation parameter snapshot so far.
+    pub best: ParameterBlob,
+    /// Best validation accuracy so far.
+    pub best_acc: f64,
+    /// Consecutive non-improving validation checks.
+    pub bad_checks: usize,
+    /// Validation-accuracy history so far.
+    pub history: Vec<TrainPoint>,
+    /// Wall-clock seconds consumed up to the snapshot.
+    pub elapsed_s: f64,
+    /// Master-network stochastic-layer RNG states.
+    pub net_rngs: Vec<[u64; 4]>,
+    /// Replica-pool stochastic-layer RNG states (empty when the run is
+    /// single-threaded).
+    pub replica_rngs: Vec<[u64; 4]>,
+}
+
 /// Trains `net` with MGD (Algorithm 1) towards biased targets.
 ///
 /// The training set is split `1 - val_fraction` / `val_fraction`; every
@@ -188,6 +231,45 @@ pub fn train(
     labels: &[bool],
     epsilon: f32,
     config: &MgdConfig,
+) -> Result<TrainReport, CoreError> {
+    train_resumable(
+        net,
+        features,
+        labels,
+        epsilon,
+        config,
+        None,
+        0,
+        &mut |_, _| Ok(()),
+    )
+}
+
+/// [`train`] with crash-safe checkpointing and resume support.
+///
+/// When `checkpoint_every > 0`, `hook` is invoked with a full
+/// [`TrainerState`] every `checkpoint_every` optimiser steps (typically to
+/// persist it atomically; a hook error aborts training). When `resume` is
+/// given, the run continues from that state instead of starting fresh —
+/// and because the state carries every RNG stream, **an interrupted run
+/// resumed this way produces bit-identical final weights to one that never
+/// stopped**, for the same `features`/`labels`/`config`.
+///
+/// # Errors
+///
+/// Everything [`train`] rejects, plus [`CoreError::Checkpoint`] when the
+/// resume state does not fit this run (different ε, parameter count, step
+/// budget, schedule cursor, or thread count) and any error returned by the
+/// hook.
+#[allow(clippy::too_many_arguments)]
+pub fn train_resumable(
+    net: &mut Network,
+    features: &[Tensor],
+    labels: &[bool],
+    epsilon: f32,
+    config: &MgdConfig,
+    resume: Option<&TrainerState>,
+    checkpoint_every: usize,
+    hook: &mut dyn FnMut(&TrainerState, &mut Network) -> Result<(), CoreError>,
 ) -> Result<TrainReport, CoreError> {
     if features.len() != labels.len() {
         return Err(CoreError::DegenerateTrainingSet(
@@ -219,7 +301,6 @@ pub fn train(
     let val_features: Vec<Tensor> = val_idx.iter().map(|&i| features[i].clone()).collect();
     let val_labels: Vec<bool> = val_idx.iter().map(|&i| labels[i]).collect();
 
-    let mut schedule = LrSchedule::new(config.lr, config.alpha, config.decay_step);
     // Class index pools for balanced sampling; fall back to uniform when a
     // class is absent from the training split.
     let hs_pool: Vec<usize> = train_idx.iter().copied().filter(|&i| labels[i]).collect();
@@ -228,21 +309,75 @@ pub fn train(
     let mut sampler =
         BatchSampler::new(train_idx.len(), StdRng::seed_from_u64(config.seed ^ 0x9E37));
     let mut batch_rng = StdRng::seed_from_u64(config.seed ^ 0x51F3);
-    // Worker replicas are allocated once and reused every step; the pool
-    // only copies parameters in between.
-    let mut pool =
-        (config.threads > 1).then(|| hotspot_nn::parallel::ReplicaPool::new(net, config.threads));
-    let start = Instant::now();
+
+    let mut schedule = LrSchedule::new(config.lr, config.alpha, config.decay_step);
     let mut history = Vec::new();
     let mut best = ParameterBlob::from_network(net);
-    let mut best_acc = balanced_accuracy(net, &val_features, &val_labels);
-    history.push(TrainPoint {
-        step: 0,
-        elapsed_s: start.elapsed().as_secs_f64(),
-        val_accuracy: best_acc,
-    });
+    let mut best_acc = 0.0f64;
     let mut bad_checks = 0usize;
     let mut steps = 0usize;
+    let mut elapsed_base = 0.0f64;
+
+    if let Some(state) = resume {
+        if state.epsilon != epsilon {
+            return Err(CoreError::Checkpoint(format!(
+                "resume state was captured at ε = {} but this run trains at ε = {epsilon}",
+                state.epsilon
+            )));
+        }
+        if state.steps > config.max_steps {
+            return Err(CoreError::Checkpoint(format!(
+                "resume state is {} steps in but max_steps is {}",
+                state.steps, config.max_steps
+            )));
+        }
+        if state.lr.is_nan() || state.lr <= 0.0 || state.lr_counter >= config.decay_step {
+            return Err(CoreError::Checkpoint(
+                "resume state carries an invalid learning-rate schedule".into(),
+            ));
+        }
+        state.params.load_into(net).map_err(|e| {
+            CoreError::Checkpoint(format!("resume parameters do not fit the network: {e}"))
+        })?;
+        net.restore_rng_states(&state.net_rngs)
+            .map_err(|e| CoreError::Checkpoint(format!("resume RNG states do not fit: {e}")))?;
+        if config.threads <= 1 && !state.replica_rngs.is_empty() {
+            return Err(CoreError::Checkpoint(
+                "resume state was captured by a multi-threaded run".into(),
+            ));
+        }
+        schedule = LrSchedule::resume(state.lr, config.alpha, config.decay_step, state.lr_counter);
+        sampler.set_rng_state(state.sampler_rng);
+        batch_rng = StdRng::from_state(state.batch_rng);
+        history = state.history.clone();
+        best = state.best.clone();
+        best_acc = state.best_acc;
+        bad_checks = state.bad_checks;
+        steps = state.steps;
+        elapsed_base = state.elapsed_s;
+    }
+
+    // Worker replicas are allocated once and reused every step; the pool
+    // only copies parameters in between. Built *after* any resume restore
+    // so replicas clone the restored master, then overlaid with the
+    // checkpointed per-replica dropout streams.
+    let mut pool =
+        (config.threads > 1).then(|| hotspot_nn::parallel::ReplicaPool::new(net, config.threads));
+    if let (Some(state), Some(pool)) = (resume, pool.as_mut()) {
+        pool.restore_rng_states(&state.replica_rngs).map_err(|e| {
+            CoreError::Checkpoint(format!("resume replica RNG states do not fit: {e}"))
+        })?;
+    }
+
+    let start = Instant::now();
+    if resume.is_none() {
+        best_acc = balanced_accuracy(net, &val_features, &val_labels);
+        history.push(TrainPoint {
+            step: 0,
+            elapsed_s: start.elapsed().as_secs_f64(),
+            val_accuracy: best_acc,
+        });
+    }
 
     while steps < config.max_steps {
         // One MGD step (Algorithm 1 lines 4–14).
@@ -284,7 +419,7 @@ pub fn train(
             let acc = balanced_accuracy(net, &val_features, &val_labels);
             history.push(TrainPoint {
                 step: steps,
-                elapsed_s: start.elapsed().as_secs_f64(),
+                elapsed_s: elapsed_base + start.elapsed().as_secs_f64(),
                 val_accuracy: acc,
             });
             if acc > best_acc + 1e-6 {
@@ -298,14 +433,35 @@ pub fn train(
                 }
             }
         }
+
+        if checkpoint_every > 0 && steps.is_multiple_of(checkpoint_every) {
+            let state = TrainerState {
+                epsilon,
+                steps,
+                lr: schedule.current(),
+                lr_counter: schedule.counter(),
+                batch_rng: batch_rng.state(),
+                sampler_rng: sampler.rng_state(),
+                params: ParameterBlob::from_network(net),
+                best: best.clone(),
+                best_acc,
+                bad_checks,
+                history: history.clone(),
+                elapsed_s: elapsed_base + start.elapsed().as_secs_f64(),
+                net_rngs: net.rng_states(),
+                replica_rngs: pool.as_ref().map(|p| p.rng_states()).unwrap_or_default(),
+            };
+            hook(&state, net)?;
+        }
     }
-    best.load_into(net)
-        .expect("snapshot matches its own network");
+    if best.load_into(net).is_err() {
+        unreachable!("best snapshot was taken from this same network");
+    }
     Ok(TrainReport {
         history,
         best_val_accuracy: best_acc,
         steps,
-        train_time_s: start.elapsed().as_secs_f64(),
+        train_time_s: elapsed_base + start.elapsed().as_secs_f64(),
     })
 }
 
@@ -415,6 +571,93 @@ mod tests {
         let mut cfg = quick_config();
         cfg.val_fraction = 1.5;
         assert!(train(&mut net, &features, &labels, 0.0, &cfg).is_err());
+    }
+
+    #[test]
+    fn resume_after_interruption_is_bit_identical() {
+        // The tentpole guarantee: a run killed at a checkpoint and resumed
+        // from it finishes with bit-identical weights to a run that never
+        // stopped — serially and with a replica pool, and with dropout in
+        // the network so the RNG restore paths are actually exercised.
+        let dropnet = || {
+            let mut net = Network::new();
+            net.push(Dense::new(6, 16, 1));
+            net.push(Relu::new());
+            net.push(hotspot_nn::layers::Dropout::new(0.4, 9));
+            net.push(Dense::new(16, 2, 2));
+            net
+        };
+        for threads in [1usize, 3] {
+            let (features, labels) = toy_data(200, 21);
+            let mut cfg = quick_config();
+            cfg.threads = threads;
+            cfg.max_steps = 400;
+            cfg.patience = 100; // run the full budget
+            let mut reference = dropnet();
+            let ref_report = train(&mut reference, &features, &labels, 0.1, &cfg).unwrap();
+
+            // Interrupted run: capture the step-150 checkpoint, then
+            // "crash" (everything after the snapshot is discarded).
+            let mut captured: Option<TrainerState> = None;
+            let mut first = dropnet();
+            let crash = train_resumable(
+                &mut first,
+                &features,
+                &labels,
+                0.1,
+                &cfg,
+                None,
+                150,
+                &mut |state, _| {
+                    if state.steps == 150 {
+                        captured = Some(state.clone());
+                        return Err(CoreError::Checkpoint("simulated crash".into()));
+                    }
+                    Ok(())
+                },
+            );
+            assert!(matches!(crash, Err(CoreError::Checkpoint(_))));
+            let state = captured.unwrap();
+
+            // Resume into a *fresh* network: parameters and every RNG
+            // stream come from the state.
+            let mut resumed = dropnet();
+            let report = train_resumable(
+                &mut resumed,
+                &features,
+                &labels,
+                0.1,
+                &cfg,
+                Some(&state),
+                0,
+                &mut |_, _| Ok(()),
+            )
+            .unwrap();
+            assert_eq!(report.steps, ref_report.steps, "threads = {threads}");
+            assert_eq!(report.best_val_accuracy, ref_report.best_val_accuracy);
+            let curve = |r: &TrainReport| -> Vec<(usize, f64)> {
+                r.history.iter().map(|p| (p.step, p.val_accuracy)).collect()
+            };
+            assert_eq!(curve(&report), curve(&ref_report));
+            assert_eq!(
+                ParameterBlob::from_network(&mut resumed),
+                ParameterBlob::from_network(&mut reference),
+                "threads = {threads}"
+            );
+
+            // A state cannot be replayed into a mismatched run.
+            let err = train_resumable(
+                &mut dropnet(),
+                &features,
+                &labels,
+                0.2,
+                &cfg,
+                Some(&state),
+                0,
+                &mut |_, _| Ok(()),
+            );
+            assert!(matches!(err, Err(CoreError::Checkpoint(_))));
+        }
     }
 
     #[test]

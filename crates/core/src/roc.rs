@@ -65,19 +65,26 @@ pub fn sweep(
 /// Area under the recall-vs-false-alarm-rate curve (trapezoidal), a single
 /// threshold-free quality number in `[0, 1]`.
 ///
-/// # Panics
-///
-/// Same conditions as [`sweep`].
+/// The sweep is anchored at the theoretical ROC endpoints `(0, 0)` and
+/// `(1, 1)` before integrating. The anchors matter: the sweep's strict
+/// `p > threshold` rule means samples whose predicted probability
+/// saturates to exactly `0.0` (f32 softmax underflow) are never flagged
+/// even at threshold 0, so the raw curve can stop short of `(1, 1)` — and
+/// the area of that missing tail used to be silently dropped, scoring a
+/// perfect separator as low as 0.
 pub fn auc(net: &mut Network, features: &[Tensor], labels: &[bool], steps: usize) -> f64 {
     let non_hotspots = labels.iter().filter(|&&l| !l).count().max(1) as f64;
     let curve = sweep(net, features, labels, steps);
     let mut area = 0.0f64;
-    for w in curve.windows(2) {
-        let x0 = w[0].false_alarms as f64 / non_hotspots;
-        let x1 = w[1].false_alarms as f64 / non_hotspots;
-        area += (x1 - x0) * (w[0].recall + w[1].recall) / 2.0;
+    let (mut prev_x, mut prev_y) = (0.0f64, 0.0f64);
+    for p in &curve {
+        let x = p.false_alarms as f64 / non_hotspots;
+        area += (x - prev_x) * (p.recall + prev_y) / 2.0;
+        (prev_x, prev_y) = (x, p.recall);
     }
-    area.clamp(0.0, 1.0)
+    // Close the curve with the segment a threshold below 0 would produce
+    // (flag everything: recall 1, false-alarm rate 1).
+    area + (1.0 - prev_x) * (1.0 + prev_y) / 2.0
 }
 
 #[cfg(test)]
@@ -143,6 +150,19 @@ mod tests {
         let mut net = scoring_net(-8.0);
         let a = auc(&mut net, &x, &y, 200);
         assert!(a < 0.1, "auc {a}");
+    }
+
+    #[test]
+    fn saturated_probabilities_keep_unit_auc() {
+        // A large logit gap saturates the f32 softmax: hotspots score
+        // exactly 1.0 and non-hotspots exactly 0.0. The strict `p > t`
+        // sweep then never flags the non-hotspots at any threshold in
+        // [0, 1], so without the (1, 1) anchor every curve point sits at
+        // false-alarm rate 0 and this *perfect* separator scored AUC 0.
+        let (x, y) = data();
+        let mut net = scoring_net(300.0);
+        let a = auc(&mut net, &x, &y, 200);
+        assert!(a > 0.99, "auc {a}");
     }
 
     #[test]

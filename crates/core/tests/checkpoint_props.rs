@@ -1,0 +1,166 @@
+//! Property tests for the checkpoint wire format: arbitrary snapshots
+//! round-trip exactly, and random byte corruption is always rejected —
+//! a resume can never silently start from a different state.
+
+use hotspot_core::biased::BiasRound;
+use hotspot_core::mgd::{TrainPoint, TrainerState};
+use hotspot_core::{Checkpoint, TrainReport};
+use hotspot_nn::layers::Dense;
+use hotspot_nn::serialize::ParameterBlob;
+use hotspot_nn::Network;
+use proptest::prelude::*;
+
+fn blob_with(weights: &[f32], ins: usize, outs: usize) -> ParameterBlob {
+    let mut net = Network::new();
+    net.push(Dense::new(ins, outs, 0));
+    let mut source = weights.iter().cycle();
+    net.visit_params(&mut |w, _| {
+        for v in w.iter_mut() {
+            *v = *source.next().expect("cycled iterator never ends");
+        }
+    });
+    ParameterBlob::from_network(&mut net)
+}
+
+fn arb_rng_states() -> impl Strategy<Value = Vec<[u64; 4]>> {
+    proptest::collection::vec(
+        (
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+            0u64..u64::MAX,
+        )
+            .prop_map(|(a, b, c, d)| [a, b, c, d]),
+        0..4,
+    )
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<TrainPoint>> {
+    proptest::collection::vec(
+        (0usize..10_000, 0.0f64..100.0, 0.0f64..=1.0).prop_map(
+            |(step, elapsed_s, val_accuracy)| TrainPoint {
+                step,
+                elapsed_s,
+                val_accuracy,
+            },
+        ),
+        0..5,
+    )
+}
+
+fn arb_report() -> impl Strategy<Value = TrainReport> {
+    (arb_history(), 0.0f64..=1.0, 0usize..10_000, 0.0f64..500.0).prop_map(
+        |(history, best_val_accuracy, steps, train_time_s)| TrainReport {
+            history,
+            best_val_accuracy,
+            steps,
+            train_time_s,
+        },
+    )
+}
+
+fn arb_trainer() -> impl Strategy<Value = TrainerState> {
+    (
+        (0.0f32..0.5, 0usize..5_000, 1e-6f32..1.0, 0usize..500),
+        (
+            arb_rng_states(),
+            arb_rng_states(),
+            proptest::collection::vec(-4.0f32..4.0, 1..16),
+        ),
+        (0.0f64..=1.0, 0usize..10, arb_history(), 0.0f64..100.0),
+    )
+        .prop_map(
+            |(
+                (epsilon, steps, lr, lr_counter),
+                (net_rngs, replica_rngs, weights),
+                (best_acc, bad_checks, history, elapsed_s),
+            )| {
+                let params = blob_with(&weights, 3, 2);
+                TrainerState {
+                    epsilon,
+                    steps,
+                    lr,
+                    lr_counter,
+                    batch_rng: [1, 2, 3, steps as u64],
+                    sampler_rng: [5, 6, 7, lr_counter as u64],
+                    params: params.clone(),
+                    best: params,
+                    best_acc,
+                    bad_checks,
+                    history,
+                    elapsed_s,
+                    net_rngs,
+                    replica_rngs,
+                }
+            },
+        )
+}
+
+fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
+    (
+        (
+            0u64..u64::MAX,
+            1u32..=8,
+            prop_oneof![
+                Just(String::new()),
+                Just("res=10 grid=12 k=8".to_string()),
+                Just("π in the tag — UTF-8 survives".to_string()),
+            ],
+        ),
+        (
+            proptest::collection::vec(-4.0f32..4.0, 1..16),
+            arb_rng_states(),
+            proptest::collection::vec((0.0f32..0.5, arb_report()), 0..3),
+        ),
+        prop_oneof![Just(false), Just(true)],
+        arb_trainer(),
+    )
+        .prop_map(
+            |((seed, threads, tag), (weights, net_rngs, rounds), mid_round, trainer)| Checkpoint {
+                seed,
+                threads,
+                tag,
+                params: blob_with(&weights, 4, 3),
+                net_rngs,
+                completed: rounds
+                    .into_iter()
+                    .map(|(epsilon, report)| BiasRound { epsilon, report })
+                    .collect(),
+                trainer: mid_round.then_some(trainer),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_is_exact(ckpt in arb_checkpoint()) {
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).expect("own output parses");
+        prop_assert_eq!(&back, &ckpt);
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(ckpt in arb_checkpoint(), cut in 0.0f64..1.0) {
+        let bytes = ckpt.to_bytes();
+        let len = ((bytes.len() as f64 * cut) as usize).min(bytes.len() - 1);
+        prop_assert!(Checkpoint::from_bytes(&bytes[..len]).is_err());
+    }
+
+    #[test]
+    fn any_corruption_is_rejected(
+        ckpt in arb_checkpoint(),
+        pos in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let bytes = ckpt.to_bytes();
+        let offset = ((bytes.len() as f64 * pos) as usize).min(bytes.len() - 1);
+        let mut bad = bytes.clone();
+        bad[offset] ^= mask;
+        // The binary format is fully covered by the payload CRC, so unlike
+        // the textual model header there is no benign corruption at all.
+        prop_assert!(Checkpoint::from_bytes(&bad).is_err());
+    }
+}

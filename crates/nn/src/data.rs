@@ -50,6 +50,19 @@ impl BatchSampler {
         idx.shuffle(&mut self.rng);
         idx
     }
+
+    /// The sampler's RNG state, for checkpoint/resume support.
+    #[inline]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores an RNG state captured by [`BatchSampler::rng_state`],
+    /// continuing the draw sequence exactly where the snapshot left off.
+    #[inline]
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +106,17 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_dataset_rejected() {
         let _ = sampler(0, 0);
+    }
+
+    #[test]
+    fn rng_state_roundtrip_resumes_draw_sequence() {
+        let mut s = sampler(64, 5);
+        let _ = s.sample(17);
+        let state = s.rng_state();
+        let expected: Vec<Vec<usize>> = (0..3).map(|_| s.sample(9)).collect();
+        s.set_rng_state(state);
+        let replayed: Vec<Vec<usize>> = (0..3).map(|_| s.sample(9)).collect();
+        assert_eq!(expected, replayed);
     }
 
     #[test]

@@ -235,7 +235,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let (h, w) = self.cached_hw.take().expect("conv backward before forward");
+        let (h, w) = match self.cached_hw.take() {
+            Some(hw) => hw,
+            None => panic!("conv backward before forward"),
+        };
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(grad.shape(), &[self.out_c, oh, ow], "conv grad shape");
         let g = grad.as_slice();

@@ -85,10 +85,10 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("dense backward before forward");
+        let input = match self.cached_input.take() {
+            Some(input) => input,
+            None => panic!("dense backward before forward"),
+        };
         assert_eq!(grad.len(), self.out_features, "dense grad shape");
         let x = input.as_slice();
         let g = grad.as_slice();

@@ -113,6 +113,14 @@ impl Layer for Dropout {
     fn boxed_clone(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
+
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        Some(self.rng.state())
+    }
+
+    fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 #[cfg(test)]

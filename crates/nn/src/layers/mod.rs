@@ -69,6 +69,20 @@ pub trait Layer: fmt::Debug + Send {
     /// caches included) — the basis of [`crate::Network`]'s `Clone`, which
     /// parallel training uses to give each worker its own replica.
     fn boxed_clone(&self) -> Box<dyn Layer>;
+
+    /// The layer's internal RNG state, if it has one (dropout masks).
+    ///
+    /// Checkpoint/resume uses this: restoring parameters alone is not
+    /// enough to make a resumed training run bit-identical, because
+    /// stochastic layers keep advancing their streams across steps.
+    /// Deterministic layers return `None` (the default).
+    fn rng_state(&self) -> Option<[u64; 4]> {
+        None
+    }
+
+    /// Restores an RNG state captured by [`Layer::rng_state`]. A no-op for
+    /// deterministic layers (the default).
+    fn set_rng_state(&mut self, _state: [u64; 4]) {}
 }
 
 impl Clone for Box<dyn Layer> {

@@ -97,6 +97,9 @@ pub enum NnError {
         /// Parameters the blob holds.
         actual: usize,
     },
+    /// A serialised buffer is malformed (bad magic, unsupported version,
+    /// truncation, length/checksum mismatch).
+    Format(String),
 }
 
 impl fmt::Display for NnError {
@@ -111,6 +114,7 @@ impl fmt::Display for NnError {
                     "parameter count mismatch: network has {expected}, blob has {actual}"
                 )
             }
+            NnError::Format(why) => write!(f, "malformed parameter data: {why}"),
         }
     }
 }

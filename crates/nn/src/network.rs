@@ -77,7 +77,7 @@ impl Network {
         let chunk = inputs.len().div_ceil(threads);
         let mut replicas: Vec<Network> = (0..threads).map(|_| self.clone()).collect();
         let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
-        crossbeam::thread::scope(|scope| {
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
             for (worker, (replica, slot)) in replicas.iter_mut().zip(outputs.iter_mut()).enumerate()
             {
                 // Ceil-division chunking can leave trailing workers past
@@ -88,8 +88,12 @@ impl Network {
                     *slot = slice.iter().map(|x| replica.forward(x, train)).collect();
                 });
             }
-        })
-        .expect("worker thread panicked");
+        }) {
+            // A worker panic is a bug in layer code, not a recoverable
+            // condition: propagate the original payload instead of wrapping
+            // it in a second panic message.
+            std::panic::resume_unwind(payload);
+        }
         outputs.into_iter().flatten().collect()
     }
 
@@ -128,6 +132,46 @@ impl Network {
         for layer in &mut self.layers {
             layer.visit_params(visitor);
         }
+    }
+
+    /// RNG states of every stochastic layer, in layer order (deterministic
+    /// layers are skipped). Together with the parameters this makes a
+    /// training state fully resumable: see [`Network::restore_rng_states`].
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.layers.iter().filter_map(|l| l.rng_state()).collect()
+    }
+
+    /// Restores RNG states captured by [`Network::rng_states`] into this
+    /// network's stochastic layers, in the same layer order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::Format`] when `states` does not hold
+    /// exactly one entry per stochastic layer — the checkpoint was produced
+    /// by a differently-shaped network.
+    pub fn restore_rng_states(&mut self, states: &[[u64; 4]]) -> Result<(), crate::NnError> {
+        let expected = self
+            .layers
+            .iter()
+            .filter(|l| l.rng_state().is_some())
+            .count();
+        if states.len() != expected {
+            return Err(crate::NnError::Format(format!(
+                "checkpoint holds {} RNG states but the network has {expected} stochastic layers",
+                states.len()
+            )));
+        }
+        let mut it = states.iter();
+        for layer in &mut self.layers {
+            if layer.rng_state().is_some() {
+                // `it` yields exactly `expected` items and we just checked
+                // the count, so `next()` cannot fail here.
+                if let Some(&s) = it.next() {
+                    layer.set_rng_state(s);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total trainable parameter count.
@@ -247,6 +291,29 @@ mod tests {
     fn forward_batch_rejects_zero_threads() {
         let mut net = tiny_net();
         let _ = net.forward_batch(&[Tensor::zeros(vec![3])], false, 0);
+    }
+
+    #[test]
+    fn rng_states_roundtrip_resumes_dropout_stream() {
+        use crate::layers::Dropout;
+        let mut net = Network::new();
+        net.push(Dense::new(8, 8, 0));
+        net.push(Dropout::new(0.5, 7));
+        net.push(Dense::new(8, 2, 1));
+        net.push(Dropout::new(0.3, 9));
+        let x = Tensor::from_vec(vec![8], vec![0.25; 8]);
+        // Advance the streams, snapshot, advance further.
+        let _ = net.forward(&x, true);
+        let states = net.rng_states();
+        assert_eq!(states.len(), 2);
+        let after: Vec<Tensor> = (0..3).map(|_| net.forward(&x, true)).collect();
+        // Rewind and replay: identical mask sequence.
+        net.restore_rng_states(&states).unwrap();
+        let replay: Vec<Tensor> = (0..3).map(|_| net.forward(&x, true)).collect();
+        assert_eq!(after, replay);
+        // Wrong cardinality is rejected.
+        assert!(net.restore_rng_states(&states[..1]).is_err());
+        assert!(tiny_net().restore_rng_states(&states).is_err());
     }
 
     #[test]

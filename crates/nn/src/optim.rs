@@ -94,6 +94,31 @@ impl LrSchedule {
         self.lr
     }
 
+    /// Iterations elapsed since the last decay (checkpointed alongside the
+    /// current rate so a resumed schedule decays at the original step).
+    #[inline]
+    pub fn counter(&self) -> usize {
+        self.counter
+    }
+
+    /// Rebuilds a schedule mid-stream from checkpointed state: the
+    /// *current* (already-decayed) rate and the in-period iteration
+    /// counter, plus the original `alpha`/`decay_step` configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same validity rules as [`LrSchedule::new`], or when
+    /// `counter >= decay_step` (a tick would already have decayed).
+    pub fn resume(lr: f32, alpha: f32, decay_step: usize, counter: usize) -> Self {
+        let mut sched = LrSchedule::new(lr, alpha, decay_step);
+        assert!(
+            counter < decay_step,
+            "resume counter {counter} must be below decay step {decay_step}"
+        );
+        sched.counter = counter;
+        sched
+    }
+
     /// Advances one iteration; decays the rate when the period elapses
     /// (and resets the iteration counter, as Algorithm 1 line 12 does).
     pub fn tick(&mut self) {
@@ -270,6 +295,28 @@ mod tests {
             s.tick();
         }
         assert_eq!(s.current(), 0.25);
+    }
+
+    #[test]
+    fn schedule_resume_continues_mid_period() {
+        let mut live = LrSchedule::new(1.0, 0.5, 3);
+        for _ in 0..4 {
+            live.tick();
+        }
+        // Snapshot after 4 ticks (decayed once, 1 into the next period).
+        let mut resumed = LrSchedule::resume(live.current(), 0.5, 3, live.counter());
+        for _ in 0..2 {
+            live.tick();
+            resumed.tick();
+        }
+        assert_eq!(live.current(), resumed.current());
+        assert_eq!(live.counter(), resumed.counter());
+    }
+
+    #[test]
+    #[should_panic(expected = "resume counter")]
+    fn schedule_resume_rejects_overlong_counter() {
+        let _ = LrSchedule::resume(0.5, 0.5, 3, 3);
     }
 
     #[test]

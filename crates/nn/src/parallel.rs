@@ -46,6 +46,48 @@ impl ReplicaPool {
         self.replicas.len()
     }
 
+    /// RNG states of every stochastic layer across all replicas, replica-
+    /// major (see [`Network::rng_states`]).
+    ///
+    /// Replicas advance their own dropout streams during pooled steps —
+    /// only parameters are re-synced from the master — so a bit-identical
+    /// resume of multi-threaded training must capture them all.
+    pub fn rng_states(&self) -> Vec<[u64; 4]> {
+        self.replicas.iter().flat_map(|r| r.rng_states()).collect()
+    }
+
+    /// Restores replica RNG states captured by [`ReplicaPool::rng_states`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::Format`] when `states` does not split
+    /// evenly into one [`Network::restore_rng_states`] slice per replica —
+    /// the checkpoint was taken with a different thread count or network
+    /// shape.
+    pub fn restore_rng_states(&mut self, states: &[[u64; 4]]) -> Result<(), crate::NnError> {
+        let per_replica = self
+            .replicas
+            .first()
+            .map(|r| r.rng_states().len())
+            .unwrap_or(0);
+        if states.len() != per_replica * self.replicas.len() {
+            return Err(crate::NnError::Format(format!(
+                "checkpoint holds {} replica RNG states but the pool needs {} ({} replicas × {per_replica})",
+                states.len(),
+                per_replica * self.replicas.len(),
+                self.replicas.len()
+            )));
+        }
+        for (replica, chunk) in self
+            .replicas
+            .iter_mut()
+            .zip(states.chunks(per_replica.max(1)))
+        {
+            replica.restore_rng_states(chunk)?;
+        }
+        Ok(())
+    }
+
     /// Copies the master's parameters into every replica (no allocation
     /// after the first call).
     pub fn sync_parameters(&mut self, net: &mut Network) {
@@ -98,7 +140,7 @@ pub fn minibatch_step_pooled(
     let chunk = batch.len().div_ceil(threads);
     let mut losses = vec![0.0f32; threads];
 
-    crossbeam::thread::scope(|scope| {
+    if let Err(payload) = crossbeam::thread::scope(|scope| {
         for (worker, (replica, loss_slot)) in pool
             .replicas
             .iter_mut()
@@ -122,8 +164,12 @@ pub fn minibatch_step_pooled(
                 *loss_slot = total;
             });
         }
-    })
-    .expect("worker thread panicked");
+    }) {
+        // A worker panic is a bug in layer code, not a recoverable
+        // condition: propagate the original payload instead of wrapping it
+        // in a second panic message.
+        std::panic::resume_unwind(payload);
+    }
 
     // Merge per-worker gradients into the master, in worker order.
     net.zero_grads();

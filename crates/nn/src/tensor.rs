@@ -35,10 +35,10 @@ impl Tensor {
     /// Panics if the shape is empty or its product overflows.
     pub fn zeros(shape: Vec<usize>) -> Self {
         assert!(!shape.is_empty(), "tensor shape must be non-empty");
-        let len = shape
-            .iter()
-            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
-            .expect("shape product overflow");
+        let len = match shape.iter().try_fold(1usize, |acc, &d| acc.checked_mul(d)) {
+            Some(len) => len,
+            None => panic!("shape product overflow: {shape:?}"),
+        };
         Tensor {
             shape,
             data: vec![0.0; len],

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Evaluate with the paper's metrics.
-    let result = detector.evaluate(&data.test);
+    let result = detector.evaluate(&data.test)?;
     println!(
         "hotspot accuracy {:.1}%  |  false alarms {}  |  CPU {:.2} s  |  ODST {:.0} s",
         100.0 * result.accuracy,

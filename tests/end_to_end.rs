@@ -62,7 +62,7 @@ fn full_pipeline_trains_and_scores() {
     }
 
     let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
-    let result = detector.evaluate(&data.test);
+    let result = detector.evaluate(&data.test).expect("evaluation runs");
 
     // Structural invariants of the evaluation.
     assert_eq!(result.hotspot_total, 15);
@@ -80,7 +80,7 @@ fn per_clip_predictions_match_batch_evaluation() {
     let sim = oracle();
     let data = tiny_spec().build(&sim);
     let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
-    let result = detector.evaluate(&data.test);
+    let result = detector.evaluate(&data.test).expect("evaluation runs");
     let mut hits = 0usize;
     let mut fas = 0usize;
     for sample in data.test.iter() {

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Crash-safety smoke test against the real binary: generate a tiny
+# benchmark, SIGKILL a checkpointing training run mid-epoch, resume it,
+# and require the final model to be byte-identical to an uninterrupted
+# run. Mirrors the `kill_resume` integration test, but exercises the
+# packaged release binary the way an operator would.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/hotspot}
+if [ ! -x "$BIN" ]; then
+  echo "building $BIN..."
+  cargo build --release -p hotspot-cli
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$BIN" gen --dir "$work" --suite iccad --scale 0.001
+
+train_flags=(--clips "$work/train.clips" --labels "$work/train.labels"
+             --k 4 --steps 120 --rounds 2 --batch 8 --seed 11)
+
+echo "reference run (uninterrupted)..."
+"$BIN" train "${train_flags[@]}" --model "$work/reference.hsnn"
+
+echo "victim run (SIGKILL at first checkpoint)..."
+"$BIN" train "${train_flags[@]}" --model "$work/model.hsnn" --checkpoint-every 20 &
+victim=$!
+for _ in $(seq 1 6000); do
+  [ -f "$work/model.hsnn.ckpt" ] && break
+  kill -0 "$victim" 2>/dev/null || break
+  sleep 0.05
+done
+kill -KILL "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+[ -f "$work/model.hsnn.ckpt" ] || { echo "no checkpoint was written" >&2; exit 1; }
+
+echo "resume run..."
+"$BIN" train "${train_flags[@]}" --model "$work/model.hsnn" \
+       --checkpoint-every 20 --resume "$work/model.hsnn.ckpt"
+
+cmp "$work/model.hsnn" "$work/reference.hsnn" || {
+  echo "resumed model differs from the uninterrupted run" >&2
+  exit 1
+}
+echo "kill/resume smoke: resumed model is byte-identical"

@@ -205,6 +205,30 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpoint/resume support.
+        ///
+        /// Restoring via [`StdRng::from_state`] continues the stream at
+        /// exactly the point [`StdRng::state`] captured it.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a captured [`StdRng::state`].
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (the stream
+        /// would be constant zero); it is mapped to `seed_from_u64(0)` so a
+        /// corrupt checkpoint cannot produce a degenerate generator.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
