@@ -111,7 +111,7 @@ pub fn eval_ours(
     data: &BenchmarkData,
     config: &DetectorConfig,
 ) -> Result<(EvalResult, HotspotDetector), CoreError> {
-    let mut detector = HotspotDetector::fit(&data.train, config)?;
+    let detector = HotspotDetector::fit(&data.train, config)?;
     let result = detector.evaluate(&data.test)?;
     Ok((result, detector))
 }

@@ -101,7 +101,7 @@ fn main() {
         let mut net = build(k, act, 2017);
         let report =
             mgd::train(&mut net, &train_x, &train_y, 0.0, &mgd_cfg).expect("training runs");
-        let preds = mgd::predict_all(&mut net, &test_x);
+        let preds = mgd::predict_all(&net, &test_x);
         let result = EvalResult::from_predictions(&preds, &test_y, 0.0);
         rows.push(vec![
             act.name().to_string(),

@@ -38,7 +38,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, train) in [("plain", &data.train), ("augmented 8x", &augmented)] {
         eprintln!("[ablation_augment] training on {name}...");
-        let mut detector = HotspotDetector::fit(train, &config).expect("training runs");
+        let detector = HotspotDetector::fit(train, &config).expect("training runs");
         let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![
             name.to_string(),

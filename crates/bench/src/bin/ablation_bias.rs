@@ -29,7 +29,7 @@ fn main() {
         let mut config = detector_config(&args);
         config.biased.epsilon_step = eps_step;
         config.biased.rounds = rounds;
-        let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
+        let detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
         let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![
             format!("{eps_step:.2}"),

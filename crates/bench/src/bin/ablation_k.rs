@@ -30,7 +30,7 @@ fn main() {
         // Keep the ablation affordable: two bias rounds.
         config.biased.rounds = args.usize("rounds", 2);
         let start = Instant::now();
-        let mut detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
+        let detector = HotspotDetector::fit(&data.train, &config).expect("training runs");
         let train_s = start.elapsed().as_secs_f64();
         let result = detector.evaluate(&data.test).expect("evaluation runs");
         rows.push(vec![

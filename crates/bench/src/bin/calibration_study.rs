@@ -55,7 +55,7 @@ fn main() {
 
     let headers = ["epsilon", "ECE", "recall", "FA#", "overall"];
     let mut rows = Vec::new();
-    let mut record = |net: &mut hotspot_nn::Network, eps: f32| {
+    let mut record = |net: &hotspot_nn::Network, eps: f32| {
         let ece = expected_calibration_error(net, &test_x, &test_y, 10);
         let preds = mgd::predict_all(net, &test_x);
         let r = EvalResult::from_predictions(&preds, &test_y, 0.0);
@@ -70,11 +70,11 @@ fn main() {
 
     eprintln!("[calibration] training ε = 0 model...");
     mgd::train(&mut net, &train_x, &train_y, 0.0, &initial_cfg).expect("training runs");
-    record(&mut net, 0.0);
+    record(&net, 0.0);
     for eps in [0.1f32, 0.2, 0.3] {
         eprintln!("[calibration] fine-tuning ε = {eps}...");
         mgd::train(&mut net, &train_x, &train_y, eps, &fine_cfg).expect("training runs");
-        record(&mut net, eps);
+        record(&net, eps);
     }
 
     println!("\nCalibration study (ICCAD benchmark): biased learning trades\ncalibration (ECE ↑) for hotspot recall:\n");

@@ -58,7 +58,7 @@ fn main() {
     .build();
     mgd::train(&mut net, &train_x, &train_y, 0.0, &initial_cfg).expect("training runs");
     let initial = ParameterBlob::from_network(&mut net);
-    let base = evaluate(&mut net, &test_x, &test_y);
+    let base = evaluate(&net, &test_x, &test_y);
     eprintln!(
         "[fig4] initial model: accuracy {}, FA {}",
         table::pct(base.accuracy),
@@ -89,7 +89,7 @@ fn main() {
     for (i, eps) in [0.1f32, 0.2, 0.3].iter().enumerate() {
         eprintln!("[fig4] fine-tuning with ε = {eps}...");
         mgd::train(&mut net, &train_x, &train_y, *eps, &fine_cfg).expect("training runs");
-        let biased = evaluate(&mut net, &test_x, &test_y);
+        let biased = evaluate(&net, &test_x, &test_y);
 
         // Boundary-shift the *initial* model to the biased model's accuracy.
         let mut shifted_net = hotspot_core::model::CnnConfig {
@@ -102,7 +102,7 @@ fn main() {
             .load_into(&mut shifted_net)
             .expect("snapshot matches architecture");
         let (lambda, shift_acc, shift_fa) =
-            shift::shift_for_accuracy(&mut shifted_net, &test_x, &test_y, biased.accuracy, 500);
+            shift::shift_for_accuracy(&shifted_net, &test_x, &test_y, biased.accuracy, 500);
         let saved = shift_fa as i64 - biased.false_alarms as i64;
         rows.push(vec![
             format!("{:.1}", eps),
@@ -125,9 +125,8 @@ fn main() {
     table::write_csv(&out_dir, "fig4_bias_vs_shift", &headers, &rows);
 }
 
-fn evaluate(net: &mut hotspot_nn::Network, features: &[Tensor], labels: &[bool]) -> EvalResult {
+fn evaluate(net: &hotspot_nn::Network, features: &[Tensor], labels: &[bool]) -> EvalResult {
     // All cores; bit-identical to the serial predict_all.
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let preds = mgd::predict_all_parallel(net, features, threads);
+    let preds = mgd::predict_all_with(net, features, hotspot_core::Parallelism::auto());
     EvalResult::from_predictions(&preds, labels, 0.0)
 }

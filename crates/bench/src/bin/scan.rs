@@ -1,0 +1,134 @@
+//! Full-layout scan benchmark: windows scored per second by the streaming
+//! scan engine versus the naive per-window pipeline (extract every clip,
+//! rasterise and transform it from scratch, then batch-predict).
+//!
+//! Runs one block-aligned stride (the cached path — every layout block's
+//! DCT is computed at most once) and one unaligned stride (the fallback
+//! path) and reports cache hit rates alongside throughput. The scores of
+//! both paths are bit-identical to the naive pipeline; this binary
+//! cross-checks that on every rep.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin scan -- \
+//!     --scale 0.02 --steps 150 --tiles 6 --reps 3
+//! ```
+//!
+//! Writes `results/BENCH_scan.json` (override the directory with `--out`).
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
+use hotspot_core::{HotspotDetector, ScanConfig};
+use hotspot_datagen::LayoutSpec;
+use hotspot_geometry::{Clip, Point, Rect};
+use std::time::Instant;
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.02);
+    let out_dir = args.string("out", "results");
+    let reps = args.usize("reps", 3);
+    let tiles = args.usize("tiles", 6);
+
+    // A representative model, not a converged one (as in `throughput`).
+    let mut config = detector_config(&args);
+    let steps = args.usize("steps", 150);
+    config.mgd.max_steps = steps;
+    config.biased.initial.max_steps = steps;
+    config.biased.fine_tune.max_steps = (steps / 4).max(1);
+    config.biased.rounds = args.usize("rounds", 1);
+
+    let sim = oracle();
+    let data = build_benchmark(&hotspot_datagen::suite::SuiteSpec::industry3(scale), &sim);
+    eprintln!("[scan] fitting detector ({steps} steps)...");
+    let detector = HotspotDetector::fit(&data.train, &config).expect("detector fits the suite");
+
+    let layout = LayoutSpec::uniform(tiles, tiles, 19).build();
+    let window_nm = 1200i64;
+    eprintln!(
+        "[scan] layout: {} x {} nm ({}x{} tiles)",
+        layout.window().width(),
+        layout.window().height(),
+        tiles,
+        tiles
+    );
+
+    // 600 nm is a multiple of the 100 nm DCT block (cached path);
+    // 550 nm is only pixel-aligned (per-window fallback path).
+    let mut entries = Vec::new();
+    for (stride_nm, label) in [(600i64, "block-aligned"), (550i64, "unaligned")] {
+        let scan_cfg = ScanConfig::new(stride_nm)
+            .expect("positive stride")
+            .with_window_nm(window_nm)
+            .expect("positive window");
+
+        let mut best_scan = f64::INFINITY;
+        let mut report = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let r = detector.scan(&layout, &scan_cfg).expect("layout scans");
+            best_scan = best_scan.min(start.elapsed().as_secs_f64());
+            report = Some(r);
+        }
+        let report = report.expect("at least one rep ran");
+
+        // Naive reference: every window extracted and scored from scratch.
+        let mut best_naive = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let clips: Vec<Clip> = report
+                .windows
+                .iter()
+                .map(|w| {
+                    layout.extract_window(
+                        Rect::from_size(Point::new(w.x_nm, w.y_nm), window_nm, window_nm)
+                            .expect("window fits the layout"),
+                    )
+                })
+                .collect();
+            let naive = detector.predict_batch(&clips).expect("naive batch runs");
+            best_naive = best_naive.min(start.elapsed().as_secs_f64());
+            identical &= report
+                .windows
+                .iter()
+                .zip(naive.iter())
+                .all(|(w, p)| w.score.to_bits() == p.to_bits());
+        }
+
+        let windows = report.windows.len();
+        let wps = windows as f64 / best_scan;
+        eprintln!(
+            "[scan] {label} stride {stride_nm} nm: {windows} windows in {best_scan:.3} s \
+             ({wps:.1} windows/s, naive {best_naive:.3} s, {:.2}x, cache hit rate {:.0}%, \
+             bit-identical: {identical})",
+            best_naive / best_scan,
+            report.cache.hit_rate() * 100.0
+        );
+        entries.push(format!(
+            "    {{ \"stride_nm\": {stride_nm}, \"label\": \"{label}\", \
+             \"windows\": {windows}, \"scan_secs\": {best_scan:.6}, \
+             \"windows_per_sec\": {wps:.2}, \"naive_secs\": {best_naive:.6}, \
+             \"speedup_vs_naive\": {:.3}, \"blocks_computed\": {}, \
+             \"blocks_reused\": {}, \"cache_hit_rate\": {:.4}, \
+             \"positives\": {}, \"regions\": {}, \"bit_identical_to_naive\": {identical} }}",
+            best_naive / best_scan,
+            report.cache.computed,
+            report.cache.hits,
+            report.cache.hit_rate(),
+            report.positives(),
+            report.regions.len()
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"industry3\",\n  \"scale\": {scale},\n  \
+         \"layout_tiles\": {tiles},\n  \"window_nm\": {window_nm},\n  \
+         \"train_steps\": {steps},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    print!("{json}");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = format!("{out_dir}/BENCH_scan.json");
+    std::fs::write(&path, &json).expect("write BENCH_scan.json");
+    eprintln!("[scan] wrote {path}");
+}

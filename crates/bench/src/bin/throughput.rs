@@ -15,7 +15,7 @@
 //! `--out`).
 
 use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
-use hotspot_core::HotspotDetector;
+use hotspot_core::{HotspotDetector, Parallelism};
 use hotspot_datagen::suite::SuiteSpec;
 use hotspot_geometry::Clip;
 use std::time::Instant;
@@ -47,18 +47,20 @@ fn main() {
     thread_counts.dedup();
 
     // Warm-up + serial reference for the determinism cross-check.
+    detector.set_parallelism(Parallelism::serial());
     let reference = detector
-        .predict_batch(&clips, 1)
+        .predict_batch(&clips)
         .expect("clips came from the same suite");
 
     let mut rows = Vec::new();
     for &threads in &thread_counts {
+        detector.set_parallelism(Parallelism::fixed(threads).expect("thread counts are nonzero"));
         let mut best = f64::INFINITY;
         let mut identical = true;
         for _ in 0..reps.max(1) {
             let start = Instant::now();
             let probs = detector
-                .predict_batch(&clips, threads)
+                .predict_batch(&clips)
                 .expect("clips came from the same suite");
             best = best.min(start.elapsed().as_secs_f64());
             identical &= probs == reference;

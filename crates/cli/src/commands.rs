@@ -8,9 +8,9 @@ use hotspot_core::biased::CheckpointEvent;
 use hotspot_core::checkpoint::write_atomic;
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
 use hotspot_core::metrics::EvalResult;
-use hotspot_core::{mgd, Checkpoint, CoreError, FeaturePipeline};
+use hotspot_core::{Checkpoint, CoreError, FeaturePipeline, Parallelism, ScanConfig};
 use hotspot_datagen::suite::SuiteSpec;
-use hotspot_datagen::{Dataset, Sample};
+use hotspot_datagen::{Dataset, LayoutSpec, Sample};
 use hotspot_geometry::io::{read_clips, write_clips};
 use hotspot_geometry::Clip;
 use hotspot_litho::{LithoConfig, LithoSimulator};
@@ -30,18 +30,20 @@ fn load_clips(path: &str) -> Result<Vec<Clip>, CliError> {
 
 fn load_labels(path: &str, expected: usize) -> Result<Vec<bool>, CliError> {
     let text = fs::read_to_string(path)?;
-    let labels: Result<Vec<bool>, CliError> = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| match l.trim() {
-            "0" => Ok(false),
-            "1" => Ok(true),
-            other => Err(CliError::Data(format!(
-                "label must be 0 or 1, got '{other}'"
-            ))),
-        })
-        .collect();
-    let labels = labels?;
+    let mut labels = Vec::new();
+    for (line_idx, line) in text.lines().enumerate() {
+        match line.trim() {
+            "" => {}
+            "0" => labels.push(false),
+            "1" => labels.push(true),
+            other => {
+                return Err(CliError::Data(format!(
+                    "{path}:{}: label must be 0 or 1, got '{other}'",
+                    line_idx + 1
+                )))
+            }
+        }
+    }
     if labels.len() != expected {
         return Err(CliError::Data(format!(
             "{} labels for {} clips",
@@ -286,13 +288,10 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
 pub fn cmd_predict(args: &ExperimentArgs) -> Result<String, CliError> {
     let clips = load_clips(required(args, "clips")?)?;
     let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
-    let pipeline = model.pipeline()?;
-    let mut net = model.network()?;
+    let detector = HotspotDetector::from_network(model.pipeline()?, model.network()?);
     let threshold = args.f64("threshold", 0.5) as f32;
     let mut out = String::new();
-    for clip in &clips {
-        let feature = pipeline.extract(clip)?;
-        let p = mgd::predict_hotspot_prob(&mut net, &feature);
+    for p in detector.predict_batch(&clips)? {
         out.push_str(&format!(
             "{p:.4}\t{}\n",
             if p > threshold { "hotspot" } else { "clean" }
@@ -310,14 +309,13 @@ pub fn cmd_eval(args: &ExperimentArgs) -> Result<String, CliError> {
     let clips = load_clips(required(args, "clips")?)?;
     let labels = load_labels(required(args, "labels")?, clips.len())?;
     let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
-    let pipeline = model.pipeline()?;
-    let mut net = model.network()?;
+    let detector = HotspotDetector::from_network(model.pipeline()?, model.network()?);
     let start = std::time::Instant::now();
-    let mut predictions = Vec::with_capacity(clips.len());
-    for clip in &clips {
-        let feature = pipeline.extract(clip)?;
-        predictions.push(mgd::predict_hotspot_prob(&mut net, &feature) > 0.5);
-    }
+    let predictions: Vec<bool> = detector
+        .predict_batch(&clips)?
+        .iter()
+        .map(|&p| p > 0.5)
+        .collect();
     let eval_time = start.elapsed().as_secs_f64();
     let r = EvalResult::from_predictions(&predictions, &labels, eval_time);
     Ok(format!(
@@ -332,6 +330,78 @@ pub fn cmd_eval(args: &ExperimentArgs) -> Result<String, CliError> {
     ))
 }
 
+/// `hotspot genlayout --out FILE [--tiles 4 | --tiles-x X --tiles-y Y]
+/// [--seed 7]` — writes one multi-window layout clip for `hotspot scan`.
+///
+/// # Errors
+///
+/// Usage and I/O failures.
+pub fn cmd_genlayout(args: &ExperimentArgs) -> Result<String, CliError> {
+    let out_path = required(args, "out")?.to_string();
+    let tiles = args.usize("tiles", 4);
+    let tiles_x = args.usize("tiles-x", tiles);
+    let tiles_y = args.usize("tiles-y", tiles);
+    if tiles_x == 0 || tiles_y == 0 {
+        return Err(CliError::Usage("tile counts must be positive".into()));
+    }
+    let seed = args.usize("seed", 7) as u64;
+    let spec = LayoutSpec::uniform(tiles_x, tiles_y, seed);
+    let layout = spec.build();
+    let mut bytes = Vec::new();
+    write_clips(&mut bytes, std::iter::once(&layout))?;
+    fs::write(&out_path, bytes)?;
+    Ok(format!(
+        "wrote {}×{} nm layout ({tiles_x}×{tiles_y} tiles, {} shapes, seed {seed}) to {out_path}",
+        spec.width_nm(),
+        spec.height_nm(),
+        layout.shape_count()
+    ))
+}
+
+/// `hotspot scan --layout FILE --model FILE [--stride 600] [--window 1200]
+/// [--threshold 0.5] [--threads N] [--report FILE]` — slides the detector
+/// over a full layout, merging flagged windows into hotspot regions.
+/// `--report` writes the full JSON scan report.
+///
+/// # Errors
+///
+/// Usage, model-format, scan-geometry and I/O failures.
+pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
+    let layouts = load_clips(required(args, "layout")?)?;
+    let layout = match layouts.first() {
+        Some(layout) => layout,
+        None => return Err(CliError::Data("layout file holds no clip".into())),
+    };
+    let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
+    let mut detector = HotspotDetector::from_network(model.pipeline()?, model.network()?);
+    if args.get("threads").is_some() {
+        detector.set_parallelism(Parallelism::fixed(args.usize("threads", 1))?);
+    }
+    let config = ScanConfig::new(args.usize("stride", 600) as i64)?
+        .with_window_nm(args.usize("window", 1200) as i64)?
+        .with_threshold(args.f64("threshold", 0.5) as f32)?;
+    let report = detector.scan(layout, &config)?;
+    if let Some(path) = args.get("report") {
+        fs::write(path, report.to_json())?;
+    }
+    Ok(format!(
+        "scanned {}×{} nm layout at stride {} nm: {} windows ({}×{}), {} flagged in {} region(s)\n\
+         block-DCT cache: {:.1}% hit rate ({} transformed, {} reused); {:.0} windows/s\n",
+        report.layout_width_nm,
+        report.layout_height_nm,
+        report.stride_nm,
+        report.windows.len(),
+        report.grid_cols,
+        report.grid_rows,
+        report.positives(),
+        report.regions.len(),
+        100.0 * report.cache.hit_rate(),
+        report.cache.computed,
+        report.cache.hits,
+        report.windows_per_sec()
+    ))
+}
+
 /// Usage text printed for `--help`/bad invocations.
 pub const USAGE: &str = "\
 hotspot — layout hotspot detection (DAC'17 deep biased learning)
@@ -343,9 +413,17 @@ USAGE:
                   [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
   hotspot predict --clips FILE --model FILE [--threshold 0.5]
   hotspot eval    --clips FILE --labels FILE --model FILE
+  hotspot genlayout --out FILE [--tiles 4 | --tiles-x X --tiles-y Y] [--seed 7]
+  hotspot scan    --layout FILE --model FILE [--stride 600] [--window 1200]
+                  [--threshold 0.5] [--threads N] [--report FILE]
 
 Clip files use the text format of hotspot-geometry (clip/rect/end records);
 label files carry one 0/1 per clip line.
+
+Scanning slides the detector window over a full layout (see genlayout),
+reusing per-block DCT coefficients between overlapping windows whenever the
+stride is a multiple of the block size, and merges flagged windows into
+hotspot regions; --report writes the JSON scan report.
 
 Training with --checkpoint-every N writes a crash-safe checkpoint (default
 <model>.ckpt) every N steps and keeps the best-validation model at
@@ -366,6 +444,42 @@ pub fn dispatch(command: &str, args: &ExperimentArgs) -> Result<String, CliError
         "train" => cmd_train(args),
         "predict" => cmd_predict(args),
         "eval" => cmd_eval(args),
+        "genlayout" => cmd_genlayout(args),
+        "scan" => cmd_scan(args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("hotspot-cli-test-{name}"));
+        fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_labels_reports_one_based_line_numbers() {
+        let path = write_temp("bad-labels", "1\n\n0\nmaybe\n1\n");
+        let err = load_labels(path.to_str().unwrap(), 3).unwrap_err();
+        let msg = err.to_string();
+        // Line 4 holds the bad token ('maybe'); blank line 2 still counts.
+        assert!(msg.contains(":4:"), "missing line number in: {msg}");
+        assert!(msg.contains("maybe"), "missing bad token in: {msg}");
+        fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn load_labels_accepts_blank_lines_and_checks_count() {
+        let path = write_temp("good-labels", "1\n\n0\n 1 \n");
+        assert_eq!(
+            load_labels(path.to_str().unwrap(), 3).unwrap(),
+            vec![true, false, true]
+        );
+        let err = load_labels(path.to_str().unwrap(), 5).unwrap_err();
+        assert!(err.to_string().contains("3 labels for 5 clips"));
+        fs::remove_file(path).unwrap();
     }
 }

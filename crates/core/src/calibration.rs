@@ -30,7 +30,7 @@ pub struct ReliabilityBin {
 ///
 /// Panics if lengths differ or `bins == 0`.
 pub fn reliability_diagram(
-    net: &mut Network,
+    net: &Network,
     features: &[Tensor],
     labels: &[bool],
     bins: usize,
@@ -67,7 +67,7 @@ pub fn reliability_diagram(
 ///
 /// Same conditions as [`reliability_diagram`].
 pub fn expected_calibration_error(
-    net: &mut Network,
+    net: &Network,
     features: &[Tensor],
     labels: &[bool],
     bins: usize,
@@ -112,10 +112,10 @@ mod tests {
 
     #[test]
     fn bins_partition_all_samples() {
-        let mut net = scoring_net(2.0);
+        let net = scoring_net(2.0);
         let xs: Vec<Tensor> = (-10..=10).map(|i| feature(i as f32 / 5.0)).collect();
         let ys: Vec<bool> = (-10..=10).map(|i| i > 0).collect();
-        let diagram = reliability_diagram(&mut net, &xs, &ys, 10);
+        let diagram = reliability_diagram(&net, &xs, &ys, 10);
         let total: usize = diagram.iter().map(|b| b.count).sum();
         assert_eq!(total, xs.len());
         for b in &diagram {
@@ -128,39 +128,39 @@ mod tests {
     #[test]
     fn perfectly_confident_correct_model_has_low_ece() {
         // Steep logit: predictions saturate at ~0/1 and match labels.
-        let mut net = scoring_net(50.0);
+        let net = scoring_net(50.0);
         let xs: Vec<Tensor> = (-20..=20)
             .filter(|&i| i != 0)
             .map(|i| feature(i as f32))
             .collect();
         let ys: Vec<bool> = (-20..=20).filter(|&i| i != 0).map(|i| i > 0).collect();
-        let ece = expected_calibration_error(&mut net, &xs, &ys, 10);
+        let ece = expected_calibration_error(&net, &xs, &ys, 10);
         assert!(ece < 0.02, "ece {ece}");
     }
 
     #[test]
     fn anti_correlated_model_has_high_ece() {
         // Confidently wrong: logit sign flipped.
-        let mut net = scoring_net(-50.0);
+        let net = scoring_net(-50.0);
         let xs: Vec<Tensor> = (-20..=20)
             .filter(|&i| i != 0)
             .map(|i| feature(i as f32))
             .collect();
         let ys: Vec<bool> = (-20..=20).filter(|&i| i != 0).map(|i| i > 0).collect();
-        let ece = expected_calibration_error(&mut net, &xs, &ys, 10);
+        let ece = expected_calibration_error(&net, &xs, &ys, 10);
         assert!(ece > 0.9, "ece {ece}");
     }
 
     #[test]
     fn empty_input_is_zero_ece() {
-        let mut net = scoring_net(1.0);
-        assert_eq!(expected_calibration_error(&mut net, &[], &[], 5), 0.0);
+        let net = scoring_net(1.0);
+        assert_eq!(expected_calibration_error(&net, &[], &[], 5), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "bins must be nonzero")]
     fn zero_bins_rejected() {
-        let mut net = scoring_net(1.0);
-        let _ = reliability_diagram(&mut net, &[], &[], 0);
+        let net = scoring_net(1.0);
+        let _ = reliability_diagram(&net, &[], &[], 0);
     }
 }

@@ -6,6 +6,7 @@ use crate::feature::FeaturePipeline;
 use crate::metrics::EvalResult;
 use crate::mgd;
 use crate::model::CnnConfig;
+use crate::parallelism::Parallelism;
 use crate::CoreError;
 use hotspot_datagen::Dataset;
 use hotspot_geometry::Clip;
@@ -25,6 +26,10 @@ pub struct DetectorConfig {
     pub biased: BiasedLearningConfig,
     /// Convenience access to the initial trainer settings.
     pub mgd: crate::mgd::MgdConfig,
+    /// Worker policy for batch scoring ([`HotspotDetector::predict_batch`],
+    /// [`HotspotDetector::evaluate`], [`HotspotDetector::scan`]). Defaults
+    /// to [`Parallelism::auto`]; never affects results, only latency.
+    pub parallelism: Parallelism,
 }
 
 /// A trained hotspot detector: feature pipeline + CNN + (optionally)
@@ -35,6 +40,7 @@ pub struct HotspotDetector {
     pipeline: FeaturePipeline,
     net: Network,
     report: BiasedLearningReport,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for HotspotDetector {
@@ -42,6 +48,7 @@ impl std::fmt::Debug for HotspotDetector {
         f.debug_struct("HotspotDetector")
             .field("pipeline", &self.pipeline)
             .field("final_epsilon", &self.report.final_epsilon())
+            .field("parallelism", &self.parallelism)
             .finish()
     }
 }
@@ -116,7 +123,25 @@ impl HotspotDetector {
             pipeline,
             net,
             report,
+            parallelism: config.parallelism,
         })
+    }
+
+    /// Wraps an already-trained network (e.g. restored from a model file)
+    /// in a detector, with an empty training report and the default
+    /// ([`Parallelism::auto`]) worker policy.
+    ///
+    /// The caller is responsible for the network matching the pipeline's
+    /// [`FeaturePipeline::input_shape`]; a mismatch surfaces as a shape
+    /// panic on the first prediction, exactly as it would when driving the
+    /// network directly.
+    pub fn from_network(pipeline: FeaturePipeline, net: Network) -> Self {
+        HotspotDetector {
+            pipeline,
+            net,
+            report: BiasedLearningReport { rounds: Vec::new() },
+            parallelism: Parallelism::default(),
+        }
     }
 
     /// The biased-learning training report.
@@ -129,20 +154,39 @@ impl HotspotDetector {
         &self.pipeline
     }
 
+    /// The underlying trained network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
     /// Mutable access to the underlying network (for boundary-shift
     /// experiments and fine-tuning studies).
     pub fn network_mut(&mut self) -> &mut Network {
         &mut self.net
     }
 
+    /// The current batch-scoring worker policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Overrides the worker policy inherited from
+    /// [`DetectorConfig::parallelism`].
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     /// Predicted hotspot probability of one clip.
+    ///
+    /// Inference is read-only (`Network::forward_inference`), so a shared
+    /// detector can score clips from many threads concurrently.
     ///
     /// # Errors
     ///
     /// Propagates feature-extraction failures.
-    pub fn predict_proba(&mut self, clip: &Clip) -> Result<f32, CoreError> {
+    pub fn predict_proba(&self, clip: &Clip) -> Result<f32, CoreError> {
         let feature = self.pipeline.extract(clip)?;
-        Ok(mgd::predict_hotspot_prob(&mut self.net, &feature))
+        Ok(mgd::predict_hotspot_prob(&self.net, &feature))
     }
 
     /// Hard hotspot decision at the standard 0.5 threshold.
@@ -150,37 +194,55 @@ impl HotspotDetector {
     /// # Errors
     ///
     /// Propagates feature-extraction failures.
-    pub fn predict(&mut self, clip: &Clip) -> Result<bool, CoreError> {
+    pub fn predict(&self, clip: &Clip) -> Result<bool, CoreError> {
         Ok(self.predict_proba(clip)? > 0.5)
     }
 
     /// Predicted hotspot probabilities for a batch of clips, with feature
-    /// extraction and CNN inference fanned out over `threads` worker
-    /// replicas (fixed-order chunks, results in clip order).
+    /// extraction and CNN inference fanned out over the configured
+    /// [`Parallelism`] (fixed-order chunks, results in clip order). All
+    /// workers share the network immutably — no replica cloning.
     ///
     /// Per-clip computation is pure, so the output is **bit-identical to
     /// calling [`HotspotDetector::predict_proba`] serially**, for any
-    /// thread count.
+    /// worker count.
     ///
     /// # Errors
     ///
-    /// Rejects `threads == 0` and propagates the first feature-extraction
-    /// failure (in worker order).
-    pub fn predict_batch(&mut self, clips: &[Clip], threads: usize) -> Result<Vec<f32>, CoreError> {
+    /// Propagates the first feature-extraction failure (in clip order).
+    pub fn predict_batch(&self, clips: &[Clip]) -> Result<Vec<f32>, CoreError> {
+        self.predict_batch_workers(clips, self.parallelism.workers())
+    }
+
+    /// [`HotspotDetector::predict_batch`] with a raw thread count.
+    #[deprecated(
+        since = "0.4.0",
+        note = "set a Parallelism policy (DetectorConfig::parallelism or \
+                HotspotDetector::set_parallelism) and call predict_batch"
+    )]
+    pub fn predict_batch_threaded(
+        &self,
+        clips: &[Clip],
+        threads: usize,
+    ) -> Result<Vec<f32>, CoreError> {
         if threads == 0 {
             return Err(CoreError::InvalidConfig("threads must be nonzero"));
         }
-        let threads = threads.min(clips.len());
-        if threads <= 1 {
+        self.predict_batch_workers(clips, threads)
+    }
+
+    fn predict_batch_workers(&self, clips: &[Clip], workers: usize) -> Result<Vec<f32>, CoreError> {
+        let workers = workers.min(clips.len()).max(1);
+        if workers == 1 {
             return clips.iter().map(|c| self.predict_proba(c)).collect();
         }
-        let chunk = clips.len().div_ceil(threads);
-        let mut replicas: Vec<Network> = (0..threads).map(|_| self.net.clone()).collect();
+        let chunk = clips.len().div_ceil(workers);
         let mut slots: Vec<Result<Vec<f32>, CoreError>> =
-            (0..threads).map(|_| Ok(Vec::new())).collect();
+            (0..workers).map(|_| Ok(Vec::new())).collect();
         let pipeline = &self.pipeline;
+        let net = &self.net;
         if let Err(payload) = crossbeam::thread::scope(|scope| {
-            for (worker, (replica, slot)) in replicas.iter_mut().zip(slots.iter_mut()).enumerate() {
+            for (worker, slot) in slots.iter_mut().enumerate() {
                 let start = (worker * chunk).min(clips.len());
                 let slice = &clips[start..(start + chunk).min(clips.len())];
                 scope.spawn(move |_| {
@@ -189,7 +251,7 @@ impl HotspotDetector {
                         .map(|clip| {
                             pipeline
                                 .extract(clip)
-                                .map(|f| mgd::predict_hotspot_prob(replica, &f))
+                                .map(|f| mgd::predict_hotspot_prob(net, &f))
                         })
                         .collect();
                 });
@@ -262,32 +324,39 @@ impl HotspotDetector {
     }
 
     /// Evaluates on a labelled test set, producing Table-2-style metrics
-    /// (accuracy, false alarms, CPU seconds, ODST). Scoring fans out over
-    /// all available cores; predictions are identical to a serial pass
-    /// (see [`HotspotDetector::predict_batch`]).
+    /// (accuracy, false alarms, CPU seconds, ODST). Scoring fans out per
+    /// the configured [`Parallelism`]; predictions are identical to a
+    /// serial pass (see [`HotspotDetector::predict_batch`]).
     ///
     /// # Errors
     ///
     /// Propagates feature-extraction failures (a test clip whose geometry
     /// does not match the training pipeline configuration).
-    pub fn evaluate(&mut self, test: &Dataset) -> Result<EvalResult, CoreError> {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.evaluate_threaded(test, threads)
+    pub fn evaluate(&self, test: &Dataset) -> Result<EvalResult, CoreError> {
+        self.evaluate_workers(test, self.parallelism.workers())
     }
 
-    /// [`HotspotDetector::evaluate`] with an explicit worker count.
-    ///
-    /// # Errors
-    ///
-    /// Propagates feature-extraction failures and rejects `threads == 0`.
+    /// [`HotspotDetector::evaluate`] with a raw thread count.
+    #[deprecated(
+        since = "0.4.0",
+        note = "set a Parallelism policy (DetectorConfig::parallelism or \
+                HotspotDetector::set_parallelism) and call evaluate"
+    )]
     pub fn evaluate_threaded(
-        &mut self,
+        &self,
         test: &Dataset,
         threads: usize,
     ) -> Result<EvalResult, CoreError> {
+        if threads == 0 {
+            return Err(CoreError::InvalidConfig("threads must be nonzero"));
+        }
+        self.evaluate_workers(test, threads)
+    }
+
+    fn evaluate_workers(&self, test: &Dataset, workers: usize) -> Result<EvalResult, CoreError> {
         let start = Instant::now();
         let clips: Vec<Clip> = test.iter().map(|s| s.clip.clone()).collect();
-        let probs = self.predict_batch(&clips, threads)?;
+        let probs = self.predict_batch_workers(&clips, workers)?;
         let predictions: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
         let labels: Vec<bool> = test.iter().map(|s| s.hotspot).collect();
         let eval_time = start.elapsed().as_secs_f64();
@@ -376,27 +445,51 @@ mod tests {
         assert!((0.0..=1.0).contains(&p));
 
         // Batch prediction is bit-identical to the serial API for any
-        // thread count, and rejects a zero worker count.
+        // worker policy.
         let clips: Vec<Clip> = data.test.iter().map(|s| s.clip.clone()).collect();
         let serial: Vec<f32> = clips
             .iter()
             .map(|c| detector.predict_proba(c).unwrap())
             .collect();
-        for threads in [1, 2, 3, 8] {
+        for workers in [1, 2, 3, 8] {
+            detector.set_parallelism(Parallelism::fixed(workers).unwrap());
             assert_eq!(
-                detector.predict_batch(&clips, threads).unwrap(),
+                detector.predict_batch(&clips).unwrap(),
                 serial,
-                "threads = {threads}"
+                "workers = {workers}"
             );
         }
-        assert!(matches!(
-            detector.predict_batch(&clips, 0),
-            Err(CoreError::InvalidConfig(_))
-        ));
-        // Threaded evaluation reproduces the same decisions.
-        let threaded = detector.evaluate_threaded(&data.test, 2).unwrap();
-        assert_eq!(threaded.accuracy, result.accuracy);
-        assert_eq!(threaded.false_alarms, result.false_alarms);
+        detector.set_parallelism(Parallelism::auto());
+        assert_eq!(detector.predict_batch(&clips).unwrap(), serial);
+        // The deprecated raw-thread-count shims still answer identically
+        // and keep rejecting a zero thread count.
+        #[allow(deprecated)]
+        {
+            assert_eq!(detector.predict_batch_threaded(&clips, 2).unwrap(), serial);
+            assert!(matches!(
+                detector.predict_batch_threaded(&clips, 0),
+                Err(CoreError::InvalidConfig(_))
+            ));
+            let threaded = detector.evaluate_threaded(&data.test, 2).unwrap();
+            assert_eq!(threaded.accuracy, result.accuracy);
+            assert_eq!(threaded.false_alarms, result.false_alarms);
+            assert!(matches!(
+                detector.evaluate_threaded(&data.test, 0),
+                Err(CoreError::InvalidConfig(_))
+            ));
+        }
+        // A shared reference scores concurrently: predict_proba is &self.
+        let shared = &detector;
+        let first = &clips[0];
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| scope.spawn(move |_| shared.predict_proba(first).unwrap()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), serial[0]);
+            }
+        })
+        .unwrap();
     }
 
     #[test]

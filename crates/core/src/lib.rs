@@ -32,7 +32,7 @@
 //! let data = SuiteSpec::iccad(0.01).build(&sim);
 //! let mut config = DetectorConfig::default();
 //! config.mgd.max_steps = 500; // keep the example quick
-//! let mut detector = HotspotDetector::fit(&data.train, &config)?;
+//! let detector = HotspotDetector::fit(&data.train, &config)?;
 //! let result = detector.evaluate(&data.test)?;
 //! println!("accuracy {:.1}%, false alarms {}", 100.0 * result.accuracy, result.false_alarms);
 //! # Ok(())
@@ -47,7 +47,10 @@ pub mod feature;
 pub mod metrics;
 pub mod mgd;
 pub mod model;
+pub mod parallelism;
+pub mod prelude;
 pub mod roc;
+pub mod scan;
 pub mod shift;
 
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
@@ -57,6 +60,8 @@ pub use feature::FeaturePipeline;
 pub use metrics::EvalResult;
 pub use mgd::{MgdConfig, TrainReport};
 pub use model::CnnConfig;
+pub use parallelism::Parallelism;
+pub use scan::{CacheStats, HotspotRegion, ScanConfig, ScanReport, WindowScore};
 
 use std::error::Error;
 use std::fmt;

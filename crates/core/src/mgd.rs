@@ -1,6 +1,7 @@
 //! Mini-batch gradient descent with validation-based stopping
 //! (paper Algorithm 1 and Section 4.2).
 
+use crate::parallelism::Parallelism;
 use crate::CoreError;
 use hotspot_nn::data::BatchSampler;
 use hotspot_nn::optim::LrSchedule;
@@ -105,24 +106,42 @@ pub fn target_for(hotspot: bool, epsilon: f32) -> [f32; 2] {
 }
 
 /// Predicted probability that `feature` is a hotspot (`y(1)` of Eq. (6)).
-pub fn predict_hotspot_prob(net: &mut Network, feature: &Tensor) -> f32 {
-    let logits = net.forward(feature, false);
+///
+/// Inference-mode only, through `&Network` — concurrent callers may share
+/// one network (see [`Network::forward_inference`]).
+pub fn predict_hotspot_prob(net: &Network, feature: &Tensor) -> f32 {
+    let logits = net.forward_inference(feature);
     loss::softmax(logits.as_slice())[1]
 }
 
 /// Hard 0.5-threshold predictions for a feature set.
-pub fn predict_all(net: &mut Network, features: &[Tensor]) -> Vec<bool> {
+pub fn predict_all(net: &Network, features: &[Tensor]) -> Vec<bool> {
     features
         .iter()
         .map(|f| predict_hotspot_prob(net, f) > 0.5)
         .collect()
 }
 
-/// [`predict_all`] with the forward passes fanned out over `threads`
-/// workers via [`Network::forward_batch`]. Inference is pure, so the
-/// result is bit-identical to the serial path for any thread count.
-pub fn predict_all_parallel(net: &mut Network, features: &[Tensor], threads: usize) -> Vec<bool> {
-    net.forward_batch(features, false, threads)
+/// [`predict_all`] with the forward passes fanned out over the workers of
+/// a [`Parallelism`] policy via [`Network::forward_batch_inference`].
+/// Inference is pure, so the result is bit-identical to the serial path
+/// for any worker count.
+pub fn predict_all_with(net: &Network, features: &[Tensor], parallelism: Parallelism) -> Vec<bool> {
+    net.forward_batch_inference(features, parallelism.workers())
+        .iter()
+        .map(|logits| loss::softmax(logits.as_slice())[1] > 0.5)
+        .collect()
+}
+
+/// Deprecated shim for the raw-thread-count API.
+///
+/// # Panics
+///
+/// Panics when `threads == 0` (the historical behaviour); prefer the
+/// construction-time validation of [`Parallelism::fixed`].
+#[deprecated(note = "use predict_all_with with a Parallelism policy")]
+pub fn predict_all_parallel(net: &Network, features: &[Tensor], threads: usize) -> Vec<bool> {
+    net.forward_batch_inference(features, threads)
         .iter()
         .map(|logits| loss::softmax(logits.as_slice())[1] > 0.5)
         .collect()
@@ -132,7 +151,7 @@ pub fn predict_all_parallel(net: &mut Network, features: &[Tensor], threads: usi
 /// specificity — of `net` on a labelled feature set. Used for validation
 /// model selection: unlike overall accuracy it cannot be maxed out by the
 /// constant predictor on a skewed set.
-pub fn balanced_accuracy(net: &mut Network, features: &[Tensor], labels: &[bool]) -> f64 {
+pub fn balanced_accuracy(net: &Network, features: &[Tensor], labels: &[bool]) -> f64 {
     assert_eq!(features.len(), labels.len());
     let mut hit = [0usize; 2];
     let mut total = [0usize; 2];
@@ -154,7 +173,7 @@ pub fn balanced_accuracy(net: &mut Network, features: &[Tensor], labels: &[bool]
 }
 
 /// Overall classification accuracy of `net` on a labelled feature set.
-pub fn overall_accuracy(net: &mut Network, features: &[Tensor], labels: &[bool]) -> f64 {
+pub fn overall_accuracy(net: &Network, features: &[Tensor], labels: &[bool]) -> f64 {
     assert_eq!(features.len(), labels.len());
     if features.is_empty() {
         return 1.0;
@@ -541,7 +560,7 @@ mod tests {
         let val_idx = &order[features.len() - val_len..];
         let vf: Vec<Tensor> = val_idx.iter().map(|&i| features[i].clone()).collect();
         let vl: Vec<bool> = val_idx.iter().map(|&i| labels[i]).collect();
-        let acc = balanced_accuracy(&mut net, &vf, &vl);
+        let acc = balanced_accuracy(&net, &vf, &vl);
         assert!((acc - report.best_val_accuracy).abs() < 1e-9);
     }
 
@@ -701,17 +720,25 @@ mod tests {
     }
 
     #[test]
-    fn predict_all_parallel_matches_serial() {
+    fn predict_all_with_matches_serial() {
         let (features, _labels) = toy_data(61, 9);
-        let mut net = toy_net(10);
-        let serial = predict_all(&mut net, &features);
-        for threads in [1, 2, 5, 16] {
+        let net = toy_net(10);
+        let serial = predict_all(&net, &features);
+        for workers in [1, 2, 5, 16] {
             assert_eq!(
-                predict_all_parallel(&mut net, &features, threads),
+                predict_all_with(&net, &features, Parallelism::fixed(workers).unwrap()),
                 serial,
-                "threads = {threads}"
+                "workers = {workers}"
             );
         }
+        assert_eq!(
+            predict_all_with(&net, &features, Parallelism::auto()),
+            serial
+        );
+        // The deprecated raw-thread-count shim still answers identically.
+        #[allow(deprecated)]
+        let shimmed = predict_all_parallel(&net, &features, 3);
+        assert_eq!(shimmed, serial);
     }
 
     #[test]

@@ -26,12 +26,7 @@ pub struct RocPoint {
 /// # Panics
 ///
 /// Panics if `features` and `labels` differ in length or `steps == 0`.
-pub fn sweep(
-    net: &mut Network,
-    features: &[Tensor],
-    labels: &[bool],
-    steps: usize,
-) -> Vec<RocPoint> {
+pub fn sweep(net: &Network, features: &[Tensor], labels: &[bool], steps: usize) -> Vec<RocPoint> {
     assert_eq!(features.len(), labels.len(), "feature/label mismatch");
     assert!(steps > 0, "steps must be nonzero");
     let probs: Vec<f32> = features
@@ -72,7 +67,7 @@ pub fn sweep(
 /// even at threshold 0, so the raw curve can stop short of `(1, 1)` — and
 /// the area of that missing tail used to be silently dropped, scoring a
 /// perfect separator as low as 0.
-pub fn auc(net: &mut Network, features: &[Tensor], labels: &[bool], steps: usize) -> f64 {
+pub fn auc(net: &Network, features: &[Tensor], labels: &[bool], steps: usize) -> f64 {
     let non_hotspots = labels.iter().filter(|&&l| !l).count().max(1) as f64;
     let curve = sweep(net, features, labels, steps);
     let mut area = 0.0f64;
@@ -123,8 +118,8 @@ mod tests {
     #[test]
     fn curve_is_monotone_in_recall_and_fa() {
         let (x, y) = data();
-        let mut net = scoring_net(4.0);
-        let curve = sweep(&mut net, &x, &y, 50);
+        let net = scoring_net(4.0);
+        let curve = sweep(&net, &x, &y, 50);
         for w in curve.windows(2) {
             assert!(w[1].recall >= w[0].recall);
             assert!(w[1].false_alarms >= w[0].false_alarms);
@@ -139,16 +134,16 @@ mod tests {
     #[test]
     fn perfect_separator_has_unit_auc() {
         let (x, y) = data();
-        let mut net = scoring_net(8.0);
-        let a = auc(&mut net, &x, &y, 200);
+        let net = scoring_net(8.0);
+        let a = auc(&net, &x, &y, 200);
         assert!(a > 0.99, "auc {a}");
     }
 
     #[test]
     fn inverted_scorer_has_low_auc() {
         let (x, y) = data();
-        let mut net = scoring_net(-8.0);
-        let a = auc(&mut net, &x, &y, 200);
+        let net = scoring_net(-8.0);
+        let a = auc(&net, &x, &y, 200);
         assert!(a < 0.1, "auc {a}");
     }
 
@@ -160,8 +155,8 @@ mod tests {
         // [0, 1], so without the (1, 1) anchor every curve point sits at
         // false-alarm rate 0 and this *perfect* separator scored AUC 0.
         let (x, y) = data();
-        let mut net = scoring_net(300.0);
-        let a = auc(&mut net, &x, &y, 200);
+        let net = scoring_net(300.0);
+        let a = auc(&net, &x, &y, 200);
         assert!(a > 0.99, "auc {a}");
     }
 
@@ -169,7 +164,7 @@ mod tests {
     #[should_panic(expected = "steps must be nonzero")]
     fn zero_steps_panics() {
         let (x, y) = data();
-        let mut net = scoring_net(1.0);
-        let _ = sweep(&mut net, &x, &y, 0);
+        let net = scoring_net(1.0);
+        let _ = sweep(&net, &x, &y, 0);
     }
 }

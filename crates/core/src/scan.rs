@@ -1,0 +1,729 @@
+//! Full-layout sliding-window scanning with block-DCT reuse.
+//!
+//! The paper classifies isolated 1200×1200 nm clips; deployment scans a
+//! *layout* — a region many windows wide — by sliding that window on a
+//! stride grid and scoring every position. Done naively, each window is
+//! re-rasterised and re-transformed from scratch even though adjacent
+//! windows share most of their area. This module exploits the structure of
+//! the feature tensor instead: the tensor is built from per-block DCT
+//! coefficients on a fixed block grid, so when the scan stride is a
+//! multiple of the block size, every window's blocks land on one shared
+//! *layout-global* block lattice. The layout is rasterised once, each
+//! lattice block is transformed once ([`hotspot_dct::BlockDctPlan`]), and
+//! overlapping windows assemble their tensors from the shared cache — at a
+//! dense stride of one block, this cuts DCT work per window from `n × n`
+//! blocks to roughly `n`.
+//!
+//! The cache is **bit-exact**: rasterisation accumulates per-pixel coverage
+//! only from shapes that actually touch a pixel (in insertion order), so a
+//! pixel-aligned crop of the full-layout raster equals the raster of the
+//! extracted clip, and [`hotspot_dct::BlockDctPlan::coefficients_for`]
+//! replays exactly the per-block arithmetic of whole-image extraction.
+//! Scan scores are therefore bit-identical to extracting each window with
+//! [`hotspot_geometry::Clip::extract_window`] and scoring it through
+//! [`HotspotDetector::predict_batch`] — a property pinned by a property
+//! test at the workspace root. Windows whose position does not align with
+//! the block lattice fall back to computing their blocks directly from the
+//! shared raster (still rasterising only once, but without coefficient
+//! reuse).
+//!
+//! Flagged windows are merged into hotspot *regions* by
+//! connected-component clustering: two positive windows belong to the same
+//! region when their windows overlap. A [`ScanReport`] carries the
+//! per-window scores, the merged regions, cache statistics and throughput,
+//! and serialises itself to JSON for downstream tooling.
+
+use crate::detector::HotspotDetector;
+use crate::CoreError;
+use hotspot_dct::BlockDctPlan;
+use hotspot_geometry::{raster, Clip, Grid};
+use hotspot_nn::{loss, Tensor};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Sliding-window scan parameters.
+///
+/// Built with [`ScanConfig::new`] plus builder-style refinement; every
+/// setter validates, so a constructed config is internally consistent
+/// (detector-dependent constraints — resolution and block-grid
+/// divisibility — are checked by [`HotspotDetector::scan`]).
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_core::ScanConfig;
+///
+/// # fn main() -> Result<(), hotspot_core::CoreError> {
+/// let config = ScanConfig::new(600)?.with_threshold(0.7)?;
+/// assert_eq!(config.window_nm(), 1200); // the paper's clip size
+/// assert!(ScanConfig::new(0).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanConfig {
+    stride_nm: i64,
+    window_nm: i64,
+    threshold: f32,
+}
+
+impl ScanConfig {
+    /// A scan advancing `stride_nm` per step with the paper's 1200 nm
+    /// window and a 0.5 decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive stride.
+    pub fn new(stride_nm: i64) -> Result<Self, CoreError> {
+        if stride_nm <= 0 {
+            return Err(CoreError::InvalidConfig("scan stride must be positive"));
+        }
+        Ok(ScanConfig {
+            stride_nm,
+            window_nm: 1200,
+            threshold: 0.5,
+        })
+    }
+
+    /// Overrides the window side length.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive window.
+    pub fn with_window_nm(mut self, window_nm: i64) -> Result<Self, CoreError> {
+        if window_nm <= 0 {
+            return Err(CoreError::InvalidConfig("scan window must be positive"));
+        }
+        self.window_nm = window_nm;
+        Ok(self)
+    }
+
+    /// Overrides the hotspot decision threshold (a window is flagged when
+    /// its score is strictly greater).
+    ///
+    /// # Errors
+    ///
+    /// Rejects thresholds outside `[0, 1]`.
+    pub fn with_threshold(mut self, threshold: f32) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(CoreError::InvalidConfig("scan threshold must be in [0, 1]"));
+        }
+        self.threshold = threshold;
+        Ok(self)
+    }
+
+    /// Step between window positions, nm.
+    #[inline]
+    pub fn stride_nm(&self) -> i64 {
+        self.stride_nm
+    }
+
+    /// Window side length, nm.
+    #[inline]
+    pub fn window_nm(&self) -> i64 {
+        self.window_nm
+    }
+
+    /// Decision threshold.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+/// Block-DCT cache accounting for one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Blocks transformed with a fresh DCT.
+    pub computed: usize,
+    /// Block lookups served from the shared cache.
+    pub hits: usize,
+}
+
+impl CacheStats {
+    /// Total block fetches (`computed + hits`).
+    #[inline]
+    pub fn lookups(&self) -> usize {
+        self.computed + self.hits
+    }
+
+    /// Fraction of block fetches served from the cache (0 when no blocks
+    /// were fetched).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// One scored window position (layout-frame nm coordinates of the window's
+/// low corner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowScore {
+    /// Window low-corner x, nm.
+    pub x_nm: i64,
+    /// Window low-corner y, nm.
+    pub y_nm: i64,
+    /// Predicted hotspot probability.
+    pub score: f32,
+    /// Whether the score exceeded the scan threshold.
+    pub hotspot: bool,
+}
+
+/// A cluster of overlapping flagged windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotRegion {
+    /// Bounding-box low x, nm (layout frame).
+    pub x0_nm: i64,
+    /// Bounding-box low y, nm.
+    pub y0_nm: i64,
+    /// Bounding-box high x, nm.
+    pub x1_nm: i64,
+    /// Bounding-box high y, nm.
+    pub y1_nm: i64,
+    /// Flagged windows merged into this region.
+    pub windows: usize,
+    /// Highest window score in the region.
+    pub peak_score: f32,
+    /// Mean window score in the region.
+    pub mean_score: f32,
+}
+
+/// Everything a full-layout scan produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanReport {
+    /// Layout extent along x, nm.
+    pub layout_width_nm: i64,
+    /// Layout extent along y, nm.
+    pub layout_height_nm: i64,
+    /// Scan stride, nm.
+    pub stride_nm: i64,
+    /// Window side, nm.
+    pub window_nm: i64,
+    /// Decision threshold.
+    pub threshold: f32,
+    /// Window positions along x.
+    pub grid_cols: usize,
+    /// Window positions along y.
+    pub grid_rows: usize,
+    /// Per-window scores, row-major (y-major, x-minor) over the stride
+    /// grid.
+    pub windows: Vec<WindowScore>,
+    /// Merged hotspot regions, sorted by (y, x) of their low corner.
+    pub regions: Vec<HotspotRegion>,
+    /// Block-DCT cache accounting.
+    pub cache: CacheStats,
+    /// Wall-clock scan time, seconds.
+    pub elapsed_s: f64,
+}
+
+impl ScanReport {
+    /// Number of flagged windows.
+    pub fn positives(&self) -> usize {
+        self.windows.iter().filter(|w| w.hotspot).count()
+    }
+
+    /// Scored windows per second of wall-clock time (0 for an
+    /// instantaneous scan).
+    pub fn windows_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.windows.len() as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialises the report as a JSON object (hand-rendered; the schema
+    /// is validated by the CI scan smoke job).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024 + 64 * self.windows.len());
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "  \"layout\": {{\"width_nm\": {}, \"height_nm\": {}}},\n",
+            self.layout_width_nm, self.layout_height_nm
+        ));
+        s.push_str(&format!(
+            "  \"scan\": {{\"stride_nm\": {}, \"window_nm\": {}, \"threshold\": {}, \"grid_cols\": {}, \"grid_rows\": {}}},\n",
+            self.stride_nm, self.window_nm, self.threshold, self.grid_cols, self.grid_rows
+        ));
+        s.push_str(&format!(
+            "  \"cache\": {{\"blocks_computed\": {}, \"blocks_reused\": {}, \"hit_rate\": {:.6}}},\n",
+            self.cache.computed,
+            self.cache.hits,
+            self.cache.hit_rate()
+        ));
+        s.push_str(&format!(
+            "  \"throughput\": {{\"windows\": {}, \"elapsed_s\": {:.6}, \"windows_per_sec\": {:.3}}},\n",
+            self.windows.len(),
+            self.elapsed_s,
+            self.windows_per_sec()
+        ));
+        s.push_str(&format!("  \"positives\": {},\n", self.positives()));
+        s.push_str("  \"regions\": [\n");
+        for (idx, r) in self.regions.iter().enumerate() {
+            let sep = if idx + 1 < self.regions.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "    {{\"x0_nm\": {}, \"y0_nm\": {}, \"x1_nm\": {}, \"y1_nm\": {}, \"windows\": {}, \"peak_score\": {:.6}, \"mean_score\": {:.6}}}{sep}\n",
+                r.x0_nm, r.y0_nm, r.x1_nm, r.y1_nm, r.windows, r.peak_score, r.mean_score
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"windows\": [\n");
+        for (idx, w) in self.windows.iter().enumerate() {
+            let sep = if idx + 1 < self.windows.len() {
+                ","
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "    {{\"x_nm\": {}, \"y_nm\": {}, \"score\": {:.6}, \"hotspot\": {}}}{sep}\n",
+                w.x_nm, w.y_nm, w.score, w.hotspot
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Window low-corner offsets covering `extent_nm`: stride multiples while
+/// the window fits, plus a flush-to-edge position so the far border is
+/// always scanned.
+fn axis_positions(extent_nm: i64, window_nm: i64, stride_nm: i64) -> Vec<i64> {
+    let mut xs = Vec::new();
+    let mut x = 0;
+    while x + window_nm <= extent_nm {
+        xs.push(x);
+        x += stride_nm;
+    }
+    let flush = extent_nm - window_nm;
+    if xs.last() != Some(&flush) {
+        xs.push(flush);
+    }
+    xs
+}
+
+/// Assembles one window's feature tensor from per-block DCT coefficients.
+///
+/// Aligned windows (low corner on the block lattice) fetch blocks through
+/// the shared cache; others transform their blocks directly from the
+/// layout raster. Either path reproduces
+/// [`crate::feature::FeaturePipeline::extract`] bit-for-bit.
+fn window_feature(
+    layout_raster: &Grid<f32>,
+    plan: &BlockDctPlan,
+    cache: &mut HashMap<(usize, usize), Vec<f32>>,
+    stats: &mut CacheStats,
+    x_px: usize,
+    y_px: usize,
+    grid_dim: usize,
+) -> Result<Tensor, CoreError> {
+    let b = plan.block_size();
+    let k = plan.coefficients();
+    let n = grid_dim;
+    let scale = 1.0 / b as f32;
+    let aligned = x_px.is_multiple_of(b) && y_px.is_multiple_of(b);
+    let mut data = vec![0.0f32; k * n * n];
+    for j in 0..n {
+        for i in 0..n {
+            if aligned {
+                let key = (x_px / b + i, y_px / b + j);
+                let coeffs: &Vec<f32> = match cache.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        stats.hits += 1;
+                        entry.into_mut()
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        let crop = layout_raster.window(key.0 * b, key.1 * b, b, b);
+                        let mut coeffs = plan.coefficients_for(&crop)?;
+                        for c in coeffs.iter_mut() {
+                            *c *= scale;
+                        }
+                        stats.computed += 1;
+                        entry.insert(coeffs)
+                    }
+                };
+                for c in 0..k {
+                    data[(c * n + j) * n + i] = coeffs[c];
+                }
+            } else {
+                let crop = layout_raster.window(x_px + i * b, y_px + j * b, b, b);
+                let coeffs = plan.coefficients_for(&crop)?;
+                stats.computed += 1;
+                for (c, &v) in coeffs.iter().enumerate() {
+                    data[(c * n + j) * n + i] = v * scale;
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![k, n, n], data))
+}
+
+/// Connected-component clustering of flagged windows: two positives join
+/// the same region when their windows strictly overlap.
+fn merge_regions(windows: &[WindowScore], window_nm: i64) -> Vec<HotspotRegion> {
+    let pos: Vec<&WindowScore> = windows.iter().filter(|w| w.hotspot).collect();
+    let mut parent: Vec<usize> = (0..pos.len()).collect();
+    fn find(parent: &mut [usize], mut a: usize) -> usize {
+        while parent[a] != a {
+            parent[a] = parent[parent[a]];
+            a = parent[a];
+        }
+        a
+    }
+    for a in 0..pos.len() {
+        for b in a + 1..pos.len() {
+            if (pos[a].x_nm - pos[b].x_nm).abs() < window_nm
+                && (pos[a].y_nm - pos[b].y_nm).abs() < window_nm
+            {
+                let ra = find(&mut parent, a);
+                let rb = find(&mut parent, b);
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for a in 0..pos.len() {
+        let root = find(&mut parent, a);
+        groups.entry(root).or_default().push(a);
+    }
+    let mut regions: Vec<HotspotRegion> = groups
+        .into_values()
+        .map(|members| {
+            let mut x0 = i64::MAX;
+            let mut y0 = i64::MAX;
+            let mut x1 = i64::MIN;
+            let mut y1 = i64::MIN;
+            let mut peak = 0.0f32;
+            let mut sum = 0.0f64;
+            for &m in &members {
+                let w = pos[m];
+                x0 = x0.min(w.x_nm);
+                y0 = y0.min(w.y_nm);
+                x1 = x1.max(w.x_nm + window_nm);
+                y1 = y1.max(w.y_nm + window_nm);
+                peak = peak.max(w.score);
+                sum += f64::from(w.score);
+            }
+            HotspotRegion {
+                x0_nm: x0,
+                y0_nm: y0,
+                x1_nm: x1,
+                y1_nm: y1,
+                windows: members.len(),
+                peak_score: peak,
+                mean_score: (sum / members.len() as f64) as f32,
+            }
+        })
+        .collect();
+    regions.sort_by_key(|r| (r.y0_nm, r.x0_nm));
+    regions
+}
+
+impl HotspotDetector {
+    /// Scans a full layout with a sliding window, scoring every stride
+    /// position and merging flagged windows into hotspot regions.
+    ///
+    /// The layout is rasterised **once**; per-window feature tensors are
+    /// assembled from per-block DCT coefficients, shared between
+    /// overlapping windows through a block cache whenever a window's
+    /// position lands on the block lattice (always true when the stride is
+    /// a multiple of the block size). Scores are bit-identical to
+    /// extracting each window as a standalone clip and calling
+    /// [`HotspotDetector::predict_batch`]. CNN inference fans out per the
+    /// configured [`crate::Parallelism`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when the scan geometry is inconsistent
+    /// with the feature pipeline: stride, window and layout extents must
+    /// be multiples of the raster resolution, the window must divide into
+    /// the pipeline's block grid, and the layout must be at least one
+    /// window in each axis.
+    pub fn scan(&self, layout: &Clip, config: &ScanConfig) -> Result<ScanReport, CoreError> {
+        let start = Instant::now();
+        let pipeline = self.pipeline();
+        let res = i64::from(pipeline.resolution_nm());
+        let n = pipeline.grid_dim();
+        let width_nm = layout.window().width();
+        let height_nm = layout.window().height();
+        if config.stride_nm % res != 0 {
+            return Err(CoreError::InvalidConfig(
+                "scan stride must be a multiple of the raster resolution",
+            ));
+        }
+        if config.window_nm % res != 0 {
+            return Err(CoreError::InvalidConfig(
+                "scan window must be a multiple of the raster resolution",
+            ));
+        }
+        if width_nm % res != 0 || height_nm % res != 0 {
+            return Err(CoreError::InvalidConfig(
+                "layout extents must be multiples of the raster resolution",
+            ));
+        }
+        let window_px = (config.window_nm / res) as usize;
+        if !window_px.is_multiple_of(n) {
+            return Err(CoreError::InvalidConfig(
+                "scan window does not divide into the pipeline block grid",
+            ));
+        }
+        if width_nm < config.window_nm || height_nm < config.window_nm {
+            return Err(CoreError::InvalidConfig(
+                "layout is smaller than the scan window",
+            ));
+        }
+        let block_px = window_px / n;
+        let plan = BlockDctPlan::new(block_px, pipeline.coefficients())?;
+        let normalized = layout.normalized();
+        let layout_raster = raster::rasterize_clip(&normalized, pipeline.resolution_nm());
+        let xs = axis_positions(width_nm, config.window_nm, config.stride_nm);
+        let ys = axis_positions(height_nm, config.window_nm, config.stride_nm);
+
+        let mut cache: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
+        let mut stats = CacheStats::default();
+        let mut features = Vec::with_capacity(xs.len() * ys.len());
+        for &y in &ys {
+            for &x in &xs {
+                features.push(window_feature(
+                    &layout_raster,
+                    &plan,
+                    &mut cache,
+                    &mut stats,
+                    (x / res) as usize,
+                    (y / res) as usize,
+                    n,
+                )?);
+            }
+        }
+
+        let logits = self
+            .network()
+            .forward_batch_inference(&features, self.parallelism().workers());
+        let lo = layout.window().lo();
+        let mut windows = Vec::with_capacity(features.len());
+        let mut idx = 0;
+        for &y in &ys {
+            for &x in &xs {
+                let score = loss::softmax(logits[idx].as_slice())[1];
+                windows.push(WindowScore {
+                    x_nm: lo.x + x,
+                    y_nm: lo.y + y,
+                    score,
+                    hotspot: score > config.threshold,
+                });
+                idx += 1;
+            }
+        }
+        let regions = merge_regions(&windows, config.window_nm);
+        Ok(ScanReport {
+            layout_width_nm: width_nm,
+            layout_height_nm: height_nm,
+            stride_nm: config.stride_nm,
+            window_nm: config.window_nm,
+            threshold: config.threshold,
+            grid_cols: xs.len(),
+            grid_rows: ys.len(),
+            windows,
+            regions,
+            cache: stats,
+            elapsed_s: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FeaturePipeline;
+    use crate::model::CnnConfig;
+    use hotspot_datagen::LayoutSpec;
+
+    /// A small untrained detector: res 10 nm/px, 4×4 block grid, k = 4,
+    /// sized for 400 nm scan windows (blocks of 10 px / 100 nm).
+    fn tiny_detector() -> HotspotDetector {
+        let pipeline = FeaturePipeline::new(10, 4, 4).expect("valid pipeline");
+        let net = CnnConfig {
+            input_grid: 4,
+            input_channels: 4,
+            stage1_maps: 4,
+            stage2_maps: 4,
+            fc_width: 8,
+            dropout_pct: 50,
+            seed: 11,
+        }
+        .build();
+        HotspotDetector::from_network(pipeline, net)
+    }
+
+    fn tiny_config(stride_nm: i64) -> ScanConfig {
+        ScanConfig::new(stride_nm)
+            .expect("positive stride")
+            .with_window_nm(400)
+            .expect("positive window")
+    }
+
+    #[test]
+    fn config_validates() {
+        assert!(ScanConfig::new(0).is_err());
+        assert!(ScanConfig::new(-100).is_err());
+        assert!(ScanConfig::new(100).unwrap().with_window_nm(0).is_err());
+        assert!(ScanConfig::new(100).unwrap().with_threshold(1.5).is_err());
+        assert!(ScanConfig::new(100).unwrap().with_threshold(-0.1).is_err());
+        let c = ScanConfig::new(600).unwrap();
+        assert_eq!(
+            (c.stride_nm(), c.window_nm(), c.threshold()),
+            (600, 1200, 0.5)
+        );
+    }
+
+    #[test]
+    fn scan_rejects_inconsistent_geometry() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 3).build();
+        // Stride not a multiple of the 10 nm resolution.
+        assert!(detector.scan(&layout, &tiny_config(105)).is_err());
+        // Window not a multiple of the resolution.
+        let c = ScanConfig::new(200).unwrap().with_window_nm(405).unwrap();
+        assert!(detector.scan(&layout, &c).is_err());
+        // Window pixels (45) not divisible by the 4-block grid.
+        let c = ScanConfig::new(200).unwrap().with_window_nm(450).unwrap();
+        assert!(detector.scan(&layout, &c).is_err());
+        // Layout smaller than the window.
+        let c = ScanConfig::new(200).unwrap().with_window_nm(2000).unwrap();
+        assert!(detector.scan(&layout, &c).is_err());
+    }
+
+    #[test]
+    fn aligned_scan_transforms_each_block_at_most_once() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(2, 2, 7).build(); // 2400×2400 nm
+                                                           // Stride 200 nm = 2 blocks: every window lands on the lattice.
+        let report = detector.scan(&layout, &tiny_config(200)).unwrap();
+        assert_eq!(report.grid_cols, 11);
+        assert_eq!(report.grid_rows, 11);
+        assert_eq!(report.windows.len(), 121);
+        // 121 windows × 16 blocks fetched, but ≤ 24×24 distinct layout
+        // blocks ever transformed — everything else is a cache hit.
+        assert_eq!(report.cache.lookups(), 121 * 16);
+        assert!(
+            report.cache.computed <= 24 * 24,
+            "computed {}",
+            report.cache.computed
+        );
+        assert!(report.cache.hits > 0);
+        assert!(
+            report.cache.hit_rate() > 0.5,
+            "hit rate {}",
+            report.cache.hit_rate()
+        );
+    }
+
+    #[test]
+    fn scan_scores_match_naive_clip_extraction() {
+        use hotspot_geometry::Rect;
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(2, 1, 19).build(); // 2400×1200 nm
+        for stride in [200, 150] {
+            // 200 nm is block-aligned; 150 nm is not (block = 100 nm).
+            let report = detector.scan(&layout, &tiny_config(stride)).unwrap();
+            let clips: Vec<Clip> = report
+                .windows
+                .iter()
+                .map(|w| {
+                    layout.extract_window(
+                        Rect::from_size(hotspot_geometry::Point::new(w.x_nm, w.y_nm), 400, 400)
+                            .unwrap(),
+                    )
+                })
+                .collect();
+            let naive = detector.predict_batch(&clips).unwrap();
+            for (w, p) in report.windows.iter().zip(naive.iter()) {
+                assert_eq!(
+                    w.score.to_bits(),
+                    p.to_bits(),
+                    "stride {stride}, window ({}, {})",
+                    w.x_nm,
+                    w.y_nm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regions_merge_overlapping_positives() {
+        let w = |x_nm: i64, y_nm: i64, score: f32| WindowScore {
+            x_nm,
+            y_nm,
+            score,
+            hotspot: score > 0.5,
+        };
+        // Two overlapping positives, one isolated positive, one negative.
+        let windows = vec![
+            w(0, 0, 0.9),
+            w(200, 0, 0.7),
+            w(2000, 2000, 0.8),
+            w(800, 0, 0.1),
+        ];
+        let regions = merge_regions(&windows, 400);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(
+            (
+                regions[0].x0_nm,
+                regions[0].y0_nm,
+                regions[0].x1_nm,
+                regions[0].y1_nm
+            ),
+            (0, 0, 600, 400)
+        );
+        assert_eq!(regions[0].windows, 2);
+        assert!((regions[0].peak_score - 0.9).abs() < 1e-6);
+        assert!((regions[0].mean_score - 0.8).abs() < 1e-6);
+        assert_eq!(regions[1].windows, 1);
+        // Windows that merely touch (distance == window) stay separate.
+        let touching = vec![w(0, 0, 0.9), w(400, 0, 0.9)];
+        assert_eq!(merge_regions(&touching, 400).len(), 2);
+    }
+
+    #[test]
+    fn report_json_has_schema_keys() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 5).build();
+        let report = detector
+            .scan(&layout, &tiny_config(400).with_threshold(0.0).unwrap())
+            .unwrap();
+        // threshold 0: every window is positive, so regions are nonempty.
+        assert!(report.positives() > 0);
+        assert!(!report.regions.is_empty());
+        let json = report.to_json();
+        for key in [
+            "\"layout\"",
+            "\"scan\"",
+            "\"cache\"",
+            "\"hit_rate\"",
+            "\"throughput\"",
+            "\"windows_per_sec\"",
+            "\"positives\"",
+            "\"regions\"",
+            "\"windows\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn flush_positions_cover_the_far_edge() {
+        // Extent 1000, window 400, stride 300: 0, 300, 600 fit; flush 600
+        // already present. Stride 250: 0, 250, 500 + flush 600.
+        assert_eq!(axis_positions(1000, 400, 300), vec![0, 300, 600]);
+        assert_eq!(axis_positions(1000, 400, 250), vec![0, 250, 500, 600]);
+        assert_eq!(axis_positions(400, 400, 100), vec![0]);
+    }
+}

@@ -8,7 +8,7 @@ use hotspot_nn::{Network, Tensor};
 /// `y(1) > 0.5 - λ` (Eq. (11)). `λ = 0` is the standard rule; larger λ
 /// trades false alarms for accuracy *without retraining* — the strategy
 /// Figure 4 shows to be inferior to biased learning.
-pub fn predict_with_shift(net: &mut Network, features: &[Tensor], lambda: f32) -> Vec<bool> {
+pub fn predict_with_shift(net: &Network, features: &[Tensor], lambda: f32) -> Vec<bool> {
     let threshold = 0.5 - lambda;
     features
         .iter()
@@ -29,7 +29,7 @@ pub fn predict_with_shift(net: &mut Network, features: &[Tensor], lambda: f32) -
 ///
 /// Panics if `features` and `labels` differ in length or `steps == 0`.
 pub fn shift_for_accuracy(
-    net: &mut Network,
+    net: &Network,
     features: &[Tensor],
     labels: &[bool],
     target_accuracy: f64,
@@ -107,8 +107,8 @@ mod tests {
     #[test]
     fn lambda_zero_is_standard_rule() {
         let (features, labels) = data();
-        let mut net = scoring_net();
-        let preds = predict_with_shift(&mut net, &features, 0.0);
+        let net = scoring_net();
+        let preds = predict_with_shift(&net, &features, 0.0);
         // p > 0.5 iff x > 0.
         assert_eq!(preds, vec![false, false, false, false, true, true, true]);
         let _ = labels;
@@ -117,9 +117,9 @@ mod tests {
     #[test]
     fn larger_lambda_flags_more() {
         let (features, _) = data();
-        let mut net = scoring_net();
-        let mut count = |l: f32| {
-            predict_with_shift(&mut net, &features, l)
+        let net = scoring_net();
+        let count = |l: f32| {
+            predict_with_shift(&net, &features, l)
                 .iter()
                 .filter(|&&p| p)
                 .count()
@@ -131,8 +131,8 @@ mod tests {
     #[test]
     fn shift_search_reaches_target() {
         let (features, labels) = data();
-        let mut net = scoring_net();
-        let (lambda, acc, fas) = shift_for_accuracy(&mut net, &features, &labels, 1.0, 100);
+        let net = scoring_net();
+        let (lambda, acc, fas) = shift_for_accuracy(&net, &features, &labels, 1.0, 100);
         assert!(acc >= 1.0, "full recall reachable, got {acc}");
         assert!(lambda > 0.0);
         // Catching x = -0.25 (p = sigmoid(-1) ≈ 0.27) costs flagging
@@ -145,8 +145,8 @@ mod tests {
         // All-negative scores and a hotspot that can never cross: acc
         // capped below the target.
         let (features, labels) = data();
-        let mut net = scoring_net();
-        let (lambda, acc, _) = shift_for_accuracy(&mut net, &features, &labels, 2.0, 50);
+        let net = scoring_net();
+        let (lambda, acc, _) = shift_for_accuracy(&net, &features, &labels, 2.0, 50);
         assert!(acc <= 1.0);
         assert!(lambda >= 0.49 - 1e-6);
     }
@@ -161,9 +161,9 @@ mod tests {
             .iter()
             .map(|&x| Tensor::from_vec(vec![1], vec![x]))
             .collect();
-        let mut net = scoring_net();
-        let (_, _, fa_low) = shift_for_accuracy(&mut net, &features, &labels, 0.66, 100);
-        let (_, _, fa_high) = shift_for_accuracy(&mut net, &features, &labels, 1.0, 100);
+        let net = scoring_net();
+        let (_, _, fa_low) = shift_for_accuracy(&net, &features, &labels, 0.66, 100);
+        let (_, _, fa_high) = shift_for_accuracy(&net, &features, &labels, 1.0, 100);
         assert!(fa_high >= fa_low);
         assert!(fa_high >= 1, "full recall must flag the -0.1 non-hotspot");
     }

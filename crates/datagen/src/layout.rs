@@ -1,0 +1,151 @@
+//! Multi-window layout generation for full-layout scanning.
+//!
+//! The pattern generators in [`crate::patterns`] emit isolated
+//! 1200×1200 nm clips — the unit the DAC'17 paper classifies. Deployment,
+//! however, scans *layouts*: regions many windows wide where consecutive
+//! windows share most of their geometry. [`LayoutSpec`] tiles seeded
+//! pattern samples into one large [`Clip`] so the scan engine in
+//! `hotspot-core` has a deterministic, arbitrarily large workload to
+//! stride over.
+
+use crate::patterns::{self, PatternKind, CLIP_SIDE_NM};
+use hotspot_geometry::{Clip, Point, Rect};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A seeded recipe for a `tiles_x × tiles_y` layout of pattern tiles.
+///
+/// Each tile is one [`patterns::sample_from_mix`] draw translated to its
+/// tile origin, so the layout window spans
+/// `tiles_x·1200 × tiles_y·1200` nm. The same spec always regenerates the
+/// identical layout.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_datagen::layout::LayoutSpec;
+///
+/// let layout = LayoutSpec::uniform(3, 2, 7).build();
+/// assert_eq!(layout.window().width(), 3 * 1200);
+/// assert_eq!(layout.window().height(), 2 * 1200);
+/// assert!(!layout.is_blank());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutSpec {
+    /// Tiles along x.
+    pub tiles_x: usize,
+    /// Tiles along y.
+    pub tiles_y: usize,
+    /// Pattern-family mixture passed to [`patterns::sample_from_mix`].
+    pub mix: Vec<(PatternKind, f64)>,
+    /// RNG seed; the layout is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl LayoutSpec {
+    /// A spec drawing uniformly from every pattern family.
+    pub fn uniform(tiles_x: usize, tiles_y: usize, seed: u64) -> Self {
+        LayoutSpec {
+            tiles_x,
+            tiles_y,
+            mix: PatternKind::ALL.iter().map(|&k| (k, 1.0)).collect(),
+            seed,
+        }
+    }
+
+    /// Layout window width in nm (`tiles_x · 1200`).
+    pub fn width_nm(&self) -> i64 {
+        self.tiles_x as i64 * CLIP_SIDE_NM
+    }
+
+    /// Layout window height in nm (`tiles_y · 1200`).
+    pub fn height_nm(&self) -> i64 {
+        self.tiles_y as i64 * CLIP_SIDE_NM
+    }
+
+    /// Generates the layout clip.
+    ///
+    /// Tiles are drawn row-major (y-major, x-minor) from a single RNG
+    /// stream seeded by `seed`; each tile's shapes are translated by its
+    /// tile origin before insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either tile count is zero or the mixture is empty.
+    pub fn build(&self) -> Clip {
+        assert!(
+            self.tiles_x > 0 && self.tiles_y > 0,
+            "layout needs at least one tile per axis"
+        );
+        assert!(!self.mix.is_empty(), "layout pattern mix must be nonempty");
+        let window = Rect::new(0, 0, self.width_nm(), self.height_nm())
+            .expect("positive tile counts give a valid window");
+        let mut layout = Clip::new(window);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for ty in 0..self.tiles_y {
+            for tx in 0..self.tiles_x {
+                let tile = patterns::sample_from_mix(&self.mix, &mut rng);
+                let origin = Point::new(tx as i64 * CLIP_SIDE_NM, ty as i64 * CLIP_SIDE_NM);
+                for shape in tile.shapes() {
+                    layout.push(shape.translated(origin));
+                }
+            }
+        }
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_deterministic() {
+        let spec = LayoutSpec::uniform(2, 3, 41);
+        assert_eq!(spec.build(), spec.build());
+        let other = LayoutSpec::uniform(2, 3, 42);
+        assert_ne!(spec.build(), other.build());
+    }
+
+    #[test]
+    fn window_spans_all_tiles() {
+        let layout = LayoutSpec::uniform(4, 2, 1).build();
+        assert_eq!(layout.window(), Rect::new(0, 0, 4800, 2400).unwrap());
+    }
+
+    #[test]
+    fn every_tile_gets_geometry() {
+        let (tiles_x, tiles_y) = (3, 3);
+        let layout = LayoutSpec::uniform(tiles_x, tiles_y, 9).build();
+        for ty in 0..tiles_y as i64 {
+            for tx in 0..tiles_x as i64 {
+                let tile = Rect::from_size(
+                    Point::new(tx * CLIP_SIDE_NM, ty * CLIP_SIDE_NM),
+                    CLIP_SIDE_NM,
+                    CLIP_SIDE_NM,
+                )
+                .unwrap();
+                assert!(
+                    layout
+                        .shapes()
+                        .iter()
+                        .any(|s| s.intersection(&tile).is_some()),
+                    "tile ({tx},{ty}) is empty"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn density_stays_plausible() {
+        let layout = LayoutSpec::uniform(3, 3, 5).build();
+        let d = layout.density();
+        assert!(d > 0.01 && d < 0.95, "layout density {d} out of range");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tile")]
+    fn zero_tiles_rejected() {
+        let _ = LayoutSpec::uniform(0, 2, 0).build();
+    }
+}

@@ -42,9 +42,11 @@
 
 pub mod augment;
 pub mod dataset;
+pub mod layout;
 pub mod patterns;
 pub mod suite;
 
 pub use dataset::{Dataset, Sample};
+pub use layout::LayoutSpec;
 pub use patterns::PatternKind;
 pub use suite::{BenchmarkData, SuiteSpec};

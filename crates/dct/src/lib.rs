@@ -46,7 +46,7 @@ pub mod zigzag;
 
 pub use dct2d::Dct2d;
 pub use tensor::{
-    extract_feature_tensor, reconstruct_image, reconstruction_rmse, FeatureTensor,
+    extract_feature_tensor, reconstruct_image, reconstruction_rmse, BlockDctPlan, FeatureTensor,
     FeatureTensorSpec,
 };
 pub use zigzag::{zigzag_indices, zigzag_scan, zigzag_unscan};

@@ -114,6 +114,75 @@ impl FeatureTensor {
     }
 }
 
+/// A reusable one-block DCT → zig-zag truncation plan.
+///
+/// This factors the per-block inner loop of [`extract_feature_tensor`] out
+/// so callers that visit blocks in a custom order — the full-layout scan
+/// cache in `hotspot-core`, which shares block coefficients between
+/// overlapping windows — can transform one `B × B` block at a time while
+/// staying **bit-identical** to whole-image extraction:
+/// [`BlockDctPlan::coefficients_for`] performs the same [`Dct2d::forward`]
+/// call and the same first-`k` zig-zag copies, in the same order.
+#[derive(Debug, Clone)]
+pub struct BlockDctPlan {
+    block_size: usize,
+    coefficients: usize,
+    plan: Dct2d,
+    order: Vec<(usize, usize)>,
+}
+
+impl BlockDctPlan {
+    /// Creates a plan for `B × B` blocks keeping the first `coefficients`
+    /// zig-zag values.
+    ///
+    /// # Errors
+    ///
+    /// - [`DctError::ZeroDimension`] if either parameter is zero.
+    /// - [`DctError::TooManyCoefficients`] if `coefficients > B × B`.
+    pub fn new(block_size: usize, coefficients: usize) -> Result<Self, DctError> {
+        if block_size == 0 || coefficients == 0 {
+            return Err(DctError::ZeroDimension);
+        }
+        if coefficients > block_size * block_size {
+            return Err(DctError::TooManyCoefficients {
+                requested: coefficients,
+                available: block_size * block_size,
+            });
+        }
+        Ok(BlockDctPlan {
+            block_size,
+            coefficients,
+            plan: Dct2d::new(block_size)?,
+            order: zigzag::zigzag_indices(block_size),
+        })
+    }
+
+    /// Pixel side length `B` of the blocks this plan transforms.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Kept coefficients per block (`k`).
+    #[inline]
+    pub fn coefficients(&self) -> usize {
+        self.coefficients
+    }
+
+    /// The first `k` zig-zag DCT coefficients of one `B × B` block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DctError::BlockMismatch`] if `block` is not `B × B`.
+    pub fn coefficients_for(&self, block: &Grid<f32>) -> Result<Vec<f32>, DctError> {
+        let coeffs = self.plan.forward(block)?;
+        Ok(self.order[..self.coefficients]
+            .iter()
+            .map(|&(x, y)| coeffs[(x, y)])
+            .collect())
+    }
+}
+
 /// Extracts the feature tensor of a rasterised clip image.
 ///
 /// Implements paper Steps 1–4: block division, per-block 2-D DCT, zig-zag
@@ -326,6 +395,44 @@ mod tests {
         assert!(reconstruct_image(&t, 5).is_err());
         assert!(reconstruct_image(&t, 0).is_err());
         assert!(reconstruct_image(&t, 4).is_ok());
+    }
+
+    #[test]
+    fn block_plan_validates() {
+        assert!(BlockDctPlan::new(0, 4).is_err());
+        assert!(BlockDctPlan::new(4, 0).is_err());
+        assert!(matches!(
+            BlockDctPlan::new(2, 5),
+            Err(DctError::TooManyCoefficients {
+                requested: 5,
+                available: 4
+            })
+        ));
+        let p = BlockDctPlan::new(4, 6).unwrap();
+        assert_eq!((p.block_size(), p.coefficients()), (4, 6));
+        // Wrong block shape is rejected.
+        assert!(p.coefficients_for(&Grid::filled(3, 4, 0.0f32)).is_err());
+    }
+
+    #[test]
+    fn block_plan_is_bit_identical_to_whole_image_extraction() {
+        let img = stripes(24, 3);
+        let spec = FeatureTensorSpec::new(6, 9).unwrap(); // 4x4 blocks
+        let t = extract_feature_tensor(&img, &spec).unwrap();
+        let plan = BlockDctPlan::new(4, 9).unwrap();
+        for j in 0..6 {
+            for i in 0..6 {
+                let block = img.window(i * 4, j * 4, 4, 4);
+                let v = plan.coefficients_for(&block).unwrap();
+                for (c, &coeff) in v.iter().enumerate() {
+                    assert_eq!(
+                        coeff.to_bits(),
+                        t.coefficient(i, j, c).to_bits(),
+                        "block ({i},{j}) channel {c}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

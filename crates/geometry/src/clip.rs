@@ -98,6 +98,21 @@ impl Clip {
         covered as f64 / self.window.area() as f64
     }
 
+    /// Extracts the sub-clip covered by `window`: a clip whose window is
+    /// `window` and whose shapes are this clip's shapes clamped to it (in
+    /// the same order, shapes entirely outside dropped).
+    ///
+    /// This is the geometric step of sliding-window layout scanning —
+    /// repeated extraction at stride offsets turns one large layout into
+    /// the fixed-size clips the detector classifies. Extraction composes
+    /// with clamping: clamping to `self.window` first and `window` second
+    /// equals clamping to their intersection directly, so the sub-clip is
+    /// identical to building a fresh clip over `window` from the original
+    /// shapes.
+    pub fn extract_window(&self, window: Rect) -> Clip {
+        Clip::with_shapes(window, self.shapes.iter().copied())
+    }
+
     /// Returns a copy translated so the window's low corner sits at the
     /// origin. Normalising clips makes raster outputs comparable.
     pub fn normalized(&self) -> Clip {
@@ -150,6 +165,33 @@ mod tests {
         assert_eq!(n.shapes()[0], Rect::new(10, 10, 20, 90).unwrap());
         // Density is translation invariant.
         assert!((n.density() - c.density()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extract_window_clamps_and_preserves_order() {
+        let mut c = Clip::new(window());
+        c.push(Rect::new(0, 0, 30, 30).unwrap());
+        c.push(Rect::new(20, 20, 80, 40).unwrap());
+        c.push(Rect::new(90, 90, 100, 100).unwrap());
+        let sub = c.extract_window(Rect::new(10, 10, 60, 60).unwrap());
+        assert_eq!(sub.window(), Rect::new(10, 10, 60, 60).unwrap());
+        assert_eq!(
+            sub.shapes(),
+            &[
+                Rect::new(10, 10, 30, 30).unwrap(),
+                Rect::new(20, 20, 60, 40).unwrap(),
+            ]
+        );
+        // Equivalent to clamping the original shapes directly.
+        let direct = Clip::with_shapes(
+            Rect::new(10, 10, 60, 60).unwrap(),
+            [
+                Rect::new(0, 0, 30, 30).unwrap(),
+                Rect::new(20, 20, 80, 40).unwrap(),
+                Rect::new(90, 90, 100, 100).unwrap(),
+            ],
+        );
+        assert_eq!(sub, direct);
     }
 
     #[test]

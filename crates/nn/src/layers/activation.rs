@@ -44,6 +44,15 @@ impl Layer for Sigmoid {
         Tensor::from_vec(self.shape.clone(), self.output.clone())
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let data = input
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        Tensor::from_vec(input.shape().to_vec(), data)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(
             grad.len(),
@@ -95,6 +104,11 @@ impl Layer for Tanh {
         self.shape = input.shape().to_vec();
         self.output = input.as_slice().iter().map(|&v| v.tanh()).collect();
         Tensor::from_vec(self.shape.clone(), self.output.clone())
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let data = input.as_slice().iter().map(|&v| v.tanh()).collect();
+        Tensor::from_vec(input.shape().to_vec(), data)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

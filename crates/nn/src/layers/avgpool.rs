@@ -51,6 +51,27 @@ impl Layer for AvgPool2 {
         Tensor::from_vec(vec![c, oh, ow], out)
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "avgpool input must be CHW");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h >= 2 && w >= 2, "avgpool needs at least 2x2 spatial input");
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let sum = input.at3(ch, oy * 2, ox * 2)
+                        + input.at3(ch, oy * 2, ox * 2 + 1)
+                        + input.at3(ch, oy * 2 + 1, ox * 2)
+                        + input.at3(ch, oy * 2 + 1, ox * 2 + 1);
+                    out.push(sum * 0.25);
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, oh, ow], out)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "avgpool backward before forward");
         let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);

@@ -91,21 +91,36 @@ impl Conv2d {
         )
     }
 
-    /// Unfolds `input` into `self.col`: row `(ic·k + ky)·k + kx` holds, for
+    /// Unfolds `input` into `col`: row `(ic·k + ky)·k + kx` holds, for
     /// every output position `(oy, ox)`, the input sample
     /// `input[ic][oy+ky-pad][ox+kx-pad]` (zero outside the image).
-    fn im2col(&mut self, input: &Tensor, h: usize, w: usize, oh: usize, ow: usize) {
-        let k = self.ksize;
-        let pad = self.pad as isize;
-        self.col.clear();
-        self.col.resize(self.in_c * k * k * oh * ow, 0.0);
+    ///
+    /// Writes into a caller-provided buffer so both the training path
+    /// (layer-owned scratch, reused across steps) and the immutable
+    /// inference path (a local buffer) share one unfold implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_into(
+        col: &mut Vec<f32>,
+        input: &Tensor,
+        in_c: usize,
+        ksize: usize,
+        pad: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+    ) {
+        let k = ksize;
+        let pad = pad as isize;
+        col.clear();
+        col.resize(in_c * k * k * oh * ow, 0.0);
         let x = input.as_slice();
-        for ic in 0..self.in_c {
+        for ic in 0..in_c {
             let plane = &x[ic * h * w..(ic + 1) * h * w];
             for ky in 0..k {
                 for kx in 0..k {
                     let row_base = ((ic * k + ky) * k + kx) * oh * ow;
-                    let dst = &mut self.col[row_base..row_base + oh * ow];
+                    let dst = &mut col[row_base..row_base + oh * ow];
                     // Valid output-x range for this kernel column: the
                     // sampled ix = ox + kx - pad must land in [0, w).
                     let ox0 = 0isize.max(pad - kx as isize) as usize;
@@ -127,6 +142,31 @@ impl Conv2d {
                 }
             }
         }
+    }
+
+    /// Shared forward tail: bias broadcast plus `W · col` via GEMM.
+    fn gemm_forward(&self, col: &[f32], oh: usize, ow: usize) -> Tensor {
+        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
+        let o = out.as_mut_slice();
+        for (oc, &b) in self.bias.iter().enumerate() {
+            o[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
+        }
+        gemm::gemm_nn(
+            self.out_c,
+            oh * ow,
+            self.in_c * self.ksize * self.ksize,
+            &self.weights,
+            col,
+            o,
+        );
+        out
+    }
+
+    fn check_input(&self, input: &Tensor) -> (usize, usize) {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "conv input must be CHW");
+        assert_eq!(shape[0], self.in_c, "conv expected {} channels", self.in_c);
+        (shape[1], shape[2])
     }
 
     /// Folds `self.dcol` back into an input-shaped gradient (scatter-add
@@ -209,29 +249,29 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 3, "conv input must be CHW");
-        assert_eq!(shape[0], self.in_c, "conv expected {} channels", self.in_c);
-        let (h, w) = (shape[1], shape[2]);
+        let (h, w) = self.check_input(input);
         let (oh, ow) = self.out_hw(h, w);
-        self.im2col(input, h, w, oh, ow);
-
-        // out[oc] = bias[oc] broadcast, then out += W · col.
-        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
-        let o = out.as_mut_slice();
-        for (oc, &b) in self.bias.iter().enumerate() {
-            o[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
-        }
-        gemm::gemm_nn(
-            self.out_c,
-            oh * ow,
-            self.in_c * self.ksize * self.ksize,
-            &self.weights,
-            &self.col,
-            o,
+        let mut col = std::mem::take(&mut self.col);
+        Self::im2col_into(
+            &mut col, input, self.in_c, self.ksize, self.pad, h, w, oh, ow,
         );
+        self.col = col;
+        let out = self.gemm_forward(&self.col, oh, ow);
         self.cached_hw = Some((h, w));
         out
+    }
+
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let (h, w) = self.check_input(input);
+        let (oh, ow) = self.out_hw(h, w);
+        // A local unfold buffer: the layer-owned `col` scratch belongs to
+        // the training path (backward reads it), and sharing it would make
+        // concurrent inference impossible.
+        let mut col = Vec::new();
+        Self::im2col_into(
+            &mut col, input, self.in_c, self.ksize, self.pad, h, w, oh, ow,
+        );
+        self.gemm_forward(&col, oh, ow)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -461,6 +501,21 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn forward_inference_matches_forward_bitwise_and_leaves_scratch_alone() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<f32> = (0..2 * 6 * 6)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let x = Tensor::from_vec(vec![2, 6, 6], data);
+        let reference = conv.forward(&x, false);
+        let cap = conv.col.capacity();
+        let inferred = conv.forward_inference(&x);
+        assert_eq!(inferred.as_slice(), reference.as_slice());
+        assert_eq!(conv.col.capacity(), cap, "inference must not touch scratch");
     }
 
     #[test]

@@ -84,6 +84,26 @@ impl Layer for Dense {
         Tensor::from_vec(vec![self.out_features], out)
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.len(),
+            self.in_features,
+            "dense expected {} inputs, got {:?}",
+            self.in_features,
+            input.shape()
+        );
+        let mut out = self.bias.clone();
+        gemm::gemm_nt(
+            self.out_features,
+            1,
+            self.in_features,
+            &self.weights,
+            input.as_slice(),
+            &mut out,
+        );
+        Tensor::from_vec(vec![self.out_features], out)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         let input = match self.cached_input.take() {
             Some(input) => input,

@@ -83,6 +83,12 @@ impl Layer for Dropout {
         Tensor::from_vec(self.shape.clone(), data)
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        // Inverted dropout is the identity at inference time, and no RNG
+        // is drawn — the training stream is left untouched.
+        input.clone()
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(
             grad.len(),

@@ -33,6 +33,10 @@ impl Layer for Flatten {
         input.clone().reshaped(vec![input.len()])
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        input.clone().reshaped(vec![input.len()])
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert!(!self.in_shape.is_empty(), "flatten backward before forward");
         grad.clone().reshaped(self.in_shape.clone())

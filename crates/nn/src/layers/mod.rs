@@ -33,8 +33,9 @@ use std::fmt;
 /// be called after the matching `forward`, and batching is expressed as
 /// repeated forward/backward calls with gradients accumulated until
 /// [`Layer::zero_grads`]. Layers must be [`Send`] so network replicas can
-/// run on worker threads ([`crate::parallel`]).
-pub trait Layer: fmt::Debug + Send {
+/// run on worker threads ([`crate::parallel`]) and [`Sync`] so a single
+/// network can serve concurrent [`Layer::forward_inference`] calls.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// Computes the layer output. `train` enables training-only behaviour
     /// (dropout masks); inference should pass `false`.
     ///
@@ -42,6 +43,19 @@ pub trait Layer: fmt::Debug + Send {
     ///
     /// Panics if `input` has an incompatible shape.
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Computes the layer output in inference mode without mutating any
+    /// layer state (no backward caches, no scratch reuse, no RNG draws).
+    ///
+    /// Must be **bit-identical** to `forward(input, false)`: same
+    /// arithmetic in the same order, differing only in what gets cached.
+    /// This is what lets many threads share one network during batch
+    /// scoring instead of cloning per-worker replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` has an incompatible shape.
+    fn forward_inference(&self, input: &Tensor) -> Tensor;
 
     /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
     /// gradients, and returns ∂loss/∂input.

@@ -66,6 +66,33 @@ impl Layer for MaxPool2 {
         Tensor::from_vec(vec![c, oh, ow], out)
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "maxpool input must be CHW");
+        let (c, h, w) = (s[0], s[1], s[2]);
+        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 spatial input");
+        let (oh, ow) = (h / 2, w / 2);
+        // Same strict-`>` scan as `forward`, minus the argmax bookkeeping.
+        let mut out = Vec::with_capacity(c * oh * ow);
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = input.at3(ch, oy * 2 + dy, ox * 2 + dx);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    out.push(best);
+                }
+            }
+        }
+        Tensor::from_vec(vec![c, oh, ow], out)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(
             grad.len(),

@@ -40,6 +40,15 @@ impl Layer for Relu {
         Tensor::from_vec(self.shape.clone(), data)
     }
 
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let data = input
+            .as_slice()
+            .iter()
+            .map(|&v| if v > 0.0 { v } else { 0.0 })
+            .collect();
+        Tensor::from_vec(input.shape().to_vec(), data)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         assert_eq!(
             grad.len(),

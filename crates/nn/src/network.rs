@@ -54,6 +54,57 @@ impl Network {
         x
     }
 
+    /// Full forward pass in inference mode without mutating any layer
+    /// state — the shared-reference counterpart of `forward(input, false)`.
+    ///
+    /// Bit-identical to `forward(input, false)` (each layer guarantees
+    /// this for [`Layer::forward_inference`]), but callable through `&self`
+    /// so many worker threads can score against one network concurrently
+    /// instead of cloning per-worker replicas.
+    pub fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_inference(&x);
+        }
+        x
+    }
+
+    /// Inference over a batch of inputs, partitioned across `threads`
+    /// workers that all share `&self` (no replica cloning). Results are
+    /// returned in input order and are **bit-identical to the serial loop
+    /// for any thread count** because [`Network::forward_inference`] is
+    /// pure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`.
+    pub fn forward_batch_inference(&self, inputs: &[Tensor], threads: usize) -> Vec<Tensor> {
+        assert!(threads > 0, "threads must be nonzero");
+        let threads = threads.min(inputs.len());
+        if threads <= 1 {
+            return inputs.iter().map(|x| self.forward_inference(x)).collect();
+        }
+        let chunk = inputs.len().div_ceil(threads);
+        let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
+            for (worker, slot) in outputs.iter_mut().enumerate() {
+                // Ceil-division chunking can leave trailing workers past
+                // the end (13 inputs / 8 workers); clamp them to empty.
+                let start = (worker * chunk).min(inputs.len());
+                let slice = &inputs[start..(start + chunk).min(inputs.len())];
+                scope.spawn(move |_| {
+                    *slot = slice.iter().map(|x| self.forward_inference(x)).collect();
+                });
+            }
+        }) {
+            // A worker panic is a bug in layer code, not a recoverable
+            // condition: propagate the original payload instead of wrapping
+            // it in a second panic message.
+            std::panic::resume_unwind(payload);
+        }
+        outputs.into_iter().flatten().collect()
+    }
+
     /// Forward passes over a batch of inputs, partitioned across
     /// `threads` worker replicas in the fixed-order pattern of
     /// [`crate::parallel`]: worker `i` processes the `i`-th contiguous
@@ -284,6 +335,59 @@ mod tests {
         }
         // Empty batches are fine.
         assert!(net.forward_batch(&[], false, 4).is_empty());
+    }
+
+    #[test]
+    fn forward_inference_is_bit_identical_to_eval_forward() {
+        use crate::layers::{Conv2d, Dropout, Flatten, MaxPool2};
+        // Cover every layer kind that appears in the paper architecture,
+        // dropout included (identity at inference, no RNG draw).
+        let mut net = Network::new();
+        net.push(Conv2d::new(2, 3, 3, 1, 5));
+        net.push(Relu::new());
+        net.push(MaxPool2::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(3 * 3 * 3, 8, 6));
+        net.push(Dropout::new(0.5, 7));
+        net.push(Dense::new(8, 2, 8));
+        let x = Tensor::from_vec(
+            vec![2, 6, 6],
+            (0..72).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let rng_before = net.rng_states();
+        let inferred = net.forward_inference(&x);
+        assert_eq!(net.rng_states(), rng_before, "inference must not draw RNG");
+        let reference = net.forward(&x, false);
+        assert_eq!(inferred, reference);
+    }
+
+    #[test]
+    fn forward_batch_inference_matches_serial_for_any_thread_count() {
+        let mut net = tiny_net();
+        let inputs: Vec<Tensor> = (0..13)
+            .map(|i| {
+                Tensor::from_vec(
+                    vec![3],
+                    (0..3)
+                        .map(|j| ((i * 5 + j * 3) % 7) as f32 / 7.0 - 0.5)
+                        .collect(),
+                )
+            })
+            .collect();
+        let serial: Vec<Tensor> = inputs.iter().map(|x| net.forward(x, false)).collect();
+        let shared = &net;
+        for threads in [1, 2, 3, 8, 64] {
+            let batched = shared.forward_batch_inference(&inputs, threads);
+            assert_eq!(batched, serial, "threads = {threads}");
+        }
+        assert!(shared.forward_batch_inference(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be nonzero")]
+    fn forward_batch_inference_rejects_zero_threads() {
+        let net = tiny_net();
+        let _ = net.forward_batch_inference(&[Tensor::zeros(vec![3])], 0);
     }
 
     #[test]

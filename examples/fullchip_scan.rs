@@ -1,14 +1,15 @@
 //! Full-chip scan: the deployment scenario the paper's introduction
-//! motivates. A larger layout region is swept with a 1200×1200 nm window;
-//! every window is scored by a trained detector and the predicted hotspot
-//! map is compared against full lithography simulation of each window.
+//! motivates. A larger layout region is swept with a 1200×1200 nm window
+//! by the streaming scan engine (`HotspotDetector::scan`); every window is
+//! scored by a trained detector and the predicted hotspot map is compared
+//! against full lithography simulation of each window.
 //!
 //! ```text
 //! cargo run --release --example fullchip_scan
 //! ```
 
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
-use hotspot_core::FeaturePipeline;
+use hotspot_core::{FeaturePipeline, ScanConfig};
 use hotspot_datagen::suite::SuiteSpec;
 use hotspot_datagen::{patterns, PatternKind};
 use hotspot_geometry::{Clip, Point, Rect};
@@ -28,13 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.pipeline = FeaturePipeline::new(10, 12, 16)?;
     config.mgd.max_steps = 900;
     config.biased.rounds = 2;
-    let mut detector = HotspotDetector::fit(&data.train, &config)?;
+    let detector = HotspotDetector::fit(&data.train, &config)?;
 
     // 2. Assemble a "chip region": a TILES x TILES mosaic of archetype
-    //    patterns translated into place.
+    //    patterns translated into place, merged into one layout clip.
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
     let kinds = PatternKind::ALL;
-    let mut region: Vec<(Rect, Clip)> = Vec::new();
+    let mut tiles: Vec<Clip> = Vec::new();
+    let mut shapes: Vec<Rect> = Vec::new();
     for ty in 0..TILES {
         for tx in 0..TILES {
             let kind = kinds[((ty * TILES + tx) as usize) % kinds.len()];
@@ -43,11 +45,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let window = tile.window().translated(offset);
             let clip =
                 Clip::with_shapes(window, tile.shapes().iter().map(|r| r.translated(offset)));
-            region.push((window, clip));
+            shapes.extend(clip.shapes().iter().copied());
+            tiles.push(clip);
         }
     }
+    let extent = Rect::new(0, 0, TILES * WINDOW_NM, TILES * WINDOW_NM)?;
+    let layout = Clip::with_shapes(extent, shapes);
 
-    // 3. Scan: detector prediction vs full simulation per window.
+    // 3. Scan the layout in one call: rasterise once, transform each DCT
+    //    block once, score every window position in a parallel batch.
+    let scan_cfg = ScanConfig::new(WINDOW_NM)?.with_window_nm(WINDOW_NM)?;
+    let report = detector.scan(&layout, &scan_cfg)?;
+    println!(
+        "\nscanned {} windows at {:.1} windows/s \
+         (DCT block cache: {} computed, {} reused, {:.0}% hit rate)",
+        report.windows.len(),
+        report.windows_per_sec(),
+        report.cache.computed,
+        report.cache.hits,
+        report.cache.hit_rate() * 100.0
+    );
+
+    // 4. Predicted map vs full simulation per window. Scan windows come
+    //    back row-major (y outer, x inner), matching the mosaic order.
     let mut hits = 0usize;
     let mut misses = 0usize;
     let mut false_alarms = 0usize;
@@ -55,9 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for ty in 0..TILES {
         let mut row = String::from("  ");
         for tx in 0..TILES {
-            let (_, clip) = &region[(ty * TILES + tx) as usize];
-            let predicted = detector.predict(clip)?;
-            let actual = sim.label_clip(clip);
+            let idx = (ty * TILES + tx) as usize;
+            let predicted = report.windows[idx].hotspot;
+            let actual = sim.label_clip(&tiles[idx]);
             row.push(match (predicted, actual) {
                 (true, true) => {
                     hits += 1;
@@ -86,8 +106,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         misses,
         false_alarms
     );
+    if !report.regions.is_empty() {
+        println!(
+            "flagged windows merge into {} hotspot region(s):",
+            report.regions.len()
+        );
+        for r in &report.regions {
+            println!(
+                "  ({}, {})..({}, {}) nm: {} window(s), peak score {:.3}",
+                r.x0_nm, r.y0_nm, r.x1_nm, r.y1_nm, r.windows, r.peak_score
+            );
+        }
+    }
 
-    // 4. The ODST argument: simulate only the flagged windows instead of
+    // 5. The ODST argument: simulate only the flagged windows instead of
     //    every window.
     let full_sim = simtime::odst_seconds((TILES * TILES) as usize, 0, 0.0);
     let ml_flow = simtime::odst_seconds(hits, false_alarms, 1.0);

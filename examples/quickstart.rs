@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Train (feature tensors -> CNN -> MGD -> biased fine-tuning).
     println!("training...");
-    let mut detector = HotspotDetector::fit(&data.train, &config)?;
+    let detector = HotspotDetector::fit(&data.train, &config)?;
     println!(
         "trained to ε = {:.1} in {:.0} s",
         detector.training_report().final_epsilon(),

@@ -65,7 +65,7 @@ fn setup() -> Setup {
     }
 }
 
-fn recall_and_fa(net: &mut hotspot_nn::Network, xs: &[Tensor], ys: &[bool]) -> (f64, usize) {
+fn recall_and_fa(net: &hotspot_nn::Network, xs: &[Tensor], ys: &[bool]) -> (f64, usize) {
     let preds = mgd::predict_all(net, xs);
     let mut hits = 0usize;
     let mut total = 0usize;
@@ -88,7 +88,7 @@ fn biased_fine_tuning_does_not_reduce_recall() {
     let s = setup();
     let mut net = s.cnn.build();
     mgd::train(&mut net, &s.train_x, &s.train_y, 0.0, &s.mgd).unwrap();
-    let (recall0, _) = recall_and_fa(&mut net, &s.test_x, &s.test_y);
+    let (recall0, _) = recall_and_fa(&net, &s.test_x, &s.test_y);
 
     // Fine-tune with increasing bias (Algorithm 2) and track recall.
     let fine = MgdConfig {
@@ -99,7 +99,7 @@ fn biased_fine_tuning_does_not_reduce_recall() {
     let mut last = recall0;
     for eps in [0.1f32, 0.2, 0.3] {
         mgd::train(&mut net, &s.train_x, &s.train_y, eps, &fine).unwrap();
-        let (recall, _) = recall_and_fa(&mut net, &s.test_x, &s.test_y);
+        let (recall, _) = recall_and_fa(&net, &s.test_x, &s.test_y);
         // Theorem 1 is an expectation statement; allow small sampling
         // noise per round but require no catastrophic regression.
         assert!(
@@ -133,11 +133,11 @@ fn bias_beats_boundary_shift_on_false_alarms() {
     for eps in [0.1f32, 0.2] {
         mgd::train(&mut biased, &s.train_x, &s.train_y, eps, &fine).unwrap();
     }
-    let (bias_recall, bias_fa) = recall_and_fa(&mut biased, &s.test_x, &s.test_y);
+    let (bias_recall, bias_fa) = recall_and_fa(&biased, &s.test_x, &s.test_y);
 
     // Boundary-shift the reference model to the same recall.
     let (_, shift_recall, shift_fa) =
-        shift::shift_for_accuracy(&mut base, &s.test_x, &s.test_y, bias_recall, 500);
+        shift::shift_for_accuracy(&base, &s.test_x, &s.test_y, bias_recall, 500);
     assert!(shift_recall >= bias_recall - 1e-9);
     // The paper's Figure-4 claim, with slack for the small test set:
     // biased learning should not need *more* false alarms than shifting.

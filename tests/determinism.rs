@@ -71,8 +71,8 @@ fn trained_detectors_are_reproducible() {
         cfg.mgd = mgd;
         cfg
     };
-    let mut d1 = HotspotDetector::fit(&data.train, &config).unwrap();
-    let mut d2 = HotspotDetector::fit(&data.train, &config).unwrap();
+    let d1 = HotspotDetector::fit(&data.train, &config).unwrap();
+    let d2 = HotspotDetector::fit(&data.train, &config).unwrap();
     for sample in data.test.iter() {
         assert_eq!(
             d1.predict_proba(&sample.clip).unwrap(),

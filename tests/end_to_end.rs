@@ -61,7 +61,7 @@ fn full_pipeline_trains_and_scores() {
         assert_eq!(sim.label_clip(&sample.clip), sample.hotspot);
     }
 
-    let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
+    let detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
     let result = detector.evaluate(&data.test).expect("evaluation runs");
 
     // Structural invariants of the evaluation.
@@ -79,7 +79,7 @@ fn full_pipeline_trains_and_scores() {
 fn per_clip_predictions_match_batch_evaluation() {
     let sim = oracle();
     let data = tiny_spec().build(&sim);
-    let mut detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
+    let detector = HotspotDetector::fit(&data.train, &quick_config()).expect("training runs");
     let result = detector.evaluate(&data.test).expect("evaluation runs");
     let mut hits = 0usize;
     let mut fas = 0usize;

@@ -48,11 +48,11 @@ fn trained_setup() -> (HotspotDetector, Vec<hotspot_nn::Tensor>, Vec<bool>) {
 
 #[test]
 fn roc_curve_brackets_the_default_operating_point() {
-    let (mut detector, test_x, test_y) = trained_setup();
+    let (detector, test_x, test_y) = trained_setup();
     // Default operating point from hard predictions.
     let preds: Vec<bool> = test_x
         .iter()
-        .map(|f| hotspot_core::mgd::predict_hotspot_prob(detector.network_mut(), f) > 0.5)
+        .map(|f| hotspot_core::mgd::predict_hotspot_prob(detector.network(), f) > 0.5)
         .collect();
     let hits = preds
         .iter()
@@ -61,7 +61,7 @@ fn roc_curve_brackets_the_default_operating_point() {
         .count();
     let recall = hits as f64 / test_y.iter().filter(|&&l| l).count() as f64;
 
-    let curve = roc::sweep(detector.network_mut(), &test_x, &test_y, 100);
+    let curve = roc::sweep(detector.network(), &test_x, &test_y, 100);
     // Monotone curve containing an operating point matching threshold 0.5.
     let at_half = curve
         .iter()
@@ -78,16 +78,16 @@ fn roc_curve_brackets_the_default_operating_point() {
     );
 
     // AUC of a trained model must beat chance decisively on this set.
-    let auc = roc::auc(detector.network_mut(), &test_x, &test_y, 200);
+    let auc = roc::auc(detector.network(), &test_x, &test_y, 200);
     assert!(auc > 0.6, "auc {auc}");
 }
 
 #[test]
 fn calibration_diagram_covers_test_set() {
-    let (mut detector, test_x, test_y) = trained_setup();
-    let diagram = reliability_diagram(detector.network_mut(), &test_x, &test_y, 8);
+    let (detector, test_x, test_y) = trained_setup();
+    let diagram = reliability_diagram(detector.network(), &test_x, &test_y, 8);
     let total: usize = diagram.iter().map(|b| b.count).sum();
     assert_eq!(total, test_x.len());
-    let ece = expected_calibration_error(detector.network_mut(), &test_x, &test_y, 8);
+    let ece = expected_calibration_error(detector.network(), &test_x, &test_y, 8);
     assert!((0.0..=1.0).contains(&ece));
 }

@@ -1,0 +1,111 @@
+//! Property test for the scan engine's central contract: sliding-window
+//! scan scores are **bit-identical** to the naive pipeline that extracts
+//! each window as a standalone clip and scores it through
+//! `HotspotDetector::predict_batch` — for block-aligned strides (where the
+//! scan reuses cached block-DCT coefficients) and unaligned strides (where
+//! it falls back to direct per-window transforms) alike. On aligned
+//! strides the cache must actually fire.
+
+use hotspot_core::model::CnnConfig;
+use hotspot_core::{FeaturePipeline, HotspotDetector, ScanConfig};
+use hotspot_geometry::{Clip, Point, Rect};
+use proptest::prelude::*;
+
+const WINDOW_NM: i64 = 400; // 4×4 grid of 100 nm DCT blocks at 10 nm/px
+
+fn tiny_detector() -> HotspotDetector {
+    let pipeline = FeaturePipeline::new(10, 4, 4).expect("valid pipeline");
+    let net = CnnConfig {
+        input_grid: 4,
+        input_channels: 4,
+        stage1_maps: 4,
+        stage2_maps: 4,
+        fc_width: 8,
+        dropout_pct: 50,
+        seed: 2017,
+    }
+    .build();
+    HotspotDetector::from_network(pipeline, net)
+}
+
+/// A random layout: an extent that is a multiple of the raster resolution,
+/// filled with random rectangles (coordinates are *not* snapped — partial
+/// pixel coverage must round-trip bit-exactly too).
+fn arb_layout() -> impl Strategy<Value = Clip> {
+    (50i64..=120, 50i64..=120)
+        .prop_flat_map(|(wt, ht)| {
+            let w = wt * 10; // 500..=1200 nm, always >= the 400 nm window
+            let h = ht * 10;
+            let rects = proptest::collection::vec(
+                (0i64..w - 30, 0i64..h - 30, 15i64..300, 15i64..300),
+                1..24,
+            );
+            (Just(w), Just(h), rects)
+        })
+        .prop_map(|(w, h, rects)| {
+            let extent = Rect::new(0, 0, w, h).expect("positive extent");
+            let shapes = rects.into_iter().map(|(x, y, rw, rh)| {
+                Rect::from_size(Point::new(x, y), rw.min(w - x), rh.min(h - y))
+                    .expect("clamped rect is positive")
+            });
+            Clip::with_shapes(extent, shapes)
+        })
+}
+
+fn assert_scan_matches_naive(detector: &HotspotDetector, layout: &Clip, stride_nm: i64) {
+    let config = ScanConfig::new(stride_nm)
+        .expect("positive stride")
+        .with_window_nm(WINDOW_NM)
+        .expect("positive window");
+    let report = detector.scan(layout, &config).expect("scan runs");
+    assert_eq!(report.windows.len(), report.grid_cols * report.grid_rows);
+
+    let clips: Vec<Clip> = report
+        .windows
+        .iter()
+        .map(|w| {
+            layout.extract_window(
+                Rect::from_size(Point::new(w.x_nm, w.y_nm), WINDOW_NM, WINDOW_NM)
+                    .expect("window fits"),
+            )
+        })
+        .collect();
+    let naive = detector.predict_batch(&clips).expect("naive batch runs");
+    for (w, p) in report.windows.iter().zip(naive.iter()) {
+        assert_eq!(
+            w.score.to_bits(),
+            p.to_bits(),
+            "stride {stride_nm}, window at ({}, {}): scan {} != naive {}",
+            w.x_nm,
+            w.y_nm,
+            w.score,
+            p
+        );
+    }
+
+    // Block-aligned strides must reuse coefficients whenever windows
+    // overlap on the block lattice (any layout wider than one window does).
+    let block_nm = 100;
+    let overlapping = report.grid_cols > 1 || report.grid_rows > 1;
+    if stride_nm % block_nm == 0 && overlapping && stride_nm < WINDOW_NM {
+        assert!(
+            report.cache.hits > 0 && report.cache.hit_rate() > 0.0,
+            "aligned stride {stride_nm} never hit the block cache: {:?}",
+            report.cache
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn scan_is_bit_identical_to_per_window_clip_extraction(layout in arb_layout()) {
+        let detector = tiny_detector();
+        // 200 nm: multiple of the 100 nm block size (cached path).
+        // 150 nm: misaligned every other column/row (fallback path).
+        for stride in [200i64, 150] {
+            assert_scan_matches_naive(&detector, &layout, stride);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Full-layout scan smoke test against the real binaries: generate a tiny
+# benchmark, train a small model, synthesise a layout, scan it with a JSON
+# report, and validate the report's schema. Also runs the `scan` bench at a
+# tiny budget so CI archives a fresh results/BENCH_scan.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/hotspot}
+if [ ! -x "$BIN" ]; then
+  echo "building $BIN..."
+  cargo build --release -p hotspot-cli
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "generating data and training a tiny model..."
+"$BIN" gen --dir "$work" --suite iccad --scale 0.001
+"$BIN" train --clips "$work/train.clips" --labels "$work/train.labels" \
+       --k 4 --steps 80 --rounds 1 --batch 8 --seed 11 --model "$work/m.hsnn"
+
+echo "synthesising a layout and scanning it..."
+"$BIN" genlayout --out "$work/chip.clips" --tiles 3 --seed 7
+"$BIN" scan --layout "$work/chip.clips" --model "$work/m.hsnn" \
+       --stride 600 --report "$work/scan.json"
+
+echo "validating the JSON report schema..."
+python3 - "$work/scan.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+def require(obj, path, keys):
+    for key in keys:
+        assert key in obj, f"missing {path}.{key}"
+
+require(report, "report",
+        ["layout", "scan", "cache", "throughput", "positives",
+         "regions", "windows"])
+require(report["layout"], "layout", ["width_nm", "height_nm"])
+require(report["scan"], "scan",
+        ["stride_nm", "window_nm", "threshold", "grid_cols", "grid_rows"])
+require(report["cache"], "cache",
+        ["blocks_computed", "blocks_reused", "hit_rate"])
+require(report["throughput"], "throughput",
+        ["windows", "elapsed_s", "windows_per_sec"])
+
+scan = report["scan"]
+windows = report["windows"]
+assert len(windows) == scan["grid_cols"] * scan["grid_rows"], \
+    "window list does not cover the scan grid"
+for w in windows:
+    require(w, "window", ["x_nm", "y_nm", "score", "hotspot"])
+    assert 0.0 <= w["score"] <= 1.0, f"score out of range: {w['score']}"
+for r in report["regions"]:
+    require(r, "region",
+            ["x0_nm", "y0_nm", "x1_nm", "y1_nm", "windows",
+             "peak_score", "mean_score"])
+
+cache = report["cache"]
+# Stride 600 < window 1200 on a block-aligned grid: the block-DCT cache
+# must actually fire.
+assert cache["blocks_reused"] > 0, "aligned scan never reused a DCT block"
+assert cache["hit_rate"] > 0.0, "aligned scan reported a zero hit rate"
+assert report["positives"] == sum(1 for w in windows if w["hotspot"]), \
+    "positives count disagrees with flagged windows"
+print(f"report OK: {len(windows)} windows, "
+      f"{report['positives']} flagged, "
+      f"{cache['hit_rate']:.0%} cache hit rate")
+EOF
+
+echo "running the scan bench at a tiny budget..."
+cargo run --release -p hotspot-bench --bin scan -- \
+  --scale 0.004 --steps 40 --tiles 3 --reps 1 >/dev/null
+test -s results/BENCH_scan.json || { echo "bench wrote no BENCH_scan.json" >&2; exit 1; }
+
+echo "scan smoke passed."
