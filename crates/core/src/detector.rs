@@ -214,46 +214,44 @@ impl HotspotDetector {
         self.predict_batch_workers(clips, self.parallelism.workers())
     }
 
-    /// [`HotspotDetector::predict_batch`] with a raw thread count.
-    #[deprecated(
-        since = "0.4.0",
-        note = "set a Parallelism policy (DetectorConfig::parallelism or \
-                HotspotDetector::set_parallelism) and call predict_batch"
-    )]
-    pub fn predict_batch_threaded(
-        &self,
-        clips: &[Clip],
-        threads: usize,
-    ) -> Result<Vec<f32>, CoreError> {
-        if threads == 0 {
-            return Err(CoreError::InvalidConfig("threads must be nonzero"));
-        }
-        self.predict_batch_workers(clips, threads)
-    }
-
     fn predict_batch_workers(&self, clips: &[Clip], workers: usize) -> Result<Vec<f32>, CoreError> {
+        // Nothing to score: answer immediately instead of spinning up
+        // workers or planning a degenerate workspace.
+        if clips.is_empty() {
+            return Ok(Vec::new());
+        }
         let workers = workers.min(clips.len()).max(1);
+        let pipeline = &self.pipeline;
+        let net = &self.net;
+        // Each worker scores its fixed-order chunk through one persistent
+        // shape-planned executor, so after the first clip the CNN forward
+        // pass allocates nothing.
+        let score_chunk = |slice: &[Clip]| -> Result<Vec<f32>, CoreError> {
+            let mut ex = hotspot_nn::engine::Executor::new();
+            let mut soft = Vec::new();
+            let mut probs = Vec::with_capacity(slice.len());
+            for clip in slice {
+                let feature = pipeline.extract(clip)?;
+                let logits = ex.infer(net, &feature);
+                soft.resize(logits.len(), 0.0);
+                hotspot_nn::loss::softmax_into(logits, &mut soft);
+                probs.push(soft[1]);
+            }
+            Ok(probs)
+        };
         if workers == 1 {
-            return clips.iter().map(|c| self.predict_proba(c)).collect();
+            return score_chunk(clips);
         }
         let chunk = clips.len().div_ceil(workers);
         let mut slots: Vec<Result<Vec<f32>, CoreError>> =
             (0..workers).map(|_| Ok(Vec::new())).collect();
-        let pipeline = &self.pipeline;
-        let net = &self.net;
+        let score_chunk = &score_chunk;
         if let Err(payload) = crossbeam::thread::scope(|scope| {
             for (worker, slot) in slots.iter_mut().enumerate() {
                 let start = (worker * chunk).min(clips.len());
                 let slice = &clips[start..(start + chunk).min(clips.len())];
                 scope.spawn(move |_| {
-                    *slot = slice
-                        .iter()
-                        .map(|clip| {
-                            pipeline
-                                .extract(clip)
-                                .map(|f| mgd::predict_hotspot_prob(net, &f))
-                        })
-                        .collect();
+                    *slot = score_chunk(slice);
                 });
             }
         }) {
@@ -290,15 +288,21 @@ impl HotspotDetector {
         if !(0.0..0.5).contains(&epsilon) {
             return Err(CoreError::InvalidConfig("ε must be in [0, 0.5)"));
         }
+        let mut ex = hotspot_nn::engine::Executor::new();
+        let mut grad = Vec::new();
         for (clip, hotspot) in samples {
             let feature = self.pipeline.extract(clip)?;
             self.net.zero_grads();
-            let logits = self.net.forward(&feature, true);
-            let (_, grad) = hotspot_nn::loss::softmax_cross_entropy(
-                &logits,
-                &mgd::target_for(*hotspot, epsilon),
-            );
-            self.net.backward(&grad);
+            {
+                let logits = ex.forward_train(&mut self.net, &feature);
+                grad.resize(logits.len(), 0.0);
+                let _ = hotspot_nn::loss::softmax_cross_entropy_into(
+                    logits,
+                    &mgd::target_for(*hotspot, epsilon),
+                    &mut grad,
+                );
+            }
+            ex.backward(&mut self.net, &grad);
             self.net.apply_gradients(lr);
         }
         Ok(())
@@ -334,23 +338,6 @@ impl HotspotDetector {
     /// does not match the training pipeline configuration).
     pub fn evaluate(&self, test: &Dataset) -> Result<EvalResult, CoreError> {
         self.evaluate_workers(test, self.parallelism.workers())
-    }
-
-    /// [`HotspotDetector::evaluate`] with a raw thread count.
-    #[deprecated(
-        since = "0.4.0",
-        note = "set a Parallelism policy (DetectorConfig::parallelism or \
-                HotspotDetector::set_parallelism) and call evaluate"
-    )]
-    pub fn evaluate_threaded(
-        &self,
-        test: &Dataset,
-        threads: usize,
-    ) -> Result<EvalResult, CoreError> {
-        if threads == 0 {
-            return Err(CoreError::InvalidConfig("threads must be nonzero"));
-        }
-        self.evaluate_workers(test, threads)
     }
 
     fn evaluate_workers(&self, test: &Dataset, workers: usize) -> Result<EvalResult, CoreError> {
@@ -461,23 +448,6 @@ mod tests {
         }
         detector.set_parallelism(Parallelism::auto());
         assert_eq!(detector.predict_batch(&clips).unwrap(), serial);
-        // The deprecated raw-thread-count shims still answer identically
-        // and keep rejecting a zero thread count.
-        #[allow(deprecated)]
-        {
-            assert_eq!(detector.predict_batch_threaded(&clips, 2).unwrap(), serial);
-            assert!(matches!(
-                detector.predict_batch_threaded(&clips, 0),
-                Err(CoreError::InvalidConfig(_))
-            ));
-            let threaded = detector.evaluate_threaded(&data.test, 2).unwrap();
-            assert_eq!(threaded.accuracy, result.accuracy);
-            assert_eq!(threaded.false_alarms, result.false_alarms);
-            assert!(matches!(
-                detector.evaluate_threaded(&data.test, 0),
-                Err(CoreError::InvalidConfig(_))
-            ));
-        }
         // A shared reference scores concurrently: predict_proba is &self.
         let shared = &detector;
         let first = &clips[0];
@@ -490,6 +460,30 @@ mod tests {
             }
         })
         .unwrap();
+    }
+
+    #[test]
+    fn empty_clip_batch_returns_empty() {
+        // Regression: a zero-clip batch must answer `[]` immediately for
+        // every worker policy instead of planning a degenerate workspace
+        // (or dividing by a zero chunk size).
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        let data = balanced_spec().build(&sim);
+        let mut cfg = quick_config();
+        cfg.mgd.max_steps = 60;
+        cfg.biased.rounds = 1;
+        let mut detector = HotspotDetector::fit(&data.train, &cfg).unwrap();
+        for workers in [1usize, 4] {
+            detector.set_parallelism(Parallelism::fixed(workers).unwrap());
+            assert!(detector.predict_batch(&[]).unwrap().is_empty());
+        }
+        detector.set_parallelism(Parallelism::auto());
+        assert!(detector.predict_batch(&[]).unwrap().is_empty());
+        // An empty test set evaluates to the degenerate-but-defined
+        // all-empty result rather than panicking.
+        let empty: Dataset = std::iter::empty::<hotspot_datagen::Sample>().collect();
+        let result = detector.evaluate(&empty).unwrap();
+        assert_eq!(result.hotspot_total + result.non_hotspot_total, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::parallelism::Parallelism;
 use crate::CoreError;
 use hotspot_nn::data::BatchSampler;
+use hotspot_nn::engine::Executor;
 use hotspot_nn::optim::LrSchedule;
 use hotspot_nn::serialize::ParameterBlob;
 use hotspot_nn::{loss, Network, Tensor};
@@ -114,11 +115,30 @@ pub fn predict_hotspot_prob(net: &Network, feature: &Tensor) -> f32 {
     loss::softmax(logits.as_slice())[1]
 }
 
-/// Hard 0.5-threshold predictions for a feature set.
+/// [`predict_hotspot_prob`] through a caller-held [`Executor`]: the shape
+/// plan and arena are reused across calls, so a scoring loop allocates
+/// nothing after the first feature. Bit-identical to the allocating path.
+fn hotspot_prob_planned(
+    ex: &mut Executor,
+    net: &Network,
+    feature: &Tensor,
+    soft: &mut Vec<f32>,
+) -> f32 {
+    let logits = ex.infer(net, feature);
+    soft.resize(logits.len(), 0.0);
+    loss::softmax_into(logits, soft);
+    soft[1]
+}
+
+/// Hard 0.5-threshold predictions for a feature set, scored through one
+/// reused execution plan (bit-identical to per-feature
+/// [`predict_hotspot_prob`] calls).
 pub fn predict_all(net: &Network, features: &[Tensor]) -> Vec<bool> {
+    let mut ex = Executor::new();
+    let mut soft = Vec::new();
     features
         .iter()
-        .map(|f| predict_hotspot_prob(net, f) > 0.5)
+        .map(|f| hotspot_prob_planned(&mut ex, net, f, &mut soft) > 0.5)
         .collect()
 }
 
@@ -133,32 +153,20 @@ pub fn predict_all_with(net: &Network, features: &[Tensor], parallelism: Paralle
         .collect()
 }
 
-/// Deprecated shim for the raw-thread-count API.
-///
-/// # Panics
-///
-/// Panics when `threads == 0` (the historical behaviour); prefer the
-/// construction-time validation of [`Parallelism::fixed`].
-#[deprecated(note = "use predict_all_with with a Parallelism policy")]
-pub fn predict_all_parallel(net: &Network, features: &[Tensor], threads: usize) -> Vec<bool> {
-    net.forward_batch_inference(features, threads)
-        .iter()
-        .map(|logits| loss::softmax(logits.as_slice())[1] > 0.5)
-        .collect()
-}
-
 /// Balanced accuracy — the mean of hotspot recall and non-hotspot
 /// specificity — of `net` on a labelled feature set. Used for validation
 /// model selection: unlike overall accuracy it cannot be maxed out by the
 /// constant predictor on a skewed set.
 pub fn balanced_accuracy(net: &Network, features: &[Tensor], labels: &[bool]) -> f64 {
     assert_eq!(features.len(), labels.len());
+    let mut ex = Executor::new();
+    let mut soft = Vec::new();
     let mut hit = [0usize; 2];
     let mut total = [0usize; 2];
     for (f, &l) in features.iter().zip(labels.iter()) {
         let class = l as usize;
         total[class] += 1;
-        if (predict_hotspot_prob(net, f) > 0.5) == l {
+        if (hotspot_prob_planned(&mut ex, net, f, &mut soft) > 0.5) == l {
             hit[class] += 1;
         }
     }
@@ -178,10 +186,12 @@ pub fn overall_accuracy(net: &Network, features: &[Tensor], labels: &[bool]) -> 
     if features.is_empty() {
         return 1.0;
     }
+    let mut ex = Executor::new();
+    let mut soft = Vec::new();
     let correct = features
         .iter()
         .zip(labels.iter())
-        .filter(|(f, &l)| (predict_hotspot_prob(net, f) > 0.5) == l)
+        .filter(|(f, &l)| (hotspot_prob_planned(&mut ex, net, f, &mut soft) > 0.5) == l)
         .count();
     correct as f64 / features.len() as f64
 }
@@ -388,6 +398,12 @@ pub fn train_resumable(
         })?;
     }
 
+    // Serial steps run through one shape-planned executor: the plan and
+    // arena are built on the first sample and reused for every step, so
+    // steady-state training performs no per-sample allocations.
+    let mut executor = Executor::new();
+    let mut grad_buf: Vec<f32> = Vec::new();
+
     let start = Instant::now();
     if resume.is_none() {
         best_acc = balanced_accuracy(net, &val_features, &val_labels);
@@ -424,10 +440,16 @@ pub fn train_resumable(
             hotspot_nn::parallel::minibatch_step_pooled(net, pool, &pairs, schedule.current());
         } else {
             for &i in &batch {
-                let logits = net.forward(&features[i], true);
-                let (_, grad) =
-                    loss::softmax_cross_entropy(&logits, &target_for(labels[i], epsilon));
-                net.backward(&grad);
+                {
+                    let logits = executor.forward_train(net, &features[i]);
+                    grad_buf.resize(logits.len(), 0.0);
+                    let _ = loss::softmax_cross_entropy_into(
+                        logits,
+                        &target_for(labels[i], epsilon),
+                        &mut grad_buf,
+                    );
+                }
+                executor.backward(net, &grad_buf);
             }
             net.apply_gradients(schedule.current() / config.batch_size as f32);
         }
@@ -735,10 +757,6 @@ mod tests {
             predict_all_with(&net, &features, Parallelism::auto()),
             serial
         );
-        // The deprecated raw-thread-count shim still answers identically.
-        #[allow(deprecated)]
-        let shimmed = predict_all_parallel(&net, &features, 3);
-        assert_eq!(shimmed, serial);
     }
 
     #[test]

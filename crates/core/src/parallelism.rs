@@ -1,10 +1,10 @@
 //! Worker-count policy for batch inference.
 //!
 //! Earlier releases threaded a raw `threads: usize` through every batch
-//! entry point (`predict_batch`, `evaluate_threaded`,
-//! `predict_all_parallel`), forcing each call site to invent a worker
-//! count and each API to re-validate it. [`Parallelism`] centralises the
-//! policy: it is configured once (on
+//! entry point (the since-removed `predict_batch_threaded`,
+//! `evaluate_threaded`, and `predict_all_parallel` shims), forcing each
+//! call site to invent a worker count and each API to re-validate it.
+//! [`Parallelism`] centralises the policy: it is configured once (on
 //! [`crate::detector::DetectorConfig`]), validated at construction, and
 //! resolved to a concrete worker count only where threads are actually
 //! spawned. Inference is pure (see `Network::forward_inference`), so the

@@ -37,7 +37,8 @@ use crate::detector::HotspotDetector;
 use crate::CoreError;
 use hotspot_dct::BlockDctPlan;
 use hotspot_geometry::{raster, Clip, Grid};
-use hotspot_nn::{loss, Tensor};
+use hotspot_nn::engine::Workspace;
+use hotspot_nn::loss;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -308,13 +309,17 @@ fn axis_positions(extent_nm: i64, window_nm: i64, stride_nm: i64) -> Vec<i64> {
     xs
 }
 
-/// Assembles one window's feature tensor from per-block DCT coefficients.
+/// Assembles one window's feature tensor from per-block DCT coefficients,
+/// written into the caller's `data` slice (length `k·n·n`) so a scan can
+/// fill one flat feature buffer without allocating per window.
 ///
 /// Aligned windows (low corner on the block lattice) fetch blocks through
 /// the shared cache; others transform their blocks directly from the
 /// layout raster. Either path reproduces
 /// [`crate::feature::FeaturePipeline::extract`] bit-for-bit.
-fn window_feature(
+#[allow(clippy::too_many_arguments)]
+fn window_feature_into(
+    data: &mut [f32],
     layout_raster: &Grid<f32>,
     plan: &BlockDctPlan,
     cache: &mut HashMap<(usize, usize), Vec<f32>>,
@@ -322,13 +327,13 @@ fn window_feature(
     x_px: usize,
     y_px: usize,
     grid_dim: usize,
-) -> Result<Tensor, CoreError> {
+) -> Result<(), CoreError> {
     let b = plan.block_size();
     let k = plan.coefficients();
     let n = grid_dim;
+    debug_assert_eq!(data.len(), k * n * n, "window feature slice length");
     let scale = 1.0 / b as f32;
     let aligned = x_px.is_multiple_of(b) && y_px.is_multiple_of(b);
-    let mut data = vec![0.0f32; k * n * n];
     for j in 0..n {
         for i in 0..n {
             if aligned {
@@ -361,7 +366,7 @@ fn window_feature(
             }
         }
     }
-    Ok(Tensor::from_vec(vec![k, n, n], data))
+    Ok(())
 }
 
 /// Connected-component clustering of flagged windows: two positives join
@@ -487,32 +492,74 @@ impl HotspotDetector {
         let xs = axis_positions(width_nm, config.window_nm, config.stride_nm);
         let ys = axis_positions(height_nm, config.window_nm, config.stride_nm);
 
+        // Phase 1 — feature assembly. All window tensors live in ONE flat
+        // buffer, filled in place: after the block cache warms up, moving
+        // to the next window allocates nothing.
+        let k = pipeline.coefficients();
+        let feat_len = k * n * n;
+        let total = xs.len() * ys.len();
         let mut cache: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
         let mut stats = CacheStats::default();
-        let mut features = Vec::with_capacity(xs.len() * ys.len());
-        for &y in &ys {
-            for &x in &xs {
-                features.push(window_feature(
-                    &layout_raster,
-                    &plan,
-                    &mut cache,
-                    &mut stats,
-                    (x / res) as usize,
-                    (y / res) as usize,
-                    n,
-                )?);
+        let mut features_flat = vec![0.0f32; total * feat_len];
+        {
+            let mut chunks = features_flat.chunks_exact_mut(feat_len);
+            for &y in &ys {
+                for &x in &xs {
+                    let data = chunks.next().unwrap_or_else(|| unreachable!());
+                    window_feature_into(
+                        data,
+                        &layout_raster,
+                        &plan,
+                        &mut cache,
+                        &mut stats,
+                        (x / res) as usize,
+                        (y / res) as usize,
+                        n,
+                    )?;
+                }
             }
         }
 
-        let logits = self
-            .network()
-            .forward_batch_inference(&features, self.parallelism().workers());
+        // Phase 2 — scoring. One shape plan is built for the whole scan;
+        // each worker drives it through its own warm workspace, so the
+        // steady-state window-scoring loop performs zero allocations.
+        // Scores are bit-identical to `predict_batch` on extracted clips.
+        let net = self.network();
+        let exec_plan = net.plan(&[k, n, n]);
+        let mut scores = vec![0.0f32; total];
+        let score_chunk = |feats: &[f32], out: &mut [f32]| {
+            let mut ws = Workspace::new();
+            let mut soft = vec![0.0f32; exec_plan.out_len()];
+            for (feat, s) in feats.chunks_exact(feat_len).zip(out.iter_mut()) {
+                let logits = net.forward_with(&exec_plan, &mut ws, feat);
+                loss::softmax_into(logits, &mut soft);
+                *s = soft[1];
+            }
+        };
+        let workers = self.parallelism().workers().min(total).max(1);
+        if workers == 1 {
+            score_chunk(&features_flat, &mut scores);
+        } else {
+            let per_worker = total.div_ceil(workers);
+            let score_chunk = &score_chunk;
+            if let Err(payload) = crossbeam::thread::scope(|scope| {
+                for (feats, out) in features_flat
+                    .chunks(per_worker * feat_len)
+                    .zip(scores.chunks_mut(per_worker))
+                {
+                    scope.spawn(move |_| score_chunk(feats, out));
+                }
+            }) {
+                std::panic::resume_unwind(payload);
+            }
+        }
+
         let lo = layout.window().lo();
-        let mut windows = Vec::with_capacity(features.len());
+        let mut windows = Vec::with_capacity(total);
         let mut idx = 0;
         for &y in &ys {
             for &x in &xs {
-                let score = loss::softmax(logits[idx].as_slice())[1];
+                let score = scores[idx];
                 windows.push(WindowScore {
                     x_nm: lo.x + x,
                     y_nm: lo.y + y,

@@ -1,0 +1,789 @@
+//! Shape-planned execution: arena-allocated forward/backward passes.
+//!
+//! A [`ShapePlan`] is computed once per (network, input shape) and records,
+//! for every layer, where its input, output, f32 scratch, and index scratch
+//! live inside a single [`Workspace`] arena — plus which standalone
+//! activation layers get *fused* into the preceding GEMM layer's epilogue
+//! ([`crate::gemm::Epilogue`]). Running a planned pass then touches no
+//! allocator at all: after the workspace warms up, a full-layout scan
+//! scores every window with zero allocations.
+//!
+//! # Arena layout
+//!
+//! ```text
+//! acts:    [ input | out L0 | out L1 | ... | out L(n-1) ]   (f32)
+//! scratch: [ L0 region | L1 region | ... ]                  (f32; im2col col+dcol, dropout masks)
+//! idx:     [ L0 region | L1 region | ... ]                  (usize; maxpool argmax)
+//! g_cur / g_nxt: two ping-pong gradient buffers, each as large as the
+//!                largest single activation
+//! ```
+//!
+//! Aliasing rules: each step's input region strictly precedes its output
+//! region in `acts` (layers are sequential), so the executor can hand a
+//! layer `&x` and `&mut y` via `split_at_mut` — no copies, no `unsafe`.
+//! In *training* mode, scratch and index regions are per-layer disjoint,
+//! which is what lets `backward_with` replay the exact buffers the forward
+//! pass wrote. In *inference* mode no step ever re-reads another step's
+//! scratch, so every step overlays one shared region at offset 0, sized to
+//! the largest single forward footprint
+//! ([`crate::Layer::scratch_infer_len`]) — for the paper network that
+//! shrinks the scratch arena ~4× and keeps the im2col buffer cache-hot
+//! across the whole conv stack. Consequently `backward_with` must follow a
+//! `forward_train_with` with no intervening `forward_with` on the same
+//! workspace.
+//!
+//! # Determinism and bit-identity
+//!
+//! The planned path is bit-identical to the allocating [`crate::Layer`]
+//! wrappers by construction: both call the very same `forward_into` /
+//! `backward_into` implementations, and a fused epilogue applies the very
+//! same per-element expression *after* the GEMM accumulation finished, in
+//! index order — exactly what the standalone activation layer would have
+//! done one call later. Dropout draws its mask stream in strict element
+//! order on both paths, so checkpoint/resume stays bit-identical too.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspot_nn::engine::Executor;
+//! use hotspot_nn::layers::{Dense, Relu};
+//! use hotspot_nn::{Network, Tensor};
+//!
+//! let mut net = Network::new();
+//! net.push(Dense::new(4, 8, 0));
+//! net.push(Relu::new()); // fused into the dense GEMM epilogue
+//! net.push(Dense::new(8, 2, 1));
+//!
+//! let mut ex = Executor::new();
+//! let x = Tensor::from_vec(vec![4], vec![0.1, -0.2, 0.3, -0.4]);
+//! let logits = ex.infer(&net, &x).to_vec();
+//! assert_eq!(logits.len(), 2);
+//! // Bit-identical to the allocating path.
+//! assert_eq!(logits, net.forward_inference(&x).as_slice());
+//! ```
+
+use crate::gemm::Epilogue;
+use crate::layers::BackwardCtx;
+use crate::{Network, Tensor};
+
+/// One planned layer execution: which layer runs, where its buffers live,
+/// and whether a following activation is fused into its epilogue.
+#[derive(Debug, Clone)]
+struct PlanStep {
+    /// Index into the network's layer list.
+    layer: usize,
+    in_off: usize,
+    in_len: usize,
+    in_shape: Vec<usize>,
+    out_off: usize,
+    out_len: usize,
+    scratch_off: usize,
+    scratch_len: usize,
+    /// Forward-only scratch footprint ([`crate::Layer::scratch_infer_len`]);
+    /// inference overlays every step's scratch at offset 0 of one shared
+    /// region this long or shorter.
+    scratch_infer_len: usize,
+    idx_off: usize,
+    idx_len: usize,
+    /// A following element-wise activation fused into this layer's GEMM
+    /// tail; the activation layer itself is skipped.
+    epilogue: Option<Epilogue>,
+}
+
+/// The execution plan for one (network architecture, input shape) pair:
+/// arena offsets for every intermediate buffer plus the fusion schedule.
+///
+/// Plans depend only on layer *types and shapes*, never on parameter
+/// values, so one plan stays valid across training steps. Rebuild it only
+/// when the input shape or the layer stack changes.
+#[derive(Debug, Clone)]
+pub struct ShapePlan {
+    in_shape: Vec<usize>,
+    in_len: usize,
+    out_shape: Vec<usize>,
+    steps: Vec<PlanStep>,
+    acts_len: usize,
+    scratch_len: usize,
+    idx_len: usize,
+    /// Inference-mode scratch length: the *maximum* single-step forward
+    /// footprint, since inference steps never re-read earlier scratch and
+    /// can all share one region (training needs the disjoint sum above).
+    shared_scratch_len: usize,
+    /// Inference-mode index scratch length (maximum, shared as above).
+    shared_idx_len: usize,
+    /// Size of each gradient ping-pong buffer: the largest single
+    /// activation the backward pass moves.
+    grad_len: usize,
+    /// Layer count of the network the plan was built for (sanity check).
+    layer_count: usize,
+}
+
+impl ShapePlan {
+    /// The input shape the plan was built for.
+    pub fn in_shape(&self) -> &[usize] {
+        &self.in_shape
+    }
+
+    /// The network's output shape under this plan.
+    pub fn out_shape(&self) -> &[usize] {
+        &self.out_shape
+    }
+
+    /// Number of output elements.
+    pub fn out_len(&self) -> usize {
+        self.out_shape.iter().product()
+    }
+
+    /// Number of executed steps (fused activations collapse into their
+    /// producer, so this can be smaller than the layer count).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// How many steps carry a fused activation epilogue.
+    pub fn fused_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.epilogue.is_some()).count()
+    }
+
+    /// Total f32 activation arena length (input + every layer output).
+    pub fn arena_len(&self) -> usize {
+        self.acts_len
+    }
+
+    fn out_off(&self) -> usize {
+        self.steps.last().map_or(0, |s| s.out_off)
+    }
+}
+
+/// The reusable buffers a planned pass writes into. Create once (or
+/// [`Workspace::default`]) and reuse across calls; buffers grow to the
+/// largest plan seen and are never shrunk, so steady-state execution does
+/// zero allocations.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    acts: Vec<f32>,
+    scratch: Vec<f32>,
+    idx: Vec<usize>,
+    g_cur: Vec<f32>,
+    g_nxt: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Grows the buffers to `plan`'s requirements (`train` also sizes the
+    /// gradient ping-pong buffers). Never shrinks.
+    pub fn prepare(&mut self, plan: &ShapePlan, train: bool) {
+        if self.acts.len() < plan.acts_len {
+            self.acts.resize(plan.acts_len, 0.0);
+        }
+        // Inference shares one scratch overlay across steps, so a
+        // forward-only workspace stays ~4x smaller (and cache-hotter) than
+        // a training one for conv stacks.
+        let (s_need, i_need) = if train {
+            (plan.scratch_len, plan.idx_len)
+        } else {
+            (plan.shared_scratch_len, plan.shared_idx_len)
+        };
+        if self.scratch.len() < s_need {
+            self.scratch.resize(s_need, 0.0);
+        }
+        if self.idx.len() < i_need {
+            self.idx.resize(i_need, 0);
+        }
+        if train {
+            if self.g_cur.len() < plan.grad_len {
+                self.g_cur.resize(plan.grad_len, 0.0);
+            }
+            if self.g_nxt.len() < plan.grad_len {
+                self.g_nxt.resize(plan.grad_len, 0.0);
+            }
+        }
+    }
+}
+
+impl Network {
+    /// Builds the execution plan for `in_shape`: computes every
+    /// intermediate shape via [`crate::Layer::out_shape`], lays all
+    /// buffers out in one arena, and fuses each standalone element-wise
+    /// activation that directly follows a GEMM-backed layer
+    /// ([`crate::Layer::accepts_epilogue`]) into that layer's epilogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_shape` is incompatible with any layer (same panics as
+    /// the forward pass itself).
+    pub fn plan(&self, in_shape: &[usize]) -> ShapePlan {
+        let layers = self.layers_ref();
+        let in_len: usize = in_shape.iter().product();
+        let mut steps = Vec::with_capacity(layers.len());
+        let mut cur_shape = in_shape.to_vec();
+        let mut cur_off = 0usize;
+        let mut cur_len = in_len;
+        let mut acts_len = in_len;
+        let mut scratch_len = 0usize;
+        let mut idx_len = 0usize;
+        let mut shared_scratch_len = 0usize;
+        let mut shared_idx_len = 0usize;
+        let mut grad_len = in_len;
+        let mut i = 0usize;
+        while i < layers.len() {
+            let layer = &layers[i];
+            let mut out_shape = layer.out_shape(&cur_shape);
+            let mut epilogue = None;
+            let mut consumed = 1;
+            if layer.accepts_epilogue() {
+                if let Some(next) = layers.get(i + 1) {
+                    if let Some(ep) = next.as_epilogue() {
+                        // The activation is element-wise: validate and keep
+                        // its (identical) output shape, then skip the layer.
+                        out_shape = next.out_shape(&out_shape);
+                        epilogue = Some(ep);
+                        consumed = 2;
+                    }
+                }
+            }
+            let out_len: usize = out_shape.iter().product();
+            let s_len = layer.scratch_len(&cur_shape);
+            let s_inf = layer.scratch_infer_len(&cur_shape);
+            let x_len = layer.idx_len(&cur_shape);
+            steps.push(PlanStep {
+                layer: i,
+                in_off: cur_off,
+                in_len: cur_len,
+                in_shape: cur_shape,
+                out_off: acts_len,
+                out_len,
+                scratch_off: scratch_len,
+                scratch_len: s_len,
+                scratch_infer_len: s_inf,
+                idx_off: idx_len,
+                idx_len: x_len,
+                epilogue,
+            });
+            scratch_len += s_len;
+            idx_len += x_len;
+            shared_scratch_len = shared_scratch_len.max(s_inf);
+            shared_idx_len = shared_idx_len.max(x_len);
+            cur_off = acts_len;
+            cur_len = out_len;
+            cur_shape = out_shape;
+            acts_len += out_len;
+            grad_len = grad_len.max(out_len);
+            i += consumed;
+        }
+        ShapePlan {
+            in_shape: in_shape.to_vec(),
+            in_len,
+            out_shape: cur_shape,
+            steps,
+            acts_len,
+            scratch_len,
+            idx_len,
+            shared_scratch_len,
+            shared_idx_len,
+            grad_len,
+            layer_count: layers.len(),
+        }
+    }
+
+    fn check_plan(&self, plan: &ShapePlan, input_len: usize) {
+        assert_eq!(
+            plan.layer_count,
+            self.len(),
+            "plan was built for a different network"
+        );
+        assert_eq!(input_len, plan.in_len, "input length does not match plan");
+    }
+
+    /// Inference-mode planned forward pass: writes every activation into
+    /// `ws` and returns the output slice (borrowed from the workspace).
+    /// Callable through `&self`, so worker threads can share one network
+    /// with per-worker workspaces. Bit-identical to
+    /// [`Network::forward_inference`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not match this network or `input` does not
+    /// match `plan`.
+    pub fn forward_with<'ws>(
+        &self,
+        plan: &ShapePlan,
+        ws: &'ws mut Workspace,
+        input: &[f32],
+    ) -> &'ws [f32] {
+        self.check_plan(plan, input.len());
+        ws.prepare(plan, false);
+        if plan.steps.is_empty() {
+            // Degenerate empty network: the output *is* the input region.
+            ws.acts[..plan.in_len].copy_from_slice(input);
+        }
+        let layers = self.layers_ref();
+        for (si, step) in plan.steps.iter().enumerate() {
+            // The input region strictly precedes the output region, so the
+            // two disjoint borrows come from one split. Scratch is a single
+            // shared overlay (offset 0): no inference step re-reads an
+            // earlier step's scratch, and reusing one hot region keeps the
+            // im2col buffers resident in cache across the conv stack. The
+            // first step reads the caller's slice in place — inference
+            // never replays activations, so the input is not copied into
+            // the arena at all.
+            let (lo, hi) = ws.acts.split_at_mut(step.out_off);
+            let x = if si == 0 {
+                input
+            } else {
+                &lo[step.in_off..step.in_off + step.in_len]
+            };
+            layers[step.layer].forward_into(
+                x,
+                &step.in_shape,
+                &mut hi[..step.out_len],
+                &mut ws.scratch[..step.scratch_infer_len],
+                &mut ws.idx[..step.idx_len],
+                step.epilogue,
+            );
+        }
+        let off = plan.out_off();
+        &ws.acts[off..off + plan.out_len()]
+    }
+
+    /// Training-mode planned forward pass (dropout draws masks from its
+    /// RNG stream, exactly one draw per element in order — the same stream
+    /// consumption as the allocating `forward(input, true)`). The arena
+    /// then holds everything [`Network::backward_with`] needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not match this network or `input` does not
+    /// match `plan`.
+    pub fn forward_train_with<'ws>(
+        &mut self,
+        plan: &ShapePlan,
+        ws: &'ws mut Workspace,
+        input: &[f32],
+    ) -> &'ws [f32] {
+        self.check_plan(plan, input.len());
+        ws.prepare(plan, true);
+        ws.acts[..plan.in_len].copy_from_slice(input);
+        let layers = self.layers_mut();
+        for step in &plan.steps {
+            let (lo, hi) = ws.acts.split_at_mut(step.out_off);
+            layers[step.layer].forward_train_into(
+                &lo[step.in_off..step.in_off + step.in_len],
+                &step.in_shape,
+                &mut hi[..step.out_len],
+                &mut ws.scratch[step.scratch_off..step.scratch_off + step.scratch_len],
+                &mut ws.idx[step.idx_off..step.idx_off + step.idx_len],
+                step.epilogue,
+            );
+        }
+        let off = plan.out_off();
+        &ws.acts[off..off + plan.out_len()]
+    }
+
+    /// Planned backward pass over the activations a matching
+    /// [`Network::forward_train_with`] left in `ws`: accumulates parameter
+    /// gradients layer by layer and returns ∂loss/∂input (borrowed from
+    /// the workspace). Fused epilogue gradients are rescaled through
+    /// [`Epilogue::grad_from_output`] before the producing layer's
+    /// backward runs — the same arithmetic the standalone activation's
+    /// backward would have applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not match this network or `loss_grad` does
+    /// not match the plan's output length.
+    pub fn backward_with<'ws>(
+        &mut self,
+        plan: &ShapePlan,
+        ws: &'ws mut Workspace,
+        loss_grad: &[f32],
+    ) -> &'ws [f32] {
+        assert_eq!(
+            plan.layer_count,
+            self.len(),
+            "plan was built for a different network"
+        );
+        assert_eq!(
+            loss_grad.len(),
+            plan.out_len(),
+            "loss gradient does not match plan output"
+        );
+        ws.prepare(plan, true);
+        ws.g_cur[..plan.out_len()].copy_from_slice(loss_grad);
+        let layers = self.layers_mut();
+        for step in plan.steps.iter().rev() {
+            let y = &ws.acts[step.out_off..step.out_off + step.out_len];
+            let g = &mut ws.g_cur[..step.out_len];
+            if let Some(ep) = step.epilogue {
+                ep.grad_from_output(y, g);
+            }
+            let grad_in = &mut ws.g_nxt[..step.in_len];
+            grad_in.fill(0.0);
+            layers[step.layer].backward_into(
+                BackwardCtx {
+                    x: &ws.acts[step.in_off..step.in_off + step.in_len],
+                    in_shape: &step.in_shape,
+                    y,
+                    grad: g,
+                    scratch: &mut ws.scratch[step.scratch_off..step.scratch_off + step.scratch_len],
+                    idx: &ws.idx[step.idx_off..step.idx_off + step.idx_len],
+                },
+                grad_in,
+            );
+            std::mem::swap(&mut ws.g_cur, &mut ws.g_nxt);
+        }
+        &ws.g_cur[..plan.in_len]
+    }
+}
+
+/// A (plan, workspace) pair bound lazily to whatever input shape it sees:
+/// the convenient front door to planned execution. The plan is rebuilt
+/// only when the input shape or layer count changes; otherwise every call
+/// reuses the warm arena.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::engine::Executor;
+/// use hotspot_nn::layers::Dense;
+/// use hotspot_nn::{Network, Tensor};
+///
+/// let mut net = Network::new();
+/// net.push(Dense::new(3, 2, 0));
+/// let mut ex = Executor::new();
+/// let p = ex.infer(&net, &Tensor::zeros(vec![3])).to_vec();
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    plan: Option<ShapePlan>,
+    ws: Workspace,
+}
+
+impl Executor {
+    /// An empty executor; the plan is built on first use.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// The current plan, if one has been built.
+    pub fn plan(&self) -> Option<&ShapePlan> {
+        self.plan.as_ref()
+    }
+
+    fn ensure_plan(&mut self, net: &Network, in_shape: &[usize]) {
+        let stale = match &self.plan {
+            Some(p) => p.in_shape() != in_shape || p.layer_count != net.len(),
+            None => true,
+        };
+        if stale {
+            self.plan = Some(net.plan(in_shape));
+        }
+    }
+
+    /// Planned inference; see [`Network::forward_with`].
+    pub fn infer(&mut self, net: &Network, input: &Tensor) -> &[f32] {
+        self.ensure_plan(net, input.shape());
+        // `ensure_plan` guarantees the plan exists.
+        let plan = self.plan.as_ref().unwrap_or_else(|| unreachable!());
+        net.forward_with(plan, &mut self.ws, input.as_slice())
+    }
+
+    /// Planned training forward; see [`Network::forward_train_with`].
+    pub fn forward_train(&mut self, net: &mut Network, input: &Tensor) -> &[f32] {
+        self.ensure_plan(net, input.shape());
+        let plan = self.plan.as_ref().unwrap_or_else(|| unreachable!());
+        net.forward_train_with(plan, &mut self.ws, input.as_slice())
+    }
+
+    /// Planned backward over the last [`Executor::forward_train`] pass;
+    /// see [`Network::backward_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no plan has been built yet.
+    pub fn backward(&mut self, net: &mut Network, loss_grad: &[f32]) -> &[f32] {
+        let plan = match &self.plan {
+            Some(p) => p,
+            // A misuse of the API, not a recoverable state: the workspace
+            // holds no activations to differentiate through.
+            None => panic!("Executor::backward called before forward_train"),
+        };
+        net.backward_with(plan, &mut self.ws, loss_grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2, Relu, Sigmoid, Tanh};
+
+    fn paper_like_net() -> Network {
+        let mut net = Network::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 5));
+        net.push(Relu::new());
+        net.push(MaxPool2::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 3 * 3, 8, 6));
+        net.push(Relu::new());
+        net.push(Dropout::new(0.5, 7));
+        net.push(Dense::new(8, 2, 8));
+        net
+    }
+
+    fn wavy_input(len: usize, shape: Vec<usize>) -> Tensor {
+        Tensor::from_vec(shape, (0..len).map(|i| (i as f32 * 0.37).sin()).collect())
+    }
+
+    #[test]
+    fn plan_fuses_gemm_activation_pairs() {
+        let net = paper_like_net();
+        let plan = net.plan(&[2, 6, 6]);
+        // 8 layers, 2 fused relus -> 6 steps.
+        assert_eq!(plan.step_count(), 6);
+        assert_eq!(plan.fused_count(), 2);
+        assert_eq!(plan.out_shape(), &[2]);
+    }
+
+    #[test]
+    fn inference_scratch_is_a_shared_overlay() {
+        let net = paper_like_net();
+        let plan = net.plan(&[2, 6, 6]);
+        // Conv scratch is col+dcol when training, col alone at inference;
+        // inference additionally shares one region instead of summing.
+        let conv_col = 2 * 9 * 6 * 6;
+        assert_eq!(plan.shared_scratch_len, conv_col);
+        assert_eq!(plan.scratch_len, 2 * conv_col + 8); // + dropout mask
+        assert!(plan.shared_scratch_len < plan.scratch_len);
+        // An inference-only workspace allocates the small overlay.
+        let mut ws = Workspace::new();
+        ws.prepare(&plan, false);
+        assert_eq!(ws.scratch.len(), plan.shared_scratch_len);
+        // Training afterwards grows it to the disjoint layout.
+        ws.prepare(&plan, true);
+        assert_eq!(ws.scratch.len(), plan.scratch_len);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_fuse_too() {
+        for (net, expect) in [
+            {
+                let mut n = Network::new();
+                n.push(Dense::new(3, 4, 0));
+                n.push(Sigmoid::new());
+                n.push(Dense::new(4, 2, 1));
+                n.push(Tanh::new());
+                (n, 2)
+            },
+            {
+                // Activation after a non-GEMM layer stays standalone.
+                let mut n = Network::new();
+                n.push(Flatten::new());
+                n.push(Relu::new());
+                (n, 2)
+            },
+        ] {
+            let plan = net.plan(&[3]);
+            assert_eq!(plan.step_count(), expect);
+        }
+    }
+
+    #[test]
+    fn planned_inference_is_bit_identical_to_legacy() {
+        let mut net = paper_like_net();
+        let x = wavy_input(2 * 6 * 6, vec![2, 6, 6]);
+        let legacy = net.forward(&x, false);
+        let plan = net.plan(&[2, 6, 6]);
+        let mut ws = Workspace::new();
+        let planned = net.forward_with(&plan, &mut ws, x.as_slice()).to_vec();
+        assert_eq!(planned.as_slice(), legacy.as_slice());
+        // And through the executor front door.
+        let mut ex = Executor::new();
+        assert_eq!(ex.infer(&net, &x), legacy.as_slice());
+    }
+
+    #[test]
+    fn planned_training_step_matches_legacy_gradients_bitwise() {
+        // Run one forward/backward on two identical networks — one through
+        // the legacy wrappers, one through the planned path — and compare
+        // every accumulated gradient bit-for-bit.
+        let mut legacy_net = paper_like_net();
+        let mut planned_net = paper_like_net();
+        let x = wavy_input(2 * 6 * 6, vec![2, 6, 6]);
+        let loss_grad = vec![0.7f32, -0.3];
+
+        let y_legacy = legacy_net.forward(&x, true);
+        let gin_legacy = legacy_net.backward(&Tensor::from_vec(vec![2], loss_grad.clone()));
+
+        let plan = planned_net.plan(&[2, 6, 6]);
+        let mut ws = Workspace::new();
+        let y_planned = planned_net
+            .forward_train_with(&plan, &mut ws, x.as_slice())
+            .to_vec();
+        let gin_planned = planned_net
+            .backward_with(&plan, &mut ws, &loss_grad)
+            .to_vec();
+
+        assert_eq!(y_planned.as_slice(), y_legacy.as_slice());
+        assert_eq!(gin_planned.as_slice(), gin_legacy.as_slice());
+
+        let mut grads_legacy = Vec::new();
+        legacy_net.visit_params(&mut |_, g| grads_legacy.push(g.to_vec()));
+        let mut grads_planned = Vec::new();
+        planned_net.visit_params(&mut |_, g| grads_planned.push(g.to_vec()));
+        assert_eq!(grads_legacy, grads_planned);
+
+        // Both consumed the dropout stream identically.
+        assert_eq!(legacy_net.rng_states(), planned_net.rng_states());
+    }
+
+    #[test]
+    fn repeated_training_steps_stay_bit_identical() {
+        let mut legacy_net = paper_like_net();
+        let mut planned_net = paper_like_net();
+        let plan = planned_net.plan(&[2, 6, 6]);
+        let mut ws = Workspace::new();
+        for step in 0..4 {
+            let x = Tensor::from_vec(
+                vec![2, 6, 6],
+                (0..72)
+                    .map(|i| ((i + step * 72) as f32 * 0.21).cos())
+                    .collect(),
+            );
+            legacy_net.zero_grads();
+            let yl = legacy_net.forward(&x, true);
+            let (_, gl) = crate::loss::softmax_cross_entropy(&yl, &[1.0, 0.0]);
+            legacy_net.backward(&gl);
+            legacy_net.apply_gradients(0.05);
+
+            planned_net.zero_grads();
+            let yp = planned_net
+                .forward_train_with(&plan, &mut ws, x.as_slice())
+                .to_vec();
+            let (_, gp) =
+                crate::loss::softmax_cross_entropy(&Tensor::from_vec(vec![2], yp), &[1.0, 0.0]);
+            planned_net.backward_with(&plan, &mut ws, gp.as_slice());
+            planned_net.apply_gradients(0.05);
+        }
+        let mut wl = Vec::new();
+        legacy_net.visit_params(&mut |w, _| wl.push(w.to_vec()));
+        let mut wp = Vec::new();
+        planned_net.visit_params(&mut |w, _| wp.push(w.to_vec()));
+        assert_eq!(wl, wp);
+    }
+
+    #[test]
+    fn executor_replans_on_shape_change() {
+        let mut net = Network::new();
+        net.push(Conv2d::new(1, 2, 3, 1, 0));
+        net.push(Relu::new());
+        let mut ex = Executor::new();
+        let a = ex.infer(&net, &Tensor::zeros(vec![1, 4, 4])).len();
+        assert_eq!(a, 2 * 4 * 4);
+        let b = ex.infer(&net, &Tensor::zeros(vec![1, 6, 6])).len();
+        assert_eq!(b, 2 * 6 * 6);
+        let c = ex.infer(&net, &Tensor::zeros(vec![1, 4, 4])).len();
+        assert_eq!(c, 2 * 4 * 4);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let net = Network::new();
+        let plan = net.plan(&[3]);
+        assert_eq!(plan.out_shape(), &[3]);
+        let mut ws = Workspace::new();
+        let y = net.forward_with(&plan, &mut ws, &[1.0, 2.0, 3.0]);
+        assert_eq!(y, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network")]
+    fn plan_from_other_network_is_rejected() {
+        let net = paper_like_net();
+        let other = Network::new();
+        let plan = other.plan(&[5]);
+        let mut ws = Workspace::new();
+        let _ = net.forward_with(&plan, &mut ws, &[0.0; 5]);
+    }
+
+    #[test]
+    fn gradcheck_fused_epilogues_against_finite_difference() {
+        // Gradient-check the fused conv+relu and dense+sigmoid blocks: the
+        // analytic planned gradient must match central differences on the
+        // unfused (legacy, standalone-activation) forward — pinning that
+        // fusion changed neither forward values nor gradients.
+        let mut net = Network::new();
+        net.push(Conv2d::new(1, 2, 3, 1, 3));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(2 * 4 * 4, 3, 4));
+        net.push(Sigmoid::new());
+        net.push(Dense::new(3, 2, 5));
+        let x = wavy_input(16, vec![1, 4, 4]);
+        let target = [0.0f32, 1.0];
+
+        let plan = net.plan(&[1, 4, 4]);
+        let mut ws = Workspace::new();
+        net.zero_grads();
+        let y = net
+            .forward_train_with(&plan, &mut ws, x.as_slice())
+            .to_vec();
+        let (_, g) = crate::loss::softmax_cross_entropy(&Tensor::from_vec(vec![2], y), &target);
+        net.backward_with(&plan, &mut ws, g.as_slice());
+
+        let mut analytic = Vec::new();
+        net.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+
+        // Finite differences through the legacy unfused forward.
+        let eps = 1e-2f32;
+        let mut numeric: Vec<Vec<f32>> = Vec::new();
+        let mut slot = 0usize;
+        loop {
+            let mut lens = Vec::new();
+            net.visit_params(&mut |w, _| lens.push(w.len()));
+            if slot >= lens.len() {
+                break;
+            }
+            let mut grads = vec![0.0f32; lens[slot]];
+            for j in 0..lens[slot] {
+                let mut eval = |delta: f32| {
+                    let mut s = 0usize;
+                    net.visit_params(&mut |w, _| {
+                        if s == slot {
+                            w[j] += delta;
+                        }
+                        s += 1;
+                    });
+                    let logits = net.forward_inference(&x);
+                    let (l, _) = crate::loss::softmax_cross_entropy(&logits, &target);
+                    let mut s = 0usize;
+                    net.visit_params(&mut |w, _| {
+                        if s == slot {
+                            w[j] -= delta;
+                        }
+                        s += 1;
+                    });
+                    l
+                };
+                let lp = eval(eps);
+                let lm = eval(-eps);
+                grads[j] = (lp - lm) / (2.0 * eps);
+            }
+            numeric.push(grads);
+            slot += 1;
+        }
+        assert_eq!(analytic.len(), numeric.len());
+        for (a, n) in analytic.iter().zip(&numeric) {
+            for (&av, &nv) in a.iter().zip(n) {
+                assert!(
+                    (av - nv).abs() <= 2e-2_f32.max(5e-2 * nv.abs()),
+                    "analytic {av} vs numeric {nv}"
+                );
+            }
+        }
+    }
+}

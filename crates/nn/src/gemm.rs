@@ -59,15 +59,20 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             let c_row = &mut c[i * n..(i + 1) * n];
             let mut p = p0;
             // Four B rows per pass: one load of c_row amortises four
-            // scalar-times-row updates.
+            // scalar-times-row updates. Iterator traversal keeps the inner
+            // loop free of bounds checks so it auto-vectorises cleanly;
+            // the accumulation expression (and therefore every output bit)
+            // is unchanged.
             while p + 4 <= p1 {
                 let (a0, a1, a2, a3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
-                let b0 = &b[p * n..p * n + n];
-                let b1 = &b[(p + 1) * n..(p + 1) * n + n];
-                let b2 = &b[(p + 2) * n..(p + 2) * n + n];
-                let b3 = &b[(p + 3) * n..(p + 3) * n + n];
-                for j in 0..n {
-                    c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                let (b0, rest) = b[p * n..].split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, rest) = rest.split_at(n);
+                let b3 = &rest[..n];
+                for ((((cj, &b0j), &b1j), &b2j), &b3j) in
+                    c_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *cj += a0 * b0j + a1 * b1j + a2 * b2j + a3 * b3j;
                 }
                 p += 4;
             }
@@ -75,8 +80,8 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
                 let av = a_row[p];
                 if av != 0.0 {
                     let b_row = &b[p * n..p * n + n];
-                    for j in 0..n {
-                        c_row[j] += av * b_row[j];
+                    for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                        *cj += av * bj;
                     }
                 }
                 p += 1;
@@ -108,8 +113,7 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
             let b0 = &b[j * k..(j + 1) * k];
             let b1 = &b[(j + 1) * k..(j + 2) * k];
             let (mut s00, mut s01, mut s10, mut s11) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for p in 0..k {
-                let (x0, x1, y0, y1) = (a0[p], a1[p], b0[p], b1[p]);
+            for (((&x0, &x1), &y0), &y1) in a0.iter().zip(a1).zip(b0).zip(b1) {
                 s00 += x0 * y0;
                 s01 += x0 * y1;
                 s10 += x1 * y0;
@@ -177,8 +181,8 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
                     continue;
                 }
                 let c_row = &mut c[i * n..(i + 1) * n];
-                for j in 0..n {
-                    c_row[j] += av * b_row[j];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += av * bj;
                 }
             }
         }
@@ -186,23 +190,134 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     }
 }
 
+/// An element-wise activation fused into a GEMM call as an output
+/// epilogue: it runs over the `C` tile immediately after the last
+/// `k`-block has been accumulated, while the tile is still cache-hot,
+/// instead of as a separate layer traversing a freshly allocated tensor.
+///
+/// Determinism contract: the epilogue is applied to each fully-accumulated
+/// output element in index order, with exactly the same scalar expression
+/// the standalone activation layers use — so a fused `conv → relu` pair is
+/// bit-identical to the unfused two-layer sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Epilogue {
+    /// `max(x, 0)` — same predicate (`x > 0.0`) as [`crate::layers::Relu`].
+    Relu,
+    /// `1 / (1 + e^{-x})` — same expression as [`crate::layers::Sigmoid`].
+    Sigmoid,
+    /// `tanh(x)` — same expression as [`crate::layers::Tanh`].
+    Tanh,
+}
+
+impl Epilogue {
+    /// Applies the activation over `c` in place, in index order.
+    #[inline]
+    pub fn apply(self, c: &mut [f32]) {
+        match self {
+            Epilogue::Relu => {
+                for v in c.iter_mut() {
+                    *v = if *v > 0.0 { *v } else { 0.0 };
+                }
+            }
+            Epilogue::Sigmoid => {
+                for v in c.iter_mut() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Epilogue::Tanh => {
+                for v in c.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+        }
+    }
+
+    /// Backward of the fused epilogue: rescales the incoming gradient `g`
+    /// in place using the *post-activation* output `y` (all three
+    /// activations admit a derivative expressed in their output alone).
+    ///
+    /// Matches the standalone layers bit-for-bit: `relu` keeps `g` where
+    /// `y > 0` (equivalent to the pre-activation `x > 0` mask, since
+    /// `y = x` exactly there), `sigmoid` uses `g·y·(1−y)`, `tanh` uses
+    /// `g·(1−y²)`.
+    #[inline]
+    pub fn grad_from_output(self, y: &[f32], g: &mut [f32]) {
+        assert_eq!(y.len(), g.len(), "epilogue grad length mismatch");
+        match self {
+            Epilogue::Relu => {
+                for (gi, &yi) in g.iter_mut().zip(y) {
+                    *gi = if yi > 0.0 { *gi } else { 0.0 };
+                }
+            }
+            Epilogue::Sigmoid => {
+                for (gi, &yi) in g.iter_mut().zip(y) {
+                    // Same association as the standalone layer: (g·y)·(1−y).
+                    *gi = *gi * yi * (1.0 - yi);
+                }
+            }
+            Epilogue::Tanh => {
+                for (gi, &yi) in g.iter_mut().zip(y) {
+                    *gi *= 1.0 - yi * yi;
+                }
+            }
+        }
+    }
+}
+
+/// [`gemm_nn`] with an optional fused activation over the finished `C`
+/// tile (conv forward epilogue).
+pub fn gemm_nn_fused(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Option<Epilogue>,
+) {
+    gemm_nn(m, n, k, a, b, c);
+    if let Some(ep) = epilogue {
+        ep.apply(c);
+    }
+}
+
+/// [`gemm_nt`] with an optional fused activation over the finished `C`
+/// tile (dense forward epilogue).
+pub fn gemm_nt_fused(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Option<Epilogue>,
+) {
+    gemm_nt(m, n, k, a, b, c);
+    if let Some(ep) = epilogue {
+        ep.apply(c);
+    }
+}
+
 /// Unrolled dot product with four independent accumulators.
+///
+/// `chunks_exact` traversal keeps the loop body free of bounds checks;
+/// the accumulator layout (lane `i` sums elements `p ≡ i mod 4`, combined
+/// as `(s0+s1)+(s2+s3)`) is the historical order, so results stay
+/// bit-identical.
 #[inline]
 fn dot(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len());
-    let k = x.len().min(y.len());
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    let mut p = 0;
-    while p + 4 <= k {
-        s0 += x[p] * y[p];
-        s1 += x[p + 1] * y[p + 1];
-        s2 += x[p + 2] * y[p + 2];
-        s3 += x[p + 3] * y[p + 3];
-        p += 4;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xv, yv) in (&mut xc).zip(&mut yc) {
+        s0 += xv[0] * yv[0];
+        s1 += xv[1] * yv[1];
+        s2 += xv[2] * yv[2];
+        s3 += xv[3] * yv[3];
     }
-    while p < k {
-        s0 += x[p] * y[p];
-        p += 1;
+    for (&xv, &yv) in xc.remainder().iter().zip(yc.remainder()) {
+        s0 += xv * yv;
     }
     (s0 + s1) + (s2 + s3)
 }

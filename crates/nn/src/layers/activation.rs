@@ -3,9 +3,11 @@
 //! The paper replaces "the traditional sigmoid activation function" with
 //! ReLU (§4.1); these layers exist so that claim can be tested — the
 //! `activation_ablation` comparisons train the same architecture with each
-//! nonlinearity.
+//! nonlinearity. Both report [`Layer::as_epilogue`] so an execution plan
+//! can fuse them into a preceding conv/dense GEMM tail.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 
 /// Element-wise logistic sigmoid `σ(x) = 1 / (1 + e^{-x})`.
@@ -22,8 +24,7 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Sigmoid {
-    output: Vec<f32>,
-    shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl Sigmoid {
@@ -34,39 +35,37 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.shape = input.shape().to_vec();
-        self.output = input
-            .as_slice()
-            .iter()
-            .map(|&v| 1.0 / (1.0 + (-v).exp()))
-            .collect();
-        Tensor::from_vec(self.shape.clone(), self.output.clone())
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let data = input
-            .as_slice()
-            .iter()
-            .map(|&v| 1.0 / (1.0 + (-v).exp()))
-            .collect();
-        Tensor::from_vec(input.shape().to_vec(), data)
+    fn forward_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = 1.0 / (1.0 + (-v).exp());
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(
-            grad.len(),
-            self.output.len(),
-            "sigmoid backward before forward or shape mismatch"
-        );
-        // dσ/dx = σ (1 - σ).
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(self.output.iter())
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        // dσ/dx = σ (1 - σ), expressed from the cached output.
+        for ((gi, &g), &y) in grad_in.iter_mut().zip(ctx.grad).zip(ctx.y) {
+            *gi = g * y * (1.0 - y);
+        }
+    }
+
+    fn as_epilogue(&self) -> Option<Epilogue> {
+        Some(Epilogue::Sigmoid)
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -74,10 +73,6 @@ impl Layer for Sigmoid {
 
     fn name(&self) -> &'static str {
         "sigmoid"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        input.to_vec()
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -88,8 +83,7 @@ impl Layer for Sigmoid {
 /// Element-wise hyperbolic tangent.
 #[derive(Debug, Clone, Default)]
 pub struct Tanh {
-    output: Vec<f32>,
-    shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl Tanh {
@@ -100,31 +94,37 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.shape = input.shape().to_vec();
-        self.output = input.as_slice().iter().map(|&v| v.tanh()).collect();
-        Tensor::from_vec(self.shape.clone(), self.output.clone())
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let data = input.as_slice().iter().map(|&v| v.tanh()).collect();
-        Tensor::from_vec(input.shape().to_vec(), data)
+    fn forward_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = v.tanh();
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(
-            grad.len(),
-            self.output.len(),
-            "tanh backward before forward or shape mismatch"
-        );
-        // d tanh/dx = 1 - tanh².
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(self.output.iter())
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        // d tanh/dx = 1 - tanh², expressed from the cached output.
+        for ((gi, &g), &y) in grad_in.iter_mut().zip(ctx.grad).zip(ctx.y) {
+            *gi = g * (1.0 - y * y);
+        }
+    }
+
+    fn as_epilogue(&self) -> Option<Epilogue> {
+        Some(Epilogue::Tanh)
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -132,10 +132,6 @@ impl Layer for Tanh {
 
     fn name(&self) -> &'static str {
         "tanh"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        input.to_vec()
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -197,8 +193,28 @@ mod tests {
             s.forward(&Tensor::zeros(vec![2, 3, 4]), false).shape(),
             &[2, 3, 4]
         );
-        assert_eq!(s.output_shape(&[5]), vec![5]);
+        assert_eq!(s.out_shape(&[5]), vec![5]);
         let mut t = Tanh::new();
         assert_eq!(t.forward(&Tensor::zeros(vec![7]), false).shape(), &[7]);
+    }
+
+    #[test]
+    fn epilogue_gradients_match_standalone_backward() {
+        let xs = [-2.0f32, -0.3, 0.0, 0.8, 2.5];
+        let gs = [1.0f32, -2.0, 0.5, 3.0, -1.0];
+        // Sigmoid.
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![5], xs.to_vec()), true);
+        let standalone = s.backward(&Tensor::from_vec(vec![5], gs.to_vec()));
+        let mut fused = gs.to_vec();
+        Epilogue::Sigmoid.grad_from_output(y.as_slice(), &mut fused);
+        assert_eq!(standalone.as_slice(), fused.as_slice());
+        // Tanh.
+        let mut t = Tanh::new();
+        let y = t.forward(&Tensor::from_vec(vec![5], xs.to_vec()), true);
+        let standalone = t.backward(&Tensor::from_vec(vec![5], gs.to_vec()));
+        let mut fused = gs.to_vec();
+        Epilogue::Tanh.grad_from_output(y.as_slice(), &mut fused);
+        assert_eq!(standalone.as_slice(), fused.as_slice());
     }
 }

@@ -1,6 +1,7 @@
 //! 2×2 average pooling.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 
 /// 2×2 average pooling with stride 2 on CHW tensors — the smooth
@@ -18,7 +19,7 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AvgPool2 {
-    in_shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl AvgPool2 {
@@ -26,71 +27,71 @@ impl AvgPool2 {
     pub fn new() -> Self {
         AvgPool2::default()
     }
+
+    fn check_input(in_shape: &[usize]) -> (usize, usize, usize) {
+        assert_eq!(in_shape.len(), 3, "avgpool input must be CHW");
+        let (c, h, w) = (in_shape[0], in_shape[1], in_shape[2]);
+        assert!(h >= 2 && w >= 2, "avgpool needs at least 2x2 spatial input");
+        (c, h, w)
+    }
 }
 
 impl Layer for AvgPool2 {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let s = input.shape();
-        assert_eq!(s.len(), 3, "avgpool input must be CHW");
-        let (c, h, w) = (s[0], s[1], s[2]);
-        assert!(h >= 2 && w >= 2, "avgpool needs at least 2x2 spatial input");
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (c, h, w) = Self::check_input(in_shape);
+        vec![c, h / 2, w / 2]
+    }
+
+    fn forward_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        let (c, h, w) = Self::check_input(in_shape);
         let (oh, ow) = (h / 2, w / 2);
-        self.in_shape = s.to_vec();
-        let mut out = Vec::with_capacity(c * oh * ow);
+        assert_eq!(y.len(), c * oh * ow, "avgpool output length");
+        let at = |ch: usize, iy: usize, ix: usize| x[(ch * h + iy) * w + ix];
+        let mut o = 0usize;
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let sum = input.at3(ch, oy * 2, ox * 2)
-                        + input.at3(ch, oy * 2, ox * 2 + 1)
-                        + input.at3(ch, oy * 2 + 1, ox * 2)
-                        + input.at3(ch, oy * 2 + 1, ox * 2 + 1);
-                    out.push(sum * 0.25);
+                    // Fixed summation order (0,0)+(0,1)+(1,0)+(1,1) keeps
+                    // the result bit-identical across paths.
+                    let sum = at(ch, oy * 2, ox * 2)
+                        + at(ch, oy * 2, ox * 2 + 1)
+                        + at(ch, oy * 2 + 1, ox * 2)
+                        + at(ch, oy * 2 + 1, ox * 2 + 1);
+                    y[o] = sum * 0.25;
+                    o += 1;
                 }
             }
         }
-        Tensor::from_vec(vec![c, oh, ow], out)
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let s = input.shape();
-        assert_eq!(s.len(), 3, "avgpool input must be CHW");
-        let (c, h, w) = (s[0], s[1], s[2]);
-        assert!(h >= 2 && w >= 2, "avgpool needs at least 2x2 spatial input");
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        let (c, h, w) = Self::check_input(ctx.in_shape);
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = Vec::with_capacity(c * oh * ow);
+        assert_eq!(ctx.grad.len(), c * oh * ow, "avgpool grad shape");
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let sum = input.at3(ch, oy * 2, ox * 2)
-                        + input.at3(ch, oy * 2, ox * 2 + 1)
-                        + input.at3(ch, oy * 2 + 1, ox * 2)
-                        + input.at3(ch, oy * 2 + 1, ox * 2 + 1);
-                    out.push(sum * 0.25);
-                }
-            }
-        }
-        Tensor::from_vec(vec![c, oh, ow], out)
-    }
-
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(!self.in_shape.is_empty(), "avgpool backward before forward");
-        let (c, h, w) = (self.in_shape[0], self.in_shape[1], self.in_shape[2]);
-        let (oh, ow) = (h / 2, w / 2);
-        assert_eq!(grad.shape(), &[c, oh, ow], "avgpool grad shape");
-        let mut out = Tensor::zeros(self.in_shape.clone());
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let g = grad.at3(ch, oy, ox) * 0.25;
+                    let g = ctx.grad[(ch * oh + oy) * ow + ox] * 0.25;
                     for dy in 0..2 {
                         for dx in 0..2 {
-                            *out.at3_mut(ch, oy * 2 + dy, ox * 2 + dx) += g;
+                            grad_in[(ch * h + oy * 2 + dy) * w + ox * 2 + dx] += g;
                         }
                     }
                 }
             }
         }
-        out
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -98,10 +99,6 @@ impl Layer for AvgPool2 {
 
     fn name(&self) -> &'static str {
         "avgpool"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        vec![input[0], input[1] / 2, input[2] / 2]
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

@@ -1,7 +1,9 @@
 //! 2-D convolution, lowered onto GEMM via im2col.
 
-use super::Layer;
-use crate::{gemm, init, Tensor};
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
+use crate::Tensor;
+use crate::{gemm, init};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,13 +17,15 @@ use rand::SeedableRng;
 /// kernels: the input is unfolded into a column matrix
 /// `col[in_c·k²][oh·ow]` (im2col) so that
 ///
-/// * forward is `out = W · col` ([`gemm::gemm_nn`]),
+/// * forward is `out = W · col` ([`gemm::gemm_nn_fused`], optionally with
+///   a fused activation epilogue),
 /// * the weight gradient is `dW = dY · colᵀ` ([`gemm::gemm_nt`]), and
 /// * the input gradient is `dX = col2im(Wᵀ · dY)` ([`gemm::gemm_tn`]).
 ///
-/// The `col` and `dcol` scratch matrices are cached on the layer and
-/// reused across calls, so steady-state training does no per-step
-/// allocation here.
+/// The `col` and `dcol` matrices live in caller-provided scratch
+/// ([`Layer::scratch_len`] reports `2 · in_c·k²·oh·ow`), so a planned
+/// executor reuses one arena across every call and steady-state training
+/// and scanning do no per-step allocation here.
 ///
 /// # Examples
 ///
@@ -43,12 +47,7 @@ pub struct Conv2d {
     bias: Vec<f32>,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
-    /// Input spatial size of the last forward pass; `backward` consumes it.
-    cached_hw: Option<(usize, usize)>,
-    /// im2col of the last forward input, `[in_c·k²][oh·ow]` row-major.
-    col: Vec<f32>,
-    /// Backward scratch for `Wᵀ·dY`, same layout as `col`.
-    dcol: Vec<f32>,
+    cache: LegacyCache,
 }
 
 impl Conv2d {
@@ -73,9 +72,7 @@ impl Conv2d {
             bias: vec![0.0; out_c],
             grad_weights: vec![0.0; count],
             grad_bias: vec![0.0; out_c],
-            cached_hw: None,
-            col: Vec::new(),
-            dcol: Vec::new(),
+            cache: LegacyCache::default(),
         }
     }
 
@@ -91,17 +88,35 @@ impl Conv2d {
         )
     }
 
-    /// Unfolds `input` into `col`: row `(ic·k + ky)·k + kx` holds, for
-    /// every output position `(oy, ox)`, the input sample
-    /// `input[ic][oy+ky-pad][ox+kx-pad]` (zero outside the image).
+    fn check_input(&self, in_shape: &[usize]) -> (usize, usize) {
+        assert_eq!(in_shape.len(), 3, "conv input must be CHW");
+        assert_eq!(
+            in_shape[0], self.in_c,
+            "conv expected {} channels",
+            self.in_c
+        );
+        (in_shape[1], in_shape[2])
+    }
+
+    /// The im2col matrix length for one direction (`col` or `dcol`).
+    fn col_len(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.out_hw(h, w);
+        self.in_c * self.ksize * self.ksize * oh * ow
+    }
+
+    /// Unfolds `x` into `col`: row `(ic·k + ky)·k + kx` holds, for every
+    /// output position `(oy, ox)`, the input sample
+    /// `x[ic][oy+ky-pad][ox+kx-pad]` (zero outside the image).
     ///
-    /// Writes into a caller-provided buffer so both the training path
-    /// (layer-owned scratch, reused across steps) and the immutable
-    /// inference path (a local buffer) share one unfold implementation.
+    /// Writes into a caller-provided slice (a planned workspace region or
+    /// the legacy cache). Every element of `col` is written exactly once —
+    /// either a copy from `x` or an explicit padding zero — so no upfront
+    /// full-buffer memset is needed and stale contents from a previous
+    /// window never leak into the padding.
     #[allow(clippy::too_many_arguments)]
     fn im2col_into(
-        col: &mut Vec<f32>,
-        input: &Tensor,
+        col: &mut [f32],
+        x: &[f32],
         in_c: usize,
         ksize: usize,
         pad: usize,
@@ -112,9 +127,7 @@ impl Conv2d {
     ) {
         let k = ksize;
         let pad = pad as isize;
-        col.clear();
-        col.resize(in_c * k * k * oh * ow, 0.0);
-        let x = input.as_slice();
+        assert_eq!(col.len(), in_c * k * k * oh * ow, "im2col buffer length");
         for ic in 0..in_c {
             let plane = &x[ic * h * w..(ic + 1) * h * w];
             for ky in 0..k {
@@ -126,62 +139,41 @@ impl Conv2d {
                     let ox0 = 0isize.max(pad - kx as isize) as usize;
                     let ox1 = (ow as isize).min(w as isize + pad - kx as isize).max(0) as usize;
                     if ox0 >= ox1 {
-                        continue; // whole column samples the zero padding
+                        dst.fill(0.0); // whole column samples the zero padding
+                        continue;
                     }
                     let shift = kx as isize - pad; // ix = ox + shift
                     for oy in 0..oh {
                         let iy = oy as isize + ky as isize - pad;
+                        let row = &mut dst[oy * ow..(oy + 1) * ow];
                         if iy < 0 || iy >= h as isize {
-                            continue; // row stays zero
+                            row.fill(0.0); // fully above/below the image
+                            continue;
                         }
                         let src_base = iy as usize * w;
                         let src = &plane[(src_base as isize + ox0 as isize + shift) as usize
                             ..(src_base as isize + ox1 as isize + shift) as usize];
-                        dst[oy * ow + ox0..oy * ow + ox1].copy_from_slice(src);
+                        row[..ox0].fill(0.0);
+                        row[ox0..ox1].copy_from_slice(src);
+                        row[ox1..].fill(0.0);
                     }
                 }
             }
         }
     }
 
-    /// Shared forward tail: bias broadcast plus `W · col` via GEMM.
-    fn gemm_forward(&self, col: &[f32], oh: usize, ow: usize) -> Tensor {
-        let mut out = Tensor::zeros(vec![self.out_c, oh, ow]);
-        let o = out.as_mut_slice();
-        for (oc, &b) in self.bias.iter().enumerate() {
-            o[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
-        }
-        gemm::gemm_nn(
-            self.out_c,
-            oh * ow,
-            self.in_c * self.ksize * self.ksize,
-            &self.weights,
-            col,
-            o,
-        );
-        out
-    }
-
-    fn check_input(&self, input: &Tensor) -> (usize, usize) {
-        let shape = input.shape();
-        assert_eq!(shape.len(), 3, "conv input must be CHW");
-        assert_eq!(shape[0], self.in_c, "conv expected {} channels", self.in_c);
-        (shape[1], shape[2])
-    }
-
-    /// Folds `self.dcol` back into an input-shaped gradient (scatter-add
-    /// inverse of [`Conv2d::im2col`]).
-    fn col2im(&self, h: usize, w: usize, oh: usize, ow: usize) -> Tensor {
+    /// Folds `dcol` back into an input-shaped gradient `grad_in`
+    /// (scatter-add inverse of [`Conv2d::im2col_into`]; `grad_in` must be
+    /// zero-filled by the caller).
+    fn col2im(&self, dcol: &[f32], grad_in: &mut [f32], h: usize, w: usize, oh: usize, ow: usize) {
         let k = self.ksize;
         let pad = self.pad as isize;
-        let mut grad_in = Tensor::zeros(vec![self.in_c, h, w]);
-        let gx = grad_in.as_mut_slice();
         for ic in 0..self.in_c {
-            let plane = &mut gx[ic * h * w..(ic + 1) * h * w];
+            let plane = &mut grad_in[ic * h * w..(ic + 1) * h * w];
             for ky in 0..k {
                 for kx in 0..k {
                     let row_base = ((ic * k + ky) * k + kx) * oh * ow;
-                    let src_row = &self.dcol[row_base..row_base + oh * ow];
+                    let src_row = &dcol[row_base..row_base + oh * ow];
                     let ox0 = 0isize.max(pad - kx as isize) as usize;
                     let ox1 = (ow as isize).min(w as isize + pad - kx as isize).max(0) as usize;
                     if ox0 >= ox1 {
@@ -203,7 +195,6 @@ impl Conv2d {
                 }
             }
         }
-        grad_in
     }
 
     /// Reference direct-loop forward pass. Kept as the oracle the GEMM
@@ -248,67 +239,88 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let (h, w) = self.check_input(input);
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (h, w) = self.check_input(in_shape);
         let (oh, ow) = self.out_hw(h, w);
-        let mut col = std::mem::take(&mut self.col);
-        Self::im2col_into(
-            &mut col, input, self.in_c, self.ksize, self.pad, h, w, oh, ow,
-        );
-        self.col = col;
-        let out = self.gemm_forward(&self.col, oh, ow);
-        self.cached_hw = Some((h, w));
-        out
+        vec![self.out_c, oh, ow]
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let (h, w) = self.check_input(input);
-        let (oh, ow) = self.out_hw(h, w);
-        // A local unfold buffer: the layer-owned `col` scratch belongs to
-        // the training path (backward reads it), and sharing it would make
-        // concurrent inference impossible.
-        let mut col = Vec::new();
-        Self::im2col_into(
-            &mut col, input, self.in_c, self.ksize, self.pad, h, w, oh, ow,
-        );
-        self.gemm_forward(&col, oh, ow)
+    fn scratch_len(&self, in_shape: &[usize]) -> usize {
+        let (h, w) = self.check_input(in_shape);
+        // col (forward unfold) + dcol (backward Wᵀ·dY), contiguous halves.
+        2 * self.col_len(h, w)
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let (h, w) = match self.cached_hw.take() {
-            Some(hw) => hw,
-            None => panic!("conv backward before forward"),
-        };
+    fn scratch_infer_len(&self, in_shape: &[usize]) -> usize {
+        let (h, w) = self.check_input(in_shape);
+        // Inference only unfolds `col`; the `dcol` half is backward-only.
+        self.col_len(h, w)
+    }
+
+    fn forward_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        _idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        let (h, w) = self.check_input(in_shape);
         let (oh, ow) = self.out_hw(h, w);
-        assert_eq!(grad.shape(), &[self.out_c, oh, ow], "conv grad shape");
-        let g = grad.as_slice();
+        assert_eq!(x.len(), self.in_c * h * w, "conv input length");
+        assert_eq!(y.len(), self.out_c * oh * ow, "conv output length");
+        let col = &mut scratch[..self.col_len(h, w)];
+        Self::im2col_into(col, x, self.in_c, self.ksize, self.pad, h, w, oh, ow);
+        for (oc, &b) in self.bias.iter().enumerate() {
+            y[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
+        }
+        gemm::gemm_nn_fused(
+            self.out_c,
+            oh * ow,
+            self.in_c * self.ksize * self.ksize,
+            &self.weights,
+            col,
+            y,
+            epilogue,
+        );
+    }
+
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        let (h, w) = self.check_input(ctx.in_shape);
+        let (oh, ow) = self.out_hw(h, w);
         let k2 = self.ksize * self.ksize;
+        assert_eq!(ctx.grad.len(), self.out_c * oh * ow, "conv grad shape");
+        assert_eq!(grad_in.len(), self.in_c * h * w, "conv grad_in length");
+        let g = ctx.grad;
 
         // db[oc] = Σ_spatial dY[oc].
         for (oc, gb) in self.grad_bias.iter_mut().enumerate() {
             *gb += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
         }
+        let (col, dcol) = ctx.scratch.split_at_mut(self.col_len(h, w));
+        let dcol = &mut dcol[..self.col_len(h, w)];
         // dW = dY · colᵀ (accumulated into the running gradient).
         gemm::gemm_nt(
             self.out_c,
             self.in_c * k2,
             oh * ow,
             g,
-            &self.col,
+            col,
             &mut self.grad_weights,
         );
         // dcol = Wᵀ · dY, then scatter-add back to the input shape.
-        self.dcol.clear();
-        self.dcol.resize(self.in_c * k2 * oh * ow, 0.0);
-        gemm::gemm_tn(
-            self.in_c * k2,
-            oh * ow,
-            self.out_c,
-            &self.weights,
-            g,
-            &mut self.dcol,
-        );
-        self.col2im(h, w, oh, ow)
+        dcol.fill(0.0);
+        gemm::gemm_tn(self.in_c * k2, oh * ow, self.out_c, &self.weights, g, dcol);
+        self.col2im(dcol, grad_in, h, w, oh, ow);
+    }
+
+    fn accepts_epilogue(&self) -> bool {
+        true
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -323,11 +335,6 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "conv"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        let (oh, ow) = self.out_hw(input[1], input[2]);
-        vec![self.out_c, oh, ow]
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -360,7 +367,7 @@ mod tests {
         let mut conv = Conv2d::new(4, 8, 3, 1, 1);
         let y = conv.forward(&Tensor::zeros(vec![4, 12, 12]), false);
         assert_eq!(y.shape(), &[8, 12, 12]);
-        assert_eq!(conv.output_shape(&[4, 12, 12]), vec![8, 12, 12]);
+        assert_eq!(conv.out_shape(&[4, 12, 12]), vec![8, 12, 12]);
     }
 
     #[test]
@@ -512,10 +519,14 @@ mod tests {
             .collect();
         let x = Tensor::from_vec(vec![2, 6, 6], data);
         let reference = conv.forward(&x, false);
-        let cap = conv.col.capacity();
+        let cap = conv.legacy_cache().scratch_capacity();
         let inferred = conv.forward_inference(&x);
         assert_eq!(inferred.as_slice(), reference.as_slice());
-        assert_eq!(conv.col.capacity(), cap, "inference must not touch scratch");
+        assert_eq!(
+            conv.legacy_cache().scratch_capacity(),
+            cap,
+            "inference must not touch scratch"
+        );
     }
 
     #[test]
@@ -523,11 +534,39 @@ mod tests {
         let mut conv = Conv2d::new(2, 3, 3, 1, 4);
         let x = Tensor::zeros(vec![2, 6, 6]);
         let _ = conv.forward(&x, true);
-        let cap = conv.col.capacity();
+        let cap = conv.legacy_cache().scratch_capacity();
         for _ in 0..3 {
             let _ = conv.forward(&x, true);
             let _ = conv.backward(&Tensor::zeros(vec![3, 6, 6]));
         }
-        assert_eq!(conv.col.capacity(), cap, "im2col scratch must be reused");
+        assert_eq!(
+            conv.legacy_cache().scratch_capacity(),
+            cap,
+            "im2col scratch must be reused"
+        );
+    }
+
+    #[test]
+    fn fused_relu_epilogue_is_bit_identical_to_unfused() {
+        use super::super::Relu;
+        let conv = Conv2d::new(2, 3, 3, 1, 9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let data: Vec<f32> = (0..2 * 5 * 5)
+            .map(|_| rng.gen_range(-1.5f32..1.5))
+            .collect();
+        let x = Tensor::from_vec(vec![2, 5, 5], data);
+        let in_shape = [2usize, 5, 5];
+        let mut y_fused = vec![0.0f32; 3 * 5 * 5];
+        let mut scratch = vec![0.0f32; conv.scratch_len(&in_shape)];
+        conv.forward_into(
+            x.as_slice(),
+            &in_shape,
+            &mut y_fused,
+            &mut scratch,
+            &mut [],
+            Some(Epilogue::Relu),
+        );
+        let unfused = Relu::new().forward_inference(&conv.forward_inference(&x));
+        assert_eq!(y_fused.as_slice(), unfused.as_slice());
     }
 }

@@ -1,7 +1,9 @@
 //! Fully-connected layer.
 
-use super::Layer;
-use crate::{gemm, init, Tensor};
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
+use crate::Tensor;
+use crate::{gemm, init};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -9,9 +11,10 @@ use rand::SeedableRng;
 ///
 /// Weight layout: `[out][in]`, row-major. Forward and backward are routed
 /// through the shared [`crate::gemm`] kernels (`y = W·x` is
-/// [`gemm::gemm_nt`] with `x` as a 1-row right operand, `dW += g⊗x` is the
-/// rank-1 [`gemm::gemm_nn`] update, and `dX = Wᵀ·g` is
-/// [`gemm::gemm_tn`]'s matrix-transpose-vector fast path).
+/// [`gemm::gemm_nt_fused`] with `x` as a 1-row right operand — optionally
+/// applying a fused activation epilogue to the output while it is still
+/// cache-hot — `dW += g⊗x` is the rank-1 [`gemm::gemm_nn`] update, and
+/// `dX = Wᵀ·g` is [`gemm::gemm_tn`]'s matrix-transpose-vector fast path).
 ///
 /// # Examples
 ///
@@ -31,7 +34,7 @@ pub struct Dense {
     bias: Vec<f32>,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
-    cached_input: Option<Tensor>,
+    cache: LegacyCache,
 }
 
 impl Dense {
@@ -50,7 +53,7 @@ impl Dense {
             bias: vec![0.0; out_features],
             grad_weights: vec![0.0; in_features * out_features],
             grad_bias: vec![0.0; out_features],
-            cached_input: None,
+            cache: LegacyCache::default(),
         }
     }
 
@@ -61,57 +64,44 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let len: usize = in_shape.iter().product();
         assert_eq!(
-            input.len(),
-            self.in_features,
+            len, self.in_features,
             "dense expected {} inputs, got {:?}",
-            self.in_features,
-            input.shape()
+            self.in_features, in_shape
         );
-        let x = input.as_slice();
+        vec![self.out_features]
+    }
+
+    fn forward_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        let _ = self.out_shape(in_shape);
+        assert_eq!(y.len(), self.out_features, "dense output length");
         // y = b, then y += W·x (an out×1 gemm against x as a 1×in Bᵀ).
-        let mut out = self.bias.clone();
-        gemm::gemm_nt(
+        y.copy_from_slice(&self.bias);
+        gemm::gemm_nt_fused(
             self.out_features,
             1,
             self.in_features,
             &self.weights,
             x,
-            &mut out,
+            y,
+            epilogue,
         );
-        self.cached_input = Some(input.clone());
-        Tensor::from_vec(vec![self.out_features], out)
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        assert_eq!(
-            input.len(),
-            self.in_features,
-            "dense expected {} inputs, got {:?}",
-            self.in_features,
-            input.shape()
-        );
-        let mut out = self.bias.clone();
-        gemm::gemm_nt(
-            self.out_features,
-            1,
-            self.in_features,
-            &self.weights,
-            input.as_slice(),
-            &mut out,
-        );
-        Tensor::from_vec(vec![self.out_features], out)
-    }
-
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = match self.cached_input.take() {
-            Some(input) => input,
-            None => panic!("dense backward before forward"),
-        };
-        assert_eq!(grad.len(), self.out_features, "dense grad shape");
-        let x = input.as_slice();
-        let g = grad.as_slice();
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        assert_eq!(ctx.grad.len(), self.out_features, "dense grad shape");
+        assert_eq!(grad_in.len(), self.in_features, "dense grad_in length");
+        let g = ctx.grad;
         for (gb, &go) in self.grad_bias.iter_mut().zip(g) {
             *gb += go;
         }
@@ -121,20 +111,26 @@ impl Layer for Dense {
             self.in_features,
             1,
             g,
-            x,
+            ctx.x,
             &mut self.grad_weights,
         );
-        // dX = Wᵀ·g.
-        let mut grad_in = vec![0.0f32; self.in_features];
+        // dX = Wᵀ·g (grad_in arrives zero-filled).
         gemm::gemm_tn(
             self.in_features,
             1,
             self.out_features,
             &self.weights,
             g,
-            &mut grad_in,
+            grad_in,
         );
-        Tensor::from_vec(vec![self.in_features], grad_in)
+    }
+
+    fn accepts_epilogue(&self) -> bool {
+        true
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -149,10 +145,6 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "fc"
-    }
-
-    fn output_shape(&self, _input: &[usize]) -> Vec<usize> {
-        vec![self.out_features]
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -228,5 +220,23 @@ mod tests {
     fn rejects_wrong_input_len() {
         let mut d = Dense::new(4, 2, 0);
         let _ = d.forward(&Tensor::zeros(vec![5]), false);
+    }
+
+    #[test]
+    fn fused_sigmoid_epilogue_is_bit_identical_to_unfused() {
+        use super::super::Sigmoid;
+        let d = Dense::new(4, 3, 5);
+        let x = Tensor::from_vec(vec![4], vec![0.3, -1.2, 0.7, 2.0]);
+        let mut y_fused = vec![0.0f32; 3];
+        d.forward_into(
+            x.as_slice(),
+            &[4],
+            &mut y_fused,
+            &mut [],
+            &mut [],
+            Some(Epilogue::Sigmoid),
+        );
+        let unfused = Sigmoid::new().forward_inference(&d.forward_inference(&x));
+        assert_eq!(y_fused.as_slice(), unfused.as_slice());
     }
 }

@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -9,6 +10,12 @@ use rand::{Rng, SeedableRng};
 /// probability `p` and survivors are scaled by `1 / (1 - p)`, so inference
 /// (`train = false`) is the identity. The paper applies 50 % dropout on its
 /// first fully-connected layer.
+///
+/// The mask backward needs lives in the caller-provided f32 scratch
+/// ([`Layer::scratch_len`] equals the element count). Masks are drawn from
+/// the layer's own seeded RNG stream in strict element order, so planned
+/// and legacy training paths consume the stream identically — which is
+/// what keeps checkpoint/resume bit-identical.
 ///
 /// # Examples
 ///
@@ -25,8 +32,7 @@ use rand::{Rng, SeedableRng};
 pub struct Dropout {
     p: f32,
     rng: StdRng,
-    mask: Vec<f32>,
-    shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl Dropout {
@@ -44,8 +50,7 @@ impl Dropout {
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
-            mask: Vec::new(),
-            shape: Vec::new(),
+            cache: LegacyCache::default(),
         }
     }
 
@@ -57,51 +62,71 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        self.shape = input.shape().to_vec();
-        if !train || self.p == 0.0 {
-            self.mask = vec![1.0; input.len()];
-            return input.clone();
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn scratch_len(&self, in_shape: &[usize]) -> usize {
+        // One mask value per element, consumed by `backward_into`.
+        in_shape.iter().product()
+    }
+
+    fn forward_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        // Inverted dropout is the identity at inference time, and no RNG
+        // is drawn — the training stream is left untouched. The mask is
+        // still recorded (all ones) so a backward after an inference-mode
+        // forward passes gradients through unchanged.
+        scratch[..y.len()].fill(1.0);
+        y.copy_from_slice(x);
+    }
+
+    fn forward_train_into(
+        &mut self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        if self.p == 0.0 {
+            self.forward_into(x, in_shape, y, scratch, idx, epilogue);
+            return;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        self.mask = (0..input.len())
-            .map(|_| {
-                if self.rng.gen_range(0.0f32..1.0) < keep {
-                    scale
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let data = input
-            .as_slice()
-            .iter()
-            .zip(self.mask.iter())
-            .map(|(&v, &m)| v * m)
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+        let mask = &mut scratch[..y.len()];
+        // Strict element order: one draw per element, exactly as the
+        // historical per-tensor implementation consumed the stream.
+        for m in mask.iter_mut() {
+            *m = if self.rng.gen_range(0.0f32..1.0) < keep {
+                scale
+            } else {
+                0.0
+            };
+        }
+        for ((yi, &v), &m) in y.iter_mut().zip(x).zip(mask.iter()) {
+            *yi = v * m;
+        }
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        // Inverted dropout is the identity at inference time, and no RNG
-        // is drawn — the training stream is left untouched.
-        input.clone()
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        let mask = &ctx.scratch[..ctx.grad.len()];
+        for ((gi, &g), &m) in grad_in.iter_mut().zip(ctx.grad).zip(mask) {
+            *gi = g * m;
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(
-            grad.len(),
-            self.mask.len(),
-            "dropout backward before forward or shape mismatch"
-        );
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(self.mask.iter())
-            .map(|(&g, &m)| g * m)
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -110,10 +135,6 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "dropout"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        input.to_vec()
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -183,5 +204,22 @@ mod tests {
     #[should_panic(expected = "dropout p")]
     fn p_one_rejected() {
         let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn planned_train_draws_match_legacy_stream() {
+        // Two layers seeded alike must produce the same masks whether
+        // driven through the legacy `forward` or `forward_train_into`.
+        let mut a = Dropout::new(0.5, 77);
+        let mut b = Dropout::new(0.5, 77);
+        let x: Vec<f32> = (0..64).map(|i| i as f32 * 0.1).collect();
+        for _ in 0..3 {
+            let ya = a.forward(&Tensor::from_vec(vec![64], x.clone()), true);
+            let mut yb = vec![0.0f32; 64];
+            let mut scratch = vec![0.0f32; 64];
+            b.forward_train_into(&x, &[64], &mut yb, &mut scratch, &mut [], None);
+            assert_eq!(ya.as_slice(), yb.as_slice());
+        }
+        assert_eq!(a.rng_state(), b.rng_state());
     }
 }

@@ -1,6 +1,7 @@
 //! Shape flattening between convolutional and dense stages.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 
 /// Flattens any input tensor to rank 1; backward restores the shape.
@@ -17,7 +18,7 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Flatten {
-    in_shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl Flatten {
@@ -28,18 +29,28 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.in_shape = input.shape().to_vec();
-        input.clone().reshaped(vec![input.len()])
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape.iter().product()]
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        input.clone().reshaped(vec![input.len()])
+    fn forward_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        y.copy_from_slice(x);
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert!(!self.in_shape.is_empty(), "flatten backward before forward");
-        grad.clone().reshaped(self.in_shape.clone())
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        grad_in.copy_from_slice(ctx.grad);
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -48,10 +59,6 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "flatten"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        vec![input.iter().product()]
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {

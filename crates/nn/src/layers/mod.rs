@@ -1,10 +1,19 @@
 //! Network layers with analytic gradients.
 //!
-//! Every layer implements [`Layer`]: `forward` caches whatever `backward`
-//! needs; `backward` accumulates parameter gradients internally and returns
-//! the gradient with respect to the layer input. Parameter/gradient pairs
-//! are exposed through [`Layer::visit_params`], which the optimiser and the
-//! serialiser both use — layers stay ignorant of the update rule.
+//! Every layer implements [`Layer`] through the *planned* slice contract:
+//! [`Layer::out_shape`] reports output shapes, [`Layer::scratch_len`] /
+//! [`Layer::idx_len`] report workspace requirements, and
+//! [`Layer::forward_into`] / [`Layer::backward_into`] write into
+//! caller-provided slices so an execution plan ([`crate::engine`]) can run
+//! a whole network without a single allocation. The classic allocating
+//! [`Layer::forward`] / [`Layer::backward`] / [`Layer::forward_inference`]
+//! API is provided as thin default-method wrappers over that contract, so
+//! both paths share one numeric implementation and stay bit-identical by
+//! construction.
+//!
+//! Parameter/gradient pairs are exposed through [`Layer::visit_params`],
+//! which the optimiser and the serialiser both use — layers stay ignorant
+//! of the update rule.
 
 mod activation;
 mod avgpool;
@@ -24,46 +33,295 @@ pub use flatten::Flatten;
 pub use pool::MaxPool2;
 pub use relu::Relu;
 
+pub use crate::gemm::Epilogue;
 use crate::Tensor;
 use std::fmt;
 
+/// Everything a layer's `backward_into` may need, borrowed from the
+/// buffers its matching forward pass wrote (either a planned
+/// [`crate::engine::Workspace`] arena or the layer's own [`LegacyCache`]).
+///
+/// Aliasing rules: `x` and `y` come from the activation arena (shared
+/// borrows), `scratch` is the layer's private forward scratch region
+/// (mutable — conv reuses it for the `dcol` buffer), `idx` the private
+/// index region (maxpool argmax). All four are disjoint slices.
+pub struct BackwardCtx<'a> {
+    /// The layer's forward input.
+    pub x: &'a [f32],
+    /// The forward input's shape.
+    pub in_shape: &'a [usize],
+    /// The layer's forward output (post any fused epilogue).
+    pub y: &'a [f32],
+    /// ∂loss/∂output.
+    pub grad: &'a [f32],
+    /// The f32 scratch region this layer's forward wrote (im2col columns,
+    /// dropout masks); conv's backward also writes its `dcol` half.
+    pub scratch: &'a mut [f32],
+    /// The index scratch region this layer's forward wrote (argmax).
+    pub idx: &'a [usize],
+}
+
+/// Buffers backing the allocating compatibility API (`forward` /
+/// `backward`): one cached copy of the last forward call's input, output,
+/// and scratch, reused across calls so steady-state training does no
+/// per-step allocation. The planned path ([`crate::engine`]) bypasses this
+/// entirely and uses a caller-owned workspace instead.
+#[derive(Debug, Clone, Default)]
+pub struct LegacyCache {
+    in_shape: Vec<usize>,
+    x: Vec<f32>,
+    y: Vec<f32>,
+    scratch: Vec<f32>,
+    idx: Vec<usize>,
+    /// Whether a forward pass has populated the cache and not yet been
+    /// consumed by `backward`.
+    primed: bool,
+}
+
+impl LegacyCache {
+    /// Capacity of the f32 scratch buffer — exposed so tests can pin the
+    /// no-realloc steady-state contract.
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch.capacity()
+    }
+}
+
 /// A differentiable network layer.
 ///
-/// Layers are stateful across a forward/backward pair: `backward` may only
-/// be called after the matching `forward`, and batching is expressed as
-/// repeated forward/backward calls with gradients accumulated until
-/// [`Layer::zero_grads`]. Layers must be [`Send`] so network replicas can
-/// run on worker threads ([`crate::parallel`]) and [`Sync`] so a single
-/// network can serve concurrent [`Layer::forward_inference`] calls.
+/// The required surface is the planned slice contract (`out_shape`,
+/// `forward_into`, `backward_into`, plus workspace sizing); the stateful
+/// tensor API (`forward` / `backward` / `forward_inference`) has default
+/// implementations layered on top of it. Layers must be [`Send`] so
+/// network replicas can run on worker threads ([`crate::parallel`]) and
+/// [`Sync`] so a single network can serve concurrent inference calls
+/// through caller-owned workspaces.
 pub trait Layer: fmt::Debug + Send + Sync {
-    /// Computes the layer output. `train` enables training-only behaviour
-    /// (dropout masks); inference should pass `false`.
+    /// Output shape for `in_shape`, validating the input shape with the
+    /// same panics the forward pass would raise. Used by execution
+    /// planning and architecture tables (the paper's Table 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_shape` is incompatible with the layer.
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+
+    /// Length of the f32 scratch region `forward_into`/`backward_into`
+    /// need for this input shape (0 for most layers; conv's im2col `col`
+    /// plus backward `dcol`, dropout's mask).
+    fn scratch_len(&self, _in_shape: &[usize]) -> usize {
+        0
+    }
+
+    /// Length of the index scratch region (maxpool argmax; 0 otherwise).
+    fn idx_len(&self, _in_shape: &[usize]) -> usize {
+        0
+    }
+
+    /// Length of the f32 scratch `forward_into` alone touches. Defaults to
+    /// [`Layer::scratch_len`]; layers whose scratch is partly
+    /// backward-only (conv's `dcol` half) report the smaller forward
+    /// footprint so planned inference can overlay a single shared scratch
+    /// region across all steps instead of disjoint per-layer regions.
+    fn scratch_infer_len(&self, in_shape: &[usize]) -> usize {
+        self.scratch_len(in_shape)
+    }
+
+    /// Inference-mode forward pass writing into caller-provided slices:
+    /// `y` must hold `out_shape(in_shape)` elements, `scratch` / `idx`
+    /// must be at least `scratch_len` / `idx_len` long. No layer state is
+    /// mutated and no RNG is drawn, so `&self` calls may run concurrently
+    /// with per-caller buffers.
+    ///
+    /// `epilogue` is a fused follow-on activation: layers that report
+    /// [`Layer::accepts_epilogue`] apply it inside their GEMM tail
+    /// ([`crate::gemm::gemm_nn_fused`]); for every other layer the planner
+    /// never passes `Some`.
+    ///
+    /// Must be **bit-identical** to the allocating `forward(input, false)`
+    /// path: same arithmetic in the same order, differing only in where
+    /// results land.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length is inconsistent with `in_shape`.
+    fn forward_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    );
+
+    /// Training-mode forward pass. Defaults to [`Layer::forward_into`];
+    /// only stochastic layers (dropout) override it to draw masks from
+    /// their RNG stream. Caches whatever `backward_into` will need in
+    /// `scratch` / `idx`.
+    fn forward_train_into(
+        &mut self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        self.forward_into(x, in_shape, y, scratch, idx, epilogue);
+    }
+
+    /// Propagates `ctx.grad` (∂loss/∂output) backwards: accumulates
+    /// parameter gradients internally and writes ∂loss/∂input into
+    /// `grad_in`, which the caller provides **zero-filled** (scatter-add
+    /// layers rely on this).
+    ///
+    /// A fused epilogue's gradient is *not* this layer's business: the
+    /// planner rescales `ctx.grad` through
+    /// [`Epilogue::grad_from_output`] before calling `backward_into`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent slice lengths.
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]);
+
+    /// Whether this layer can fuse a following activation into its output
+    /// epilogue (the GEMM-backed conv and dense layers).
+    fn accepts_epilogue(&self) -> bool {
+        false
+    }
+
+    /// If this layer *is* a pure element-wise activation, the epilogue it
+    /// fuses into a preceding GEMM layer; `None` otherwise.
+    fn as_epilogue(&self) -> Option<Epilogue> {
+        None
+    }
+
+    /// The buffers backing the allocating compatibility API. Every layer
+    /// owns one [`LegacyCache`] field and returns it here.
+    fn legacy_cache(&mut self) -> &mut LegacyCache;
+
+    /// Computes the layer output (allocating compatibility API). `train`
+    /// enables training-only behaviour (dropout masks); inference should
+    /// pass `false`. A thin wrapper over [`Layer::forward_into`] /
+    /// [`Layer::forward_train_into`] using the layer-owned cache, whose
+    /// buffers are reused across calls.
     ///
     /// # Panics
     ///
     /// Panics if `input` has an incompatible shape.
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out_shape = self.out_shape(input.shape());
+        let out_len: usize = out_shape.iter().product();
+        let scratch_len = self.scratch_len(input.shape());
+        let idx_len = self.idx_len(input.shape());
+        let mut c = std::mem::take(self.legacy_cache());
+        c.in_shape.clear();
+        c.in_shape.extend_from_slice(input.shape());
+        c.x.clear();
+        c.x.extend_from_slice(input.as_slice());
+        c.y.clear();
+        c.y.resize(out_len, 0.0);
+        c.scratch.clear();
+        c.scratch.resize(scratch_len, 0.0);
+        c.idx.clear();
+        c.idx.resize(idx_len, 0);
+        if train {
+            self.forward_train_into(
+                &c.x,
+                &c.in_shape,
+                &mut c.y,
+                &mut c.scratch,
+                &mut c.idx,
+                None,
+            );
+        } else {
+            self.forward_into(
+                &c.x,
+                &c.in_shape,
+                &mut c.y,
+                &mut c.scratch,
+                &mut c.idx,
+                None,
+            );
+        }
+        c.primed = true;
+        let out = Tensor::from_vec(out_shape, c.y.clone());
+        *self.legacy_cache() = c;
+        out
+    }
 
     /// Computes the layer output in inference mode without mutating any
-    /// layer state (no backward caches, no scratch reuse, no RNG draws).
+    /// layer state (no backward caches, no scratch reuse, no RNG draws):
+    /// a thin wrapper over [`Layer::forward_into`] with per-call local
+    /// buffers.
     ///
-    /// Must be **bit-identical** to `forward(input, false)`: same
-    /// arithmetic in the same order, differing only in what gets cached.
-    /// This is what lets many threads share one network during batch
-    /// scoring instead of cloning per-worker replicas.
+    /// Bit-identical to `forward(input, false)` by construction — both
+    /// run the same `forward_into`. This is what lets many threads share
+    /// one network during batch scoring instead of cloning per-worker
+    /// replicas.
     ///
     /// # Panics
     ///
     /// Panics if `input` has an incompatible shape.
-    fn forward_inference(&self, input: &Tensor) -> Tensor;
+    fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let out_shape = self.out_shape(input.shape());
+        let out_len: usize = out_shape.iter().product();
+        let mut y = vec![0.0f32; out_len];
+        let mut scratch = vec![0.0f32; self.scratch_len(input.shape())];
+        let mut idx = vec![0usize; self.idx_len(input.shape())];
+        self.forward_into(
+            input.as_slice(),
+            input.shape(),
+            &mut y,
+            &mut scratch,
+            &mut idx,
+            None,
+        );
+        Tensor::from_vec(out_shape, y)
+    }
 
-    /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
-    /// gradients, and returns ∂loss/∂input.
+    /// Propagates `grad` (∂loss/∂output) backwards, accumulating
+    /// parameter gradients, and returns ∂loss/∂input (allocating
+    /// compatibility API over [`Layer::backward_into`]). Consumes the
+    /// cached forward state: a second `backward` without a fresh
+    /// `forward` panics.
     ///
     /// # Panics
     ///
     /// Panics if called before `forward` or with a mismatched shape.
-    fn backward(&mut self, grad: &Tensor) -> Tensor;
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut c = std::mem::take(self.legacy_cache());
+        if !c.primed {
+            // Restore the (unprimed) cache so the layer stays usable, then
+            // report with the layer's name, e.g. "conv backward before
+            // forward".
+            let name = self.name();
+            *self.legacy_cache() = c;
+            panic!("{name} backward before forward");
+        }
+        assert_eq!(
+            grad.len(),
+            c.y.len(),
+            "{} backward before forward or shape mismatch",
+            self.name()
+        );
+        let mut grad_in = vec![0.0f32; c.x.len()];
+        self.backward_into(
+            BackwardCtx {
+                x: &c.x,
+                in_shape: &c.in_shape,
+                y: &c.y,
+                grad: grad.as_slice(),
+                scratch: &mut c.scratch,
+                idx: &c.idx,
+            },
+            &mut grad_in,
+        );
+        let shape = c.in_shape.clone();
+        c.primed = false;
+        *self.legacy_cache() = c;
+        Tensor::from_vec(shape, grad_in)
+    }
 
     /// Visits every (parameters, gradients) slice pair of the layer.
     /// Parameter-free layers do nothing.
@@ -74,10 +332,6 @@ pub trait Layer: fmt::Debug + Send + Sync {
 
     /// A short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
-
-    /// Output shape for a given input shape (used to print architecture
-    /// tables like the paper's Table 1).
-    fn output_shape(&self, input: &[usize]) -> Vec<usize>;
 
     /// Clones the layer behind the trait object (parameters, gradients and
     /// caches included) — the basis of [`crate::Network`]'s `Clone`, which

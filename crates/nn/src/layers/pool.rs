@@ -1,13 +1,16 @@
 //! 2×2 max pooling.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 
 /// 2×2 max pooling with stride 2 on CHW tensors (the paper's pooling
 /// configuration, Table 1).
 ///
 /// Odd trailing rows/columns are dropped (floor semantics), matching the
-/// common deep-learning default.
+/// common deep-learning default. The argmax indices backward needs live in
+/// the caller-provided index scratch ([`Layer::idx_len`]), so planned
+/// training reuses one buffer across steps.
 ///
 /// # Examples
 ///
@@ -22,8 +25,7 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MaxPool2 {
-    argmax: Vec<usize>,
-    in_shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl MaxPool2 {
@@ -31,79 +33,80 @@ impl MaxPool2 {
     pub fn new() -> Self {
         MaxPool2::default()
     }
+
+    fn check_input(in_shape: &[usize]) -> (usize, usize, usize) {
+        assert_eq!(in_shape.len(), 3, "maxpool input must be CHW");
+        let (c, h, w) = (in_shape[0], in_shape[1], in_shape[2]);
+        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 spatial input");
+        (c, h, w)
+    }
 }
 
 impl Layer for MaxPool2 {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let s = input.shape();
-        assert_eq!(s.len(), 3, "maxpool input must be CHW");
-        let (c, h, w) = (s[0], s[1], s[2]);
-        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 spatial input");
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (c, h, w) = Self::check_input(in_shape);
+        vec![c, h / 2, w / 2]
+    }
+
+    fn idx_len(&self, in_shape: &[usize]) -> usize {
+        let (c, h, w) = Self::check_input(in_shape);
+        c * (h / 2) * (w / 2)
+    }
+
+    fn forward_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        let (c, h, w) = Self::check_input(in_shape);
         let (oh, ow) = (h / 2, w / 2);
-        self.in_shape = s.to_vec();
-        self.argmax = Vec::with_capacity(c * oh * ow);
-        let mut out = Vec::with_capacity(c * oh * ow);
+        assert_eq!(y.len(), c * oh * ow, "maxpool output length");
+        assert_eq!(idx.len(), c * oh * ow, "maxpool index scratch length");
+        let mut o = 0usize;
         for ch in 0..c {
             for oy in 0..oh {
                 for ox in 0..ow {
+                    // Strict-`>` scan: earliest maximum wins ties, exactly
+                    // like the historical per-tensor implementation.
                     let mut best = f32::NEG_INFINITY;
                     let mut best_idx = 0usize;
                     for dy in 0..2 {
                         for dx in 0..2 {
                             let (iy, ix) = (oy * 2 + dy, ox * 2 + dx);
-                            let v = input.at3(ch, iy, ix);
+                            let flat = (ch * h + iy) * w + ix;
+                            let v = x[flat];
                             if v > best {
                                 best = v;
-                                best_idx = (ch * h + iy) * w + ix;
+                                best_idx = flat;
                             }
                         }
                     }
-                    out.push(best);
-                    self.argmax.push(best_idx);
+                    y[o] = best;
+                    idx[o] = best_idx;
+                    o += 1;
                 }
             }
         }
-        Tensor::from_vec(vec![c, oh, ow], out)
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let s = input.shape();
-        assert_eq!(s.len(), 3, "maxpool input must be CHW");
-        let (c, h, w) = (s[0], s[1], s[2]);
-        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 spatial input");
-        let (oh, ow) = (h / 2, w / 2);
-        // Same strict-`>` scan as `forward`, minus the argmax bookkeeping.
-        let mut out = Vec::with_capacity(c * oh * ow);
-        for ch in 0..c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let v = input.at3(ch, oy * 2 + dy, ox * 2 + dx);
-                            if v > best {
-                                best = v;
-                            }
-                        }
-                    }
-                    out.push(best);
-                }
-            }
-        }
-        Tensor::from_vec(vec![c, oh, ow], out)
-    }
-
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         assert_eq!(
-            grad.len(),
-            self.argmax.len(),
+            ctx.grad.len(),
+            ctx.idx.len(),
             "maxpool backward before forward or shape mismatch"
         );
-        let mut out = Tensor::zeros(self.in_shape.clone());
-        for (g, &idx) in grad.as_slice().iter().zip(self.argmax.iter()) {
-            out.as_mut_slice()[idx] += g;
+        // Scatter-add into the caller-zero-filled input gradient.
+        for (&g, &i) in ctx.grad.iter().zip(ctx.idx) {
+            grad_in[i] += g;
         }
-        out
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -112,10 +115,6 @@ impl Layer for MaxPool2 {
 
     fn name(&self) -> &'static str {
         "maxpool"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        vec![input[0], input[1] / 2, input[2] / 2]
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -169,7 +168,7 @@ mod tests {
         let mut pool = MaxPool2::new();
         let y = pool.forward(&Tensor::zeros(vec![1, 5, 7]), true);
         assert_eq!(y.shape(), &[1, 2, 3]);
-        assert_eq!(pool.output_shape(&[1, 5, 7]), vec![1, 2, 3]);
+        assert_eq!(pool.out_shape(&[1, 5, 7]), vec![1, 2, 3]);
     }
 
     #[test]

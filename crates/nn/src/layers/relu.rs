@@ -1,9 +1,15 @@
 //! Rectified linear activation.
 
-use super::Layer;
+use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
+#[cfg(test)]
 use crate::Tensor;
 
 /// Element-wise `ReLU(x) = max(x, 0)` (paper Eq. (5)).
+///
+/// Reports [`Layer::as_epilogue`] so an execution plan can fuse it into a
+/// preceding conv/dense GEMM tail instead of running it as a separate
+/// traversal; the fused and standalone paths are bit-identical because
+/// both compute `if v > 0.0 { v } else { 0.0 }` per element.
 ///
 /// # Examples
 ///
@@ -17,8 +23,7 @@ use crate::Tensor;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
-    mask: Vec<bool>,
-    shape: Vec<usize>,
+    cache: LegacyCache,
 }
 
 impl Relu {
@@ -29,39 +34,39 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        self.shape = input.shape().to_vec();
-        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
-        let data = input
-            .as_slice()
-            .iter()
-            .map(|&v| if v > 0.0 { v } else { 0.0 })
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
     }
 
-    fn forward_inference(&self, input: &Tensor) -> Tensor {
-        let data = input
-            .as_slice()
-            .iter()
-            .map(|&v| if v > 0.0 { v } else { 0.0 })
-            .collect();
-        Tensor::from_vec(input.shape().to_vec(), data)
+    fn forward_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = if v > 0.0 { v } else { 0.0 };
+        }
     }
 
-    fn backward(&mut self, grad: &Tensor) -> Tensor {
-        assert_eq!(
-            grad.len(),
-            self.mask.len(),
-            "relu backward before forward or shape mismatch"
-        );
-        let data = grad
-            .as_slice()
-            .iter()
-            .zip(self.mask.iter())
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(self.shape.clone(), data)
+    fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
+        // Subgradient convention: ReLU'(0) = 0, matching the forward
+        // predicate `x > 0.0` (equivalently `y > 0.0`, which is what the
+        // fused-epilogue gradient path uses).
+        for ((gi, &g), &v) in grad_in.iter_mut().zip(ctx.grad).zip(ctx.x) {
+            *gi = if v > 0.0 { g } else { 0.0 };
+        }
+    }
+
+    fn as_epilogue(&self) -> Option<Epilogue> {
+        Some(Epilogue::Relu)
+    }
+
+    fn legacy_cache(&mut self) -> &mut LegacyCache {
+        &mut self.cache
     }
 
     fn visit_params(&mut self, _visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -70,10 +75,6 @@ impl Layer for Relu {
 
     fn name(&self) -> &'static str {
         "relu"
-    }
-
-    fn output_shape(&self, input: &[usize]) -> Vec<usize> {
-        input.to_vec()
     }
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
@@ -114,6 +115,22 @@ mod tests {
         let mut r = Relu::new();
         let y = r.forward(&Tensor::zeros(vec![2, 3, 4]), false);
         assert_eq!(y.shape(), &[2, 3, 4]);
-        assert_eq!(r.output_shape(&[2, 3, 4]), vec![2, 3, 4]);
+        assert_eq!(r.out_shape(&[2, 3, 4]), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn epilogue_gradient_matches_standalone_backward() {
+        // grad_from_output on y must equal the x-mask path: for ReLU the
+        // post-activation predicate y > 0 is exactly the pre-activation
+        // predicate x > 0 (y == x where x > 0, else y == 0).
+        let x = [-1.5f32, 0.0, 0.5, 3.0];
+        let g = [1.0f32, 2.0, 3.0, 4.0];
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::from_vec(vec![4], x.to_vec()), true);
+        let standalone = r.backward(&Tensor::from_vec(vec![4], g.to_vec()));
+        let y: Vec<f32> = x.iter().map(|&v| if v > 0.0 { v } else { 0.0 }).collect();
+        let mut fused = g.to_vec();
+        Epilogue::Relu.grad_from_output(&y, &mut fused);
+        assert_eq!(standalone.as_slice(), fused.as_slice());
     }
 }

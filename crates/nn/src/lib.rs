@@ -14,6 +14,10 @@
 //!   biased learning needs (`y*_n = [1-ε, ε]`).
 //! - [`Network`]: a sequential container with forward/backward passes and
 //!   parameter visitation.
+//! - [`engine`]: shape-planned execution — a `ShapePlan`/`Workspace` pair
+//!   that preallocates every intermediate buffer in one arena and fuses
+//!   activation epilogues into the GEMM layers, so steady-state inference
+//!   and training do zero allocations (bit-identical to the classic path).
 //! - [`optim`]: plain SGD and the paper's mini-batch gradient descent
 //!   (Algorithm 1) with step-decayed learning rate.
 //! - [`parallel`]: deterministic multi-threaded mini-batch gradients
@@ -63,6 +67,7 @@
 //! ```
 
 pub mod data;
+pub mod engine;
 pub mod gemm;
 pub mod init;
 pub mod layers;

@@ -23,11 +23,31 @@ use crate::Tensor;
 /// assert!((q[0] - 1.0).abs() < 1e-6); // no overflow
 /// ```
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// Numerically-stable softmax written into a caller-provided slice —
+/// the allocation-free core [`softmax`] wraps, used by the planned scan
+/// path so window scoring stays allocation-free. Bit-identical to
+/// [`softmax`]: same max, same exponentials, same summation order, same
+/// division.
+///
+/// # Panics
+///
+/// Panics on an empty slice or a length mismatch.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
     assert!(!logits.is_empty(), "softmax of empty logits");
+    assert_eq!(logits.len(), out.len(), "softmax output length mismatch");
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    for (o, &v) in out.iter_mut().zip(logits) {
+        *o = (v - max).exp();
+    }
+    let sum: f32 = out.iter().sum();
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
 /// Softmax cross-entropy loss and its gradient w.r.t. the logits.
@@ -56,20 +76,33 @@ pub fn softmax(logits: &[f32]) -> Vec<f32> {
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, target: &[f32]) -> (f32, Tensor) {
     let x = logits.as_slice();
-    assert_eq!(x.len(), target.len(), "logits/target length mismatch");
-    let p = softmax(x);
+    let mut grad = vec![0.0f32; x.len()];
+    let loss = softmax_cross_entropy_into(x, target, &mut grad);
+    (loss, Tensor::from_vec(vec![x.len()], grad))
+}
+
+/// Slice-based core of [`softmax_cross_entropy`]: writes `dloss/dlogits`
+/// into `grad` and returns the loss, allocating nothing. Bit-identical to
+/// the tensor wrapper (same softmax, same loss accumulation order, same
+/// `p - y*` subtraction).
+///
+/// # Panics
+///
+/// Panics if lengths differ or `logits` is empty.
+pub fn softmax_cross_entropy_into(logits: &[f32], target: &[f32], grad: &mut [f32]) -> f32 {
+    assert_eq!(logits.len(), target.len(), "logits/target length mismatch");
+    // `grad` temporarily holds the softmax probabilities.
+    softmax_into(logits, grad);
     let mut loss = 0.0f32;
-    for (pi, ti) in p.iter().zip(target.iter()) {
+    for (pi, ti) in grad.iter().zip(target.iter()) {
         if *ti > 0.0 {
             loss -= ti * pi.max(1e-12).ln();
         }
     }
-    let grad: Vec<f32> = p
-        .iter()
-        .zip(target.iter())
-        .map(|(pi, ti)| pi - ti)
-        .collect();
-    (loss, Tensor::from_vec(vec![x.len()], grad))
+    for (gi, ti) in grad.iter_mut().zip(target.iter()) {
+        *gi -= ti;
+    }
+    loss
 }
 
 /// The paper's hotspot ground truth `y*_h = [0, 1]` (index 1 = hotspot

@@ -35,6 +35,16 @@ impl Network {
         self.layers.push(Box::new(layer));
     }
 
+    /// Shared view of the layer stack for the execution planner.
+    pub(crate) fn layers_ref(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutable view of the layer stack for planned training passes.
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
     /// Number of layers.
     pub fn len(&self) -> usize {
         self.layers.len()
@@ -80,9 +90,29 @@ impl Network {
     /// Panics when `threads == 0`.
     pub fn forward_batch_inference(&self, inputs: &[Tensor], threads: usize) -> Vec<Tensor> {
         assert!(threads > 0, "threads must be nonzero");
+        if inputs.is_empty() {
+            // Nothing to score: avoid planning a degenerate workspace.
+            return Vec::new();
+        }
         let threads = threads.min(inputs.len());
+        let score_chunk = |slice: &[Tensor]| -> Vec<Tensor> {
+            // One executor per worker: the plan and arena are built on the
+            // first window and reused for every one after it.
+            let mut ex = crate::engine::Executor::new();
+            slice
+                .iter()
+                .map(|x| {
+                    let out = ex.infer(self, x).to_vec();
+                    let shape = ex
+                        .plan()
+                        .map(|p| p.out_shape().to_vec())
+                        .unwrap_or_else(|| vec![out.len()]);
+                    Tensor::from_vec(shape, out)
+                })
+                .collect()
+        };
         if threads <= 1 {
-            return inputs.iter().map(|x| self.forward_inference(x)).collect();
+            return score_chunk(inputs);
         }
         let chunk = inputs.len().div_ceil(threads);
         let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
@@ -92,8 +122,9 @@ impl Network {
                 // the end (13 inputs / 8 workers); clamp them to empty.
                 let start = (worker * chunk).min(inputs.len());
                 let slice = &inputs[start..(start + chunk).min(inputs.len())];
+                let score_chunk = &score_chunk;
                 scope.spawn(move |_| {
-                    *slot = slice.iter().map(|x| self.forward_inference(x)).collect();
+                    *slot = score_chunk(slice);
                 });
             }
         }) {
@@ -121,6 +152,10 @@ impl Network {
     /// Panics when `threads == 0`.
     pub fn forward_batch(&mut self, inputs: &[Tensor], train: bool, threads: usize) -> Vec<Tensor> {
         assert!(threads > 0, "threads must be nonzero");
+        if inputs.is_empty() {
+            // Nothing to score: avoid planning a degenerate workspace.
+            return Vec::new();
+        }
         let threads = threads.min(inputs.len());
         if threads <= 1 {
             return inputs.iter().map(|x| self.forward(x, train)).collect();
@@ -249,7 +284,7 @@ impl Network {
         let mut rows = Vec::with_capacity(self.layers.len());
         let mut shape = input_shape.to_vec();
         for layer in &self.layers {
-            shape = layer.output_shape(&shape);
+            shape = layer.out_shape(&shape);
             rows.push((layer.name().to_string(), shape.clone()));
         }
         rows

@@ -8,18 +8,19 @@ use serde::{Deserialize, Serialize};
 pub type Instance = (Tensor, [f32; 2]);
 
 /// Runs one gradient step on a single instance (stochastic gradient
-/// descent), returning the instance loss.
+/// descent), returning the instance loss. Equivalent to a one-element
+/// [`minibatch_step`] and shares its planned execution path.
 pub fn sgd_step(net: &mut Network, instance: &Instance, lr: f32) -> f32 {
-    net.zero_grads();
-    let logits = net.forward(&instance.0, true);
-    let (l, g) = loss::softmax_cross_entropy(&logits, &instance.1);
-    net.backward(&g);
-    net.apply_gradients(lr);
-    l
+    minibatch_step(net, std::iter::once(instance), lr)
 }
 
 /// Runs one averaged gradient step over a mini-batch (paper Algorithm 1
 /// lines 5–10), returning the mean batch loss.
+///
+/// Each sample runs through a shape-planned [`crate::engine::Executor`],
+/// so after the first sample warms the workspace the whole batch performs
+/// no per-sample allocation — and the results stay bit-identical to the
+/// historical per-tensor path (the planned engine's contract).
 ///
 /// # Panics
 ///
@@ -29,12 +30,17 @@ where
     I: IntoIterator<Item = &'a Instance>,
 {
     net.zero_grads();
+    let mut ex = crate::engine::Executor::new();
+    let mut grad = Vec::new();
     let mut total = 0.0f32;
     let mut count = 0usize;
     for (x, t) in batch {
-        let logits = net.forward(x, true);
-        let (l, g) = loss::softmax_cross_entropy(&logits, t);
-        net.backward(&g);
+        let l = {
+            let logits = ex.forward_train(net, x);
+            grad.resize(logits.len(), 0.0);
+            loss::softmax_cross_entropy_into(logits, t, &mut grad)
+        };
+        ex.backward(net, &grad);
         total += l;
         count += 1;
     }

@@ -9,9 +9,15 @@
 //!
 //! [`ReplicaPool`] owns the per-worker replicas so a training loop pays
 //! the layer-allocation cost once, then only copies parameters into the
-//! existing replicas each step. [`minibatch_step_parallel`] remains as the
-//! standalone entry point for one-shot callers.
+//! existing replicas each step. Each replica is paired with a persistent
+//! [`crate::engine::Executor`], so forward/backward run through the
+//! shape-planned arena path: the plan and workspace are built on the
+//! first step and reused for every step after (plans depend only on
+//! shapes, so parameter syncs never invalidate them).
+//! [`minibatch_step_parallel`] remains as the standalone entry point for
+//! one-shot callers.
 
+use crate::engine::Executor;
 use crate::optim::Instance;
 use crate::{loss, Network, Tensor};
 
@@ -20,10 +26,16 @@ use crate::{loss, Network, Tensor};
 /// Cloning a [`Network`] allocates every layer's weight, gradient, and
 /// scratch buffers; doing that per optimiser step dominated the parallel
 /// path's cost. A pool clones once, then [`ReplicaPool::sync_parameters`]
-/// refreshes the replicas in place before each step.
+/// refreshes the replicas in place before each step. The paired
+/// executors likewise keep their shape plans and arenas warm across
+/// steps.
 #[derive(Debug, Clone)]
 pub struct ReplicaPool {
     replicas: Vec<Network>,
+    executors: Vec<Executor>,
+    /// Executor for the serial (`threads == 1`) fallback, which runs on
+    /// the master network instead of a replica.
+    master: Executor,
     scratch: Vec<f32>,
 }
 
@@ -37,6 +49,8 @@ impl ReplicaPool {
         assert!(threads > 0, "threads must be nonzero");
         ReplicaPool {
             replicas: (0..threads).map(|_| net.clone()).collect(),
+            executors: (0..threads).map(|_| Executor::new()).collect(),
+            master: Executor::new(),
             scratch: Vec::new(),
         }
     }
@@ -125,11 +139,16 @@ pub fn minibatch_step_pooled(
 
     if threads == 1 {
         net.zero_grads();
+        let ex = &mut pool.master;
+        let mut grad = Vec::new();
         let mut total = 0.0f32;
         for (x, t) in batch {
-            let logits = net.forward(x, true);
-            let (l, g) = loss::softmax_cross_entropy(&logits, t);
-            net.backward(&g);
+            let l = {
+                let logits = ex.forward_train(net, x);
+                grad.resize(logits.len(), 0.0);
+                loss::softmax_cross_entropy_into(logits, t, &mut grad)
+            };
+            ex.backward(net, &grad);
             total += l;
         }
         net.apply_gradients(lr / batch.len() as f32);
@@ -141,9 +160,10 @@ pub fn minibatch_step_pooled(
     let mut losses = vec![0.0f32; threads];
 
     if let Err(payload) = crossbeam::thread::scope(|scope| {
-        for (worker, (replica, loss_slot)) in pool
+        for (worker, ((replica, ex), loss_slot)) in pool
             .replicas
             .iter_mut()
+            .zip(pool.executors.iter_mut())
             .take(threads)
             .zip(losses.iter_mut())
             .enumerate()
@@ -154,11 +174,15 @@ pub fn minibatch_step_pooled(
             let slice = &batch[start..(start + chunk).min(batch.len())];
             scope.spawn(move |_| {
                 replica.zero_grads();
+                let mut grad = Vec::new();
                 let mut total = 0.0f32;
                 for (x, t) in slice {
-                    let logits = replica.forward(x, true);
-                    let (l, g) = loss::softmax_cross_entropy(&logits, t);
-                    replica.backward(&g);
+                    let l = {
+                        let logits = ex.forward_train(replica, x);
+                        grad.resize(logits.len(), 0.0);
+                        loss::softmax_cross_entropy_into(logits, t, &mut grad)
+                    };
+                    ex.backward(replica, &grad);
                     total += l;
                 }
                 *loss_slot = total;

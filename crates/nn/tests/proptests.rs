@@ -1,6 +1,7 @@
 //! Property-based tests for the neural-network substrate.
 
-use hotspot_nn::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2, Relu};
+use hotspot_nn::engine::Executor;
+use hotspot_nn::layers::{Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2, Relu, Sigmoid, Tanh};
 use hotspot_nn::serialize::ParameterBlob;
 use hotspot_nn::{gemm, loss, Network, Tensor};
 use proptest::prelude::*;
@@ -200,6 +201,82 @@ proptest! {
         matmul_ref((m, n, k), &at, &b, &mut reference,
             |p, i| p * m + i, |p, j| p * n + j);
         assert_close(&fast, &reference, k);
+    }
+
+    #[test]
+    fn planned_execution_is_bit_identical_to_allocating_path(
+        channels in 1usize..3,
+        hw in 4usize..9,
+        maps in 1usize..4,
+        batch in 1usize..5,
+        workers in 1usize..5,
+        act in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        // The tentpole contract: for random architectures, input shapes,
+        // batch sizes and worker counts, the shape-planned arena path
+        // (with fused activation epilogues) produces bit-for-bit the same
+        // outputs as the historical allocating forward — in inference
+        // mode, in training mode (same dropout RNG stream), and through
+        // the chunked batch API.
+        let build = || {
+            let mut net = Network::new();
+            net.push(Conv2d::new(channels, maps, 3, 1, seed));
+            net.push(Relu::new());
+            net.push(MaxPool2::new());
+            net.push(Flatten::new());
+            let flat = maps * (hw / 2) * (hw / 2);
+            net.push(Dense::new(flat, 6, seed + 1));
+            match act {
+                0 => net.push(Relu::new()),
+                1 => net.push(Sigmoid::new()),
+                _ => net.push(Tanh::new()),
+            }
+            net.push(Dropout::new(0.3, seed + 2));
+            net.push(Dense::new(6, 2, seed + 3));
+            net
+        };
+
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let inputs: Vec<Tensor> = (0..batch)
+            .map(|_| {
+                let v: Vec<f32> = (0..channels * hw * hw).map(|_| next()).collect();
+                Tensor::from_vec(vec![channels, hw, hw], v)
+            })
+            .collect();
+
+        // Inference: executor (planned, fused) vs allocating forward.
+        let net = build();
+        let legacy: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|x| net.forward_inference(x).as_slice().to_vec())
+            .collect();
+        let mut ex = Executor::new();
+        for (x, want) in inputs.iter().zip(&legacy) {
+            prop_assert_eq!(ex.infer(&net, x), &want[..]);
+        }
+
+        // Batch inference across worker counts, bit-identical to serial.
+        let batched = net.forward_batch_inference(&inputs, workers);
+        for (got, want) in batched.iter().zip(&legacy) {
+            prop_assert_eq!(got.as_slice(), &want[..]);
+        }
+
+        // Training mode: identical dropout stream, identical activations.
+        let mut legacy_net = build();
+        let mut planned_net = build();
+        let mut ex = Executor::new();
+        for x in &inputs {
+            let want = legacy_net.forward(x, true);
+            let got = ex.forward_train(&mut planned_net, x).to_vec();
+            prop_assert_eq!(&got[..], want.as_slice());
+        }
     }
 
     #[test]

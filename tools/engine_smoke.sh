@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Execution-engine smoke test: run the `engine` bench (planned arena path
+# vs the pre-refactor scoring loop, interleaved in one process) at a tiny
+# budget and validate the report it writes. The gate enforces the two
+# non-negotiable engine invariants on every commit:
+#   - the planned path performs ZERO steady-state allocations per window
+#   - planned logits are bit-identical to the legacy scoring loop
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "running the engine bench at a tiny budget..."
+cargo run --release -p hotspot-bench --bin engine -- \
+  --windows 96 --reps 3 >/dev/null
+test -s results/BENCH_engine.json || { echo "bench wrote no BENCH_engine.json" >&2; exit 1; }
+
+echo "validating BENCH_engine.json..."
+python3 - results/BENCH_engine.json <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+for key in ("benchmark", "baseline", "windows", "feature_shape", "reps",
+            "legacy", "planned", "speedup", "bit_identical"):
+    assert key in report, f"missing report.{key}"
+for arm in ("legacy", "planned"):
+    for key in ("secs", "windows_per_sec", "allocs_per_window"):
+        assert key in report[arm], f"missing report.{arm}.{key}"
+    assert report[arm]["secs"] > 0.0, f"{arm} measured no time"
+    assert report[arm]["windows_per_sec"] > 0.0, f"{arm} scored no windows"
+
+# The two invariants the execution engine guarantees.
+assert report["bit_identical"] is True, \
+    "planned logits diverged from the legacy scoring loop"
+assert report["planned"]["allocs_per_window"] == 0.0, \
+    ("planned path allocated in steady state: "
+     f"{report['planned']['allocs_per_window']} allocs/window")
+# The legacy loop allocates every window; if it stops doing so the
+# baseline arm is no longer measuring what it claims to.
+assert report["legacy"]["allocs_per_window"] > 0.0, \
+    "legacy arm reported zero allocations - baseline reconstruction broken"
+
+print(f"engine OK: {report['windows']} windows, "
+      f"speedup {report['speedup']:.2f}x, "
+      f"planned allocs/window {report['planned']['allocs_per_window']:.3f}, "
+      f"bit-identical {report['bit_identical']}")
+EOF
+
+echo "engine smoke passed."
