@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hotspot_core::model::CnnConfig;
-use hotspot_nn::{loss, Tensor};
+use hotspot_nn::{loss, Parallelism, Tensor};
 
 fn bench_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("cnn_forward");
@@ -78,7 +78,7 @@ fn bench_forward_batch(c: &mut Criterion) {
         input_channels: 32,
         ..CnnConfig::default()
     };
-    let mut net = cfg.build();
+    let net = cfg.build();
     let inputs: Vec<Tensor> = (0..64)
         .map(|i| Tensor::from_vec(cfg.input_shape(), vec![0.01 * i as f32; 32 * 144]))
         .collect();
@@ -96,7 +96,8 @@ fn bench_forward_batch(c: &mut Criterion) {
             BenchmarkId::new("threads", threads),
             &threads,
             |bench, &threads| {
-                bench.iter(|| net.forward_batch(std::hint::black_box(&inputs), false, threads));
+                let par = Parallelism::fixed(threads).expect("thread counts are nonzero");
+                bench.iter(|| net.forward_batch(std::hint::black_box(&inputs), par));
             },
         );
     }

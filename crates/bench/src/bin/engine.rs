@@ -1,5 +1,6 @@
 //! Shape-planned execution engine benchmark: window-scoring throughput
-//! and steady-state allocation counts of the arena-based planned path
+//! and steady-state allocation counts of the arena-based planned path —
+//! per-window and batched (one GEMM per layer per block of windows) —
 //! versus the PR 3 scan baseline.
 //!
 //! The baseline arm is a verbatim reconstruction of the scoring loop the
@@ -13,11 +14,16 @@
 //! A counting global allocator tracks every heap allocation, so the
 //! benchmark can assert the tentpole property directly: after the first
 //! window plans the workspace, scoring further windows through the
-//! planned path performs **zero** allocations, while the baseline pays a
-//! fresh set of buffers per window. Both arms are cross-checked
-//! bit-for-bit on every rep — the kernel rewrites preserved the exact
-//! per-element FLOP order, so the reconstruction must reproduce the
-//! planned scores bit-identically or the benchmark aborts.
+//! planned path performs **zero** allocations — and after a warm-up pass,
+//! the batched path scores whole blocks with zero allocations per block —
+//! while the baseline pays a fresh set of buffers per window. All three
+//! arms are cross-checked bit-for-bit on every rep — GEMM-column
+//! independence and the batched `dot()`-kernel dense path preserve the
+//! exact per-element FLOP order, so every path must reproduce the same
+//! scores bit-identically or the benchmark aborts. A global GEMM-call
+//! counter additionally records how many GEMM invocations each planned
+//! arm spends per window (the batched arm amortises one call per layer
+//! over a whole block).
 //!
 //! ```text
 //! cargo run --release -p hotspot-bench --bin engine -- \
@@ -162,6 +168,49 @@ fn main() {
     let mut soft = vec![0.0f32; 2];
     let plan = net.plan(&[k, n, n]);
 
+    // Batched-path state: the scan scoring loop after this PR — blocks of
+    // windows scored through one batched plan (one GEMM per layer per
+    // block), with a smaller plan for the ragged final block. Both plans
+    // are built up front; a full warm-up pass sizes the shared arena for
+    // both, after which scoring a block allocates nothing.
+    let block = args
+        .usize("block", plan.suggested_batch())
+        .min(windows)
+        .max(1);
+    let block_plan = net.plan_batch(&[k, n, n], block);
+    let tail = windows % block;
+    let tail_plan = if tail > 0 {
+        Some(net.plan_batch(&[k, n, n], tail))
+    } else {
+        None
+    };
+    let n_blocks = windows.div_ceil(block);
+    let mut batched_scores = vec![0.0f32; windows];
+    let mut batched_secs = f64::INFINITY;
+    let mut batched_steady_allocs = 0u64;
+    let mut wsb = Workspace::new();
+    let mut softb = vec![0.0f32; 2];
+    let batched_pass = |ws: &mut Workspace, out: &mut [f32], soft: &mut [f32]| {
+        for (chunk, s) in features_flat
+            .chunks(block * feat_len)
+            .zip(out.chunks_mut(block))
+        {
+            let p = if s.len() == block {
+                &block_plan
+            } else {
+                tail_plan.as_ref().unwrap_or(&block_plan)
+            };
+            let logits = net.forward_batch_with(p, ws, chunk);
+            for (y, si) in logits.chunks_exact(2).zip(s.iter_mut()) {
+                loss::softmax_into(y, soft);
+                *si = soft[1];
+            }
+        }
+    };
+    // Warm-up: one full pass builds the arena for the block plan AND the
+    // ragged tail plan, so every rep below measures steady state.
+    batched_pass(&mut wsb, &mut batched_scores, &mut softb);
+
     for _ in 0..reps {
         // Legacy rep.
         let before = alloc_count();
@@ -200,31 +249,75 @@ fn main() {
         }
         steady_allocs = alloc_count() - before;
         planned_secs = planned_secs.min(start.elapsed().as_secs_f64());
+
+        // Batched rep: warm arena (block + tail plans) — a full pass must
+        // touch the allocator zero times.
+        let before = alloc_count();
+        let start = Instant::now();
+        batched_pass(&mut wsb, &mut batched_scores, &mut softb);
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+        batched_steady_allocs = alloc_count() - before;
     }
 
-    let identical = legacy_scores
+    // GEMM invocations per window, one steady pass each: the per-window
+    // plan pays one call per GEMM layer per window; the batched plan pays
+    // one call per GEMM layer per *block*.
+    let g0 = hotspot_nn::gemm::gemm_call_count();
+    for chunk in features_flat.chunks_exact(feat_len) {
+        let logits = net.forward_with(&plan, &mut ws, chunk);
+        loss::softmax_into(logits, &mut soft);
+    }
+    let g1 = hotspot_nn::gemm::gemm_call_count();
+    batched_pass(&mut wsb, &mut batched_scores, &mut softb);
+    let g2 = hotspot_nn::gemm::gemm_call_count();
+    let planned_gemm_per_window = (g1 - g0) as f64 / windows as f64;
+    let batched_gemm_per_window = (g2 - g1) as f64 / windows as f64;
+
+    let planned_identical = legacy_scores
         .iter()
         .zip(planned_scores.iter())
         .all(|(a, b)| a.to_bits() == b.to_bits());
+    let batched_identical = legacy_scores
+        .iter()
+        .zip(batched_scores.iter())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let identical = planned_identical && batched_identical;
     let legacy_wps = windows as f64 / legacy_secs;
     let planned_wps = windows as f64 / planned_secs;
+    let batched_wps = windows as f64 / batched_secs;
     let speedup = legacy_secs / planned_secs;
+    let batched_speedup = legacy_secs / batched_secs;
     let legacy_per_window = legacy_allocs as f64 / windows as f64;
     let steady_per_window = steady_allocs as f64 / (windows - 1) as f64;
+    let batched_per_block = batched_steady_allocs as f64 / n_blocks as f64;
     eprintln!(
         "[engine] legacy:  {legacy_secs:.4} s ({legacy_wps:.1} windows/s, \
          {legacy_per_window:.1} allocs/window)"
     );
     eprintln!(
         "[engine] planned: {planned_secs:.4} s ({planned_wps:.1} windows/s, \
-         {steady_per_window:.3} allocs/window steady-state)"
+         {steady_per_window:.3} allocs/window steady-state, \
+         {planned_gemm_per_window:.2} GEMM calls/window)"
     );
-    eprintln!("[engine] speedup {speedup:.2}x, bit-identical: {identical}");
+    eprintln!(
+        "[engine] batched: {batched_secs:.4} s ({batched_wps:.1} windows/s, \
+         block {block}, {batched_per_block:.3} allocs/block steady-state, \
+         {batched_gemm_per_window:.3} GEMM calls/window)"
+    );
+    eprintln!(
+        "[engine] speedup {speedup:.2}x planned / {batched_speedup:.2}x batched, \
+         bit-identical: {identical}"
+    );
 
     assert!(
-        identical,
+        planned_identical,
         "PR 3 reconstruction diverged from the planned path — kernel FLOP \
          order must have changed"
+    );
+    assert!(
+        batched_identical,
+        "batched planned scores diverged from the per-window path — \
+         GEMM-column independence must have been broken"
     );
 
     let json = format!(
@@ -234,7 +327,12 @@ fn main() {
          \"legacy\": {{ \"secs\": {legacy_secs:.6}, \"windows_per_sec\": {legacy_wps:.2}, \
          \"allocs_per_window\": {legacy_per_window:.3} }},\n  \
          \"planned\": {{ \"secs\": {planned_secs:.6}, \"windows_per_sec\": {planned_wps:.2}, \
-         \"allocs_per_window\": {steady_per_window:.3} }},\n  \
+         \"allocs_per_window\": {steady_per_window:.3}, \
+         \"gemm_calls_per_window\": {planned_gemm_per_window:.3} }},\n  \
+         \"batched\": {{ \"secs\": {batched_secs:.6}, \"windows_per_sec\": {batched_wps:.2}, \
+         \"block\": {block}, \"allocs_per_block\": {batched_per_block:.3}, \
+         \"gemm_calls_per_window\": {batched_gemm_per_window:.3}, \
+         \"speedup_vs_legacy\": {batched_speedup:.3} }},\n  \
          \"speedup\": {speedup:.3},\n  \"bit_identical\": {identical}\n}}\n"
     );
     print!("{json}");

@@ -4,9 +4,14 @@
 //!
 //! Runs one block-aligned stride (the cached path — every layout block's
 //! DCT is computed at most once) and one unaligned stride (the fallback
-//! path) and reports cache hit rates alongside throughput. The scores of
-//! both paths are bit-identical to the naive pipeline; this binary
-//! cross-checks that on every rep.
+//! path) and reports cache hit rates alongside throughput. Each stride is
+//! scanned twice more through the scoring knob: once with the default
+//! batched block (one GEMM per layer per block of windows) and once with
+//! `score_block = 1` (per-window scoring), recording windows/s and GEMM
+//! calls per window for both so the report shows the batched path
+//! streaming each dense weight matrix once per block. The scores of every
+//! path are bit-identical to the naive pipeline; this binary cross-checks
+//! that on every rep.
 //!
 //! ```text
 //! cargo run --release -p hotspot-bench --bin scan -- \
@@ -70,6 +75,32 @@ fn main() {
         }
         let report = report.expect("at least one rep ran");
 
+        // Per-window scoring arm: the same scan forced to score_block = 1,
+        // so the batched-vs-per-window delta isolates the GEMM batching.
+        let single_cfg = scan_cfg.clone().with_score_block(1).expect("nonzero block");
+        let mut best_single = f64::INFINITY;
+        let mut single_identical = true;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let r = detector.scan(&layout, &single_cfg).expect("layout scans");
+            best_single = best_single.min(start.elapsed().as_secs_f64());
+            single_identical &= report
+                .windows
+                .iter()
+                .zip(r.windows.iter())
+                .all(|(a, b)| a.score.to_bits() == b.score.to_bits());
+        }
+
+        // GEMM invocations per window for each scoring mode (one extra
+        // scan each; the counter is global, so measure them back-to-back).
+        let g0 = hotspot_nn::gemm::gemm_call_count();
+        let _ = detector.scan(&layout, &scan_cfg).expect("layout scans");
+        let g1 = hotspot_nn::gemm::gemm_call_count();
+        let _ = detector.scan(&layout, &single_cfg).expect("layout scans");
+        let g2 = hotspot_nn::gemm::gemm_call_count();
+        let gemm_batched = (g1 - g0) as f64 / report.windows.len() as f64;
+        let gemm_single = (g2 - g1) as f64 / report.windows.len() as f64;
+
         // Naive reference: every window extracted and scored from scratch.
         let mut best_naive = f64::INFINITY;
         let mut identical = true;
@@ -96,20 +127,31 @@ fn main() {
 
         let windows = report.windows.len();
         let wps = windows as f64 / best_scan;
+        let single_wps = windows as f64 / best_single;
         eprintln!(
             "[scan] {label} stride {stride_nm} nm: {windows} windows in {best_scan:.3} s \
-             ({wps:.1} windows/s, naive {best_naive:.3} s, {:.2}x, cache hit rate {:.0}%, \
-             bit-identical: {identical})",
+             ({wps:.1} windows/s batched [{gemm_batched:.2} GEMM/window], \
+             per-window {best_single:.3} s [{single_wps:.1} windows/s, \
+             {gemm_single:.2} GEMM/window], naive {best_naive:.3} s, {:.2}x, \
+             cache hit rate {:.0}%, bit-identical: {identical}/{single_identical})",
             best_naive / best_scan,
             report.cache.hit_rate() * 100.0
         );
         entries.push(format!(
             "    {{ \"stride_nm\": {stride_nm}, \"label\": \"{label}\", \
              \"windows\": {windows}, \"scan_secs\": {best_scan:.6}, \
-             \"windows_per_sec\": {wps:.2}, \"naive_secs\": {best_naive:.6}, \
+             \"windows_per_sec\": {wps:.2}, \
+             \"gemm_calls_per_window\": {gemm_batched:.3}, \
+             \"per_window\": {{ \"scan_secs\": {best_single:.6}, \
+             \"windows_per_sec\": {single_wps:.2}, \
+             \"gemm_calls_per_window\": {gemm_single:.3}, \
+             \"bit_identical_to_batched\": {single_identical} }}, \
+             \"batched_speedup_vs_per_window\": {:.3}, \
+             \"naive_secs\": {best_naive:.6}, \
              \"speedup_vs_naive\": {:.3}, \"blocks_computed\": {}, \
              \"blocks_reused\": {}, \"cache_hit_rate\": {:.4}, \
              \"positives\": {}, \"regions\": {}, \"bit_identical_to_naive\": {identical} }}",
+            best_single / best_scan,
             best_naive / best_scan,
             report.cache.computed,
             report.cache.hits,

@@ -375,7 +375,10 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
     let model = ModelFile::from_bytes(&fs::read(required(args, "model")?)?)?;
     let mut detector = HotspotDetector::from_network(model.pipeline()?, model.network()?);
     if args.get("threads").is_some() {
-        detector.set_parallelism(Parallelism::fixed(args.usize("threads", 1))?);
+        detector.set_parallelism(
+            Parallelism::fixed(args.usize("threads", 1))
+                .map_err(|e| CliError::Usage(e.to_string()))?,
+        );
     }
     let config = ScanConfig::new(args.usize("stride", 600) as i64)?
         .with_window_nm(args.usize("window", 1200) as i64)?

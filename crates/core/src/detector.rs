@@ -223,19 +223,34 @@ impl HotspotDetector {
         let workers = workers.min(clips.len()).max(1);
         let pipeline = &self.pipeline;
         let net = &self.net;
-        // Each worker scores its fixed-order chunk through one persistent
-        // shape-planned executor, so after the first clip the CNN forward
-        // pass allocates nothing.
+        let k = pipeline.coefficients();
+        let n = pipeline.grid_dim();
+        let in_shape = [k, n, n];
+        let feat_len = k * n * n;
+        let probe = net.plan(&in_shape);
+        let out_len = probe.out_len();
+        let block = probe.suggested_batch();
+        // Each worker extracts a block of clip features into one flat
+        // buffer and scores the whole block through the batched planner —
+        // one GEMM per layer per block — so after the first block the CNN
+        // forward pass allocates nothing (the ragged final block replans
+        // once). Batched scoring is bit-identical per clip.
         let score_chunk = |slice: &[Clip]| -> Result<Vec<f32>, CoreError> {
             let mut ex = hotspot_nn::engine::Executor::new();
-            let mut soft = Vec::new();
+            let mut soft = vec![0.0f32; out_len];
             let mut probs = Vec::with_capacity(slice.len());
-            for clip in slice {
-                let feature = pipeline.extract(clip)?;
-                let logits = ex.infer(net, &feature);
-                soft.resize(logits.len(), 0.0);
-                hotspot_nn::loss::softmax_into(logits, &mut soft);
-                probs.push(soft[1]);
+            let mut flat = vec![0.0f32; block.min(slice.len()).max(1) * feat_len];
+            for chunk in slice.chunks(block) {
+                for (clip, dst) in chunk.iter().zip(flat.chunks_exact_mut(feat_len)) {
+                    let feature = pipeline.extract(clip)?;
+                    dst.copy_from_slice(feature.as_slice());
+                }
+                let logits =
+                    ex.infer_batch(net, &flat[..chunk.len() * feat_len], &in_shape, chunk.len());
+                for y in logits.chunks_exact(out_len) {
+                    hotspot_nn::loss::softmax_into(y, &mut soft);
+                    probs.push(soft[1]);
+                }
             }
             Ok(probs)
         };

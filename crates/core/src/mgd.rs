@@ -143,11 +143,11 @@ pub fn predict_all(net: &Network, features: &[Tensor]) -> Vec<bool> {
 }
 
 /// [`predict_all`] with the forward passes fanned out over the workers of
-/// a [`Parallelism`] policy via [`Network::forward_batch_inference`].
-/// Inference is pure, so the result is bit-identical to the serial path
-/// for any worker count.
+/// a [`Parallelism`] policy via [`Network::forward_batch`]. Inference is
+/// pure, so the result is bit-identical to the serial path for any worker
+/// count.
 pub fn predict_all_with(net: &Network, features: &[Tensor], parallelism: Parallelism) -> Vec<bool> {
-    net.forward_batch_inference(features, parallelism.workers())
+    net.forward_batch(features, parallelism)
         .iter()
         .map(|logits| loss::softmax(logits.as_slice())[1] > 0.5)
         .collect()

@@ -1,121 +1,12 @@
-//! Worker-count policy for batch inference.
+//! Worker-count policy for batch inference (re-export).
 //!
-//! Earlier releases threaded a raw `threads: usize` through every batch
-//! entry point (the since-removed `predict_batch_threaded`,
-//! `evaluate_threaded`, and `predict_all_parallel` shims), forcing each
-//! call site to invent a worker count and each API to re-validate it.
-//! [`Parallelism`] centralises the policy: it is configured once (on
-//! [`crate::detector::DetectorConfig`]), validated at construction, and
-//! resolved to a concrete worker count only where threads are actually
-//! spawned. Inference is pure (see `Network::forward_inference`), so the
-//! chosen worker count never changes results — only latency.
+//! [`Parallelism`] moved down into `hotspot-nn` when
+//! `Network::forward_batch` became the lowest-level API taking one — the
+//! policy has to live with the code that resolves it. This module keeps
+//! the historical `hotspot_core::Parallelism` path working; see
+//! [`hotspot_nn::parallelism`] for the type's documentation. Note that
+//! [`Parallelism::fixed`] now reports a zero worker count as
+//! [`hotspot_nn::NnError::InvalidConfig`] rather than a
+//! [`crate::CoreError`].
 
-use crate::CoreError;
-use serde::{Deserialize, Serialize};
-use std::fmt;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-enum Mode {
-    Auto,
-    Fixed(usize),
-}
-
-/// How many workers batch scoring fans out over.
-///
-/// Construct with [`Parallelism::auto`] (one worker per available core —
-/// the default), [`Parallelism::serial`], or [`Parallelism::fixed`]
-/// (validated: a zero worker count is rejected at construction instead of
-/// surfacing at every call site).
-///
-/// # Examples
-///
-/// ```
-/// use hotspot_core::Parallelism;
-///
-/// assert_eq!(Parallelism::serial().workers(), 1);
-/// assert_eq!(Parallelism::fixed(4).unwrap().workers(), 4);
-/// assert!(Parallelism::fixed(0).is_err());
-/// assert!(Parallelism::default().workers() >= 1);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Parallelism(Mode);
-
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism(Mode::Auto)
-    }
-}
-
-impl Parallelism {
-    /// One worker per available CPU core, resolved at use time.
-    pub fn auto() -> Self {
-        Parallelism(Mode::Auto)
-    }
-
-    /// Exactly one worker (no threads spawned).
-    pub fn serial() -> Self {
-        Parallelism(Mode::Fixed(1))
-    }
-
-    /// Exactly `workers` workers.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidConfig`] when `workers == 0`.
-    pub fn fixed(workers: usize) -> Result<Self, CoreError> {
-        if workers == 0 {
-            return Err(CoreError::InvalidConfig(
-                "parallelism requires at least one worker",
-            ));
-        }
-        Ok(Parallelism(Mode::Fixed(workers)))
-    }
-
-    /// The concrete worker count: the fixed count, or the number of
-    /// available cores (at least 1) for [`Parallelism::auto`].
-    pub fn workers(&self) -> usize {
-        match self.0 {
-            Mode::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            Mode::Fixed(n) => n,
-        }
-    }
-
-    /// Whether this policy never spawns worker threads.
-    pub fn is_serial(&self) -> bool {
-        matches!(self.0, Mode::Fixed(1))
-    }
-}
-
-impl fmt::Display for Parallelism {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.0 {
-            Mode::Auto => write!(f, "auto"),
-            Mode::Fixed(n) => write!(f, "{n}"),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn constructors_and_resolution() {
-        assert_eq!(Parallelism::serial().workers(), 1);
-        assert!(Parallelism::serial().is_serial());
-        assert_eq!(Parallelism::fixed(3).unwrap().workers(), 3);
-        assert!(!Parallelism::fixed(3).unwrap().is_serial());
-        assert!(Parallelism::auto().workers() >= 1);
-        assert_eq!(Parallelism::default(), Parallelism::auto());
-        assert!(matches!(
-            Parallelism::fixed(0),
-            Err(CoreError::InvalidConfig(_))
-        ));
-    }
-
-    #[test]
-    fn displays_policy() {
-        assert_eq!(Parallelism::auto().to_string(), "auto");
-        assert_eq!(Parallelism::fixed(8).unwrap().to_string(), "8");
-    }
-}
+pub use hotspot_nn::Parallelism;

@@ -37,7 +37,7 @@ use crate::detector::HotspotDetector;
 use crate::CoreError;
 use hotspot_dct::BlockDctPlan;
 use hotspot_geometry::{raster, Clip, Grid};
-use hotspot_nn::engine::Workspace;
+use hotspot_nn::engine::{ShapePlan, Workspace};
 use hotspot_nn::loss;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -66,6 +66,7 @@ pub struct ScanConfig {
     stride_nm: i64,
     window_nm: i64,
     threshold: f32,
+    score_block: Option<usize>,
 }
 
 impl ScanConfig {
@@ -83,6 +84,7 @@ impl ScanConfig {
             stride_nm,
             window_nm: 1200,
             threshold: 0.5,
+            score_block: None,
         })
     }
 
@@ -113,6 +115,23 @@ impl ScanConfig {
         Ok(self)
     }
 
+    /// Overrides how many windows are scored per batched GEMM pass. By
+    /// default the block size is chosen from the execution plan's arena
+    /// footprint ([`hotspot_nn::engine::ShapePlan::suggested_batch`]);
+    /// scores are bit-identical for every block size, so this knob trades
+    /// only memory against GEMM efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero block size.
+    pub fn with_score_block(mut self, block: usize) -> Result<Self, CoreError> {
+        if block == 0 {
+            return Err(CoreError::InvalidConfig("scan score block must be nonzero"));
+        }
+        self.score_block = Some(block);
+        Ok(self)
+    }
+
     /// Step between window positions, nm.
     #[inline]
     pub fn stride_nm(&self) -> i64 {
@@ -129,6 +148,13 @@ impl ScanConfig {
     #[inline]
     pub fn threshold(&self) -> f32 {
         self.threshold
+    }
+
+    /// Configured scoring block size (`None` defers to the plan's
+    /// suggestion).
+    #[inline]
+    pub fn score_block(&self) -> Option<usize> {
+        self.score_block
     }
 }
 
@@ -442,8 +468,10 @@ impl HotspotDetector {
     /// position lands on the block lattice (always true when the stride is
     /// a multiple of the block size). Scores are bit-identical to
     /// extracting each window as a standalone clip and calling
-    /// [`HotspotDetector::predict_batch`]. CNN inference fans out per the
-    /// configured [`crate::Parallelism`].
+    /// [`HotspotDetector::predict_batch`]. CNN inference scores blocks of
+    /// windows through the batched execution planner (block size from
+    /// [`ScanConfig::with_score_block`] or the plan's arena-footprint
+    /// suggestion) and fans out per the configured [`crate::Parallelism`].
     ///
     /// # Errors
     ///
@@ -520,20 +548,42 @@ impl HotspotDetector {
             }
         }
 
-        // Phase 2 — scoring. One shape plan is built for the whole scan;
-        // each worker drives it through its own warm workspace, so the
-        // steady-state window-scoring loop performs zero allocations.
-        // Scores are bit-identical to `predict_batch` on extracted clips.
+        // Phase 2 — scoring. Windows are scored in blocks through the
+        // batched planner: one shared block plan is built for the whole
+        // scan and each worker drives it through its own warm workspace,
+        // so every conv/dense layer runs one GEMM per block of windows and
+        // the steady-state scoring loop performs zero allocations (a
+        // worker's ragged final block builds one smaller plan lazily).
+        // Block-column independence of the GEMM kernels keeps scores
+        // bit-identical to `predict_batch` on extracted clips for every
+        // block size.
         let net = self.network();
-        let exec_plan = net.plan(&[k, n, n]);
+        let in_shape = [k, n, n];
+        let probe = net.plan(&in_shape);
+        let out_len = probe.out_len();
+        let block = config
+            .score_block
+            .unwrap_or_else(|| probe.suggested_batch())
+            .min(total)
+            .max(1);
+        let block_plan = net.plan_batch(&in_shape, block);
         let mut scores = vec![0.0f32; total];
         let score_chunk = |feats: &[f32], out: &mut [f32]| {
             let mut ws = Workspace::new();
-            let mut soft = vec![0.0f32; exec_plan.out_len()];
-            for (feat, s) in feats.chunks_exact(feat_len).zip(out.iter_mut()) {
-                let logits = net.forward_with(&exec_plan, &mut ws, feat);
-                loss::softmax_into(logits, &mut soft);
-                *s = soft[1];
+            let mut soft = vec![0.0f32; out_len];
+            let mut tail_plan: Option<ShapePlan> = None;
+            for (feat, s) in feats.chunks(block * feat_len).zip(out.chunks_mut(block)) {
+                let b = s.len();
+                let plan = if b == block {
+                    &block_plan
+                } else {
+                    tail_plan.get_or_insert_with(|| net.plan_batch(&in_shape, b))
+                };
+                let logits = net.forward_batch_with(plan, &mut ws, feat);
+                for (y, si) in logits.chunks_exact(out_len).zip(s.iter_mut()) {
+                    loss::softmax_into(y, &mut soft);
+                    *si = soft[1];
+                }
             }
         };
         let workers = self.parallelism().workers().min(total).max(1);
@@ -624,11 +674,15 @@ mod tests {
         assert!(ScanConfig::new(100).unwrap().with_window_nm(0).is_err());
         assert!(ScanConfig::new(100).unwrap().with_threshold(1.5).is_err());
         assert!(ScanConfig::new(100).unwrap().with_threshold(-0.1).is_err());
+        assert!(ScanConfig::new(100).unwrap().with_score_block(0).is_err());
         let c = ScanConfig::new(600).unwrap();
         assert_eq!(
             (c.stride_nm(), c.window_nm(), c.threshold()),
             (600, 1200, 0.5)
         );
+        assert_eq!(c.score_block(), None);
+        let c = c.with_score_block(7).unwrap();
+        assert_eq!(c.score_block(), Some(7));
     }
 
     #[test]
@@ -737,6 +791,115 @@ mod tests {
         // Windows that merely touch (distance == window) stay separate.
         let touching = vec![w(0, 0, 0.9), w(400, 0, 0.9)];
         assert_eq!(merge_regions(&touching, 400).len(), 2);
+    }
+
+    #[test]
+    fn single_window_layout_scores_exactly_once() {
+        // Layout exactly one window in each axis: the stride grid
+        // degenerates to the single flush position, and the batched
+        // scoring path must handle a one-window block.
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 13).build(); // 1200×1200 nm
+        let config = ScanConfig::new(400).unwrap().with_window_nm(1200).unwrap();
+        let report = detector.scan(&layout, &config).unwrap();
+        assert_eq!((report.grid_cols, report.grid_rows), (1, 1));
+        assert_eq!(report.windows.len(), 1);
+        assert_eq!((report.windows[0].x_nm, report.windows[0].y_nm), (0, 0));
+        // Identical to scoring the layout as one standalone clip.
+        let naive = detector
+            .predict_batch(std::slice::from_ref(&layout))
+            .unwrap();
+        assert_eq!(report.windows[0].score.to_bits(), naive[0].to_bits());
+    }
+
+    #[test]
+    fn layout_smaller_than_window_is_rejected() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 3).build(); // 1200×1200 nm
+        let config = ScanConfig::new(400).unwrap().with_window_nm(1600).unwrap();
+        match detector.scan(&layout, &config) {
+            Err(CoreError::InvalidConfig(why)) => {
+                assert!(why.contains("smaller than the scan window"), "{why}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threshold_one_flags_no_windows_and_yields_no_regions() {
+        // Scores are probabilities in [0, 1] and flagging is strictly
+        // `score > threshold`, so threshold 1.0 (valid) flags nothing.
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 5).build();
+        let report = detector
+            .scan(&layout, &tiny_config(200).with_threshold(1.0).unwrap())
+            .unwrap();
+        assert_eq!(report.positives(), 0);
+        assert!(report.regions.is_empty());
+        assert!(report.windows.iter().all(|w| !w.hotspot));
+    }
+
+    #[test]
+    fn corner_touching_positives_stay_separate() {
+        // Two flagged windows sharing only the corner point (400, 400):
+        // |dx| == |dy| == window, so neither axis strictly overlaps and
+        // the union-find must keep them in distinct regions.
+        let w = |x_nm: i64, y_nm: i64| WindowScore {
+            x_nm,
+            y_nm,
+            score: 0.9,
+            hotspot: true,
+        };
+        let corner = vec![w(0, 0), w(400, 400)];
+        let regions = merge_regions(&corner, 400);
+        assert_eq!(regions.len(), 2);
+        // One nm of overlap in both axes merges them.
+        let overlapping = vec![w(0, 0), w(399, 399)];
+        assert_eq!(merge_regions(&overlapping, 400).len(), 1);
+    }
+
+    #[test]
+    fn score_block_size_changes_neither_scores_nor_cache_stats() {
+        // The block-DCT cache is filled in Phase 1, before scoring, so
+        // CacheStats must be byte-identical for every score block size —
+        // and so must every window score — at both a block-aligned stride
+        // (200 nm) and an unaligned one (150 nm).
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(2, 2, 17).build(); // 2400×2400 nm
+        for stride in [200, 150] {
+            let baseline = detector
+                .scan(&layout, &tiny_config(stride).with_score_block(1).unwrap())
+                .unwrap();
+            assert!(baseline.cache.lookups() > 0);
+            for block in [2usize, 5, 64] {
+                let report = detector
+                    .scan(
+                        &layout,
+                        &tiny_config(stride).with_score_block(block).unwrap(),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    report.cache, baseline.cache,
+                    "stride {stride} block {block}"
+                );
+                assert_eq!(report.windows.len(), baseline.windows.len());
+                for (a, b) in report.windows.iter().zip(baseline.windows.iter()) {
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "stride {stride} block {block} window ({}, {})",
+                        a.x_nm,
+                        a.y_nm
+                    );
+                }
+            }
+            // The default (plan-suggested) block agrees too.
+            let default = detector.scan(&layout, &tiny_config(stride)).unwrap();
+            assert_eq!(default.cache, baseline.cache);
+            for (a, b) in default.windows.iter().zip(baseline.windows.iter()) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@ struct PlanStep {
     scratch_infer_len: usize,
     idx_off: usize,
     idx_len: usize,
+    /// Scratch footprint of the batched forward path
+    /// ([`crate::Layer::scratch_batch_len`]) at the plan's batch size;
+    /// equals `scratch_infer_len` for single-sample plans.
+    scratch_batch_len: usize,
     /// A following element-wise activation fused into this layer's GEMM
     /// tail; the activation layer itself is skipped.
     epilogue: Option<Epilogue>,
@@ -116,6 +120,13 @@ pub struct ShapePlan {
     grad_len: usize,
     /// Layer count of the network the plan was built for (sanity check).
     layer_count: usize,
+    /// Number of samples one planned pass scores at once. Plans with
+    /// `batch > 1` drive [`Network::forward_batch_with`] only — the
+    /// single-sample and training entry points reject them. Activation
+    /// regions in `acts` hold `batch` samples back to back (per-step
+    /// offsets/lengths in `steps` stay per-sample and are scaled by
+    /// `batch` at execution time).
+    batch: usize,
 }
 
 impl ShapePlan {
@@ -145,9 +156,28 @@ impl ShapePlan {
         self.steps.iter().filter(|s| s.epilogue.is_some()).count()
     }
 
-    /// Total f32 activation arena length (input + every layer output).
+    /// Total f32 activation arena length (input + every layer output,
+    /// times the plan's batch size).
     pub fn arena_len(&self) -> usize {
         self.acts_len
+    }
+
+    /// Number of samples one planned pass scores at once (1 for plans
+    /// built with [`Network::plan`]).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// A batch-block size sized from this plan's arena footprint: as many
+    /// samples as keep one block's activations + scratch within a ~1 MiB
+    /// f32 budget (so the batched im2col column matrix stays roughly
+    /// L2-resident — larger blocks amortise fewer GEMM calls per window
+    /// but thrash the cache and measure *slower*), clamped to `1..=64`.
+    pub fn suggested_batch(&self) -> usize {
+        const BLOCK_BUDGET_F32: usize = 1 << 18;
+        let b = self.batch.max(1);
+        let per_sample = (self.acts_len / b + self.shared_scratch_len / b).max(1);
+        (BLOCK_BUDGET_F32 / per_sample).clamp(1, 64)
     }
 
     fn out_off(&self) -> usize {
@@ -217,6 +247,23 @@ impl Network {
     /// Panics if `in_shape` is incompatible with any layer (same panics as
     /// the forward pass itself).
     pub fn plan(&self, in_shape: &[usize]) -> ShapePlan {
+        self.plan_batch(in_shape, 1)
+    }
+
+    /// [`Network::plan`] with a batch dimension: the resulting plan drives
+    /// [`Network::forward_batch_with`], scoring `batch` same-shaped
+    /// samples per pass. Every activation region holds `batch` samples
+    /// back to back and the inference scratch overlay is sized to the
+    /// largest batched step footprint ([`crate::Layer::scratch_batch_len`]
+    /// — the batched conv column matrix plus its staging buffer). A
+    /// `batch` of 1 is exactly [`Network::plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `in_shape` is incompatible with any
+    /// layer.
+    pub fn plan_batch(&self, in_shape: &[usize], batch: usize) -> ShapePlan {
+        assert!(batch > 0, "plan batch must be nonzero");
         let layers = self.layers_ref();
         let in_len: usize = in_shape.iter().product();
         let mut steps = Vec::with_capacity(layers.len());
@@ -249,6 +296,7 @@ impl Network {
             let out_len: usize = out_shape.iter().product();
             let s_len = layer.scratch_len(&cur_shape);
             let s_inf = layer.scratch_infer_len(&cur_shape);
+            let s_batch = layer.scratch_batch_len(&cur_shape, batch);
             let x_len = layer.idx_len(&cur_shape);
             steps.push(PlanStep {
                 layer: i,
@@ -262,11 +310,12 @@ impl Network {
                 scratch_infer_len: s_inf,
                 idx_off: idx_len,
                 idx_len: x_len,
+                scratch_batch_len: s_batch,
                 epilogue,
             });
             scratch_len += s_len;
             idx_len += x_len;
-            shared_scratch_len = shared_scratch_len.max(s_inf);
+            shared_scratch_len = shared_scratch_len.max(s_batch);
             shared_idx_len = shared_idx_len.max(x_len);
             cur_off = acts_len;
             cur_len = out_len;
@@ -280,13 +329,17 @@ impl Network {
             in_len,
             out_shape: cur_shape,
             steps,
-            acts_len,
+            // The activation arena holds `batch` samples per region;
+            // per-step offsets stay per-sample and are scaled at execution
+            // time.
+            acts_len: acts_len * batch,
             scratch_len,
             idx_len,
             shared_scratch_len,
             shared_idx_len,
             grad_len,
             layer_count: layers.len(),
+            batch,
         }
     }
 
@@ -295,6 +348,10 @@ impl Network {
             plan.layer_count,
             self.len(),
             "plan was built for a different network"
+        );
+        assert_eq!(
+            plan.batch, 1,
+            "single-sample entry point given a batched plan"
         );
         assert_eq!(input_len, plan.in_len, "input length does not match plan");
     }
@@ -348,6 +405,67 @@ impl Network {
         }
         let off = plan.out_off();
         &ws.acts[off..off + plan.out_len()]
+    }
+
+    /// Batched planned inference over a plan built with
+    /// [`Network::plan_batch`]: `input` holds `plan.batch()` sample-major
+    /// inputs back to back, and the returned slice holds the same number
+    /// of sample-major outputs. One pass per *layer* scores the whole
+    /// block — conv runs one GEMM with `batch·oh·ow` columns, dense one
+    /// batched GEMM streaming each weight row once — while each sample's
+    /// arithmetic is exactly the per-sample path's, so the result is
+    /// **bit-identical** to `plan.batch()` separate
+    /// [`Network::forward_with`] calls (see
+    /// [`crate::Layer::forward_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not match this network or `input` does not
+    /// hold exactly `plan.batch()` samples.
+    pub fn forward_batch_with<'ws>(
+        &self,
+        plan: &ShapePlan,
+        ws: &'ws mut Workspace,
+        input: &[f32],
+    ) -> &'ws [f32] {
+        assert_eq!(
+            plan.layer_count,
+            self.len(),
+            "plan was built for a different network"
+        );
+        let b = plan.batch;
+        assert_eq!(
+            input.len(),
+            plan.in_len * b,
+            "input length does not match plan batch"
+        );
+        ws.prepare(plan, false);
+        if plan.steps.is_empty() {
+            ws.acts[..plan.in_len * b].copy_from_slice(input);
+        }
+        let layers = self.layers_ref();
+        for (si, step) in plan.steps.iter().enumerate() {
+            // Same split discipline as `forward_with`, with every arena
+            // offset scaled by the batch size (regions are consecutive, so
+            // per-sample offsets × batch are exactly the batched offsets).
+            let (lo, hi) = ws.acts.split_at_mut(step.out_off * b);
+            let x = if si == 0 {
+                input
+            } else {
+                &lo[step.in_off * b..(step.in_off + step.in_len) * b]
+            };
+            layers[step.layer].forward_batch_into(
+                x,
+                &step.in_shape,
+                b,
+                &mut hi[..step.out_len * b],
+                &mut ws.scratch[..step.scratch_batch_len],
+                &mut ws.idx[..step.idx_len],
+                step.epilogue,
+            );
+        }
+        let off = plan.out_off() * b;
+        &ws.acts[off..off + plan.out_len() * b]
     }
 
     /// Training-mode planned forward pass (dropout draws masks from its
@@ -408,6 +526,10 @@ impl Network {
             "plan was built for a different network"
         );
         assert_eq!(
+            plan.batch, 1,
+            "single-sample entry point given a batched plan"
+        );
+        assert_eq!(
             loss_grad.len(),
             plan.out_len(),
             "loss gradient does not match plan output"
@@ -461,6 +583,9 @@ impl Network {
 #[derive(Debug, Clone, Default)]
 pub struct Executor {
     plan: Option<ShapePlan>,
+    /// Separate slot for the batched plan so alternating single/batched
+    /// calls (e.g. a ragged scan tail after full blocks) never replan.
+    batch_plan: Option<ShapePlan>,
     ws: Workspace,
 }
 
@@ -491,6 +616,31 @@ impl Executor {
         // `ensure_plan` guarantees the plan exists.
         let plan = self.plan.as_ref().unwrap_or_else(|| unreachable!());
         net.forward_with(plan, &mut self.ws, input.as_slice())
+    }
+
+    /// Batched planned inference; see [`Network::forward_batch_with`].
+    /// `input` holds `batch` sample-major inputs of `in_shape` back to
+    /// back; the returned slice holds `batch` sample-major outputs,
+    /// bit-identical to `batch` separate [`Executor::infer`] calls. The
+    /// batched plan is cached separately from the single-sample one, so a
+    /// scan loop can interleave full blocks and a ragged tail (through a
+    /// second executor) without replanning.
+    pub fn infer_batch(
+        &mut self,
+        net: &Network,
+        input: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+    ) -> &[f32] {
+        let stale = match &self.batch_plan {
+            Some(p) => p.in_shape() != in_shape || p.batch() != batch || p.layer_count != net.len(),
+            None => true,
+        };
+        if stale {
+            self.batch_plan = Some(net.plan_batch(in_shape, batch));
+        }
+        let plan = self.batch_plan.as_ref().unwrap_or_else(|| unreachable!());
+        net.forward_batch_with(plan, &mut self.ws, input)
     }
 
     /// Planned training forward; see [`Network::forward_train_with`].
@@ -674,6 +824,94 @@ mod tests {
         let mut wp = Vec::new();
         planned_net.visit_params(&mut |w, _| wp.push(w.to_vec()));
         assert_eq!(wl, wp);
+    }
+
+    #[test]
+    fn batched_planned_inference_is_bit_identical_to_per_window() {
+        let net = paper_like_net();
+        let plan1 = net.plan(&[2, 6, 6]);
+        let in_len = 2 * 6 * 6;
+        for &batch in &[1usize, 2, 3, 7] {
+            let xs: Vec<f32> = (0..in_len * batch)
+                .map(|i| (i as f32 * 0.29).sin())
+                .collect();
+            let planb = net.plan_batch(&[2, 6, 6], batch);
+            assert_eq!(planb.batch(), batch);
+            let mut wsb = Workspace::new();
+            let batched = net.forward_batch_with(&planb, &mut wsb, &xs).to_vec();
+            let mut ws1 = Workspace::new();
+            let mut single = Vec::new();
+            for b in 0..batch {
+                single.extend_from_slice(net.forward_with(
+                    &plan1,
+                    &mut ws1,
+                    &xs[b * in_len..(b + 1) * in_len],
+                ));
+            }
+            assert_eq!(batched, single, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn executor_infer_batch_matches_per_sample_infer() {
+        let net = paper_like_net();
+        let in_len = 2 * 6 * 6;
+        let batch = 4;
+        let xs: Vec<f32> = (0..in_len * batch)
+            .map(|i| (i as f32 * 0.53).cos())
+            .collect();
+        let mut ex = Executor::new();
+        let batched = ex.infer_batch(&net, &xs, &[2, 6, 6], batch).to_vec();
+        let mut single = Vec::new();
+        for b in 0..batch {
+            let x = Tensor::from_vec(vec![2, 6, 6], xs[b * in_len..(b + 1) * in_len].to_vec());
+            single.extend_from_slice(ex.infer(&net, &x));
+        }
+        assert_eq!(batched, single);
+        // Alternating batched and single calls must not disturb either
+        // cached plan (both slots stay warm).
+        let again = ex.infer_batch(&net, &xs, &[2, 6, 6], batch).to_vec();
+        assert_eq!(again, batched);
+    }
+
+    #[test]
+    fn batched_plan_scales_arena_and_keeps_batch1_identical() {
+        let net = paper_like_net();
+        let p1 = net.plan(&[2, 6, 6]);
+        let p4 = net.plan_batch(&[2, 6, 6], 4);
+        assert_eq!(p1.batch(), 1);
+        assert_eq!(p4.arena_len(), 4 * p1.arena_len());
+        // Batched conv needs col + staging per block, strictly more than
+        // four shared single-sample overlays would.
+        assert!(p4.shared_scratch_len > 4 * p1.shared_scratch_len / 2);
+        // suggested_batch is sane on both.
+        assert!((1..=64).contains(&p1.suggested_batch()));
+        assert!((1..=64).contains(&p4.suggested_batch()));
+    }
+
+    #[test]
+    #[should_panic(expected = "single-sample entry point")]
+    fn single_sample_entry_points_reject_batched_plans() {
+        let net = paper_like_net();
+        let plan = net.plan_batch(&[2, 6, 6], 2);
+        let mut ws = Workspace::new();
+        let _ = net.forward_with(&plan, &mut ws, &[0.0; 2 * 6 * 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be nonzero")]
+    fn zero_batch_plan_is_rejected() {
+        let net = paper_like_net();
+        let _ = net.plan_batch(&[2, 6, 6], 0);
+    }
+
+    #[test]
+    fn empty_network_batched_is_identity() {
+        let net = Network::new();
+        let plan = net.plan_batch(&[2], 3);
+        let mut ws = Workspace::new();
+        let y = net.forward_batch_with(&plan, &mut ws, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(y, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
     }
 
     #[test]

@@ -38,6 +38,28 @@
 /// a single block anyway.
 const KC: usize = 256;
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of GEMM kernel invocations (all four kernels).
+///
+/// Benchmarks read deltas of this counter to report *GEMM calls per
+/// window* — the quantity the batched scoring path shrinks, since one
+/// batched call replaces B per-window calls while streaming each weight
+/// matrix once. A relaxed increment per kernel call costs nanoseconds
+/// against kernels that move kilobytes, so the counter stays on
+/// unconditionally.
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total GEMM kernel calls since process start (monotone; read deltas).
+pub fn gemm_call_count() -> u64 {
+    GEMM_CALLS.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn count_call() {
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// `C[m×n] += A[m×k] · B[k×n]`, all row-major.
 ///
 /// # Panics
@@ -47,6 +69,7 @@ pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "gemm_nn: A must be m×k");
     assert_eq!(b.len(), k * n, "gemm_nn: B must be k×n");
     assert_eq!(c.len(), m * n, "gemm_nn: C must be m×n");
+    count_call();
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -101,6 +124,7 @@ pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), m * k, "gemm_nt: A must be m×k");
     assert_eq!(b.len(), n * k, "gemm_nt: B must be n×k (Bᵀ of k×n)");
     assert_eq!(c.len(), m * n, "gemm_nt: C must be m×n");
+    count_call();
 
     // 2×2 register tile: each A row is read once for two B rows and vice
     // versa, halving memory traffic versus independent dot products.
@@ -150,6 +174,7 @@ pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert_eq!(a.len(), k * m, "gemm_tn: A must be k×m (Aᵀ of m×k)");
     assert_eq!(b.len(), k * n, "gemm_tn: B must be k×n");
     assert_eq!(c.len(), m * n, "gemm_tn: C must be m×n");
+    count_call();
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -276,6 +301,55 @@ pub fn gemm_nn_fused(
     epilogue: Option<Epilogue>,
 ) {
     gemm_nn(m, n, k, a, b, c);
+    if let Some(ep) = epilogue {
+        ep.apply(c);
+    }
+}
+
+/// Batched matrix-vector products against one shared weight matrix:
+/// `C[j][i] += Σ_p A[i][p] · X[j][p]` for every sample `j`, with `A`
+/// stored `m×k` row-major, `xs` holding `batch` sample-major vectors of
+/// length `k`, and `c` holding `batch` sample-major outputs of length `m`.
+///
+/// This is `batch` independent [`gemm_nt`]`(m, 1, k, …)` calls, but with
+/// the loop nest inverted so each weight row `A[i]` is streamed from
+/// memory **once per block** instead of once per sample — the whole point
+/// of batched scoring. Every output element is still a single [`dot`] of
+/// the same two contiguous rows the per-sample path would use, so results
+/// are **bit-identical** to scoring samples one at a time (the per-sample
+/// `n = 1` path of [`gemm_nt`] also reduces via `dot`).
+///
+/// # Panics
+///
+/// Panics when a slice length does not match its `m`/`batch`/`k`
+/// dimensions.
+pub fn gemm_nt_batched(m: usize, batch: usize, k: usize, a: &[f32], xs: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt_batched: A must be m×k");
+    assert_eq!(xs.len(), batch * k, "gemm_nt_batched: X must be batch×k");
+    assert_eq!(c.len(), batch * m, "gemm_nt_batched: C must be batch×m");
+    count_call();
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..batch {
+            c[j * m + i] += dot(a_row, &xs[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// [`gemm_nt_batched`] with an optional fused activation over the
+/// finished batch of outputs (batched dense forward epilogue). The
+/// epilogue is element-wise, so applying it over the whole `batch×m`
+/// block is bit-identical to applying it per sample.
+pub fn gemm_nt_batched_fused(
+    m: usize,
+    batch: usize,
+    k: usize,
+    a: &[f32],
+    xs: &[f32],
+    c: &mut [f32],
+    epilogue: Option<Epilogue>,
+) {
+    gemm_nt_batched(m, batch, k, a, xs, c);
     if let Some(ep) = epilogue {
         ep.apply(c);
     }
@@ -452,6 +526,64 @@ mod tests {
         let a2 = random_matrix(&mut rng, n * k);
         let nt = |c: &mut [f32]| gemm_nt(m, n, k, &a, &a2, c);
         assert_eq!(run(&nt), run(&nt));
+    }
+
+    #[test]
+    fn nt_batched_is_bit_identical_to_per_sample_nt() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, batch, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 2, 288),
+            (250, 13, 288),
+            (2, 64, 9),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let xs = random_matrix(&mut rng, batch * k);
+            let seed = random_matrix(&mut rng, batch * m);
+            let mut got = seed.clone();
+            gemm_nt_batched(m, batch, k, &a, &xs, &mut got);
+            let mut want = seed;
+            for j in 0..batch {
+                gemm_nt(
+                    m,
+                    1,
+                    k,
+                    &a,
+                    &xs[j * k..(j + 1) * k],
+                    &mut want[j * m..(j + 1) * m],
+                );
+            }
+            assert_eq!(got, want, "m={m} batch={batch} k={k}");
+        }
+    }
+
+    #[test]
+    fn nt_batched_fused_matches_unfused_plus_epilogue() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, batch, k) = (5, 4, 11);
+        let a = random_matrix(&mut rng, m * k);
+        let xs = random_matrix(&mut rng, batch * k);
+        for ep in [Epilogue::Relu, Epilogue::Sigmoid, Epilogue::Tanh] {
+            let mut fused = vec![0.0f32; batch * m];
+            gemm_nt_batched_fused(m, batch, k, &a, &xs, &mut fused, Some(ep));
+            let mut plain = vec![0.0f32; batch * m];
+            gemm_nt_batched(m, batch, k, &a, &xs, &mut plain);
+            ep.apply(&mut plain);
+            assert_eq!(fused, plain);
+        }
+    }
+
+    #[test]
+    fn gemm_call_counter_is_monotone() {
+        let before = gemm_call_count();
+        let mut c = [0.0f32; 1];
+        gemm_nn(1, 1, 1, &[1.0], &[1.0], &mut c);
+        gemm_nt(1, 1, 1, &[1.0], &[1.0], &mut c);
+        gemm_tn(1, 1, 1, &[1.0], &[1.0], &mut c);
+        gemm_nt_batched(1, 1, 1, &[1.0], &[1.0], &mut c);
+        // Other tests run concurrently, so assert a lower bound only.
+        assert!(gemm_call_count() >= before + 4);
     }
 
     #[test]

@@ -53,6 +53,22 @@ impl Layer for Sigmoid {
         }
     }
 
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        _batch: usize,
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        // Element-wise over the whole block: bit-identical per sample.
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = 1.0 / (1.0 + (-v).exp());
+        }
+    }
+
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         // dσ/dx = σ (1 - σ), expressed from the cached output.
         for ((gi, &g), &y) in grad_in.iter_mut().zip(ctx.grad).zip(ctx.y) {
@@ -107,6 +123,22 @@ impl Layer for Tanh {
         _idx: &mut [usize],
         _epilogue: Option<Epilogue>,
     ) {
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = v.tanh();
+        }
+    }
+
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        _batch: usize,
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        // Element-wise over the whole block: bit-identical per sample.
         for (yi, &v) in y.iter_mut().zip(x) {
             *yi = v.tanh();
         }

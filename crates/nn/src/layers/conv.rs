@@ -125,14 +125,40 @@ impl Conv2d {
         oh: usize,
         ow: usize,
     ) {
+        Self::im2col_strided_into(col, x, in_c, ksize, pad, h, w, oh, ow, oh * ow, 0);
+    }
+
+    /// [`Conv2d::im2col_into`] writing sample `col_off / (oh·ow)` of a
+    /// batched column matrix whose rows are `row_stride` wide: row `r` of
+    /// this sample's unfold lands at `col[r·row_stride + col_off ..]`.
+    /// With `row_stride = batch·oh·ow` and `col_off = b·oh·ow` the batched
+    /// matrix holds every window's columns side by side (window-major), so
+    /// one [`gemm::gemm_nn`] call convolves the whole block while each
+    /// column's arithmetic — and therefore each window's output — is
+    /// unchanged.
+    #[allow(clippy::too_many_arguments)]
+    fn im2col_strided_into(
+        col: &mut [f32],
+        x: &[f32],
+        in_c: usize,
+        ksize: usize,
+        pad: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        row_stride: usize,
+        col_off: usize,
+    ) {
         let k = ksize;
         let pad = pad as isize;
-        assert_eq!(col.len(), in_c * k * k * oh * ow, "im2col buffer length");
+        assert_eq!(col.len(), in_c * k * k * row_stride, "im2col buffer length");
+        assert!(col_off + oh * ow <= row_stride, "im2col column range");
         for ic in 0..in_c {
             let plane = &x[ic * h * w..(ic + 1) * h * w];
             for ky in 0..k {
                 for kx in 0..k {
-                    let row_base = ((ic * k + ky) * k + kx) * oh * ow;
+                    let row_base = ((ic * k + ky) * k + kx) * row_stride + col_off;
                     let dst = &mut col[row_base..row_base + oh * ow];
                     // Valid output-x range for this kernel column: the
                     // sampled ix = ox + kx - pad must land in [0, w).
@@ -284,6 +310,90 @@ impl Layer for Conv2d {
             y,
             epilogue,
         );
+    }
+
+    fn scratch_batch_len(&self, in_shape: &[usize], batch: usize) -> usize {
+        let (h, w) = self.check_input(in_shape);
+        if batch <= 1 {
+            return self.col_len(h, w);
+        }
+        let (oh, ow) = self.out_hw(h, w);
+        // Batched col matrix (every window's columns side by side) plus a
+        // channel-major staging buffer for the GEMM output before it is
+        // reordered to sample-major.
+        batch * self.col_len(h, w) + batch * self.out_c * oh * ow
+    }
+
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        if batch <= 1 {
+            // The single-window path needs no staging reorder; its scratch
+            // footprint is the plain inference one.
+            if batch == 1 {
+                self.forward_into(x, in_shape, y, scratch, idx, epilogue);
+            }
+            return;
+        }
+        let (h, w) = self.check_input(in_shape);
+        let (oh, ow) = self.out_hw(h, w);
+        let s = oh * ow;
+        let in_len = self.in_c * h * w;
+        let out_len = self.out_c * s;
+        assert_eq!(x.len(), in_len * batch, "conv batched input length");
+        assert_eq!(y.len(), out_len * batch, "conv batched output length");
+        let col_rows = self.in_c * self.ksize * self.ksize;
+        let total_cols = batch * s;
+        let (col, stage) = scratch.split_at_mut(col_rows * total_cols);
+        let stage = &mut stage[..self.out_c * total_cols];
+        // Window-major unfold: window b owns columns [b·s, (b+1)·s).
+        for b in 0..batch {
+            Self::im2col_strided_into(
+                col,
+                &x[b * in_len..(b + 1) * in_len],
+                self.in_c,
+                self.ksize,
+                self.pad,
+                h,
+                w,
+                oh,
+                ow,
+                total_cols,
+                b * s,
+            );
+        }
+        // One GEMM for the whole block. GEMM columns are computed
+        // independently (the accumulation order over k depends only on k),
+        // so each window's output bits match the per-window call; the
+        // epilogue is element-wise, so applying it across the block is
+        // equally bit-identical.
+        for (oc, &b) in self.bias.iter().enumerate() {
+            stage[oc * total_cols..(oc + 1) * total_cols].fill(b);
+        }
+        gemm::gemm_nn_fused(
+            self.out_c,
+            total_cols,
+            col_rows,
+            &self.weights,
+            col,
+            stage,
+            epilogue,
+        );
+        // The GEMM wrote channel-major [oc][b][s]; downstream layers expect
+        // sample-major [b][oc][s]. Pure copies — no arithmetic.
+        for b in 0..batch {
+            for oc in 0..self.out_c {
+                y[(b * self.out_c + oc) * s..][..s]
+                    .copy_from_slice(&stage[(oc * batch + b) * s..][..s]);
+            }
+        }
     }
 
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
@@ -544,6 +654,47 @@ mod tests {
             cap,
             "im2col scratch must be reused"
         );
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_window() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(batch, pad, k) in &[(1usize, 1usize, 3usize), (2, 1, 3), (5, 0, 3), (4, 2, 5)] {
+            let conv = Conv2d::new(2, 3, k, pad, 23);
+            let in_shape = [2usize, 6, 6];
+            let in_len = 2 * 6 * 6;
+            let (oh, ow) = conv.out_hw(6, 6);
+            let out_len = 3 * oh * ow;
+            let x: Vec<f32> = (0..in_len * batch)
+                .map(|_| rng.gen_range(-1.5f32..1.5))
+                .collect();
+            for ep in [None, Some(Epilogue::Relu)] {
+                let mut batched = vec![0.0f32; out_len * batch];
+                let mut scratch = vec![0.0f32; conv.scratch_batch_len(&in_shape, batch)];
+                conv.forward_batch_into(
+                    &x,
+                    &in_shape,
+                    batch,
+                    &mut batched,
+                    &mut scratch,
+                    &mut [],
+                    ep,
+                );
+                let mut single = vec![0.0f32; out_len * batch];
+                let mut s1 = vec![0.0f32; conv.scratch_infer_len(&in_shape)];
+                for b in 0..batch {
+                    conv.forward_into(
+                        &x[b * in_len..(b + 1) * in_len],
+                        &in_shape,
+                        &mut single[b * out_len..(b + 1) * out_len],
+                        &mut s1,
+                        &mut [],
+                        ep,
+                    );
+                }
+                assert_eq!(batched, single, "batch={batch} pad={pad} k={k} ep={ep:?}");
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,38 @@ impl Layer for Dense {
         );
     }
 
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        let _ = self.out_shape(in_shape);
+        assert_eq!(x.len(), self.in_features * batch, "dense batched input");
+        assert_eq!(y.len(), self.out_features * batch, "dense batched output");
+        // Seed every sample's output with the bias, then one batched GEMM
+        // streams each weight row once for the whole block. Per-sample
+        // arithmetic (one `dot` per output element, bias seeded first) is
+        // exactly the n = 1 path of `forward_into`, so results are
+        // bit-identical to scoring samples one at a time.
+        for ys in y.chunks_exact_mut(self.out_features) {
+            ys.copy_from_slice(&self.bias);
+        }
+        gemm::gemm_nt_batched_fused(
+            self.out_features,
+            batch,
+            self.in_features,
+            &self.weights,
+            x,
+            y,
+            epilogue,
+        );
+    }
+
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         assert_eq!(ctx.grad.len(), self.out_features, "dense grad shape");
         assert_eq!(grad_in.len(), self.in_features, "dense grad_in length");
@@ -220,6 +252,34 @@ mod tests {
     fn rejects_wrong_input_len() {
         let mut d = Dense::new(4, 2, 0);
         let _ = d.forward(&Tensor::zeros(vec![5]), false);
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_per_sample() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for &batch in &[1usize, 2, 7, 16] {
+            let d = Dense::new(9, 5, 3);
+            let x: Vec<f32> = (0..9 * batch)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            for ep in [None, Some(Epilogue::Relu), Some(Epilogue::Sigmoid)] {
+                let mut batched = vec![0.0f32; 5 * batch];
+                d.forward_batch_into(&x, &[9], batch, &mut batched, &mut [], &mut [], ep);
+                let mut single = vec![0.0f32; 5 * batch];
+                for b in 0..batch {
+                    d.forward_into(
+                        &x[b * 9..(b + 1) * 9],
+                        &[9],
+                        &mut single[b * 5..(b + 1) * 5],
+                        &mut [],
+                        &mut [],
+                        ep,
+                    );
+                }
+                assert_eq!(batched, single, "batch={batch} ep={ep:?}");
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,21 @@ impl Layer for Flatten {
         y.copy_from_slice(x);
     }
 
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        _batch: usize,
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        // One copy for the whole block — per-sample slices are contiguous,
+        // so this is bit-identical to the per-sample loop.
+        y.copy_from_slice(x);
+    }
+
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         grad_in.copy_from_slice(ctx.grad);
     }

@@ -154,6 +154,65 @@ pub trait Layer: fmt::Debug + Send + Sync {
         epilogue: Option<Epilogue>,
     );
 
+    /// Length of the f32 scratch region [`Layer::forward_batch_into`]
+    /// needs to score `batch` samples of `in_shape` at once. Defaults to
+    /// the single-sample [`Layer::scratch_infer_len`] (the default batched
+    /// path loops over samples reusing one scratch region); layers with a
+    /// genuinely batched kernel (conv) override this with their per-block
+    /// footprint.
+    fn scratch_batch_len(&self, in_shape: &[usize], _batch: usize) -> usize {
+        self.scratch_infer_len(in_shape)
+    }
+
+    /// Inference-mode forward pass over a block of `batch` samples stored
+    /// sample-major: `x` holds `batch` inputs of `in_shape` back to back,
+    /// `y` receives `batch` outputs back to back. `scratch` must be at
+    /// least [`Layer::scratch_batch_len`] long and `idx` at least
+    /// [`Layer::idx_len`] long.
+    ///
+    /// Contract: **bit-identical per sample** to calling
+    /// [`Layer::forward_into`] once per sample. The default implementation
+    /// is exactly that loop (safe for every layer, including dropout,
+    /// whose inference pass draws no RNG); GEMM-backed layers override it
+    /// to run one batched kernel whose per-sample arithmetic is unchanged
+    /// (conv batches over independent GEMM columns, dense streams each
+    /// weight row once via [`crate::gemm::gemm_nt_batched`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slice length is inconsistent with `in_shape` × `batch`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        let in_len: usize = in_shape.iter().product();
+        assert_eq!(x.len(), in_len * batch, "batched input length");
+        assert!(
+            batch == 0 || y.len().is_multiple_of(batch),
+            "batched output length must divide evenly"
+        );
+        let out_len = y.len().checked_div(batch).unwrap_or(0);
+        let scratch_len = self.scratch_infer_len(in_shape);
+        let idx_len = self.idx_len(in_shape);
+        for j in 0..batch {
+            self.forward_into(
+                &x[j * in_len..(j + 1) * in_len],
+                in_shape,
+                &mut y[j * out_len..(j + 1) * out_len],
+                &mut scratch[..scratch_len],
+                &mut idx[..idx_len],
+                epilogue,
+            );
+        }
+    }
+
     /// Training-mode forward pass. Defaults to [`Layer::forward_into`];
     /// only stochastic layers (dropout) override it to draw masks from
     /// their RNG stream. Caches whatever `backward_into` will need in

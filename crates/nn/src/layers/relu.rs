@@ -52,6 +52,22 @@ impl Layer for Relu {
         }
     }
 
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        _in_shape: &[usize],
+        _batch: usize,
+        y: &mut [f32],
+        _scratch: &mut [f32],
+        _idx: &mut [usize],
+        _epilogue: Option<Epilogue>,
+    ) {
+        // Element-wise over the whole block: bit-identical per sample.
+        for (yi, &v) in y.iter_mut().zip(x) {
+            *yi = if v > 0.0 { v } else { 0.0 };
+        }
+    }
+
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         // Subgradient convention: ReLU'(0) = 0, matching the forward
         // predicate `x > 0.0` (equivalently `y > 0.0`, which is what the

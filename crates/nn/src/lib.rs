@@ -75,11 +75,13 @@ pub mod loss;
 pub mod network;
 pub mod optim;
 pub mod parallel;
+pub mod parallelism;
 pub mod serialize;
 pub mod tensor;
 
 pub use layers::Layer;
 pub use network::Network;
+pub use parallelism::Parallelism;
 pub use tensor::Tensor;
 
 use std::error::Error;
@@ -105,6 +107,8 @@ pub enum NnError {
     /// A serialised buffer is malformed (bad magic, unsupported version,
     /// truncation, length/checksum mismatch).
     Format(String),
+    /// A runtime configuration value is out of range (zero worker count).
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for NnError {
@@ -120,6 +124,7 @@ impl fmt::Display for NnError {
                 )
             }
             NnError::Format(why) => write!(f, "malformed parameter data: {why}"),
+            NnError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
         }
     }
 }

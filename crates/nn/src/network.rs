@@ -79,99 +79,88 @@ impl Network {
         x
     }
 
-    /// Inference over a batch of inputs, partitioned across `threads`
-    /// workers that all share `&self` (no replica cloning). Results are
-    /// returned in input order and are **bit-identical to the serial loop
-    /// for any thread count** because [`Network::forward_inference`] is
-    /// pure.
+    /// Inference over a batch of same-shaped inputs on the **batched
+    /// planner** ([`Network::forward_batch_with`]): each worker packs its
+    /// inputs into sample-major blocks (block size from
+    /// [`crate::engine::ShapePlan::suggested_batch`]) and scores a whole
+    /// block per planned pass, streaming every weight matrix once per
+    /// block instead of once per input. Workers all share `&self` — no
+    /// replica cloning — and results come back in input order.
+    ///
+    /// Bit-identical to the serial [`Network::forward_inference`] loop for
+    /// any worker policy: GEMM batch columns are computed independently
+    /// (see [`crate::Layer::forward_batch_into`]) and per-input work is
+    /// pure. Training-mode batching is deliberately not offered here —
+    /// stochastic layers draw per-replica streams; use
+    /// [`crate::parallel`].
     ///
     /// # Panics
     ///
-    /// Panics when `threads == 0`.
-    pub fn forward_batch_inference(&self, inputs: &[Tensor], threads: usize) -> Vec<Tensor> {
-        assert!(threads > 0, "threads must be nonzero");
+    /// Panics when the inputs do not all share one shape.
+    pub fn forward_batch(&self, inputs: &[Tensor], parallelism: crate::Parallelism) -> Vec<Tensor> {
         if inputs.is_empty() {
             // Nothing to score: avoid planning a degenerate workspace.
             return Vec::new();
         }
-        let threads = threads.min(inputs.len());
+        let in_shape = inputs[0].shape().to_vec();
+        for x in inputs {
+            assert_eq!(
+                x.shape(),
+                in_shape.as_slice(),
+                "forward_batch inputs must share one shape"
+            );
+        }
+        let in_len: usize = in_shape.iter().product();
+        let probe = self.plan(&in_shape);
+        let out_len = probe.out_len();
+        if in_len == 0 || out_len == 0 {
+            // Zero-length samples cannot be packed into flat sample-major
+            // blocks; score the degenerate shapes one by one.
+            return inputs.iter().map(|x| self.forward_inference(x)).collect();
+        }
+        let out_shape = probe.out_shape().to_vec();
+        let block = probe.suggested_batch().min(inputs.len());
+        let block_plan = self.plan_batch(&in_shape, block);
+        let workers = parallelism.workers().min(inputs.len()).max(1);
+
         let score_chunk = |slice: &[Tensor]| -> Vec<Tensor> {
-            // One executor per worker: the plan and arena are built on the
-            // first window and reused for every one after it.
-            let mut ex = crate::engine::Executor::new();
-            slice
-                .iter()
-                .map(|x| {
-                    let out = ex.infer(self, x).to_vec();
-                    let shape = ex
-                        .plan()
-                        .map(|p| p.out_shape().to_vec())
-                        .unwrap_or_else(|| vec![out.len()]);
-                    Tensor::from_vec(shape, out)
-                })
-                .collect()
+            let mut ws = crate::engine::Workspace::new();
+            let mut flat = vec![0.0f32; block * in_len];
+            // The last chunk of a worker's slice can be ragged
+            // (`slice.len() % block != 0`); its plan is built lazily, once.
+            let mut tail_plan: Option<crate::engine::ShapePlan> = None;
+            let mut out = Vec::with_capacity(slice.len());
+            for chunk in slice.chunks(block) {
+                let b = chunk.len();
+                for (j, x) in chunk.iter().enumerate() {
+                    flat[j * in_len..(j + 1) * in_len].copy_from_slice(x.as_slice());
+                }
+                let plan = if b == block {
+                    &block_plan
+                } else {
+                    tail_plan.get_or_insert_with(|| self.plan_batch(&in_shape, b))
+                };
+                let y = self.forward_batch_with(plan, &mut ws, &flat[..b * in_len]);
+                for ys in y.chunks_exact(out_len) {
+                    out.push(Tensor::from_vec(out_shape.clone(), ys.to_vec()));
+                }
+            }
+            out
         };
-        if threads <= 1 {
+        if workers == 1 {
             return score_chunk(inputs);
         }
-        let chunk = inputs.len().div_ceil(threads);
-        let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
+        let chunk = inputs.len().div_ceil(workers);
+        let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); workers];
+        let score_chunk = &score_chunk;
         if let Err(payload) = crossbeam::thread::scope(|scope| {
             for (worker, slot) in outputs.iter_mut().enumerate() {
                 // Ceil-division chunking can leave trailing workers past
                 // the end (13 inputs / 8 workers); clamp them to empty.
                 let start = (worker * chunk).min(inputs.len());
                 let slice = &inputs[start..(start + chunk).min(inputs.len())];
-                let score_chunk = &score_chunk;
                 scope.spawn(move |_| {
                     *slot = score_chunk(slice);
-                });
-            }
-        }) {
-            // A worker panic is a bug in layer code, not a recoverable
-            // condition: propagate the original payload instead of wrapping
-            // it in a second panic message.
-            std::panic::resume_unwind(payload);
-        }
-        outputs.into_iter().flatten().collect()
-    }
-
-    /// Forward passes over a batch of inputs, partitioned across
-    /// `threads` worker replicas in the fixed-order pattern of
-    /// [`crate::parallel`]: worker `i` processes the `i`-th contiguous
-    /// chunk and results are returned in input order.
-    ///
-    /// With `train = false` every per-input computation is pure, so the
-    /// output is **bit-identical to the serial loop for any thread
-    /// count**. With `train = true`, stochastic layers (dropout) draw from
-    /// per-replica streams: results are still deterministic for a fixed
-    /// `threads`, but differ between thread counts.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `threads == 0`.
-    pub fn forward_batch(&mut self, inputs: &[Tensor], train: bool, threads: usize) -> Vec<Tensor> {
-        assert!(threads > 0, "threads must be nonzero");
-        if inputs.is_empty() {
-            // Nothing to score: avoid planning a degenerate workspace.
-            return Vec::new();
-        }
-        let threads = threads.min(inputs.len());
-        if threads <= 1 {
-            return inputs.iter().map(|x| self.forward(x, train)).collect();
-        }
-        let chunk = inputs.len().div_ceil(threads);
-        let mut replicas: Vec<Network> = (0..threads).map(|_| self.clone()).collect();
-        let mut outputs: Vec<Vec<Tensor>> = vec![Vec::new(); threads];
-        if let Err(payload) = crossbeam::thread::scope(|scope| {
-            for (worker, (replica, slot)) in replicas.iter_mut().zip(outputs.iter_mut()).enumerate()
-            {
-                // Ceil-division chunking can leave trailing workers past
-                // the end (13 inputs / 8 workers); clamp them to empty.
-                let start = (worker * chunk).min(inputs.len());
-                let slice = &inputs[start..(start + chunk).min(inputs.len())];
-                scope.spawn(move |_| {
-                    *slot = slice.iter().map(|x| replica.forward(x, train)).collect();
                 });
             }
         }) {
@@ -352,8 +341,11 @@ mod tests {
 
     #[test]
     fn forward_batch_is_bit_identical_to_serial() {
+        use crate::Parallelism;
         let mut net = tiny_net();
-        let inputs: Vec<Tensor> = (0..13)
+        // 70 inputs: tiny_net's suggested block is 64, so every worker
+        // partition exercises full blocks plus a ragged tail.
+        let inputs: Vec<Tensor> = (0..70)
             .map(|i| {
                 Tensor::from_vec(
                     vec![3],
@@ -364,12 +356,52 @@ mod tests {
             })
             .collect();
         let serial: Vec<Tensor> = inputs.iter().map(|x| net.forward(x, false)).collect();
-        for threads in [1, 2, 3, 8, 64] {
-            let batched = net.forward_batch(&inputs, false, threads);
-            assert_eq!(batched, serial, "threads = {threads}");
+        for workers in [1, 2, 3, 8, 64] {
+            let batched = net.forward_batch(&inputs, Parallelism::fixed(workers).unwrap());
+            assert_eq!(batched, serial, "workers = {workers}");
         }
+        let batched = net.forward_batch(&inputs, Parallelism::auto());
+        assert_eq!(batched, serial);
         // Empty batches are fine.
-        assert!(net.forward_batch(&[], false, 4).is_empty());
+        assert!(net.forward_batch(&[], Parallelism::auto()).is_empty());
+    }
+
+    #[test]
+    fn concurrent_forward_batch_on_shared_network_agrees_with_serial() {
+        use crate::Parallelism;
+        // Regression for the PR 3 `&self`/`Parallelism` convention:
+        // several threads batch-scoring through ONE shared `&Network`
+        // must compile (no `&mut self`) and agree with the serial loop.
+        let mut net = tiny_net();
+        let inputs: Vec<Tensor> = (0..9)
+            .map(|i| Tensor::from_vec(vec![3], vec![i as f32 * 0.1, -0.2, 0.3]))
+            .collect();
+        let serial: Vec<Tensor> = inputs.iter().map(|x| net.forward(x, false)).collect();
+        let shared = &net;
+        let inputs = &inputs;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(move |_| {
+                        shared.forward_batch(inputs, Parallelism::fixed(2).unwrap())
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), serial);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "share one shape")]
+    fn forward_batch_rejects_mixed_shapes() {
+        let net = tiny_net();
+        let _ = net.forward_batch(
+            &[Tensor::zeros(vec![3]), Tensor::zeros(vec![1, 3])],
+            crate::Parallelism::serial(),
+        );
     }
 
     #[test]
@@ -394,42 +426,6 @@ mod tests {
         assert_eq!(net.rng_states(), rng_before, "inference must not draw RNG");
         let reference = net.forward(&x, false);
         assert_eq!(inferred, reference);
-    }
-
-    #[test]
-    fn forward_batch_inference_matches_serial_for_any_thread_count() {
-        let mut net = tiny_net();
-        let inputs: Vec<Tensor> = (0..13)
-            .map(|i| {
-                Tensor::from_vec(
-                    vec![3],
-                    (0..3)
-                        .map(|j| ((i * 5 + j * 3) % 7) as f32 / 7.0 - 0.5)
-                        .collect(),
-                )
-            })
-            .collect();
-        let serial: Vec<Tensor> = inputs.iter().map(|x| net.forward(x, false)).collect();
-        let shared = &net;
-        for threads in [1, 2, 3, 8, 64] {
-            let batched = shared.forward_batch_inference(&inputs, threads);
-            assert_eq!(batched, serial, "threads = {threads}");
-        }
-        assert!(shared.forward_batch_inference(&[], 4).is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "threads must be nonzero")]
-    fn forward_batch_inference_rejects_zero_threads() {
-        let net = tiny_net();
-        let _ = net.forward_batch_inference(&[Tensor::zeros(vec![3])], 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "threads must be nonzero")]
-    fn forward_batch_rejects_zero_threads() {
-        let mut net = tiny_net();
-        let _ = net.forward_batch(&[Tensor::zeros(vec![3])], false, 0);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Property-based tests for the neural-network substrate.
 
-use hotspot_nn::engine::Executor;
+use hotspot_nn::engine::{Executor, Workspace};
 use hotspot_nn::layers::{Conv2d, Dense, Dropout, Flatten, Layer, MaxPool2, Relu, Sigmoid, Tanh};
 use hotspot_nn::serialize::ParameterBlob;
-use hotspot_nn::{gemm, loss, Network, Tensor};
+use hotspot_nn::{gemm, loss, Network, Parallelism, Tensor};
 use proptest::prelude::*;
 
 fn arb_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -208,17 +208,24 @@ proptest! {
         channels in 1usize..3,
         hw in 4usize..9,
         maps in 1usize..4,
-        batch in 1usize..5,
+        windows in 1usize..8,
+        block in 1usize..9,
         workers in 1usize..5,
         act in 0usize..3,
         seed in 0u64..1_000,
     ) {
-        // The tentpole contract: for random architectures, input shapes,
-        // batch sizes and worker counts, the shape-planned arena path
-        // (with fused activation epilogues) produces bit-for-bit the same
-        // outputs as the historical allocating forward — in inference
-        // mode, in training mode (same dropout RNG stream), and through
-        // the chunked batch API.
+        // The cross-path contract: for random architectures, input
+        // shapes, window counts and batch-block sizes (including B = 1,
+        // B = window_count, and ragged final blocks where
+        // windows % block != 0), three scoring paths produce bit-for-bit
+        // identical outputs:
+        //   1. the historical allocating forward (`forward_inference`),
+        //   2. the per-window shape-planned arena path (`Executor::infer`),
+        //   3. the batched planned path (`plan_batch` +
+        //      `forward_batch_with`), which runs one GEMM per layer over a
+        //      whole block of windows.
+        // Also pinned: training mode (same dropout RNG stream) and the
+        // chunked `forward_batch` API across worker counts.
         let build = || {
             let mut net = Network::new();
             net.push(Conv2d::new(channels, maps, 3, 1, seed));
@@ -244,26 +251,57 @@ proptest! {
             state ^= state << 17;
             (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
         };
-        let inputs: Vec<Tensor> = (0..batch)
+        let in_shape = vec![channels, hw, hw];
+        let in_len = channels * hw * hw;
+        let inputs: Vec<Tensor> = (0..windows)
             .map(|_| {
-                let v: Vec<f32> = (0..channels * hw * hw).map(|_| next()).collect();
-                Tensor::from_vec(vec![channels, hw, hw], v)
+                let v: Vec<f32> = (0..in_len).map(|_| next()).collect();
+                Tensor::from_vec(in_shape.clone(), v)
             })
             .collect();
 
-        // Inference: executor (planned, fused) vs allocating forward.
+        // Path 1: the allocating forward is the reference.
         let net = build();
         let legacy: Vec<Vec<f32>> = inputs
             .iter()
             .map(|x| net.forward_inference(x).as_slice().to_vec())
             .collect();
+
+        // Path 2: per-window planned execution (fused epilogues).
         let mut ex = Executor::new();
         for (x, want) in inputs.iter().zip(&legacy) {
             prop_assert_eq!(ex.infer(&net, x), &want[..]);
         }
 
-        // Batch inference across worker counts, bit-identical to serial.
-        let batched = net.forward_batch_inference(&inputs, workers);
+        // Path 3: batched planned execution. Exercise the drawn block
+        // size (often ragged: windows % block != 0), plus the two
+        // boundary blocks B = 1 and B = window_count.
+        let out_len = legacy[0].len();
+        for b in [block, 1, windows] {
+            let mut ws = Workspace::new();
+            let mut got: Vec<f32> = Vec::with_capacity(windows * out_len);
+            let mut plans = std::collections::HashMap::new();
+            for chunk in inputs.chunks(b) {
+                let plan = plans
+                    .entry(chunk.len())
+                    .or_insert_with(|| net.plan_batch(&in_shape, chunk.len()));
+                let mut flat = Vec::with_capacity(chunk.len() * in_len);
+                for x in chunk {
+                    flat.extend_from_slice(x.as_slice());
+                }
+                got.extend_from_slice(net.forward_batch_with(plan, &mut ws, &flat));
+            }
+            for (w, want) in legacy.iter().enumerate() {
+                prop_assert_eq!(
+                    &got[w * out_len..(w + 1) * out_len],
+                    &want[..],
+                    "batched block size {} diverged at window {}", b, w
+                );
+            }
+        }
+
+        // Chunked batch API across worker counts, bit-identical to serial.
+        let batched = net.forward_batch(&inputs, Parallelism::fixed(workers).unwrap());
         for (got, want) in batched.iter().zip(&legacy) {
             prop_assert_eq!(got.as_slice(), &want[..]);
         }

@@ -3,8 +3,9 @@
 //! each window as a standalone clip and scores it through
 //! `HotspotDetector::predict_batch` — for block-aligned strides (where the
 //! scan reuses cached block-DCT coefficients) and unaligned strides (where
-//! it falls back to direct per-window transforms) alike. On aligned
-//! strides the cache must actually fire.
+//! it falls back to direct per-window transforms) alike, and for every
+//! batched scoring block size (per-window, whole-scan, and ragged-tail
+//! blocks). On aligned strides the cache must actually fire.
 
 use hotspot_core::model::CnnConfig;
 use hotspot_core::{FeaturePipeline, HotspotDetector, ScanConfig};
@@ -59,6 +60,34 @@ fn assert_scan_matches_naive(detector: &HotspotDetector, layout: &Clip, stride_n
         .expect("positive window");
     let report = detector.scan(layout, &config).expect("scan runs");
     assert_eq!(report.windows.len(), report.grid_cols * report.grid_rows);
+
+    // Batched scoring is pinned across block sizes: per-window (B = 1),
+    // the default plan-suggested block, one whole-scan block, and a block
+    // that leaves a ragged tail must all produce bit-identical scores and
+    // identical cache accounting.
+    let total = report.windows.len();
+    let ragged = (total / 2 + 1).max(2); // total % ragged != 0 for total > 1
+    for block in [1usize, total, ragged] {
+        let blocked = detector
+            .scan(
+                layout,
+                &config
+                    .clone()
+                    .with_score_block(block)
+                    .expect("nonzero block"),
+            )
+            .expect("blocked scan runs");
+        assert_eq!(blocked.cache, report.cache, "block {block}");
+        for (a, b) in blocked.windows.iter().zip(report.windows.iter()) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "stride {stride_nm}, block {block}, window at ({}, {})",
+                a.x_nm,
+                a.y_nm
+            );
+        }
+    }
 
     let clips: Vec<Clip> = report
         .windows

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# Execution-engine smoke test: run the `engine` bench (planned arena path
-# vs the pre-refactor scoring loop, interleaved in one process) at a tiny
-# budget and validate the report it writes. The gate enforces the two
-# non-negotiable engine invariants on every commit:
+# Execution-engine smoke test: run the `engine` bench (per-window planned
+# arena path, batched planned path, and the pre-refactor scoring loop,
+# interleaved in one process) at a tiny budget and validate the report it
+# writes. The gate enforces the non-negotiable engine invariants on every
+# commit:
 #   - the planned path performs ZERO steady-state allocations per window
-#   - planned logits are bit-identical to the legacy scoring loop
+#   - the batched path performs ZERO steady-state allocations per block
+#   - three-way bit-identity: batched planned == per-window planned ==
+#     the legacy scoring loop
+#   - the batched path spends strictly fewer GEMM calls per window than
+#     the per-window planned path (one call per layer per block)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,28 +27,45 @@ with open(sys.argv[1]) as f:
     report = json.load(f)
 
 for key in ("benchmark", "baseline", "windows", "feature_shape", "reps",
-            "legacy", "planned", "speedup", "bit_identical"):
+            "legacy", "planned", "batched", "speedup", "bit_identical"):
     assert key in report, f"missing report.{key}"
-for arm in ("legacy", "planned"):
-    for key in ("secs", "windows_per_sec", "allocs_per_window"):
+for arm in ("legacy", "planned", "batched"):
+    for key in ("secs", "windows_per_sec"):
         assert key in report[arm], f"missing report.{arm}.{key}"
     assert report[arm]["secs"] > 0.0, f"{arm} measured no time"
     assert report[arm]["windows_per_sec"] > 0.0, f"{arm} scored no windows"
 
-# The two invariants the execution engine guarantees.
+# Three-way bit-identity: the bench computes `bit_identical` as
+# (legacy == planned) AND (legacy == batched), and aborts before writing
+# the report if either leg diverges.
 assert report["bit_identical"] is True, \
-    "planned logits diverged from the legacy scoring loop"
+    "batched/planned logits diverged from the legacy scoring loop"
 assert report["planned"]["allocs_per_window"] == 0.0, \
     ("planned path allocated in steady state: "
      f"{report['planned']['allocs_per_window']} allocs/window")
+assert report["batched"]["allocs_per_block"] == 0.0, \
+    ("batched path allocated in steady state: "
+     f"{report['batched']['allocs_per_block']} allocs/block")
+# Batching must amortise GEMM invocations: one call per layer per block
+# instead of one per layer per window.
+assert report["batched"]["block"] >= 1, "batched arm ran without a block"
+assert 0.0 < report["batched"]["gemm_calls_per_window"] \
+        < report["planned"]["gemm_calls_per_window"], \
+    (f"batched GEMM calls/window {report['batched']['gemm_calls_per_window']} "
+     f"not below planned {report['planned']['gemm_calls_per_window']}")
 # The legacy loop allocates every window; if it stops doing so the
 # baseline arm is no longer measuring what it claims to.
 assert report["legacy"]["allocs_per_window"] > 0.0, \
     "legacy arm reported zero allocations - baseline reconstruction broken"
 
 print(f"engine OK: {report['windows']} windows, "
-      f"speedup {report['speedup']:.2f}x, "
+      f"speedup {report['speedup']:.2f}x planned / "
+      f"{report['batched']['speedup_vs_legacy']:.2f}x batched (block "
+      f"{report['batched']['block']}), "
       f"planned allocs/window {report['planned']['allocs_per_window']:.3f}, "
+      f"batched allocs/block {report['batched']['allocs_per_block']:.3f}, "
+      f"GEMM/window {report['planned']['gemm_calls_per_window']:.2f} -> "
+      f"{report['batched']['gemm_calls_per_window']:.3f}, "
       f"bit-identical {report['bit_identical']}")
 EOF
 
