@@ -13,6 +13,11 @@
 //! path are bit-identical to the naive pipeline; this binary cross-checks
 //! that on every rep.
 //!
+//! Each stride also runs a thread sweep (1/2/4/auto workers) through the
+//! banded scan, recording resolved thread counts, windows/s and the
+//! bit-identity of every threaded run against the serial arm; the active
+//! GEMM kernel backend is stamped into the report.
+//!
 //! ```text
 //! cargo run --release -p hotspot-bench --bin scan -- \
 //!     --scale 0.02 --steps 150 --tiles 6 --reps 3
@@ -21,7 +26,7 @@
 //! Writes `results/BENCH_scan.json` (override the directory with `--out`).
 
 use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
-use hotspot_core::{HotspotDetector, ScanConfig};
+use hotspot_core::{HotspotDetector, Parallelism, ScanConfig};
 use hotspot_datagen::LayoutSpec;
 use hotspot_geometry::{Clip, Point, Rect};
 use std::time::Instant;
@@ -44,7 +49,10 @@ fn main() {
     let sim = oracle();
     let data = build_benchmark(&hotspot_datagen::suite::SuiteSpec::industry3(scale), &sim);
     eprintln!("[scan] fitting detector ({steps} steps)...");
-    let detector = HotspotDetector::fit(&data.train, &config).expect("detector fits the suite");
+    let mut detector = HotspotDetector::fit(&data.train, &config).expect("detector fits the suite");
+    // Primary arms run serial so the thread sweep below has a fixed
+    // single-thread baseline to compare against.
+    detector.set_parallelism(Parallelism::serial());
 
     let layout = LayoutSpec::uniform(tiles, tiles, 19).build();
     let window_nm = 1200i64;
@@ -125,6 +133,50 @@ fn main() {
                 .all(|(w, p)| w.score.to_bits() == p.to_bits());
         }
 
+        // Thread sweep: the banded scan at 1/2/4/auto workers. Scores,
+        // regions and cache totals must stay bit-identical to the serial
+        // arm at every width; only wall time may move.
+        let mut thread_entries = Vec::new();
+        for (requested, par) in [
+            ("1", Parallelism::fixed(1).expect("nonzero")),
+            ("2", Parallelism::fixed(2).expect("nonzero")),
+            ("4", Parallelism::fixed(4).expect("nonzero")),
+            ("auto", Parallelism::auto()),
+        ] {
+            detector.set_parallelism(par);
+            let mut best_threaded = f64::INFINITY;
+            let mut threaded_report = None;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                let r = detector.scan(&layout, &scan_cfg).expect("layout scans");
+                best_threaded = best_threaded.min(start.elapsed().as_secs_f64());
+                threaded_report = Some(r);
+            }
+            let tr = threaded_report.expect("at least one rep ran");
+            let same = tr
+                .windows
+                .iter()
+                .zip(report.windows.iter())
+                .all(|(a, b)| a.score.to_bits() == b.score.to_bits())
+                && tr.regions == report.regions
+                && tr.cache == report.cache;
+            let twps = tr.windows.len() as f64 / best_threaded;
+            eprintln!(
+                "[scan]   threads {requested} (resolved {}): {best_threaded:.3} s \
+                 ({twps:.1} windows/s, {:.2}x vs serial, bit-identical: {same})",
+                tr.threads,
+                best_scan / best_threaded
+            );
+            thread_entries.push(format!(
+                "{{ \"requested\": \"{requested}\", \"resolved\": {}, \
+                 \"scan_secs\": {best_threaded:.6}, \"windows_per_sec\": {twps:.2}, \
+                 \"speedup_vs_serial\": {:.3}, \"bit_identical_to_serial\": {same} }}",
+                tr.threads,
+                best_scan / best_threaded
+            ));
+        }
+        detector.set_parallelism(Parallelism::serial());
+
         let windows = report.windows.len();
         let wps = windows as f64 / best_scan;
         let single_wps = windows as f64 / best_single;
@@ -150,21 +202,25 @@ fn main() {
              \"naive_secs\": {best_naive:.6}, \
              \"speedup_vs_naive\": {:.3}, \"blocks_computed\": {}, \
              \"blocks_reused\": {}, \"cache_hit_rate\": {:.4}, \
-             \"positives\": {}, \"regions\": {}, \"bit_identical_to_naive\": {identical} }}",
+             \"positives\": {}, \"regions\": {}, \"bit_identical_to_naive\": {identical}, \
+             \"threads\": [ {} ] }}",
             best_single / best_scan,
             best_naive / best_scan,
             report.cache.computed,
             report.cache.hits,
             report.cache.hit_rate(),
             report.positives(),
-            report.regions.len()
+            report.regions.len(),
+            thread_entries.join(", ")
         ));
     }
 
     let json = format!(
         "{{\n  \"benchmark\": \"industry3\",\n  \"scale\": {scale},\n  \
          \"layout_tiles\": {tiles},\n  \"window_nm\": {window_nm},\n  \
-         \"train_steps\": {steps},\n  \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"train_steps\": {steps},\n  \"reps\": {reps},\n  \
+         \"kernel_backend\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        hotspot_nn::gemm::kernel_backend().name(),
         entries.join(",\n")
     );
     print!("{json}");

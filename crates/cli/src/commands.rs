@@ -389,7 +389,8 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
     }
     Ok(format!(
         "scanned {}×{} nm layout at stride {} nm: {} windows ({}×{}), {} flagged in {} region(s)\n\
-         block-DCT cache: {:.1}% hit rate ({} transformed, {} reused); {:.0} windows/s\n",
+         block-DCT cache: {:.1}% hit rate ({} transformed, {} reused); {:.0} windows/s\n\
+         {} thread(s): prepare {:.3} s, scan {:.3} s, merge {:.3} s\n",
         report.layout_width_nm,
         report.layout_height_nm,
         report.stride_nm,
@@ -401,7 +402,11 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
         100.0 * report.cache.hit_rate(),
         report.cache.computed,
         report.cache.hits,
-        report.windows_per_sec()
+        report.windows_per_sec(),
+        report.threads,
+        report.prepare_s,
+        report.scan_s,
+        report.merge_s
     ))
 }
 

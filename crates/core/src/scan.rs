@@ -27,19 +27,28 @@
 //! shared raster (still rasterising only once, but without coefficient
 //! reuse).
 //!
+//! The scan itself is **tiled**: the window-row grid is split into
+//! horizontal bands, one worker thread per band (see
+//! [`crate::Parallelism`]), and each worker owns its raster strip, its
+//! block-DCT cache shard and its scoring workspace. Band results are
+//! deterministic and thread-count-independent — scores are bit-identical
+//! per window, regions merge globally after all bands join, and cache
+//! statistics are reconstructed to match a single shared cache exactly.
+//!
 //! Flagged windows are merged into hotspot *regions* by
 //! connected-component clustering: two positive windows belong to the same
 //! region when their windows overlap. A [`ScanReport`] carries the
-//! per-window scores, the merged regions, cache statistics and throughput,
-//! and serialises itself to JSON for downstream tooling.
+//! per-window scores, the merged regions, cache statistics, the resolved
+//! thread count, per-phase wall times and throughput, and serialises
+//! itself to JSON for downstream tooling.
 
 use crate::detector::HotspotDetector;
 use crate::CoreError;
 use hotspot_dct::BlockDctPlan;
-use hotspot_geometry::{raster, Clip, Grid};
+use hotspot_geometry::{raster, Clip, Grid, Point, Rect};
 use hotspot_nn::engine::{ShapePlan, Workspace};
-use hotspot_nn::loss;
-use std::collections::HashMap;
+use hotspot_nn::{loss, Network};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Sliding-window scan parameters.
@@ -242,6 +251,15 @@ pub struct ScanReport {
     pub regions: Vec<HotspotRegion>,
     /// Block-DCT cache accounting.
     pub cache: CacheStats,
+    /// Worker threads the tiled scan resolved to (bands actually used).
+    pub threads: usize,
+    /// Wall time of the serial prefix (validation, geometry, execution
+    /// planning), seconds.
+    pub prepare_s: f64,
+    /// Wall time of the tiled rasterise + feature + score phase, seconds.
+    pub scan_s: f64,
+    /// Wall time of window assembly and region merging, seconds.
+    pub merge_s: f64,
     /// Wall-clock scan time, seconds.
     pub elapsed_s: f64,
 }
@@ -286,6 +304,10 @@ impl ScanReport {
             self.windows.len(),
             self.elapsed_s,
             self.windows_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"execution\": {{\"threads\": {}, \"prepare_s\": {:.6}, \"scan_s\": {:.6}, \"merge_s\": {:.6}}},\n",
+            self.threads, self.prepare_s, self.scan_s, self.merge_s
         ));
         s.push_str(&format!("  \"positives\": {},\n", self.positives()));
         s.push_str("  \"regions\": [\n");
@@ -343,10 +365,17 @@ fn axis_positions(extent_nm: i64, window_nm: i64, stride_nm: i64) -> Vec<i64> {
 /// the shared cache; others transform their blocks directly from the
 /// layout raster. Either path reproduces
 /// [`crate::feature::FeaturePipeline::extract`] bit-for-bit.
+///
+/// `x_px`/`y_px` and the cache keys are **layout-global** pixel/lattice
+/// coordinates; `raster_y0_px` is the global pixel row where the caller's
+/// (possibly strip-cropped) `layout_raster` begins, so a tiled scan can
+/// pass a per-band raster strip while keeping cache keys comparable
+/// across bands.
 #[allow(clippy::too_many_arguments)]
 fn window_feature_into(
     data: &mut [f32],
     layout_raster: &Grid<f32>,
+    raster_y0_px: usize,
     plan: &BlockDctPlan,
     cache: &mut HashMap<(usize, usize), Vec<f32>>,
     stats: &mut CacheStats,
@@ -370,7 +399,7 @@ fn window_feature_into(
                         entry.into_mut()
                     }
                     std::collections::hash_map::Entry::Vacant(entry) => {
-                        let crop = layout_raster.window(key.0 * b, key.1 * b, b, b);
+                        let crop = layout_raster.window(key.0 * b, key.1 * b - raster_y0_px, b, b);
                         let mut coeffs = plan.coefficients_for(&crop)?;
                         for c in coeffs.iter_mut() {
                             *c *= scale;
@@ -383,7 +412,7 @@ fn window_feature_into(
                     data[(c * n + j) * n + i] = coeffs[c];
                 }
             } else {
-                let crop = layout_raster.window(x_px + i * b, y_px + j * b, b, b);
+                let crop = layout_raster.window(x_px + i * b, y_px + j * b - raster_y0_px, b, b);
                 let coeffs = plan.coefficients_for(&crop)?;
                 stats.computed += 1;
                 for (c, &v) in coeffs.iter().enumerate() {
@@ -393,6 +422,129 @@ fn window_feature_into(
         }
     }
     Ok(())
+}
+
+/// Splits `rows` window rows into at most `bands` contiguous near-equal
+/// ranges; leading bands take the remainder rows.
+fn band_ranges(rows: usize, bands: usize) -> Vec<(usize, usize)> {
+    let bands = bands.clamp(1, rows.max(1));
+    let base = rows / bands;
+    let extra = rows % bands;
+    let mut out = Vec::with_capacity(bands);
+    let mut r0 = 0;
+    for t in 0..bands {
+        let len = base + usize::from(t < extra);
+        out.push((r0, r0 + len));
+        r0 += len;
+    }
+    out
+}
+
+/// What a band worker hands back: its raw cache accounting plus the
+/// cache itself (keyed on the *layout-global* block lattice), so the
+/// caller can reconstruct exactly the stats a single shared cache would
+/// have reported.
+type BandOutcome = Result<(CacheStats, HashMap<(usize, usize), Vec<f32>>), CoreError>;
+
+/// Everything a band worker needs, bundled so the crossbeam closure moves
+/// one value.
+struct BandArgs<'a> {
+    normalized: &'a Clip,
+    resolution_nm: u32,
+    window_nm: i64,
+    xs: &'a [i64],
+    /// This band's window rows (a contiguous slice of the scan's `ys`).
+    ys: &'a [i64],
+    plan: &'a BlockDctPlan,
+    grid_dim: usize,
+    feat_len: usize,
+    net: &'a Network,
+    in_shape: [usize; 3],
+    block: usize,
+    block_plan: &'a ShapePlan,
+    out_len: usize,
+}
+
+/// Scans one horizontal band of window rows.
+///
+/// The band rasterises only the strip of layout its windows cover
+/// (adjacent strips overlap by up to one window extent), assembles window
+/// features through a band-local block-DCT cache keyed on the global
+/// lattice, and scores windows in streaming blocks through its own warm
+/// [`Workspace`] — so peak memory is bounded by `threads × (strip raster +
+/// one score block of features)` rather than the whole scan.
+///
+/// Returns the band's raw cache accounting plus its cache so the caller
+/// can reconstruct exactly the stats a single shared cache would report.
+fn scan_band(args: &BandArgs<'_>, scores: &mut [f32]) -> BandOutcome {
+    let res = i64::from(args.resolution_nm);
+    let y_lo = args.ys[0];
+    let y_hi = args.ys[args.ys.len() - 1] + args.window_nm;
+    let width_nm = args.normalized.window().width();
+    // Positive by construction (window > 0, nonempty band rows, validated
+    // layout width), but routed as an error rather than a panic.
+    let strip_rect = match Rect::from_size(Point::new(0, y_lo), width_nm, y_hi - y_lo) {
+        Ok(rect) => rect,
+        Err(_) => {
+            return Err(CoreError::InvalidConfig(
+                "scan band strip extent must be positive",
+            ))
+        }
+    };
+    // The raster of an extracted strip equals the matching pixel rows of
+    // the full-layout raster bit-for-bit (coverage accumulates only from
+    // shapes touching a pixel, in insertion order — the same pinned
+    // property that makes window extraction bit-exact).
+    let strip = args.normalized.extract_window(strip_rect);
+    let strip_raster = raster::rasterize_clip(&strip, args.resolution_nm);
+    let y0_px = (y_lo / res) as usize;
+
+    let mut cache: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
+    let mut stats = CacheStats::default();
+    let mut ws = Workspace::new();
+    let mut soft = vec![0.0f32; args.out_len];
+    let mut tail_plan: Option<ShapePlan> = None;
+    let mut feats = vec![0.0f32; args.block * args.feat_len];
+    let cols = args.xs.len();
+    let band_total = cols * args.ys.len();
+    debug_assert_eq!(scores.len(), band_total, "band score slice length");
+    let mut done = 0usize;
+    while done < band_total {
+        let b = args.block.min(band_total - done);
+        for w in 0..b {
+            let idx = done + w;
+            let y = args.ys[idx / cols];
+            let x = args.xs[idx % cols];
+            window_feature_into(
+                &mut feats[w * args.feat_len..(w + 1) * args.feat_len],
+                &strip_raster,
+                y0_px,
+                args.plan,
+                &mut cache,
+                &mut stats,
+                (x / res) as usize,
+                (y / res) as usize,
+                args.grid_dim,
+            )?;
+        }
+        let plan = if b == args.block {
+            args.block_plan
+        } else {
+            tail_plan.get_or_insert_with(|| args.net.plan_batch(&args.in_shape, b))
+        };
+        let logits = args
+            .net
+            .forward_batch_with(plan, &mut ws, &feats[..b * args.feat_len]);
+        for (logit, si) in logits
+            .chunks_exact(args.out_len)
+            .zip(scores[done..done + b].iter_mut())
+        {
+            loss::softmax_into(logit, &mut soft);
+            *si = soft[1];
+        }
+        done += b;
+    }
+    Ok((stats, cache))
 }
 
 /// Connected-component clustering of flagged windows: two positives join
@@ -462,16 +614,26 @@ impl HotspotDetector {
     /// Scans a full layout with a sliding window, scoring every stride
     /// position and merging flagged windows into hotspot regions.
     ///
-    /// The layout is rasterised **once**; per-window feature tensors are
-    /// assembled from per-block DCT coefficients, shared between
-    /// overlapping windows through a block cache whenever a window's
-    /// position lands on the block lattice (always true when the stride is
-    /// a multiple of the block size). Scores are bit-identical to
-    /// extracting each window as a standalone clip and calling
-    /// [`HotspotDetector::predict_batch`]. CNN inference scores blocks of
-    /// windows through the batched execution planner (block size from
+    /// The scan is sharded into horizontal bands of window rows, one
+    /// crossbeam worker per band (band count from the configured
+    /// [`crate::Parallelism`], capped at the row count). Each worker
+    /// rasterises only the layout strip its windows cover (adjacent
+    /// strips overlap by up to one window extent), assembles per-window
+    /// feature tensors from per-block DCT coefficients through a
+    /// band-local cache shard keyed on the global block lattice, and
+    /// scores its windows in streaming blocks through the batched
+    /// execution planner (block size from
     /// [`ScanConfig::with_score_block`] or the plan's arena-footprint
-    /// suggestion) and fans out per the configured [`crate::Parallelism`].
+    /// suggestion) — so peak memory is bounded by the strip rasters plus
+    /// one score block of features per worker, not the layout size.
+    ///
+    /// Scores, flagged windows, merged regions and cache statistics are
+    /// **independent of the thread count** and bit-identical to
+    /// extracting each window as a standalone clip and calling
+    /// [`HotspotDetector::predict_batch`]: per-window arithmetic never
+    /// sees the banding, regions are merged globally after all bands
+    /// join, and cache stats are reconstructed to exactly the accounting
+    /// a single shared cache would report.
     ///
     /// # Errors
     ///
@@ -516,47 +678,11 @@ impl HotspotDetector {
         let block_px = window_px / n;
         let plan = BlockDctPlan::new(block_px, pipeline.coefficients())?;
         let normalized = layout.normalized();
-        let layout_raster = raster::rasterize_clip(&normalized, pipeline.resolution_nm());
         let xs = axis_positions(width_nm, config.window_nm, config.stride_nm);
         let ys = axis_positions(height_nm, config.window_nm, config.stride_nm);
-
-        // Phase 1 — feature assembly. All window tensors live in ONE flat
-        // buffer, filled in place: after the block cache warms up, moving
-        // to the next window allocates nothing.
         let k = pipeline.coefficients();
         let feat_len = k * n * n;
         let total = xs.len() * ys.len();
-        let mut cache: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
-        let mut stats = CacheStats::default();
-        let mut features_flat = vec![0.0f32; total * feat_len];
-        {
-            let mut chunks = features_flat.chunks_exact_mut(feat_len);
-            for &y in &ys {
-                for &x in &xs {
-                    let data = chunks.next().unwrap_or_else(|| unreachable!());
-                    window_feature_into(
-                        data,
-                        &layout_raster,
-                        &plan,
-                        &mut cache,
-                        &mut stats,
-                        (x / res) as usize,
-                        (y / res) as usize,
-                        n,
-                    )?;
-                }
-            }
-        }
-
-        // Phase 2 — scoring. Windows are scored in blocks through the
-        // batched planner: one shared block plan is built for the whole
-        // scan and each worker drives it through its own warm workspace,
-        // so every conv/dense layer runs one GEMM per block of windows and
-        // the steady-state scoring loop performs zero allocations (a
-        // worker's ragged final block builds one smaller plan lazily).
-        // Block-column independence of the GEMM kernels keeps scores
-        // bit-identical to `predict_batch` on extracted clips for every
-        // block size.
         let net = self.network();
         let in_shape = [k, n, n];
         let probe = net.plan(&in_shape);
@@ -567,43 +693,85 @@ impl HotspotDetector {
             .min(total)
             .max(1);
         let block_plan = net.plan_batch(&in_shape, block);
+        let bands = band_ranges(ys.len(), self.parallelism().workers());
+        let threads = bands.len();
+        let prepare_s = start.elapsed().as_secs_f64();
+
+        // Tiled scan phase — the layout is sharded into horizontal bands
+        // of window rows, one crossbeam worker per band. Each worker owns
+        // its raster strip, block-DCT cache shard, batch plan and warm
+        // workspace; scores land in disjoint slices of the global
+        // row-major score grid, so results are independent of the band
+        // count (the per-window arithmetic never sees the banding).
+        let scan_t = Instant::now();
         let mut scores = vec![0.0f32; total];
-        let score_chunk = |feats: &[f32], out: &mut [f32]| {
-            let mut ws = Workspace::new();
-            let mut soft = vec![0.0f32; out_len];
-            let mut tail_plan: Option<ShapePlan> = None;
-            for (feat, s) in feats.chunks(block * feat_len).zip(out.chunks_mut(block)) {
-                let b = s.len();
-                let plan = if b == block {
-                    &block_plan
-                } else {
-                    tail_plan.get_or_insert_with(|| net.plan_batch(&in_shape, b))
-                };
-                let logits = net.forward_batch_with(plan, &mut ws, feat);
-                for (y, si) in logits.chunks_exact(out_len).zip(s.iter_mut()) {
-                    loss::softmax_into(y, &mut soft);
-                    *si = soft[1];
-                }
+        let band_args = |rows: &std::ops::Range<usize>| BandArgs {
+            normalized: &normalized,
+            resolution_nm: pipeline.resolution_nm(),
+            window_nm: config.window_nm,
+            xs: &xs,
+            ys: &ys[rows.clone()],
+            plan: &plan,
+            grid_dim: n,
+            feat_len,
+            net,
+            in_shape,
+            block,
+            block_plan: &block_plan,
+            out_len,
+        };
+        let outcomes: Vec<BandOutcome> = if threads == 1 {
+            vec![scan_band(&band_args(&(0..ys.len())), &mut scores)]
+        } else {
+            let mut slices: Vec<&mut [f32]> = Vec::with_capacity(threads);
+            let mut rest: &mut [f32] = &mut scores;
+            for &(r0, r1) in &bands {
+                let (head, tail) = rest.split_at_mut((r1 - r0) * xs.len());
+                slices.push(head);
+                rest = tail;
+            }
+            match crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = bands
+                    .iter()
+                    .zip(slices)
+                    .map(|(&(r0, r1), slice)| {
+                        let args = band_args(&(r0..r1));
+                        scope.spawn(move |_| scan_band(&args, slice))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(outcome) => outcome,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            }) {
+                Ok(outcomes) => outcomes,
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         };
-        let workers = self.parallelism().workers().min(total).max(1);
-        if workers == 1 {
-            score_chunk(&features_flat, &mut scores);
-        } else {
-            let per_worker = total.div_ceil(workers);
-            let score_chunk = &score_chunk;
-            if let Err(payload) = crossbeam::thread::scope(|scope| {
-                for (feats, out) in features_flat
-                    .chunks(per_worker * feat_len)
-                    .zip(scores.chunks_mut(per_worker))
-                {
-                    scope.spawn(move |_| score_chunk(feats, out));
-                }
-            }) {
-                std::panic::resume_unwind(payload);
-            }
+        // Reconstruct exactly the accounting one shared cache would have
+        // produced: a block is a serial cache miss only on its first fetch
+        // anywhere, so `computed` is the number of *distinct* cached keys
+        // across all band shards (plus the uncached unaligned transforms),
+        // and every remaining fetch is a hit.
+        let mut distinct: HashSet<(usize, usize)> = HashSet::new();
+        let mut unaligned_computed = 0usize;
+        let mut lookups = 0usize;
+        for outcome in outcomes {
+            let (band_stats, band_cache) = outcome?;
+            lookups += band_stats.lookups();
+            unaligned_computed += band_stats.computed - band_cache.len();
+            distinct.extend(band_cache.into_keys());
         }
+        let stats = CacheStats {
+            computed: distinct.len() + unaligned_computed,
+            hits: lookups - distinct.len() - unaligned_computed,
+        };
+        let scan_s = scan_t.elapsed().as_secs_f64();
 
+        let merge_t = Instant::now();
         let lo = layout.window().lo();
         let mut windows = Vec::with_capacity(total);
         let mut idx = 0;
@@ -620,6 +788,7 @@ impl HotspotDetector {
             }
         }
         let regions = merge_regions(&windows, config.window_nm);
+        let merge_s = merge_t.elapsed().as_secs_f64();
         Ok(ScanReport {
             layout_width_nm: width_nm,
             layout_height_nm: height_nm,
@@ -631,6 +800,10 @@ impl HotspotDetector {
             windows,
             regions,
             cache: stats,
+            threads,
+            prepare_s,
+            scan_s,
+            merge_s,
             elapsed_s: start.elapsed().as_secs_f64(),
         })
     }
@@ -920,12 +1093,92 @@ mod tests {
             "\"hit_rate\"",
             "\"throughput\"",
             "\"windows_per_sec\"",
+            "\"execution\"",
+            "\"threads\"",
+            "\"prepare_s\"",
+            "\"scan_s\"",
+            "\"merge_s\"",
             "\"positives\"",
             "\"regions\"",
             "\"windows\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        assert!(report.threads >= 1);
+    }
+
+    #[test]
+    fn band_ranges_partition_contiguously() {
+        assert_eq!(band_ranges(7, 3), vec![(0, 3), (3, 5), (5, 7)]);
+        assert_eq!(band_ranges(2, 5), vec![(0, 1), (1, 2)]);
+        assert_eq!(band_ranges(1, 4), vec![(0, 1)]);
+        assert_eq!(band_ranges(6, 1), vec![(0, 6)]);
+        // Degenerate zero-row grid still yields one (empty) band, which
+        // the scan never hits (layouts hold at least one window row).
+        assert_eq!(band_ranges(0, 3), vec![(0, 0)]);
+    }
+
+    /// Tiled multithreaded scans must equal the serial scan exactly:
+    /// same score bits, same flagged windows, same regions in the same
+    /// order, same cache totals — at a block-aligned stride and an
+    /// unaligned one, with regions spanning band seams (threshold 0 makes
+    /// every window positive, so one region crosses every seam).
+    #[test]
+    fn banded_scan_is_thread_count_invariant() {
+        use crate::Parallelism;
+        let layout = LayoutSpec::uniform(2, 2, 23).build(); // 2400×2400 nm
+        for stride in [200, 150] {
+            let mut detector = tiny_detector();
+            detector.set_parallelism(Parallelism::serial());
+            let config = tiny_config(stride).with_threshold(0.0).unwrap();
+            let serial = detector.scan(&layout, &config).unwrap();
+            assert_eq!(serial.threads, 1);
+            for workers in [2usize, 3, 7, 64] {
+                detector.set_parallelism(Parallelism::fixed(workers).unwrap());
+                let tiled = detector.scan(&layout, &config).unwrap();
+                assert_eq!(tiled.threads, workers.min(serial.grid_rows));
+                assert_eq!(
+                    tiled.cache, serial.cache,
+                    "stride {stride} workers {workers}"
+                );
+                assert_eq!(tiled.windows.len(), serial.windows.len());
+                for (a, b) in tiled.windows.iter().zip(serial.windows.iter()) {
+                    assert_eq!(a.x_nm, b.x_nm);
+                    assert_eq!(a.y_nm, b.y_nm);
+                    assert_eq!(a.hotspot, b.hotspot);
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "stride {stride} workers {workers} window ({}, {})",
+                        a.x_nm,
+                        a.y_nm
+                    );
+                }
+                assert_eq!(
+                    tiled.regions, serial.regions,
+                    "stride {stride} workers {workers}"
+                );
+                // Threshold 0 flags everything: the single merged region
+                // spans every band seam.
+                assert_eq!(tiled.regions.len(), 1);
+            }
+        }
+    }
+
+    /// A layout exactly one window tall cannot be split: any worker count
+    /// resolves to a single band.
+    #[test]
+    fn single_row_layout_stays_one_band() {
+        use crate::Parallelism;
+        let mut detector = tiny_detector();
+        detector.set_parallelism(Parallelism::fixed(8).unwrap());
+        let layout = LayoutSpec::uniform(2, 1, 9).build(); // 2400×1200 nm
+                                                           // A 1200 nm window spans the full layout height: one window row.
+        let config = ScanConfig::new(400).unwrap().with_window_nm(1200).unwrap();
+        let report = detector.scan(&layout, &config).unwrap();
+        assert_eq!(report.grid_rows, 1);
+        assert_eq!(report.threads, 1);
+        assert!(report.prepare_s >= 0.0 && report.scan_s >= 0.0 && report.merge_s >= 0.0);
     }
 
     #[test]

@@ -1,4 +1,19 @@
-//! 2-D convolution, lowered onto GEMM via im2col.
+//! 2-D convolution, lowered onto GEMM via im2col — with an AVX-512
+//! direct kernel for the paper's 3×3 "same" shape.
+//!
+//! The im2col lowering is the portable reference path and the only
+//! *training* path (backward consumes the `col` matrix the training
+//! forward leaves in scratch). Inference forwards additionally dispatch
+//! on [`gemm::kernel_backend`]: when the AVX-512 backend is resolved and
+//! the layer is a 3×3 / pad-1 convolution over an image at most
+//! [`MAX_DIRECT_W`] pixels wide, [`Conv2d::forward_into`] skips im2col
+//! entirely and convolves rows in registers (`zmm` lanes spanning the
+//! output channels, one accumulator vector per output pixel — see the
+//! `direct3x3` module). That removes the dominant cost of small-window scoring: the
+//! unfold traffic, not the multiply itself. The direct kernel is
+//! per-sample, so batched and per-window scoring stay bit-identical by
+//! construction; across *backends* its outputs differ from the scalar
+//! oracle only in summation order (see [`crate::ulp`]).
 
 use super::{BackwardCtx, Epilogue, Layer, LegacyCache};
 #[cfg(test)]
@@ -6,6 +21,10 @@ use crate::Tensor;
 use crate::{gemm, init};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Widest image the direct AVX-512 3×3 kernel handles (one output row of
+/// per-pixel accumulators held entirely in registers).
+pub const MAX_DIRECT_W: usize = 12;
 
 /// A 2-D convolution over CHW tensors with configurable kernel size,
 /// stride 1 and symmetric zero padding (the paper uses 3×3 kernels with
@@ -223,6 +242,105 @@ impl Conv2d {
         }
     }
 
+    /// Whether the shape alone qualifies for the direct AVX-512 3×3
+    /// kernel: 3×3 kernel, "same" padding, stride 1, image width at most
+    /// [`MAX_DIRECT_W`]. Split from [`Conv2d::direct_path`] because
+    /// scratch *sizing* must not depend on the runtime backend (plans
+    /// built under any backend stay valid under every other).
+    fn direct_shape(&self, w: usize) -> bool {
+        self.ksize == 3 && self.pad == 1 && (1..=MAX_DIRECT_W).contains(&w)
+    }
+
+    /// Scratch floats the direct kernel needs for this shape: the
+    /// transposed tap matrix plus the position-major staging buffer.
+    /// Zero when the shape is ineligible.
+    fn direct_scratch_len(&self, h: usize, w: usize) -> usize {
+        if self.direct_shape(w) {
+            self.in_c * 9 * self.out_c + self.out_c * h * w
+        } else {
+            0
+        }
+    }
+
+    /// Whether this call should take the direct AVX-512 3×3 kernel
+    /// instead of im2col + GEMM. Shape-wise the kernel covers exactly the
+    /// paper's convolutions ([`Conv2d::direct_shape`]). Backend-wise it
+    /// rides the same runtime dispatch as the GEMM kernels, so
+    /// `HOTSPOT_SIMD=scalar` disables it too and the scalar bit-identity
+    /// pins keep meaning what they always meant.
+    fn direct_path(&self, _h: usize, _w: usize) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            self.direct_shape(_w) && gemm::kernel_backend() == gemm::KernelBackend::Avx512
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Direct 3×3 forward for one sample (see [`Conv2d::direct_path`] for
+    /// the eligibility contract), given an already-transposed tap matrix
+    /// `wt` and a staging region of `out_c·h·w` floats. The ReLU epilogue
+    /// is folded into the register tail (`max(acc, 0)` matches the scalar
+    /// predicate bit-for-bit, including `-0.0` and NaN); other epilogues
+    /// run the shared scalar [`Epilogue::apply`] over the finished output.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    fn forward_direct(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        y: &mut [f32],
+        wt: &[f32],
+        stage: &mut [f32],
+        ep: Option<Epilogue>,
+    ) {
+        let relu = ep == Some(Epilogue::Relu);
+        // Safety: `direct_path` returned true, so the resolved GEMM
+        // backend is Avx512, which `gemm::resolve_backend` only permits
+        // when avx512f is available at runtime.
+        unsafe {
+            direct3x3::conv_same_avx512(
+                x, self.in_c, h, w, wt, &self.bias, self.out_c, relu, stage, y,
+            );
+        }
+        match ep {
+            None | Some(Epilogue::Relu) => {}
+            Some(other) => other.apply(y),
+        }
+    }
+
+    /// The im2col + GEMM forward pass — the portable path every backend
+    /// shares, and the only one training may use (backward reads the
+    /// `col` matrix this leaves in `scratch`).
+    fn forward_im2col(
+        &self,
+        x: &[f32],
+        h: usize,
+        w: usize,
+        y: &mut [f32],
+        scratch: &mut [f32],
+        epilogue: Option<Epilogue>,
+    ) {
+        let (oh, ow) = self.out_hw(h, w);
+        let col = &mut scratch[..self.col_len(h, w)];
+        Self::im2col_into(col, x, self.in_c, self.ksize, self.pad, h, w, oh, ow);
+        for (oc, &b) in self.bias.iter().enumerate() {
+            y[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
+        }
+        gemm::gemm_nn_fused(
+            self.out_c,
+            oh * ow,
+            self.in_c * self.ksize * self.ksize,
+            &self.weights,
+            col,
+            y,
+            epilogue,
+        );
+    }
+
     /// Reference direct-loop forward pass. Kept as the oracle the GEMM
     /// path is tested against; not compiled into release builds.
     #[cfg(test)]
@@ -264,6 +382,201 @@ impl Conv2d {
     }
 }
 
+/// The AVX-512 direct 3×3 "same" convolution kernel.
+///
+/// Vectorisation axis: **output channels**. A `zmm` lane is one output
+/// channel, the input pixel is an embedded scalar broadcast, and the
+/// weights are pre-transposed once per call into `[ic·ky·kx][oc]` tap
+/// vectors ([`transpose_weights`]) so each tap is a single contiguous
+/// (masked) load. That keeps every lane doing useful work regardless of
+/// image width — the bench host sustains one 512-bit FMA per cycle, so
+/// lane occupancy is exactly throughput.
+///
+/// An output row is held as `w` accumulators (one vector per output
+/// pixel, seeded with the bias vector), monomorphised over `w ≤
+/// MAX_DIRECT_W` so the accumulator indexing is static and the whole row
+/// stays in registers across the full `in_c × 3 × 3` reduction. Rows are
+/// produced position-major (`[oy][ox][oc]`) into a staging buffer and
+/// transposed to CHW afterwards — pure copies, no arithmetic.
+///
+/// For one output element the contributions arrive in exactly the naive
+/// `(ic, ky, kx)` order into a single accumulator — the only difference
+/// from the scalar oracle is FMA contraction and a different grouping of
+/// elements into registers, which is what the bounded-ULP envelope
+/// ([`crate::ulp`]) covers.
+#[cfg(target_arch = "x86_64")]
+mod direct3x3 {
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Transposes conv weights `[oc][ic][ky][kx]` into tap-major
+    /// `[ic·9 + ky·3 + kx][oc]` vectors for the direct kernel. Pure
+    /// copies; runs once per forward call (shared across a whole batch).
+    pub fn transpose_weights(weights: &[f32], in_c: usize, out_c: usize, wt: &mut [f32]) {
+        assert_eq!(weights.len(), out_c * in_c * 9, "weight transpose input");
+        assert!(wt.len() >= in_c * 9 * out_c, "weight transpose output");
+        for oc in 0..out_c {
+            let src = &weights[oc * in_c * 9..(oc + 1) * in_c * 9];
+            for (t, &v) in src.iter().enumerate() {
+                wt[t * out_c + oc] = v;
+            }
+        }
+    }
+
+    /// One output row for one 16-wide output-channel block.
+    ///
+    /// `W` (the image width) is a const generic so the per-pixel guards
+    /// below fold at compile time and the `acc` array is indexed only by
+    /// constants — LLVM then keeps all `W` accumulators in registers for
+    /// the whole reduction, which a rolled loop (dynamic `acc[p]`) does
+    /// not achieve.
+    ///
+    /// # Safety
+    ///
+    /// avx512f; `x` points at an `in_c × h × W` sample, `wt` at the
+    /// block's first tap vector (stride `out_c` between taps), and
+    /// `stage_row` at `W · out_c` writable floats; `mask` keeps every
+    /// lane access within the `out_c` tail.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn row<const W: usize>(
+        x: *const f32,
+        in_c: usize,
+        h: usize,
+        oy: usize,
+        wt: *const f32,
+        out_c: usize,
+        mask: __mmask16,
+        bias_v: __m512,
+        relu: bool,
+        stage_row: *mut f32,
+    ) {
+        let zero = _mm512_setzero_ps();
+        let mut acc = [bias_v; W];
+        // Vertical taps hitting the zero padding contribute nothing and
+        // are skipped outright (top row lacks ky = 0, bottom row ky = 2).
+        let ky_lo = usize::from(oy == 0);
+        let ky_hi = if oy + 1 == h { 1 } else { 2 };
+        for ic in 0..in_c {
+            let plane = x.add(ic * h * W);
+            let taps = wt.add(ic * 9 * out_c);
+            for ky in ky_lo..=ky_hi {
+                let xrow = plane.add((oy + ky - 1) * W);
+                for kx in 0..3usize {
+                    let wv = _mm512_maskz_loadu_ps(mask, taps.add((ky * 3 + kx) * out_c));
+                    // Pixel p samples xrow[p + kx - 1]; the two horizontal
+                    // padding taps (kx = 0 at the left edge, kx = 2 at the
+                    // right edge) are skipped by guards that fold away
+                    // once W and the unrolled kx are constants.
+                    macro_rules! pixels {
+                        ($($p:literal),*) => { $(
+                            if $p < W
+                                && !(kx == 0 && $p == 0)
+                                && !(kx == 2 && $p + 1 == W)
+                            {
+                                let xv = _mm512_set1_ps(*xrow.add(($p + kx) - 1));
+                                acc[$p] = _mm512_fmadd_ps(xv, wv, acc[$p]);
+                            }
+                        )* };
+                    }
+                    pixels!(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11);
+                }
+            }
+        }
+        for (p, &a) in acc.iter().enumerate() {
+            let v = if relu { _mm512_max_ps(a, zero) } else { a };
+            _mm512_mask_storeu_ps(stage_row.add(p * out_c), mask, v);
+        }
+    }
+
+    /// 3×3 / pad-1 / stride-1 convolution of one CHW sample, `w ≤ 12`.
+    ///
+    /// `wt` is the [`transpose_weights`] tap matrix, `stage` a scratch
+    /// region of at least `h·w·out_c` floats; `y` receives the CHW
+    /// output. A fused ReLU runs in-register (`max(acc, 0)` matches the
+    /// scalar predicate bit-for-bit, including `-0.0` and NaN).
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee avx512f is available. Slice lengths are
+    /// checked with plain asserts before any raw pointer is formed.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn conv_same_avx512(
+        x: &[f32],
+        in_c: usize,
+        h: usize,
+        w: usize,
+        wt: &[f32],
+        bias: &[f32],
+        out_c: usize,
+        relu: bool,
+        stage: &mut [f32],
+        y: &mut [f32],
+    ) {
+        assert!(
+            (1..=super::MAX_DIRECT_W).contains(&w),
+            "direct conv width {w}"
+        );
+        assert_eq!(x.len(), in_c * h * w, "direct conv input length");
+        assert_eq!(y.len(), out_c * h * w, "direct conv output length");
+        assert!(wt.len() >= in_c * 9 * out_c, "direct conv tap matrix");
+        assert_eq!(bias.len(), out_c, "direct conv bias");
+        assert!(stage.len() >= h * w * out_c, "direct conv staging");
+        for ob in (0..out_c).step_by(16) {
+            let lanes = 16.min(out_c - ob);
+            let mask: __mmask16 = if lanes == 16 {
+                0xffff
+            } else {
+                ((1u32 << lanes) - 1) as __mmask16
+            };
+            let bias_v = _mm512_maskz_loadu_ps(mask, bias.as_ptr().add(ob));
+            for oy in 0..h {
+                let stage_row = stage.as_mut_ptr().add(oy * w * out_c + ob);
+                let wt_block = wt.as_ptr().add(ob);
+                macro_rules! run {
+                    ($w:literal) => {
+                        row::<$w>(
+                            x.as_ptr(),
+                            in_c,
+                            h,
+                            oy,
+                            wt_block,
+                            out_c,
+                            mask,
+                            bias_v,
+                            relu,
+                            stage_row,
+                        )
+                    };
+                }
+                match w {
+                    12 => run!(12),
+                    11 => run!(11),
+                    10 => run!(10),
+                    9 => run!(9),
+                    8 => run!(8),
+                    7 => run!(7),
+                    6 => run!(6),
+                    5 => run!(5),
+                    4 => run!(4),
+                    3 => run!(3),
+                    2 => run!(2),
+                    1 => run!(1),
+                    _ => unreachable!("width bounded by MAX_DIRECT_W"),
+                }
+            }
+        }
+        // Position-major staging → CHW output. Pure copies.
+        let s = h * w;
+        for oc in 0..out_c {
+            for p in 0..s {
+                *y.get_unchecked_mut(oc * s + p) = *stage.get_unchecked(p * out_c + oc);
+            }
+        }
+    }
+}
+
 impl Layer for Conv2d {
     fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
         let (h, w) = self.check_input(in_shape);
@@ -273,14 +586,17 @@ impl Layer for Conv2d {
 
     fn scratch_len(&self, in_shape: &[usize]) -> usize {
         let (h, w) = self.check_input(in_shape);
-        // col (forward unfold) + dcol (backward Wᵀ·dY), contiguous halves.
-        2 * self.col_len(h, w)
+        // col (forward unfold) + dcol (backward Wᵀ·dY), contiguous
+        // halves; an inference forward through the same region may
+        // instead use the direct kernel's tap matrix + staging layout.
+        (2 * self.col_len(h, w)).max(self.direct_scratch_len(h, w))
     }
 
     fn scratch_infer_len(&self, in_shape: &[usize]) -> usize {
         let (h, w) = self.check_input(in_shape);
-        // Inference only unfolds `col`; the `dcol` half is backward-only.
-        self.col_len(h, w)
+        // Inference only unfolds `col` (the `dcol` half is backward-only)
+        // — or, on the direct path, holds the tap matrix + staging.
+        self.col_len(h, w).max(self.direct_scratch_len(h, w))
     }
 
     fn forward_into(
@@ -296,32 +612,50 @@ impl Layer for Conv2d {
         let (oh, ow) = self.out_hw(h, w);
         assert_eq!(x.len(), self.in_c * h * w, "conv input length");
         assert_eq!(y.len(), self.out_c * oh * ow, "conv output length");
-        let col = &mut scratch[..self.col_len(h, w)];
-        Self::im2col_into(col, x, self.in_c, self.ksize, self.pad, h, w, oh, ow);
-        for (oc, &b) in self.bias.iter().enumerate() {
-            y[oc * oh * ow..(oc + 1) * oh * ow].fill(b);
+        #[cfg(target_arch = "x86_64")]
+        if self.direct_path(h, w) {
+            let wt_len = self.in_c * 9 * self.out_c;
+            let (wt, stage) = scratch.split_at_mut(wt_len);
+            direct3x3::transpose_weights(&self.weights, self.in_c, self.out_c, wt);
+            self.forward_direct(x, h, w, y, wt, stage, epilogue);
+            return;
         }
-        gemm::gemm_nn_fused(
-            self.out_c,
-            oh * ow,
-            self.in_c * self.ksize * self.ksize,
-            &self.weights,
-            col,
-            y,
-            epilogue,
-        );
+        self.forward_im2col(x, h, w, y, scratch, epilogue);
+    }
+
+    fn forward_train_into(
+        &mut self,
+        x: &[f32],
+        in_shape: &[usize],
+        y: &mut [f32],
+        scratch: &mut [f32],
+        _idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        // Training must take the im2col path on every backend:
+        // `backward_into` consumes the `col` matrix this leaves in
+        // `scratch` (dW = dY·colᵀ), which the direct kernel never
+        // materialises.
+        let (h, w) = self.check_input(in_shape);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(x.len(), self.in_c * h * w, "conv input length");
+        assert_eq!(y.len(), self.out_c * oh * ow, "conv output length");
+        self.forward_im2col(x, h, w, y, scratch, epilogue);
     }
 
     fn scratch_batch_len(&self, in_shape: &[usize], batch: usize) -> usize {
         let (h, w) = self.check_input(in_shape);
         if batch <= 1 {
-            return self.col_len(h, w);
+            return self.col_len(h, w).max(self.direct_scratch_len(h, w));
         }
         let (oh, ow) = self.out_hw(h, w);
         // Batched col matrix (every window's columns side by side) plus a
         // channel-major staging buffer for the GEMM output before it is
-        // reordered to sample-major.
-        batch * self.col_len(h, w) + batch * self.out_c * oh * ow
+        // reordered to sample-major. The direct kernel's footprint (tap
+        // matrix + one sample's staging) is always smaller, but take the
+        // max so the bound is self-evidently backend-independent.
+        (batch * self.col_len(h, w) + batch * self.out_c * oh * ow)
+            .max(self.direct_scratch_len(h, w))
     }
 
     fn forward_batch_into(
@@ -349,6 +683,29 @@ impl Layer for Conv2d {
         let out_len = self.out_c * s;
         assert_eq!(x.len(), in_len * batch, "conv batched input length");
         assert_eq!(y.len(), out_len * batch, "conv batched output length");
+        #[cfg(target_arch = "x86_64")]
+        if self.direct_path(h, w) {
+            // The direct kernel is per-sample, so the batched contract
+            // (bit-identical to per-window calls) holds trivially — and
+            // the big batched col matrix and its sample-major reorder
+            // both disappear. The tap transposition is shared across the
+            // whole block.
+            let wt_len = self.in_c * 9 * self.out_c;
+            let (wt, stage) = scratch.split_at_mut(wt_len);
+            direct3x3::transpose_weights(&self.weights, self.in_c, self.out_c, wt);
+            for b in 0..batch {
+                self.forward_direct(
+                    &x[b * in_len..(b + 1) * in_len],
+                    h,
+                    w,
+                    &mut y[b * out_len..(b + 1) * out_len],
+                    wt,
+                    stage,
+                    epilogue,
+                );
+            }
+            return;
+        }
         let col_rows = self.in_c * self.ksize * self.ksize;
         let total_cols = batch * s;
         let (col, stage) = scratch.split_at_mut(col_rows * total_cols);
@@ -693,6 +1050,59 @@ mod tests {
                     );
                 }
                 assert_eq!(batched, single, "batch={batch} pad={pad} k={k} ep={ep:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_path_matches_im2col_within_ulp() {
+        use crate::ulp::assert_ulp_close;
+        if gemm::kernel_backend() != gemm::KernelBackend::Avx512 {
+            return; // the direct kernel only exists on the AVX-512 backend
+        }
+        let mut rng = StdRng::seed_from_u64(31);
+        // Paper shapes plus edge widths (1, 12), a single-row image, an
+        // output-channel count that exercises the masked tail block
+        // (17 = 16 + 1), and a tall image.
+        for &(in_c, out_c, h, w) in &[
+            (32usize, 16usize, 12usize, 12usize),
+            (16, 32, 6, 6),
+            (3, 17, 9, 12),
+            (2, 4, 7, 1),
+            (1, 1, 1, 3),
+            (4, 3, 20, 11),
+        ] {
+            let mut conv = Conv2d::new(in_c, out_c, 3, 1, 29);
+            let in_shape = [in_c, h, w];
+            let data: Vec<f32> = (0..in_c * h * w)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            let x = Tensor::from_vec(vec![in_c, h, w], data);
+            for ep in [None, Some(Epilogue::Relu), Some(Epilogue::Tanh)] {
+                assert!(conv.direct_path(h, w), "shape should be eligible");
+                let mut direct = vec![0.0f32; out_c * h * w];
+                let mut s_inf = vec![0.0f32; conv.scratch_infer_len(&in_shape)];
+                conv.forward_into(
+                    x.as_slice(),
+                    &in_shape,
+                    &mut direct,
+                    &mut s_inf,
+                    &mut [],
+                    ep,
+                );
+                // The training forward must stay on im2col (backward
+                // reads its col matrix), giving us the GEMM reference.
+                let mut viacol = vec![0.0f32; out_c * h * w];
+                let mut s_train = vec![0.0f32; conv.scratch_len(&in_shape)];
+                conv.forward_train_into(
+                    x.as_slice(),
+                    &in_shape,
+                    &mut viacol,
+                    &mut s_train,
+                    &mut [],
+                    ep,
+                );
+                assert_ulp_close(&direct, &viacol, 128, 1e-4);
             }
         }
     }

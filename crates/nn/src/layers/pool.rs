@@ -93,6 +93,52 @@ impl Layer for MaxPool2 {
         }
     }
 
+    fn forward_batch_into(
+        &self,
+        x: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+        y: &mut [f32],
+        scratch: &mut [f32],
+        idx: &mut [usize],
+        epilogue: Option<Epilogue>,
+    ) {
+        let (c, h, w) = Self::check_input(in_shape);
+        let in_len = c * h * w;
+        let out_len = c * (h / 2) * (w / 2);
+        assert_eq!(x.len(), in_len * batch, "batched input length");
+        assert_eq!(y.len(), out_len * batch, "batched output length");
+        #[cfg(target_arch = "x86_64")]
+        if w <= 16 && crate::gemm::kernel_backend() == crate::gemm::KernelBackend::Avx512 {
+            // Inference-only fast path: argmax indices are not produced
+            // (the per-sample default overwrites them sample-by-sample
+            // anyway, so batched callers can never rely on them).
+            for j in 0..batch {
+                unsafe {
+                    simd::pool_rows_avx512(
+                        &x[j * in_len..(j + 1) * in_len],
+                        c,
+                        h,
+                        w,
+                        &mut y[j * out_len..(j + 1) * out_len],
+                    );
+                }
+            }
+            return;
+        }
+        let idx_len = self.idx_len(in_shape);
+        for j in 0..batch {
+            self.forward_into(
+                &x[j * in_len..(j + 1) * in_len],
+                in_shape,
+                &mut y[j * out_len..(j + 1) * out_len],
+                scratch,
+                &mut idx[..idx_len],
+                epilogue,
+            );
+        }
+    }
+
     fn backward_into(&mut self, ctx: BackwardCtx<'_>, grad_in: &mut [f32]) {
         assert_eq!(
             ctx.grad.len(),
@@ -119,6 +165,52 @@ impl Layer for MaxPool2 {
 
     fn boxed_clone(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// One sample of 2×2/stride-2 max pooling over CHW, vectorised along
+    /// the row axis (requires `w ≤ 16` so an input row fits one register).
+    ///
+    /// Bit-compatibility: each output lane performs the scalar path's
+    /// exact comparison sequence — a strict-`>` running best seeded with
+    /// `-∞`, visiting top-left, top-right, bottom-left, bottom-right —
+    /// via compare+blend, so the values are bit-identical to
+    /// [`super::MaxPool2::forward_into`] for every input, including NaNs
+    /// and signed zeros.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn pool_rows_avx512(x: &[f32], c: usize, h: usize, w: usize, y: &mut [f32]) {
+        debug_assert!((2..=16).contains(&w) && h >= 2);
+        let (oh, ow) = (h / 2, w / 2);
+        debug_assert_eq!(x.len(), c * h * w);
+        debug_assert_eq!(y.len(), c * oh * ow);
+        // Only the 2·ow columns the pooling windows cover are loaded; an
+        // odd trailing column is dropped exactly like the scalar path.
+        let in_mask = ((1u32 << (2 * ow)) - 1) as __mmask16;
+        let out_mask = ((1u32 << ow) - 1) as __mmask16;
+        let even = _mm512_setr_epi32(0, 2, 4, 6, 8, 10, 12, 14, 0, 0, 0, 0, 0, 0, 0, 0);
+        let odd = _mm512_setr_epi32(1, 3, 5, 7, 9, 11, 13, 15, 1, 1, 1, 1, 1, 1, 1, 1);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for ch in 0..c {
+            for oy in 0..oh {
+                let top = _mm512_maskz_loadu_ps(in_mask, xp.add((ch * h + oy * 2) * w));
+                let bot = _mm512_maskz_loadu_ps(in_mask, xp.add((ch * h + oy * 2 + 1) * w));
+                let mut m = _mm512_set1_ps(f32::NEG_INFINITY);
+                let v = _mm512_permutexvar_ps(even, top);
+                m = _mm512_mask_mov_ps(m, _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, m), v);
+                let v = _mm512_permutexvar_ps(odd, top);
+                m = _mm512_mask_mov_ps(m, _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, m), v);
+                let v = _mm512_permutexvar_ps(even, bot);
+                m = _mm512_mask_mov_ps(m, _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, m), v);
+                let v = _mm512_permutexvar_ps(odd, bot);
+                m = _mm512_mask_mov_ps(m, _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, m), v);
+                _mm512_mask_storeu_ps(yp.add((ch * oh + oy) * ow), out_mask, m);
+            }
+        }
     }
 }
 
@@ -177,5 +269,44 @@ mod tests {
         let x = Tensor::from_vec(vec![1, 2, 2], vec![-5.0, -1.0, -3.0, -2.0]);
         let y = pool.forward(&x, true);
         assert_eq!(y.as_slice(), &[-1.0]);
+    }
+
+    /// The batched path (SIMD on AVX-512 hosts) must reproduce the
+    /// per-sample scalar scan bit-for-bit, including NaN, signed-zero and
+    /// infinity inputs and odd (floored) spatial dims.
+    #[test]
+    fn batched_pool_matches_per_sample_bitwise() {
+        let pool = MaxPool2::new();
+        for &(c, h, w) in &[(16, 12, 12), (32, 6, 6), (3, 5, 7), (2, 2, 16), (1, 4, 2)] {
+            let batch = 3usize;
+            let in_len = c * h * w;
+            let out_len = c * (h / 2) * (w / 2);
+            let mut x: Vec<f32> = (0..batch * in_len)
+                .map(|i| ((i.wrapping_mul(2654435761)) % 1000) as f32 * 0.013 - 6.5)
+                .collect();
+            x[0] = f32::NAN;
+            x[1] = -0.0;
+            x[in_len / 2] = f32::NEG_INFINITY;
+            let mut batched = vec![0.0f32; batch * out_len];
+            let mut idx = vec![0usize; out_len];
+            pool.forward_batch_into(&x, &[c, h, w], batch, &mut batched, &mut [], &mut idx, None);
+            for j in 0..batch {
+                let mut ys = vec![0.0f32; out_len];
+                pool.forward_into(
+                    &x[j * in_len..(j + 1) * in_len],
+                    &[c, h, w],
+                    &mut ys,
+                    &mut [],
+                    &mut idx,
+                    None,
+                );
+                let got: Vec<u32> = batched[j * out_len..(j + 1) * out_len]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let want: Vec<u32> = ys.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "shape {:?} sample {j}", (c, h, w));
+            }
+        }
     }
 }

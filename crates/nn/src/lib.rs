@@ -8,8 +8,10 @@
 //!   pooling, dense, flatten, and inverted dropout — each implementing
 //!   [`Layer`] with exact analytic gradients (validated by
 //!   finite-difference tests).
-//! - [`gemm`]: the cache-blocked matrix-multiply kernels convolution
-//!   (via im2col) and dense layers lower onto.
+//! - [`gemm`]: the matrix-multiply kernels convolution (via im2col) and
+//!   dense layers lower onto — runtime-dispatched between AVX-512, AVX2,
+//!   and portable scalar backends, with the scalar kernels kept as the
+//!   bit-identity oracle (see [`ulp`] for the SIMD comparison contract).
 //! - [`loss`]: softmax cross-entropy with **soft targets**, the ingredient
 //!   biased learning needs (`y*_n = [1-ε, ε]`).
 //! - [`Network`]: a sequential container with forward/backward passes and
@@ -78,6 +80,7 @@ pub mod parallel;
 pub mod parallelism;
 pub mod serialize;
 pub mod tensor;
+pub mod ulp;
 
 pub use layers::Layer;
 pub use network::Network;

@@ -1,0 +1,145 @@
+//! Bounded-ULP float comparison for SIMD-vs-scalar kernel testing.
+//!
+//! The scalar GEMM kernels in [`crate::gemm::scalar`] are the repo's
+//! bit-identity oracle; the SIMD backends accumulate in a different order
+//! and contract multiply-adds into FMAs, so their outputs differ from the
+//! oracle by a few units in the last place. Plain relative-error
+//! comparisons are awkward here: the natural tolerance scales with the
+//! *accumulated magnitude*, not the final value, so an element that
+//! cancels to near zero can have a huge relative error while being
+//! numerically as accurate as its neighbours.
+//!
+//! [`assert_ulp_close`] therefore accepts on either of two knobs:
+//!
+//! * **max ULP** — the distance between the two values counted in
+//!   representable `f32` steps ([`ulp_distance`]), which is
+//!   scale-invariant away from zero, or
+//! * **max abs** — an absolute floor that absorbs the
+//!   catastrophic-cancellation cases where ULP distance is meaningless.
+//!
+//! A pair passes if it is within *either* bound; an assertion failure
+//! reports the first offending index with both measures so the failing
+//! kernel and shape can be reproduced.
+
+/// Distance between two finite `f32` values in representable steps.
+///
+/// Implemented by mapping the IEEE-754 bit patterns onto a monotone
+/// integer line (sign-magnitude → offset binary), where adjacent
+/// representable floats differ by exactly 1. `+0.0` and `-0.0` map to the
+/// same point. Any NaN yields `u64::MAX` so NaNs never compare close.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_nn::ulp::ulp_distance;
+///
+/// assert_eq!(ulp_distance(1.0, 1.0), 0);
+/// assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+/// assert_eq!(ulp_distance(0.0, -0.0), 0);
+/// assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+/// ```
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn monotone(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        // Negative floats order backwards in raw bits; flip them below
+        // zero so the whole line is monotone in the numeric value.
+        if bits < 0 {
+            i64::from(i32::MIN) - i64::from(bits)
+        } else {
+            i64::from(bits)
+        }
+    }
+    monotone(a).abs_diff(monotone(b))
+}
+
+/// Whether `a` and `b` are within `max_ulp` representable steps **or**
+/// `max_abs` absolute difference of each other (see the module docs for
+/// why both knobs exist).
+pub fn ulp_close(a: f32, b: f32, max_ulp: u64, max_abs: f32) -> bool {
+    (a - b).abs() <= max_abs || ulp_distance(a, b) <= max_ulp
+}
+
+/// Asserts every element of `got` is [`ulp_close`] to the matching
+/// element of `want`.
+///
+/// # Panics
+///
+/// Panics when the lengths differ, or with the first offending index, the
+/// two values, their ULP distance, and their absolute difference when a
+/// pair violates both bounds.
+#[track_caller]
+pub fn assert_ulp_close(got: &[f32], want: &[f32], max_ulp: u64, max_abs: f32) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "assert_ulp_close: length mismatch ({} vs {})",
+        got.len(),
+        want.len()
+    );
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            ulp_close(g, w, max_ulp, max_abs),
+            "element {i}: {g} vs {w} differs by {} ULP / {:e} abs \
+             (allowed: {max_ulp} ULP or {max_abs:e} abs)",
+            ulp_distance(g, w),
+            (g - w).abs()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_counts_representable_steps() {
+        let one_up = f32::from_bits(1.0f32.to_bits() + 3);
+        assert_eq!(ulp_distance(1.0, one_up), 3);
+        assert_eq!(ulp_distance(one_up, 1.0), 3);
+        assert_eq!(ulp_distance(-1.0, -1.0), 0);
+    }
+
+    #[test]
+    fn distance_crosses_zero_monotonically() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert_eq!(ulp_distance(0.0, tiny), 1);
+        assert_eq!(ulp_distance(-0.0, tiny), 1);
+    }
+
+    #[test]
+    fn nan_is_never_close() {
+        assert_eq!(ulp_distance(f32::NAN, f32::NAN), u64::MAX);
+        assert!(!ulp_close(f32::NAN, 0.0, u64::MAX - 1, 1e10));
+    }
+
+    #[test]
+    fn abs_floor_rescues_cancellation() {
+        // 1e-8 vs -1e-8: enormous ULP distance, tiny absolute difference.
+        assert!(ulp_distance(1e-8, -1e-8) > 1_000_000);
+        assert!(ulp_close(1e-8, -1e-8, 4, 1e-6));
+        assert!(!ulp_close(1e-8, -1e-8, 4, 1e-9));
+    }
+
+    #[test]
+    fn assert_passes_on_exact_and_near() {
+        assert_ulp_close(&[1.0, 2.0], &[1.0, 2.0], 0, 0.0);
+        let near = f32::from_bits(3.5f32.to_bits() + 2);
+        assert_ulp_close(&[near], &[3.5], 2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1")]
+    fn assert_reports_offending_index() {
+        assert_ulp_close(&[1.0, 2.5], &[1.0, 2.0], 4, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assert_rejects_length_mismatch() {
+        assert_ulp_close(&[1.0], &[1.0, 2.0], 0, 0.0);
+    }
+}

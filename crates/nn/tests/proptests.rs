@@ -204,6 +204,76 @@ proptest! {
     }
 
     #[test]
+    fn dispatched_kernels_stay_within_ulp_envelope_of_scalar_oracle(
+        m in 1usize..24,
+        n in 1usize..40,
+        k in 1usize..70,
+        batch in 1usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        // The SIMD backends reassociate the k-reduction (16-lane FMA trees
+        // vs the oracle's serial loop), so outputs need not be bit-equal —
+        // but they must land inside the repo's ULP envelope. `n` up to 40
+        // and `k` up to 70 straddle the 16- and 32-lane chunk boundaries,
+        // so masked n/k tails and full-vector bodies are both exercised.
+        // On the scalar backend the dispatch table routes to the oracle
+        // itself and the comparison degenerates to bit-equality.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| next()).collect();
+        let at: Vec<f32> = (0..k * m).map(|_| next()).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| next()).collect();
+
+        let mut fast = c0.clone();
+        gemm::gemm_nn(m, n, k, &a, &b, &mut fast);
+        let mut oracle = c0.clone();
+        gemm::scalar::gemm_nn(m, n, k, &a, &b, &mut oracle);
+        hotspot_nn::ulp::assert_ulp_close(&fast, &oracle, 128, 1e-4);
+
+        let mut fast = c0.clone();
+        gemm::gemm_nt(m, n, k, &a, &bt, &mut fast);
+        let mut oracle = c0.clone();
+        gemm::scalar::gemm_nt(m, n, k, &a, &bt, &mut oracle);
+        hotspot_nn::ulp::assert_ulp_close(&fast, &oracle, 128, 1e-4);
+
+        let mut fast = c0.clone();
+        gemm::gemm_tn(m, n, k, &at, &b, &mut fast);
+        let mut oracle = c0;
+        gemm::scalar::gemm_tn(m, n, k, &at, &b, &mut oracle);
+        hotspot_nn::ulp::assert_ulp_close(&fast, &oracle, 128, 1e-4);
+
+        // Batched NT (the dense-layer block kernel): ULP-close to the
+        // scalar oracle, and bit-identical to scoring the same samples
+        // one at a time through the dispatched per-window path — the
+        // contract the engine's batched pins rest on.
+        let xs: Vec<f32> = (0..batch * k).map(|_| next()).collect();
+        let cb0: Vec<f32> = (0..batch * m).map(|_| next()).collect();
+        let mut fast = cb0.clone();
+        gemm::gemm_nt_batched(m, batch, k, &a, &xs, &mut fast);
+        let mut oracle = cb0.clone();
+        gemm::scalar::gemm_nt_batched(m, batch, k, &a, &xs, &mut oracle);
+        hotspot_nn::ulp::assert_ulp_close(&fast, &oracle, 128, 1e-4);
+
+        let mut per_sample = cb0;
+        for (s, cs) in per_sample.chunks_exact_mut(m).enumerate() {
+            gemm::gemm_nt(m, 1, k, &a, &xs[s * k..(s + 1) * k], cs);
+        }
+        for (i, (x, y)) in fast.iter().zip(&per_sample).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(), y.to_bits(),
+                "batched vs per-sample bit mismatch at {} ({} vs {})", i, x, y
+            );
+        }
+    }
+
+    #[test]
     fn planned_execution_is_bit_identical_to_allocating_path(
         channels in 1usize..3,
         hw in 4usize..9,

@@ -8,7 +8,7 @@
 //! blocks). On aligned strides the cache must actually fire.
 
 use hotspot_core::model::CnnConfig;
-use hotspot_core::{FeaturePipeline, HotspotDetector, ScanConfig};
+use hotspot_core::{FeaturePipeline, HotspotDetector, Parallelism, ScanConfig};
 use hotspot_geometry::{Clip, Point, Rect};
 use proptest::prelude::*;
 
@@ -135,6 +135,51 @@ proptest! {
         // 150 nm: misaligned every other column/row (fallback path).
         for stride in [200i64, 150] {
             assert_scan_matches_naive(&detector, &layout, stride);
+        }
+    }
+
+    /// Tile-seam contract: sharding the scan across worker bands must be
+    /// invisible in the output. For random layouts (including ones shorter
+    /// than a single band and hotspot regions that straddle band seams) and
+    /// both aligned and unaligned strides, the multithreaded scan must
+    /// reproduce the serial scan exactly — window scores to the bit, the
+    /// flagged set, merged region rectangles and numbering, and the
+    /// block-DCT cache totals.
+    #[test]
+    fn tiled_scan_is_bit_identical_to_serial_across_thread_counts(layout in arb_layout()) {
+        let mut detector = tiny_detector();
+        for stride in [200i64, 150] {
+            let config = ScanConfig::new(stride)
+                .expect("positive stride")
+                .with_window_nm(WINDOW_NM)
+                .expect("positive window")
+                // Flag everything so regions exist and must merge across
+                // band seams identically at every thread count.
+                .with_threshold(0.0)
+                .expect("threshold in range");
+
+            detector.set_parallelism(Parallelism::serial());
+            let serial = detector.scan(&layout, &config).expect("serial scan runs");
+            prop_assert_eq!(serial.threads, 1);
+
+            for workers in [2usize, 3, 7] {
+                detector.set_parallelism(Parallelism::fixed(workers).expect("nonzero"));
+                let tiled = detector.scan(&layout, &config).expect("tiled scan runs");
+                // Bands never outnumber window rows, so thin layouts
+                // collapse to fewer threads than requested.
+                prop_assert_eq!(tiled.threads, workers.min(serial.grid_rows));
+                prop_assert_eq!(&tiled.cache, &serial.cache, "workers {}", workers);
+                prop_assert_eq!(&tiled.regions, &serial.regions, "workers {}", workers);
+                prop_assert_eq!(tiled.windows.len(), serial.windows.len());
+                for (a, b) in tiled.windows.iter().zip(serial.windows.iter()) {
+                    prop_assert_eq!(
+                        a.score.to_bits(), b.score.to_bits(),
+                        "stride {}, workers {}, window at ({}, {})",
+                        stride, workers, a.x_nm, a.y_nm
+                    );
+                    prop_assert_eq!(a.hotspot, b.hotspot);
+                }
+            }
         }
     }
 }

@@ -6,28 +6,37 @@
 # commit:
 #   - the planned path performs ZERO steady-state allocations per window
 #   - the batched path performs ZERO steady-state allocations per block
-#   - three-way bit-identity: batched planned == per-window planned ==
-#     the legacy scoring loop
+#   - with SIMD force-disabled (HOTSPOT_SIMD=scalar): three-way
+#     bit-identity — batched planned == per-window planned == the legacy
+#     scoring loop, bit for bit
+#   - with the detected SIMD backend: planned == batched bit-identical,
+#     both within the bounded-ULP envelope (64 ULP / 1e-5) of the scalar
+#     oracle scores
 #   - the batched path spends strictly fewer GEMM calls per window than
 #     the per-window planned path (one call per layer per block)
+#   - the banded scan is deterministic across thread counts: a CLI scan
+#     at --threads 1 and --threads 2 yields identical windows, regions
+#     and cache totals
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "running the engine bench at a tiny budget..."
-cargo run --release -p hotspot-bench --bin engine -- \
-  --windows 96 --reps 3 >/dev/null
-test -s results/BENCH_engine.json || { echo "bench wrote no BENCH_engine.json" >&2; exit 1; }
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
 
-echo "validating BENCH_engine.json..."
-python3 - results/BENCH_engine.json <<'EOF'
+validate_report() {
+  python3 - "$1" "$2" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
+mode = sys.argv[2]  # "scalar" (forced) or "auto" (detected backend)
 
 for key in ("benchmark", "baseline", "windows", "feature_shape", "reps",
-            "legacy", "planned", "batched", "speedup", "bit_identical"):
+            "kernel_backend", "legacy", "planned", "batched",
+            "scalar_batched_windows_per_sec", "speedup_vs_scalar",
+            "score_check", "max_score_ulp_vs_scalar",
+            "speedup", "bit_identical"):
     assert key in report, f"missing report.{key}"
 for arm in ("legacy", "planned", "batched"):
     for key in ("secs", "windows_per_sec"):
@@ -35,11 +44,32 @@ for arm in ("legacy", "planned", "batched"):
     assert report[arm]["secs"] > 0.0, f"{arm} measured no time"
     assert report[arm]["windows_per_sec"] > 0.0, f"{arm} scored no windows"
 
-# Three-way bit-identity: the bench computes `bit_identical` as
-# (legacy == planned) AND (legacy == batched), and aborts before writing
-# the report if either leg diverges.
-assert report["bit_identical"] is True, \
-    "batched/planned logits diverged from the legacy scoring loop"
+backend = report["kernel_backend"]
+if mode == "scalar":
+    assert backend == "scalar", \
+        f"HOTSPOT_SIMD=scalar was ignored: backend {backend}"
+if backend == "scalar":
+    # Scalar kernels are the oracle: all three arms must agree bit for
+    # bit (the bench aborts before writing the report if they diverge).
+    assert report["score_check"] == "bit-identical", \
+        f"scalar run lost its bit-identity pin: {report['score_check']}"
+    assert report["bit_identical"] is True, \
+        "batched/planned logits diverged from the legacy scoring loop"
+    assert report["max_score_ulp_vs_scalar"] == 0, \
+        f"scalar run nonzero ULP: {report['max_score_ulp_vs_scalar']}"
+else:
+    # SIMD lanes reassociate the k-reduction: scores may leave bit
+    # equality but must stay inside the repo's ULP envelope, and the
+    # per-window and batched SIMD paths must still agree exactly
+    # (the bench asserts that before writing).
+    assert report["score_check"] == "ulp-bounded", \
+        f"SIMD run reported score_check {report['score_check']}"
+    assert report["max_score_ulp_vs_scalar"] <= 64, \
+        (f"SIMD scores drifted {report['max_score_ulp_vs_scalar']} ULP "
+         "from the scalar oracle (envelope: 64)")
+    assert report["speedup_vs_scalar"] > 0.0, \
+        "SIMD run measured no scalar reference throughput"
+
 assert report["planned"]["allocs_per_window"] == 0.0, \
     ("planned path allocated in steady state: "
      f"{report['planned']['allocs_per_window']} allocs/window")
@@ -58,15 +88,64 @@ assert 0.0 < report["batched"]["gemm_calls_per_window"] \
 assert report["legacy"]["allocs_per_window"] > 0.0, \
     "legacy arm reported zero allocations - baseline reconstruction broken"
 
-print(f"engine OK: {report['windows']} windows, "
+print(f"engine OK [{backend}]: {report['windows']} windows, "
       f"speedup {report['speedup']:.2f}x planned / "
       f"{report['batched']['speedup_vs_legacy']:.2f}x batched (block "
       f"{report['batched']['block']}), "
-      f"planned allocs/window {report['planned']['allocs_per_window']:.3f}, "
-      f"batched allocs/block {report['batched']['allocs_per_block']:.3f}, "
-      f"GEMM/window {report['planned']['gemm_calls_per_window']:.2f} -> "
-      f"{report['batched']['gemm_calls_per_window']:.3f}, "
-      f"bit-identical {report['bit_identical']}")
+      f"{report['speedup_vs_scalar']:.2f}x vs scalar "
+      f"(max {report['max_score_ulp_vs_scalar']} ULP), "
+      f"score check: {report['score_check']}")
+EOF
+}
+
+echo "running the engine bench with SIMD force-disabled (scalar oracle)..."
+HOTSPOT_SIMD=scalar cargo run --release -p hotspot-bench --bin engine -- \
+  --windows 96 --reps 3 --out "$work/scalar" >/dev/null
+test -s "$work/scalar/BENCH_engine.json" \
+  || { echo "scalar bench wrote no BENCH_engine.json" >&2; exit 1; }
+echo "validating the scalar report (three-way bit-identity)..."
+validate_report "$work/scalar/BENCH_engine.json" scalar
+
+echo "running the engine bench on the detected backend..."
+cargo run --release -p hotspot-bench --bin engine -- \
+  --windows 96 --reps 3 >/dev/null
+test -s results/BENCH_engine.json \
+  || { echo "bench wrote no BENCH_engine.json" >&2; exit 1; }
+echo "validating BENCH_engine.json (bounded-ULP pin)..."
+validate_report results/BENCH_engine.json auto
+
+echo "checking threaded-scan determinism (1 vs 2 threads)..."
+BIN=${BIN:-target/release/hotspot}
+if [ ! -x "$BIN" ]; then
+  echo "building $BIN..."
+  cargo build --release -p hotspot-cli
+fi
+"$BIN" gen --dir "$work" --suite iccad --scale 0.001
+"$BIN" train --clips "$work/train.clips" --labels "$work/train.labels" \
+       --k 4 --steps 80 --rounds 1 --batch 8 --seed 11 --model "$work/m.hsnn"
+"$BIN" genlayout --out "$work/chip.clips" --tiles 3 --seed 7
+"$BIN" scan --layout "$work/chip.clips" --model "$work/m.hsnn" \
+       --stride 600 --threads 1 --report "$work/scan_t1.json"
+"$BIN" scan --layout "$work/chip.clips" --model "$work/m.hsnn" \
+       --stride 600 --threads 2 --report "$work/scan_t2.json"
+python3 - "$work/scan_t1.json" "$work/scan_t2.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    serial = json.load(f)
+with open(sys.argv[2]) as f:
+    tiled = json.load(f)
+
+assert serial["execution"]["threads"] == 1, \
+    f"--threads 1 resolved to {serial['execution']['threads']}"
+assert tiled["execution"]["threads"] == 2, \
+    f"--threads 2 resolved to {tiled['execution']['threads']}"
+for key in ("windows", "regions", "cache", "positives"):
+    assert serial[key] == tiled[key], \
+        f"threaded scan diverged from serial on report.{key}"
+print(f"threaded scan OK: {len(serial['windows'])} windows identical "
+      f"across 1 and 2 threads "
+      f"({serial['positives']} flagged, {len(serial['regions'])} regions)")
 EOF
 
 echo "engine smoke passed."

@@ -38,7 +38,7 @@ def require(obj, path, keys):
         assert key in obj, f"missing {path}.{key}"
 
 require(report, "report",
-        ["layout", "scan", "cache", "throughput", "positives",
+        ["layout", "scan", "cache", "throughput", "execution", "positives",
          "regions", "windows"])
 require(report["layout"], "layout", ["width_nm", "height_nm"])
 require(report["scan"], "scan",
@@ -47,6 +47,9 @@ require(report["cache"], "cache",
         ["blocks_computed", "blocks_reused", "hit_rate"])
 require(report["throughput"], "throughput",
         ["windows", "elapsed_s", "windows_per_sec"])
+require(report["execution"], "execution",
+        ["threads", "prepare_s", "scan_s", "merge_s"])
+assert report["execution"]["threads"] >= 1, "scan resolved zero threads"
 
 scan = report["scan"]
 windows = report["windows"]
