@@ -62,8 +62,10 @@ impl AdaBoost {
     /// # Errors
     ///
     /// Returns [`BaselineError::DegenerateTrainingSet`] when the data is
-    /// empty or single-class, and [`BaselineError::FeatureLengthMismatch`]
-    /// when feature vectors disagree in length.
+    /// empty or single-class, [`BaselineError::LabelCountMismatch`] when
+    /// `labels` does not pair one label with each sample, and
+    /// [`BaselineError::FeatureLengthMismatch`] when feature vectors
+    /// disagree in length.
     pub fn fit(
         samples: &[Vec<f32>],
         labels: &[bool],
@@ -71,6 +73,15 @@ impl AdaBoost {
     ) -> Result<Self, BaselineError> {
         if samples.is_empty() {
             return Err(BaselineError::DegenerateTrainingSet("no samples"));
+        }
+        // A short label vector would panic on `y[i]` below; a long one
+        // would be silently truncated (and skew the class-balanced weight
+        // initialisation, which counts positives over *all* labels).
+        if labels.len() != samples.len() {
+            return Err(BaselineError::LabelCountMismatch {
+                samples: samples.len(),
+                labels: labels.len(),
+            });
         }
         if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
             return Err(BaselineError::DegenerateTrainingSet("single-class labels"));
@@ -140,23 +151,51 @@ impl AdaBoost {
     pub fn feature_len(&self) -> usize {
         self.feature_len
     }
+
+    /// The weighted weak learners, in boosting order.
+    pub fn stumps(&self) -> &[(f64, DecisionStump)] {
+        &self.stumps
+    }
+
+    /// Reassembles an ensemble from its parts (e.g. a deserialised model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::FeatureLengthMismatch`] when a stump tests
+    /// a feature index outside `feature_len` (scoring it would panic).
+    pub fn from_parts(
+        stumps: Vec<(f64, DecisionStump)>,
+        feature_len: usize,
+    ) -> Result<Self, BaselineError> {
+        for (_, stump) in &stumps {
+            if stump.feature >= feature_len {
+                return Err(BaselineError::FeatureLengthMismatch {
+                    expected: feature_len,
+                    actual: stump.feature + 1,
+                });
+            }
+        }
+        Ok(AdaBoost {
+            stumps,
+            feature_len,
+        })
+    }
 }
 
 impl Classifier for AdaBoost {
-    fn score(&self, features: &[f32]) -> f32 {
-        assert_eq!(
-            features.len(),
-            self.feature_len,
-            "feature length mismatch: expected {}, got {}",
-            self.feature_len,
-            features.len()
-        );
+    fn try_score(&self, features: &[f32]) -> Result<f32, BaselineError> {
+        if features.len() != self.feature_len {
+            return Err(BaselineError::FeatureLengthMismatch {
+                expected: self.feature_len,
+                actual: features.len(),
+            });
+        }
         let margin: f64 = self
             .stumps
             .iter()
             .map(|(alpha, s)| alpha * s.predict(features) as f64)
             .sum();
-        margin as f32
+        Ok(margin as f32)
     }
 }
 
@@ -187,6 +226,60 @@ mod tests {
             AdaBoost::fit(&bad, &[true, false], &AdaBoostConfig::default()),
             Err(BaselineError::FeatureLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_mismatched_label_count() {
+        // Regression: a short label vector used to panic on `y[i]`
+        // indexing, and a long one was silently truncated — both must be
+        // reported as LabelCountMismatch.
+        let s = vec![vec![0.0f32], vec![0.3], vec![0.7], vec![1.0]];
+        let short = [false, true];
+        assert_eq!(
+            AdaBoost::fit(&s, &short, &AdaBoostConfig::default()),
+            Err(BaselineError::LabelCountMismatch {
+                samples: 4,
+                labels: 2
+            })
+        );
+        let long = [false, false, true, true, true, false];
+        assert_eq!(
+            AdaBoost::fit(&s, &long, &AdaBoostConfig::default()),
+            Err(BaselineError::LabelCountMismatch {
+                samples: 4,
+                labels: 6
+            })
+        );
+    }
+
+    #[test]
+    fn try_score_reports_length_mismatch() {
+        let samples = vec![vec![0.0f32, 0.0], vec![1.0, 1.0]];
+        let m = AdaBoost::fit(&samples, &[false, true], &AdaBoostConfig::default()).unwrap();
+        assert!(matches!(
+            m.try_score(&[0.5]),
+            Err(BaselineError::FeatureLengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert_eq!(m.try_score(&[1.0, 1.0]).unwrap(), m.score(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn from_parts_validates_feature_indices() {
+        let samples = vec![vec![0.0f32, 0.0], vec![1.0, 1.0]];
+        let m = AdaBoost::fit(&samples, &[false, true], &AdaBoostConfig::default()).unwrap();
+        let rebuilt = AdaBoost::from_parts(m.stumps().to_vec(), m.feature_len()).unwrap();
+        assert_eq!(rebuilt, m);
+        // A stump testing feature 1 cannot score length-1 vectors.
+        let stump = DecisionStump {
+            feature: 1,
+            threshold: 0.5,
+            polarity: 1.0,
+        };
+        assert!(AdaBoost::from_parts(vec![(1.0, stump)], 1).is_err());
+        assert!(AdaBoost::from_parts(vec![(1.0, stump)], 2).is_ok());
     }
 
     #[test]

@@ -1,25 +1,58 @@
 //! Common scoring interface for baseline detectors.
 
+use crate::BaselineError;
+
 /// A trained binary classifier over flat feature vectors.
 ///
 /// Implementations return a real-valued *hotspot score*; the conventional
 /// decision is `score > 0.0 → hotspot`, and threshold shifts trade accuracy
 /// against false alarms (the boundary-shifting comparison of the paper's
 /// Figure 4 applies to these baselines just as to the CNN).
+///
+/// [`Classifier::try_score`] is the required, checked entry point: library
+/// code (the scan engine, batch evaluation) calls it and routes a
+/// wrong-length feature vector through [`BaselineError`] instead of
+/// panicking. [`Classifier::score`] is a convenience wrapper for call sites
+/// where the feature length is correct by construction (e.g. features
+/// produced by the same pipeline the model was trained on).
 pub trait Classifier {
     /// Real-valued hotspot score of a feature vector (positive = hotspot).
     ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::FeatureLengthMismatch`] when `features` has
+    /// the wrong length for this model.
+    fn try_score(&self, features: &[f32]) -> Result<f32, BaselineError>;
+
+    /// [`Classifier::try_score`] for call sites where the feature length is
+    /// infallible by construction.
+    ///
     /// # Panics
     ///
-    /// Implementations may panic when `features` has the wrong length.
-    fn score(&self, features: &[f32]) -> f32;
+    /// Panics when `features` has the wrong length.
+    fn score(&self, features: &[f32]) -> f32 {
+        match self.try_score(features) {
+            Ok(score) => score,
+            Err(e) => panic!("{e}"),
+        }
+    }
 
     /// Hard decision at threshold 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has the wrong length (see
+    /// [`Classifier::score`]).
     fn predict(&self, features: &[f32]) -> bool {
         self.score(features) > 0.0
     }
 
     /// Hard decision at a shifted threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` has the wrong length (see
+    /// [`Classifier::score`]).
     fn predict_with_threshold(&self, features: &[f32], threshold: f32) -> bool {
         self.score(features) > threshold
     }
@@ -31,8 +64,21 @@ mod tests {
 
     struct Constant(f32);
     impl Classifier for Constant {
-        fn score(&self, _features: &[f32]) -> f32 {
-            self.0
+        fn try_score(&self, _features: &[f32]) -> Result<f32, BaselineError> {
+            Ok(self.0)
+        }
+    }
+
+    struct Picky;
+    impl Classifier for Picky {
+        fn try_score(&self, features: &[f32]) -> Result<f32, BaselineError> {
+            if features.len() != 2 {
+                return Err(BaselineError::FeatureLengthMismatch {
+                    expected: 2,
+                    actual: features.len(),
+                });
+            }
+            Ok(features[0] - features[1])
         }
     }
 
@@ -48,5 +94,23 @@ mod tests {
         let c = Constant(0.4);
         assert!(c.predict_with_threshold(&[], 0.3));
         assert!(!c.predict_with_threshold(&[], 0.5));
+    }
+
+    #[test]
+    fn try_score_surfaces_length_errors() {
+        assert!(matches!(
+            Picky.try_score(&[1.0]),
+            Err(BaselineError::FeatureLengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        assert_eq!(Picky.try_score(&[1.0, 0.25]), Ok(0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn score_wrapper_panics_on_length_error() {
+        let _ = Picky.score(&[1.0]);
     }
 }

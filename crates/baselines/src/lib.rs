@@ -17,11 +17,13 @@
 //! decision threshold so ROC-style trade-offs can be swept.
 
 pub mod adaboost;
+pub mod calibrated;
 pub mod classifier;
 pub mod online;
 pub mod stump;
 
 pub use adaboost::{AdaBoost, AdaBoostConfig};
+pub use calibrated::CalibratedAdaBoost;
 pub use classifier::Classifier;
 pub use online::{OnlineLogistic, OnlineLogisticConfig};
 pub use stump::DecisionStump;
@@ -29,7 +31,7 @@ pub use stump::DecisionStump;
 use std::error::Error;
 use std::fmt;
 
-/// Errors from baseline training.
+/// Errors from baseline training and scoring.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BaselineError {
     /// The training set was empty or single-class.
@@ -41,6 +43,15 @@ pub enum BaselineError {
         /// Observed length.
         actual: usize,
     },
+    /// The label vector does not pair one label with each sample.
+    LabelCountMismatch {
+        /// Number of training samples.
+        samples: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A serialised model could not be decoded.
+    ModelFormat(String),
 }
 
 impl fmt::Display for BaselineError {
@@ -55,6 +66,10 @@ impl fmt::Display for BaselineError {
                     "feature length mismatch: expected {expected}, got {actual}"
                 )
             }
+            BaselineError::LabelCountMismatch { samples, labels } => {
+                write!(f, "label count mismatch: {labels} labels for {samples} samples")
+            }
+            BaselineError::ModelFormat(why) => write!(f, "model format: {why}"),
         }
     }
 }

@@ -76,8 +76,9 @@ impl OnlineLogistic {
     /// # Errors
     ///
     /// Returns [`BaselineError::DegenerateTrainingSet`] for empty or
-    /// single-class data and [`BaselineError::FeatureLengthMismatch`] for
-    /// ragged features.
+    /// single-class data, [`BaselineError::LabelCountMismatch`] when
+    /// `labels` does not pair one label with each sample, and
+    /// [`BaselineError::FeatureLengthMismatch`] for ragged features.
     pub fn fit(
         samples: &[Vec<f32>],
         labels: &[bool],
@@ -85,6 +86,12 @@ impl OnlineLogistic {
     ) -> Result<Self, BaselineError> {
         if samples.is_empty() {
             return Err(BaselineError::DegenerateTrainingSet("no samples"));
+        }
+        if labels.len() != samples.len() {
+            return Err(BaselineError::LabelCountMismatch {
+                samples: samples.len(),
+                labels: labels.len(),
+            });
         }
         if labels.iter().all(|&l| l) || labels.iter().all(|&l| !l) {
             return Err(BaselineError::DegenerateTrainingSet("single-class labels"));
@@ -156,15 +163,14 @@ impl OnlineLogistic {
 
 impl Classifier for OnlineLogistic {
     /// The logit (log-odds) of being a hotspot; 0 corresponds to p = 0.5.
-    fn score(&self, features: &[f32]) -> f32 {
-        assert_eq!(
-            features.len(),
-            self.weights.len(),
-            "feature length mismatch: expected {}, got {}",
-            self.weights.len(),
-            features.len()
-        );
-        self.raw_score(features)
+    fn try_score(&self, features: &[f32]) -> Result<f32, BaselineError> {
+        if features.len() != self.weights.len() {
+            return Err(BaselineError::FeatureLengthMismatch {
+                expected: self.weights.len(),
+                actual: features.len(),
+            });
+        }
+        Ok(self.raw_score(features))
     }
 }
 
@@ -182,6 +188,14 @@ mod tests {
         assert!(OnlineLogistic::fit(&[], &[], &cfg).is_err());
         let s = vec![vec![0.0f32], vec![1.0]];
         assert!(OnlineLogistic::fit(&s, &[false, false], &cfg).is_err());
+        // Regression: one label for two samples used to panic on labels[i].
+        assert_eq!(
+            OnlineLogistic::fit(&s, &[true], &cfg),
+            Err(BaselineError::LabelCountMismatch {
+                samples: 2,
+                labels: 1
+            })
+        );
     }
 
     #[test]

@@ -26,10 +26,20 @@
 //! Writes `results/BENCH_scan.json` (override the directory with `--out`).
 
 use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
-use hotspot_core::{HotspotDetector, Parallelism, ScanConfig};
+use hotspot_core::{CascadeConfig, HotspotDetector, Parallelism, ScanConfig, ScanStage};
 use hotspot_datagen::LayoutSpec;
 use hotspot_geometry::{Clip, Point, Rect};
 use std::time::Instant;
+
+/// JSON number or `null` for non-finite values (a forced margin threshold
+/// can be infinite).
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
 
 fn main() {
     let args = ExperimentArgs::from_env();
@@ -54,8 +64,46 @@ fn main() {
     // single-thread baseline to compare against.
     detector.set_parallelism(Parallelism::serial());
 
+    // Cascade prefilter: AdaBoost on raw density features, margin
+    // threshold calibrated on a held-out training split to a zero
+    // false-negative target (grid 12 divides the 120 px scan window).
+    let cascade_train = CascadeConfig {
+        grid_dim: 12,
+        rounds: args.usize("cascade-rounds", 64),
+        target_fnr: args.f64("cascade-fnr", 0.0),
+        holdout_fraction: 0.25,
+    };
+    eprintln!(
+        "[scan] training cascade prefilter ({} rounds, target FNR {})...",
+        cascade_train.rounds, cascade_train.target_fnr
+    );
+    let prefilter = detector
+        .train_prefilter(&data.train, &cascade_train)
+        .expect("prefilter trains");
+    eprintln!(
+        "[scan]   margin > {:.4}, holdout FNR {:.3}",
+        prefilter.margin_threshold(),
+        prefilter.calibrated().achieved_fnr()
+    );
+
     let layout = LayoutSpec::uniform(tiles, tiles, 19).build();
     let window_nm = 1200i64;
+    // Sparse companion layout for the cascade arm. The uniform layout
+    // packs geometry into every tile, so nearly every window is a true
+    // hotspot and no prefilter could clear half of them. A full-chip scan
+    // is mostly quiet area — model that by keeping dense tiles only on a
+    // 3×3 lattice (scattered IP blocks, 1 in 9 tiles) and blanking the
+    // rest (tile shapes never cross their 1200 nm tile border).
+    let sparse_layout = {
+        let mut clip = Clip::new(layout.window());
+        for shape in layout.shapes() {
+            let (tx, ty) = (shape.lo().x / window_nm, shape.lo().y / window_nm);
+            if tx % 3 == 0 && ty % 3 == 0 {
+                clip.push(*shape);
+            }
+        }
+        clip
+    };
     eprintln!(
         "[scan] layout: {} x {} nm ({}x{} tiles)",
         layout.window().width(),
@@ -177,6 +225,101 @@ fn main() {
         }
         detector.set_parallelism(Parallelism::serial());
 
+        // Cascade arm, on the sparse layout: the calibrated prefilter
+        // clears easy negatives so the CNN only scores survivors.
+        // Survivor scores must stay bit-identical to the full scan of the
+        // same layout, no full-scan hotspot window may go missing, and
+        // the two-stage path must stay thread-invariant.
+        let cascade_scan_cfg = scan_cfg.clone().with_cascade(prefilter.clone());
+        let mut best_sparse_full = f64::INFINITY;
+        let mut sparse_full = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let r = detector.scan(&sparse_layout, &scan_cfg).expect("layout scans");
+            best_sparse_full = best_sparse_full.min(start.elapsed().as_secs_f64());
+            sparse_full = Some(r);
+        }
+        let sparse_full = sparse_full.expect("at least one rep ran");
+        let mut best_cascade = f64::INFINITY;
+        let mut cascade_report = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let r = detector
+                .scan(&sparse_layout, &cascade_scan_cfg)
+                .expect("cascade scans");
+            best_cascade = best_cascade.min(start.elapsed().as_secs_f64());
+            cascade_report = Some(r);
+        }
+        let cr = cascade_report.expect("at least one rep ran");
+        let cascade_stats = cr.cascade.clone().expect("cascade stats present");
+        let survivors_identical = sparse_full
+            .windows
+            .iter()
+            .zip(cr.windows.iter())
+            .filter(|(_, c)| c.stage == ScanStage::Cnn)
+            .all(|(f, c)| f.score.to_bits() == c.score.to_bits());
+        let missed_hotspots = sparse_full
+            .windows
+            .iter()
+            .zip(cr.windows.iter())
+            .filter(|(f, c)| f.hotspot && !c.hotspot)
+            .count();
+        // A full-scan region is missed when no cascade region overlaps
+        // its bounding box — clearing a region's fringe windows only
+        // shrinks it, which is not a miss.
+        let missed_regions = sparse_full
+            .regions
+            .iter()
+            .filter(|fr| {
+                !cr.regions.iter().any(|c| {
+                    fr.x0_nm < c.x1_nm
+                        && c.x0_nm < fr.x1_nm
+                        && fr.y0_nm < c.y1_nm
+                        && c.y0_nm < fr.y1_nm
+                })
+            })
+            .count();
+        let regions_identical = cr.regions == sparse_full.regions;
+        let cnn_eval_reduction = sparse_full.windows.len() as f64 / cr.cnn_evals.max(1) as f64;
+        let mut cascade_thread_entries = Vec::new();
+        for workers in [1usize, 2, 4] {
+            detector.set_parallelism(Parallelism::fixed(workers).expect("nonzero"));
+            let mut best_ct = f64::INFINITY;
+            let mut same = true;
+            for _ in 0..reps.max(1) {
+                let start = Instant::now();
+                let r = detector
+                    .scan(&sparse_layout, &cascade_scan_cfg)
+                    .expect("cascade scans");
+                best_ct = best_ct.min(start.elapsed().as_secs_f64());
+                same &= r.regions == cr.regions
+                    && r.cache == cr.cache
+                    && r.windows.iter().zip(cr.windows.iter()).all(|(a, b)| {
+                        a.score.to_bits() == b.score.to_bits()
+                            && a.stage == b.stage
+                            && a.margin.map(f32::to_bits) == b.margin.map(f32::to_bits)
+                    });
+            }
+            cascade_thread_entries.push(format!(
+                "{{ \"requested\": {workers}, \"scan_secs\": {best_ct:.6}, \
+                 \"bit_identical_to_serial_cascade\": {same} }}"
+            ));
+        }
+        detector.set_parallelism(Parallelism::serial());
+        eprintln!(
+            "[scan]   cascade (sparse layout, {} windows): {} cleared, {} forwarded \
+             ({:.2} CNN evals/window, {cnn_eval_reduction:.2}x fewer CNN evals, \
+             {best_cascade:.3} s vs full {best_sparse_full:.3} s [{:.2}x], \
+             missed regions: {missed_regions}, \
+             missed hotspot windows: {missed_hotspots}, \
+             regions identical: {regions_identical})",
+            sparse_full.windows.len(),
+            cascade_stats.cleared,
+            cascade_stats.forwarded,
+            cr.cnn_evals_per_window(),
+            best_sparse_full / best_cascade
+        );
+
         let windows = report.windows.len();
         let wps = windows as f64 / best_scan;
         let single_wps = windows as f64 / best_single;
@@ -203,7 +346,21 @@ fn main() {
              \"speedup_vs_naive\": {:.3}, \"blocks_computed\": {}, \
              \"blocks_reused\": {}, \"cache_hit_rate\": {:.4}, \
              \"positives\": {}, \"regions\": {}, \"bit_identical_to_naive\": {identical}, \
-             \"threads\": [ {} ] }}",
+             \"threads\": [ {} ], \
+             \"cascade\": {{ \"layout\": \"sparse-lattice\", \"windows\": {}, \
+             \"margin_threshold\": {}, \"achieved_fnr\": {:.6}, \
+             \"cleared\": {}, \"forwarded\": {}, \
+             \"cnn_evals_per_window\": {:.4}, \
+             \"cnn_eval_reduction\": {cnn_eval_reduction:.3}, \
+             \"scan_secs\": {best_cascade:.6}, \
+             \"full_scan_secs\": {best_sparse_full:.6}, \
+             \"speedup_vs_full_scan\": {:.3}, \
+             \"positives\": {}, \"regions\": {}, \
+             \"missed_regions\": {missed_regions}, \
+             \"missed_hotspot_windows\": {missed_hotspots}, \
+             \"regions_identical_to_full_scan\": {regions_identical}, \
+             \"survivor_scores_bit_identical\": {survivors_identical}, \
+             \"threads\": [ {} ] }} }}",
             best_single / best_scan,
             best_naive / best_scan,
             report.cache.computed,
@@ -211,7 +368,17 @@ fn main() {
             report.cache.hit_rate(),
             report.positives(),
             report.regions.len(),
-            thread_entries.join(", ")
+            thread_entries.join(", "),
+            sparse_full.windows.len(),
+            json_f32(cascade_stats.margin_threshold),
+            prefilter.calibrated().achieved_fnr(),
+            cascade_stats.cleared,
+            cascade_stats.forwarded,
+            cr.cnn_evals_per_window(),
+            best_sparse_full / best_cascade,
+            cr.positives(),
+            cr.regions.len(),
+            cascade_thread_entries.join(", ")
         ));
     }
 

@@ -8,7 +8,10 @@ use hotspot_core::biased::CheckpointEvent;
 use hotspot_core::checkpoint::write_atomic;
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
 use hotspot_core::metrics::EvalResult;
-use hotspot_core::{Checkpoint, CoreError, FeaturePipeline, Parallelism, ScanConfig};
+use hotspot_core::{
+    CascadeConfig, CascadePrefilter, Checkpoint, CoreError, FeaturePipeline, Parallelism,
+    ScanConfig,
+};
 use hotspot_datagen::suite::SuiteSpec;
 use hotspot_datagen::{Dataset, LayoutSpec, Sample};
 use hotspot_geometry::io::{read_clips, write_clips};
@@ -150,7 +153,13 @@ fn run_tag(config: &DetectorConfig, k: usize) -> String {
 
 /// `hotspot train --clips F --labels F --model OUT [--k 16 --steps 800
 /// --rounds 2 --batch 32 --seed 42] [--checkpoint-every N]
-/// [--checkpoint F] [--resume F]`
+/// [--checkpoint F] [--resume F] [--cascade OUT [--cascade-fnr 0.0]
+/// [--cascade-rounds 64] [--cascade-grid 12] [--cascade-holdout 0.25]]`
+///
+/// With `--cascade OUT`, an AdaBoost prefilter over raw density features
+/// is additionally trained on the same clips, its margin threshold
+/// calibrated on a held-out split to the target false-negative rate, and
+/// the result written to `OUT` for `hotspot scan --cascade`.
 ///
 /// With `--checkpoint-every N` (or `--resume`), a crash-safe checkpoint is
 /// written atomically every N optimiser steps and at every round boundary
@@ -260,6 +269,25 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
         blob: detector.export_parameters(),
     };
     write_atomic(Path::new(&model_path), &model.to_bytes())?;
+    let cascade_note = match args.get("cascade") {
+        Some(cascade_path) => {
+            let cascade_config = CascadeConfig {
+                grid_dim: args.usize("cascade-grid", 12),
+                rounds: args.usize("cascade-rounds", 64),
+                target_fnr: args.f64("cascade-fnr", 0.0),
+                holdout_fraction: args.f64("cascade-holdout", 0.25),
+            };
+            let prefilter = detector.train_prefilter(&dataset, &cascade_config)?;
+            write_atomic(Path::new(cascade_path), &prefilter.to_bytes())?;
+            Some(format!(
+                "; cascade prefilter ({} stumps, margin > {:.4}, holdout FNR {:.3}) written to {cascade_path}",
+                prefilter.calibrated().model().stumps().len(),
+                prefilter.margin_threshold(),
+                prefilter.calibrated().achieved_fnr(),
+            ))
+        }
+        None => None,
+    };
     let mut out = format!(
         "trained on {} clips (final ε = {:.1}, {:.0} s); model written to {model_path}",
         dataset.len(),
@@ -275,6 +303,9 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
         out.push_str(&format!(
             "; checkpoints at {checkpoint_path}, best model at {best_path}"
         ));
+    }
+    if let Some(note) = cascade_note {
+        out.push_str(&note);
     }
     Ok(out)
 }
@@ -359,8 +390,10 @@ pub fn cmd_genlayout(args: &ExperimentArgs) -> Result<String, CliError> {
 }
 
 /// `hotspot scan --layout FILE --model FILE [--stride 600] [--window 1200]
-/// [--threshold 0.5] [--threads N] [--report FILE]` — slides the detector
-/// over a full layout, merging flagged windows into hotspot regions.
+/// [--threshold 0.5] [--threads N] [--cascade FILE] [--report FILE]` —
+/// slides the detector over a full layout, merging flagged windows into
+/// hotspot regions. `--cascade` loads a calibrated prefilter (see `hotspot
+/// train --cascade`) so only prefilter-flagged windows reach the CNN.
 /// `--report` writes the full JSON scan report.
 ///
 /// # Errors
@@ -380,14 +413,17 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
                 .map_err(|e| CliError::Usage(e.to_string()))?,
         );
     }
-    let config = ScanConfig::new(args.usize("stride", 600) as i64)?
+    let mut config = ScanConfig::new(args.usize("stride", 600) as i64)?
         .with_window_nm(args.usize("window", 1200) as i64)?
         .with_threshold(args.f64("threshold", 0.5) as f32)?;
+    if let Some(path) = args.get("cascade") {
+        config = config.with_cascade(CascadePrefilter::from_bytes(&fs::read(path)?)?);
+    }
     let report = detector.scan(layout, &config)?;
     if let Some(path) = args.get("report") {
         fs::write(path, report.to_json())?;
     }
-    Ok(format!(
+    let mut out = format!(
         "scanned {}×{} nm layout at stride {} nm: {} windows ({}×{}), {} flagged in {} region(s)\n\
          block-DCT cache: {:.1}% hit rate ({} transformed, {} reused); {:.0} windows/s\n\
          {} thread(s): prepare {:.3} s, scan {:.3} s, merge {:.3} s\n",
@@ -407,7 +443,17 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
         report.prepare_s,
         report.scan_s,
         report.merge_s
-    ))
+    );
+    if let Some(stats) = &report.cascade {
+        out.push_str(&format!(
+            "cascade: {} cleared, {} forwarded to CNN ({:.2} CNN evals/window, margin > {:.4})\n",
+            stats.cleared,
+            stats.forwarded,
+            report.cnn_evals_per_window(),
+            stats.margin_threshold
+        ));
+    }
+    Ok(out)
 }
 
 /// Usage text printed for `--help`/bad invocations.
@@ -419,11 +465,13 @@ USAGE:
   hotspot label   --clips FILE
   hotspot train   --clips FILE --labels FILE --model OUT [--k 16] [--steps 800] [--rounds 2]
                   [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
+                  [--cascade OUT] [--cascade-fnr 0.0] [--cascade-rounds 64]
+                  [--cascade-grid 12] [--cascade-holdout 0.25]
   hotspot predict --clips FILE --model FILE [--threshold 0.5]
   hotspot eval    --clips FILE --labels FILE --model FILE
   hotspot genlayout --out FILE [--tiles 4 | --tiles-x X --tiles-y Y] [--seed 7]
   hotspot scan    --layout FILE --model FILE [--stride 600] [--window 1200]
-                  [--threshold 0.5] [--threads N] [--report FILE]
+                  [--threshold 0.5] [--threads N] [--cascade FILE] [--report FILE]
 
 Clip files use the text format of hotspot-geometry (clip/rect/end records);
 label files carry one 0/1 per clip line.
@@ -432,6 +480,12 @@ Scanning slides the detector window over a full layout (see genlayout),
 reusing per-block DCT coefficients between overlapping windows whenever the
 stride is a multiple of the block size, and merges flagged windows into
 hotspot regions; --report writes the JSON scan report.
+
+Training with --cascade OUT also fits an AdaBoost prefilter on raw density
+features, calibrates its margin threshold on a held-out split to the
+--cascade-fnr false-negative target, and writes it to OUT; hotspot scan
+--cascade FILE then sends only prefilter-flagged windows to the CNN
+(cleared windows record the margin and score 0).
 
 Training with --checkpoint-every N writes a crash-safe checkpoint (default
 <model>.ckpt) every N steps and keeps the best-validation model at

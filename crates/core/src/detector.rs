@@ -1,6 +1,7 @@
 //! End-to-end detector API.
 
 use crate::biased::{self, BiasedLearningConfig, BiasedLearningReport, CheckpointEvent};
+use crate::cascade::{CascadeConfig, CascadePrefilter};
 use crate::checkpoint::Checkpoint;
 use crate::feature::FeaturePipeline;
 use crate::metrics::EvalResult;
@@ -125,6 +126,44 @@ impl HotspotDetector {
             report,
             parallelism: config.parallelism,
         })
+    }
+
+    /// [`HotspotDetector::fit`] plus a calibrated cascade prefilter
+    /// trained on the *same* dataset: the CNN learns the paper's biased
+    /// procedure, and the prefilter's AdaBoost-over-density stage is
+    /// calibrated to `cascade.target_fnr` on a deterministic held-out
+    /// split (see [`CascadePrefilter::train`]). Feed the prefilter to
+    /// [`crate::ScanConfig::with_cascade`] for two-stage scanning.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`HotspotDetector::fit`] rejects, plus
+    /// [`CoreError::Prefilter`] /
+    /// [`CoreError::InvalidConfig`] for cascade training and calibration
+    /// failures.
+    pub fn fit_with_cascade(
+        train: &Dataset,
+        config: &DetectorConfig,
+        cascade: &CascadeConfig,
+    ) -> Result<(Self, CascadePrefilter), CoreError> {
+        let detector = Self::fit(train, config)?;
+        let prefilter = detector.train_prefilter(train, cascade)?;
+        Ok((detector, prefilter))
+    }
+
+    /// Trains and calibrates a cascade prefilter against this detector's
+    /// raster resolution (so scan-time density crops reproduce the
+    /// training-time vectors bit-for-bit).
+    ///
+    /// # Errors
+    ///
+    /// See [`CascadePrefilter::train`].
+    pub fn train_prefilter(
+        &self,
+        train: &Dataset,
+        cascade: &CascadeConfig,
+    ) -> Result<CascadePrefilter, CoreError> {
+        CascadePrefilter::train(train, self.pipeline.resolution_nm(), cascade)
     }
 
     /// Wraps an already-trained network (e.g. restored from a model file)

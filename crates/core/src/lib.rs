@@ -41,6 +41,7 @@
 
 pub mod biased;
 pub mod calibration;
+pub mod cascade;
 pub mod checkpoint;
 pub mod detector;
 pub mod feature;
@@ -54,6 +55,7 @@ pub mod scan;
 pub mod shift;
 
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
+pub use cascade::{CascadeConfig, CascadePrefilter};
 pub use checkpoint::Checkpoint;
 pub use detector::{DetectorConfig, HotspotDetector};
 pub use feature::FeaturePipeline;
@@ -61,7 +63,9 @@ pub use metrics::EvalResult;
 pub use mgd::{MgdConfig, TrainReport};
 pub use model::CnnConfig;
 pub use parallelism::Parallelism;
-pub use scan::{CacheStats, HotspotRegion, ScanConfig, ScanReport, WindowScore};
+pub use scan::{
+    CacheStats, CascadeScanStats, HotspotRegion, ScanConfig, ScanReport, ScanStage, WindowScore,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -78,6 +82,10 @@ pub enum CoreError {
     /// A training checkpoint could not be encoded, decoded, written, or
     /// applied (corrupt file, mismatched run configuration, I/O failure).
     Checkpoint(String),
+    /// The cascade prefilter could not be trained, calibrated, decoded,
+    /// or applied (degenerate calibration split, corrupt model file,
+    /// density grid inconsistent with the scan window).
+    Prefilter(String),
 }
 
 impl fmt::Display for CoreError {
@@ -87,6 +95,7 @@ impl fmt::Display for CoreError {
             CoreError::DegenerateTrainingSet(why) => write!(f, "degenerate training set: {why}"),
             CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            CoreError::Prefilter(why) => write!(f, "cascade prefilter error: {why}"),
         }
     }
 }
@@ -103,5 +112,17 @@ impl Error for CoreError {
 impl From<hotspot_dct::DctError> for CoreError {
     fn from(e: hotspot_dct::DctError) -> Self {
         CoreError::Feature(e)
+    }
+}
+
+impl From<hotspot_features::FeatureError> for CoreError {
+    fn from(e: hotspot_features::FeatureError) -> Self {
+        CoreError::Prefilter(e.to_string())
+    }
+}
+
+impl From<hotspot_baselines::BaselineError> for CoreError {
+    fn from(e: hotspot_baselines::BaselineError) -> Self {
+        CoreError::Prefilter(e.to_string())
     }
 }

@@ -35,16 +35,29 @@
 //! per window, regions merge globally after all bands join, and cache
 //! statistics are reconstructed to match a single shared cache exactly.
 //!
+//! Optionally the scan runs as a **two-stage cascade**
+//! ([`ScanConfig::with_cascade`]): a calibrated density/AdaBoost
+//! prefilter ([`CascadePrefilter`]) scores every window's raster crop
+//! first, and only windows whose signed margin clears the calibrated
+//! threshold are forwarded to the CNN. Cleared windows record their
+//! margin, score `0.0` and `hotspot: false`; forwarded windows are
+//! compacted into full scoring blocks and their CNN scores are
+//! bit-identical to the non-cascade scan (batched scoring is
+//! composition-independent, so compaction never changes a score).
+//!
 //! Flagged windows are merged into hotspot *regions* by
 //! connected-component clustering: two positive windows belong to the same
 //! region when their windows overlap. A [`ScanReport`] carries the
-//! per-window scores, the merged regions, cache statistics, the resolved
+//! per-window scores (with the stage that decided each window), the
+//! merged regions, cache statistics, CNN-evaluation counts, the resolved
 //! thread count, per-phase wall times and throughput, and serialises
 //! itself to JSON for downstream tooling.
 
+use crate::cascade::{prefilter_features, CascadePrefilter};
 use crate::detector::HotspotDetector;
 use crate::CoreError;
 use hotspot_dct::BlockDctPlan;
+use hotspot_features::density_feature;
 use hotspot_geometry::{raster, Clip, Grid, Point, Rect};
 use hotspot_nn::engine::{ShapePlan, Workspace};
 use hotspot_nn::{loss, Network};
@@ -76,6 +89,7 @@ pub struct ScanConfig {
     window_nm: i64,
     threshold: f32,
     score_block: Option<usize>,
+    cascade: Option<CascadePrefilter>,
 }
 
 impl ScanConfig {
@@ -94,6 +108,7 @@ impl ScanConfig {
             window_nm: 1200,
             threshold: 0.5,
             score_block: None,
+            cascade: None,
         })
     }
 
@@ -139,6 +154,30 @@ impl ScanConfig {
         }
         self.score_block = Some(block);
         Ok(self)
+    }
+
+    /// Enables two-stage cascade scanning: every window is margin-scored
+    /// by `prefilter` first, and only passing windows reach the CNN.
+    /// Cleared windows keep score `0.0` and record their margin. The
+    /// prefilter's density grid must divide the scan window in pixels
+    /// (checked by [`HotspotDetector::scan`], which knows the raster
+    /// resolution).
+    #[must_use]
+    pub fn with_cascade(mut self, prefilter: CascadePrefilter) -> Self {
+        self.cascade = Some(prefilter);
+        self
+    }
+
+    /// Removes a previously configured cascade prefilter.
+    #[must_use]
+    pub fn without_cascade(mut self) -> Self {
+        self.cascade = None;
+        self
+    }
+
+    /// The configured cascade prefilter, if any.
+    pub fn cascade(&self) -> Option<&CascadePrefilter> {
+        self.cascade.as_ref()
     }
 
     /// Step between window positions, nm.
@@ -194,6 +233,25 @@ impl CacheStats {
     }
 }
 
+/// Which cascade stage produced a window's final decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStage {
+    /// The prefilter cleared the window; the CNN never saw it.
+    Prefilter,
+    /// The CNN scored the window (always the case without a cascade).
+    Cnn,
+}
+
+impl ScanStage {
+    /// Stable lower-case name used in the JSON report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScanStage::Prefilter => "prefilter",
+            ScanStage::Cnn => "cnn",
+        }
+    }
+}
+
 /// One scored window position (layout-frame nm coordinates of the window's
 /// low corner).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,10 +260,17 @@ pub struct WindowScore {
     pub x_nm: i64,
     /// Window low-corner y, nm.
     pub y_nm: i64,
-    /// Predicted hotspot probability.
+    /// Predicted hotspot probability (`0.0` for prefilter-cleared
+    /// windows, which the CNN never scored).
     pub score: f32,
-    /// Whether the score exceeded the scan threshold.
+    /// Whether the score exceeded the scan threshold (always `false` for
+    /// prefilter-cleared windows).
     pub hotspot: bool,
+    /// The prefilter's signed ensemble margin (`None` when the scan ran
+    /// without a cascade; cascade scans record it for every window).
+    pub margin: Option<f32>,
+    /// The stage whose decision this window carries.
+    pub stage: ScanStage,
 }
 
 /// A cluster of overlapping flagged windows.
@@ -225,6 +290,17 @@ pub struct HotspotRegion {
     pub peak_score: f32,
     /// Mean window score in the region.
     pub mean_score: f32,
+}
+
+/// Cascade accounting for one scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeScanStats {
+    /// The calibrated margin threshold the prefilter applied.
+    pub margin_threshold: f32,
+    /// Windows the prefilter cleared (CNN never evaluated them).
+    pub cleared: usize,
+    /// Windows forwarded to (and scored by) the CNN.
+    pub forwarded: usize,
 }
 
 /// Everything a full-layout scan produced.
@@ -251,6 +327,11 @@ pub struct ScanReport {
     pub regions: Vec<HotspotRegion>,
     /// Block-DCT cache accounting.
     pub cache: CacheStats,
+    /// Windows the CNN actually evaluated (equal to `windows.len()`
+    /// without a cascade).
+    pub cnn_evals: usize,
+    /// Cascade accounting (`None` when the scan ran without a cascade).
+    pub cascade: Option<CascadeScanStats>,
     /// Worker threads the tiled scan resolved to (bands actually used).
     pub threads: usize,
     /// Wall time of the serial prefix (validation, geometry, execution
@@ -280,6 +361,16 @@ impl ScanReport {
         }
     }
 
+    /// CNN forward passes per scanned window — 1.0 without a cascade,
+    /// lower when the prefilter cleared windows (0 for an empty scan).
+    pub fn cnn_evals_per_window(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.cnn_evals as f64 / self.windows.len() as f64
+        }
+    }
+
     /// Serialises the report as a JSON object (hand-rendered; the schema
     /// is validated by the CI scan smoke job).
     pub fn to_json(&self) -> String {
@@ -300,11 +391,22 @@ impl ScanReport {
             self.cache.hit_rate()
         ));
         s.push_str(&format!(
-            "  \"throughput\": {{\"windows\": {}, \"elapsed_s\": {:.6}, \"windows_per_sec\": {:.3}}},\n",
+            "  \"throughput\": {{\"windows\": {}, \"elapsed_s\": {:.6}, \"windows_per_sec\": {:.3}, \"cnn_evals\": {}, \"cnn_evals_per_window\": {:.6}}},\n",
             self.windows.len(),
             self.elapsed_s,
-            self.windows_per_sec()
+            self.windows_per_sec(),
+            self.cnn_evals,
+            self.cnn_evals_per_window()
         ));
+        match &self.cascade {
+            Some(c) => s.push_str(&format!(
+                "  \"cascade\": {{\"enabled\": true, \"margin_threshold\": {}, \"cleared\": {}, \"forwarded\": {}}},\n",
+                json_f32(c.margin_threshold),
+                c.cleared,
+                c.forwarded
+            )),
+            None => s.push_str("  \"cascade\": {\"enabled\": false},\n"),
+        }
         s.push_str(&format!(
             "  \"execution\": {{\"threads\": {}, \"prepare_s\": {:.6}, \"scan_s\": {:.6}, \"merge_s\": {:.6}}},\n",
             self.threads, self.prepare_s, self.scan_s, self.merge_s
@@ -330,13 +432,32 @@ impl ScanReport {
             } else {
                 ""
             };
+            let margin = match w.margin {
+                Some(m) => json_f32(m),
+                None => "null".into(),
+            };
             s.push_str(&format!(
-                "    {{\"x_nm\": {}, \"y_nm\": {}, \"score\": {:.6}, \"hotspot\": {}}}{sep}\n",
-                w.x_nm, w.y_nm, w.score, w.hotspot
+                "    {{\"x_nm\": {}, \"y_nm\": {}, \"score\": {:.6}, \"hotspot\": {}, \"stage\": \"{}\", \"margin\": {margin}}}{sep}\n",
+                w.x_nm,
+                w.y_nm,
+                w.score,
+                w.hotspot,
+                w.stage.as_str()
             ));
         }
         s.push_str("  ]\n}\n");
         s
+    }
+}
+
+/// Renders an `f32` as a JSON number, mapping non-finite values (e.g. a
+/// forced all-pass `-∞` margin threshold) to `null` — JSON has no
+/// infinity literal.
+fn json_f32(v: f32) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
     }
 }
 
@@ -446,12 +567,33 @@ fn band_ranges(rows: usize, bands: usize) -> Vec<(usize, usize)> {
 /// have reported.
 type BandOutcome = Result<(CacheStats, HashMap<(usize, usize), Vec<f32>>), CoreError>;
 
+/// One window's result cell in the band score grid: the CNN probability
+/// (0 when the window never reached the CNN), the prefilter margin (NaN
+/// without a cascade) and whether the CNN evaluated the window.
+#[derive(Debug, Clone, Copy)]
+struct BandCell {
+    score: f32,
+    margin: f32,
+    cnn: bool,
+}
+
+impl Default for BandCell {
+    fn default() -> Self {
+        BandCell {
+            score: 0.0,
+            margin: f32::NAN,
+            cnn: false,
+        }
+    }
+}
+
 /// Everything a band worker needs, bundled so the crossbeam closure moves
 /// one value.
 struct BandArgs<'a> {
     normalized: &'a Clip,
     resolution_nm: u32,
     window_nm: i64,
+    window_px: usize,
     xs: &'a [i64],
     /// This band's window rows (a contiguous slice of the scan's `ys`).
     ys: &'a [i64],
@@ -463,6 +605,7 @@ struct BandArgs<'a> {
     block: usize,
     block_plan: &'a ShapePlan,
     out_len: usize,
+    cascade: Option<&'a CascadePrefilter>,
 }
 
 /// Scans one horizontal band of window rows.
@@ -474,9 +617,16 @@ struct BandArgs<'a> {
 /// [`Workspace`] — so peak memory is bounded by `threads × (strip raster +
 /// one score block of features)` rather than the whole scan.
 ///
+/// With a cascade configured, a prefilter pass runs first: every window's
+/// raster crop is reduced to a density vector and margin-scored, and only
+/// passing windows survive to the CNN pass, **compacted** into full
+/// scoring blocks (batched CNN scoring is composition-independent, so
+/// compaction never changes a surviving window's bits). Without a cascade
+/// every window survives, reproducing the single-stage scan exactly.
+///
 /// Returns the band's raw cache accounting plus its cache so the caller
 /// can reconstruct exactly the stats a single shared cache would report.
-fn scan_band(args: &BandArgs<'_>, scores: &mut [f32]) -> BandOutcome {
+fn scan_band(args: &BandArgs<'_>, cells: &mut [BandCell]) -> BandOutcome {
     let res = i64::from(args.resolution_nm);
     let y_lo = args.ys[0];
     let y_hi = args.ys[args.ys.len() - 1] + args.window_nm;
@@ -499,20 +649,58 @@ fn scan_band(args: &BandArgs<'_>, scores: &mut [f32]) -> BandOutcome {
     let strip_raster = raster::rasterize_clip(&strip, args.resolution_nm);
     let y0_px = (y_lo / res) as usize;
 
+    let cols = args.xs.len();
+    let band_total = cols * args.ys.len();
+    debug_assert_eq!(cells.len(), band_total, "band cell slice length");
+
+    // Stage 1 — prefilter pass. Each window's margin comes from the
+    // density vector of its raster crop, which equals the raster of the
+    // extracted window clip bit-for-bit, so margins match training-time
+    // extraction and are independent of the banding. Survivor indices are
+    // collected in scan order.
+    let survivors: Vec<usize> = match args.cascade {
+        None => {
+            for cell in cells.iter_mut() {
+                cell.cnn = true;
+            }
+            (0..band_total).collect()
+        }
+        Some(prefilter) => {
+            let grid = prefilter.grid_dim();
+            let mut alive = Vec::with_capacity(band_total);
+            for (idx, cell) in cells.iter_mut().enumerate() {
+                let y = args.ys[idx / cols];
+                let x = args.xs[idx % cols];
+                let crop = strip_raster.window(
+                    (x / res) as usize,
+                    (y / res) as usize - y0_px,
+                    args.window_px,
+                    args.window_px,
+                );
+                let features = prefilter_features(density_feature(&crop, grid)?);
+                let margin = prefilter.try_margin(&features)?;
+                cell.margin = margin;
+                if prefilter.passes(margin) {
+                    cell.cnn = true;
+                    alive.push(idx);
+                }
+            }
+            alive
+        }
+    };
+
+    // Stage 2 — CNN pass over the survivors, compacted into full scoring
+    // blocks (only the final block is ragged, exactly as before).
     let mut cache: HashMap<(usize, usize), Vec<f32>> = HashMap::new();
     let mut stats = CacheStats::default();
     let mut ws = Workspace::new();
     let mut soft = vec![0.0f32; args.out_len];
     let mut tail_plan: Option<ShapePlan> = None;
     let mut feats = vec![0.0f32; args.block * args.feat_len];
-    let cols = args.xs.len();
-    let band_total = cols * args.ys.len();
-    debug_assert_eq!(scores.len(), band_total, "band score slice length");
     let mut done = 0usize;
-    while done < band_total {
-        let b = args.block.min(band_total - done);
-        for w in 0..b {
-            let idx = done + w;
+    while done < survivors.len() {
+        let b = args.block.min(survivors.len() - done);
+        for (w, &idx) in survivors[done..done + b].iter().enumerate() {
             let y = args.ys[idx / cols];
             let x = args.xs[idx % cols];
             window_feature_into(
@@ -535,12 +723,9 @@ fn scan_band(args: &BandArgs<'_>, scores: &mut [f32]) -> BandOutcome {
         let logits = args
             .net
             .forward_batch_with(plan, &mut ws, &feats[..b * args.feat_len]);
-        for (logit, si) in logits
-            .chunks_exact(args.out_len)
-            .zip(scores[done..done + b].iter_mut())
-        {
+        for (logit, &idx) in logits.chunks_exact(args.out_len).zip(&survivors[done..done + b]) {
             loss::softmax_into(logit, &mut soft);
-            *si = soft[1];
+            cells[idx].score = soft[1];
         }
         done += b;
     }
@@ -635,13 +820,21 @@ impl HotspotDetector {
     /// join, and cache stats are reconstructed to exactly the accounting
     /// a single shared cache would report.
     ///
+    /// With a cascade configured ([`ScanConfig::with_cascade`]) the scan
+    /// runs two stages: the prefilter margin-scores every window's raster
+    /// crop, cleared windows record their margin with score `0.0` and
+    /// `hotspot: false`, and only survivors are CNN-scored — with bits
+    /// identical to the non-cascade scan for every window the CNN sees,
+    /// at every thread count.
+    ///
     /// # Errors
     ///
     /// [`CoreError::InvalidConfig`] when the scan geometry is inconsistent
     /// with the feature pipeline: stride, window and layout extents must
     /// be multiples of the raster resolution, the window must divide into
     /// the pipeline's block grid, and the layout must be at least one
-    /// window in each axis.
+    /// window in each axis. [`CoreError::Prefilter`] when a configured
+    /// cascade prefilter's density grid does not divide the scan window.
     pub fn scan(&self, layout: &Clip, config: &ScanConfig) -> Result<ScanReport, CoreError> {
         let start = Instant::now();
         let pipeline = self.pipeline();
@@ -669,6 +862,19 @@ impl HotspotDetector {
             return Err(CoreError::InvalidConfig(
                 "scan window does not divide into the pipeline block grid",
             ));
+        }
+        if let Some(prefilter) = config.cascade() {
+            // Checked here — not deep inside the band workers — so an
+            // incompatible prefilter surfaces before any scanning as a
+            // precise geometry error instead of a per-window feature
+            // failure.
+            let g = prefilter.grid_dim();
+            if !window_px.is_multiple_of(g) {
+                return Err(CoreError::Prefilter(format!(
+                    "scan window of {window_px} px cannot be divided into the prefilter's \
+                     {g}x{g} density grid"
+                )));
+            }
         }
         if width_nm < config.window_nm || height_nm < config.window_nm {
             return Err(CoreError::InvalidConfig(
@@ -704,11 +910,12 @@ impl HotspotDetector {
         // row-major score grid, so results are independent of the band
         // count (the per-window arithmetic never sees the banding).
         let scan_t = Instant::now();
-        let mut scores = vec![0.0f32; total];
+        let mut cells = vec![BandCell::default(); total];
         let band_args = |rows: &std::ops::Range<usize>| BandArgs {
             normalized: &normalized,
             resolution_nm: pipeline.resolution_nm(),
             window_nm: config.window_nm,
+            window_px,
             xs: &xs,
             ys: &ys[rows.clone()],
             plan: &plan,
@@ -719,12 +926,13 @@ impl HotspotDetector {
             block,
             block_plan: &block_plan,
             out_len,
+            cascade: config.cascade(),
         };
         let outcomes: Vec<BandOutcome> = if threads == 1 {
-            vec![scan_band(&band_args(&(0..ys.len())), &mut scores)]
+            vec![scan_band(&band_args(&(0..ys.len())), &mut cells)]
         } else {
-            let mut slices: Vec<&mut [f32]> = Vec::with_capacity(threads);
-            let mut rest: &mut [f32] = &mut scores;
+            let mut slices: Vec<&mut [BandCell]> = Vec::with_capacity(threads);
+            let mut rest: &mut [BandCell] = &mut cells;
             for &(r0, r1) in &bands {
                 let (head, tail) = rest.split_at_mut((r1 - r0) * xs.len());
                 slices.push(head);
@@ -773,20 +981,34 @@ impl HotspotDetector {
 
         let merge_t = Instant::now();
         let lo = layout.window().lo();
+        let cascaded = config.cascade().is_some();
         let mut windows = Vec::with_capacity(total);
+        let mut cnn_evals = 0usize;
         let mut idx = 0;
         for &y in &ys {
             for &x in &xs {
-                let score = scores[idx];
+                let cell = cells[idx];
+                cnn_evals += usize::from(cell.cnn);
                 windows.push(WindowScore {
                     x_nm: lo.x + x,
                     y_nm: lo.y + y,
-                    score,
-                    hotspot: score > config.threshold,
+                    score: cell.score,
+                    hotspot: cell.cnn && cell.score > config.threshold,
+                    margin: cascaded.then_some(cell.margin),
+                    stage: if cell.cnn {
+                        ScanStage::Cnn
+                    } else {
+                        ScanStage::Prefilter
+                    },
                 });
                 idx += 1;
             }
         }
+        let cascade_stats = config.cascade().map(|p| CascadeScanStats {
+            margin_threshold: p.margin_threshold(),
+            cleared: total - cnn_evals,
+            forwarded: cnn_evals,
+        });
         let regions = merge_regions(&windows, config.window_nm);
         let merge_s = merge_t.elapsed().as_secs_f64();
         Ok(ScanReport {
@@ -800,6 +1022,8 @@ impl HotspotDetector {
             windows,
             regions,
             cache: stats,
+            cnn_evals,
+            cascade: cascade_stats,
             threads,
             prepare_s,
             scan_s,
@@ -938,6 +1162,8 @@ mod tests {
             y_nm,
             score,
             hotspot: score > 0.5,
+            margin: None,
+            stage: ScanStage::Cnn,
         };
         // Two overlapping positives, one isolated positive, one negative.
         let windows = vec![
@@ -1022,6 +1248,8 @@ mod tests {
             y_nm,
             score: 0.9,
             hotspot: true,
+            margin: None,
+            stage: ScanStage::Cnn,
         };
         let corner = vec![w(0, 0), w(400, 400)];
         let regions = merge_regions(&corner, 400);
@@ -1105,6 +1333,152 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(report.threads >= 1);
+    }
+
+    /// A hand-built single-stump prefilter on the tiny detector's 40 px
+    /// window: density grid 4 (16 features), margin ±1 from whether the
+    /// window's top-left block density exceeds `stump_threshold`, decided
+    /// at `margin_threshold`.
+    fn tiny_prefilter(margin_threshold: f32, stump_threshold: f32) -> CascadePrefilter {
+        use hotspot_baselines::{AdaBoost, CalibratedAdaBoost, DecisionStump};
+        let stump = DecisionStump {
+            feature: 0,
+            threshold: stump_threshold,
+            polarity: 1.0,
+        };
+        let model = AdaBoost::from_parts(vec![(1.0, stump)], 17).expect("valid stump");
+        CascadePrefilter::new(
+            CalibratedAdaBoost::new(model, margin_threshold, 0.0, 0.0),
+            4,
+        )
+        .expect("grid matches feature length")
+    }
+
+    #[test]
+    fn cascade_rejects_indivisible_prefilter_grid() {
+        use hotspot_baselines::{AdaBoost, CalibratedAdaBoost, DecisionStump};
+        let stump = DecisionStump {
+            feature: 0,
+            threshold: 0.5,
+            polarity: 1.0,
+        };
+        let model = AdaBoost::from_parts(vec![(1.0, stump)], 50).unwrap();
+        // Grid 7 does not divide the 40 px scan window: the error must
+        // surface at scan time, before any band work, naming the grid.
+        let prefilter =
+            CascadePrefilter::new(CalibratedAdaBoost::new(model, 0.0, 0.0, 0.0), 7).unwrap();
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(1, 1, 3).build();
+        match detector.scan(&layout, &tiny_config(200).with_cascade(prefilter)) {
+            Err(CoreError::Prefilter(why)) => {
+                assert!(why.contains("7x7 density grid"), "{why}");
+            }
+            other => panic!("expected Prefilter error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_pass_cascade_matches_plain_scan_exactly() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(2, 2, 7).build();
+        for stride in [200, 150] {
+            let plain = detector.scan(&layout, &tiny_config(stride)).unwrap();
+            let cascade_cfg =
+                tiny_config(stride).with_cascade(tiny_prefilter(f32::NEG_INFINITY, 0.5));
+            let cascaded = detector.scan(&layout, &cascade_cfg).unwrap();
+            // Every window passes the forced all-pass prefilter, so the
+            // CNN work — scores, flags, regions, cache accounting — is
+            // exactly the plain scan's.
+            assert_eq!(cascaded.cache, plain.cache, "stride {stride}");
+            assert_eq!(cascaded.cnn_evals, plain.windows.len());
+            assert_eq!(cascaded.regions, plain.regions);
+            let stats = cascaded.cascade.expect("cascade stats present");
+            assert_eq!((stats.cleared, stats.forwarded), (0, plain.windows.len()));
+            assert!(plain.cascade.is_none());
+            assert_eq!(plain.cnn_evals, plain.windows.len());
+            for (c, p) in cascaded.windows.iter().zip(plain.windows.iter()) {
+                assert_eq!((c.x_nm, c.y_nm), (p.x_nm, p.y_nm));
+                assert_eq!(c.score.to_bits(), p.score.to_bits());
+                assert_eq!(c.hotspot, p.hotspot);
+                assert_eq!(c.stage, ScanStage::Cnn);
+                assert!(c.margin.is_some());
+                assert_eq!(p.stage, ScanStage::Cnn);
+                assert_eq!(p.margin, None);
+            }
+        }
+    }
+
+    #[test]
+    fn none_pass_cascade_clears_every_window() {
+        let detector = tiny_detector();
+        let layout = LayoutSpec::uniform(2, 1, 7).build();
+        let config = tiny_config(200)
+            .with_threshold(0.0)
+            .unwrap()
+            .with_cascade(tiny_prefilter(f32::INFINITY, 0.5));
+        let report = detector.scan(&layout, &config).unwrap();
+        assert_eq!(report.cnn_evals, 0);
+        assert_eq!(report.cnn_evals_per_window(), 0.0);
+        assert_eq!(report.positives(), 0);
+        assert!(report.regions.is_empty());
+        let stats = report.cascade.unwrap();
+        assert_eq!(stats.cleared, report.windows.len());
+        assert_eq!(stats.forwarded, 0);
+        for w in &report.windows {
+            assert_eq!(w.stage, ScanStage::Prefilter);
+            assert_eq!(w.score, 0.0);
+            assert!(!w.hotspot);
+            assert!(!w.margin.unwrap().is_nan());
+        }
+        // No CNN ran, so the block-DCT cache was never touched.
+        assert_eq!(report.cache.lookups(), 0);
+        // The JSON renders the non-finite forced threshold as null.
+        let json = report.to_json();
+        assert!(json.contains("\"enabled\": true"));
+        assert!(json.contains("\"margin_threshold\": null"));
+        assert!(json.contains("\"stage\": \"prefilter\""));
+    }
+
+    #[test]
+    fn cascade_survivors_score_bit_identical_at_every_thread_count() {
+        use crate::Parallelism;
+        let layout = LayoutSpec::uniform(2, 2, 29).build();
+        let mut detector = tiny_detector();
+        detector.set_parallelism(Parallelism::serial());
+        let stride = 200;
+        let plain = detector.scan(&layout, &tiny_config(stride)).unwrap();
+        // A data-dependent stump threshold splits the windows: some
+        // cleared, some forwarded (0.5 ≈ a typical mid density).
+        let config = tiny_config(stride).with_cascade(tiny_prefilter(0.0, 0.5));
+        let serial = detector.scan(&layout, &config).unwrap();
+        let stats = serial.cascade.unwrap();
+        assert_eq!(stats.cleared + stats.forwarded, serial.windows.len());
+        assert_eq!(serial.cnn_evals, stats.forwarded);
+        for (c, p) in serial.windows.iter().zip(plain.windows.iter()) {
+            match c.stage {
+                // The pin: every CNN-scored window is bit-identical to
+                // the full scan.
+                ScanStage::Cnn => assert_eq!(c.score.to_bits(), p.score.to_bits()),
+                ScanStage::Prefilter => {
+                    assert_eq!(c.score, 0.0);
+                    assert!(!c.hotspot);
+                }
+            }
+        }
+        // Cascade decisions and scores are thread-count invariant.
+        for workers in [2usize, 3, 7] {
+            detector.set_parallelism(Parallelism::fixed(workers).unwrap());
+            let tiled = detector.scan(&layout, &config).unwrap();
+            assert_eq!(tiled.cnn_evals, serial.cnn_evals, "workers {workers}");
+            assert_eq!(tiled.cascade, serial.cascade);
+            assert_eq!(tiled.cache, serial.cache);
+            assert_eq!(tiled.regions, serial.regions);
+            for (a, b) in tiled.windows.iter().zip(serial.windows.iter()) {
+                assert_eq!(a.stage, b.stage);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.margin.unwrap().to_bits(), b.margin.unwrap().to_bits());
+            }
+        }
     }
 
     #[test]

@@ -48,16 +48,74 @@ pub fn density_feature(image: &Grid<f32>, grid_dim: usize) -> Result<Vec<f32>, F
             grid_dim,
         });
     }
-    let block = image.width() / grid_dim;
-    let norm = 1.0 / (block * block) as f32;
-    let mut out = Vec::with_capacity(grid_dim * grid_dim);
-    for j in 0..grid_dim {
-        for i in 0..grid_dim {
+    density_feature_grid(image, grid_dim, grid_dim)
+}
+
+/// [`density_feature`] generalised to rectangular images: divides the image
+/// into `grid_x × grid_y` blocks with independent divisors per axis and
+/// returns the per-block mean densities flattened row-major (length
+/// `grid_x * grid_y`).
+///
+/// Blocks are rectangles of `width / grid_x` by `height / grid_y` pixels,
+/// so a non-square image (e.g. a raster strip spanning several scan
+/// windows) no longer has to be cropped square before feature extraction.
+///
+/// # Errors
+///
+/// Returns [`FeatureError::ZeroParameter`] when either divisor is zero and
+/// [`FeatureError::BlockGridMismatch`] when `grid_x` does not divide the
+/// width or `grid_y` does not divide the height (including empty images).
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::Grid;
+///
+/// # fn main() -> Result<(), hotspot_features::FeatureError> {
+/// let mut img = Grid::filled(6, 4, 0.0f32);
+/// for y in 0..2 {
+///     for x in 0..6 {
+///         img[(x, y)] = 1.0; // top half covered
+///     }
+/// }
+/// let f = hotspot_features::density_feature_grid(&img, 3, 2)?;
+/// assert_eq!(f, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn density_feature_grid(
+    image: &Grid<f32>,
+    grid_x: usize,
+    grid_y: usize,
+) -> Result<Vec<f32>, FeatureError> {
+    if grid_x == 0 {
+        return Err(FeatureError::ZeroParameter("grid_x"));
+    }
+    if grid_y == 0 {
+        return Err(FeatureError::ZeroParameter("grid_y"));
+    }
+    if image.is_empty()
+        || !image.width().is_multiple_of(grid_x)
+        || !image.height().is_multiple_of(grid_y)
+    {
+        return Err(FeatureError::BlockGridMismatch {
+            width: image.width(),
+            height: image.height(),
+            grid_x,
+            grid_y,
+        });
+    }
+    let bw = image.width() / grid_x;
+    let bh = image.height() / grid_y;
+    let norm = 1.0 / (bw * bh) as f32;
+    let mut out = Vec::with_capacity(grid_x * grid_y);
+    for j in 0..grid_y {
+        for i in 0..grid_x {
             let mut acc = 0.0f32;
-            for y in 0..block {
-                let row = image.row(j * block + y);
-                for x in 0..block {
-                    acc += row[i * block + x];
+            for y in 0..bh {
+                let row = image.row(j * bh + y);
+                for x in 0..bw {
+                    acc += row[i * bw + x];
                 }
             }
             out.push(acc * norm);
@@ -112,6 +170,65 @@ mod tests {
         ));
         let rect = Grid::filled(10, 8, 0.0f32);
         assert!(density_feature(&rect, 2).is_err());
+    }
+
+    #[test]
+    fn rect_grid_matches_square_path() {
+        let img = Grid::from_vec(6, 6, (0..36).map(|v| v as f32 / 36.0).collect());
+        assert_eq!(
+            density_feature(&img, 3).unwrap(),
+            density_feature_grid(&img, 3, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn rect_grid_handles_rectangular_images() {
+        // A 6x4 strip with the left third covered.
+        let mut img = Grid::filled(6, 4, 0.0f32);
+        for y in 0..4 {
+            for x in 0..2 {
+                img[(x, y)] = 1.0;
+            }
+        }
+        let f = density_feature_grid(&img, 3, 2).unwrap();
+        assert_eq!(f, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        // Independent divisors: 1 block tall, 6 wide.
+        let f = density_feature_grid(&img, 6, 1).unwrap();
+        assert_eq!(f, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rect_grid_errors_are_precise() {
+        let img = Grid::filled(6, 4, 0.0f32);
+        assert!(matches!(
+            density_feature_grid(&img, 0, 2),
+            Err(FeatureError::ZeroParameter("grid_x"))
+        ));
+        assert!(matches!(
+            density_feature_grid(&img, 3, 0),
+            Err(FeatureError::ZeroParameter("grid_y"))
+        ));
+        // Failing case: divisor fits one axis but not the other.
+        assert_eq!(
+            density_feature_grid(&img, 4, 2),
+            Err(FeatureError::BlockGridMismatch {
+                width: 6,
+                height: 4,
+                grid_x: 4,
+                grid_y: 2
+            })
+        );
+        assert_eq!(
+            density_feature_grid(&img, 3, 3),
+            Err(FeatureError::BlockGridMismatch {
+                width: 6,
+                height: 4,
+                grid_x: 3,
+                grid_y: 3
+            })
+        );
+        let empty = Grid::filled(0, 0, 0.0f32);
+        assert!(density_feature_grid(&empty, 1, 1).is_err());
     }
 
     #[test]

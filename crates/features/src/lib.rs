@@ -20,7 +20,7 @@ pub mod density;
 pub mod kmeans;
 
 pub use ccs::{ccs_feature, CcsSpec};
-pub use density::density_feature;
+pub use density::{density_feature, density_feature_grid};
 pub use kmeans::{KMeans, KMeansConfig};
 
 use std::error::Error;
@@ -38,6 +38,17 @@ pub enum FeatureError {
         /// Requested grid dimension.
         grid_dim: usize,
     },
+    /// The requested rectangular block grid does not divide the image.
+    BlockGridMismatch {
+        /// Image width in pixels.
+        width: usize,
+        /// Image height in pixels.
+        height: usize,
+        /// Requested number of blocks along x.
+        grid_x: usize,
+        /// Requested number of blocks along y.
+        grid_y: usize,
+    },
     /// A spec parameter was zero.
     ZeroParameter(&'static str),
 }
@@ -52,6 +63,15 @@ impl fmt::Display for FeatureError {
             } => write!(
                 f,
                 "image {width}x{height} cannot be divided into a {grid_dim}x{grid_dim} grid"
+            ),
+            FeatureError::BlockGridMismatch {
+                width,
+                height,
+                grid_x,
+                grid_y,
+            } => write!(
+                f,
+                "image {width}x{height} cannot be divided into a {grid_x}x{grid_y} block grid"
             ),
             FeatureError::ZeroParameter(name) => write!(f, "feature parameter {name} is zero"),
         }

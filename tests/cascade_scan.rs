@@ -1,0 +1,241 @@
+//! Property tests for the two-stage cascade scan (AdaBoost-on-density
+//! prefilter in front of the CNN):
+//!
+//! - Every window the prefilter forwards to the CNN scores **bit-identical**
+//!   to the same window in a non-cascade scan; cleared windows carry score
+//!   0 and are never flagged.
+//! - A prefilter forced to pass everything (margin threshold `-∞`)
+//!   reproduces the non-cascade scan exactly — scores, flags, regions, and
+//!   block-DCT cache accounting.
+//! - Cascade decisions and scores are thread-count invariant.
+//! - A prefilter trained with `CascadePrefilter::train` meets its target
+//!   false-negative rate on the held-out calibration split.
+
+use hotspot_baselines::{AdaBoost, CalibratedAdaBoost, DecisionStump};
+use hotspot_core::cascade::{holdout_mask, prefilter_features};
+use hotspot_core::model::CnnConfig;
+use hotspot_core::{
+    CascadeConfig, CascadePrefilter, FeaturePipeline, HotspotDetector, Parallelism, ScanConfig,
+    ScanStage,
+};
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_features::density_feature;
+use hotspot_geometry::{raster, Clip, Point, Rect};
+use hotspot_litho::{LithoConfig, LithoSimulator};
+use proptest::prelude::*;
+
+const WINDOW_NM: i64 = 400; // 40×40 px at 10 nm/px
+
+fn tiny_detector() -> HotspotDetector {
+    let pipeline = FeaturePipeline::new(10, 4, 4).expect("valid pipeline");
+    let net = CnnConfig {
+        input_grid: 4,
+        input_channels: 4,
+        stage1_maps: 4,
+        stage2_maps: 4,
+        fc_width: 8,
+        dropout_pct: 50,
+        seed: 2017,
+    }
+    .build();
+    HotspotDetector::from_network(pipeline, net)
+}
+
+/// A single-stump prefilter on the window's top-left density block: the
+/// margin is ±1 around `stump_threshold`, decided at `margin_threshold`.
+/// Grid 4 divides the 40 px scan window.
+fn stump_prefilter(margin_threshold: f32, stump_threshold: f32) -> CascadePrefilter {
+    let stump = DecisionStump {
+        feature: 0,
+        threshold: stump_threshold,
+        polarity: 1.0,
+    };
+    let model = AdaBoost::from_parts(vec![(1.0, stump)], 17).expect("valid stump");
+    CascadePrefilter::new(
+        CalibratedAdaBoost::new(model, margin_threshold, 0.0, 0.0),
+        4,
+    )
+    .expect("grid matches feature length")
+}
+
+fn arb_layout() -> impl Strategy<Value = Clip> {
+    (50i64..=120, 50i64..=120)
+        .prop_flat_map(|(wt, ht)| {
+            let w = wt * 10;
+            let h = ht * 10;
+            let rects = proptest::collection::vec(
+                (0i64..w - 30, 0i64..h - 30, 15i64..300, 15i64..300),
+                1..24,
+            );
+            (Just(w), Just(h), rects)
+        })
+        .prop_map(|(w, h, rects)| {
+            let extent = Rect::new(0, 0, w, h).expect("positive extent");
+            let shapes = rects.into_iter().map(|(x, y, rw, rh)| {
+                Rect::from_size(Point::new(x, y), rw.min(w - x), rh.min(h - y))
+                    .expect("clamped rect is positive")
+            });
+            Clip::with_shapes(extent, shapes)
+        })
+}
+
+fn scan_config(stride_nm: i64) -> ScanConfig {
+    ScanConfig::new(stride_nm)
+        .expect("positive stride")
+        .with_window_nm(WINDOW_NM)
+        .expect("positive window")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cascade pin: CNN-scored windows are bit-identical to the full
+    /// scan, cleared windows score 0 and never flag, and the cascade never
+    /// flags a window the full scan would not.
+    #[test]
+    fn cnn_scored_windows_match_the_full_scan_bit_for_bit(
+        layout in arb_layout(),
+        stump_threshold in 0.05f32..0.95,
+    ) {
+        let detector = tiny_detector();
+        for stride in [200i64, 150] {
+            let plain = detector.scan(&layout, &scan_config(stride)).expect("scan runs");
+            let config = scan_config(stride)
+                .with_cascade(stump_prefilter(0.0, stump_threshold));
+            let cascaded = detector.scan(&layout, &config).expect("cascade scan runs");
+            prop_assert_eq!(cascaded.windows.len(), plain.windows.len());
+            let stats = cascaded.cascade.as_ref().expect("cascade stats");
+            prop_assert_eq!(stats.cleared + stats.forwarded, cascaded.windows.len());
+            prop_assert_eq!(cascaded.cnn_evals, stats.forwarded);
+            for (c, p) in cascaded.windows.iter().zip(plain.windows.iter()) {
+                prop_assert_eq!((c.x_nm, c.y_nm), (p.x_nm, p.y_nm));
+                match c.stage {
+                    ScanStage::Cnn => {
+                        prop_assert_eq!(
+                            c.score.to_bits(), p.score.to_bits(),
+                            "stride {}, window at ({}, {})", stride, c.x_nm, c.y_nm
+                        );
+                        prop_assert_eq!(c.hotspot, p.hotspot);
+                    }
+                    ScanStage::Prefilter => {
+                        prop_assert_eq!(c.score, 0.0);
+                        prop_assert!(!c.hotspot);
+                    }
+                }
+                prop_assert!(c.margin.is_some());
+            }
+        }
+    }
+
+    /// Forcing the prefilter to pass every window (threshold `-∞`) makes
+    /// the cascade scan indistinguishable from the plain scan.
+    #[test]
+    fn all_pass_prefilter_reproduces_the_full_scan(layout in arb_layout()) {
+        let detector = tiny_detector();
+        for stride in [200i64, 150] {
+            let plain = detector.scan(&layout, &scan_config(stride)).expect("scan runs");
+            let config = scan_config(stride)
+                .with_cascade(stump_prefilter(f32::NEG_INFINITY, 0.5));
+            let cascaded = detector.scan(&layout, &config).expect("cascade scan runs");
+            prop_assert_eq!(&cascaded.cache, &plain.cache);
+            prop_assert_eq!(&cascaded.regions, &plain.regions);
+            prop_assert_eq!(cascaded.cnn_evals, plain.windows.len());
+            for (c, p) in cascaded.windows.iter().zip(plain.windows.iter()) {
+                prop_assert_eq!(c.score.to_bits(), p.score.to_bits());
+                prop_assert_eq!(c.hotspot, p.hotspot);
+                prop_assert_eq!(c.stage, ScanStage::Cnn);
+            }
+        }
+    }
+
+    /// Sharding the cascade scan across worker bands is invisible: thread
+    /// counts 1, 2, and 4 produce identical reports — prefilter margins,
+    /// stage decisions, CNN scores, regions, and cache totals.
+    #[test]
+    fn cascade_scan_is_thread_count_invariant(
+        layout in arb_layout(),
+        stump_threshold in 0.05f32..0.95,
+    ) {
+        let mut detector = tiny_detector();
+        for stride in [200i64, 150] {
+            let config = scan_config(stride)
+                .with_threshold(0.0).expect("threshold in range")
+                .with_cascade(stump_prefilter(0.0, stump_threshold));
+            detector.set_parallelism(Parallelism::serial());
+            let serial = detector.scan(&layout, &config).expect("serial scan runs");
+            for workers in [2usize, 4] {
+                detector.set_parallelism(Parallelism::fixed(workers).expect("nonzero"));
+                let tiled = detector.scan(&layout, &config).expect("tiled scan runs");
+                prop_assert_eq!(&tiled.cascade, &serial.cascade, "workers {}", workers);
+                prop_assert_eq!(&tiled.cache, &serial.cache, "workers {}", workers);
+                prop_assert_eq!(&tiled.regions, &serial.regions, "workers {}", workers);
+                prop_assert_eq!(tiled.cnn_evals, serial.cnn_evals);
+                for (a, b) in tiled.windows.iter().zip(serial.windows.iter()) {
+                    prop_assert_eq!(a.stage, b.stage);
+                    prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    prop_assert_eq!(
+                        a.margin.expect("cascade margin").to_bits(),
+                        b.margin.expect("cascade margin").to_bits()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Calibration pin: training at target FNR 0 yields a threshold that
+/// forwards **every** held-out hotspot, and the recorded achieved FNR is
+/// exactly what re-scoring the holdout reproduces.
+#[test]
+fn trained_prefilter_meets_its_target_fnr_on_the_holdout() {
+    let sim = LithoSimulator::new(LithoConfig::default()).expect("litho config");
+    let data = SuiteSpec {
+        name: "cascade-calibration".into(),
+        train_hs: 30,
+        train_nhs: 50,
+        test_hs: 0,
+        test_nhs: 0,
+        mix: vec![
+            (hotspot_datagen::PatternKind::LineArray, 1.0),
+            (hotspot_datagen::PatternKind::LineTips, 1.0),
+        ],
+        seed: 97,
+    }
+    .build(&sim)
+    .train;
+
+    let config = CascadeConfig {
+        grid_dim: 4,
+        rounds: 16,
+        target_fnr: 0.0,
+        holdout_fraction: 0.25,
+    };
+    let resolution_nm = 10;
+    let prefilter =
+        CascadePrefilter::train(&data, resolution_nm, &config).expect("prefilter trains");
+    assert_eq!(prefilter.calibrated().target_fnr(), 0.0);
+    assert_eq!(prefilter.calibrated().achieved_fnr(), 0.0);
+
+    // Recompute the deterministic split and check the operating point on
+    // the same held-out samples the calibration saw.
+    let labels: Vec<bool> = data.iter().map(|s| s.hotspot).collect();
+    let mask = holdout_mask(&labels, config.holdout_fraction);
+    let mut held_hotspots = 0usize;
+    for (sample, &held) in data.iter().zip(mask.iter()) {
+        if !held || !sample.hotspot {
+            continue;
+        }
+        held_hotspots += 1;
+        let image = raster::rasterize_clip(&sample.clip.normalized(), resolution_nm);
+        let features =
+            prefilter_features(density_feature(&image, config.grid_dim).expect("density grid fits"));
+        let margin = prefilter
+            .try_margin(&features)
+            .expect("feature length matches");
+        assert!(
+            prefilter.passes(margin),
+            "held-out hotspot cleared by a prefilter calibrated to FNR 0"
+        );
+    }
+    assert!(held_hotspots > 0, "holdout split produced no hotspots");
+}
