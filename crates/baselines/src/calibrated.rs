@@ -166,8 +166,8 @@ impl CalibratedAdaBoost {
         let crc_at = text
             .rfind("crc ")
             .ok_or_else(|| BaselineError::ModelFormat("missing crc line".into()))?;
-        let declared = parse_hex_u32("crc", text[crc_at..].trim().split_whitespace().nth(1))?;
-        let actual = crc32(text[..crc_at].as_bytes());
+        let declared = parse_hex_u32("crc", text[crc_at..].split_whitespace().nth(1))?;
+        let actual = crc32(&text.as_bytes()[..crc_at]);
         if declared != actual {
             return Err(BaselineError::ModelFormat(format!(
                 "checksum mismatch: stored {declared:#010x}, computed {actual:#010x}"

@@ -67,7 +67,10 @@ impl fmt::Display for BaselineError {
                 )
             }
             BaselineError::LabelCountMismatch { samples, labels } => {
-                write!(f, "label count mismatch: {labels} labels for {samples} samples")
+                write!(
+                    f,
+                    "label count mismatch: {labels} labels for {samples} samples"
+                )
             }
             BaselineError::ModelFormat(why) => write!(f, "model format: {why}"),
         }

@@ -235,7 +235,9 @@ fn main() {
         let mut sparse_full = None;
         for _ in 0..reps.max(1) {
             let start = Instant::now();
-            let r = detector.scan(&sparse_layout, &scan_cfg).expect("layout scans");
+            let r = detector
+                .scan(&sparse_layout, &scan_cfg)
+                .expect("layout scans");
             best_sparse_full = best_sparse_full.min(start.elapsed().as_secs_f64());
             sparse_full = Some(r);
         }
@@ -251,7 +253,7 @@ fn main() {
             cascade_report = Some(r);
         }
         let cr = cascade_report.expect("at least one rep ran");
-        let cascade_stats = cr.cascade.clone().expect("cascade stats present");
+        let cascade_stats = cr.cascade.expect("cascade stats present");
         let survivors_identical = sparse_full
             .windows
             .iter()

@@ -1,0 +1,199 @@
+//! Serve-daemon benchmark: sustained predict throughput and latency
+//! percentiles of the micro-batching Unix-socket daemon under concurrent
+//! clients, plus a bit-identity cross-check against offline
+//! [`HotspotDetector::predict_batch`].
+//!
+//! An in-process daemon is bound to a temp socket and `--clients`
+//! threads stream `--requests` predict requests each over persistent
+//! connections (closed-loop: every thread waits for its reply before
+//! sending the next request, so the daemon is continuously saturated
+//! with exactly `--clients` outstanding requests and the micro-batcher
+//! has real coalescing opportunities). Latency is measured per request
+//! from send to reply; sustained req/s is total completed requests over
+//! the measurement wall time.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin serve -- \
+//!     --clients 4 --requests 25 --clips 2
+//! ```
+//!
+//! Writes `results/BENCH_serve.json` (override the directory with
+//! `--out`).
+
+use hotspot_bench::ExperimentArgs;
+use hotspot_core::api::{ClipSpec, PredictRequest, PredictResponse, Request};
+use hotspot_core::{CnnConfig, HotspotDetector, ModelFile};
+use hotspot_geometry::{Clip, Rect};
+use hotspot_nn::gemm::kernel_backend;
+use hotspot_nn::serialize::ParameterBlob;
+use hotspot_server::{client_roundtrip, ClientConn, ServeModel, Server, ServerConfig};
+use std::time::Instant;
+
+/// Deterministic 1200 nm clip content, varied per request.
+fn clip(variant: i64) -> Clip {
+    let mut c = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+    let pitch = 120 + 10 * (variant % 7);
+    let mut x = 40 + 7 * (variant % 5);
+    while x + 60 < 1200 {
+        c.push(Rect::new(x, 100 + (variant % 3) * 40, x + 60, 1100).unwrap());
+        x += pitch;
+    }
+    c.push(Rect::new(100, 560 + (variant % 4) * 20, 1100, 640).unwrap());
+    c
+}
+
+fn request_line(client: usize, seq: usize, clips_per_request: usize) -> String {
+    let clips: Vec<ClipSpec> = (0..clips_per_request)
+        .map(|c| ClipSpec::from_clip(&clip((client * 1000 + seq * 10 + c) as i64)))
+        .collect();
+    Request::Predict(PredictRequest {
+        id: format!("bench-{client}-{seq}"),
+        clips,
+        threshold: 0.5,
+    })
+    .render()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let out_dir = args.string("out", "results");
+    let clients = args.usize("clients", 4).max(1);
+    let requests = args.usize("requests", 25).max(1);
+    let clips_per_request = args.usize("clips", 2).max(1);
+    let queue = args.usize("queue", 64);
+    let k = args.usize("k", 8);
+
+    // The paper architecture at its serving geometry; seeded init —
+    // serving throughput does not depend on convergence.
+    let cnn = CnnConfig {
+        input_grid: 12,
+        input_channels: k,
+        ..CnnConfig::default()
+    };
+    let mut net = cnn.build();
+    let model_file = ModelFile {
+        resolution_nm: 10,
+        grid: 12,
+        k,
+        blob: ParameterBlob::from_network(&mut net),
+    };
+    let model = ServeModel::from_parts(&model_file, None).expect("build serve model");
+
+    let socket =
+        std::env::temp_dir().join(format!("hotspot-serve-bench-{}.sock", std::process::id()));
+    let mut config = ServerConfig::new(&socket);
+    config.queue_capacity = queue;
+    let server = Server::bind(model, &config).expect("bind daemon socket");
+    let engine = server.engine().clone();
+    let daemon = std::thread::spawn(move || server.run().expect("daemon run"));
+    while ClientConn::connect(&socket).is_err() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // Warm-up: one request per client primes plans and the page cache.
+    for c in 0..clients {
+        client_roundtrip(&socket, &request_line(c, 7777, clips_per_request)).expect("warm-up");
+    }
+
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut conn = ClientConn::connect(&socket).expect("client connect");
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut first_reply = None;
+                for seq in 0..requests {
+                    let line = request_line(c, seq, clips_per_request);
+                    let sent = Instant::now();
+                    let reply = conn.request(&line).expect("predict reply");
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    assert!(reply.contains("\"ok\": true"), "bench reply: {reply}");
+                    if first_reply.is_none() {
+                        first_reply = Some(reply);
+                    }
+                }
+                (latencies_ms, first_reply.unwrap())
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(clients * requests);
+    let mut first_replies = Vec::with_capacity(clients);
+    for (c, worker) in workers.into_iter().enumerate() {
+        let (lat, first) = worker.join().expect("client thread");
+        latencies_ms.extend(lat);
+        first_replies.push((c, first));
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Cross-check: daemon replies are bit-identical to offline scoring.
+    let detector = HotspotDetector::from_network(
+        model_file.pipeline().expect("pipeline"),
+        model_file.network().expect("network"),
+    );
+    for (c, reply) in &first_replies {
+        let parsed = PredictResponse::parse(reply).expect("parse predict reply");
+        let clips: Vec<Clip> = (0..clips_per_request)
+            .map(|i| clip((c * 1000 + i) as i64))
+            .collect();
+        let offline = detector.predict_batch(&clips).expect("offline reference");
+        assert_eq!(parsed.scores.len(), offline.len());
+        for (served, reference) in parsed.scores.iter().zip(&offline) {
+            assert_eq!(
+                served.to_bits(),
+                reference.to_bits(),
+                "daemon diverged from offline predict_batch"
+            );
+        }
+    }
+
+    let counters = engine.counters();
+    let shutdown = Request::Shutdown { id: "bench".into() }.render();
+    client_roundtrip(&socket, &shutdown).expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total = latencies_ms.len();
+    let req_per_sec = total as f64 / wall_s;
+    let mean_ms = latencies_ms.iter().sum::<f64>() / total as f64;
+    let p50_ms = percentile(&latencies_ms, 50.0);
+    let p99_ms = percentile(&latencies_ms, 99.0);
+    let max_ms = latencies_ms[total - 1];
+    let clips_per_batch = if counters.batches > 0 {
+        counters.clips as f64 / counters.batches as f64
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \
+         \"kernel_backend\": \"{}\",\n  \
+         \"clients\": {clients},\n  \"requests_per_client\": {requests},\n  \
+         \"clips_per_request\": {clips_per_request},\n  \
+         \"queue_capacity\": {queue},\n  \
+         \"feature_shape\": [{k}, 12, 12],\n  \
+         \"total_requests\": {total},\n  \"wall_secs\": {wall_s:.6},\n  \
+         \"sustained_req_per_sec\": {req_per_sec:.2},\n  \
+         \"latency_ms\": {{ \"mean\": {mean_ms:.3}, \"p50\": {p50_ms:.3}, \
+         \"p99\": {p99_ms:.3}, \"max\": {max_ms:.3} }},\n  \
+         \"micro_batches\": {},\n  \"max_batch_clips\": {},\n  \
+         \"mean_clips_per_batch\": {clips_per_batch:.3},\n  \
+         \"rejected_busy\": {},\n  \
+         \"bit_identical_vs_offline\": true\n}}\n",
+        kernel_backend().name(),
+        counters.batches,
+        counters.max_batch,
+        counters.rejected_busy
+    );
+    print!("{json}");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = format!("{out_dir}/BENCH_serve.json");
+    std::fs::write(&path, &json).expect("write BENCH_serve.json");
+    eprintln!("wrote {path}");
+}

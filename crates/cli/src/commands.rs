@@ -4,6 +4,7 @@
 use crate::model_file::ModelFile;
 use crate::CliError;
 use hotspot_bench::ExperimentArgs;
+use hotspot_core::api::{ClipSpec, Json, PredictRequest, ReloadRequest, Request, ScanRequest};
 use hotspot_core::biased::CheckpointEvent;
 use hotspot_core::checkpoint::write_atomic;
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
@@ -18,6 +19,7 @@ use hotspot_geometry::io::{read_clips, write_clips};
 use hotspot_geometry::Clip;
 use hotspot_litho::{LithoConfig, LithoSimulator};
 use hotspot_nn::serialize::ParameterBlob;
+use hotspot_server::{client_roundtrip, ServeModel, Server, ServerConfig};
 use std::fs;
 use std::path::Path;
 
@@ -413,11 +415,16 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
                 .map_err(|e| CliError::Usage(e.to_string()))?,
         );
     }
+    let cascade = match args.get("cascade") {
+        Some(path) => Some(CascadePrefilter::from_bytes(&fs::read(path)?)?),
+        None => None,
+    };
     let mut config = ScanConfig::new(args.usize("stride", 600) as i64)?
         .with_window_nm(args.usize("window", 1200) as i64)?
-        .with_threshold(args.f64("threshold", 0.5) as f32)?;
-    if let Some(path) = args.get("cascade") {
-        config = config.with_cascade(CascadePrefilter::from_bytes(&fs::read(path)?)?);
+        .with_threshold(args.f64("threshold", 0.5) as f32)?
+        .with_provenance(model.provenance(cascade.as_ref().map(CascadePrefilter::crc)));
+    if let Some(cascade) = cascade {
+        config = config.with_cascade(cascade);
     }
     let report = detector.scan(layout, &config)?;
     if let Some(path) = args.get("report") {
@@ -456,6 +463,128 @@ pub fn cmd_scan(args: &ExperimentArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `hotspot serve --socket PATH --model FILE [--cascade FILE]
+/// [--queue 64] [--threads N]` — runs the scan-as-a-service daemon on a
+/// Unix domain socket until a `shutdown` request drains it.
+///
+/// Concurrent `predict` requests are coalesced into shared GEMM blocks by
+/// a bounded micro-batching queue (bound `--queue`; a full queue refuses
+/// with a structured `busy` reply). `reload` requests swap the served
+/// model with zero downtime. See `hotspot client` for the request side.
+///
+/// # Errors
+///
+/// Usage, model-format and socket failures; per-request failures are
+/// answered on the wire as structured error replies instead.
+pub fn cmd_serve(args: &ExperimentArgs) -> Result<String, CliError> {
+    let socket = required(args, "socket")?.to_string();
+    let model_path = required(args, "model")?;
+    let mut model = ServeModel::load(model_path, args.get("cascade"))
+        .map_err(|e| CliError::Server(e.to_string()))?;
+    if args.get("threads").is_some() {
+        model.set_parallelism(
+            Parallelism::fixed(args.usize("threads", 1))
+                .map_err(|e| CliError::Usage(e.to_string()))?,
+        );
+    }
+    let mut config = ServerConfig::new(&socket);
+    config.queue_capacity = args.usize("queue", config.queue_capacity);
+    let provenance = model.provenance();
+    let server = Server::bind(model, &config).map_err(|e| CliError::Server(e.to_string()))?;
+    let engine = server.engine().clone();
+    eprintln!(
+        "serving {} on {socket} (queue bound {})",
+        provenance.render(),
+        config.queue_capacity
+    );
+    server.run().map_err(|e| CliError::Server(e.to_string()))?;
+    let c = engine.counters();
+    Ok(format!(
+        "served {} request(s) on {socket}: {} predicts ({} clips, {} micro-batches, largest {}), \
+         {} scans, {} reloads, {} errors ({} busy)\n",
+        c.requests,
+        c.predicts,
+        c.clips,
+        c.batches,
+        c.max_batch,
+        c.scans,
+        c.reloads,
+        c.errors,
+        c.rejected_busy
+    ))
+}
+
+/// `hotspot client --socket PATH --op OP [...]` — sends one request to a
+/// running daemon and prints the raw JSON reply line.
+///
+/// Ops: `predict` (`--clips FILE [--threshold 0.5]`), `scan` (`--layout
+/// FILE [--stride 600] [--window 1200] [--threshold 0.5]
+/// [--windows true|false]`), `status`, `reload` (`--model-path FILE
+/// [--cascade-path FILE]`), `shutdown`. `--id` sets the request ID
+/// (default `cli`). `--raw LINE` sends an arbitrary line verbatim, for
+/// protocol testing.
+///
+/// # Errors
+///
+/// Usage and transport failures; a daemon-side error reply (`"ok":
+/// false`) becomes [`CliError::Server`] carrying the reply line, so the
+/// process exits nonzero on protocol errors.
+pub fn cmd_client(args: &ExperimentArgs) -> Result<String, CliError> {
+    let socket = required(args, "socket")?.to_string();
+    let id = args.string("id", "cli");
+    let line = match args.get("raw") {
+        Some(raw) => raw.to_string(),
+        None => {
+            let request = match required(args, "op")? {
+                "predict" => Request::Predict(PredictRequest {
+                    id,
+                    clips: load_clips(required(args, "clips")?)?
+                        .iter()
+                        .map(ClipSpec::from_clip)
+                        .collect(),
+                    threshold: args.f64("threshold", 0.5) as f32,
+                }),
+                "scan" => {
+                    let layouts = load_clips(required(args, "layout")?)?;
+                    let layout = layouts
+                        .first()
+                        .ok_or_else(|| CliError::Data("layout file holds no clip".into()))?;
+                    Request::Scan(ScanRequest {
+                        id,
+                        layout: ClipSpec::from_clip(layout),
+                        stride_nm: args.usize("stride", 600) as i64,
+                        window_nm: args.usize("window", 1200) as i64,
+                        threshold: args.f64("threshold", 0.5) as f32,
+                        include_windows: args.string("windows", "true") == "true",
+                    })
+                }
+                "status" => Request::Status { id },
+                "reload" => Request::Reload(ReloadRequest {
+                    id,
+                    model_path: required(args, "model-path")?.to_string(),
+                    cascade_path: args.get("cascade-path").map(str::to_string),
+                }),
+                "shutdown" => Request::Shutdown { id },
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown op '{other}' (predict|scan|status|reload|shutdown)"
+                    )))
+                }
+            };
+            request.render()
+        }
+    };
+    let reply = client_roundtrip(Path::new(&socket), &line)?;
+    let ok = Json::parse(&reply)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false);
+    if !ok {
+        return Err(CliError::Server(reply));
+    }
+    Ok(format!("{reply}\n"))
+}
+
 /// Usage text printed for `--help`/bad invocations.
 pub const USAGE: &str = "\
 hotspot — layout hotspot detection (DAC'17 deep biased learning)
@@ -472,6 +601,11 @@ USAGE:
   hotspot genlayout --out FILE [--tiles 4 | --tiles-x X --tiles-y Y] [--seed 7]
   hotspot scan    --layout FILE --model FILE [--stride 600] [--window 1200]
                   [--threshold 0.5] [--threads N] [--cascade FILE] [--report FILE]
+  hotspot serve   --socket PATH --model FILE [--cascade FILE] [--queue 64] [--threads N]
+  hotspot client  --socket PATH --op predict|scan|status|reload|shutdown [--id cli]
+                  [--clips FILE] [--layout FILE] [--threshold 0.5] [--stride 600]
+                  [--window 1200] [--windows true|false] [--model-path FILE]
+                  [--cascade-path FILE] [--raw LINE]
 
 Clip files use the text format of hotspot-geometry (clip/rect/end records);
 label files carry one 0/1 per clip line.
@@ -491,6 +625,13 @@ Training with --checkpoint-every N writes a crash-safe checkpoint (default
 <model>.ckpt) every N steps and keeps the best-validation model at
 <model>.best; after a crash, rerun with the same flags plus --resume FILE
 to finish with bit-identical weights to an uninterrupted run.
+
+Serving keeps the detector resident behind a Unix domain socket speaking
+newline-delimited JSON (schema v1): concurrent predict requests coalesce
+into shared GEMM micro-batches, reload swaps models with zero downtime,
+and every reply carries the provenance (model CRC) that produced it.
+hotspot client wraps the protocol for shell use and exits nonzero when the
+daemon answers with a structured error reply.
 ";
 
 /// Dispatches a command name plus `--flag value` arguments.
@@ -508,6 +649,8 @@ pub fn dispatch(command: &str, args: &ExperimentArgs) -> Result<String, CliError
         "eval" => cmd_eval(args),
         "genlayout" => cmd_genlayout(args),
         "scan" => cmd_scan(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         other => Err(CliError::Usage(format!("unknown command '{other}'"))),
     }
 }

@@ -29,12 +29,15 @@ pub enum CliError {
     Io(std::io::Error),
     /// Clip-format failure.
     ClipFormat(hotspot_geometry::io::ClipIoError),
-    /// Model-file failure.
-    ModelFormat(String),
-    /// Training/evaluation failure.
+    /// Training/evaluation failure (including model-file decode errors,
+    /// [`hotspot_core::CoreError::Model`]).
     Core(hotspot_core::CoreError),
     /// Input data inconsistency (e.g. label/clip count mismatch).
     Data(String),
+    /// The serve daemon replied with a structured error; the payload is
+    /// the rendered [`hotspot_core::api::ErrorReply`] line, so scripts
+    /// can parse the kind from stderr.
+    Server(String),
 }
 
 impl fmt::Display for CliError {
@@ -43,9 +46,9 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::ClipFormat(e) => write!(f, "clip file error: {e}"),
-            CliError::ModelFormat(msg) => write!(f, "model file error: {msg}"),
             CliError::Core(e) => write!(f, "detector error: {e}"),
             CliError::Data(msg) => write!(f, "data error: {msg}"),
+            CliError::Server(reply) => write!(f, "server error: {reply}"),
         }
     }
 }

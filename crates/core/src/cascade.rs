@@ -266,6 +266,12 @@ impl CascadePrefilter {
         self.calibrated.flags(margin)
     }
 
+    /// CRC-32 (IEEE) of the serialised prefilter — its identity for
+    /// provenance tracking ([`crate::api::ModelProvenance::cascade_crc`]).
+    pub fn crc(&self) -> u32 {
+        hotspot_nn::serialize::crc32(&self.to_bytes())
+    }
+
     /// Serialises the prefilter: a two-line `hsprefilter` header followed
     /// by the calibrated model's own (checksummed, bit-exact) encoding.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -292,7 +298,10 @@ impl CascadePrefilter {
         let header =
             std::str::from_utf8(&data[..header_end]).map_err(|_| bad("header is not UTF-8"))?;
         let mut lines = header.lines();
-        match lines.next().map(|l| l.split_whitespace().collect::<Vec<_>>()) {
+        match lines
+            .next()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>())
+        {
             Some(parts) if parts.first() == Some(&"hsprefilter") => {
                 if parts.get(1) != Some(&"1") {
                     return Err(bad("unsupported version"));
@@ -300,7 +309,10 @@ impl CascadePrefilter {
             }
             _ => return Err(bad("missing hsprefilter magic")),
         }
-        let grid_dim: usize = match lines.next().map(|l| l.split_whitespace().collect::<Vec<_>>()) {
+        let grid_dim: usize = match lines
+            .next()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>())
+        {
             Some(parts) if parts.len() == 2 && parts[0] == "grid" => parts[1]
                 .parse()
                 .map_err(|_| bad("grid value is not a number"))?,
@@ -485,11 +497,7 @@ mod tests {
         assert!(mask[0], "first hotspot held out");
         assert!(mask[1], "first non-hotspot held out");
         assert!(!mask[2] && !mask[3] && !mask[4] && !mask[5]);
-        let held_hot = labels
-            .iter()
-            .zip(&mask)
-            .filter(|(&l, &h)| l && h)
-            .count();
+        let held_hot = labels.iter().zip(&mask).filter(|(&l, &h)| l && h).count();
         assert_eq!(held_hot, 1);
     }
 
@@ -555,8 +563,8 @@ mod tests {
 
     #[test]
     fn prefilter_serialisation_roundtrips() {
-        let prefilter = CascadePrefilter::train(&training_data(), 10, &CascadeConfig::default())
-            .unwrap();
+        let prefilter =
+            CascadePrefilter::train(&training_data(), 10, &CascadeConfig::default()).unwrap();
         let bytes = prefilter.to_bytes();
         let back = CascadePrefilter::from_bytes(&bytes).unwrap();
         assert_eq!(back, prefilter);
@@ -579,8 +587,8 @@ mod tests {
 
     #[test]
     fn forced_thresholds_override_operating_point() {
-        let prefilter = CascadePrefilter::train(&training_data(), 10, &CascadeConfig::default())
-            .unwrap();
+        let prefilter =
+            CascadePrefilter::train(&training_data(), 10, &CascadeConfig::default()).unwrap();
         let all_pass = prefilter.clone().with_margin_threshold(f32::NEG_INFINITY);
         let none_pass = prefilter.with_margin_threshold(f32::INFINITY);
         assert!(all_pass.passes(-1.0e30));

@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod api;
 pub mod biased;
 pub mod calibration;
 pub mod cascade;
@@ -48,12 +49,14 @@ pub mod feature;
 pub mod metrics;
 pub mod mgd;
 pub mod model;
+pub mod model_file;
 pub mod parallelism;
 pub mod prelude;
 pub mod roc;
 pub mod scan;
 pub mod shift;
 
+pub use api::ModelProvenance;
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
 pub use cascade::{CascadeConfig, CascadePrefilter};
 pub use checkpoint::Checkpoint;
@@ -62,6 +65,7 @@ pub use feature::FeaturePipeline;
 pub use metrics::EvalResult;
 pub use mgd::{MgdConfig, TrainReport};
 pub use model::CnnConfig;
+pub use model_file::ModelFile;
 pub use parallelism::Parallelism;
 pub use scan::{
     CacheStats, CascadeScanStats, HotspotRegion, ScanConfig, ScanReport, ScanStage, WindowScore,
@@ -86,6 +90,10 @@ pub enum CoreError {
     /// or applied (degenerate calibration split, corrupt model file,
     /// density grid inconsistent with the scan window).
     Prefilter(String),
+    /// A model file could not be decoded, or decoded to something
+    /// unusable (corrupt header or blob, unsupported version, weights
+    /// that do not fit the declared architecture).
+    Model(String),
 }
 
 impl fmt::Display for CoreError {
@@ -96,6 +104,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             CoreError::Prefilter(why) => write!(f, "cascade prefilter error: {why}"),
+            CoreError::Model(why) => write!(f, "model file error: {why}"),
         }
     }
 }

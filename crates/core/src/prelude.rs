@@ -7,6 +7,11 @@
 //! assert_eq!(config.parallelism, Parallelism::auto());
 //! ```
 
+pub use crate::api::{
+    ClipSpec, ErrorKind, ErrorReply, ModelProvenance, PredictRequest, PredictResponse,
+    ReloadRequest, ReloadResponse, Request, ScanRequest, ScanResponse, ServeCounters,
+    StatusResponse, WIRE_VERSION,
+};
 pub use crate::biased::{BiasedLearningConfig, BiasedLearningReport};
 pub use crate::checkpoint::Checkpoint;
 pub use crate::detector::{DetectorConfig, HotspotDetector};
@@ -14,6 +19,7 @@ pub use crate::feature::FeaturePipeline;
 pub use crate::metrics::EvalResult;
 pub use crate::mgd::{MgdConfig, TrainReport};
 pub use crate::model::CnnConfig;
+pub use crate::model_file::ModelFile;
 pub use crate::parallelism::Parallelism;
 pub use crate::scan::{CacheStats, HotspotRegion, ScanConfig, ScanReport, WindowScore};
 pub use crate::CoreError;

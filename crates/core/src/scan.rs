@@ -53,6 +53,7 @@
 //! thread count, per-phase wall times and throughput, and serialises
 //! itself to JSON for downstream tooling.
 
+use crate::api::{self, ModelProvenance};
 use crate::cascade::{prefilter_features, CascadePrefilter};
 use crate::detector::HotspotDetector;
 use crate::CoreError;
@@ -90,6 +91,7 @@ pub struct ScanConfig {
     threshold: f32,
     score_block: Option<usize>,
     cascade: Option<CascadePrefilter>,
+    provenance: Option<ModelProvenance>,
 }
 
 impl ScanConfig {
@@ -109,6 +111,7 @@ impl ScanConfig {
             threshold: 0.5,
             score_block: None,
             cascade: None,
+            provenance: None,
         })
     }
 
@@ -173,6 +176,19 @@ impl ScanConfig {
     pub fn without_cascade(mut self) -> Self {
         self.cascade = None;
         self
+    }
+
+    /// Stamps the scan with the provenance of the model that will run
+    /// it, so the report names the exact weights behind every score.
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: ModelProvenance) -> Self {
+        self.provenance = Some(provenance);
+        self
+    }
+
+    /// The configured provenance stamp, if any.
+    pub fn provenance(&self) -> Option<ModelProvenance> {
+        self.provenance
     }
 
     /// The configured cascade prefilter, if any.
@@ -343,6 +359,9 @@ pub struct ScanReport {
     pub merge_s: f64,
     /// Wall-clock scan time, seconds.
     pub elapsed_s: f64,
+    /// Identity of the weights that produced the scores (`None` when the
+    /// caller did not stamp one via [`ScanConfig::with_provenance`]).
+    pub provenance: Option<ModelProvenance>,
 }
 
 impl ScanReport {
@@ -371,93 +390,11 @@ impl ScanReport {
         }
     }
 
-    /// Serialises the report as a JSON object (hand-rendered; the schema
-    /// is validated by the CI scan smoke job).
+    /// Serialises the report as the canonical v1 JSON object
+    /// ([`api::scan_report_json`]) — the same schema the serve daemon
+    /// embeds in its `scan` responses, validated by the CI smoke jobs.
     pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(1024 + 64 * self.windows.len());
-        s.push_str("{\n");
-        s.push_str(&format!(
-            "  \"layout\": {{\"width_nm\": {}, \"height_nm\": {}}},\n",
-            self.layout_width_nm, self.layout_height_nm
-        ));
-        s.push_str(&format!(
-            "  \"scan\": {{\"stride_nm\": {}, \"window_nm\": {}, \"threshold\": {}, \"grid_cols\": {}, \"grid_rows\": {}}},\n",
-            self.stride_nm, self.window_nm, self.threshold, self.grid_cols, self.grid_rows
-        ));
-        s.push_str(&format!(
-            "  \"cache\": {{\"blocks_computed\": {}, \"blocks_reused\": {}, \"hit_rate\": {:.6}}},\n",
-            self.cache.computed,
-            self.cache.hits,
-            self.cache.hit_rate()
-        ));
-        s.push_str(&format!(
-            "  \"throughput\": {{\"windows\": {}, \"elapsed_s\": {:.6}, \"windows_per_sec\": {:.3}, \"cnn_evals\": {}, \"cnn_evals_per_window\": {:.6}}},\n",
-            self.windows.len(),
-            self.elapsed_s,
-            self.windows_per_sec(),
-            self.cnn_evals,
-            self.cnn_evals_per_window()
-        ));
-        match &self.cascade {
-            Some(c) => s.push_str(&format!(
-                "  \"cascade\": {{\"enabled\": true, \"margin_threshold\": {}, \"cleared\": {}, \"forwarded\": {}}},\n",
-                json_f32(c.margin_threshold),
-                c.cleared,
-                c.forwarded
-            )),
-            None => s.push_str("  \"cascade\": {\"enabled\": false},\n"),
-        }
-        s.push_str(&format!(
-            "  \"execution\": {{\"threads\": {}, \"prepare_s\": {:.6}, \"scan_s\": {:.6}, \"merge_s\": {:.6}}},\n",
-            self.threads, self.prepare_s, self.scan_s, self.merge_s
-        ));
-        s.push_str(&format!("  \"positives\": {},\n", self.positives()));
-        s.push_str("  \"regions\": [\n");
-        for (idx, r) in self.regions.iter().enumerate() {
-            let sep = if idx + 1 < self.regions.len() {
-                ","
-            } else {
-                ""
-            };
-            s.push_str(&format!(
-                "    {{\"x0_nm\": {}, \"y0_nm\": {}, \"x1_nm\": {}, \"y1_nm\": {}, \"windows\": {}, \"peak_score\": {:.6}, \"mean_score\": {:.6}}}{sep}\n",
-                r.x0_nm, r.y0_nm, r.x1_nm, r.y1_nm, r.windows, r.peak_score, r.mean_score
-            ));
-        }
-        s.push_str("  ],\n");
-        s.push_str("  \"windows\": [\n");
-        for (idx, w) in self.windows.iter().enumerate() {
-            let sep = if idx + 1 < self.windows.len() {
-                ","
-            } else {
-                ""
-            };
-            let margin = match w.margin {
-                Some(m) => json_f32(m),
-                None => "null".into(),
-            };
-            s.push_str(&format!(
-                "    {{\"x_nm\": {}, \"y_nm\": {}, \"score\": {:.6}, \"hotspot\": {}, \"stage\": \"{}\", \"margin\": {margin}}}{sep}\n",
-                w.x_nm,
-                w.y_nm,
-                w.score,
-                w.hotspot,
-                w.stage.as_str()
-            ));
-        }
-        s.push_str("  ]\n}\n");
-        s
-    }
-}
-
-/// Renders an `f32` as a JSON number, mapping non-finite values (e.g. a
-/// forced all-pass `-∞` margin threshold) to `null` — JSON has no
-/// infinity literal.
-fn json_f32(v: f32) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".into()
+        api::scan_report_json(self)
     }
 }
 
@@ -723,7 +660,10 @@ fn scan_band(args: &BandArgs<'_>, cells: &mut [BandCell]) -> BandOutcome {
         let logits = args
             .net
             .forward_batch_with(plan, &mut ws, &feats[..b * args.feat_len]);
-        for (logit, &idx) in logits.chunks_exact(args.out_len).zip(&survivors[done..done + b]) {
+        for (logit, &idx) in logits
+            .chunks_exact(args.out_len)
+            .zip(&survivors[done..done + b])
+        {
             loss::softmax_into(logit, &mut soft);
             cells[idx].score = soft[1];
         }
@@ -1029,6 +969,7 @@ impl HotspotDetector {
             scan_s,
             merge_s,
             elapsed_s: start.elapsed().as_secs_f64(),
+            provenance: config.provenance,
         })
     }
 }
@@ -1315,6 +1256,8 @@ mod tests {
         assert!(!report.regions.is_empty());
         let json = report.to_json();
         for key in [
+            "\"v\"",
+            "\"provenance\"",
             "\"layout\"",
             "\"scan\"",
             "\"cache\"",

@@ -667,6 +667,123 @@ impl Executor {
     }
 }
 
+/// Batched inference over *ragged* batch sizes: the entry point for
+/// callers whose batch size varies call to call (the serve daemon's
+/// micro-batcher coalesces however many requests are queued, so every
+/// cycle can be a different size).
+///
+/// [`Executor::infer_batch`] keeps exactly one batched plan and replans
+/// whenever the size changes — fine for a scan loop that runs one fixed
+/// block size plus one tail, pathological for a server seeing sizes
+/// 3, 7, 1, 12, ... This scorer instead splits each request into blocks
+/// of at most [`ShapePlan::suggested_batch`] samples and keeps one plan
+/// *per distinct block size* (at most the cap of them, each a few hundred
+/// bytes of offsets), so steady-state serving replans never and
+/// allocates nothing.
+///
+/// Scores are **bit-identical** to per-sample [`Executor::infer`] for
+/// every batch size and split, because batched execution is per-sample
+/// exact ([`Network::forward_batch_with`]); how requests are grouped can
+/// therefore never change a score.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScorer {
+    /// Cache key: the input shape and layer count the plans were built
+    /// for; any change drops every plan.
+    in_shape: Vec<usize>,
+    layer_count: usize,
+    /// Per-sample arena cap from `suggested_batch`, computed once per key.
+    cap: usize,
+    /// Cached plans, one per distinct block size seen (found by linear
+    /// scan — there are at most `cap` of them).
+    plans: Vec<ShapePlan>,
+    ws: Workspace,
+    out: Vec<f32>,
+}
+
+impl BatchScorer {
+    /// An empty scorer; plans are built on first use.
+    pub fn new() -> Self {
+        BatchScorer::default()
+    }
+
+    /// The block-size cap applied to `in_shape` (blocks larger than this
+    /// are split). Builds and caches the sizing plan.
+    pub fn block_cap(&mut self, net: &Network, in_shape: &[usize]) -> usize {
+        self.ensure_key(net, in_shape);
+        self.cap
+    }
+
+    /// Number of distinct block-size plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    fn ensure_key(&mut self, net: &Network, in_shape: &[usize]) {
+        if self.in_shape != in_shape || self.layer_count != net.len() {
+            self.in_shape = in_shape.to_vec();
+            self.layer_count = net.len();
+            self.plans.clear();
+            self.cap = net.plan(in_shape).suggested_batch();
+        }
+    }
+
+    fn plan_for(&mut self, net: &Network, block: usize) -> usize {
+        if let Some(idx) = self.plans.iter().position(|p| p.batch() == block) {
+            return idx;
+        }
+        self.plans.push(net.plan_batch(&self.in_shape, block));
+        self.plans.len() - 1
+    }
+
+    /// Scores `batch` sample-major inputs of `in_shape` held back to back
+    /// in `input`, returning `batch` sample-major outputs. Splits into
+    /// blocks of at most [`ShapePlan::suggested_batch`] samples; each
+    /// block runs one GEMM per layer. Bit-identical to `batch` separate
+    /// [`Executor::infer`] calls regardless of how the split lands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `input` does not hold exactly `batch`
+    /// samples of `in_shape`.
+    pub fn infer_ragged(
+        &mut self,
+        net: &Network,
+        input: &[f32],
+        in_shape: &[usize],
+        batch: usize,
+    ) -> &[f32] {
+        assert!(batch > 0, "ragged batch must be nonzero");
+        let in_len: usize = in_shape.iter().product();
+        assert_eq!(
+            input.len(),
+            in_len * batch,
+            "input length does not match batch"
+        );
+        self.ensure_key(net, in_shape);
+        let cap = self.cap;
+        let out_len = {
+            let idx = self.plan_for(net, batch.min(cap));
+            self.plans[idx].out_len()
+        };
+        if self.out.len() < out_len * batch {
+            self.out.resize(out_len * batch, 0.0);
+        }
+        let mut done = 0;
+        while done < batch {
+            let block = (batch - done).min(cap);
+            let idx = self.plan_for(net, block);
+            let scores = net.forward_batch_with(
+                &self.plans[idx],
+                &mut self.ws,
+                &input[done * in_len..(done + block) * in_len],
+            );
+            self.out[done * out_len..(done + block) * out_len].copy_from_slice(scores);
+            done += block;
+        }
+        &self.out[..out_len * batch]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -872,6 +989,76 @@ mod tests {
         // cached plan (both slots stay warm).
         let again = ex.infer_batch(&net, &xs, &[2, 6, 6], batch).to_vec();
         assert_eq!(again, batched);
+    }
+
+    #[test]
+    fn ragged_scorer_is_bit_identical_for_every_size_and_split() {
+        let net = paper_like_net();
+        let in_shape = [2usize, 6, 6];
+        let in_len = 2 * 6 * 6;
+        let max_batch = 9;
+        let xs: Vec<f32> = (0..in_len * max_batch)
+            .map(|i| (i as f32 * 0.53).cos())
+            .collect();
+        // Per-sample reference.
+        let mut ex = Executor::new();
+        let mut reference = Vec::new();
+        for b in 0..max_batch {
+            let x = Tensor::from_vec(in_shape.to_vec(), xs[b * in_len..(b + 1) * in_len].to_vec());
+            reference.extend_from_slice(ex.infer(&net, &x));
+        }
+        let out_len = reference.len() / max_batch;
+        let mut scorer = BatchScorer::new();
+        // Every prefix size, scored in one ragged call, matches the
+        // per-sample reference bitwise — independent of scoring order.
+        for batch in 1..=max_batch {
+            let scores = scorer
+                .infer_ragged(&net, &xs[..batch * in_len], &in_shape, batch)
+                .to_vec();
+            assert_eq!(scores.len(), batch * out_len);
+            for (i, (a, b)) in scores.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "batch {batch} output {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_scorer_splits_oversized_batches_and_caches_plans() {
+        // A fat dense layer drives suggested_batch down to a small cap, so
+        // a modest batch exercises the splitting path.
+        let mut net = Network::new();
+        net.push(Dense::new(6000, 50, 3));
+        net.push(Relu::new());
+        net.push(Dense::new(50, 2, 4));
+        let mut scorer = BatchScorer::new();
+        let cap = scorer.block_cap(&net, &[6000]);
+        assert!(cap >= 1);
+        let batch = 2 * cap + 1; // two full blocks plus a ragged tail
+        let xs: Vec<f32> = (0..6000 * batch).map(|i| (i as f32 * 0.11).sin()).collect();
+        let scores = scorer.infer_ragged(&net, &xs, &[6000], batch).to_vec();
+        // Bit-identical to per-sample inference.
+        let mut ex = Executor::new();
+        for b in 0..batch {
+            let x = Tensor::from_vec(vec![6000], xs[b * 6000..(b + 1) * 6000].to_vec());
+            let single = ex.infer(&net, &x);
+            for (i, (a, r)) in scores[b * 2..b * 2 + 2].iter().zip(single).enumerate() {
+                assert_eq!(a.to_bits(), r.to_bits(), "sample {b} output {i}");
+            }
+        }
+        // Steady state keeps at most two plans (full block + this tail),
+        // and re-scoring the same sizes builds no more.
+        let cached = scorer.cached_plans();
+        assert!(cached <= 2, "cached {cached} plans");
+        let _ = scorer.infer_ragged(&net, &xs, &[6000], batch);
+        assert_eq!(scorer.cached_plans(), cached);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged batch must be nonzero")]
+    fn ragged_scorer_rejects_zero_batch() {
+        let net = paper_like_net();
+        let mut scorer = BatchScorer::new();
+        let _ = scorer.infer_ragged(&net, &[], &[2, 6, 6], 0);
     }
 
     #[test]

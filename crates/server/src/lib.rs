@@ -1,0 +1,82 @@
+//! Scan-as-a-service daemon.
+//!
+//! Offline, the suite scores clips and scans layouts through one-shot CLI
+//! invocations that pay model load and thread-pool spin-up per call. This
+//! crate keeps a trained detector resident and serves it over a **Unix
+//! domain socket** with a newline-delimited JSON protocol
+//! ([`hotspot_core::api`], schema `"v": 1`):
+//!
+//! - `predict` — score a batch of clips; concurrent requests are coalesced
+//!   into shared GEMM blocks by a bounded micro-batching queue,
+//! - `scan` — run a full sliding-window layout scan and return the same
+//!   report object `hotspot scan --report` writes,
+//! - `status` — serving counters plus the live model's provenance,
+//! - `reload` — swap in a new model file with zero downtime: requests
+//!   already accepted finish on the weights they were accepted under
+//!   (snapshotted via [`std::sync::Arc`]), later requests see the new ones,
+//! - `shutdown` — stop accepting work, drain the queue, exit.
+//!
+//! The split is [`engine::Engine`] (model state, micro-batch queue, request
+//! dispatch — no I/O, directly testable) and [`daemon::Server`] (socket
+//! accept loop and per-connection threads). Responses to `predict` are
+//! bit-identical to offline [`HotspotDetector::predict_batch`]: the batcher
+//! replicates its extraction → blocked batched inference → softmax
+//! sequence, and batched inference is composition-independent, so
+//! coalescing never changes a score.
+//!
+//! [`HotspotDetector::predict_batch`]: hotspot_core::HotspotDetector::predict_batch
+
+pub mod daemon;
+pub mod engine;
+
+use hotspot_core::api::ApiError;
+use hotspot_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+pub use daemon::{client_roundtrip, ClientConn, Server, ServerConfig};
+pub use engine::{Engine, EngineConfig, ServeModel};
+
+/// Daemon-level failures (socket setup, model bootstrap).
+///
+/// Per-request failures never surface here — they become structured
+/// [`hotspot_core::api::ErrorReply`] lines on the wire instead.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket or file-system failure.
+    Io(std::io::Error),
+    /// Detector-level failure outside request handling.
+    Core(CoreError),
+    /// Model bootstrap failure (initial load/validation).
+    Api(ApiError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Core(e) => write!(f, "core error: {e}"),
+            ServerError::Api(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<CoreError> for ServerError {
+    fn from(e: CoreError) -> Self {
+        ServerError::Core(e)
+    }
+}
+
+impl From<ApiError> for ServerError {
+    fn from(e: ApiError) -> Self {
+        ServerError::Api(e)
+    }
+}

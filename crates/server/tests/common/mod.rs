@@ -1,0 +1,57 @@
+//! Shared fixtures for the server integration tests: tiny-but-real model
+//! files (the paper architecture at k = 4 over a 12×12 grid) and
+//! deterministic clip sets sized for the default 1200 nm window.
+//!
+//! Each integration-test target compiles this module independently, so
+//! any one target uses only a subset of the helpers.
+#![allow(dead_code)]
+
+use hotspot_core::{CnnConfig, ModelFile};
+use hotspot_geometry::{Clip, Rect};
+use hotspot_nn::serialize::ParameterBlob;
+use std::path::PathBuf;
+
+/// A valid model file with freshly initialised weights; different seeds
+/// give different parameter blobs, hence different CRCs, at identical
+/// feature geometry.
+pub fn model_with_seed(seed: u64, k: usize) -> ModelFile {
+    let cnn = CnnConfig {
+        input_grid: 12,
+        input_channels: k,
+        seed,
+        ..CnnConfig::default()
+    };
+    let mut net = cnn.build();
+    ModelFile {
+        resolution_nm: 10,
+        grid: 12,
+        k,
+        blob: ParameterBlob::from_network(&mut net),
+    }
+}
+
+/// Writes `bytes` to a unique temp path (per test name) and returns it.
+pub fn write_temp(name: &str, bytes: &[u8]) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("hotspot-server-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// A deterministic 1200 nm clip whose content varies with `variant`.
+pub fn clip(variant: i64) -> Clip {
+    let mut c = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+    let pitch = 120 + 10 * (variant % 7);
+    let mut x = 40 + 7 * (variant % 5);
+    while x + 60 < 1200 {
+        c.push(Rect::new(x, 100 + (variant % 3) * 40, x + 60, 1100).unwrap());
+        x += pitch;
+    }
+    c.push(Rect::new(100, 560 + (variant % 4) * 20, 1100, 640).unwrap());
+    c
+}
+
+/// `count` distinct clips starting at `variant` offset `base`.
+pub fn clips(base: i64, count: usize) -> Vec<Clip> {
+    (0..count as i64).map(|i| clip(base + i)).collect()
+}

@@ -1,0 +1,175 @@
+//! Engine-level protocol contracts that need no socket: bounded-queue
+//! backpressure, shutdown draining, structured data errors, and reload
+//! validation.
+
+mod common;
+
+use hotspot_core::api::{
+    ClipSpec, ErrorKind, ErrorReply, PredictRequest, ReloadRequest, ReloadResponse, Request,
+};
+use hotspot_server::{Engine, EngineConfig, ServeModel};
+use std::sync::Arc;
+use std::thread;
+
+fn engine(seed: u64, queue_capacity: usize) -> Arc<Engine> {
+    let model = ServeModel::from_parts(&common::model_with_seed(seed, 4), None).unwrap();
+    Arc::new(Engine::new(model, EngineConfig { queue_capacity }))
+}
+
+fn predict_line(id: &str, variant: i64) -> String {
+    Request::Predict(PredictRequest {
+        id: id.into(),
+        clips: vec![ClipSpec::from_clip(&common::clip(variant))],
+        threshold: 0.5,
+    })
+    .render()
+}
+
+fn kind_of(reply: &str) -> ErrorKind {
+    ErrorReply::parse(reply)
+        .unwrap_or_else(|e| panic!("expected an error reply, got {reply}: {e}"))
+        .error
+        .kind
+}
+
+#[test]
+fn full_queue_refuses_with_busy_and_counts_the_rejection() {
+    let engine = engine(3, 2);
+    let request = PredictRequest {
+        id: "fill".into(),
+        clips: vec![ClipSpec::from_clip(&common::clip(0))],
+        threshold: 0.5,
+    };
+    // Fill the queue without a batcher running.
+    let _rx1 = engine.enqueue_predict(&request).unwrap();
+    let _rx2 = engine.enqueue_predict(&request).unwrap();
+    assert_eq!(engine.queue_len(), engine.capacity());
+
+    let (reply, _) = engine.handle_line(&predict_line("overflow", 1));
+    assert_eq!(kind_of(&reply), ErrorKind::Busy);
+    let c = engine.counters();
+    assert_eq!(c.rejected_busy, 1);
+    assert_eq!(c.errors, 1);
+    assert_eq!(c.predicts, 0, "refused requests must not score");
+
+    // Backpressure is transient: draining frees the slots.
+    assert_eq!(engine.drain_once(), 2);
+    engine.enqueue_predict(&request).unwrap();
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job_then_refuses_new_work() {
+    let engine = engine(4, 16);
+    let receivers: Vec<_> = (0..5)
+        .map(|i| {
+            engine
+                .enqueue_predict(&PredictRequest {
+                    id: format!("job-{i}"),
+                    clips: vec![ClipSpec::from_clip(&common::clip(i))],
+                    threshold: 0.5,
+                })
+                .unwrap()
+        })
+        .collect();
+
+    // Drain begins before the batcher ever ran: accepted jobs must still
+    // be answered, then the batcher must exit on its own.
+    engine.begin_shutdown();
+    let batcher = {
+        let engine = engine.clone();
+        thread::spawn(move || engine.run_batcher())
+    };
+    engine.wait_drained();
+    for rx in receivers {
+        let reply = rx.recv().expect("accepted job dropped during drain");
+        assert!(reply.contains("\"ok\": true"), "unexpected reply: {reply}");
+    }
+    batcher.join().unwrap();
+
+    let (reply, _) = engine.handle_line(&predict_line("late", 9));
+    assert_eq!(kind_of(&reply), ErrorKind::Shutdown);
+    assert_eq!(engine.counters().predicts, 5);
+}
+
+#[test]
+fn unusable_predict_payloads_are_structured_data_errors() {
+    let engine = engine(5, 4);
+    // No clips at all: the wire parser already refuses this shape, and
+    // the engine-level guard catches direct submissions too.
+    let (reply, _) =
+        engine.handle_line("{\"v\": 1, \"id\": \"e\", \"op\": \"predict\", \"clips\": []}");
+    assert_eq!(kind_of(&reply), ErrorKind::Parse);
+    let direct = engine
+        .enqueue_predict(&PredictRequest {
+            id: "e".into(),
+            clips: Vec::new(),
+            threshold: 0.5,
+        })
+        .unwrap_err();
+    assert_eq!(direct.kind, ErrorKind::Data);
+    // A window the pipeline cannot divide into its block grid
+    // (1000 nm at 10 nm/px is 100 px, not divisible by 12).
+    let (reply, _) = engine.handle_line(
+        "{\"v\": 1, \"id\": \"e\", \"op\": \"predict\", \
+         \"clips\": [{\"window\": [0, 0, 1000, 1000], \"rects\": []}]}",
+    );
+    assert_eq!(kind_of(&reply), ErrorKind::Data);
+    // A degenerate window rectangle.
+    let (reply, _) = engine.handle_line(
+        "{\"v\": 1, \"id\": \"e\", \"op\": \"predict\", \
+         \"clips\": [{\"window\": [0, 0, 0, 0], \"rects\": []}]}",
+    );
+    assert_eq!(kind_of(&reply), ErrorKind::Data);
+    assert_eq!(engine.counters().errors, 3);
+}
+
+#[test]
+fn reload_rejects_shape_mismatch_and_keeps_serving_the_old_model() {
+    let engine = engine(1, 4);
+    let before = engine.current().provenance();
+
+    // Same format, different feature geometry (k = 8 vs the serving 4).
+    let mismatched = common::write_temp(
+        "reload-k8.hsmodel",
+        &common::model_with_seed(7, 8).to_bytes(),
+    );
+    let line = Request::Reload(ReloadRequest {
+        id: "r1".into(),
+        model_path: mismatched.to_str().unwrap().into(),
+        cascade_path: None,
+    })
+    .render();
+    let (reply, _) = engine.handle_line(&line);
+    assert_eq!(kind_of(&reply), ErrorKind::Model);
+    assert!(reply.contains("geometry mismatch"), "got: {reply}");
+    assert_eq!(engine.current().provenance(), before);
+
+    // An unreadable path is the same structured error, never a panic.
+    let line = Request::Reload(ReloadRequest {
+        id: "r2".into(),
+        model_path: "/nonexistent/model.hsmodel".into(),
+        cascade_path: None,
+    })
+    .render();
+    let (reply, _) = engine.handle_line(&line);
+    assert_eq!(kind_of(&reply), ErrorKind::Model);
+    assert_eq!(engine.counters().reloads, 0);
+
+    // A well-shaped successor swaps in.
+    let good_model = common::model_with_seed(2, 4);
+    let good = common::write_temp("reload-good.hsmodel", &good_model.to_bytes());
+    let line = Request::Reload(ReloadRequest {
+        id: "r3".into(),
+        model_path: good.to_str().unwrap().into(),
+        cascade_path: None,
+    })
+    .render();
+    let (reply, _) = engine.handle_line(&line);
+    let ack = ReloadResponse::parse(&reply).unwrap();
+    assert_eq!(ack.model.model_crc, good_model.crc());
+    assert_eq!(engine.current().provenance().model_crc, good_model.crc());
+    assert_eq!(engine.counters().reloads, 1);
+
+    std::fs::remove_file(mismatched).unwrap();
+    std::fs::remove_file(good).unwrap();
+}

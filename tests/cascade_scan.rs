@@ -227,8 +227,9 @@ fn trained_prefilter_meets_its_target_fnr_on_the_holdout() {
         }
         held_hotspots += 1;
         let image = raster::rasterize_clip(&sample.clip.normalized(), resolution_nm);
-        let features =
-            prefilter_features(density_feature(&image, config.grid_dim).expect("density grid fits"));
+        let features = prefilter_features(
+            density_feature(&image, config.grid_dim).expect("density grid fits"),
+        );
         let margin = prefilter
             .try_margin(&features)
             .expect("feature length matches");

@@ -41,8 +41,13 @@ def require(obj, path, keys):
         assert key in obj, f"missing {path}.{key}"
 
 require(report, "report",
-        ["layout", "scan", "cache", "throughput", "execution", "positives",
-         "regions", "windows"])
+        ["v", "provenance", "layout", "scan", "cache", "throughput",
+         "execution", "positives", "regions", "windows"])
+assert report["v"] == 1, f"wrong schema version: {report['v']}"
+require(report["provenance"], "provenance",
+        ["model_crc", "model_version", "cascade_crc"])
+assert report["provenance"]["model_crc"].startswith("0x"), \
+    "provenance carries no model crc"
 require(report["layout"], "layout", ["width_nm", "height_nm"])
 require(report["scan"], "scan",
         ["stride_nm", "window_nm", "threshold", "grid_cols", "grid_rows"])
