@@ -10,14 +10,14 @@ use hotspot_core::checkpoint::write_atomic;
 use hotspot_core::detector::{DetectorConfig, HotspotDetector};
 use hotspot_core::metrics::EvalResult;
 use hotspot_core::{
-    CascadeConfig, CascadePrefilter, Checkpoint, CoreError, FeaturePipeline, Parallelism,
-    ScanConfig,
+    ActiveConfig, CascadeConfig, CascadePrefilter, Checkpoint, CoreError, FeaturePipeline,
+    Parallelism, RunIdentity, ScanConfig,
 };
 use hotspot_datagen::suite::SuiteSpec;
-use hotspot_datagen::{Dataset, LayoutSpec, Sample};
+use hotspot_datagen::{ClipPool, Dataset, LayoutSpec, PatternKind, Sample};
 use hotspot_geometry::io::{read_clips, write_clips};
 use hotspot_geometry::Clip;
-use hotspot_litho::{LithoConfig, LithoSimulator};
+use hotspot_litho::{LithoConfig, LithoLabeler, LithoSimulator};
 use hotspot_nn::serialize::ParameterBlob;
 use hotspot_server::{client_roundtrip, ServeModel, Server, ServerConfig};
 use std::fs;
@@ -156,7 +156,19 @@ fn run_tag(config: &DetectorConfig, k: usize) -> String {
 /// `hotspot train --clips F --labels F --model OUT [--k 16 --steps 800
 /// --rounds 2 --batch 32 --seed 42] [--checkpoint-every N]
 /// [--checkpoint F] [--resume F] [--cascade OUT [--cascade-fnr 0.0]
-/// [--cascade-rounds 64] [--cascade-grid 12] [--cascade-holdout 0.25]]`
+/// [--cascade-rounds 64] [--cascade-grid 12] [--cascade-holdout 0.25]]
+/// [--active ROUNDS [--active-batch 10] [--pool 200 | --pool-clips F]
+/// [--pool-seed 7] [--active-clusters 0] [--active-factor 4]
+/// [--active-epsilon 0.1] [--active-seed 13]]`
+///
+/// With `--active ROUNDS`, the labelled clips become the *seed set* of a
+/// batch active-learning run: after the initial biased schedule, each
+/// round scores an unlabeled pool (synthetic, `--pool` clips drawn with
+/// `--pool-seed`, or loaded from `--pool-clips`), selects the
+/// `--active-batch` most informative clips (uncertainty + k-means
+/// diversity), pays the lithography oracle for those labels only, and
+/// fine-tunes. Checkpoints (v2) record every paid-for batch, so a killed
+/// run resumed with `--resume` never re-invokes the oracle.
 ///
 /// With `--cascade OUT`, an AdaBoost prefilter over raw density features
 /// is additionally trained on the same clips, its margin threshold
@@ -196,7 +208,33 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
         .get("checkpoint")
         .map_or_else(|| format!("{model_path}.ckpt"), str::to_string);
     let best_path = format!("{model_path}.best");
-    let tag = run_tag(&config, k);
+    let mut tag = run_tag(&config, k);
+    let active = args.get("active").map(|_| ActiveConfig {
+        rounds: args.usize("active", 2),
+        batch: args.usize("active-batch", 10),
+        clusters: args.usize("active-clusters", 0),
+        candidate_factor: args.usize("active-factor", 4),
+        epsilon: args.f64("active-epsilon", 0.1) as f32,
+        fine_tune: config.schedule().fine_tune,
+        seed: args.usize("active-seed", 13) as u64,
+    });
+    let pool_size = args.usize("pool", 200);
+    let pool_seed = args.usize("pool-seed", 7) as u64;
+    if let Some(a) = &active {
+        // The pool and acquisition knobs shape the trajectory too; bake
+        // them into the resume fingerprint.
+        tag.push_str(&format!(
+            " active={} abatch={} aclusters={} afactor={} aeps={} aseed={} pool={} pool_seed={}",
+            a.rounds,
+            a.batch,
+            a.clusters,
+            a.candidate_factor,
+            a.epsilon,
+            a.seed,
+            args.get("pool-clips").unwrap_or(&pool_size.to_string()),
+            pool_seed,
+        ));
+    }
     let seed = config.mgd.seed;
     let threads = config.mgd.threads;
 
@@ -208,6 +246,23 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
         }
         None => None,
     };
+
+    if let Some(active) = active {
+        return cmd_train_active(
+            args,
+            &dataset,
+            &config,
+            &active,
+            RunIdentity { seed, threads, tag },
+            resume,
+            checkpoint_every,
+            &checkpoint_path,
+            &model_path,
+            k,
+            pool_size,
+            pool_seed,
+        );
+    }
     let resumed_rounds = resume.as_ref().map(|c| c.completed.len());
     let checkpointing = checkpoint_every > 0 || resume.is_some();
     // Seed the best-so-far accuracy from the checkpoint so a resume never
@@ -308,6 +363,85 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
     }
     if let Some(note) = cascade_note {
         out.push_str(&note);
+    }
+    Ok(out)
+}
+
+/// The `--active` arm of `hotspot train`: batch active learning against
+/// the lithography oracle, with v2 checkpointing.
+#[allow(clippy::too_many_arguments)]
+fn cmd_train_active(
+    args: &ExperimentArgs,
+    seed_data: &Dataset,
+    config: &DetectorConfig,
+    active: &ActiveConfig,
+    identity: RunIdentity,
+    resume: Option<Checkpoint>,
+    checkpoint_every: usize,
+    checkpoint_path: &str,
+    model_path: &str,
+    k: usize,
+    pool_size: usize,
+    pool_seed: u64,
+) -> Result<String, CliError> {
+    let pool = match args.get("pool-clips") {
+        Some(path) => ClipPool::from_clips(load_clips(path)?),
+        None => {
+            let mix: Vec<(PatternKind, f64)> =
+                PatternKind::ALL.iter().map(|&kind| (kind, 1.0)).collect();
+            ClipPool::synthetic(&mix, pool_size, pool_seed)
+        }
+    };
+    let labeler = LithoLabeler::new(oracle()?);
+    let checkpointing = checkpoint_every > 0 || resume.is_some();
+    let resumed_batches = resume
+        .as_ref()
+        .and_then(|c| c.active.as_ref())
+        .map(|a| a.rounds.len());
+    let (mut detector, report) = hotspot_core::train_active(
+        seed_data,
+        &pool,
+        &labeler,
+        config,
+        active,
+        &identity,
+        resume.as_ref(),
+        checkpoint_every,
+        &mut |ckpt| {
+            if checkpointing {
+                ckpt.save(Path::new(checkpoint_path))?;
+            }
+            Ok(())
+        },
+    )?;
+    let model = ModelFile {
+        resolution_nm: config.pipeline.resolution_nm(),
+        grid: config.pipeline.grid_dim(),
+        k,
+        blob: detector.export_parameters(),
+    };
+    write_atomic(Path::new(model_path), &model.to_bytes())?;
+    let labelled: usize = report.rounds.iter().map(|r| r.selected.len()).sum();
+    let hotspots: usize = report.rounds.iter().map(|r| r.hotspots_found).sum();
+    let mut out = format!(
+        "active training: {} seed clips + {} round(s) labelled {labelled} of {} pool clips \
+         ({hotspots} hotspots found); labeler calls {} (simulated cost {:.0} s); \
+         final ε = {:.1}, {:.0} s; model written to {model_path}",
+        seed_data.len(),
+        report.rounds.len(),
+        report.pool_size,
+        report.labeler_calls,
+        report.labeler_cost_s,
+        detector.training_report().final_epsilon(),
+        detector.training_report().total_train_time_s(),
+    );
+    if let Some(batches) = resumed_batches {
+        out.push_str(&format!(
+            "; resumed with {batches} batch(es) already labelled"
+        ));
+    }
+    if checkpointing {
+        out.push_str(&format!("; checkpoints at {checkpoint_path}"));
     }
     Ok(out)
 }
@@ -596,6 +730,9 @@ USAGE:
                   [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
                   [--cascade OUT] [--cascade-fnr 0.0] [--cascade-rounds 64]
                   [--cascade-grid 12] [--cascade-holdout 0.25]
+                  [--active ROUNDS] [--active-batch 10] [--pool 200 | --pool-clips FILE]
+                  [--pool-seed 7] [--active-clusters 0] [--active-factor 4]
+                  [--active-epsilon 0.1] [--active-seed 13]
   hotspot predict --clips FILE --model FILE [--threshold 0.5]
   hotspot eval    --clips FILE --labels FILE --model FILE
   hotspot genlayout --out FILE [--tiles 4 | --tiles-x X --tiles-y Y] [--seed 7]
@@ -625,6 +762,14 @@ Training with --checkpoint-every N writes a crash-safe checkpoint (default
 <model>.ckpt) every N steps and keeps the best-validation model at
 <model>.best; after a crash, rerun with the same flags plus --resume FILE
 to finish with bit-identical weights to an uninterrupted run.
+
+Training with --active ROUNDS treats the labelled clips as a seed set and
+runs batch active learning against an unlabeled pool: each round selects
+the --active-batch most informative clips (CNN uncertainty + k-means
+diversity over feature tensors), pays the lithography oracle for those
+labels only, and fine-tunes. The pool is synthetic (--pool clips, drawn
+with --pool-seed) or loaded from --pool-clips. Checkpoints record every
+paid-for batch, so resuming a killed run never re-invokes the oracle.
 
 Serving keeps the detector resident behind a Unix domain socket speaking
 newline-delimited JSON (schema v1): concurrent predict requests coalesce

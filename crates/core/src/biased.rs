@@ -1,6 +1,7 @@
 //! Biased learning (paper Algorithm 2 and Theorem 1).
 
-use crate::mgd::{self, MgdConfig, TrainReport, TrainerState};
+use crate::mgd::{MgdConfig, TrainReport, TrainerState};
+use crate::session::TrainSession;
 use crate::CoreError;
 use hotspot_nn::{Network, Tensor};
 use serde::{Deserialize, Serialize};
@@ -131,6 +132,11 @@ pub struct BiasedResume {
 /// to the uninterrupted run, because every RNG stream is part of the
 /// captured state (see [`mgd::train_resumable`]).
 ///
+/// This is a thin wrapper that moves the network through a
+/// [`TrainSession`] for the duration of the run; multi-round callers that
+/// grow the dataset between rounds (the active-learning loop) drive a
+/// session directly.
+///
 /// # Errors
 ///
 /// Everything [`train_biased`] rejects, plus [`CoreError::Checkpoint`]
@@ -145,78 +151,20 @@ pub fn train_biased_resumable(
     checkpoint_every: usize,
     hook: &mut dyn FnMut(CheckpointEvent<'_>, &mut Network) -> Result<(), CoreError>,
 ) -> Result<BiasedLearningReport, CoreError> {
-    if config.rounds == 0 {
-        return Err(CoreError::InvalidConfig("rounds must be nonzero"));
+    let owned = std::mem::replace(net, Network::new());
+    let mut session = TrainSession::new(owned, features.to_vec(), labels.to_vec(), config.clone());
+    if let Some(r) = resume {
+        session.restore(r);
     }
-    let max_eps = config.epsilon_step * (config.rounds - 1) as f32;
-    if !(0.0..0.5).contains(&max_eps) || config.epsilon_step < 0.0 {
-        return Err(CoreError::InvalidConfig(
-            "bias schedule must keep ε in [0, 0.5)",
-        ));
-    }
-    let (mut rounds, mut pending) = match resume {
-        Some(r) => {
-            if r.completed.len() > config.rounds {
-                return Err(CoreError::Checkpoint(format!(
-                    "checkpoint has {} completed rounds but the schedule only has {}",
-                    r.completed.len(),
-                    config.rounds
-                )));
-            }
-            for (i, round) in r.completed.iter().enumerate() {
-                let expected = config.epsilon_step * i as f32;
-                if round.epsilon != expected {
-                    return Err(CoreError::Checkpoint(format!(
-                        "checkpoint round {i} trained at ε = {} but the schedule expects {expected}",
-                        round.epsilon
-                    )));
-                }
-            }
-            if r.trainer.is_some() && r.completed.len() == config.rounds {
-                return Err(CoreError::Checkpoint(
-                    "checkpoint carries a mid-round state but every round is complete".into(),
-                ));
-            }
-            (r.completed, r.trainer)
-        }
-        None => (Vec::with_capacity(config.rounds), None),
-    };
-    for i in rounds.len()..config.rounds {
-        let epsilon = config.epsilon_step * i as f32;
-        let cfg = if i == 0 {
-            &config.initial
-        } else {
-            &config.fine_tune
-        };
-        let mid_round = pending.take();
-        let report = mgd::train_resumable(
-            net,
-            features,
-            labels,
-            epsilon,
-            cfg,
-            mid_round.as_ref(),
-            checkpoint_every,
-            &mut |state, net| {
-                hook(
-                    CheckpointEvent::Step {
-                        completed: &rounds,
-                        state,
-                    },
-                    net,
-                )
-            },
-        )?;
-        rounds.push(BiasRound { epsilon, report });
-        hook(CheckpointEvent::RoundEnd { completed: &rounds }, net)?;
-    }
-    Ok(BiasedLearningReport { rounds })
+    let result = session.run_schedule(checkpoint_every, hook);
+    *net = session.into_network();
+    result
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mgd::predict_hotspot_prob;
+    use crate::mgd::{self, predict_hotspot_prob};
     use hotspot_nn::layers::{Dense, Relu};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

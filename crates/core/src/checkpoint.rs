@@ -6,11 +6,19 @@
 //! invocation can resume and finish with **bit-identical** weights to a
 //! run that never stopped.
 //!
-//! # File layout (version 1, all little-endian)
+//! # File layout (version 2, all little-endian)
 //!
 //! ```text
 //! magic "HSCK" | u32 version | u32 crc32(payload) | u64 payload_len | payload
 //! ```
+//!
+//! Version 2 appends an optional active-learning section to the version-1
+//! payload: a presence flag, then the per-round pool selections **with
+//! their oracle labels** and the cumulative labeler-call count
+//! ([`ActiveState`]). Storing the labels means a resumed active run never
+//! re-invokes the (expensive) labeler for clips it already paid for, and
+//! replays the training-set growth in the identical order. Version-1 files
+//! load unchanged (no active section).
 //!
 //! The CRC-32 (IEEE, shared with [`hotspot_nn::serialize`]) is computed
 //! over the payload, so any single-byte corruption — truncation, bit flip,
@@ -36,10 +44,37 @@ use std::path::Path;
 
 /// Checkpoint wire-format magic.
 const MAGIC: &[u8; 4] = b"HSCK";
-/// Checkpoint wire-format version.
-const VERSION: u32 = 1;
+/// Checkpoint wire-format version written by [`Checkpoint::to_bytes`].
+const VERSION: u32 = 2;
+/// Oldest checkpoint version [`Checkpoint::from_bytes`] still reads.
+const MIN_VERSION: u32 = 1;
 /// Bytes before the payload: magic + version + crc + payload length.
 const HEADER_LEN: usize = 20;
+
+/// One completed active-learning acquisition round: which pool indices
+/// were selected and the oracle labels they received.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveRoundState {
+    /// Selected pool indices, in acquisition order.
+    pub selected: Vec<u64>,
+    /// Oracle labels, aligned with `selected`.
+    pub labels: Vec<bool>,
+}
+
+/// Per-round active-learning state carried by version-2 checkpoints.
+///
+/// Each entry records a batch that was already labelled (and paid for);
+/// on resume the loop replays these batches from the checkpoint instead
+/// of re-invoking the labeler, then recomputes acquisition only for
+/// rounds that never ran.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ActiveState {
+    /// Labelled batches, in round order.
+    pub rounds: Vec<ActiveRoundState>,
+    /// Labeler calls charged before this snapshot (for cost accounting
+    /// across resumes).
+    pub labeler_calls: u64,
+}
 
 /// A complete, resumable snapshot of a biased-learning training run.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +98,9 @@ pub struct Checkpoint {
     /// Mid-round trainer state when the snapshot was periodic; `None` at
     /// round boundaries.
     pub trainer: Option<TrainerState>,
+    /// Active-learning state (labelled batches so far); `None` for plain
+    /// training runs and version-1 files.
+    pub active: Option<ActiveState>,
 }
 
 impl Checkpoint {
@@ -87,7 +125,14 @@ impl Checkpoint {
             net_rngs: net.rng_states(),
             completed: completed.to_vec(),
             trainer: trainer.cloned(),
+            active: None,
         }
+    }
+
+    /// Attaches active-learning state (builder style; see [`ActiveState`]).
+    pub fn with_active(mut self, active: ActiveState) -> Self {
+        self.active = Some(active);
+        self
     }
 
     /// Verifies this checkpoint belongs to the given run configuration.
@@ -161,6 +206,21 @@ impl Checkpoint {
                 put_trainer(&mut payload, state);
             }
         }
+        match &self.active {
+            None => payload.push(0),
+            Some(active) => {
+                payload.push(1);
+                put_u64(&mut payload, active.labeler_calls);
+                put_u32(&mut payload, active.rounds.len() as u32);
+                for round in &active.rounds {
+                    put_u32(&mut payload, round.selected.len() as u32);
+                    for (&idx, &label) in round.selected.iter().zip(round.labels.iter()) {
+                        put_u64(&mut payload, idx);
+                        payload.push(label as u8);
+                    }
+                }
+            }
+        }
         let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
         buf.extend_from_slice(MAGIC);
         put_u32(&mut buf, VERSION);
@@ -189,9 +249,9 @@ impl Checkpoint {
         }
         let mut header = Reader::new(&data[4..HEADER_LEN]);
         let version = header.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(bad(format!(
-                "unsupported checkpoint version {version} (expected {VERSION})"
+                "unsupported checkpoint version {version} (expected {MIN_VERSION}..={VERSION})"
             )));
         }
         let crc_declared = header.u32()?;
@@ -227,6 +287,15 @@ impl Checkpoint {
             1 => Some(r.trainer()?),
             flag => return Err(bad(format!("invalid trainer-presence flag {flag}"))),
         };
+        let active = if version >= 2 {
+            match r.u8()? {
+                0 => None,
+                1 => Some(r.active()?),
+                flag => return Err(bad(format!("invalid active-presence flag {flag}"))),
+            }
+        } else {
+            None
+        };
         r.finish()?;
         Ok(Checkpoint {
             seed,
@@ -236,6 +305,7 @@ impl Checkpoint {
             net_rngs,
             completed,
             trainer,
+            active,
         })
     }
 
@@ -513,6 +583,30 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn active(&mut self) -> Result<ActiveState, CoreError> {
+        let labeler_calls = self.u64()?;
+        let round_count = self.count(4)?; // each round carries ≥ a u32 count
+        let mut rounds = Vec::with_capacity(round_count);
+        for _ in 0..round_count {
+            let len = self.count(9)?; // u64 index + u8 label per selection
+            let mut selected = Vec::with_capacity(len);
+            let mut labels = Vec::with_capacity(len);
+            for _ in 0..len {
+                selected.push(self.u64()?);
+                labels.push(match self.u8()? {
+                    0 => false,
+                    1 => true,
+                    flag => return Err(bad(format!("invalid oracle-label byte {flag}"))),
+                });
+            }
+            rounds.push(ActiveRoundState { selected, labels });
+        }
+        Ok(ActiveState {
+            rounds,
+            labeler_calls,
+        })
+    }
+
     /// Rejects trailing garbage: a valid payload is consumed exactly.
     fn finish(&self) -> Result<(), CoreError> {
         if self.data.is_empty() {
@@ -586,16 +680,74 @@ mod tests {
                 net_rngs: vec![[9, 10, 11, 12]],
                 replica_rngs: vec![[13, 14, 15, 16], [17, 18, 19, 20], [21, 22, 23, 24]],
             }),
+            active: None,
+        }
+    }
+
+    fn sample_active() -> ActiveState {
+        ActiveState {
+            rounds: vec![
+                ActiveRoundState {
+                    selected: vec![3, 17, 42],
+                    labels: vec![true, false, true],
+                },
+                ActiveRoundState {
+                    selected: vec![5],
+                    labels: vec![false],
+                },
+            ],
+            labeler_calls: 4,
         }
     }
 
     #[test]
     fn roundtrip_is_exact() {
         for trainer in [false, true] {
-            let ckpt = sample_checkpoint(trainer);
-            let bytes = ckpt.to_bytes();
-            assert_eq!(&bytes[..4], b"HSCK");
-            assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ckpt);
+            for active in [false, true] {
+                let mut ckpt = sample_checkpoint(trainer);
+                if active {
+                    ckpt = ckpt.with_active(sample_active());
+                }
+                let bytes = ckpt.to_bytes();
+                assert_eq!(&bytes[..4], b"HSCK");
+                assert_eq!(Checkpoint::from_bytes(&bytes).unwrap(), ckpt);
+            }
+        }
+    }
+
+    #[test]
+    fn version_1_files_still_load() {
+        // A v1 payload is the v2 payload minus the trailing active
+        // section; synthesise one and fix up the header.
+        let ckpt = sample_checkpoint(true);
+        let mut bytes = ckpt.to_bytes();
+        assert_eq!(bytes[bytes.len() - 1], 0, "active-absent flag");
+        bytes.pop(); // drop the active section entirely (v1 layout)
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let payload_len = (bytes.len() - HEADER_LEN) as u64;
+        bytes[12..20].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[8..12].copy_from_slice(&crc.to_le_bytes());
+        let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
+        assert_eq!(decoded.active, None);
+        // A v1 file may not carry an active section.
+        let mut with_tail = bytes.clone();
+        with_tail.push(0);
+        let payload_len = (with_tail.len() - HEADER_LEN) as u64;
+        with_tail[12..20].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&with_tail[HEADER_LEN..]);
+        with_tail[8..12].copy_from_slice(&crc.to_le_bytes());
+        assert!(Checkpoint::from_bytes(&with_tail).is_err());
+    }
+
+    #[test]
+    fn unknown_versions_rejected() {
+        let mut bytes = sample_checkpoint(false).to_bytes();
+        for v in [0u32, 3, 999] {
+            bytes[4..8].copy_from_slice(&v.to_le_bytes());
+            let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+            assert!(err.to_string().contains("version"), "got {err}");
         }
     }
 

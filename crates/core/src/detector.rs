@@ -1,6 +1,6 @@
 //! End-to-end detector API.
 
-use crate::biased::{self, BiasedLearningConfig, BiasedLearningReport, CheckpointEvent};
+use crate::biased::{BiasedLearningConfig, BiasedLearningReport, CheckpointEvent};
 use crate::cascade::{CascadeConfig, CascadePrefilter};
 use crate::checkpoint::Checkpoint;
 use crate::feature::FeaturePipeline;
@@ -31,6 +31,30 @@ pub struct DetectorConfig {
     /// [`HotspotDetector::evaluate`], [`HotspotDetector::scan`]). Defaults
     /// to [`Parallelism::auto`]; never affects results, only latency.
     pub parallelism: Parallelism,
+}
+
+impl DetectorConfig {
+    /// The CNN architecture with its input dimensions reconciled to the
+    /// feature pipeline (grid size and retained DCT coefficients).
+    pub fn reconciled_cnn(&self) -> CnnConfig {
+        CnnConfig {
+            input_grid: self.pipeline.grid_dim(),
+            input_channels: self.pipeline.coefficients(),
+            ..self.cnn
+        }
+    }
+
+    /// The effective biased-learning schedule: `mgd` supplies the initial
+    /// trainer settings, and the fine-tune step budget is capped at a
+    /// quarter of the initial budget when left above it.
+    pub fn schedule(&self) -> BiasedLearningConfig {
+        let mut biased = self.biased.clone();
+        biased.initial = self.mgd.clone();
+        if biased.fine_tune.max_steps > self.mgd.max_steps {
+            biased.fine_tune.max_steps = (self.mgd.max_steps / 4).max(1);
+        }
+        biased
+    }
 }
 
 /// A trained hotspot detector: feature pipeline + CNN + (optionally)
@@ -96,33 +120,20 @@ impl HotspotDetector {
         }
         let pipeline = config.pipeline.clone();
         let (features, labels) = pipeline.extract_dataset(train)?;
-        let cnn = CnnConfig {
-            input_grid: pipeline.grid_dim(),
-            input_channels: pipeline.coefficients(),
-            ..config.cnn
-        };
-        let mut net = cnn.build();
-        let resume_state = match resume {
-            Some(ckpt) => Some(ckpt.apply(&mut net)?),
-            None => None,
-        };
-        let mut biased_cfg = config.biased.clone();
-        biased_cfg.initial = config.mgd.clone();
-        if biased_cfg.fine_tune.max_steps > config.mgd.max_steps {
-            biased_cfg.fine_tune.max_steps = (config.mgd.max_steps / 4).max(1);
+        let mut session = crate::session::TrainSession::new(
+            config.reconciled_cnn().build(),
+            features,
+            labels,
+            config.schedule(),
+        );
+        if let Some(ckpt) = resume {
+            let resume_state = ckpt.apply(session.network_mut())?;
+            session.restore(resume_state);
         }
-        let report = biased::train_biased_resumable(
-            &mut net,
-            &features,
-            &labels,
-            &biased_cfg,
-            resume_state,
-            checkpoint_every,
-            hook,
-        )?;
+        let report = session.run_schedule(checkpoint_every, hook)?;
         Ok(HotspotDetector {
             pipeline,
-            net,
+            net: session.into_network(),
             report,
             parallelism: config.parallelism,
         })
@@ -180,6 +191,22 @@ impl HotspotDetector {
             net,
             report: BiasedLearningReport { rounds: Vec::new() },
             parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Assembles a detector from a finished training session (the
+    /// active-learning driver in [`crate::active`]).
+    pub(crate) fn from_session(
+        pipeline: FeaturePipeline,
+        net: Network,
+        report: BiasedLearningReport,
+        parallelism: Parallelism,
+    ) -> Self {
+        HotspotDetector {
+            pipeline,
+            net,
+            report,
+            parallelism,
         }
     }
 

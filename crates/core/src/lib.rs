@@ -39,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod active;
 pub mod api;
 pub mod biased;
 pub mod calibration;
@@ -54,12 +55,16 @@ pub mod parallelism;
 pub mod prelude;
 pub mod roc;
 pub mod scan;
+pub mod session;
 pub mod shift;
 
+pub use active::{
+    acquire_batch, train_active, ActiveConfig, ActiveReport, ActiveRoundReport, RunIdentity,
+};
 pub use api::ModelProvenance;
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
 pub use cascade::{CascadeConfig, CascadePrefilter};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{ActiveRoundState, ActiveState, Checkpoint};
 pub use detector::{DetectorConfig, HotspotDetector};
 pub use feature::FeaturePipeline;
 pub use metrics::EvalResult;
@@ -70,6 +75,7 @@ pub use parallelism::Parallelism;
 pub use scan::{
     CacheStats, CascadeScanStats, HotspotRegion, ScanConfig, ScanReport, ScanStage, WindowScore,
 };
+pub use session::TrainSession;
 
 use std::error::Error;
 use std::fmt;
@@ -94,6 +100,12 @@ pub enum CoreError {
     /// unusable (corrupt header or blob, unsupported version, weights
     /// that do not fit the declared architecture).
     Model(String),
+    /// A training set could not be grown (feature/label count mismatch,
+    /// inconsistent feature dimension or clip window).
+    Dataset(String),
+    /// The active-learning loop failed (empty pool, degenerate
+    /// acquisition, inconsistent checkpointed selections).
+    Active(String),
 }
 
 impl fmt::Display for CoreError {
@@ -105,6 +117,8 @@ impl fmt::Display for CoreError {
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             CoreError::Prefilter(why) => write!(f, "cascade prefilter error: {why}"),
             CoreError::Model(why) => write!(f, "model file error: {why}"),
+            CoreError::Dataset(why) => write!(f, "dataset error: {why}"),
+            CoreError::Active(why) => write!(f, "active learning error: {why}"),
         }
     }
 }
@@ -133,5 +147,17 @@ impl From<hotspot_features::FeatureError> for CoreError {
 impl From<hotspot_baselines::BaselineError> for CoreError {
     fn from(e: hotspot_baselines::BaselineError) -> Self {
         CoreError::Prefilter(e.to_string())
+    }
+}
+
+impl From<hotspot_datagen::DatasetError> for CoreError {
+    fn from(e: hotspot_datagen::DatasetError) -> Self {
+        CoreError::Dataset(e.to_string())
+    }
+}
+
+impl From<hotspot_features::kmeans::KMeansError> for CoreError {
+    fn from(e: hotspot_features::kmeans::KMeansError) -> Self {
+        CoreError::Active(e.to_string())
     }
 }

@@ -1,0 +1,91 @@
+//! Property tests for batch acquisition: selection is a deterministic
+//! function of the seed, never duplicates or leaves the candidate set,
+//! fills the batch whenever candidates remain, and successive rounds are
+//! disjoint — the loop can never pay the labeler twice for one clip.
+
+use hotspot_core::acquire_batch;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const DIM: usize = 3;
+
+fn arb_pool() -> impl Strategy<Value = (Vec<f32>, Vec<Vec<f32>>)> {
+    proptest::collection::vec(
+        (0.0f32..=1.0, proptest::collection::vec(-10.0f32..10.0, DIM)),
+        1..60,
+    )
+    .prop_map(|clips| clips.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn acquisition_is_a_function_of_the_seed(
+        (probs, features) in arb_pool(),
+        batch in 1usize..8,
+        clusters in 0usize..4,
+        factor in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let unlabeled: Vec<usize> = (0..probs.len()).collect();
+        let a = acquire_batch(&probs, &features, &unlabeled, batch, clusters, factor, seed)
+            .expect("valid candidates");
+        let b = acquire_batch(&probs, &features, &unlabeled, batch, clusters, factor, seed)
+            .expect("valid candidates");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batches_are_valid_subsets(
+        (probs, features) in arb_pool(),
+        batch in 1usize..8,
+        clusters in 0usize..4,
+        factor in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let unlabeled: Vec<usize> = (0..probs.len()).step_by(2).collect();
+        let picks = acquire_batch(&probs, &features, &unlabeled, batch, clusters, factor, seed)
+            .expect("valid candidates");
+        // Full batch whenever enough candidates remain, never more.
+        prop_assert_eq!(picks.len(), batch.min(unlabeled.len()));
+        let candidates: HashSet<usize> = unlabeled.iter().copied().collect();
+        let unique: HashSet<usize> = picks.iter().copied().collect();
+        prop_assert_eq!(unique.len(), picks.len(), "no duplicates");
+        prop_assert!(picks.iter().all(|i| candidates.contains(i)), "subset of candidates");
+    }
+
+    #[test]
+    fn successive_rounds_are_disjoint(
+        (probs, features) in arb_pool(),
+        batch in 1usize..6,
+        clusters in 0usize..4,
+        factor in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        // Drain the pool round by round, as the training loop does; no
+        // index may ever be selected twice across the whole run.
+        let mut unlabeled: Vec<usize> = (0..probs.len()).collect();
+        let mut seen = HashSet::new();
+        let mut round = 0u64;
+        while !unlabeled.is_empty() {
+            let picks = acquire_batch(
+                &probs,
+                &features,
+                &unlabeled,
+                batch,
+                clusters,
+                factor,
+                seed ^ round,
+            )
+            .expect("valid candidates");
+            prop_assert!(!picks.is_empty(), "progress while candidates remain");
+            for i in &picks {
+                prop_assert!(seen.insert(*i), "index {} selected twice", i);
+            }
+            unlabeled.retain(|i| !seen.contains(i));
+            round += 1;
+        }
+        prop_assert_eq!(seen.len(), probs.len(), "the pool drains completely");
+    }
+}

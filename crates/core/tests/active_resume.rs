@@ -1,0 +1,276 @@
+//! Kill-resume integration test for the active-learning loop: a run
+//! interrupted at *any* persisted checkpoint — mid-schedule, right after
+//! paying the labeler, or mid-fine-tune — must resume to the identical
+//! batch sequence and bit-identical final weights, without ever invoking
+//! the labeler again for a clip that was already paid for.
+
+use hotspot_core::mgd::MgdConfig;
+use hotspot_core::{
+    train_active, ActiveConfig, Checkpoint, CoreError, DetectorConfig, FeaturePipeline, RunIdentity,
+};
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_datagen::{ClipPool, Dataset, PatternKind};
+use hotspot_litho::{Labeler, LithoConfig, LithoLabeler, LithoSimulator};
+use std::cell::RefCell;
+
+fn quick_config() -> DetectorConfig {
+    let mgd = MgdConfig {
+        lr: 2e-3,
+        alpha: 0.7,
+        decay_step: 150,
+        batch_size: 16,
+        max_steps: 120,
+        val_interval: 40,
+        patience: 3,
+        val_fraction: 0.25,
+        seed: 5,
+        balanced_sampling: true,
+        threads: 1,
+    };
+    let mut cfg = DetectorConfig::default();
+    cfg.pipeline = FeaturePipeline::new(10, 12, 8).unwrap();
+    cfg.biased.rounds = 2;
+    cfg.biased.fine_tune = MgdConfig {
+        max_steps: 50,
+        ..mgd.clone()
+    };
+    cfg.mgd = mgd;
+    cfg
+}
+
+fn active_config(cfg: &DetectorConfig) -> ActiveConfig {
+    ActiveConfig {
+        rounds: 3,
+        batch: 4,
+        clusters: 0,
+        candidate_factor: 3,
+        epsilon: 0.1,
+        fine_tune: MgdConfig {
+            max_steps: 50,
+            ..cfg.mgd.clone()
+        },
+        seed: 13,
+    }
+}
+
+fn identity(cfg: &DetectorConfig) -> RunIdentity {
+    RunIdentity {
+        seed: cfg.mgd.seed,
+        threads: cfg.mgd.threads,
+        tag: "active-resume-test".into(),
+    }
+}
+
+fn fixtures() -> (Dataset, ClipPool, LithoLabeler) {
+    let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+    let data = SuiteSpec {
+        name: "active-resume".into(),
+        train_hs: 20,
+        train_nhs: 20,
+        test_hs: 1,
+        test_nhs: 1,
+        mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
+        seed: 99,
+    }
+    .build(&sim);
+    let mix = [(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)];
+    let pool = ClipPool::synthetic(&mix, 24, 7);
+    (data.train, pool, LithoLabeler::new(sim))
+}
+
+#[test]
+fn kill_and_resume_reproduces_the_run_bit_for_bit() {
+    let cfg = quick_config();
+    let active = active_config(&cfg);
+    let ident = identity(&cfg);
+    let (seed_data, pool, labeler) = fixtures();
+
+    // Reference: one uninterrupted run, recording every checkpoint.
+    let snapshots: RefCell<Vec<Vec<u8>>> = RefCell::new(Vec::new());
+    let (mut reference, ref_report) = train_active(
+        &seed_data,
+        &pool,
+        &labeler,
+        &cfg,
+        &active,
+        &ident,
+        None,
+        7,
+        &mut |ckpt| {
+            snapshots.borrow_mut().push(ckpt.to_bytes());
+            Ok(())
+        },
+    )
+    .unwrap();
+    let snapshots = snapshots.into_inner();
+    let ref_calls = labeler.calls();
+    let ref_blob = reference.export_parameters();
+    let ref_batches: Vec<Vec<usize>> = ref_report
+        .rounds
+        .iter()
+        .map(|r| r.selected.clone())
+        .collect();
+    assert_eq!(ref_batches.len(), active.rounds);
+    assert_eq!(ref_report.labeler_calls, ref_calls);
+    assert_eq!(
+        ref_report.trajectory.rounds.len(),
+        cfg.biased.rounds + active.rounds
+    );
+    assert!(snapshots.len() > 4, "expected several checkpoints");
+
+    // Crash points spanning every phase: mid-initial-schedule, right
+    // after the first batch is labelled (trainer-free active snapshot),
+    // mid-fine-tune, and just before the finish line.
+    let decoded: Vec<Checkpoint> = snapshots
+        .iter()
+        .map(|b| Checkpoint::from_bytes(b).unwrap())
+        .collect();
+    let post_label = decoded
+        .iter()
+        .position(|c| {
+            c.active.as_ref().is_some_and(|a| !a.rounds.is_empty()) && c.trainer.is_none()
+        })
+        .expect("a post-labelling checkpoint exists");
+    let mid_fine_tune = decoded
+        .iter()
+        .position(|c| {
+            c.active.as_ref().is_some_and(|a| !a.rounds.is_empty()) && c.trainer.is_some()
+        })
+        .expect("a mid-fine-tune checkpoint exists");
+    let mut crash_points = vec![0, post_label, mid_fine_tune, snapshots.len() - 2];
+    crash_points.sort_unstable();
+    crash_points.dedup();
+
+    for crash_at in crash_points {
+        // Process 1: dies immediately after persisting checkpoint
+        // `crash_at` (the write completed; the process did not).
+        let (_, _, crashed_labeler) = fixtures();
+        let seen = RefCell::new(0usize);
+        let latest: RefCell<Option<Vec<u8>>> = RefCell::new(None);
+        let crashed = train_active(
+            &seed_data,
+            &pool,
+            &crashed_labeler,
+            &cfg,
+            &active,
+            &ident,
+            None,
+            7,
+            &mut |ckpt| {
+                *latest.borrow_mut() = Some(ckpt.to_bytes());
+                let mut n = seen.borrow_mut();
+                if *n == crash_at {
+                    return Err(CoreError::Checkpoint("simulated SIGKILL".into()));
+                }
+                *n += 1;
+                Ok(())
+            },
+        );
+        assert!(crashed.is_err(), "crash_at={crash_at} must abort the run");
+        let bytes = latest.into_inner().expect("a checkpoint was written");
+        // Checkpoint bytes embed wall-clock telemetry (elapsed seconds),
+        // so compare the replayable state instead of raw bytes: the
+        // crashed run must have taken the same path as the reference.
+        let crashed_ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+        let reference_ckpt = &decoded[crash_at];
+        assert_eq!(
+            crashed_ckpt.params, reference_ckpt.params,
+            "crash_at={crash_at}: the interrupted run diverged before crashing"
+        );
+        assert_eq!(
+            crashed_ckpt.active, reference_ckpt.active,
+            "crash_at={crash_at}"
+        );
+        assert_eq!(
+            crashed_ckpt.completed.len(),
+            reference_ckpt.completed.len(),
+            "crash_at={crash_at}"
+        );
+
+        // Process 2: a fresh process (fresh labeler) resumes from disk.
+        let ckpt = crashed_ckpt;
+        let (_, _, resumed_labeler) = fixtures();
+        let (mut detector, report) = train_active(
+            &seed_data,
+            &pool,
+            &resumed_labeler,
+            &cfg,
+            &active,
+            &ident,
+            Some(&ckpt),
+            7,
+            &mut |_| Ok(()),
+        )
+        .unwrap();
+
+        // Identical batch sequence, bit-identical weights.
+        let batches: Vec<Vec<usize>> = report.rounds.iter().map(|r| r.selected.clone()).collect();
+        assert_eq!(batches, ref_batches, "crash_at={crash_at}");
+        for (r, reference_round) in ref_report.rounds.iter().enumerate() {
+            assert_eq!(
+                report.rounds[r].labels, reference_round.labels,
+                "crash_at={crash_at} round {r}"
+            );
+        }
+        assert_eq!(
+            detector.export_parameters(),
+            ref_blob,
+            "crash_at={crash_at}: resumed weights diverged"
+        );
+
+        // No clip is ever paid for twice: the two processes together make
+        // exactly as many oracle calls as the uninterrupted run, and the
+        // report accounts for all of them.
+        assert_eq!(
+            crashed_labeler.calls() + resumed_labeler.calls(),
+            ref_calls,
+            "crash_at={crash_at}: labeler was re-invoked after resume"
+        );
+        assert_eq!(report.labeler_calls, ref_calls, "crash_at={crash_at}");
+    }
+}
+
+#[test]
+fn mismatched_run_identity_is_rejected() {
+    let cfg = quick_config();
+    let active = ActiveConfig {
+        rounds: 1,
+        ..active_config(&cfg)
+    };
+    let ident = identity(&cfg);
+    let (seed_data, pool, labeler) = fixtures();
+    let latest: RefCell<Option<Vec<u8>>> = RefCell::new(None);
+    train_active(
+        &seed_data,
+        &pool,
+        &labeler,
+        &cfg,
+        &active,
+        &ident,
+        None,
+        0,
+        &mut |ckpt| {
+            *latest.borrow_mut() = Some(ckpt.to_bytes());
+            Ok(())
+        },
+    )
+    .unwrap();
+    let bytes = latest.into_inner().unwrap();
+    let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+    let wrong = RunIdentity {
+        tag: "different-config".into(),
+        ..ident
+    };
+    let err = train_active(
+        &seed_data,
+        &pool,
+        &labeler,
+        &cfg,
+        &active,
+        &wrong,
+        Some(&ckpt),
+        0,
+        &mut |_| Ok(()),
+    );
+    assert!(matches!(err, Err(CoreError::Checkpoint(_))));
+}

@@ -4,7 +4,7 @@
 
 use hotspot_core::biased::BiasRound;
 use hotspot_core::mgd::{TrainPoint, TrainerState};
-use hotspot_core::{Checkpoint, TrainReport};
+use hotspot_core::{ActiveRoundState, ActiveState, Checkpoint, TrainReport};
 use hotspot_nn::layers::Dense;
 use hotspot_nn::serialize::ParameterBlob;
 use hotspot_nn::Network;
@@ -96,6 +96,26 @@ fn arb_trainer() -> impl Strategy<Value = TrainerState> {
         )
 }
 
+fn arb_active() -> impl Strategy<Value = ActiveState> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0u64..10_000, proptest::bool::ANY), 0..6),
+            0..4,
+        ),
+        0u64..100_000,
+    )
+        .prop_map(|(rounds, labeler_calls)| ActiveState {
+            rounds: rounds
+                .into_iter()
+                .map(|pairs| {
+                    let (selected, labels) = pairs.into_iter().unzip();
+                    ActiveRoundState { selected, labels }
+                })
+                .collect(),
+            labeler_calls,
+        })
+}
+
 fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
     (
         (
@@ -114,19 +134,23 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
         ),
         prop_oneof![Just(false), Just(true)],
         arb_trainer(),
+        prop_oneof![Just(None), arb_active().prop_map(Some)],
     )
         .prop_map(
-            |((seed, threads, tag), (weights, net_rngs, rounds), mid_round, trainer)| Checkpoint {
-                seed,
-                threads,
-                tag,
-                params: blob_with(&weights, 4, 3),
-                net_rngs,
-                completed: rounds
-                    .into_iter()
-                    .map(|(epsilon, report)| BiasRound { epsilon, report })
-                    .collect(),
-                trainer: mid_round.then_some(trainer),
+            |((seed, threads, tag), (weights, net_rngs, rounds), mid_round, trainer, active)| {
+                Checkpoint {
+                    seed,
+                    threads,
+                    tag,
+                    params: blob_with(&weights, 4, 3),
+                    net_rngs,
+                    completed: rounds
+                        .into_iter()
+                        .map(|(epsilon, report)| BiasRound { epsilon, report })
+                        .collect(),
+                    trainer: mid_round.then_some(trainer),
+                    active,
+                }
             },
         )
 }

@@ -4,6 +4,52 @@ use hotspot_geometry::Clip;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from validated dataset growth ([`Dataset::append`] /
+/// [`Dataset::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Clip and label counts differ.
+    LabelCountMismatch {
+        /// Number of clips supplied.
+        clips: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// An incoming clip's window dimensions differ from the dataset's,
+    /// which would change the rasterised feature dimension mid-training.
+    WindowMismatch {
+        /// Existing window size (width, height) in nm.
+        expected: (i64, i64),
+        /// Offending clip's window size in nm.
+        found: (i64, i64),
+        /// Index of the offending incoming clip.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LabelCountMismatch { clips, labels } => {
+                write!(f, "{clips} clips but {labels} labels")
+            }
+            DatasetError::WindowMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "clip {index} window {}x{} nm differs from dataset window {}x{} nm",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl Error for DatasetError {}
 
 /// One labelled training/testing instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +157,82 @@ impl Dataset {
     pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
         self.samples.iter()
     }
+
+    /// Window dimensions (width, height) shared by existing samples, if any.
+    fn window_dims(&self) -> Option<(i64, i64)> {
+        self.samples
+            .first()
+            .map(|s| (s.clip.window().width(), s.clip.window().height()))
+    }
+
+    /// Appends freshly labelled clips, validating that the label count
+    /// matches and every clip window has the dataset's dimensions (a window
+    /// mismatch would change the rasterised feature dimension mid-training).
+    ///
+    /// On error, the dataset is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::LabelCountMismatch`] when `clips.len() !=
+    /// labels.len()`; [`DatasetError::WindowMismatch`] when a clip's window
+    /// dimensions differ from the existing samples' (or, for an initially
+    /// empty dataset, from the first incoming clip's).
+    pub fn append(&mut self, clips: Vec<Clip>, labels: &[bool]) -> Result<(), DatasetError> {
+        if clips.len() != labels.len() {
+            return Err(DatasetError::LabelCountMismatch {
+                clips: clips.len(),
+                labels: labels.len(),
+            });
+        }
+        let expected = self.window_dims().or_else(|| {
+            clips
+                .first()
+                .map(|c| (c.window().width(), c.window().height()))
+        });
+        if let Some(expected) = expected {
+            for (index, clip) in clips.iter().enumerate() {
+                let found = (clip.window().width(), clip.window().height());
+                if found != expected {
+                    return Err(DatasetError::WindowMismatch {
+                        expected,
+                        found,
+                        index,
+                    });
+                }
+            }
+        }
+        self.samples.extend(
+            clips
+                .into_iter()
+                .zip(labels.iter())
+                .map(|(clip, &hotspot)| Sample { clip, hotspot }),
+        );
+        Ok(())
+    }
+
+    /// Merges another dataset into this one with the same window validation
+    /// as [`Dataset::append`]. On error, both datasets are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::WindowMismatch`] when the incoming dataset's window
+    /// dimensions differ from this one's.
+    pub fn merge(&mut self, other: Dataset) -> Result<(), DatasetError> {
+        if let Some(expected) = self.window_dims() {
+            for (index, s) in other.samples.iter().enumerate() {
+                let found = (s.clip.window().width(), s.clip.window().height());
+                if found != expected {
+                    return Err(DatasetError::WindowMismatch {
+                        expected,
+                        found,
+                        index,
+                    });
+                }
+            }
+        }
+        self.samples.extend(other.samples);
+        Ok(())
+    }
 }
 
 impl FromIterator<Sample> for Dataset {
@@ -208,5 +330,83 @@ mod tests {
         let mut e = Dataset::new();
         e.extend(d.iter().cloned());
         assert_eq!(e.len(), 4);
+    }
+
+    fn clip(side: i64) -> Clip {
+        Clip::new(Rect::new(0, 0, side, side).unwrap())
+    }
+
+    #[test]
+    fn append_validates_label_count() {
+        let mut d = dataset(1, 1);
+        let before = d.clone();
+        let err = d.append(vec![clip(100), clip(100)], &[true]).unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::LabelCountMismatch {
+                clips: 2,
+                labels: 1
+            }
+        );
+        assert_eq!(d, before, "failed append must not mutate");
+    }
+
+    #[test]
+    fn append_validates_window_dims() {
+        let mut d = dataset(1, 1); // 100×100 windows
+        let before = d.clone();
+        let err = d
+            .append(vec![clip(100), clip(200)], &[true, false])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::WindowMismatch {
+                expected: (100, 100),
+                found: (200, 200),
+                index: 1,
+            }
+        );
+        assert_eq!(d, before, "failed append must not mutate");
+    }
+
+    #[test]
+    fn append_grows_in_order() {
+        let mut d = dataset(1, 0);
+        d.append(vec![clip(100), clip(100)], &[false, true])
+            .unwrap();
+        assert_eq!(d.len(), 3);
+        assert!(!d.samples()[1].hotspot);
+        assert!(d.samples()[2].hotspot);
+    }
+
+    #[test]
+    fn append_to_empty_enforces_internal_consistency() {
+        let mut d = Dataset::new();
+        assert!(d
+            .append(vec![clip(100), clip(200)], &[true, false])
+            .is_err());
+        assert!(d.is_empty());
+        d.append(vec![clip(100), clip(100)], &[true, false])
+            .unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn merge_validates_window_dims() {
+        let mut d = dataset(2, 2);
+        let mut other = Dataset::new();
+        other.push(Sample {
+            clip: clip(300),
+            hotspot: true,
+        });
+        assert!(matches!(
+            d.merge(other).unwrap_err(),
+            DatasetError::WindowMismatch { .. }
+        ));
+        assert_eq!(d.len(), 4);
+
+        let ok = dataset(1, 1);
+        d.merge(ok).unwrap();
+        assert_eq!(d.len(), 6);
     }
 }

@@ -44,9 +44,11 @@ pub mod augment;
 pub mod dataset;
 pub mod layout;
 pub mod patterns;
+pub mod pool;
 pub mod suite;
 
-pub use dataset::{Dataset, Sample};
+pub use dataset::{Dataset, DatasetError, Sample};
 pub use layout::LayoutSpec;
 pub use patterns::PatternKind;
+pub use pool::ClipPool;
 pub use suite::{BenchmarkData, SuiteSpec};

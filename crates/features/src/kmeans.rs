@@ -10,6 +10,52 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from k-means fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KMeansError {
+    /// `fit` was called with no samples.
+    NoSamples,
+    /// `k` was zero or exceeded the sample count.
+    InvalidK {
+        /// Requested cluster count.
+        k: usize,
+        /// Number of samples provided.
+        samples: usize,
+    },
+    /// Sample feature vectors had inconsistent lengths.
+    RaggedSamples {
+        /// Length of the first sample.
+        expected: usize,
+        /// Index of the first offending sample.
+        index: usize,
+        /// Its length.
+        found: usize,
+    },
+}
+
+impl fmt::Display for KMeansError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KMeansError::NoSamples => write!(f, "k-means needs at least one sample"),
+            KMeansError::InvalidK { k, samples } => {
+                write!(f, "k must be in 1..={samples}, got {k}")
+            }
+            KMeansError::RaggedSamples {
+                expected,
+                index,
+                found,
+            } => write!(
+                f,
+                "ragged feature vectors: sample {index} has length {found}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for KMeansError {}
 
 /// K-means configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,10 +91,10 @@ impl KMeans {
     ///
     /// Returns the fitted model and the per-sample cluster assignments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `samples` is empty, `k` is zero or exceeds the sample
-    /// count, or feature vectors are ragged.
+    /// Returns [`KMeansError`] when `samples` is empty, `k` is zero or
+    /// exceeds the sample count, or feature vectors are ragged.
     ///
     /// # Examples
     ///
@@ -56,32 +102,44 @@ impl KMeans {
     /// use hotspot_features::kmeans::{KMeans, KMeansConfig};
     /// use rand::SeedableRng;
     ///
+    /// # fn main() -> Result<(), hotspot_features::kmeans::KMeansError> {
     /// let samples = vec![
     ///     vec![0.0f32, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
     ///     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
     /// ];
     /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     /// let config = KMeansConfig { k: 2, ..KMeansConfig::default() };
-    /// let (model, assign) = KMeans::fit(&samples, &config, &mut rng);
+    /// let (model, assign) = KMeans::fit(&samples, &config, &mut rng)?;
     /// assert_eq!(assign[0], assign[1]);
     /// assert_ne!(assign[0], assign[3]);
     /// assert!(model.inertia() < 0.1);
+    /// # Ok(())
+    /// # }
     /// ```
     pub fn fit(
         samples: &[Vec<f32>],
         config: &KMeansConfig,
         rng: &mut StdRng,
-    ) -> (KMeans, Vec<usize>) {
-        assert!(!samples.is_empty(), "k-means needs samples");
-        assert!(
-            config.k > 0 && config.k <= samples.len(),
-            "k must be in 1..=sample count"
-        );
+    ) -> Result<(KMeans, Vec<usize>), KMeansError> {
+        if samples.is_empty() {
+            return Err(KMeansError::NoSamples);
+        }
+        if config.k == 0 || config.k > samples.len() {
+            return Err(KMeansError::InvalidK {
+                k: config.k,
+                samples: samples.len(),
+            });
+        }
         let dim = samples[0].len();
-        assert!(
-            samples.iter().all(|s| s.len() == dim),
-            "ragged feature vectors"
-        );
+        for (index, s) in samples.iter().enumerate() {
+            if s.len() != dim {
+                return Err(KMeansError::RaggedSamples {
+                    expected: dim,
+                    index,
+                    found: s.len(),
+                });
+            }
+        }
 
         let mut centroids = kmeanspp_seed(samples, config.k, rng);
         let mut assignments = vec![0usize; samples.len()];
@@ -135,14 +193,14 @@ impl KMeans {
             *a = best;
             inertia += d;
         }
-        (
+        Ok((
             KMeans {
                 centroids,
                 inertia,
                 iterations,
             },
             assignments,
-        )
+        ))
     }
 
     /// Cluster centroids.
@@ -244,6 +302,10 @@ mod tests {
         out
     }
 
+    fn fit(samples: &[Vec<f32>], cfg: &KMeansConfig, rng: &mut StdRng) -> (KMeans, Vec<usize>) {
+        KMeans::fit(samples, cfg, rng).expect("valid k-means input")
+    }
+
     #[test]
     fn recovers_well_separated_blobs() {
         let samples = blobs();
@@ -251,7 +313,7 @@ mod tests {
             k: 3,
             ..KMeansConfig::default()
         };
-        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(4));
+        let (model, assign) = fit(&samples, &cfg, &mut rng(4));
         // All members of a blob share a cluster; blobs differ.
         for b in 0..3 {
             let first = assign[b * 8];
@@ -271,7 +333,7 @@ mod tests {
             k: 1,
             ..KMeansConfig::default()
         };
-        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(0));
+        let (model, assign) = fit(&samples, &cfg, &mut rng(0));
         assert!(assign.iter().all(|&a| a == 0));
         assert!((model.centroids()[0][0] - 2.0).abs() < 1e-6);
     }
@@ -283,7 +345,7 @@ mod tests {
             k: 3,
             ..KMeansConfig::default()
         };
-        let (model, assign) = KMeans::fit(&samples, &cfg, &mut rng(7));
+        let (model, assign) = fit(&samples, &cfg, &mut rng(7));
         for (s, &a) in samples.iter().zip(assign.iter()) {
             assert_eq!(model.predict(s), a);
         }
@@ -296,8 +358,8 @@ mod tests {
             k: 3,
             ..KMeansConfig::default()
         };
-        let (m1, a1) = KMeans::fit(&samples, &cfg, &mut rng(9));
-        let (m2, a2) = KMeans::fit(&samples, &cfg, &mut rng(9));
+        let (m1, a1) = fit(&samples, &cfg, &mut rng(9));
+        let (m2, a2) = fit(&samples, &cfg, &mut rng(9));
         assert_eq!(m1, m2);
         assert_eq!(a1, a2);
     }
@@ -309,29 +371,78 @@ mod tests {
             k: 3,
             ..KMeansConfig::default()
         };
-        let (model, _) = KMeans::fit(&samples, &cfg, &mut rng(2));
+        let (model, _) = fit(&samples, &cfg, &mut rng(2));
         assert!(model.inertia() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "k must be in")]
+    fn empty_samples_rejected() {
+        let samples: Vec<Vec<f32>> = Vec::new();
+        let cfg = KMeansConfig::default();
+        assert_eq!(
+            KMeans::fit(&samples, &cfg, &mut rng(0)).unwrap_err(),
+            KMeansError::NoSamples
+        );
+    }
+
+    #[test]
+    fn k_zero_rejected() {
+        let samples = vec![vec![0.0f32], vec![1.0]];
+        let cfg = KMeansConfig {
+            k: 0,
+            ..KMeansConfig::default()
+        };
+        assert_eq!(
+            KMeans::fit(&samples, &cfg, &mut rng(0)).unwrap_err(),
+            KMeansError::InvalidK { k: 0, samples: 2 }
+        );
+    }
+
+    #[test]
     fn k_larger_than_samples_rejected() {
         let samples = vec![vec![0.0f32]];
         let cfg = KMeansConfig {
             k: 2,
             ..KMeansConfig::default()
         };
-        let _ = KMeans::fit(&samples, &cfg, &mut rng(0));
+        assert_eq!(
+            KMeans::fit(&samples, &cfg, &mut rng(0)).unwrap_err(),
+            KMeansError::InvalidK { k: 2, samples: 1 }
+        );
     }
 
     #[test]
-    #[should_panic(expected = "ragged")]
     fn ragged_features_rejected() {
         let samples = vec![vec![0.0f32], vec![0.0, 1.0]];
         let cfg = KMeansConfig {
             k: 1,
             ..KMeansConfig::default()
         };
-        let _ = KMeans::fit(&samples, &cfg, &mut rng(0));
+        assert_eq!(
+            KMeans::fit(&samples, &cfg, &mut rng(0)).unwrap_err(),
+            KMeansError::RaggedSamples {
+                expected: 1,
+                index: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn empty_cluster_reseeds_deterministically() {
+        // Nine coincident points plus one outlier with k = 3: two clusters
+        // start empty and must be re-seeded from the farthest point without
+        // diverging between runs.
+        let mut samples = vec![vec![0.0f32, 0.0]; 9];
+        samples.push(vec![100.0, 100.0]);
+        let cfg = KMeansConfig {
+            k: 3,
+            ..KMeansConfig::default()
+        };
+        let (m1, a1) = fit(&samples, &cfg, &mut rng(5));
+        let (m2, a2) = fit(&samples, &cfg, &mut rng(5));
+        assert_eq!(m1, m2);
+        assert_eq!(a1, a2);
+        assert_ne!(a1[0], a1[9], "outlier should own its own cluster");
     }
 }

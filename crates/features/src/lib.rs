@@ -21,7 +21,7 @@ pub mod kmeans;
 
 pub use ccs::{ccs_feature, CcsSpec};
 pub use density::{density_feature, density_feature_grid};
-pub use kmeans::{KMeans, KMeansConfig};
+pub use kmeans::{KMeans, KMeansConfig, KMeansError};
 
 use std::error::Error;
 use std::fmt;

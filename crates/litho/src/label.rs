@@ -93,6 +93,18 @@ impl LithoReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// Signed distance of the worst corner to the pass/fail boundary, in
+    /// failing pixels: `worst_failures() - min_failure_px`.
+    ///
+    /// Non-negative exactly when [`is_hotspot`](Self::is_hotspot) is true
+    /// (`0` means the worst corner sits right on the failure threshold);
+    /// more negative means a more robust pattern, more positive a more
+    /// severe hotspot. Acquisition strategies can rank near-boundary clips
+    /// by `|severity_margin()|`.
+    pub fn severity_margin(&self) -> i64 {
+        self.worst_failures() as i64 - self.min_failure_px.max(1) as i64
+    }
 }
 
 /// The labelling simulator: rasterise → aerial image per corner → resist →
@@ -305,6 +317,58 @@ mod tests {
         };
         assert!(failure_at(50) >= failure_at(90));
         assert!(failure_at(60) >= failure_at(120));
+    }
+
+    #[test]
+    fn severity_margin_sign_matches_label() {
+        let s = sim();
+        // Robust pattern: negative margin, not a hotspot.
+        let mut clean = Clip::new(window());
+        clean.push(Rect::new(500, 100, 640, 1100).unwrap());
+        let report = s.analyze_clip(&clean);
+        assert!(!report.is_hotspot());
+        assert!(report.severity_margin() < 0);
+
+        // Sub-resolution array: non-negative margin, hotspot.
+        let mut dense = Clip::new(window());
+        for i in 0..6 {
+            dense.push(Rect::new(300 + i * 100, 0, 350 + i * 100, 1200).unwrap());
+        }
+        let report = s.analyze_clip(&dense);
+        assert!(report.is_hotspot());
+        assert!(report.severity_margin() >= 0);
+    }
+
+    #[test]
+    fn severity_margin_monotone_in_worst_failures() {
+        // margin = worst_failures - threshold, so ordering by margin must
+        // match ordering by worst_failures across a pitch sweep.
+        let report_at = |half_pitch: i64| {
+            let mut clip = Clip::new(window());
+            let mut x = 300;
+            while x + half_pitch < 900 {
+                clip.push(Rect::new(x, 300, x + half_pitch, 900).unwrap());
+                x += 2 * half_pitch;
+            }
+            sim().analyze_clip(&clip)
+        };
+        let reports: Vec<LithoReport> = [45i64, 55, 65, 80, 100, 140]
+            .iter()
+            .map(|&hp| report_at(hp))
+            .collect();
+        for a in &reports {
+            assert_eq!(
+                a.severity_margin(),
+                a.worst_failures() as i64 - LithoConfig::default().min_failure_px as i64
+            );
+            for b in &reports {
+                assert_eq!(
+                    a.worst_failures().cmp(&b.worst_failures()),
+                    a.severity_margin().cmp(&b.severity_margin()),
+                    "severity margin must order exactly like worst_failures"
+                );
+            }
+        }
     }
 
     #[test]

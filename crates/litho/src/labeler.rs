@@ -1,0 +1,121 @@
+//! Pluggable labelling oracles for active learning.
+//!
+//! Active-learning loops treat label acquisition as the expensive step: in
+//! this suite the oracle is full lithography simulation at ~10 s per clip
+//! ([`simtime::SIM_TIME_PER_CLIP_S`](crate::simtime::SIM_TIME_PER_CLIP_S)).
+//! The [`Labeler`] trait abstracts the oracle so the training loop can run
+//! against the real simulator, a cached label store, or a test stub, while
+//! every implementation keeps an auditable call count from which the
+//! simulated labelling cost follows.
+
+use crate::simtime::SIM_TIME_PER_CLIP_S;
+use crate::LithoSimulator;
+use hotspot_geometry::Clip;
+use std::cell::Cell;
+
+/// A labelling oracle with cost accounting.
+///
+/// Implementations must be deterministic: the same clip always yields the
+/// same label, so resumed active-learning runs replay identically.
+pub trait Labeler {
+    /// Returns the ground-truth hotspot label of a clip, charging one call.
+    fn label(&self, clip: &Clip) -> bool;
+
+    /// Number of labelling calls made so far.
+    fn calls(&self) -> usize;
+
+    /// Simulated labelling cost so far, in seconds (paper Definition 3
+    /// charges [`SIM_TIME_PER_CLIP_S`] per simulated clip).
+    fn cost_s(&self) -> f64 {
+        self.calls() as f64 * SIM_TIME_PER_CLIP_S
+    }
+}
+
+/// The real oracle: full process-window lithography simulation.
+///
+/// Wraps a [`LithoSimulator`] and counts every [`label`](Labeler::label)
+/// call — the quantity an active-learning bench minimises.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_geometry::{Clip, Rect};
+/// use hotspot_litho::{Labeler, LithoConfig, LithoLabeler, LithoSimulator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sim = LithoSimulator::new(LithoConfig::default())?;
+/// let labeler = LithoLabeler::new(sim);
+/// let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
+/// clip.push(Rect::new(400, 100, 520, 1100)?);
+/// assert!(!labeler.label(&clip));
+/// assert_eq!(labeler.calls(), 1);
+/// assert_eq!(labeler.cost_s(), 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LithoLabeler {
+    sim: LithoSimulator,
+    calls: Cell<usize>,
+}
+
+impl LithoLabeler {
+    /// Wraps a simulator with a zeroed call counter.
+    pub fn new(sim: LithoSimulator) -> Self {
+        LithoLabeler {
+            sim,
+            calls: Cell::new(0),
+        }
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &LithoSimulator {
+        &self.sim
+    }
+}
+
+impl Labeler for LithoLabeler {
+    fn label(&self, clip: &Clip) -> bool {
+        self.calls.set(self.calls.get() + 1);
+        self.sim.label_clip(clip)
+    }
+
+    fn calls(&self) -> usize {
+        self.calls.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LithoConfig;
+    use hotspot_geometry::Rect;
+
+    fn labeler() -> LithoLabeler {
+        LithoLabeler::new(LithoSimulator::new(LithoConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn counts_calls_and_cost() {
+        let l = labeler();
+        assert_eq!(l.calls(), 0);
+        assert_eq!(l.cost_s(), 0.0);
+        let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+        clip.push(Rect::new(500, 100, 640, 1100).unwrap());
+        let first = l.label(&clip);
+        let second = l.label(&clip);
+        assert_eq!(first, second, "oracle must be deterministic");
+        assert_eq!(l.calls(), 2);
+        assert_eq!(l.cost_s(), 2.0 * SIM_TIME_PER_CLIP_S);
+    }
+
+    #[test]
+    fn matches_direct_simulation() {
+        let l = labeler();
+        let mut dense = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+        for i in 0..6 {
+            dense.push(Rect::new(300 + i * 100, 0, 350 + i * 100, 1200).unwrap());
+        }
+        assert_eq!(l.label(&dense), l.simulator().label_clip(&dense));
+    }
+}

@@ -47,6 +47,7 @@ pub mod aerial;
 pub mod epe;
 pub mod kernel;
 pub mod label;
+pub mod labeler;
 pub mod process;
 pub mod resist;
 pub mod simtime;
@@ -54,6 +55,7 @@ pub mod window;
 
 pub use kernel::Kernel1d;
 pub use label::{LithoConfig, LithoReport, LithoSimulator};
+pub use labeler::{Labeler, LithoLabeler};
 pub use process::{CornerReport, ProcessCorner};
 pub use resist::ResistModel;
 

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_iters: 200,
         tolerance: 1e-8,
     };
-    let (model, assignments) = KMeans::fit(&features, &config, &mut rng);
+    let (model, assignments) = KMeans::fit(&features, &config, &mut rng)?;
     println!(
         "clustered {} clips into {} groups in {} iterations (inertia {:.1})\n",
         features.len(),
