@@ -100,10 +100,11 @@ fn main() {
         .train
         .iter()
         .cloned()
-        .chain(pool.clips().iter().map(|clip| Sample {
-            clip: clip.clone(),
-            hotspot: full_labeler.label(clip),
-        }))
+        .chain(
+            pool.clips()
+                .iter()
+                .map(|clip| Sample::new(clip.clone(), full_labeler.label(clip))),
+        )
         .collect();
     let full_calls = full_labeler.calls();
     eprintln!(

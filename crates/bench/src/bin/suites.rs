@@ -1,0 +1,198 @@
+//! Suite-matrix benchmark: per-family accuracy and throughput across the
+//! registered benchmark suites.
+//!
+//! For every suite in `--suites` (default: one classic mix plus the three
+//! topology suites) this benchmark:
+//!
+//! 1. generates the suite at `--scale`, timing the build (generation
+//!    throughput, clips/s, litho labelling included);
+//! 2. trains the biased-learning detector on the train split;
+//! 3. evaluates on the test split (paper accuracy = hotspot recall, plus
+//!    false alarms) and times batch prediction (inference clips/s);
+//! 4. probes each pattern family in the suite's mix with freshly drawn,
+//!    litho-labelled clips, reporting per-family detection accuracy —
+//!    fresh draws, so family accuracy is measured on clips the model has
+//!    never seen, not on memorised training geometry;
+//! 5. for corner-grid suites, additionally trains the per-corner
+//!    [`hotspot_core::CornerHead`] and reports corner-wise accuracy and
+//!    severity error.
+//!
+//! ```text
+//! cargo run --release -p hotspot-bench --bin suites -- \
+//!     --scale 0.01 --steps 300 --probes 24
+//! ```
+//!
+//! Writes `results/BENCH_suites.json` (override the directory with
+//! `--out`).
+
+use hotspot_bench::{build_benchmark, detector_config, oracle, ExperimentArgs};
+use hotspot_core::corners::{CornerHead, CornerHeadConfig};
+use hotspot_core::HotspotDetector;
+use hotspot_datagen::patterns;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_litho::LithoSimulator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Per-family probe: draw fresh clips, label with the oracle, score with
+/// the trained detector at threshold 0.5. Returns (accuracy, hotspots).
+fn probe_family(
+    detector: &HotspotDetector,
+    sim: &LithoSimulator,
+    kind: patterns::PatternKind,
+    probes: usize,
+    seed: u64,
+) -> (f64, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clips: Vec<_> = (0..probes)
+        .map(|_| patterns::sample_pattern(kind, &mut rng))
+        .collect();
+    let truth: Vec<bool> = clips.iter().map(|c| sim.label_clip(c)).collect();
+    let scores = detector.predict_batch(&clips).expect("probe clips score");
+    let hits = scores
+        .iter()
+        .zip(&truth)
+        .filter(|&(&s, &t)| (s >= 0.5) == t)
+        .count();
+    (
+        hits as f64 / probes as f64,
+        truth.iter().filter(|&&t| t).count(),
+    )
+}
+
+fn main() {
+    let args = ExperimentArgs::from_env();
+    let scale = args.f64("scale", 0.01);
+    let out_dir = args.string("out", "results");
+    let probes = args.usize("probes", 24);
+    let suite_list = args.string("suites", "iccad,topo,vias,rdl");
+
+    let mut config = detector_config(&args);
+    let steps = args.usize("steps", 300);
+    config.mgd.max_steps = steps;
+    config.biased.initial.max_steps = steps;
+    config.biased.fine_tune.max_steps = (steps / 4).max(1);
+    config.biased.rounds = args.usize("rounds", 2);
+
+    let sim = oracle();
+    let mut suite_reports = Vec::new();
+    for name in suite_list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let spec = SuiteSpec::by_name(name, scale).unwrap_or_else(|| {
+            panic!("unknown suite '{name}' ({})", SuiteSpec::REGISTRY.join("|"))
+        });
+
+        let gen_start = Instant::now();
+        let data = build_benchmark(&spec, &sim);
+        let gen_s = gen_start.elapsed().as_secs_f64();
+        let total_clips = data.train.len() + data.test.len();
+
+        eprintln!("[suites] {name}: training on {} clips...", data.train.len());
+        let train_start = Instant::now();
+        let detector = HotspotDetector::fit(&data.train, &config).expect("suite trains");
+        let train_s = train_start.elapsed().as_secs_f64();
+
+        let eval = detector.evaluate(&data.test).expect("suite evaluates");
+        let test_clips: Vec<_> = data.test.iter().map(|s| s.clip.clone()).collect();
+        let predict_start = Instant::now();
+        let _ = detector
+            .predict_batch(&test_clips)
+            .expect("test set scores");
+        let predict_s = predict_start.elapsed().as_secs_f64();
+        let predict_rate = test_clips.len() as f64 / predict_s.max(1e-9);
+        eprintln!(
+            "[suites] {name}: accuracy {:.3}, {} false alarms, {:.0} clips/s inference",
+            eval.accuracy, eval.false_alarms, predict_rate
+        );
+
+        let mut family_reports = Vec::new();
+        for (fi, stats) in data.families.iter().enumerate() {
+            let (acc, probe_hs) = probe_family(
+                &detector,
+                &sim,
+                stats.kind,
+                probes,
+                spec.seed ^ 0xBE9C_0000 ^ fi as u64,
+            );
+            eprintln!(
+                "[suites] {name}/{}: probe accuracy {acc:.3} ({probe_hs}/{probes} hotspots)",
+                stats.kind.name()
+            );
+            family_reports.push(format!(
+                "{{ \"family\": \"{}\", \"probe_accuracy\": {acc:.6}, \
+                 \"probe_hotspots\": {probe_hs}, \"kept_hs\": {}, \"kept_nhs\": {}, \
+                 \"crc\": \"{:08x}\" }}",
+                stats.kind.name(),
+                stats.kept_hs,
+                stats.kept_nhs,
+                stats.crc
+            ));
+        }
+
+        let corner_json = if data.train.corner_schema().is_some() {
+            let head_cfg = CornerHeadConfig {
+                pipeline: config.pipeline.clone(),
+                ..CornerHeadConfig::default()
+            };
+            let (head, report) =
+                CornerHead::fit(&data.train, &head_cfg).expect("corner head trains");
+            let corner_eval = head.evaluate(&data.test).expect("corner head evaluates");
+            eprintln!(
+                "[suites] {name}: corner head accuracy {:.3}, severity MAE {:.2}",
+                corner_eval.corner_accuracy, corner_eval.severity_mae
+            );
+            format!(
+                "{{ \"n_corners\": {}, \"final_loss\": {:.6}, \
+                 \"corner_accuracy\": {:.6}, \"hotspot_accuracy\": {:.6}, \
+                 \"severity_mae\": {:.6} }}",
+                head.n_corners(),
+                report.final_loss,
+                corner_eval.corner_accuracy,
+                corner_eval.hotspot_accuracy,
+                corner_eval.severity_mae
+            )
+        } else {
+            "null".into()
+        };
+
+        let schema_json = match data.spec.corner_grid.as_ref() {
+            Some(grid) => format!("\"{}\"", grid.schema()),
+            None => "null".into(),
+        };
+        suite_reports.push(format!(
+            "{{\n    \"suite\": \"{name}\",\n    \"benchmark\": \"{}\",\n    \
+             \"train_clips\": {},\n    \"test_clips\": {},\n    \"augmented\": {},\n    \
+             \"corner_schema\": {schema_json},\n    \
+             \"gen_s\": {gen_s:.3},\n    \"gen_clips_per_s\": {:.2},\n    \
+             \"train_s\": {train_s:.3},\n    \
+             \"accuracy\": {:.6},\n    \"false_alarms\": {},\n    \
+             \"predict_clips_per_s\": {predict_rate:.2},\n    \
+             \"families\": [ {} ],\n    \"corner_head\": {corner_json}\n  }}",
+            spec.name,
+            data.train.len(),
+            data.test.len(),
+            data.augmented,
+            total_clips as f64 / gen_s.max(1e-9),
+            eval.accuracy,
+            eval.false_alarms,
+            family_reports.join(", "),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"suite-matrix\",\n  \"scale\": {scale},\n  \
+         \"train_steps\": {steps},\n  \"probes_per_family\": {probes},\n  \
+         \"suites\": [ {} ]\n}}\n",
+        suite_reports.join(", ")
+    );
+    print!("{json}");
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = format!("{out_dir}/BENCH_suites.json");
+    std::fs::write(&path, &json).expect("write BENCH_suites.json");
+    eprintln!("[suites] wrote {path}");
+}

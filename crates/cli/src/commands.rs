@@ -14,7 +14,7 @@ use hotspot_core::{
     Parallelism, RunIdentity, ScanConfig,
 };
 use hotspot_datagen::suite::SuiteSpec;
-use hotspot_datagen::{ClipPool, Dataset, LayoutSpec, PatternKind, Sample};
+use hotspot_datagen::{ClipPool, Dataset, LayoutSpec, Manifest, PatternKind, Sample};
 use hotspot_geometry::io::{read_clips, write_clips};
 use hotspot_geometry::Clip;
 use hotspot_litho::{LithoConfig, LithoLabeler, LithoSimulator};
@@ -64,9 +64,13 @@ fn required<'a>(args: &'a ExperimentArgs, key: &str) -> Result<&'a str, CliError
         .ok_or_else(|| CliError::Usage(format!("missing required flag --{key}")))
 }
 
-/// `hotspot gen --suite <iccad|industry1|industry2|industry3> --scale S --dir D`
+/// `hotspot gen --suite <name> --scale S --dir D` where `<name>` is any
+/// registered suite (see [`SuiteSpec::REGISTRY`]).
 ///
-/// Writes `train.clips` / `train.labels` / `test.clips` / `test.labels`.
+/// Writes `train.clips` / `train.labels` / `test.clips` / `test.labels`
+/// plus a `manifest.txt` content fingerprint, and — for suites built on a
+/// process-corner grid — `train.corners` / `test.corners` per-corner
+/// label files.
 ///
 /// # Errors
 ///
@@ -75,20 +79,16 @@ pub fn cmd_gen(args: &ExperimentArgs) -> Result<String, CliError> {
     let suite = args.string("suite", "iccad");
     let scale = args.f64("scale", 0.01);
     let dir = required(args, "dir")?.to_string();
-    let spec = match suite.as_str() {
-        "iccad" => SuiteSpec::iccad(scale),
-        "industry1" => SuiteSpec::industry1(scale),
-        "industry2" => SuiteSpec::industry2(scale),
-        "industry3" => SuiteSpec::industry3(scale),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown suite '{other}' (iccad|industry1|industry2|industry3)"
-            )))
-        }
-    };
+    let spec = SuiteSpec::by_name(&suite, scale).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown suite '{suite}' ({})",
+            SuiteSpec::REGISTRY.join("|")
+        ))
+    })?;
     let sim = oracle()?;
     let data = spec.build(&sim);
     fs::create_dir_all(&dir)?;
+    let corner_schema = data.train.corner_schema();
     for (name, split) in [("train", &data.train), ("test", &data.test)] {
         let mut clip_bytes = Vec::new();
         write_clips(&mut clip_bytes, split.iter().map(|s| &s.clip))?;
@@ -98,9 +98,33 @@ pub fn cmd_gen(args: &ExperimentArgs) -> Result<String, CliError> {
             .map(|s| if s.hotspot { "1\n" } else { "0\n" })
             .collect();
         fs::write(Path::new(&dir).join(format!("{name}.labels")), labels)?;
+        if corner_schema.is_some() {
+            let corners: Vec<_> = split
+                .iter()
+                .map(|s| {
+                    s.corners.clone().ok_or_else(|| {
+                        CliError::Data(format!(
+                            "{name} split sample is missing per-corner labels despite the schema"
+                        ))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let mut corner_bytes = Vec::new();
+            hotspot_datagen::write_corner_labels(&mut corner_bytes, &corners)?;
+            fs::write(
+                Path::new(&dir).join(format!("{name}.corners")),
+                corner_bytes,
+            )?;
+        }
     }
+    let manifest = Manifest::from_data(&data);
+    fs::write(Path::new(&dir).join("manifest.txt"), manifest.render())?;
+    let corner_note = match &manifest.corner_schema {
+        Some(schema) => format!(" with per-corner labels ({schema})"),
+        None => String::new(),
+    };
     Ok(format!(
-        "wrote {} train clips ({} hotspots) and {} test clips ({} hotspots) to {dir}/",
+        "wrote {} train clips ({} hotspots) and {} test clips ({} hotspots) to {dir}/{corner_note}",
         data.train.len(),
         data.train.hotspot_count(),
         data.test.len(),
@@ -194,7 +218,7 @@ pub fn cmd_train(args: &ExperimentArgs) -> Result<String, CliError> {
     let dataset: Dataset = clips
         .into_iter()
         .zip(labels)
-        .map(|(clip, hotspot)| Sample { clip, hotspot })
+        .map(|(clip, hotspot)| Sample::new(clip, hotspot))
         .collect();
 
     let mut config: DetectorConfig = hotspot_bench::detector_config(args);
@@ -724,7 +748,8 @@ pub const USAGE: &str = "\
 hotspot — layout hotspot detection (DAC'17 deep biased learning)
 
 USAGE:
-  hotspot gen     --dir DIR [--suite iccad|industry1|industry2|industry3] [--scale 0.01]
+  hotspot gen     --dir DIR [--scale 0.01]
+                  [--suite iccad|industry1|industry2|industry3|topo|vias|rdl|golden-mini]
   hotspot label   --clips FILE
   hotspot train   --clips FILE --labels FILE --model OUT [--k 16] [--steps 800] [--rounds 2]
                   [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
@@ -746,6 +771,13 @@ USAGE:
 
 Clip files use the text format of hotspot-geometry (clip/rect/end records);
 label files carry one 0/1 per clip line.
+
+gen writes train/test clip and label files plus manifest.txt, a content
+fingerprint (per-split and per-family CRCs) that pins the generated bytes;
+regenerating with the same suite, scale and tool version reproduces it
+exactly. Suites built on a dose x defocus process-corner grid (topo,
+golden-mini) additionally write train.corners / test.corners with one
+'<severity> <fail-bits>' line per clip.
 
 Scanning slides the detector window over a full layout (see genlayout),
 reusing per-block DCT coefficients between overlapping windows whenever the
@@ -819,6 +851,50 @@ mod tests {
         assert!(msg.contains(":4:"), "missing line number in: {msg}");
         assert!(msg.contains("maybe"), "missing bad token in: {msg}");
         fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn gen_writes_manifest_and_corner_labels_for_corner_suites() {
+        let dir = std::env::temp_dir().join(format!("hotspot-cli-gen-{}", std::process::id()));
+        let args =
+            ExperimentArgs::from_iter(["--suite", "golden-mini", "--dir", dir.to_str().unwrap()]);
+        let summary = cmd_gen(&args).unwrap();
+        assert!(summary.contains("per-corner labels"), "summary: {summary}");
+        for file in [
+            "train.clips",
+            "train.labels",
+            "train.corners",
+            "test.clips",
+            "test.labels",
+            "test.corners",
+            "manifest.txt",
+        ] {
+            assert!(dir.join(file).exists(), "missing {file}");
+        }
+        let manifest_text = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        let manifest = Manifest::parse(&manifest_text).unwrap();
+        assert_eq!(manifest.name, "GoldenMini");
+        assert!(manifest.corner_schema.is_some());
+        let n_train = fs::read_to_string(dir.join("train.labels"))
+            .unwrap()
+            .lines()
+            .count();
+        let corners = fs::read(dir.join("train.corners")).unwrap();
+        let parsed = hotspot_datagen::read_corner_labels(corners.as_slice()).unwrap();
+        assert_eq!(parsed.len(), n_train);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn gen_rejects_unknown_suite_naming_the_registry() {
+        let args = ExperimentArgs::from_iter(["--suite", "nope", "--dir", "/tmp/unused"]);
+        let msg = cmd_gen(&args).unwrap_err().to_string();
+        for name in SuiteSpec::REGISTRY {
+            assert!(
+                msg.contains(name),
+                "registry entry {name} missing from: {msg}"
+            );
+        }
     }
 
     #[test]

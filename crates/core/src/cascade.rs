@@ -450,6 +450,9 @@ mod tests {
                 (hotspot_datagen::PatternKind::LineTips, 1.0),
             ],
             seed: 41,
+            version: hotspot_datagen::suite::SUITE_VERSION,
+            corner_grid: None,
+            augment: None,
         }
         .build(&sim)
         .train

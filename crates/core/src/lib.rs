@@ -17,6 +17,9 @@
 //!   1–3), with [`roc`] threshold sweeps and [`calibration`] reliability
 //!   analysis of the confidence-reduction mechanism behind Theorem 1.
 //! - [`detector`]: a one-stop train/predict/evaluate API.
+//! - [`corners`]: a multi-label head for process-corner-labelled suites,
+//!   predicting one fail probability per dose×defocus corner plus a
+//!   worst-corner severity margin.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod biased;
 pub mod calibration;
 pub mod cascade;
 pub mod checkpoint;
+pub mod corners;
 pub mod detector;
 pub mod feature;
 pub mod metrics;
@@ -65,6 +69,9 @@ pub use api::ModelProvenance;
 pub use biased::{BiasedLearningConfig, BiasedLearningReport};
 pub use cascade::{CascadeConfig, CascadePrefilter};
 pub use checkpoint::{ActiveRoundState, ActiveState, Checkpoint};
+pub use corners::{
+    CornerEvalResult, CornerHead, CornerHeadConfig, CornerPrediction, CornerTrainReport,
+};
 pub use detector::{DetectorConfig, HotspotDetector};
 pub use feature::FeaturePipeline;
 pub use metrics::EvalResult;

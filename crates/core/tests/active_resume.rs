@@ -71,6 +71,9 @@ fn fixtures() -> (Dataset, ClipPool, LithoLabeler) {
         test_nhs: 1,
         mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
         seed: 99,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     }
     .build(&sim);
     let mix = [(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)];

@@ -1,15 +1,32 @@
-//! Label-preserving clip augmentation.
+//! Geometric clip augmentation: dihedral symmetries and ε-perturbation.
 //!
 //! The lithography oracle is invariant under the dihedral symmetries of
 //! the square: its PSF is isotropic, the resist threshold is pointwise and
 //! the morphology/guard-band checks use square structuring elements. A
-//! rotated or mirrored clip therefore has *exactly* the same hotspot label
-//! — so the eight dihedral variants of every training clip are free,
-//! guaranteed-correct training data (the augmentation trick real hotspot
-//! flows use).
+//! rotated or mirrored **square** clip therefore has *exactly* the same
+//! hotspot label — so the eight dihedral variants of every training clip
+//! are free, guaranteed-correct training data (the augmentation trick real
+//! hotspot flows use). [`augment_dataset`] exploits this shortcut.
+//!
+//! Two augmentations do **not** preserve labels and must re-simulate:
+//!
+//! - quarter-turn variants of a *non-square* clip swap the window's axes,
+//!   so the variant cannot even live in the same dataset (the rasterised
+//!   feature dimension changes);
+//! - ε-perturbation ([`perturb_clip`]) jitters shape edges by a few grid
+//!   steps, which deliberately walks marginal patterns across the
+//!   hotspot decision boundary.
+//!
+//! [`augment_resimulated`] is the safe path for both: it validates the
+//! window dimensions of every variant (dropping axis-swapping symmetries
+//! of non-square clips) and labels each surviving variant with a fresh
+//! oracle run instead of carrying the source label.
 
 use crate::dataset::{Dataset, Sample};
 use hotspot_geometry::{Clip, GeometryError, Point, Rect};
+use hotspot_litho::LithoSimulator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// The eight symmetries of the square (rotations × mirror).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,46 +62,59 @@ impl Symmetry {
         Symmetry::MirrorR270,
     ];
 
-    /// Maps a point of an `side × side` window (origin at the window's low
-    /// corner) under the symmetry.
-    fn map_point(&self, p: Point, side: i64) -> Point {
+    /// Whether the symmetry exchanges the window's width and height
+    /// (quarter-turns and the two transposes). For a non-square window these
+    /// variants cannot share a dataset with the original.
+    pub fn swaps_axes(&self) -> bool {
+        matches!(
+            self,
+            Symmetry::R90 | Symmetry::R270 | Symmetry::MirrorR90 | Symmetry::MirrorR270
+        )
+    }
+
+    /// Maps a point of a `w × h` window (origin at the window's low corner)
+    /// under the symmetry. Axis-swapping symmetries land in an `h × w`
+    /// window.
+    fn map_point(&self, p: Point, w: i64, h: i64) -> Point {
         let (x, y) = (p.x, p.y);
         match self {
             Symmetry::R0 => Point::new(x, y),
-            Symmetry::R90 => Point::new(y, side - x),
-            Symmetry::R180 => Point::new(side - x, side - y),
-            Symmetry::R270 => Point::new(side - y, x),
-            Symmetry::MirrorX => Point::new(side - x, y),
-            Symmetry::MirrorY => Point::new(x, side - y),
+            Symmetry::R90 => Point::new(y, w - x),
+            Symmetry::R180 => Point::new(w - x, h - y),
+            Symmetry::R270 => Point::new(h - y, x),
+            Symmetry::MirrorX => Point::new(w - x, y),
+            Symmetry::MirrorY => Point::new(x, h - y),
             Symmetry::MirrorR90 => Point::new(y, x),
-            Symmetry::MirrorR270 => Point::new(side - y, side - x),
+            Symmetry::MirrorR270 => Point::new(h - y, w - x),
         }
     }
 }
 
 /// Applies a symmetry to a clip.
 ///
-/// The clip is first normalised so its window sits at the origin; the
-/// result has the same (square) window.
+/// The clip is first normalised so its window sits at the origin. Square
+/// windows map onto themselves; for non-square windows, axis-swapping
+/// symmetries ([`Symmetry::swaps_axes`]) produce a clip whose window has
+/// width and height exchanged — callers that require a fixed window shape
+/// must check the result's dimensions (as [`augment_resimulated`] does).
 ///
 /// # Errors
 ///
-/// Returns [`GeometryError::EmptyRect`] only if the window is not square —
-/// dihedral symmetries of a rectangle would change its orientation.
+/// Propagates [`GeometryError`] if a mapped shape degenerates, which cannot
+/// happen for well-formed clips.
 pub fn transform_clip(clip: &Clip, symmetry: Symmetry) -> Result<Clip, GeometryError> {
     let normalized = clip.normalized();
     let window = normalized.window();
-    if window.width() != window.height() {
-        return Err(GeometryError::EmptyRect {
-            lo: window.lo(),
-            hi: window.hi(),
-        });
-    }
-    let side = window.width();
-    let mut out = Clip::new(window);
+    let (w, h) = (window.width(), window.height());
+    let out_window = if symmetry.swaps_axes() {
+        Rect::new(0, 0, h, w)?
+    } else {
+        window
+    };
+    let mut out = Clip::new(out_window);
     for shape in normalized.shapes() {
-        let a = symmetry.map_point(shape.lo(), side);
-        let b = symmetry.map_point(shape.hi(), side);
+        let a = symmetry.map_point(shape.lo(), w, h);
+        let b = symmetry.map_point(shape.hi(), w, h);
         let lo = Point::new(a.x.min(b.x), a.y.min(b.y));
         let hi = Point::new(a.x.max(b.x), a.y.max(b.y));
         out.push(Rect::from_corners(lo, hi)?);
@@ -92,37 +122,144 @@ pub fn transform_clip(clip: &Clip, symmetry: Symmetry) -> Result<Clip, GeometryE
     Ok(out)
 }
 
-/// All eight dihedral variants of a clip (identity included, first).
-///
-/// # Panics
-///
-/// Panics if the clip window is not square.
+/// All eight dihedral variants of a clip (identity included, first). For a
+/// non-square window, four of the variants have the window's axes swapped.
 pub fn dihedral_variants(clip: &Clip) -> Vec<Clip> {
     Symmetry::ALL
         .iter()
-        .map(|&s| transform_clip(clip, s).expect("square window"))
+        .map(|&s| transform_clip(clip, s).expect("well-formed clip transforms cleanly"))
         .collect()
 }
 
+/// Jitters every shape edge of a clip independently by a grid-snapped
+/// offset in `[-eps_nm, eps_nm]`, clamped to the window. Degenerate results
+/// (an edge crossing its opposite) keep the original shape. The window is
+/// unchanged.
+///
+/// The perturbed clip's hotspot label is **not** the source clip's —
+/// marginal patterns flip under even one grid step of jitter. Always
+/// re-label through the oracle ([`augment_resimulated`] does).
+pub fn perturb_clip(clip: &Clip, eps_nm: i64, rng: &mut StdRng) -> Clip {
+    const GRID_NM: i64 = 10;
+    let normalized = clip.normalized();
+    let window = normalized.window();
+    let steps = (eps_nm / GRID_NM).max(0);
+    let mut out = Clip::new(window);
+    for shape in normalized.shapes() {
+        let mut jitter = || rng.gen_range(-steps..=steps) * GRID_NM;
+        let lo = Point::new(
+            (shape.lo().x + jitter()).clamp(window.lo().x, window.hi().x),
+            (shape.lo().y + jitter()).clamp(window.lo().y, window.hi().y),
+        );
+        let hi = Point::new(
+            (shape.hi().x + jitter()).clamp(window.lo().x, window.hi().x),
+            (shape.hi().y + jitter()).clamp(window.lo().y, window.hi().y),
+        );
+        match Rect::new(lo.x, lo.y, hi.x, hi.y) {
+            Ok(r) => out.push(r),
+            Err(_) => out.push(*shape),
+        };
+    }
+    out
+}
+
+/// Configuration for oracle-checked augmentation ([`augment_resimulated`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentConfig {
+    /// Symmetries to apply (identity is skipped: the original sample is
+    /// already in the dataset).
+    pub symmetries: Vec<Symmetry>,
+    /// ε-perturbed copies to draw per sample.
+    pub perturbs: usize,
+    /// Maximum per-edge jitter for perturbed copies, in nm (snapped to the
+    /// 10 nm grid).
+    pub eps_nm: i64,
+    /// RNG seed for the perturbation stream.
+    pub seed: u64,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            symmetries: Symmetry::ALL.to_vec(),
+            perturbs: 1,
+            eps_nm: 10,
+            seed: 0x00A4_6E17,
+        }
+    }
+}
+
 /// Expands a dataset with the dihedral variants of every sample, labels
-/// copied (valid because the oracle is dihedral-invariant; see module
-/// docs). The identity variant is the original sample, so the output is
-/// exactly 8× the input.
+/// copied (valid because the oracle is dihedral-invariant on square
+/// windows; see module docs). The identity variant is the original sample,
+/// so the output is exactly 8× the input.
 ///
 /// # Panics
 ///
-/// Panics if any clip window is not square.
+/// Panics if any clip window is not square — the label-copy shortcut is
+/// only sound there. Use [`augment_resimulated`] for non-square windows.
 pub fn augment_dataset(data: &Dataset) -> Dataset {
     data.iter()
         .flat_map(|sample| {
+            let window = sample.clip.window();
+            assert_eq!(
+                window.width(),
+                window.height(),
+                "augment_dataset requires square windows; use augment_resimulated"
+            );
             dihedral_variants(&sample.clip)
                 .into_iter()
-                .map(move |clip| Sample {
-                    clip,
-                    hotspot: sample.hotspot,
-                })
+                .map(move |clip| Sample::new(clip, sample.hotspot))
         })
         .collect()
+}
+
+/// Builds oracle-labelled augmented variants of every sample: the
+/// configured symmetries plus ε-perturbed copies, each re-labelled by a
+/// fresh simulator run — never by carrying the source label.
+///
+/// Returns only the *new* variants (the identity symmetry and the source
+/// samples are excluded); merge the result into the training split. Window
+/// dimensions are validated: axis-swapping symmetries of non-square clips
+/// are dropped, so every returned sample has the source window shape. If
+/// the input dataset carries per-corner labels, variants are corner-labelled
+/// with the same simulator (which must then be configured with the matching
+/// corner grid).
+///
+/// # Errors
+///
+/// Propagates [`GeometryError`] from degenerate shape transforms (cannot
+/// happen for well-formed clips).
+pub fn augment_resimulated(
+    data: &Dataset,
+    sim: &LithoSimulator,
+    config: &AugmentConfig,
+) -> Result<Dataset, GeometryError> {
+    let with_corners = data.corner_schema().is_some();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Dataset::new();
+    let label = |clip: Clip| {
+        if with_corners {
+            Sample::with_corners(clip.clone(), sim.corner_labels(&clip))
+        } else {
+            let hotspot = sim.label_clip(&clip);
+            Sample::new(clip, hotspot)
+        }
+    };
+    for sample in data.iter() {
+        let window = sample.clip.window();
+        let square = window.width() == window.height();
+        for &sym in &config.symmetries {
+            if sym == Symmetry::R0 || (!square && sym.swaps_axes()) {
+                continue;
+            }
+            out.push(label(transform_clip(&sample.clip, sym)?));
+        }
+        for _ in 0..config.perturbs {
+            out.push(label(perturb_clip(&sample.clip, config.eps_nm, &mut rng)));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -231,22 +368,181 @@ mod tests {
     #[test]
     fn augment_dataset_multiplies_by_eight() {
         let mut data = Dataset::new();
-        data.push(Sample {
-            clip: asym_clip(),
-            hotspot: true,
-        });
-        data.push(Sample {
-            clip: asym_clip(),
-            hotspot: false,
-        });
+        data.push(Sample::new(asym_clip(), true));
+        data.push(Sample::new(asym_clip(), false));
         let aug = augment_dataset(&data);
         assert_eq!(aug.len(), 16);
         assert_eq!(aug.hotspot_count(), 8);
     }
 
+    fn non_square_clip() -> Clip {
+        let mut c = Clip::new(Rect::new(0, 0, 1200, 600).unwrap());
+        c.push(Rect::new(100, 100, 400, 300).unwrap());
+        c.push(Rect::new(800, 200, 1100, 500).unwrap());
+        c
+    }
+
     #[test]
-    fn non_square_window_rejected() {
-        let c = Clip::new(Rect::new(0, 0, 100, 200).unwrap());
-        assert!(transform_clip(&c, Symmetry::R90).is_err());
+    fn non_square_quarter_turn_swaps_window() {
+        let c = non_square_clip();
+        let t = transform_clip(&c, Symmetry::R90).unwrap();
+        assert_eq!(t.window().width(), 600);
+        assert_eq!(t.window().height(), 1200);
+        assert_eq!(t.shape_count(), c.shape_count());
+        let area: i64 = c.shapes().iter().map(|r| r.area()).sum();
+        let ta: i64 = t.shapes().iter().map(|r| r.area()).sum();
+        assert_eq!(ta, area);
+        for r in t.shapes() {
+            assert!(t.window().contains_rect(r), "{r:?} escaped the window");
+        }
+        // Four quarter-turns still compose to the identity.
+        let mut back = c.clone();
+        for _ in 0..4 {
+            back = transform_clip(&back, Symmetry::R90).unwrap();
+        }
+        let mut a: Vec<_> = c.shapes().to_vec();
+        let mut b: Vec<_> = back.shapes().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_square_axis_preserving_symmetries_keep_window() {
+        let c = non_square_clip();
+        for s in [Symmetry::R180, Symmetry::MirrorX, Symmetry::MirrorY] {
+            let t = transform_clip(&c, s).unwrap();
+            assert_eq!(t.window(), c.window(), "{s:?} changed the window");
+        }
+    }
+
+    /// Satellite regression: augmentation of non-square clips must validate
+    /// window dimensions and re-simulate labels instead of carrying the
+    /// source label.
+    #[test]
+    fn resimulated_augment_validates_non_square_windows() {
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        let mut data = Dataset::new();
+        let clip = non_square_clip();
+        let label = sim.label_clip(&clip);
+        data.push(Sample::new(clip.clone(), label));
+        let aug = augment_resimulated(&data, &sim, &AugmentConfig::default()).unwrap();
+        // 3 axis-preserving non-identity symmetries + 1 perturbation; the
+        // 4 axis-swapping variants are dropped, not mangled.
+        assert_eq!(aug.len(), 4);
+        for s in aug.iter() {
+            assert_eq!(s.clip.window(), clip.window());
+            assert_eq!(
+                sim.label_clip(&s.clip),
+                s.hotspot,
+                "stored label must come from re-simulation"
+            );
+        }
+    }
+
+    /// Satellite regression: a marginal clip's label flips under
+    /// ε-perturbation, and the flipped (re-simulated) label — not the
+    /// carried source label — is what lands in the augmented dataset.
+    #[test]
+    fn perturbation_flips_marginal_labels_and_resimulates() {
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        // A dense line array right at the printability crossover: jittering
+        // edges by ±20 nm walks it across the decision boundary.
+        let mut clip = Clip::new(Rect::new(0, 0, 1200, 1200).unwrap());
+        let (w, pitch) = (70, 140);
+        let mut x = 60;
+        while x + w <= 1140 {
+            clip.push(Rect::new(x, 100, x + w, 1100).unwrap());
+            x += pitch;
+        }
+        let source_label = sim.label_clip(&clip);
+
+        let mut flipped = None;
+        for seed in 0..64 {
+            let config = AugmentConfig {
+                symmetries: vec![],
+                perturbs: 4,
+                eps_nm: 20,
+                seed,
+            };
+            let mut data = Dataset::new();
+            data.push(Sample::new(clip.clone(), source_label));
+            let aug = augment_resimulated(&data, &sim, &config).unwrap();
+            for s in aug.iter() {
+                assert_eq!(
+                    sim.label_clip(&s.clip),
+                    s.hotspot,
+                    "stored label must come from re-simulation, not the source"
+                );
+                if s.hotspot != source_label {
+                    flipped = Some(s.clone());
+                }
+            }
+            if flipped.is_some() {
+                break;
+            }
+        }
+        let flipped = flipped.expect("some ε-perturbation flips the marginal label");
+        assert_ne!(flipped.hotspot, source_label);
+    }
+
+    #[test]
+    fn resimulated_augment_is_deterministic() {
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        let mut data = Dataset::new();
+        data.push(Sample::new(asym_clip(), sim.label_clip(&asym_clip())));
+        let config = AugmentConfig::default();
+        let a = augment_resimulated(&data, &sim, &config).unwrap();
+        let b = augment_resimulated(&data, &sim, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resimulated_augment_carries_corner_labels() {
+        let sim = LithoSimulator::new(LithoConfig::default()).unwrap();
+        let mut data = Dataset::new();
+        data.append_with_corners(vec![asym_clip()], vec![sim.corner_labels(&asym_clip())])
+            .unwrap();
+        let config = AugmentConfig {
+            symmetries: vec![Symmetry::MirrorX],
+            perturbs: 1,
+            eps_nm: 10,
+            seed: 3,
+        };
+        let aug = augment_resimulated(&data, &sim, &config).unwrap();
+        assert_eq!(aug.len(), 2);
+        assert_eq!(aug.corner_schema(), data.corner_schema());
+        for s in aug.iter() {
+            assert_eq!(
+                s.corners.as_ref().unwrap(),
+                &sim.corner_labels(&s.clip),
+                "corner labels must be re-simulated"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_zero_eps_is_identity() {
+        let c = asym_clip();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(perturb_clip(&c, 0, &mut rng), c);
+    }
+
+    #[test]
+    fn perturb_stays_in_window_and_on_grid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for seed in 0..8 {
+            let clip = patterns::sample_pattern(PatternKind::RandomRouting, &mut rng);
+            let p = perturb_clip(&clip, 30, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(p.window(), clip.normalized().window());
+            assert_eq!(p.shape_count(), clip.shape_count());
+            for r in p.shapes() {
+                assert!(p.window().contains_rect(r));
+                assert_eq!(r.lo().x % 10, 0);
+                assert_eq!(r.lo().y % 10, 0);
+                assert_eq!(r.hi().x % 10, 0);
+                assert_eq!(r.hi().y % 10, 0);
+            }
+        }
     }
 }

@@ -1,11 +1,13 @@
 //! Labelled clip collections.
 
 use hotspot_geometry::Clip;
+use hotspot_litho::CornerLabels;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::io::{self, BufRead, Write};
 
 /// Errors from validated dataset growth ([`Dataset::append`] /
 /// [`Dataset::merge`]).
@@ -28,6 +30,24 @@ pub enum DatasetError {
         /// Index of the offending incoming clip.
         index: usize,
     },
+    /// An incoming sample's per-corner label schema differs from the
+    /// dataset's — either a different corner count or a mix of corner-labelled
+    /// and plain samples, which would corrupt a multi-corner training head.
+    CornerSchemaMismatch {
+        /// Existing corner count (`None` = plain boolean labels).
+        expected: Option<usize>,
+        /// Offending sample's corner count.
+        found: Option<usize>,
+        /// Index of the offending incoming sample.
+        index: usize,
+    },
+}
+
+fn schema_str(schema: Option<usize>) -> String {
+    match schema {
+        Some(n) => format!("{n} corners"),
+        None => "plain labels".to_string(),
+    }
 }
 
 impl fmt::Display for DatasetError {
@@ -45,6 +65,16 @@ impl fmt::Display for DatasetError {
                 "clip {index} window {}x{} nm differs from dataset window {}x{} nm",
                 found.0, found.1, expected.0, expected.1
             ),
+            DatasetError::CornerSchemaMismatch {
+                expected,
+                found,
+                index,
+            } => write!(
+                f,
+                "sample {index} has {} but the dataset has {}",
+                schema_str(*found),
+                schema_str(*expected)
+            ),
         }
     }
 }
@@ -58,6 +88,36 @@ pub struct Sample {
     pub clip: Clip,
     /// Ground-truth label from the lithography oracle.
     pub hotspot: bool,
+    /// Optional per-process-corner labels (present when the suite was
+    /// generated over a [`hotspot_litho::CornerGrid`]). When set, `hotspot`
+    /// is always `corners.is_hotspot()`.
+    pub corners: Option<CornerLabels>,
+}
+
+impl Sample {
+    /// A plain boolean-labelled sample.
+    pub fn new(clip: Clip, hotspot: bool) -> Self {
+        Sample {
+            clip,
+            hotspot,
+            corners: None,
+        }
+    }
+
+    /// A corner-labelled sample; the boolean label is derived from the
+    /// corner labels (hotspot iff any corner fails).
+    pub fn with_corners(clip: Clip, corners: CornerLabels) -> Self {
+        Sample {
+            clip,
+            hotspot: corners.is_hotspot(),
+            corners: Some(corners),
+        }
+    }
+
+    /// Number of process corners labelled, or `None` for a plain sample.
+    pub fn corner_schema(&self) -> Option<usize> {
+        self.corners.as_ref().map(|c| c.len())
+    }
 }
 
 /// An ordered collection of labelled clips.
@@ -71,7 +131,7 @@ pub struct Sample {
 /// # fn main() -> Result<(), hotspot_geometry::GeometryError> {
 /// let clip = Clip::new(Rect::new(0, 0, 1200, 1200)?);
 /// let mut data = Dataset::new();
-/// data.push(Sample { clip, hotspot: true });
+/// data.push(Sample::new(clip, true));
 /// assert_eq!(data.hotspot_count(), 1);
 /// assert_eq!(data.non_hotspot_count(), 0);
 /// # Ok(())
@@ -165,6 +225,47 @@ impl Dataset {
             .map(|s| (s.clip.window().width(), s.clip.window().height()))
     }
 
+    /// The per-corner label schema shared by the samples: `Some(n)` when
+    /// every sample carries `n` corner labels, `None` when the dataset is
+    /// empty or holds plain boolean labels. Validated growth
+    /// ([`Dataset::append`] / [`Dataset::merge`]) keeps the schema uniform.
+    pub fn corner_schema(&self) -> Option<usize> {
+        self.samples.first().and_then(Sample::corner_schema)
+    }
+
+    fn check_schema(
+        &self,
+        incoming: impl Iterator<Item = Option<usize>>,
+    ) -> Result<(), DatasetError> {
+        if self.samples.is_empty() {
+            // First batch fixes the schema; require internal consistency.
+            let mut expected = None;
+            for (index, found) in incoming.enumerate() {
+                if index == 0 {
+                    expected = found;
+                } else if found != expected {
+                    return Err(DatasetError::CornerSchemaMismatch {
+                        expected,
+                        found,
+                        index,
+                    });
+                }
+            }
+            return Ok(());
+        }
+        let expected = self.corner_schema();
+        for (index, found) in incoming.enumerate() {
+            if found != expected {
+                return Err(DatasetError::CornerSchemaMismatch {
+                    expected,
+                    found,
+                    index,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Appends freshly labelled clips, validating that the label count
     /// matches and every clip window has the dataset's dimensions (a window
     /// mismatch would change the rasterised feature dimension mid-training).
@@ -176,7 +277,9 @@ impl Dataset {
     /// [`DatasetError::LabelCountMismatch`] when `clips.len() !=
     /// labels.len()`; [`DatasetError::WindowMismatch`] when a clip's window
     /// dimensions differ from the existing samples' (or, for an initially
-    /// empty dataset, from the first incoming clip's).
+    /// empty dataset, from the first incoming clip's);
+    /// [`DatasetError::CornerSchemaMismatch`] when the dataset holds
+    /// corner-labelled samples (plain boolean labels cannot be mixed in).
     pub fn append(&mut self, clips: Vec<Clip>, labels: &[bool]) -> Result<(), DatasetError> {
         if clips.len() != labels.len() {
             return Err(DatasetError::LabelCountMismatch {
@@ -184,6 +287,49 @@ impl Dataset {
                 labels: labels.len(),
             });
         }
+        self.check_windows(&clips)?;
+        self.check_schema(clips.iter().map(|_| None))?;
+        self.samples.extend(
+            clips
+                .into_iter()
+                .zip(labels.iter())
+                .map(|(clip, &hotspot)| Sample::new(clip, hotspot)),
+        );
+        Ok(())
+    }
+
+    /// Appends corner-labelled clips with the same validation as
+    /// [`Dataset::append`]; the boolean hotspot label of each sample is
+    /// derived from its corner labels.
+    ///
+    /// # Errors
+    ///
+    /// As [`Dataset::append`], plus [`DatasetError::CornerSchemaMismatch`]
+    /// when the corner counts differ among the incoming labels or from the
+    /// dataset's existing schema.
+    pub fn append_with_corners(
+        &mut self,
+        clips: Vec<Clip>,
+        corners: Vec<CornerLabels>,
+    ) -> Result<(), DatasetError> {
+        if clips.len() != corners.len() {
+            return Err(DatasetError::LabelCountMismatch {
+                clips: clips.len(),
+                labels: corners.len(),
+            });
+        }
+        self.check_windows(&clips)?;
+        self.check_schema(corners.iter().map(|c| Some(c.len())))?;
+        self.samples.extend(
+            clips
+                .into_iter()
+                .zip(corners)
+                .map(|(clip, corners)| Sample::with_corners(clip, corners)),
+        );
+        Ok(())
+    }
+
+    fn check_windows(&self, clips: &[Clip]) -> Result<(), DatasetError> {
         let expected = self.window_dims().or_else(|| {
             clips
                 .first()
@@ -201,12 +347,6 @@ impl Dataset {
                 }
             }
         }
-        self.samples.extend(
-            clips
-                .into_iter()
-                .zip(labels.iter())
-                .map(|(clip, &hotspot)| Sample { clip, hotspot }),
-        );
         Ok(())
     }
 
@@ -216,7 +356,10 @@ impl Dataset {
     /// # Errors
     ///
     /// [`DatasetError::WindowMismatch`] when the incoming dataset's window
-    /// dimensions differ from this one's.
+    /// dimensions differ from this one's;
+    /// [`DatasetError::CornerSchemaMismatch`] when the corner-label schemas
+    /// differ (corner-labelled and plain samples cannot be mixed, nor can
+    /// two different corner counts).
     pub fn merge(&mut self, other: Dataset) -> Result<(), DatasetError> {
         if let Some(expected) = self.window_dims() {
             for (index, s) in other.samples.iter().enumerate() {
@@ -230,9 +373,68 @@ impl Dataset {
                 }
             }
         }
+        self.check_schema(other.samples.iter().map(Sample::corner_schema))?;
         self.samples.extend(other.samples);
         Ok(())
     }
+}
+
+/// Writes per-corner labels as text, one line per sample:
+/// `<severity> <bits>` with one `0`/`1` character per corner in grid order,
+/// e.g. `-3 01001`. The sidecar analogue of a `.labels` file for
+/// corner-labelled suites; read back with [`read_corner_labels`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_corner_labels<W: Write>(w: &mut W, labels: &[CornerLabels]) -> io::Result<()> {
+    for l in labels {
+        let bits: String = l.fails.iter().map(|&f| if f { '1' } else { '0' }).collect();
+        writeln!(w, "{} {}", l.severity, bits)?;
+    }
+    Ok(())
+}
+
+/// Reads corner labels written by [`write_corner_labels`]. Blank lines are
+/// skipped; every other line must be `<severity> <bits>`.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] with a 1-based line number on malformed
+/// lines, plus any underlying read error.
+pub fn read_corner_labels<R: BufRead>(r: R) -> io::Result<Vec<CornerLabels>> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corner labels line {}: {what}: {line:?}", idx + 1),
+            )
+        };
+        let (sev, bits) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| bad("expected '<severity> <bits>'"))?;
+        let severity: i64 = sev.parse().map_err(|_| bad("severity is not an integer"))?;
+        let bits = bits.trim();
+        if bits.is_empty() {
+            return Err(bad("empty corner bits"));
+        }
+        let fails = bits
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(bad("corner bits must be 0/1")),
+            })
+            .collect::<io::Result<Vec<bool>>>()?;
+        out.push(CornerLabels { fails, severity });
+    }
+    Ok(out)
 }
 
 impl FromIterator<Sample> for Dataset {
@@ -272,9 +474,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn sample(hotspot: bool) -> Sample {
-        Sample {
-            clip: Clip::new(Rect::new(0, 0, 100, 100).unwrap()),
-            hotspot,
+        Sample::new(Clip::new(Rect::new(0, 0, 100, 100).unwrap()), hotspot)
+    }
+
+    fn corners(fails: &[bool]) -> CornerLabels {
+        let severity = if fails.iter().any(|&f| f) { 1 } else { -1 };
+        CornerLabels {
+            fails: fails.to_vec(),
+            severity,
         }
     }
 
@@ -395,10 +602,7 @@ mod tests {
     fn merge_validates_window_dims() {
         let mut d = dataset(2, 2);
         let mut other = Dataset::new();
-        other.push(Sample {
-            clip: clip(300),
-            hotspot: true,
-        });
+        other.push(Sample::new(clip(300), true));
         assert!(matches!(
             d.merge(other).unwrap_err(),
             DatasetError::WindowMismatch { .. }
@@ -408,5 +612,137 @@ mod tests {
         let ok = dataset(1, 1);
         d.merge(ok).unwrap();
         assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn with_corners_derives_hotspot() {
+        let s = Sample::with_corners(clip(100), corners(&[false, true, false]));
+        assert!(s.hotspot);
+        assert_eq!(s.corner_schema(), Some(3));
+        let s = Sample::with_corners(clip(100), corners(&[false, false]));
+        assert!(!s.hotspot);
+    }
+
+    #[test]
+    fn append_with_corners_sets_schema() {
+        let mut d = Dataset::new();
+        d.append_with_corners(
+            vec![clip(100), clip(100)],
+            vec![corners(&[true, false]), corners(&[false, false])],
+        )
+        .unwrap();
+        assert_eq!(d.corner_schema(), Some(2));
+        assert_eq!(d.hotspot_count(), 1);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_corner_schemas() {
+        // Plain into corner-labelled.
+        let mut d = Dataset::new();
+        d.append_with_corners(vec![clip(100)], vec![corners(&[true, false])])
+            .unwrap();
+        let err = d.merge(dataset(1, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            DatasetError::CornerSchemaMismatch {
+                expected: Some(2),
+                found: None,
+                index: 0,
+            }
+        );
+        assert_eq!(d.len(), 1, "failed merge must not mutate");
+
+        // Different corner counts.
+        let mut other = Dataset::new();
+        other
+            .append_with_corners(vec![clip(100)], vec![corners(&[true, false, true])])
+            .unwrap();
+        assert!(matches!(
+            d.merge(other).unwrap_err(),
+            DatasetError::CornerSchemaMismatch {
+                expected: Some(2),
+                found: Some(3),
+                ..
+            }
+        ));
+
+        // Corner-labelled into plain.
+        let mut plain = dataset(1, 1);
+        let mut labelled = Dataset::new();
+        labelled
+            .append_with_corners(vec![clip(100)], vec![corners(&[true])])
+            .unwrap();
+        assert!(matches!(
+            plain.merge(labelled).unwrap_err(),
+            DatasetError::CornerSchemaMismatch {
+                expected: None,
+                found: Some(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn append_plain_rejects_corner_labelled_dataset() {
+        let mut d = Dataset::new();
+        d.append_with_corners(vec![clip(100)], vec![corners(&[true, false])])
+            .unwrap();
+        assert!(matches!(
+            d.append(vec![clip(100)], &[true]).unwrap_err(),
+            DatasetError::CornerSchemaMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn append_with_corners_requires_uniform_counts() {
+        let mut d = Dataset::new();
+        assert!(matches!(
+            d.append_with_corners(
+                vec![clip(100), clip(100)],
+                vec![corners(&[true]), corners(&[true, false])],
+            )
+            .unwrap_err(),
+            DatasetError::CornerSchemaMismatch {
+                expected: Some(1),
+                found: Some(2),
+                index: 1,
+            }
+        ));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn corner_labels_round_trip_through_text() {
+        let labels = vec![
+            CornerLabels {
+                fails: vec![false, true, false, false, true],
+                severity: 7,
+            },
+            CornerLabels {
+                fails: vec![false; 5],
+                severity: -12,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_corner_labels(&mut buf, &labels).unwrap();
+        let back = read_corner_labels(&buf[..]).unwrap();
+        assert_eq!(back, labels);
+    }
+
+    #[test]
+    fn corner_label_parse_errors_carry_line_numbers() {
+        let cases = [
+            ("1 01\nnot-a-line\n", "line 2"),
+            ("x 01\n", "line 1"),
+            ("3 012\n", "line 1"),
+            ("3\n", "line 1"),
+        ];
+        for (input, want) in cases {
+            let err = read_corner_labels(input.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains(want),
+                "{input:?} -> {err} (expected {want})"
+            );
+        }
     }
 }

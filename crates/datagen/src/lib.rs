@@ -43,12 +43,15 @@
 pub mod augment;
 pub mod dataset;
 pub mod layout;
+pub mod manifest;
 pub mod patterns;
 pub mod pool;
 pub mod suite;
 
-pub use dataset::{Dataset, DatasetError, Sample};
+pub use augment::{AugmentConfig, Symmetry};
+pub use dataset::{read_corner_labels, write_corner_labels, Dataset, DatasetError, Sample};
 pub use layout::LayoutSpec;
+pub use manifest::{Manifest, ManifestError};
 pub use patterns::PatternKind;
 pub use pool::ClipPool;
-pub use suite::{BenchmarkData, SuiteSpec};
+pub use suite::{BenchmarkData, FamilyStats, SuiteSpec};

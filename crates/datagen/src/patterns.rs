@@ -11,6 +11,10 @@
 //! | line tips        | line width ≲ 90 nm          |
 //! | contact array    | contact side ≲ 90 nm        |
 //! | jogs             | wire width ≲ 80 nm          |
+//! | T-junctions      | stem width/pitch ≲ 80 nm    |
+//! | dense vias       | via side ≲ 90 nm staggered  |
+//! | redistribution   | narrow-line gap ≲ 70 nm     |
+//! | serpentine       | meander half-pitch ≲ 65 nm  |
 //!
 //! Sampling ranges straddle these crossovers so every family contributes
 //! both classes and the label is a nontrivial function of the geometry.
@@ -41,11 +45,23 @@ pub enum PatternKind {
     RandomRouting,
     /// Large isolated shapes; prints robustly (mostly non-hotspot filler).
     Isolated,
+    /// A routing rail with perpendicular stems meeting it (T/L junctions).
+    TJunctions,
+    /// Staggered dense via array (checkerboard rows, tighter pitch than
+    /// [`PatternKind::ContactArray`]).
+    DenseVias,
+    /// Redistribution-style wide+narrow mix: a wide bus flanked by narrow
+    /// runners at an aggressive gap.
+    Redistribution,
+    /// Serpentine meander wire (connected line array; test-structure
+    /// topology).
+    Serpentine,
 }
 
 impl PatternKind {
-    /// All archetypes, in a fixed order.
-    pub const ALL: [PatternKind; 7] = [
+    /// All archetypes, in a fixed order (new families appended so older
+    /// mixes keep their indices).
+    pub const ALL: [PatternKind; 11] = [
         PatternKind::LineArray,
         PatternKind::LineTips,
         PatternKind::TipToTip,
@@ -53,7 +69,41 @@ impl PatternKind {
         PatternKind::Jogs,
         PatternKind::RandomRouting,
         PatternKind::Isolated,
+        PatternKind::TJunctions,
+        PatternKind::DenseVias,
+        PatternKind::Redistribution,
+        PatternKind::Serpentine,
     ];
+
+    /// The topology-aware families added by the suite subsystem.
+    pub const TOPOLOGY: [PatternKind; 4] = [
+        PatternKind::TJunctions,
+        PatternKind::DenseVias,
+        PatternKind::Redistribution,
+        PatternKind::Serpentine,
+    ];
+
+    /// Stable manifest name of the archetype.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PatternKind::LineArray => "line_array",
+            PatternKind::LineTips => "line_tips",
+            PatternKind::TipToTip => "tip_to_tip",
+            PatternKind::ContactArray => "contact_array",
+            PatternKind::Jogs => "jogs",
+            PatternKind::RandomRouting => "random_routing",
+            PatternKind::Isolated => "isolated",
+            PatternKind::TJunctions => "t_junctions",
+            PatternKind::DenseVias => "dense_vias",
+            PatternKind::Redistribution => "redistribution",
+            PatternKind::Serpentine => "serpentine",
+        }
+    }
+
+    /// Parses a manifest name back to the archetype.
+    pub fn from_name(name: &str) -> Option<PatternKind> {
+        PatternKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
 }
 
 fn window() -> Rect {
@@ -89,6 +139,10 @@ pub fn sample_pattern(kind: PatternKind, rng: &mut StdRng) -> Clip {
         PatternKind::Jogs => jogs(rng),
         PatternKind::RandomRouting => random_routing(rng),
         PatternKind::Isolated => isolated(rng),
+        PatternKind::TJunctions => t_junctions(rng),
+        PatternKind::DenseVias => dense_vias(rng),
+        PatternKind::Redistribution => redistribution(rng),
+        PatternKind::Serpentine => serpentine(rng),
     }
 }
 
@@ -262,6 +316,135 @@ fn isolated(rng: &mut StdRng) -> Clip {
     clip
 }
 
+/// A horizontal rail with perpendicular stems meeting it from below —
+/// every meeting point is a T (or L, at the rail ends) junction. Stem tips
+/// hang free on the far side, so the family mixes junction bridging with
+/// line-end pullback.
+fn t_junctions(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let rail_w = snap(rng.gen_range(60..=160));
+    let rail_y = snap(rng.gen_range(500..=700));
+    let stem_w = snap(rng.gen_range(50..=140));
+    let pitch = stem_w + snap((stem_w as f64 * rng.gen_range(0.7..=3.5)) as i64).max(50);
+    let stem_len = snap(rng.gen_range(250..=450));
+    let horizontal_rail = rng.gen_bool(0.5);
+    let push_rotated = |clip: &mut Clip, r: Rect| {
+        // One generator serves both orientations: swap axes for the
+        // vertical-rail variant.
+        let rect = if horizontal_rail {
+            r
+        } else {
+            Rect::new(r.lo().y, r.lo().x, r.hi().y, r.hi().x).expect("axis swap keeps extents")
+        };
+        clip.push(rect);
+    };
+    push_rotated(
+        &mut clip,
+        Rect::new(0, rail_y, CLIP_SIDE_NM, rail_y + rail_w).expect("validated extent"),
+    );
+    let mut x = snap(rng.gen_range(40..pitch.max(41)));
+    while x + stem_w <= CLIP_SIDE_NM - 40 {
+        push_rotated(
+            &mut clip,
+            Rect::new(x, rail_y - stem_len, x + stem_w, rail_y).expect("validated extent"),
+        );
+        x += pitch;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Staggered dense via array: rows offset by half a pitch (checkerboard),
+/// packed tighter than [`contact_array`]. Diagonal neighbours are the
+/// failure mode — corner-to-corner bridging at small side/pitch.
+fn dense_vias(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let side = snap(rng.gen_range(60..=140));
+    let pitch = side + snap((side as f64 * rng.gen_range(0.6..=1.3)) as i64).max(40);
+    let x0 = snap(rng.gen_range(60..=60 + pitch));
+    let y0 = snap(rng.gen_range(60..=60 + pitch));
+    let mut y = y0;
+    let mut row = 0i64;
+    while y + side <= CLIP_SIDE_NM - 40 {
+        let offset = if row % 2 == 1 { snap(pitch / 2) } else { 0 };
+        let mut x = x0 + offset;
+        while x + side <= CLIP_SIDE_NM - 40 {
+            clip.push(Rect::new(x, y, x + side, y + side).expect("validated extent"));
+            x += pitch;
+        }
+        y += pitch;
+        row += 1;
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Redistribution-style wide+narrow mix: a wide bus with narrow runner
+/// lines alongside at an aggressive gap. The wide shape floods its
+/// surroundings with intensity, so the narrow runners bridge into it when
+/// the gap or the runner width shrinks.
+fn redistribution(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let bus_w = snap(rng.gen_range(250..=450));
+    let bus_x = snap(rng.gen_range(100..=400));
+    let vertical = rng.gen_bool(0.5);
+    let push_oriented = |clip: &mut Clip, r: Rect| {
+        let rect = if vertical {
+            r
+        } else {
+            Rect::new(r.lo().y, r.lo().x, r.hi().y, r.hi().x).expect("axis swap keeps extents")
+        };
+        clip.push(rect);
+    };
+    push_oriented(
+        &mut clip,
+        Rect::new(bus_x, 0, bus_x + bus_w, CLIP_SIDE_NM).expect("validated extent"),
+    );
+    let runners = rng.gen_range(2..=4);
+    let mut x = bus_x + bus_w + snap(rng.gen_range(50..=200));
+    for _ in 0..runners {
+        let w = snap(rng.gen_range(50..=130));
+        if x + w > CLIP_SIDE_NM {
+            break;
+        }
+        push_oriented(
+            &mut clip,
+            Rect::new(x, 0, x + w, CLIP_SIDE_NM).expect("validated extent"),
+        );
+        x += w + snap(rng.gen_range(50..=200));
+    }
+    ensure_nonblank(clip, rng)
+}
+
+/// Serpentine meander: horizontal runs at a fixed vertical pitch joined
+/// alternately at the left/right ends — a connected line array whose turns
+/// add inner corners to the dense-pitch failure mode.
+fn serpentine(rng: &mut StdRng) -> Clip {
+    let mut clip = Clip::new(window());
+    let w = snap(rng.gen_range(50..=160));
+    let gap = snap((w as f64 * rng.gen_range(0.8..=3.0)) as i64).max(50);
+    let pitch = w + gap;
+    let x_lo = snap(rng.gen_range(100..=250));
+    let x_hi = snap(rng.gen_range(950..=1100));
+    let mut y = snap(rng.gen_range(100..=100 + pitch));
+    let mut runs = Vec::new();
+    while y + w <= CLIP_SIDE_NM - 100 {
+        runs.push(y);
+        y += pitch;
+    }
+    for (i, &ry) in runs.iter().enumerate() {
+        clip.push(Rect::new(x_lo, ry, x_hi, ry + w).expect("validated extent"));
+        if i + 1 < runs.len() {
+            // Join to the next run: right end on even runs, left on odd.
+            let (jx_lo, jx_hi) = if i % 2 == 0 {
+                (x_hi - w, x_hi)
+            } else {
+                (x_lo, x_lo + w)
+            };
+            clip.push(Rect::new(jx_lo, ry + w, jx_hi, runs[i + 1]).expect("validated extent"));
+        }
+    }
+    ensure_nonblank(clip, rng)
+}
+
 /// Guarantees at least one shape (degenerate parameter draws can produce an
 /// empty clip; fall back to a safe isolated block).
 fn ensure_nonblank(clip: Clip, rng: &mut StdRng) -> Clip {
@@ -339,6 +522,44 @@ mod tests {
     #[should_panic(expected = "positive total weight")]
     fn empty_mix_panics() {
         let _ = sample_from_mix(&[], &mut rng(0));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in PatternKind::ALL {
+            assert_eq!(
+                PatternKind::from_name(kind.name()),
+                Some(kind),
+                "{kind:?} name round-trip"
+            );
+        }
+        assert_eq!(PatternKind::from_name("no_such_family"), None);
+    }
+
+    #[test]
+    fn topology_families_straddle_both_classes() {
+        // Calibration: each new topology family must yield hotspots AND
+        // non-hotspots under the default oracle, else the suite quota-fill
+        // loop starves.
+        let sim = hotspot_litho::LithoSimulator::new(hotspot_litho::LithoConfig::default())
+            .expect("default litho config");
+        for kind in PatternKind::TOPOLOGY {
+            let mut hs = 0usize;
+            let mut nhs = 0usize;
+            for seed in 0..40 {
+                let clip = sample_pattern(kind, &mut rng(7000 + seed));
+                if sim.analyze_clip(&clip).is_hotspot() {
+                    hs += 1;
+                } else {
+                    nhs += 1;
+                }
+                if hs > 0 && nhs > 0 {
+                    break;
+                }
+            }
+            assert!(hs > 0, "{kind:?} produced no hotspots in 40 draws");
+            assert!(nhs > 0, "{kind:?} produced no non-hotspots in 40 draws");
+        }
     }
 
     #[test]

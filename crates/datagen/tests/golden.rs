@@ -1,0 +1,42 @@
+//! Golden-suite regression: the `golden-mini` suite must regenerate
+//! byte-identically on every machine and commit. The committed manifest
+//! under `tests/golden/` pins the clip bytes, boolean and per-corner label
+//! bytes, per-family draw statistics and the augmentation output of the
+//! full generation pipeline.
+
+use hotspot_datagen::manifest::Manifest;
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_litho::{LithoConfig, LithoSimulator};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mini.manifest")
+}
+
+#[test]
+fn golden_mini_regenerates_byte_identically() {
+    let sim = LithoSimulator::new(LithoConfig::default()).expect("default litho config");
+    let data = SuiteSpec::golden_mini().build(&sim);
+    let manifest = Manifest::from_data(&data);
+    let rendered = manifest.render();
+
+    if std::env::var_os("HOTSPOT_BLESS").is_some() {
+        fs::write(golden_path(), &rendered).expect("write golden manifest");
+        eprintln!("blessed {}", golden_path().display());
+        return;
+    }
+
+    let committed = fs::read_to_string(golden_path())
+        .expect("committed golden manifest at crates/datagen/tests/golden/mini.manifest");
+    assert_eq!(
+        committed, rendered,
+        "golden-mini regeneration diverged from the committed manifest. \
+         If the generator change is intentional, bump SUITE_VERSION and re-bless with: \
+         HOTSPOT_BLESS=1 cargo test -p hotspot-datagen --test golden"
+    );
+
+    // The committed document itself must parse and carry a valid total-crc.
+    let parsed = Manifest::parse(&committed).expect("golden manifest parses");
+    assert_eq!(parsed, manifest);
+}

@@ -1,12 +1,47 @@
 //! Property-based tests for the benchmark-generation substrate.
 
-use hotspot_datagen::{patterns, Dataset, PatternKind, Sample};
+use hotspot_datagen::manifest::{clip_crc, Manifest};
+use hotspot_datagen::suite::SuiteSpec;
+use hotspot_datagen::{patterns, AugmentConfig, Dataset, PatternKind, Sample, Symmetry};
 use hotspot_geometry::{Clip, Rect};
+use hotspot_litho::{LithoConfig, LithoSimulator};
 use proptest::prelude::*;
 use rand::SeedableRng;
+use std::collections::HashSet;
 
 fn arb_kind() -> impl Strategy<Value = PatternKind> {
     proptest::sample::select(PatternKind::ALL.to_vec())
+}
+
+/// A deliberately tiny suite so litho-labelled proptest cases stay cheap.
+fn tiny_spec(seed: u64, augment: bool) -> SuiteSpec {
+    let mut spec = SuiteSpec::golden_mini();
+    spec.name = "TinyProp".into();
+    spec.train_hs = 2;
+    spec.train_nhs = 3;
+    spec.test_hs = 2;
+    spec.test_nhs = 3;
+    spec.seed = seed;
+    spec.corner_grid = None;
+    spec.augment = augment.then(|| AugmentConfig {
+        symmetries: vec![Symmetry::R90, Symmetry::MirrorY],
+        perturbs: 1,
+        eps_nm: 20,
+        seed: seed ^ 0xA46,
+    });
+    spec
+}
+
+fn oracle() -> LithoSimulator {
+    LithoSimulator::new(LithoConfig::default()).expect("default litho config")
+}
+
+fn all_crcs(data: &hotspot_datagen::BenchmarkData) -> Vec<u32> {
+    data.train
+        .iter()
+        .chain(data.test.iter())
+        .map(|s| clip_crc(&s.clip))
+        .collect()
 }
 
 proptest! {
@@ -56,10 +91,10 @@ proptest! {
         let window = Rect::new(0, 0, 100, 100).expect("window");
         let mut data = Dataset::new();
         for _ in 0..hs {
-            data.push(Sample { clip: Clip::new(window), hotspot: true });
+            data.push(Sample::new(Clip::new(window), true));
         }
         for _ in 0..nhs {
-            data.push(Sample { clip: Clip::new(window), hotspot: false });
+            data.push(Sample::new(Clip::new(window), false));
         }
         prop_assert_eq!(data.hotspot_count(), hs);
         prop_assert_eq!(data.non_hotspot_count(), nhs);
@@ -79,7 +114,7 @@ proptest! {
         let window = Rect::new(0, 0, 100, 100).expect("window");
         let mut data = Dataset::new();
         for i in 0..n {
-            data.push(Sample { clip: Clip::new(window), hotspot: i % 3 == 0 });
+            data.push(Sample::new(Clip::new(window), i % 3 == 0));
         }
         data.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
         let total_hs = data.hotspot_count();
@@ -87,5 +122,92 @@ proptest! {
         prop_assert_eq!(head.len() + tail.len(), n);
         prop_assert_eq!(head.hotspot_count() + tail.hotspot_count(), total_hs);
         prop_assert!(!tail.is_empty());
+    }
+
+    #[test]
+    fn corner_labelled_splits_are_deterministic(
+        n in 6usize..24,
+        frac in 0.2f64..0.5,
+        seed in 0u64..50,
+    ) {
+        // Stratified train/holdout splitting of a corner-labelled dataset
+        // must be a pure function of the shuffle seed, per corner schema.
+        let window = Rect::new(0, 0, 100, 100).expect("window");
+        let build = || -> Dataset {
+            (0..n)
+                .map(|i| Sample::with_corners(
+                    Clip::new(window),
+                    hotspot_litho::CornerLabels {
+                        fails: vec![i % 3 == 0, i % 4 == 0, false],
+                        severity: if i % 3 == 0 || i % 4 == 0 { 1 } else { -2 },
+                    },
+                ))
+                .collect()
+        };
+        let mut a = build();
+        let mut b = build();
+        a.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        b.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let (a_head, a_tail) = a.split_tail(frac);
+        let (b_head, b_tail) = b.split_tail(frac);
+        prop_assert_eq!(&a_head, &b_head);
+        prop_assert_eq!(&a_tail, &b_tail);
+        prop_assert_eq!(a_head.corner_schema(), Some(3));
+        prop_assert_eq!(a_tail.corner_schema(), Some(3));
+    }
+}
+
+// Litho-labelled suite builds are expensive (a full aerial simulation per
+// draw), so the suite-level determinism properties run few cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same spec + seed ⇒ identical manifest (hence identical clip bytes,
+    /// label bytes and per-family content CRCs).
+    #[test]
+    fn same_spec_regenerates_identical_manifest(seed in 0u64..1_000) {
+        let sim = oracle();
+        let spec = tiny_spec(seed, true);
+        let a = spec.build(&sim);
+        let b = spec.build(&sim);
+        prop_assert_eq!(Manifest::from_data(&a).render(), Manifest::from_data(&b).render());
+        prop_assert_eq!(all_crcs(&a), all_crcs(&b));
+    }
+
+    /// Different seeds ⇒ disjoint per-family RNG streams: no generated
+    /// clip is shared between the two builds.
+    #[test]
+    fn different_seeds_draw_disjoint_clips(seed in 0u64..1_000) {
+        let sim = oracle();
+        let a = tiny_spec(seed, false).build(&sim);
+        let b = tiny_spec(seed.wrapping_add(1), false).build(&sim);
+        let crcs_a: HashSet<u32> = all_crcs(&a).into_iter().collect();
+        for crc in all_crcs(&b) {
+            prop_assert!(!crcs_a.contains(&crc), "seeds {seed}/{} share a clip", seed + 1);
+        }
+    }
+
+    /// Augmented training clips never duplicate a base clip of either
+    /// split (CRC-deduplicated during the build).
+    #[test]
+    fn augmented_clips_never_duplicate_base_crcs(seed in 0u64..1_000) {
+        let sim = oracle();
+        let spec = tiny_spec(seed, true);
+        let mut base_spec = spec.clone();
+        base_spec.augment = None;
+        let with_aug = spec.build(&sim);
+        let base = base_spec.build(&sim);
+        let base_crcs: HashSet<u32> = all_crcs(&base).into_iter().collect();
+        let base_train_crcs: HashSet<u32> =
+            base.train.iter().map(|s| clip_crc(&s.clip)).collect();
+        let mut extras = 0usize;
+        for s in with_aug.train.iter() {
+            let crc = clip_crc(&s.clip);
+            if !base_train_crcs.contains(&crc) {
+                extras += 1;
+                prop_assert!(!base_crcs.contains(&crc), "augmented clip duplicates a base clip");
+            }
+        }
+        prop_assert_eq!(extras, with_aug.augmented);
     }
 }

@@ -1,6 +1,6 @@
 //! End-to-end hotspot labelling of clips.
 
-use crate::process::CornerReport;
+use crate::process::{CornerGrid, CornerReport};
 use crate::{aerial, process, Kernel1d, LithoError, ProcessCorner, ResistModel};
 use hotspot_geometry::{raster, Clip, Grid};
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,17 @@ pub struct LithoConfig {
     /// failing pixels; suppresses 1–3 px corner-rounding artefacts of the
     /// discrete raster.
     pub min_failure_px: usize,
+}
+
+impl LithoConfig {
+    /// Replaces the corner list with a full dose×defocus [`CornerGrid`],
+    /// keeping every other knob. Simulators built from the result emit one
+    /// [`CornerReport`] per grid point in [`CornerGrid::corners`] order.
+    #[must_use]
+    pub fn with_corner_grid(mut self, grid: &CornerGrid) -> Self {
+        self.corners = grid.corners();
+        self
+    }
 }
 
 impl Default for LithoConfig {
@@ -104,6 +115,59 @@ impl LithoReport {
     /// by `|severity_margin()|`.
     pub fn severity_margin(&self) -> i64 {
         self.worst_failures() as i64 - self.min_failure_px.max(1) as i64
+    }
+
+    /// The per-corner label vector plus worst-corner severity, the
+    /// multi-corner ground truth consumed by datasets and training heads.
+    pub fn corner_labels(&self) -> CornerLabels {
+        CornerLabels {
+            fails: self
+                .corner_reports
+                .iter()
+                .map(|r| self.corner_fails(r))
+                .collect(),
+            severity: self.severity_margin(),
+        }
+    }
+}
+
+/// Multi-corner ground truth of one clip: a pass/fail bit per process
+/// corner (in the simulator's corner order) plus the signed worst-corner
+/// severity margin from [`LithoReport::severity_margin`].
+///
+/// The invariant `is_hotspot() == (severity >= 0)` holds for labels
+/// produced by [`LithoReport::corner_labels`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CornerLabels {
+    /// Per-corner failure flags, corner order of the generating simulator.
+    pub fails: Vec<bool>,
+    /// Signed worst-corner severity margin in failing pixels.
+    pub severity: i64,
+}
+
+impl CornerLabels {
+    /// Number of corners in the label vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.fails.len()
+    }
+
+    /// Whether the label vector is empty (never true for labels produced
+    /// by a validated simulator).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.fails.is_empty()
+    }
+
+    /// Whether any corner fails — the scalar hotspot label.
+    #[inline]
+    pub fn is_hotspot(&self) -> bool {
+        self.fails.iter().any(|&f| f)
+    }
+
+    /// Number of failing corners (a coarse process-window deficit).
+    pub fn failing_corners(&self) -> usize {
+        self.fails.iter().filter(|&&f| f).count()
     }
 }
 
@@ -222,6 +286,12 @@ impl LithoSimulator {
     /// Convenience: the boolean hotspot label of a clip.
     pub fn label_clip(&self, clip: &Clip) -> bool {
         self.analyze_clip(clip).is_hotspot()
+    }
+
+    /// Convenience: the multi-corner label vector of a clip (one entry per
+    /// configured corner, plus worst-corner severity).
+    pub fn corner_labels(&self, clip: &Clip) -> CornerLabels {
+        self.analyze_clip(clip).corner_labels()
     }
 }
 
@@ -366,6 +436,86 @@ mod tests {
                     a.worst_failures().cmp(&b.worst_failures()),
                     a.severity_margin().cmp(&b.severity_margin()),
                     "severity margin must order exactly like worst_failures"
+                );
+            }
+        }
+    }
+
+    fn grid_sim(n_dose: usize, n_defocus: usize) -> (LithoSimulator, CornerGrid) {
+        let grid = CornerGrid::new(0.05, 60.0, n_dose, n_defocus).unwrap();
+        let config = LithoConfig::default().with_corner_grid(&grid);
+        (LithoSimulator::new(config).unwrap(), grid)
+    }
+
+    fn dense_array() -> Clip {
+        let mut clip = Clip::new(window());
+        for i in 0..6 {
+            clip.push(Rect::new(300 + i * 100, 0, 350 + i * 100, 1200).unwrap());
+        }
+        clip
+    }
+
+    #[test]
+    fn corner_grid_labels_have_one_entry_per_corner() {
+        let (sim, grid) = grid_sim(3, 3);
+        let labels = sim.corner_labels(&dense_array());
+        assert_eq!(labels.len(), grid.len());
+        assert!(labels.is_hotspot());
+        assert!(labels.failing_corners() > 0);
+        assert!(labels.severity >= 0);
+    }
+
+    #[test]
+    fn worst_corner_severity_bounds_nominal() {
+        // The worst corner of the grid includes the nominal condition, so
+        // the worst-corner failure count can never undercut nominal's.
+        let (sim, grid) = grid_sim(5, 3);
+        for clip in [dense_array(), {
+            let mut c = Clip::new(window());
+            c.push(Rect::new(500, 100, 640, 1100).unwrap());
+            c
+        }] {
+            let report = sim.analyze_clip(&clip);
+            let nominal = report.corner_reports()[grid.nominal_index()].failures();
+            assert!(
+                report.worst_failures() >= nominal,
+                "worst corner ({}) beneath nominal ({nominal})",
+                report.worst_failures()
+            );
+        }
+    }
+
+    #[test]
+    fn corner_labels_hotspot_iff_severity_non_negative() {
+        let (sim, _) = grid_sim(3, 2);
+        let mut marginal = Clip::new(window());
+        let mut x = 300;
+        while x + 55 < 900 {
+            marginal.push(Rect::new(x, 300, x + 55, 900).unwrap());
+            x += 110;
+        }
+        for clip in [dense_array(), marginal, Clip::new(window())] {
+            let labels = sim.corner_labels(&clip);
+            assert_eq!(
+                labels.is_hotspot(),
+                labels.severity >= 0,
+                "hotspot flag and severity sign disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn nominal_corner_fail_implies_hotspot_at_any_grid() {
+        // Growing the grid only adds corners, so a clip that fails at
+        // nominal stays a hotspot under every grid refinement.
+        let clip = dense_array();
+        let (coarse, _) = grid_sim(1, 1);
+        if coarse.label_clip(&clip) {
+            for (nd, nf) in [(3, 2), (3, 3), (5, 3)] {
+                let (fine, _) = grid_sim(nd, nf);
+                assert!(
+                    fine.label_clip(&clip),
+                    "hotspot at nominal lost under {nd}x{nf} grid"
                 );
             }
         }

@@ -54,9 +54,9 @@ pub mod simtime;
 pub mod window;
 
 pub use kernel::Kernel1d;
-pub use label::{LithoConfig, LithoReport, LithoSimulator};
+pub use label::{CornerLabels, LithoConfig, LithoReport, LithoSimulator};
 pub use labeler::{Labeler, LithoLabeler};
-pub use process::{CornerReport, ProcessCorner};
+pub use process::{CornerGrid, CornerReport, ProcessCorner};
 pub use resist::ResistModel;
 
 use std::error::Error;

@@ -54,6 +54,168 @@ impl Default for ProcessCorner {
     }
 }
 
+/// A rectangular dose×defocus sampling of the process window.
+///
+/// Where [`ProcessCorner::standard_window`] keeps only the five extreme
+/// corners, a grid samples the full window so every clip gets a *vector*
+/// of pass/fail labels (one per grid point) plus a worst-corner severity —
+/// the substrate for multi-label and severity-regression training heads.
+///
+/// The grid always contains the nominal condition: dose levels are
+/// symmetric around 1.0 (so `n_dose` must be odd, or 1) and the defocus
+/// levels start at 0 nm.
+///
+/// # Examples
+///
+/// ```
+/// use hotspot_litho::CornerGrid;
+///
+/// let grid = CornerGrid::new(0.05, 60.0, 3, 2).unwrap();
+/// assert_eq!(grid.len(), 6);
+/// let corners = grid.corners();
+/// assert_eq!(corners[grid.nominal_index()].dose, 1.0);
+/// assert_eq!(corners[grid.nominal_index()].defocus_nm, 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CornerGrid {
+    /// Dose levels, ascending, symmetric around 1.0.
+    doses: Vec<f32>,
+    /// Defocus levels in nm, ascending from 0.
+    defocus_nm: Vec<f64>,
+}
+
+impl CornerGrid {
+    /// Builds a grid of `n_dose` dose levels spanning `1 ± dose_latitude`
+    /// and `n_defocus` defocus levels spanning `0..=max_defocus_nm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LithoError::InvalidParameter`] when a count is
+    /// zero, `n_dose` is even (the grid would miss the nominal dose),
+    /// `dose_latitude` is not in `[0, 1)`, or `max_defocus_nm` is
+    /// negative/NaN.
+    pub fn new(
+        dose_latitude: f32,
+        max_defocus_nm: f64,
+        n_dose: usize,
+        n_defocus: usize,
+    ) -> Result<Self, crate::LithoError> {
+        use crate::LithoError::InvalidParameter;
+        if n_dose == 0 || n_dose.is_multiple_of(2) {
+            return Err(InvalidParameter {
+                name: "n_dose",
+                value: n_dose as f64,
+            });
+        }
+        if n_defocus == 0 {
+            return Err(InvalidParameter {
+                name: "n_defocus",
+                value: n_defocus as f64,
+            });
+        }
+        if !(0.0..1.0).contains(&dose_latitude) {
+            return Err(InvalidParameter {
+                name: "dose_latitude",
+                value: dose_latitude as f64,
+            });
+        }
+        if max_defocus_nm.is_nan() || max_defocus_nm < 0.0 {
+            return Err(InvalidParameter {
+                name: "max_defocus_nm",
+                value: max_defocus_nm,
+            });
+        }
+        // `(2i)/(n-1) - 1` is exactly 0 at the middle index, so the grid
+        // contains dose 1.0 / defocus 0.0 bit-exactly.
+        let doses = (0..n_dose)
+            .map(|i| {
+                if n_dose == 1 {
+                    1.0
+                } else {
+                    1.0 + dose_latitude * ((2 * i) as f32 / (n_dose - 1) as f32 - 1.0)
+                }
+            })
+            .collect();
+        let defocus_nm = (0..n_defocus)
+            .map(|i| {
+                if n_defocus == 1 {
+                    0.0
+                } else {
+                    max_defocus_nm * i as f64 / (n_defocus - 1) as f64
+                }
+            })
+            .collect();
+        Ok(CornerGrid { doses, defocus_nm })
+    }
+
+    /// Dose levels, ascending.
+    #[inline]
+    pub fn doses(&self) -> &[f32] {
+        &self.doses
+    }
+
+    /// Defocus levels in nm, ascending from 0.
+    #[inline]
+    pub fn defocus_levels_nm(&self) -> &[f64] {
+        &self.defocus_nm
+    }
+
+    /// Number of grid corners (`doses × defocus levels`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.doses.len() * self.defocus_nm.len()
+    }
+
+    /// A grid is never empty (construction validates the counts).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The corner list, defocus-major / dose-minor (row `d` holds every
+    /// dose at defocus level `d`). This is the order of per-corner labels
+    /// everywhere downstream.
+    pub fn corners(&self) -> Vec<ProcessCorner> {
+        self.defocus_nm
+            .iter()
+            .flat_map(|&defocus_nm| {
+                self.doses
+                    .iter()
+                    .map(move |&dose| ProcessCorner { dose, defocus_nm })
+            })
+            .collect()
+    }
+
+    /// Index of the nominal corner (dose 1.0, defocus 0) in
+    /// [`CornerGrid::corners`] order.
+    #[inline]
+    pub fn nominal_index(&self) -> usize {
+        self.doses.len() / 2
+    }
+
+    /// A compact, deterministic schema string identifying the label layout
+    /// (grid shape and levels). Two datasets with different schema strings
+    /// carry incomparable per-corner label vectors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let g = hotspot_litho::CornerGrid::new(0.05, 60.0, 3, 2).unwrap();
+    /// assert_eq!(g.schema(), "dose3[0.950,1.000,1.050]xdefocus2[0,60]nm");
+    /// ```
+    pub fn schema(&self) -> String {
+        let doses: Vec<String> = self.doses.iter().map(|d| format!("{d:.3}")).collect();
+        let defocus: Vec<String> = self.defocus_nm.iter().map(|f| format!("{f:.0}")).collect();
+        format!(
+            "dose{}[{}]xdefocus{}[{}]nm",
+            self.doses.len(),
+            doses.join(","),
+            self.defocus_nm.len(),
+            defocus.join(",")
+        )
+    }
+}
+
 /// Printing-failure counts of one clip at one process corner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CornerReport {
@@ -301,5 +463,51 @@ mod tests {
         assert_eq!(w[0], ProcessCorner::nominal());
         assert!(w.iter().any(|c| c.defocus_nm > 0.0));
         assert!(w.iter().any(|c| c.dose < 1.0));
+    }
+
+    #[test]
+    fn corner_grid_contains_exact_nominal() {
+        for (nd, nf) in [(1, 1), (3, 2), (5, 3), (3, 1)] {
+            let g = CornerGrid::new(0.05, 60.0, nd, nf).unwrap();
+            assert_eq!(g.len(), nd * nf);
+            let corners = g.corners();
+            let nominal = corners[g.nominal_index()];
+            assert_eq!(nominal.dose, 1.0, "grid {nd}x{nf} misses nominal dose");
+            assert_eq!(nominal.defocus_nm, 0.0, "grid {nd}x{nf} misses best focus");
+        }
+    }
+
+    #[test]
+    fn corner_grid_is_defocus_major() {
+        let g = CornerGrid::new(0.10, 80.0, 3, 2).unwrap();
+        let corners = g.corners();
+        assert_eq!(corners.len(), 6);
+        // First row: defocus 0 at every dose, ascending.
+        assert!(corners[..3].iter().all(|c| c.defocus_nm == 0.0));
+        assert!(corners[3..].iter().all(|c| c.defocus_nm == 80.0));
+        assert!(corners[0].dose < corners[1].dose && corners[1].dose < corners[2].dose);
+    }
+
+    #[test]
+    fn corner_grid_rejects_bad_shapes() {
+        assert!(CornerGrid::new(0.05, 60.0, 0, 2).is_err());
+        assert!(
+            CornerGrid::new(0.05, 60.0, 2, 2).is_err(),
+            "even n_dose misses nominal"
+        );
+        assert!(CornerGrid::new(0.05, 60.0, 3, 0).is_err());
+        assert!(CornerGrid::new(-0.1, 60.0, 3, 2).is_err());
+        assert!(CornerGrid::new(1.0, 60.0, 3, 2).is_err());
+        assert!(CornerGrid::new(0.05, -1.0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn corner_grid_schema_is_deterministic() {
+        let a = CornerGrid::new(0.05, 60.0, 3, 2).unwrap();
+        let b = CornerGrid::new(0.05, 60.0, 3, 2).unwrap();
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.schema(), "dose3[0.950,1.000,1.050]xdefocus2[0,60]nm");
+        let c = CornerGrid::new(0.05, 60.0, 5, 2).unwrap();
+        assert_ne!(a.schema(), c.schema());
     }
 }

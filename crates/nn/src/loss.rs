@@ -105,6 +105,62 @@ pub fn softmax_cross_entropy_into(logits: &[f32], target: &[f32], grad: &mut [f3
     loss
 }
 
+/// Numerically-stable logistic sigmoid.
+///
+/// # Examples
+///
+/// ```
+/// assert!((hotspot_nn::loss::sigmoid(0.0) - 0.5).abs() < 1e-6);
+/// assert!(hotspot_nn::loss::sigmoid(-1000.0) >= 0.0); // no overflow
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Multi-label sigmoid binary cross-entropy and its gradient w.r.t. the
+/// logits: the per-corner hotspot head's loss, one independent Bernoulli
+/// per process corner.
+///
+/// `target` entries must lie in `[0, 1]` (hard 0/1 corner labels or soft
+/// targets). Returns `(mean loss, dloss/dlogits)`; the gradient of the
+/// *mean* is `(σ(x) - y) / n`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `logits` is empty.
+pub fn sigmoid_bce(logits: &Tensor, target: &[f32]) -> (f32, Tensor) {
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; x.len()];
+    let loss = sigmoid_bce_into(x, target, &mut grad);
+    (loss, Tensor::from_vec(vec![x.len()], grad))
+}
+
+/// Slice-based core of [`sigmoid_bce`]: writes the gradient into `grad`
+/// and returns the mean loss, allocating nothing. Uses the
+/// `max(x, 0) - x·y + ln(1 + e^{-|x|})` stable form, so large positive or
+/// negative logits never overflow.
+///
+/// # Panics
+///
+/// Panics if lengths differ or `logits` is empty.
+pub fn sigmoid_bce_into(logits: &[f32], target: &[f32], grad: &mut [f32]) -> f32 {
+    assert!(!logits.is_empty(), "sigmoid BCE of empty logits");
+    assert_eq!(logits.len(), target.len(), "logits/target length mismatch");
+    assert_eq!(logits.len(), grad.len(), "logits/grad length mismatch");
+    let n = logits.len() as f32;
+    let mut loss = 0.0f32;
+    for ((gi, &xi), &ti) in grad.iter_mut().zip(logits).zip(target) {
+        loss += xi.max(0.0) - xi * ti + (-xi.abs()).exp().ln_1p();
+        *gi = (sigmoid(xi) - ti) / n;
+    }
+    loss / n
+}
+
 /// The paper's hotspot ground truth `y*_h = [0, 1]` (index 1 = hotspot
 /// probability, matching Eq. (6)).
 pub const HOTSPOT_TARGET: [f32; 2] = [0.0, 1.0];
@@ -206,5 +262,56 @@ mod tests {
     #[should_panic(expected = "bias ε")]
     fn bias_half_rejected() {
         let _ = biased_non_hotspot_target(0.5);
+    }
+
+    #[test]
+    fn sigmoid_bce_gradient_is_sigma_minus_target_over_n() {
+        let logits = Tensor::from_vec(vec![3], vec![0.5, -1.2, 2.0]);
+        let target = [1.0f32, 0.0, 1.0];
+        let (_, grad) = sigmoid_bce(&logits, &target);
+        for i in 0..3 {
+            let expect = (sigmoid(logits.as_slice()[i]) - target[i]) / 3.0;
+            assert!((grad.as_slice()[i] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_bce_matches_finite_difference() {
+        let target = [1.0f32, 0.2, 0.0];
+        let x0 = vec![0.4f32, -0.9, 1.7];
+        let (_, grad) = sigmoid_bce(&Tensor::from_vec(vec![3], x0.clone()), &target);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x0.clone();
+            xp[i] += eps;
+            let (lp, _) = sigmoid_bce(&Tensor::from_vec(vec![3], xp), &target);
+            let mut xm = x0.clone();
+            xm[i] -= eps;
+            let (lm, _) = sigmoid_bce(&Tensor::from_vec(vec![3], xm), &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "fd {fd} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sigmoid_bce_is_overflow_safe() {
+        let logits = Tensor::from_vec(vec![2], vec![1000.0, -1000.0]);
+        let (loss, grad) = sigmoid_bce(&logits, &[1.0, 0.0]);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+        let (loss_bad, _) = sigmoid_bce(&logits, &[0.0, 1.0]);
+        assert!(loss_bad.is_finite() && loss_bad > 100.0);
+    }
+
+    #[test]
+    fn perfect_multi_label_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![3], vec![20.0, -20.0, 20.0]);
+        let (loss, grad) = sigmoid_bce(&logits, &[1.0, 0.0, 1.0]);
+        assert!(loss < 1e-6);
+        assert!(grad.abs_max() < 1e-6);
     }
 }

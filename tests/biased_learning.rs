@@ -34,6 +34,9 @@ fn setup() -> Setup {
             (PatternKind::TipToTip, 0.5),
         ],
         seed: 4242,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     }
     .build(&sim);
     let pipeline = FeaturePipeline::new(10, 12, 8).unwrap();

@@ -200,6 +200,9 @@ fn trained_prefilter_meets_its_target_fnr_on_the_holdout() {
             (hotspot_datagen::PatternKind::LineTips, 1.0),
         ],
         seed: 97,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     }
     .build(&sim)
     .train;

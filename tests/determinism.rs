@@ -49,6 +49,9 @@ fn trained_detectors_are_reproducible() {
         test_nhs: 10,
         mix: vec![(PatternKind::LineArray, 1.0)],
         seed: 77,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     };
     let data = spec.build(&sim);
     let config = {

@@ -46,6 +46,9 @@ fn tiny_spec() -> SuiteSpec {
         test_nhs: 15,
         mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
         seed: 1234,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     }
 }
 

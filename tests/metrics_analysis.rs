@@ -19,6 +19,9 @@ fn trained_setup() -> (HotspotDetector, Vec<hotspot_nn::Tensor>, Vec<bool>) {
         test_nhs: 25,
         mix: vec![(PatternKind::LineArray, 1.0), (PatternKind::LineTips, 1.0)],
         seed: 321,
+        version: hotspot_datagen::suite::SUITE_VERSION,
+        corner_grid: None,
+        augment: None,
     }
     .build(&sim);
     let mut cfg = DetectorConfig::default();
